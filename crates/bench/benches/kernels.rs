@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the computational kernels: RA-Bound solve
+//! (paper §4.3's off-line cost), belief updates, incremental backups,
+//! and the QMDP/FIB upper bounds.
+
+use bpr_bench::experiments::emn_model;
+use bpr_core::TerminatedModel;
+use bpr_emn::actions::EmnAction;
+use bpr_mdp::chain::SolveOpts;
+use bpr_mdp::value_iteration::Discount;
+use bpr_pomdp::backup::incremental_backup;
+use bpr_pomdp::bounds::{qmdp_bound, ra_bound};
+use bpr_pomdp::Belief;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn transformed() -> TerminatedModel {
+    emn_model()
+        .expect("model builds")
+        .without_notification(21_600.0)
+        .expect("transform succeeds")
+}
+
+fn bench_ra_bound(c: &mut Criterion) {
+    let t = transformed();
+    c.bench_function("ra_bound_solve_emn", |b| {
+        b.iter(|| ra_bound(black_box(t.pomdp()), &SolveOpts::default()).expect("bound exists"))
+    });
+    c.bench_function("ra_bound_solve_emn_sor_1_5", |b| {
+        let opts = SolveOpts {
+            omega: 1.5,
+            ..SolveOpts::default()
+        };
+        b.iter(|| ra_bound(black_box(t.pomdp()), &opts).expect("bound exists"))
+    });
+}
+
+fn bench_belief_ops(c: &mut Criterion) {
+    let t = transformed();
+    let pomdp = t.pomdp();
+    let belief = Belief::uniform(pomdp.n_states());
+    let action = EmnAction::Observe.action_id();
+    c.bench_function("belief_successors_emn", |b| {
+        b.iter(|| black_box(&belief).successors(pomdp, action, 1e-6))
+    });
+    c.bench_function("belief_update_emn", |b| {
+        b.iter(|| {
+            black_box(&belief)
+                .update(pomdp, action, 0.into())
+                .expect("all-clear is possible")
+        })
+    });
+}
+
+fn bench_backup(c: &mut Criterion) {
+    let t = transformed();
+    let belief = Belief::uniform(t.pomdp().n_states());
+    c.bench_function("incremental_backup_emn", |b| {
+        b.iter_batched(
+            || ra_bound(t.pomdp(), &SolveOpts::default()).expect("bound exists"),
+            |mut bound| {
+                incremental_backup(t.pomdp(), &mut bound, &belief, 1.0).expect("backup succeeds")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_upper_bounds(c: &mut Criterion) {
+    let t = transformed();
+    c.bench_function("qmdp_bound_emn", |b| {
+        b.iter(|| qmdp_bound(black_box(t.pomdp()), Discount::Undiscounted).expect("qmdp exists"))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ra_bound, bench_belief_ops, bench_backup, bench_upper_bounds
+}
+criterion_main!(kernels);

@@ -1,0 +1,92 @@
+//! Criterion benchmark for Table 1's "Algorithm Time" column: the time
+//! each controller needs to produce one decision from the
+//! all-faults-equally-likely belief. The paper's ordering —
+//! most-likely ≪ heuristic-d1 ≪ bounded-d1 < heuristic-d2 ≪
+//! heuristic-d3 — is the reproduction target.
+
+use bpr_bench::experiments::emn_model;
+use bpr_core::baselines::{HeuristicController, MostLikelyController};
+use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
+use bpr_core::{BoundedConfig, BoundedController, RecoveryController};
+use bpr_emn::actions::EmnAction;
+use bpr_mdp::chain::SolveOpts;
+use bpr_pomdp::bounds::ra_bound;
+use bpr_pomdp::Belief;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn initial_belief(n: usize) -> Belief {
+    // All faults equally likely (states 1..n are the 13 faults).
+    let faults: Vec<_> = (1..n).map(bpr_mdp::StateId::new).collect();
+    Belief::uniform_over(n, &faults)
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let model = emn_model().expect("model builds");
+    let n = model.base().n_states();
+    let mut group = c.benchmark_group("table1_decision_time");
+
+    group.bench_function("most_likely", |b| {
+        let mut ctrl = MostLikelyController::new(model.clone(), 0.9999).expect("controller");
+        b.iter(|| {
+            ctrl.begin(initial_belief(n), None).expect("begin");
+            ctrl.decide().expect("decide")
+        })
+    });
+
+    for depth in [1usize, 2, 3] {
+        group.bench_function(format!("heuristic_d{depth}"), |b| {
+            let mut ctrl = HeuristicController::new(model.clone(), depth, 0.9999)
+                .expect("controller")
+                .with_gamma_cutoff(1e-3);
+            b.iter(|| {
+                ctrl.begin(initial_belief(n), None).expect("begin");
+                ctrl.decide().expect("decide")
+            })
+        });
+    }
+
+    group.bench_function("bounded_d1", |b| {
+        let t = model.without_notification(21_600.0).expect("transform");
+        let mut bound = ra_bound(t.pomdp(), &SolveOpts::default()).expect("bound");
+        let mut rng = StdRng::seed_from_u64(7);
+        bootstrap(
+            &t,
+            &mut bound,
+            &BootstrapConfig {
+                variant: BootstrapVariant::Average,
+                iterations: 10,
+                depth: 2,
+                max_steps: 40,
+                conditioning_action: EmnAction::Observe.action_id(),
+                ..BootstrapConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("bootstrap");
+        let mut ctrl = BoundedController::with_bound(
+            t,
+            bound,
+            BoundedConfig {
+                depth: 1,
+                gamma_cutoff: 1e-3,
+                ..BoundedConfig::default()
+            },
+        )
+        .expect("controller");
+        b.iter(|| {
+            ctrl.begin(initial_belief(n), None).expect("begin");
+            ctrl.decide().expect("decide")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = table1;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decisions
+}
+criterion_main!(table1);

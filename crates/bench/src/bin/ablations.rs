@@ -1,0 +1,277 @@
+//! Ablation studies over the design choices called out in DESIGN.md:
+//!
+//! 1. Operator response time `t_op` — how the termination-reward knob
+//!    trades recovery aggressiveness against cost (paper §3.1 remark).
+//! 2. Bounded-controller tree depth.
+//! 3. SOR relaxation factor for the RA-Bound solve (paper §3.1 uses
+//!    Gauss–Seidel with successive over-relaxation).
+//! 4. Bound-vector storage cap (paper §4.3's finite-storage remark).
+//! 5. Path-monitor coverage — how diagnosis quality feeds recovery cost.
+//! 6. Bootstrap refinement vs. dense PBVI-style grid refinement of the
+//!    RA-Bound.
+//! 7. Path-probe routing (random 50/50 vs fixed disjoint monitor
+//!    routes) under both the bounded and a diagnose-then-fix
+//!    controller — the "path diversity" knob of the paper's Fig. 4.
+//!
+//! Usage: `cargo run -p bpr-bench --bin ablations --release -- [--faults 120] [--seed 7]`
+
+use bpr_bench::experiments::emn_model;
+use bpr_bench::flag;
+use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
+use bpr_core::{BoundedConfig, BoundedController};
+use bpr_emn::actions::EmnAction;
+use bpr_emn::faults::EmnState;
+use bpr_mdp::chain::SolveOpts;
+use bpr_pomdp::bounds::ra_bound;
+use bpr_sim::{run_campaign, CampaignSummary, HarnessConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let episodes = flag(&args, "--faults", 120usize);
+    let seed = flag(&args, "--seed", 7u64);
+    let model = emn_model().expect("default EMN model builds");
+    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let harness = HarnessConfig::default();
+
+    let run_bounded = |top: f64, depth: usize, cap: Option<usize>| -> CampaignSummary {
+        let transformed = model.without_notification(top).expect("transform succeeds");
+        let mut bound =
+            ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound exists");
+        let mut rng = StdRng::seed_from_u64(seed);
+        bootstrap(
+            &transformed,
+            &mut bound,
+            &BootstrapConfig {
+                variant: BootstrapVariant::Average,
+                iterations: 10,
+                depth: 2,
+                max_steps: 40,
+                vector_cap: cap,
+                conditioning_action: EmnAction::Observe.action_id(),
+                ..BootstrapConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("bootstrap succeeds");
+        let mut c = BoundedController::with_bound(
+            transformed,
+            bound,
+            BoundedConfig {
+                depth,
+                vector_cap: cap,
+                gamma_cutoff: 1e-3,
+                ..BoundedConfig::default()
+            },
+        )
+        .expect("controller builds");
+        run_campaign(&model, &mut c, &zombies, episodes, &harness, &mut rng)
+            .expect("campaign runs")
+    };
+
+    println!("# Ablation 1: operator response time t_op (bounded-d1, {episodes} faults)");
+    println!("{:>12} {}", "t_op(s)", CampaignSummary::table_header());
+    for top in [600.0, 3600.0, 21_600.0, 86_400.0] {
+        let s = run_bounded(top, 1, None);
+        println!("{:>12} {}", top, s.table_row());
+    }
+    println!();
+
+    println!("# Ablation 2: bounded-controller tree depth (t_op = 6h)");
+    println!("{:>6} {}", "depth", CampaignSummary::table_header());
+    for depth in [1usize, 2] {
+        let s = run_bounded(21_600.0, depth, None);
+        println!("{:>6} {}", depth, s.table_row());
+    }
+    println!();
+
+    println!("# Ablation 3: SOR relaxation factor for the RA-Bound solve");
+    let transformed = model.without_notification(21_600.0).expect("transform");
+    let chain = transformed.pomdp().mdp().uniform_random_chain();
+    println!("{:>8} {:>16}", "omega", "V-(uniform-ish)");
+    for omega in [0.8, 1.0, 1.2, 1.5, 1.8] {
+        let opts = SolveOpts {
+            omega,
+            ..SolveOpts::default()
+        };
+        match chain.expected_total_reward(&opts) {
+            Ok(v) => {
+                let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+                println!("{:>8.2} {:>16.2}", omega, mean);
+            }
+            Err(e) => println!("{:>8.2} solve failed: {e}", omega),
+        }
+    }
+    println!();
+
+    println!("# Ablation 4: bound-vector storage cap (paper §4.3)");
+    println!("{:>6} {}", "cap", CampaignSummary::table_header());
+    for cap in [1usize, 2, 4, 8, 16] {
+        let s = run_bounded(21_600.0, 1, Some(cap));
+        println!("{:>6} {}", cap, s.table_row());
+    }
+    println!();
+
+    println!("# Ablation 5: path-monitor coverage (bounded-d1, zombie faults)");
+    println!("{:>10} {}", "coverage", CampaignSummary::table_header());
+    for coverage in [0.6, 0.8, 0.95, 0.999] {
+        let cfg = bpr_emn::EmnConfig {
+            path_coverage: coverage,
+            ..bpr_emn::EmnConfig::default()
+        };
+        let model_c = bpr_emn::build_model(&cfg).expect("model builds");
+        let transformed = model_c
+            .without_notification(cfg.operator_response_time)
+            .expect("transform");
+        let bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
+        let mut c = BoundedController::with_bound(
+            transformed,
+            bound,
+            BoundedConfig {
+                depth: 1,
+                gamma_cutoff: 1e-3,
+                ..BoundedConfig::default()
+            },
+        )
+        .expect("controller");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zombies_c: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+        let s = run_campaign(&model_c, &mut c, &zombies_c, episodes, &harness, &mut rng)
+            .expect("campaign");
+        println!("{:>10.3} {}", coverage, s.table_row());
+    }
+    println!();
+
+    println!("# Ablation 6: refinement strategy for the RA-Bound (value at uniform fault belief)");
+    {
+        use bpr_pomdp::bounds::{pbvi_refine, PbviOpts, ValueBound};
+        use bpr_pomdp::Belief;
+        let transformed = model.without_notification(21_600.0).expect("transform");
+        let n = transformed.pomdp().n_states();
+        let probe = {
+            let mut p = vec![1.0 / (n - 1) as f64; n - 1];
+            p.push(0.0);
+            Belief::from_probs(p).expect("probe belief")
+        };
+        let raw = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
+        println!("{:<28} {:>14} {:>10}", "strategy", "cost@uniform", "vectors");
+        println!(
+            "{:<28} {:>14.1} {:>10}",
+            "RA only",
+            -raw.value(&probe),
+            raw.len()
+        );
+        let mut boot = raw.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        bootstrap(
+            &transformed,
+            &mut boot,
+            &BootstrapConfig {
+                variant: BootstrapVariant::Average,
+                iterations: 20,
+                depth: 1,
+                max_steps: 40,
+                conditioning_action: EmnAction::Observe.action_id(),
+                ..BootstrapConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("bootstrap");
+        println!(
+            "{:<28} {:>14.1} {:>10}",
+            "bootstrap x20 (Average)",
+            -boot.value(&probe),
+            boot.len()
+        );
+        let mut grid = raw.clone();
+        // Resolution 1 on a 15-state simplex is just the vertices; use
+        // it as the cheap dense sweep.
+        pbvi_refine(
+            transformed.pomdp(),
+            &mut grid,
+            &PbviOpts {
+                resolution: 1,
+                sweeps: 20,
+                ..PbviOpts::default()
+            },
+        )
+        .expect("pbvi refine");
+        println!(
+            "{:<28} {:>14.1} {:>10}",
+            "vertex-grid PBVI x20",
+            -grid.value(&probe),
+            grid.len()
+        );
+    }
+    println!();
+
+    println!("# Ablation 7: path-probe routing x controller (zombie faults)");
+    println!(
+        "{:>16} {:>14} {}",
+        "routing",
+        "controller",
+        CampaignSummary::table_header()
+    );
+    for routing in [
+        bpr_emn::PathRouting::RandomPerProbe,
+        bpr_emn::PathRouting::FixedDisjoint,
+    ] {
+        let cfg = bpr_emn::EmnConfig {
+            path_routing: routing,
+            ..bpr_emn::EmnConfig::default()
+        };
+        let model_r = bpr_emn::build_model(&cfg).expect("model builds");
+        let zombies_r: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+
+        let transformed = model_r
+            .without_notification(cfg.operator_response_time)
+            .expect("transform");
+        let mut bound =
+            ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
+        let mut rng = StdRng::seed_from_u64(seed);
+        bootstrap(
+            &transformed,
+            &mut bound,
+            &BootstrapConfig {
+                variant: BootstrapVariant::Average,
+                iterations: 10,
+                depth: 2,
+                max_steps: 40,
+                conditioning_action: EmnAction::Observe.action_id(),
+                ..BootstrapConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("bootstrap");
+        let mut bounded = BoundedController::with_bound(
+            transformed,
+            bound,
+            BoundedConfig {
+                depth: 1,
+                gamma_cutoff: 1e-3,
+                ..BoundedConfig::default()
+            },
+        )
+        .expect("controller");
+        let s = run_campaign(&model_r, &mut bounded, &zombies_r, episodes, &harness, &mut rng)
+            .expect("campaign");
+        println!("{:>16} {:>14} {}", format!("{routing:?}"), "bounded-d1", s.table_row());
+
+        let mut diag = bpr_core::baselines::DiagnoseThenFixController::new(
+            model_r.clone(),
+            0.7,
+            0.9999,
+        )
+        .expect("controller");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = run_campaign(&model_r, &mut diag, &zombies_r, episodes, &harness, &mut rng)
+            .expect("campaign");
+        println!(
+            "{:>16} {:>14} {}",
+            format!("{routing:?}"),
+            "diagnose-fix",
+            s.table_row()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Prints the RA-Bound Markov chains of the paper's Figure 2 for the
+//! two-server model: (a) with recovery notification — null-fault states
+//! made absorbing and free — and (b) without recovery notification —
+//! the terminate state/action added with termination rewards
+//! `r(s, a_T) = r̄(s)·t_op`. Also solves each chain (Eq. 5) to show the
+//! per-state RA-Bound values.
+//!
+//! Usage: `cargo run -p bpr-bench --bin fig2_chains -- [--top 4.0]`
+
+use bpr_bench::flag;
+use bpr_emn::two_server;
+use bpr_mdp::chain::{MarkovChain, SolveOpts};
+
+fn print_chain(title: &str, chain: &MarkovChain, labels: &[String]) {
+    println!("# {title}");
+    println!("{:<14} {:>12}  transitions", "state", "mean reward");
+    for s in 0..chain.n_states() {
+        let row: Vec<String> = (0..chain.n_states())
+            .filter(|&t| chain.transition_prob(s, t) > 0.0)
+            .map(|t| format!("{} ({:.3})", labels[t], chain.transition_prob(s, t)))
+            .collect();
+        println!(
+            "{:<14} {:>12.4}  -> {}",
+            labels[s],
+            chain.reward(s),
+            row.join(", ")
+        );
+    }
+    match chain.expected_total_reward(&SolveOpts::default()) {
+        Ok(v) => {
+            let pretty: Vec<String> = v
+                .iter()
+                .enumerate()
+                .map(|(s, x)| format!("{} = {:.4}", labels[s], x))
+                .collect();
+            println!("RA-Bound values V-(s): {}", pretty.join(", "));
+        }
+        Err(e) => println!("RA-Bound solve failed: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let top = flag(&args, "--top", 4.0f64);
+    let model = two_server::default_model().expect("two-server model builds");
+
+    // Figure 2(a): with recovery notification.
+    let notified = model.with_notification().expect("transform");
+    let chain = notified.mdp().uniform_random_chain();
+    let labels: Vec<String> = (0..notified.n_states())
+        .map(|s| notified.mdp().state_label(s).to_string())
+        .collect();
+    print_chain(
+        "Figure 2(a): RA-Bound chain WITH recovery notification",
+        &chain,
+        &labels,
+    );
+
+    // Figure 2(b): without recovery notification (terminate action).
+    let t = model.without_notification(top).expect("transform");
+    let chain = t.pomdp().mdp().uniform_random_chain();
+    let labels: Vec<String> = (0..t.pomdp().n_states())
+        .map(|s| t.pomdp().mdp().state_label(s).to_string())
+        .collect();
+    print_chain(
+        &format!("Figure 2(b): RA-Bound chain WITHOUT recovery notification (t_op = {top})"),
+        &chain,
+        &labels,
+    );
+}

@@ -1,0 +1,373 @@
+//! The experiments of the paper's Section 5, as reusable functions.
+
+use bpr_core::baselines::{HeuristicController, MostLikelyController, OracleController};
+use bpr_core::bootstrap::{
+    bootstrap, bootstrap_updates, BootstrapConfig, BootstrapVariant, IterationRecord,
+};
+use bpr_core::{BoundedConfig, BoundedController, Error, RecoveryModel};
+use bpr_emn::actions::EmnAction;
+use bpr_emn::faults::EmnState;
+use bpr_emn::EmnConfig;
+use bpr_mdp::chain::SolveOpts;
+use bpr_mdp::value_iteration::Discount;
+use bpr_pomdp::bounds::{
+    bi_pomdp_bound, blind_bound, fib_bound, qmdp_bound, ra_bound, ValueBound,
+};
+use bpr_pomdp::Belief;
+use bpr_sim::{run_campaign, CampaignSummary, HarnessConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the paper's EMN model with default parameters.
+///
+/// # Errors
+///
+/// Never fails for the default configuration; the `Result` propagates
+/// the generator's validation.
+pub fn emn_model() -> Result<RecoveryModel, Error> {
+    bpr_emn::build_model(&EmnConfig::default())
+}
+
+/// One bootstrap-variant series of Figure 5 (both panels share it:
+/// 5(a) plots `-bound_at_uniform`, 5(b) plots `n_vectors`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Series {
+    /// Which bootstrapping variant produced the series.
+    pub variant: BootstrapVariant,
+    /// Per-iteration bound value and vector count.
+    pub records: Vec<IterationRecord>,
+}
+
+/// Runs the Figure 5 experiment: iterative lower-bound improvement on
+/// the EMN model under the Random and Average bootstrap variants, with
+/// tree depth 1 (paper §5, first experiment set).
+///
+/// Uses the paper's per-update counting (one incremental backup per
+/// iteration, so Fig. 5(b)'s at-most-linear vector growth holds by
+/// construction).
+///
+/// # Errors
+///
+/// Propagates model construction and bootstrap failures.
+pub fn fig5(iterations: usize, seed: u64) -> Result<Vec<Fig5Series>, Error> {
+    let model = emn_model()?;
+    let config = EmnConfig::default();
+    let mut out = Vec::new();
+    for variant in [BootstrapVariant::Random, BootstrapVariant::Average] {
+        let transformed = model.without_notification(config.operator_response_time)?;
+        let mut bound =
+            ra_bound(transformed.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = bootstrap_updates(
+            &transformed,
+            &mut bound,
+            &BootstrapConfig {
+                variant,
+                iterations,
+                depth: 1,
+                max_steps: 40,
+                conditioning_action: EmnAction::Observe.action_id(),
+                ..BootstrapConfig::default()
+            },
+            &mut rng,
+        )?;
+        out.push(Fig5Series {
+            variant,
+            records: report.records,
+        });
+    }
+    Ok(out)
+}
+
+/// Configuration of the Table 1 fault-injection comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Config {
+    /// Fault injections per controller (paper: 10 000).
+    pub episodes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Termination probability for the most-likely and heuristic
+    /// controllers (paper: 0.9999).
+    pub p_term: f64,
+    /// Tree depths for the heuristic controllers (paper: 1, 2, 3).
+    pub heuristic_depths: Vec<usize>,
+    /// Bootstrap episodes for the bounded controller (paper: 10).
+    pub bootstrap_runs: usize,
+    /// Bootstrap tree depth (paper: 2).
+    pub bootstrap_depth: usize,
+    /// Observation-branch pruning cutoff for the tree-based
+    /// controllers.
+    pub gamma_cutoff: f64,
+    /// Step cap per episode.
+    pub max_steps: usize,
+}
+
+impl Default for Table1Config {
+    fn default() -> Table1Config {
+        Table1Config {
+            episodes: 300,
+            seed: 7,
+            p_term: 0.9999,
+            heuristic_depths: vec![1, 2, 3],
+            bootstrap_runs: 10,
+            bootstrap_depth: 2,
+            gamma_cutoff: 1e-3,
+            max_steps: 400,
+        }
+    }
+}
+
+/// Runs the Table 1 experiment: zombie-only fault injection on the EMN
+/// model, comparing most-likely, heuristic (at the configured depths),
+/// bounded (depth 1, bootstrapped), and Oracle controllers.
+///
+/// Returns the rows in the paper's order.
+///
+/// # Errors
+///
+/// Propagates model, bootstrap, and campaign failures.
+pub fn table1(config: &Table1Config) -> Result<Vec<CampaignSummary>, Error> {
+    let model = emn_model()?;
+    let emn_config = EmnConfig::default();
+    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let harness = HarnessConfig {
+        max_steps: config.max_steps,
+    };
+    let mut rows = Vec::new();
+
+    // Most-likely.
+    {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut c = MostLikelyController::new(model.clone(), config.p_term)?;
+        rows.push(run_campaign(
+            &model,
+            &mut c,
+            &zombies,
+            config.episodes,
+            &harness,
+            &mut rng,
+        )?);
+        rows.last_mut().expect("just pushed").controller = "most-likely".into();
+    }
+    // Heuristic at each depth.
+    for &depth in &config.heuristic_depths {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut c = HeuristicController::new(model.clone(), depth, config.p_term)?
+            .with_gamma_cutoff(config.gamma_cutoff);
+        let mut summary = run_campaign(
+            &model,
+            &mut c,
+            &zombies,
+            config.episodes,
+            &harness,
+            &mut rng,
+        )?;
+        summary.controller = format!("heuristic-d{depth}");
+        rows.push(summary);
+    }
+    // Bounded, depth 1, bootstrapped.
+    {
+        let transformed = model.without_notification(emn_config.operator_response_time)?;
+        let mut bound =
+            ra_bound(transformed.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        bootstrap(
+            &transformed,
+            &mut bound,
+            &BootstrapConfig {
+                variant: BootstrapVariant::Average,
+                iterations: config.bootstrap_runs,
+                depth: config.bootstrap_depth,
+                max_steps: 40,
+                conditioning_action: EmnAction::Observe.action_id(),
+                ..BootstrapConfig::default()
+            },
+            &mut rng,
+        )?;
+        let mut c = BoundedController::with_bound(
+            transformed,
+            bound,
+            BoundedConfig {
+                depth: 1,
+                gamma_cutoff: config.gamma_cutoff,
+                // Paper §4.3: finite storage for the bound vectors keeps
+                // per-decision cost flat across a long campaign.
+                vector_cap: Some(64),
+                ..BoundedConfig::default()
+            },
+        )?;
+        let mut summary = run_campaign(
+            &model,
+            &mut c,
+            &zombies,
+            config.episodes,
+            &harness,
+            &mut rng,
+        )?;
+        summary.controller = "bounded-d1".into();
+        rows.push(summary);
+    }
+    // Oracle.
+    {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut c = OracleController::new(model.clone());
+        let mut summary = run_campaign(
+            &model,
+            &mut c,
+            &zombies,
+            config.episodes,
+            &harness,
+            &mut rng,
+        )?;
+        summary.controller = "oracle".into();
+        rows.push(summary);
+    }
+    Ok(rows)
+}
+
+/// Existence and value of each bound on a model, at the uniform belief.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundReport {
+    /// Bound name.
+    pub name: &'static str,
+    /// `Some(value at the uniform belief)` if the bound exists, `None`
+    /// if it diverges on this model.
+    pub value_at_uniform: Option<f64>,
+    /// Number of hyperplanes (0 for divergent bounds).
+    pub n_vectors: usize,
+}
+
+/// Compares the RA-Bound with the prior-art bounds of §3.1 (BI-POMDP,
+/// blind policy) and the upper bounds (QMDP, FIB) on the transformed
+/// EMN model, demonstrating which exist under the undiscounted
+/// criterion.
+///
+/// `notified` selects the transform: `true` makes `S_φ` absorbing
+/// (systems with recovery notification), `false` adds the terminate
+/// action.
+///
+/// # Errors
+///
+/// Propagates model-construction failures (bound divergence is data,
+/// not an error, here).
+pub fn bounds_comparison(notified: bool) -> Result<Vec<BoundReport>, Error> {
+    let model = emn_model()?;
+    let config = EmnConfig::default();
+    let pomdp = if notified {
+        model.with_notification()?
+    } else {
+        model
+            .without_notification(config.operator_response_time)?
+            .pomdp()
+            .clone()
+    };
+    let uniform = Belief::uniform(pomdp.n_states());
+    let opts = SolveOpts::default();
+    let mut reports = Vec::new();
+
+    let mut push = |name: &'static str,
+                    result: Result<bpr_pomdp::bounds::VectorSetBound, bpr_pomdp::Error>| {
+        match result {
+            Ok(set) => reports.push(BoundReport {
+                name,
+                value_at_uniform: Some(set.value(&uniform)),
+                n_vectors: set.len(),
+            }),
+            Err(_) => reports.push(BoundReport {
+                name,
+                value_at_uniform: None,
+                n_vectors: 0,
+            }),
+        }
+    };
+    push("RA-Bound (lower)", ra_bound(&pomdp, &opts));
+    push(
+        "BI-POMDP (lower)",
+        bi_pomdp_bound(&pomdp, Discount::Undiscounted),
+    );
+    push(
+        "blind policy (lower)",
+        blind_bound(&pomdp, Discount::Undiscounted, &opts),
+    );
+    push("QMDP (upper)", qmdp_bound(&pomdp, Discount::Undiscounted));
+    push(
+        "FIB (upper)",
+        fib_bound(&pomdp, Discount::Undiscounted, &Default::default()),
+    );
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_produces_monotone_series() {
+        let series = fig5(5, 3).unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.records.len(), 5);
+            let mut prev = f64::NEG_INFINITY;
+            for r in &s.records {
+                assert!(r.bound_at_uniform + 1e-9 >= prev, "{:?}", s.variant);
+                prev = r.bound_at_uniform;
+                assert!(r.n_vectors >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_comparison_matches_the_papers_claims() {
+        // With recovery notification: RA exists, BI and blind diverge.
+        let with = bounds_comparison(true).unwrap();
+        let get = |reports: &[BoundReport], name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name.starts_with(name))
+                .cloned()
+                .unwrap()
+        };
+        assert!(get(&with, "RA-Bound").value_at_uniform.is_some());
+        assert!(get(&with, "BI-POMDP").value_at_uniform.is_none());
+        assert!(get(&with, "blind policy").value_at_uniform.is_none());
+        assert!(get(&with, "QMDP").value_at_uniform.is_some());
+
+        // Without recovery notification: the terminate action makes the
+        // blind bound finite too; BI still diverges.
+        let without = bounds_comparison(false).unwrap();
+        assert!(get(&without, "RA-Bound").value_at_uniform.is_some());
+        assert!(get(&without, "BI-POMDP").value_at_uniform.is_none());
+        assert!(get(&without, "blind policy").value_at_uniform.is_some());
+
+        // Sandwich: RA <= FIB <= QMDP at the uniform belief.
+        let ra = get(&without, "RA-Bound").value_at_uniform.unwrap();
+        let qmdp = get(&without, "QMDP").value_at_uniform.unwrap();
+        let fib = get(&without, "FIB").value_at_uniform.unwrap();
+        assert!(ra <= fib + 1e-6);
+        assert!(fib <= qmdp + 1e-6);
+    }
+
+    #[test]
+    fn table1_small_run_has_expected_shape() {
+        let config = Table1Config {
+            episodes: 12,
+            heuristic_depths: vec![1],
+            ..Table1Config::default()
+        };
+        let rows = table1(&config).unwrap();
+        assert_eq!(rows.len(), 4); // most-likely, heuristic-d1, bounded, oracle
+        for row in &rows {
+            assert_eq!(row.episodes, 12);
+            assert_eq!(row.unterminated, 0, "{} failed to terminate", row.controller);
+            assert_eq!(row.unrecovered, 0, "{} quit before recovery", row.controller);
+        }
+        let oracle = rows.iter().find(|r| r.controller == "oracle").unwrap();
+        for row in &rows {
+            assert!(
+                row.mean_cost + 1e-9 >= oracle.mean_cost,
+                "{} beat the oracle",
+                row.controller
+            );
+        }
+    }
+}

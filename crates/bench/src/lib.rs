@@ -1,0 +1,40 @@
+//! Shared experiment plumbing for the `bpr` reproduction binaries.
+//!
+//! Each public function regenerates one artifact of the paper's
+//! evaluation (Section 5); the `src/bin/*` binaries are thin wrappers
+//! that print the results. See `EXPERIMENTS.md` at the repository root
+//! for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Minimal command-line flag parsing for the experiment binaries:
+/// `--name value` pairs, with defaults.
+pub fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parses_and_defaults() {
+        let args: Vec<String> = ["--faults", "250", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag(&args, "--faults", 10usize), 250);
+        assert_eq!(flag(&args, "--seed", 1u64), 9);
+        assert_eq!(flag(&args, "--missing", 42i32), 42);
+        // Unparseable values fall back to the default.
+        let bad: Vec<String> = ["--faults", "abc"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag(&bad, "--faults", 7usize), 7);
+    }
+}

@@ -1,0 +1,565 @@
+//! The paper's bounded recovery controller (§4).
+
+use crate::{Error, RecoveryController, Step, TerminatedModel};
+use bpr_mdp::chain::SolveOpts;
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::backup::incremental_backup;
+use bpr_pomdp::bounds::{ra_bound, VectorSetBound};
+use bpr_pomdp::{tree, Belief, ObservationId};
+
+/// Configuration of a [`BoundedController`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedConfig {
+    /// Depth of the Max-Avg expansion (the paper's controller uses 1).
+    pub depth: usize,
+    /// Refine the bound with an incremental backup at each belief the
+    /// controller visits during recovery (paper §4.1: beliefs "naturally
+    /// generated during the course of system recovery").
+    pub backup_online: bool,
+    /// Optional cap on the number of bound hyperplanes; least-used
+    /// vectors are evicted past the cap (paper §4.3's finite-storage
+    /// suggestion). `None` disables eviction.
+    pub vector_cap: Option<usize>,
+    /// Discount factor (the recovery criterion is undiscounted: 1.0).
+    pub beta: f64,
+    /// Prefer terminating when `a_T` ties with the best action. Breaking
+    /// ties toward `a_T` removes a pathological non-termination case
+    /// when free actions exist inside `S_φ`.
+    pub prefer_terminate_on_tie: bool,
+    /// Observation branches with probability at or below this are
+    /// pruned during tree expansion. Essential for models with large
+    /// observation spaces (the EMN model has 2⁷ monitor masks).
+    pub gamma_cutoff: f64,
+    /// Use branch-and-bound expansion with a QMDP upper bound (the
+    /// paper's future-work extension). Produces identical decisions to
+    /// the plain Max-Avg expansion while expanding fewer nodes; costs
+    /// one MDP solve at construction.
+    pub branch_and_bound: bool,
+    /// Incremental-backup sweeps over the state-vertex beliefs run at
+    /// construction. The raw RA-Bound is loose near `S_φ` (it prices in
+    /// random restarts even when the system is healthy), which can make
+    /// an un-bootstrapped controller terminate too eagerly; a couple of
+    /// vertex sweeps repair exactly that region. Set to 0 to disable.
+    pub startup_vertex_sweeps: usize,
+}
+
+impl Default for BoundedConfig {
+    fn default() -> BoundedConfig {
+        BoundedConfig {
+            depth: 1,
+            backup_online: true,
+            vector_cap: None,
+            beta: 1.0,
+            prefer_terminate_on_tie: true,
+            gamma_cutoff: 1e-6,
+            branch_and_bound: false,
+            startup_vertex_sweeps: 2,
+        }
+    }
+}
+
+/// Cumulative statistics of a [`BoundedController`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoundedStats {
+    /// Number of `decide()` calls served.
+    pub decisions: usize,
+    /// Incremental backups performed (online refinement).
+    pub backups: usize,
+    /// Total belief nodes expanded across all decisions.
+    pub nodes_expanded: usize,
+    /// Bound vectors evicted by the cap.
+    pub vectors_evicted: usize,
+}
+
+/// The recovery controller of paper §4: finite-depth Max-Avg tree
+/// expansion with a provable lower bound at the leaves, on a model
+/// transformed for systems without recovery notification.
+///
+/// Termination is *endogenous*: recovery stops exactly when the
+/// expansion prefers the terminate action `a_T`, whose value encodes the
+/// operator-response-time risk — no external termination-probability
+/// threshold is needed (contrast with [`crate::baselines`]).
+///
+/// # Examples
+///
+/// Construction requires a [`TerminatedModel`]; see
+/// `examples/quickstart.rs` for the full loop.
+#[derive(Debug, Clone)]
+pub struct BoundedController {
+    model: TerminatedModel,
+    bound: VectorSetBound,
+    upper: Option<VectorSetBound>,
+    config: BoundedConfig,
+    belief: Option<Belief>,
+    terminated: bool,
+    stats: BoundedStats,
+}
+
+impl BoundedController {
+    /// Creates a controller, computing the RA-Bound of the transformed
+    /// model as the initial (single-hyperplane) leaf bound.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates RA-Bound divergence (impossible for models built by
+    ///   [`crate::RecoveryModel::without_notification`]) and solver
+    ///   failures.
+    /// * [`Error::InvalidInput`] for a zero tree depth.
+    pub fn new(model: TerminatedModel, config: BoundedConfig) -> Result<BoundedController, Error> {
+        let bound = ra_bound(model.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
+        BoundedController::with_bound(model, bound, config)
+    }
+
+    /// Creates a controller around an existing (e.g. bootstrapped)
+    /// bound set.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] if the bound dimension mismatches the
+    /// model or the configured depth is zero.
+    pub fn with_bound(
+        model: TerminatedModel,
+        bound: VectorSetBound,
+        config: BoundedConfig,
+    ) -> Result<BoundedController, Error> {
+        if config.depth == 0 {
+            return Err(Error::InvalidInput {
+                detail: "tree depth must be at least 1".into(),
+            });
+        }
+        if bound.n_states() != model.pomdp().n_states() {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "bound covers {} states, model has {}",
+                    bound.n_states(),
+                    model.pomdp().n_states()
+                ),
+            });
+        }
+        let upper = if config.branch_and_bound {
+            Some(
+                bpr_pomdp::bounds::qmdp_bound(
+                    model.pomdp(),
+                    bpr_mdp::value_iteration::Discount::Undiscounted,
+                )
+                .map_err(Error::Pomdp)?,
+            )
+        } else {
+            None
+        };
+        let mut bound = bound;
+        // Seed the termination hyperplane b(s) = r(s, a_T): the value of
+        // the blind terminate policy, a provable lower bound that keeps
+        // the set tight near S_φ where the raw RA-Bound is loose.
+        let a_t = model.terminate_action();
+        let termination_plane: Vec<f64> = (0..model.pomdp().n_states())
+            .map(|s| model.pomdp().mdp().reward(s, a_t))
+            .collect();
+        bound
+            .add_vector(termination_plane)
+            .map_err(Error::Pomdp)?;
+        for _ in 0..config.startup_vertex_sweeps {
+            for s in 0..model.pomdp().n_states() {
+                let vertex = Belief::point(model.pomdp().n_states(), bpr_mdp::StateId::new(s));
+                incremental_backup(model.pomdp(), &mut bound, &vertex, config.beta)
+                    .map_err(Error::Pomdp)?;
+            }
+        }
+        Ok(BoundedController {
+            model,
+            bound,
+            upper,
+            config,
+            belief: None,
+            terminated: false,
+            stats: BoundedStats::default(),
+        })
+    }
+
+    /// The transformed model the controller runs on.
+    pub fn model(&self) -> &TerminatedModel {
+        &self.model
+    }
+
+    /// The current bound set.
+    pub fn bound(&self) -> &VectorSetBound {
+        &self.bound
+    }
+
+    /// Mutable access to the bound set (for external bootstrapping).
+    pub fn bound_mut(&mut self) -> &mut VectorSetBound {
+        &mut self.bound
+    }
+
+    /// Controller statistics accumulated so far.
+    pub fn stats(&self) -> BoundedStats {
+        self.stats
+    }
+
+    /// The belief over the *transformed* state space (including `s_T`).
+    pub fn transformed_belief(&self) -> Option<&Belief> {
+        self.belief.as_ref()
+    }
+}
+
+impl RecoveryController for BoundedController {
+    fn name(&self) -> &str {
+        "bounded"
+    }
+
+    fn begin(&mut self, initial: Belief, _true_fault: Option<StateId>) -> Result<(), Error> {
+        // Accept either a base-space belief (lift it) or a
+        // transformed-space belief.
+        let lifted = if initial.n_states() + 1 == self.model.pomdp().n_states() {
+            self.model.extend_belief(&initial)?
+        } else if initial.n_states() == self.model.pomdp().n_states() {
+            initial
+        } else {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "initial belief covers {} states, expected {} or {}",
+                    initial.n_states(),
+                    self.model.pomdp().n_states() - 1,
+                    self.model.pomdp().n_states()
+                ),
+            });
+        };
+        self.belief = Some(lifted);
+        self.terminated = false;
+        Ok(())
+    }
+
+    fn decide(&mut self) -> Result<Step, Error> {
+        if self.terminated {
+            return Err(Error::AlreadyTerminated);
+        }
+        let belief = self.belief.clone().ok_or(Error::NotStarted)?;
+        if self.config.backup_online {
+            incremental_backup(self.model.pomdp(), &mut self.bound, &belief, self.config.beta)
+                .map_err(Error::Pomdp)?;
+            self.stats.backups += 1;
+            if let Some(cap) = self.config.vector_cap {
+                self.stats.vectors_evicted += self.bound.evict_to(cap);
+            }
+        }
+        let decision = match &self.upper {
+            Some(upper) => tree::expand_branch_and_bound(
+                self.model.pomdp(),
+                &belief,
+                self.config.depth,
+                &self.bound,
+                upper,
+                self.config.beta,
+                self.config.gamma_cutoff,
+            ),
+            None => tree::expand_with_cutoff(
+                self.model.pomdp(),
+                &belief,
+                self.config.depth,
+                &self.bound,
+                self.config.beta,
+                self.config.gamma_cutoff,
+            ),
+        }
+        .map_err(Error::Pomdp)?;
+        self.stats.decisions += 1;
+        self.stats.nodes_expanded += decision.nodes_expanded;
+
+        let a_t = self.model.terminate_action();
+        let terminate = decision.action == a_t
+            || (self.config.prefer_terminate_on_tie
+                && decision.q_values[a_t.index()] >= decision.value - 1e-12);
+        if terminate {
+            self.terminated = true;
+            return Ok(Step::Terminate);
+        }
+        Ok(Step::Execute(decision.action))
+    }
+
+    fn observe(&mut self, action: ActionId, o: ObservationId) -> Result<(), Error> {
+        let belief = self.belief.as_ref().ok_or(Error::NotStarted)?;
+        if !self.model.is_base_action(action) {
+            return Err(Error::InvalidInput {
+                detail: "cannot observe after the terminate action".into(),
+            });
+        }
+        let (next, _gamma) = belief
+            .update(self.model.pomdp(), action, o)
+            .map_err(Error::Pomdp)?;
+        self.belief = Some(next);
+        Ok(())
+    }
+
+    fn belief(&self) -> Option<Belief> {
+        self.belief.as_ref().map(|b| {
+            let base: Vec<f64> = b.probs()[..b.n_states() - 1].to_vec();
+            // Mass on s_T is zero until termination, so renormalising is
+            // a no-op in practice; it guards the corner case anyway.
+            let sum: f64 = base.iter().sum();
+            let probs = if sum > 0.0 {
+                base.iter().map(|p| p / sum).collect()
+            } else {
+                base
+            };
+            Belief::from_probs(probs).expect("projected belief is a distribution")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::two_server_model;
+
+    fn controller(top: f64, depth: usize) -> BoundedController {
+        let model = two_server_model().without_notification(top).unwrap();
+        BoundedController::new(
+            model,
+            BoundedConfig {
+                depth,
+                ..BoundedConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn decide_before_begin_is_an_error() {
+        let mut c = controller(10.0, 1);
+        assert!(matches!(c.decide(), Err(Error::NotStarted)));
+        assert!(matches!(
+            c.observe(ActionId::new(0), ObservationId::new(0)),
+            Err(Error::NotStarted)
+        ));
+        assert!(c.belief().is_none());
+    }
+
+    #[test]
+    fn zero_depth_is_rejected() {
+        let model = two_server_model().without_notification(10.0).unwrap();
+        assert!(BoundedController::new(
+            model,
+            BoundedConfig {
+                depth: 0,
+                ..BoundedConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn certain_fault_triggers_matching_restart() {
+        let mut c = controller(10.0, 1);
+        c.begin(Belief::point(3, StateId::new(0)), None).unwrap();
+        match c.decide().unwrap() {
+            Step::Execute(a) => assert_eq!(a.index(), 0),
+            Step::Terminate => panic!("terminated with a certain fault"),
+        }
+    }
+
+    #[test]
+    fn belief_in_null_terminates() {
+        let mut c = controller(10.0, 1);
+        c.begin(Belief::point(3, StateId::new(2)), None).unwrap();
+        assert_eq!(c.decide().unwrap(), Step::Terminate);
+        assert!(matches!(c.decide(), Err(Error::AlreadyTerminated)));
+    }
+
+    #[test]
+    fn full_episode_recovers_and_terminates() {
+        let mut c = controller(10.0, 2);
+        // Start unsure between the two faults.
+        c.begin(
+            Belief::uniform_over(3, &[StateId::new(0), StateId::new(1)]),
+            None,
+        )
+        .unwrap();
+        // Simulate the world: true fault is Fault(b) (state 1); the
+        // matching restart fixes it.
+        let mut world = 1usize;
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 50, "controller failed to terminate");
+            match c.decide().unwrap() {
+                Step::Terminate => break,
+                Step::Execute(a) => {
+                    // Deterministic dynamics of the two-server model.
+                    if a.index() == 1 && world == 1 {
+                        world = 2;
+                    }
+                    if a.index() == 0 && world == 0 {
+                        world = 2;
+                    }
+                    // Deterministic-ish observation: the most likely one.
+                    let o = match world {
+                        0 => 0,
+                        1 => 1,
+                        _ => 2,
+                    };
+                    c.observe(a, ObservationId::new(o)).unwrap();
+                }
+            }
+        }
+        // The world must actually be recovered when we terminate.
+        assert_eq!(world, 2, "terminated before recovery completed");
+        let stats = c.stats();
+        assert!(stats.decisions >= 2);
+        assert!(stats.nodes_expanded > 0);
+        assert!(stats.backups >= 1);
+    }
+
+    #[test]
+    fn projected_belief_hides_terminate_state() {
+        let mut c = controller(10.0, 1);
+        c.begin(Belief::uniform(3), None).unwrap();
+        let b = c.belief().unwrap();
+        assert_eq!(b.n_states(), 3);
+        assert!((b.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let tb = c.transformed_belief().unwrap();
+        assert_eq!(tb.n_states(), 4);
+        assert_eq!(tb.prob(StateId::new(3)), 0.0);
+    }
+
+    #[test]
+    fn wrong_dimension_belief_is_rejected() {
+        let mut c = controller(10.0, 1);
+        assert!(c.begin(Belief::uniform(7), None).is_err());
+    }
+
+    #[test]
+    fn vector_cap_limits_bound_growth() {
+        let model = two_server_model().without_notification(10.0).unwrap();
+        let mut c = BoundedController::new(
+            model,
+            BoundedConfig {
+                depth: 1,
+                vector_cap: Some(3),
+                ..BoundedConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..20 {
+            let w = (i as f64) / 20.0;
+            let b = Belief::from_probs(vec![w * 0.9, (1.0 - w) * 0.9, 0.1]).unwrap();
+            c.begin(b, None).unwrap();
+            let _ = c.decide().unwrap();
+        }
+        assert!(c.bound().len() <= 3);
+    }
+
+    #[test]
+    fn startup_seeds_the_termination_hyperplane() {
+        use bpr_pomdp::bounds::ValueBound;
+        let model = two_server_model().without_notification(100.0).unwrap();
+        let c = BoundedController::new(model.clone(), BoundedConfig::default()).unwrap();
+        // At the null vertex the seeded/refined bound must be far above
+        // the raw RA value (which prices in random restarts forever) —
+        // terminating there is free.
+        let null_vertex = Belief::point(4, StateId::new(2));
+        assert!(
+            c.bound().value(&null_vertex) > -1e-9,
+            "bound at Null should be ~0, got {}",
+            c.bound().value(&null_vertex)
+        );
+        // And at fault vertices the termination plane keeps it >= the
+        // blind-terminate value r(s, a_T) = -100.
+        for s in [0usize, 1] {
+            let v = c.bound().value(&Belief::point(4, StateId::new(s)));
+            assert!(v >= -100.0 - 1e-9, "state {s}: {v}");
+        }
+        // Disabling the sweeps still seeds the plane.
+        let c2 = BoundedController::new(
+            model,
+            BoundedConfig {
+                startup_vertex_sweeps: 0,
+                ..BoundedConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(c2.bound().len() >= 2);
+    }
+
+    #[test]
+    fn unbootstrapped_controller_still_recovers_before_quitting() {
+        let model = two_server_model().without_notification(100.0).unwrap();
+        let mut c = BoundedController::new(model, BoundedConfig::default()).unwrap();
+        // Belief leaning toward "probably fine" but the fault is real.
+        c.begin(
+            Belief::from_probs(vec![0.25, 0.15, 0.6]).unwrap(),
+            None,
+        )
+        .unwrap();
+        let mut world = 0usize; // Fault(a)
+        for _ in 0..50 {
+            match c.decide().unwrap() {
+                Step::Terminate => break,
+                Step::Execute(a) => {
+                    if a.index() == 0 && world == 0 {
+                        world = 2;
+                    }
+                    if a.index() == 1 && world == 1 {
+                        world = 2;
+                    }
+                    let o = match world {
+                        0 => 0,
+                        1 => 1,
+                        _ => 2,
+                    };
+                    c.observe(a, ObservationId::new(o)).unwrap();
+                }
+            }
+        }
+        assert_eq!(world, 2, "quit before recovering the fault");
+    }
+
+    #[test]
+    fn branch_and_bound_agrees_with_plain_expansion() {
+        let model = two_server_model().without_notification(10.0).unwrap();
+        let mut plain = BoundedController::new(
+            model.clone(),
+            BoundedConfig {
+                depth: 2,
+                backup_online: false,
+                ..BoundedConfig::default()
+            },
+        )
+        .unwrap();
+        let mut bb = BoundedController::new(
+            model,
+            BoundedConfig {
+                depth: 2,
+                backup_online: false,
+                branch_and_bound: true,
+                ..BoundedConfig::default()
+            },
+        )
+        .unwrap();
+        for probs in [
+            vec![0.8, 0.1, 0.1],
+            vec![0.1, 0.8, 0.1],
+            vec![0.34, 0.33, 0.33],
+        ] {
+            let b = Belief::from_probs(probs).unwrap();
+            plain.begin(b.clone(), None).unwrap();
+            bb.begin(b, None).unwrap();
+            assert_eq!(plain.decide().unwrap(), bb.decide().unwrap());
+        }
+    }
+
+    #[test]
+    fn low_operator_response_time_terminates_eagerly() {
+        // With a tiny t_op, giving up is almost free, so from a very
+        // uncertain belief the controller should terminate immediately.
+        let mut c = controller(0.25, 1);
+        c.begin(Belief::uniform(3), None).unwrap();
+        assert_eq!(c.decide().unwrap(), Step::Terminate);
+    }
+
+    #[test]
+    fn high_operator_response_time_keeps_recovering() {
+        let mut c = controller(1000.0, 1);
+        c.begin(Belief::uniform(3), None).unwrap();
+        assert!(matches!(c.decide().unwrap(), Step::Execute(_)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Validation of the paper's structural conditions on recovery models.
+//!
+//! * **Condition 1** (§3.1): there is a non-empty set of null-fault
+//!   states `S_φ`, and from every state at least one action sequence
+//!   reaches `S_φ`.
+//! * **Condition 2** (§3.2): all single-step rewards are non-positive
+//!   (the model is a negative MDP; values are bounded above by 0).
+//! * **No free actions** (Property 1(a), §4.2): every action outside
+//!   the exempt states accrues strictly negative reward, which is what
+//!   makes the bounded controller's termination argument go through.
+
+use crate::Error;
+use bpr_mdp::StateId;
+use bpr_pomdp::Pomdp;
+
+/// Checks Condition 1: `null_states` is non-empty, in bounds, and
+/// reachable (under *some* action sequence) from every state.
+///
+/// Reachability is evaluated on the union graph of all actions — an
+/// edge `s → s'` exists if any action moves `s` to `s'` with positive
+/// probability — which is exactly "there is at least one way to
+/// recover".
+///
+/// # Errors
+///
+/// Returns [`Error::Condition1Violated`] with the offending state in
+/// the detail message.
+pub fn check_condition1(pomdp: &Pomdp, null_states: &[StateId]) -> Result<(), Error> {
+    if null_states.is_empty() {
+        return Err(Error::Condition1Violated {
+            detail: "the set of null-fault states is empty".into(),
+        });
+    }
+    for s in null_states {
+        if s.index() >= pomdp.n_states() {
+            return Err(Error::Condition1Violated {
+                detail: format!("null state {s} is out of bounds"),
+            });
+        }
+    }
+    // Union chain: average over actions preserves positive-probability
+    // edges, so the uniform random chain has the union reachability.
+    let chain = pomdp.mdp().uniform_random_chain();
+    let targets: Vec<usize> = null_states.iter().map(|s| s.index()).collect();
+    let ok = chain.can_reach(&targets);
+    for (s, reachable) in ok.iter().enumerate() {
+        if !reachable {
+            return Err(Error::Condition1Violated {
+                detail: format!(
+                    "state {} ({}) cannot reach any null-fault state",
+                    s,
+                    pomdp.mdp().state_label(s)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks Condition 2: all single-step rewards are `<= 0`.
+///
+/// # Errors
+///
+/// Returns [`Error::Condition2Violated`] identifying the first positive
+/// reward found.
+pub fn check_condition2(pomdp: &Pomdp) -> Result<(), Error> {
+    for a in 0..pomdp.n_actions() {
+        for s in 0..pomdp.n_states() {
+            let r = pomdp.mdp().reward(s, a);
+            if r > 0.0 {
+                return Err(Error::Condition2Violated {
+                    state: s,
+                    action: a,
+                    reward: r,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Property 1(a): `|r(s, a)| > 0` for every action in every
+/// state outside `exempt` (the null-fault states for systems with
+/// recovery notification, the terminate state for systems without).
+///
+/// This is the strict precondition of the controller's termination
+/// guarantee. Models like the paper's EMN system technically have free
+/// observe actions in `S_φ`, so callers typically pass
+/// `exempt = S_φ ∪ {s_T}`.
+///
+/// # Errors
+///
+/// Returns [`Error::FreeAction`] identifying the first free action.
+pub fn check_no_free_actions(pomdp: &Pomdp, exempt: &[StateId]) -> Result<(), Error> {
+    let exempt_mask: Vec<bool> = {
+        let mut m = vec![false; pomdp.n_states()];
+        for s in exempt {
+            if s.index() < pomdp.n_states() {
+                m[s.index()] = true;
+            }
+        }
+        m
+    };
+    for s in 0..pomdp.n_states() {
+        if exempt_mask[s] {
+            continue;
+        }
+        for a in 0..pomdp.n_actions() {
+            if pomdp.mdp().reward(s, a) == 0.0 {
+                return Err(Error::FreeAction { state: s, action: a });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Property 1(b) at a set of probe beliefs: the bound must be
+/// *uniformly improvable*, `V_B(π) ≤ (L_p V_B)(π)`, which together with
+/// the no-free-actions condition yields the controller's termination
+/// guarantee (§4.2).
+///
+/// A depth-1 Max-Avg expansion with `bound` at the leaves computes
+/// exactly `(L_p V_B)(π)`. This is a sampled diagnostic, not a proof —
+/// the RA-Bound satisfies the property everywhere by construction, and
+/// incremental backups preserve it; use this to validate hand-built
+/// bound sets.
+///
+/// Returns the first belief (by index) violating the property, if any.
+///
+/// # Errors
+///
+/// Propagates tree-expansion failures (e.g. an empty bound set).
+pub fn check_uniform_improvability(
+    pomdp: &Pomdp,
+    bound: &bpr_pomdp::bounds::VectorSetBound,
+    probes: &[bpr_pomdp::Belief],
+    tolerance: f64,
+) -> Result<Option<usize>, Error> {
+    use bpr_pomdp::bounds::ValueBound;
+    for (i, belief) in probes.iter().enumerate() {
+        let v = bound.value(belief);
+        let lp = bpr_pomdp::tree::expand(pomdp, belief, 1, bound, 1.0)
+            .map_err(Error::Pomdp)?
+            .value;
+        if v > lp + tolerance {
+            return Ok(Some(i));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_mdp::MdpBuilder;
+    use bpr_pomdp::PomdpBuilder;
+
+    fn pomdp_from(mb: &MdpBuilder) -> Pomdp {
+        let mdp = mb.build().unwrap();
+        let n = mdp.n_states();
+        let mut pb = PomdpBuilder::new(mdp, 1);
+        for s in 0..n {
+            pb.observation_all_actions(s, 0, 1.0);
+        }
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn condition1_accepts_recoverable_model() {
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 1, 1.0).reward(0, 0, -1.0);
+        mb.transition(1, 0, 1, 1.0);
+        let p = pomdp_from(&mb);
+        assert!(check_condition1(&p, &[StateId::new(1)]).is_ok());
+    }
+
+    #[test]
+    fn condition1_rejects_empty_null_set() {
+        let mut mb = MdpBuilder::new(1, 1);
+        mb.transition(0, 0, 0, 1.0);
+        let p = pomdp_from(&mb);
+        assert!(matches!(
+            check_condition1(&p, &[]),
+            Err(Error::Condition1Violated { .. })
+        ));
+    }
+
+    #[test]
+    fn condition1_rejects_unreachable_recovery() {
+        // State 0 loops forever; state 1 is the null state.
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, -1.0);
+        mb.transition(1, 0, 1, 1.0);
+        let p = pomdp_from(&mb);
+        let err = check_condition1(&p, &[StateId::new(1)]).unwrap_err();
+        match err {
+            Error::Condition1Violated { detail } => assert!(detail.contains("state 0")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition1_rejects_out_of_bounds_null_state() {
+        let mut mb = MdpBuilder::new(1, 1);
+        mb.transition(0, 0, 0, 1.0);
+        let p = pomdp_from(&mb);
+        assert!(check_condition1(&p, &[StateId::new(5)]).is_err());
+    }
+
+    #[test]
+    fn condition1_uses_union_graph_across_actions() {
+        // Recovery needs two different actions in sequence: 0 -a1-> 1 -a0-> 2.
+        let mut mb = MdpBuilder::new(3, 2);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, -1.0);
+        mb.transition(0, 1, 1, 1.0).reward(0, 1, -1.0);
+        mb.transition(1, 0, 2, 1.0).reward(1, 0, -1.0);
+        mb.transition(1, 1, 1, 1.0).reward(1, 1, -1.0);
+        mb.transition(2, 0, 2, 1.0);
+        mb.transition(2, 1, 2, 1.0);
+        let p = pomdp_from(&mb);
+        assert!(check_condition1(&p, &[StateId::new(2)]).is_ok());
+    }
+
+    #[test]
+    fn condition2_detects_positive_reward() {
+        let mut mb = MdpBuilder::new(1, 1);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, 0.25);
+        let p = pomdp_from(&mb);
+        assert!(matches!(
+            check_condition2(&p),
+            Err(Error::Condition2Violated {
+                state: 0,
+                action: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn condition2_accepts_costs() {
+        let mut mb = MdpBuilder::new(1, 2);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, -0.1);
+        mb.transition(0, 1, 0, 1.0).reward(0, 1, 0.0);
+        let p = pomdp_from(&mb);
+        assert!(check_condition2(&p).is_ok());
+    }
+
+    #[test]
+    fn uniform_improvability_accepts_ra_and_rejects_inflated_bounds() {
+        use bpr_pomdp::bounds::{ra_bound, VectorSetBound};
+        use bpr_pomdp::Belief;
+        let model = crate::model::tests::two_server_model()
+            .without_notification(10.0)
+            .unwrap();
+        let probes: Vec<Belief> = (0..4)
+            .map(|s| Belief::point(4, StateId::new(s)))
+            .chain([Belief::uniform(4)])
+            .collect();
+        let ra = ra_bound(model.pomdp(), &Default::default()).unwrap();
+        assert_eq!(
+            check_uniform_improvability(model.pomdp(), &ra, &probes, 1e-9).unwrap(),
+            None
+        );
+        // An inflated "bound" (all zeros) claims the faulty states are
+        // free, which one Bellman application refutes.
+        let zero = VectorSetBound::from_vector(vec![0.0; 4]).unwrap();
+        let violation =
+            check_uniform_improvability(model.pomdp(), &zero, &probes, 1e-9).unwrap();
+        assert!(violation.is_some());
+    }
+
+    #[test]
+    fn free_action_check_respects_exempt_states() {
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 1, 1.0).reward(0, 0, -1.0);
+        mb.transition(1, 0, 1, 1.0).reward(1, 0, 0.0);
+        let p = pomdp_from(&mb);
+        assert!(matches!(
+            check_no_free_actions(&p, &[]),
+            Err(Error::FreeAction { state: 1, .. })
+        ));
+        assert!(check_no_free_actions(&p, &[StateId::new(1)]).is_ok());
+    }
+}

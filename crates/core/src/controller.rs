@@ -1,0 +1,81 @@
+//! The common interface all recovery controllers implement.
+
+use crate::Error;
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::{Belief, ObservationId};
+
+/// What a controller wants to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Execute a recovery/monitoring action of the *base* model.
+    Execute(ActionId),
+    /// Stop the recovery process (the terminate action `a_T` was chosen,
+    /// recovery notification arrived, or a baseline's termination
+    /// probability threshold was met).
+    Terminate,
+}
+
+/// An online recovery controller, driven by a simulation harness or a
+/// live system in the loop:
+///
+/// ```text
+/// begin(π₀) → [ decide() → Execute(a) → observe(a, o) ]* → decide() → Terminate
+/// ```
+///
+/// Controllers speak the *base* model's action and observation
+/// vocabularies; internal model transforms (like the terminate action)
+/// never leak through this interface.
+pub trait RecoveryController {
+    /// Human-readable controller name (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// Starts a recovery episode from an initial belief.
+    ///
+    /// `true_fault` carries ground truth for oracle-style controllers;
+    /// honest controllers must ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject beliefs of the wrong dimension.
+    fn begin(&mut self, initial: Belief, true_fault: Option<StateId>) -> Result<(), Error>;
+
+    /// Chooses the next step given the current belief.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotStarted`] if called before [`RecoveryController::begin`].
+    /// * [`Error::AlreadyTerminated`] if called after a
+    ///   [`Step::Terminate`] was returned.
+    fn decide(&mut self) -> Result<Step, Error>;
+
+    /// Incorporates the observation produced by executing `action`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotStarted`] if called before [`RecoveryController::begin`].
+    /// * Propagates belief-update failures for impossible observations.
+    fn observe(&mut self, action: ActionId, o: ObservationId) -> Result<(), Error>;
+
+    /// The controller's current belief over the *base* state space, if
+    /// it maintains one (the oracle does not).
+    fn belief(&self) -> Option<Belief>;
+
+    /// Whether the controller consumes monitor output. Harnesses skip
+    /// monitor invocation (and its metric) when this is `false`.
+    fn uses_monitors(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_is_copy_and_comparable() {
+        let a = Step::Execute(ActionId::new(1));
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, Step::Terminate);
+    }
+}

@@ -1,0 +1,137 @@
+use std::fmt;
+
+/// Errors produced by the recovery framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The model violates the paper's Condition 1: either there are no
+    /// null-fault states, or some state cannot reach one.
+    Condition1Violated {
+        /// Explanation, including the offending state when applicable.
+        detail: String,
+    },
+    /// The model violates Condition 2: a single-step reward is positive.
+    Condition2Violated {
+        /// State with the positive reward.
+        state: usize,
+        /// Action with the positive reward.
+        action: usize,
+        /// The offending reward.
+        reward: f64,
+    },
+    /// The model has a "free" (zero-cost) action outside the exempt
+    /// states, violating condition (a) of the termination property
+    /// (Property 1). Reported by the optional strict check only.
+    FreeAction {
+        /// State with the free action.
+        state: usize,
+        /// The free action.
+        action: usize,
+    },
+    /// A controller method was called out of order (e.g. `decide`
+    /// before `begin`).
+    NotStarted,
+    /// A controller was driven past its termination decision.
+    AlreadyTerminated,
+    /// A rates vector or similar input had the wrong shape.
+    InvalidInput {
+        /// Explanation of the malformed input.
+        detail: String,
+    },
+    /// An error surfaced from the POMDP machinery.
+    Pomdp(bpr_pomdp::Error),
+    /// An error surfaced from the MDP machinery.
+    Mdp(bpr_mdp::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Condition1Violated { detail } => {
+                write!(f, "condition 1 violated: {detail}")
+            }
+            Error::Condition2Violated {
+                state,
+                action,
+                reward,
+            } => write!(
+                f,
+                "condition 2 violated: reward {reward} > 0 for state {state}, action {action}"
+            ),
+            Error::FreeAction { state, action } => write!(
+                f,
+                "free action {action} in non-exempt state {state} (termination property at risk)"
+            ),
+            Error::NotStarted => write!(f, "controller used before begin() was called"),
+            Error::AlreadyTerminated => write!(f, "controller driven past termination"),
+            Error::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            Error::Pomdp(e) => write!(f, "pomdp failure: {e}"),
+            Error::Mdp(e) => write!(f, "mdp failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pomdp(e) => Some(e),
+            Error::Mdp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bpr_pomdp::Error> for Error {
+    fn from(e: bpr_pomdp::Error) -> Error {
+        Error::Pomdp(e)
+    }
+}
+
+impl From<bpr_mdp::Error> for Error {
+    fn from(e: bpr_mdp::Error) -> Error {
+        Error::Mdp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let errs = [
+            Error::Condition1Violated {
+                detail: "state 3 cannot recover".into(),
+            },
+            Error::Condition2Violated {
+                state: 0,
+                action: 1,
+                reward: 0.5,
+            },
+            Error::FreeAction {
+                state: 2,
+                action: 0,
+            },
+            Error::NotStarted,
+            Error::AlreadyTerminated,
+            Error::InvalidInput {
+                detail: "rates length".into(),
+            },
+            Error::Pomdp(bpr_pomdp::Error::InvalidBelief {
+                reason: "x",
+            }),
+            Error::Mdp(bpr_mdp::Error::EmptyModel),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error as _;
+        let e: Error = bpr_pomdp::Error::InvalidBelief { reason: "x" }.into();
+        assert!(e.source().is_some());
+        let e: Error = bpr_mdp::Error::EmptyModel.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,198 @@
+//! The recovery actions of the EMN model and their durations (§5).
+
+use crate::faults::EmnState;
+use crate::topology::{Component, Host};
+use bpr_mdp::ActionId;
+use std::fmt;
+
+/// A recovery or monitoring action available to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmnAction {
+    /// Restart a single software component.
+    Restart(Component),
+    /// Reboot a host (fixing every component on it).
+    Reboot(Host),
+    /// Passively run the monitors.
+    Observe,
+}
+
+/// Number of actions in the EMN model.
+pub const N_ACTIONS: usize = 9;
+
+impl EmnAction {
+    /// All actions in canonical index order: 5 restarts, 3 reboots,
+    /// observe.
+    pub fn all() -> Vec<EmnAction> {
+        let mut v = Vec::with_capacity(N_ACTIONS);
+        v.extend(Component::ALL.into_iter().map(EmnAction::Restart));
+        v.extend(Host::ALL.into_iter().map(EmnAction::Reboot));
+        v.push(EmnAction::Observe);
+        v
+    }
+
+    /// The canonical action index (the [`ActionId`] in the POMDP).
+    pub fn index(self) -> usize {
+        match self {
+            EmnAction::Restart(c) => c.index(),
+            EmnAction::Reboot(h) => 5 + h.index(),
+            EmnAction::Observe => 8,
+        }
+    }
+
+    /// The action id in the generated POMDP.
+    pub fn action_id(self) -> ActionId {
+        ActionId::new(self.index())
+    }
+
+    /// Decodes a canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= N_ACTIONS`.
+    pub fn from_index(index: usize) -> EmnAction {
+        match index {
+            0..=4 => EmnAction::Restart(Component::from_index(index)),
+            5..=7 => EmnAction::Reboot(Host::from_index(index - 5)),
+            8 => EmnAction::Observe,
+            _ => panic!("EMN action index {index} out of bounds (< {N_ACTIONS})"),
+        }
+    }
+
+    /// The components made unavailable *by executing* this action
+    /// (restarting or rebooting takes them offline for the duration).
+    pub fn components_taken_down(self) -> Vec<Component> {
+        match self {
+            EmnAction::Restart(c) => vec![c],
+            EmnAction::Reboot(h) => h.components(),
+            EmnAction::Observe => Vec::new(),
+        }
+    }
+
+    /// The deterministic successor state: recovery actions fix exactly
+    /// the faults they cover (paper §5: "recovery actions are assumed
+    /// to be deterministic").
+    pub fn apply(self, state: EmnState) -> EmnState {
+        match (self, state) {
+            (EmnAction::Restart(c), EmnState::Crash(x)) if x == c => EmnState::Null,
+            (EmnAction::Restart(c), EmnState::Zombie(x)) if x == c => EmnState::Null,
+            (EmnAction::Reboot(h), EmnState::HostCrash(x)) if x == h => EmnState::Null,
+            (EmnAction::Reboot(h), EmnState::Crash(c)) if c.host() == h => EmnState::Null,
+            (EmnAction::Reboot(h), EmnState::Zombie(c)) if c.host() == h => EmnState::Null,
+            _ => state,
+        }
+    }
+}
+
+impl fmt::Display for EmnAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmnAction::Restart(c) => write!(f, "Restart({c})"),
+            EmnAction::Reboot(h) => write!(f, "Reboot({h})"),
+            EmnAction::Observe => write!(f, "Observe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_actions_roundtrip() {
+        let all = EmnAction::all();
+        assert_eq!(all.len(), N_ACTIONS);
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(EmnAction::from_index(i), *a);
+            assert_eq!(a.action_id().index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn decoding_past_the_end_panics() {
+        EmnAction::from_index(9);
+    }
+
+    #[test]
+    fn restart_fixes_matching_crash_and_zombie() {
+        let a = EmnAction::Restart(Component::Server1);
+        assert_eq!(a.apply(EmnState::Crash(Component::Server1)), EmnState::Null);
+        assert_eq!(
+            a.apply(EmnState::Zombie(Component::Server1)),
+            EmnState::Null
+        );
+        // Wrong component: no effect.
+        assert_eq!(
+            a.apply(EmnState::Crash(Component::Server2)),
+            EmnState::Crash(Component::Server2)
+        );
+        // Restart cannot fix a host crash.
+        assert_eq!(
+            EmnAction::Restart(Component::Server2).apply(EmnState::HostCrash(Host::C)),
+            EmnState::HostCrash(Host::C)
+        );
+    }
+
+    #[test]
+    fn reboot_fixes_host_and_hosted_component_faults() {
+        let a = EmnAction::Reboot(Host::C);
+        assert_eq!(a.apply(EmnState::HostCrash(Host::C)), EmnState::Null);
+        assert_eq!(a.apply(EmnState::Crash(Component::Database)), EmnState::Null);
+        assert_eq!(
+            a.apply(EmnState::Zombie(Component::Server2)),
+            EmnState::Null
+        );
+        assert_eq!(
+            a.apply(EmnState::Zombie(Component::Server1)),
+            EmnState::Zombie(Component::Server1)
+        );
+    }
+
+    #[test]
+    fn observe_changes_nothing() {
+        for s in EmnState::all() {
+            assert_eq!(EmnAction::Observe.apply(s), s);
+        }
+        assert!(EmnAction::Observe.components_taken_down().is_empty());
+    }
+
+    #[test]
+    fn null_is_a_fixed_point_of_every_action() {
+        for a in EmnAction::all() {
+            assert_eq!(a.apply(EmnState::Null), EmnState::Null);
+        }
+    }
+
+    #[test]
+    fn actions_take_components_down_while_running() {
+        assert_eq!(
+            EmnAction::Restart(Component::Database).components_taken_down(),
+            vec![Component::Database]
+        );
+        assert_eq!(
+            EmnAction::Reboot(Host::A).components_taken_down(),
+            vec![Component::HttpGateway, Component::VoiceGateway]
+        );
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(
+            EmnAction::Restart(Component::HttpGateway).to_string(),
+            "Restart(HG)"
+        );
+        assert_eq!(EmnAction::Reboot(Host::B).to_string(), "Reboot(hostB)");
+        assert_eq!(EmnAction::Observe.to_string(), "Observe");
+    }
+
+    #[test]
+    fn every_fault_has_a_fixing_action() {
+        for s in EmnState::faults() {
+            assert!(
+                EmnAction::all().iter().any(|a| a.apply(s) == EmnState::Null),
+                "no action fixes {s}"
+            );
+        }
+    }
+}

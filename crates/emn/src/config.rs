@@ -1,0 +1,174 @@
+//! Parameters of the EMN model, defaulting to the paper's setup (§5).
+
+/// How path-monitor probes are routed across the two EMN servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathRouting {
+    /// Each probe draws a server 50/50, like real traffic. Zombie
+    /// servers are caught only half the time, and the two server-zombie
+    /// states are *observation clones* — only recovery actions separate
+    /// them.
+    #[default]
+    RandomPerProbe,
+    /// Fixed disjoint probe routes: the HTTP path monitor always
+    /// traverses S1 and the voice path monitor always traverses S2 —
+    /// the strongest reading of the paper's "path diversity", giving
+    /// direct localisation of server zombies.
+    FixedDisjoint,
+}
+
+/// Configuration of the generated EMN recovery model.
+///
+/// The defaults reproduce the paper's experimental setup: action
+/// durations of 5 min (host reboot), 4 min (database restart), 2 min
+/// (voice gateway restart), 1 min (HTTP gateway / EMN server restart),
+/// 5 s monitor sweeps; an 80/20 HTTP/voice traffic mix; and a 6-hour
+/// mean operator response time.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_emn::EmnConfig;
+///
+/// let config = EmnConfig {
+///     operator_response_time: 2.0 * 3600.0, // a well-staffed ops team
+///     ..EmnConfig::default()
+/// };
+/// assert_eq!(config.host_reboot_duration, 300.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmnConfig {
+    /// Wall-clock seconds to reboot a host.
+    pub host_reboot_duration: f64,
+    /// Wall-clock seconds to restart the database.
+    pub db_restart_duration: f64,
+    /// Wall-clock seconds to restart the voice gateway.
+    pub vg_restart_duration: f64,
+    /// Wall-clock seconds to restart the HTTP gateway.
+    pub hg_restart_duration: f64,
+    /// Wall-clock seconds to restart an EMN server.
+    pub server_restart_duration: f64,
+    /// Wall-clock seconds for one monitor sweep (the Observe action).
+    pub monitor_duration: f64,
+    /// Fraction of traffic that is HTTP (the rest is voice).
+    pub http_share: f64,
+    /// Probability a component monitor reports a component that stopped
+    /// answering pings.
+    pub component_coverage: f64,
+    /// Probability a component monitor falsely reports a healthy
+    /// (or zombie) component.
+    pub component_false_positive: f64,
+    /// Probability a path monitor reports a request that traversed a
+    /// broken path.
+    pub path_coverage: f64,
+    /// Probability a path monitor falsely reports a healthy path.
+    pub path_false_positive: f64,
+    /// The designer-supplied operator response time `t_op` (seconds)
+    /// used to derive termination rewards.
+    pub operator_response_time: f64,
+    /// How path-monitor probes are routed (see [`PathRouting`]).
+    pub path_routing: PathRouting,
+}
+
+impl Default for EmnConfig {
+    fn default() -> EmnConfig {
+        EmnConfig {
+            host_reboot_duration: 300.0,
+            db_restart_duration: 240.0,
+            vg_restart_duration: 120.0,
+            hg_restart_duration: 60.0,
+            server_restart_duration: 60.0,
+            monitor_duration: 5.0,
+            http_share: 0.8,
+            component_coverage: 0.995,
+            component_false_positive: 0.001,
+            path_coverage: 0.98,
+            path_false_positive: 0.002,
+            operator_response_time: 6.0 * 3600.0,
+            path_routing: PathRouting::default(),
+        }
+    }
+}
+
+impl EmnConfig {
+    /// Validates probability and duration ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let durations = [
+            ("host_reboot_duration", self.host_reboot_duration),
+            ("db_restart_duration", self.db_restart_duration),
+            ("vg_restart_duration", self.vg_restart_duration),
+            ("hg_restart_duration", self.hg_restart_duration),
+            ("server_restart_duration", self.server_restart_duration),
+            ("monitor_duration", self.monitor_duration),
+            ("operator_response_time", self.operator_response_time),
+        ];
+        for (name, d) in durations {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {d}"));
+            }
+        }
+        let probs = [
+            ("http_share", self.http_share),
+            ("component_coverage", self.component_coverage),
+            ("component_false_positive", self.component_false_positive),
+            ("path_coverage", self.path_coverage),
+            ("path_false_positive", self.path_false_positive),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        if self.component_false_positive >= self.component_coverage {
+            return Err("component monitor false-positive rate must be below coverage".into());
+        }
+        if self.path_false_positive >= self.path_coverage {
+            return Err("path monitor false-positive rate must be below coverage".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = EmnConfig::default();
+        assert_eq!(c.host_reboot_duration, 300.0);
+        assert_eq!(c.db_restart_duration, 240.0);
+        assert_eq!(c.vg_restart_duration, 120.0);
+        assert_eq!(c.hg_restart_duration, 60.0);
+        assert_eq!(c.server_restart_duration, 60.0);
+        assert_eq!(c.monitor_duration, 5.0);
+        assert_eq!(c.http_share, 0.8);
+        assert_eq!(c.operator_response_time, 21_600.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_durations_are_rejected() {
+        let mut c = EmnConfig::default();
+        c.monitor_duration = 0.0;
+        assert!(c.validate().is_err());
+        c.monitor_duration = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_probabilities_are_rejected() {
+        let mut c = EmnConfig::default();
+        c.http_share = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = EmnConfig::default();
+        c.path_false_positive = 0.99;
+        assert!(c.validate().is_err(), "fp above coverage must fail");
+        let mut c = EmnConfig::default();
+        c.component_false_positive = c.component_coverage;
+        assert!(c.validate().is_err());
+    }
+}

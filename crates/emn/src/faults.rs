@@ -1,0 +1,183 @@
+//! The 14-state fault space of the EMN model (paper §5).
+
+use crate::topology::{Component, Host};
+use bpr_mdp::StateId;
+use std::fmt;
+
+/// A system state of the EMN model: the null-fault state or one of 13
+/// faults (5 component crashes, 3 host crashes, 5 component zombies).
+///
+/// A *zombie* component still answers pings but silently fails its real
+/// work — the fault class that only the path monitors can (partially)
+/// see, and the one the paper's experiments inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmnState {
+    /// No activated fault.
+    Null,
+    /// A single component has crashed.
+    Crash(Component),
+    /// An entire host (and every component on it) has crashed.
+    HostCrash(Host),
+    /// A component has turned into a zombie.
+    Zombie(Component),
+}
+
+/// Number of states in the EMN model.
+pub const N_STATES: usize = 14;
+
+impl EmnState {
+    /// All states in canonical index order: Null, 5 crashes, 3 host
+    /// crashes, 5 zombies.
+    pub fn all() -> Vec<EmnState> {
+        let mut v = Vec::with_capacity(N_STATES);
+        v.push(EmnState::Null);
+        v.extend(Component::ALL.into_iter().map(EmnState::Crash));
+        v.extend(Host::ALL.into_iter().map(EmnState::HostCrash));
+        v.extend(Component::ALL.into_iter().map(EmnState::Zombie));
+        v
+    }
+
+    /// The canonical state index (the [`StateId`] in the POMDP).
+    pub fn index(self) -> usize {
+        match self {
+            EmnState::Null => 0,
+            EmnState::Crash(c) => 1 + c.index(),
+            EmnState::HostCrash(h) => 6 + h.index(),
+            EmnState::Zombie(c) => 9 + c.index(),
+        }
+    }
+
+    /// The state id in the generated POMDP.
+    pub fn state_id(self) -> StateId {
+        StateId::new(self.index())
+    }
+
+    /// Decodes a canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= N_STATES`.
+    pub fn from_index(index: usize) -> EmnState {
+        match index {
+            0 => EmnState::Null,
+            1..=5 => EmnState::Crash(Component::from_index(index - 1)),
+            6..=8 => EmnState::HostCrash(Host::from_index(index - 6)),
+            9..=13 => EmnState::Zombie(Component::from_index(index - 9)),
+            _ => panic!("EMN state index {index} out of bounds (< {N_STATES})"),
+        }
+    }
+
+    /// Whether component `c` is effectively *down* in this state —
+    /// crashed, zombied, or on a crashed host. Zombies count as down
+    /// because the requests routed to them are lost.
+    pub fn is_down(self, c: Component) -> bool {
+        match self {
+            EmnState::Null => false,
+            EmnState::Crash(x) => x == c,
+            EmnState::HostCrash(h) => c.host() == h,
+            EmnState::Zombie(x) => x == c,
+        }
+    }
+
+    /// Whether component `c` answers pings in this state. Crashed
+    /// components and components on crashed hosts do not; zombies do.
+    pub fn answers_ping(self, c: Component) -> bool {
+        match self {
+            EmnState::Crash(x) => x != c,
+            EmnState::HostCrash(h) => c.host() != h,
+            EmnState::Null | EmnState::Zombie(_) => true,
+        }
+    }
+
+    /// The zombie states (the fault class injected in the paper's
+    /// experiments).
+    pub fn zombies() -> Vec<EmnState> {
+        Component::ALL.into_iter().map(EmnState::Zombie).collect()
+    }
+
+    /// The 13 fault states (everything but [`EmnState::Null`]).
+    pub fn faults() -> Vec<EmnState> {
+        EmnState::all().into_iter().skip(1).collect()
+    }
+}
+
+impl fmt::Display for EmnState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmnState::Null => write!(f, "Null"),
+            EmnState::Crash(c) => write!(f, "Crash({c})"),
+            EmnState::HostCrash(h) => write!(f, "Crash({h})"),
+            EmnState::Zombie(c) => write!(f, "Zombie({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_states_roundtrip() {
+        let all = EmnState::all();
+        assert_eq!(all.len(), N_STATES);
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(EmnState::from_index(i), *s);
+            assert_eq!(s.state_id().index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn decoding_past_the_end_panics() {
+        EmnState::from_index(14);
+    }
+
+    #[test]
+    fn downness_of_host_crash_covers_hosted_components() {
+        let s = EmnState::HostCrash(Host::C);
+        assert!(s.is_down(Component::Server2));
+        assert!(s.is_down(Component::Database));
+        assert!(!s.is_down(Component::Server1));
+        assert!(!s.is_down(Component::HttpGateway));
+    }
+
+    #[test]
+    fn zombies_answer_pings_but_are_down() {
+        let s = EmnState::Zombie(Component::Server1);
+        assert!(s.is_down(Component::Server1));
+        assert!(s.answers_ping(Component::Server1));
+        let crash = EmnState::Crash(Component::Server1);
+        assert!(!crash.answers_ping(Component::Server1));
+        assert!(crash.answers_ping(Component::Server2));
+    }
+
+    #[test]
+    fn host_crash_silences_pings() {
+        let s = EmnState::HostCrash(Host::A);
+        assert!(!s.answers_ping(Component::HttpGateway));
+        assert!(!s.answers_ping(Component::VoiceGateway));
+        assert!(s.answers_ping(Component::Database));
+    }
+
+    #[test]
+    fn fault_and_zombie_listings() {
+        assert_eq!(EmnState::faults().len(), 13);
+        assert_eq!(EmnState::zombies().len(), 5);
+        assert!(!EmnState::faults().contains(&EmnState::Null));
+    }
+
+    #[test]
+    fn display_labels_are_informative() {
+        assert_eq!(EmnState::Null.to_string(), "Null");
+        assert_eq!(
+            EmnState::Crash(Component::Database).to_string(),
+            "Crash(DB)"
+        );
+        assert_eq!(EmnState::HostCrash(Host::B).to_string(), "Crash(hostB)");
+        assert_eq!(
+            EmnState::Zombie(Component::Server1).to_string(),
+            "Zombie(S1)"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The EMN e-commerce case study of the paper's Section 5, plus the
+//! didactic two-server model of Figure 1(a).
+//!
+//! The target system is a deployment of AT&T's Enterprise Messaging
+//! Network platform: a classic 3-tier architecture with two protocol
+//! gateways (HTTP and voice) in front, two EMN application servers in
+//! the middle, and a database at the back, spread over three hosts.
+//! Component monitors ping individual components; two path monitors
+//! drive synthetic requests through the whole stack.
+//!
+//! This crate turns that description into a validated
+//! [`bpr_core::RecoveryModel`]:
+//!
+//! * [`topology`] — components, hosts, and the request paths.
+//! * [`faults`] — the 14-state fault space (null + 5 crashes + 3 host
+//!   crashes + 5 zombies).
+//! * [`actions`] — 5 restarts, 3 reboots, and the monitor sweep, with
+//!   the paper's durations.
+//! * [`monitors`] — the 7 monitors and their firing probabilities,
+//!   giving a 2⁷-observation model.
+//! * [`EmnConfig`] / [`build_model`] — parameterised model generation.
+//! * [`two_server`] — the 3-state warm-up model from Figure 1(a).
+//! * [`requests`] — a request-level workload description used by the
+//!   discrete-event validation in `bpr-sim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpr_emn::{build_model, EmnConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = build_model(&EmnConfig::default())?;
+//! assert_eq!(model.base().n_states(), 14);
+//! assert_eq!(model.base().n_actions(), 9);
+//! assert_eq!(model.base().n_observations(), 128);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+mod config;
+pub mod faults;
+mod model;
+pub mod monitors;
+pub mod requests;
+pub mod topology;
+pub mod two_server;
+
+pub use config::{EmnConfig, PathRouting};
+pub use model::build_model;

@@ -1,0 +1,248 @@
+//! Generation of the EMN recovery model POMDP.
+
+use crate::actions::{EmnAction, N_ACTIONS};
+use crate::config::EmnConfig;
+use crate::faults::{EmnState, N_STATES};
+use crate::monitors::{self, N_OBSERVATIONS};
+use crate::topology::drop_fraction;
+use bpr_core::{Error, RecoveryModel};
+use bpr_mdp::MdpBuilder;
+use bpr_pomdp::{ObservationId, PomdpBuilder};
+
+/// The fraction of requests dropped while `action` executes in `state`:
+/// the union of the fault's effect and the components the action takes
+/// offline.
+fn drop_during(state: EmnState, action: EmnAction, config: &EmnConfig) -> f64 {
+    let down_by_action = action.components_taken_down();
+    drop_fraction(config.http_share, |c| {
+        state.is_down(c) || down_by_action.contains(&c)
+    })
+}
+
+/// The wall-clock duration of an action under `config`.
+fn duration(action: EmnAction, config: &EmnConfig) -> f64 {
+    use crate::topology::Component as C;
+    match action {
+        EmnAction::Restart(C::HttpGateway) => config.hg_restart_duration,
+        EmnAction::Restart(C::VoiceGateway) => config.vg_restart_duration,
+        EmnAction::Restart(C::Server1 | C::Server2) => config.server_restart_duration,
+        EmnAction::Restart(C::Database) => config.db_restart_duration,
+        EmnAction::Reboot(_) => config.host_reboot_duration,
+        EmnAction::Observe => config.monitor_duration,
+    }
+}
+
+/// Builds the paper's 14-state / 9-action / 128-observation EMN
+/// recovery model.
+///
+/// * Transitions are deterministic (§5): the matching restart/reboot
+///   fixes a fault, everything else leaves the state unchanged.
+/// * Rewards are `-(drop fraction while the action runs) · duration` —
+///   costs accrue at the rate of requests being dropped, both from the
+///   fault itself and from components made unavailable by the recovery
+///   action.
+/// * Observations are the joint outputs of the 7 monitors
+///   (see [`crate::monitors`]).
+/// * The system lacks recovery notification (zombies are invisible to
+///   ping monitors), so controllers should apply
+///   [`RecoveryModel::without_notification`] with
+///   `config.operator_response_time`.
+///
+/// # Errors
+///
+/// * [`Error::InvalidInput`] for invalid configurations.
+/// * Propagates model-validation failures (none are expected for valid
+///   configurations).
+pub fn build_model(config: &EmnConfig) -> Result<RecoveryModel, Error> {
+    config
+        .validate()
+        .map_err(|detail| Error::InvalidInput { detail })?;
+
+    let mut mb = MdpBuilder::new(N_STATES, N_ACTIONS);
+    for s in EmnState::all() {
+        mb.state_label(s.index(), s.to_string());
+    }
+    for a in EmnAction::all() {
+        mb.action_label(a.index(), a.to_string());
+        mb.duration(a.index(), duration(a, config));
+    }
+    for s in EmnState::all() {
+        for a in EmnAction::all() {
+            let next = a.apply(s);
+            mb.transition(s.index(), a.index(), next.index(), 1.0);
+            let cost = drop_during(s, a, config) * duration(a, config);
+            mb.reward(s.index(), a.index(), -cost);
+        }
+    }
+
+    let mut pb = PomdpBuilder::new(mb.build().map_err(Error::Mdp)?, N_OBSERVATIONS);
+    for mask in 0..N_OBSERVATIONS {
+        pb.observation_label(mask, monitors::label(ObservationId::new(mask)));
+    }
+    for s in EmnState::all() {
+        for mask in 0..N_OBSERVATIONS {
+            let q = monitors::observation_prob(ObservationId::new(mask), s, config);
+            if q > 0.0 {
+                pb.observation_all_actions(s.index(), mask, q);
+            }
+        }
+    }
+    let pomdp = pb.build().map_err(Error::Pomdp)?;
+
+    let rates: Vec<f64> = EmnState::all()
+        .into_iter()
+        .map(|s| -drop_fraction(config.http_share, |c| s.is_down(c)))
+        .collect();
+    RecoveryModel::new(
+        pomdp,
+        vec![EmnState::Null.state_id()],
+        rates,
+        vec![EmnAction::Observe.action_id()],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Component, Host};
+    use bpr_mdp::StateId;
+
+    fn model() -> RecoveryModel {
+        build_model(&EmnConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        let m = model();
+        assert_eq!(m.base().n_states(), 14);
+        assert_eq!(m.base().n_actions(), 9);
+        assert_eq!(m.base().n_observations(), 128);
+        assert_eq!(m.null_states(), &[StateId::new(0)]);
+        assert_eq!(m.fault_states().len(), 13);
+    }
+
+    #[test]
+    fn labels_are_wired_through() {
+        let m = model();
+        assert_eq!(m.base().mdp().state_label(0), "Null");
+        assert_eq!(m.base().mdp().state_label(9), "Zombie(HG)");
+        assert_eq!(m.base().mdp().action_label(8), "Observe");
+        assert_eq!(m.base().mdp().action_label(5), "Reboot(hostA)");
+        assert_eq!(m.base().observation_label(0), "all-clear");
+    }
+
+    #[test]
+    fn durations_match_the_paper() {
+        let m = model();
+        let d = |a: EmnAction| m.base().mdp().duration(a.index());
+        assert_eq!(d(EmnAction::Reboot(Host::A)), 300.0);
+        assert_eq!(d(EmnAction::Restart(Component::Database)), 240.0);
+        assert_eq!(d(EmnAction::Restart(Component::VoiceGateway)), 120.0);
+        assert_eq!(d(EmnAction::Restart(Component::HttpGateway)), 60.0);
+        assert_eq!(d(EmnAction::Restart(Component::Server1)), 60.0);
+        assert_eq!(d(EmnAction::Observe), 5.0);
+    }
+
+    #[test]
+    fn rewards_combine_fault_and_action_unavailability() {
+        let m = model();
+        let r = |s: EmnState, a: EmnAction| m.base().mdp().reward(s.index(), a.index());
+        // Observing while S1 is a zombie: half the traffic drops for 5 s.
+        assert!((r(EmnState::Zombie(Component::Server1), EmnAction::Observe) + 0.5 * 5.0).abs() < 1e-9);
+        // Restarting the DB in the Null state: everything drops for 240 s.
+        assert!((r(EmnState::Null, EmnAction::Restart(Component::Database)) + 240.0).abs() < 1e-9);
+        // Observing in Null is free.
+        assert_eq!(r(EmnState::Null, EmnAction::Observe), 0.0);
+        // Restarting S2 while S1 is zombie: both servers down -> all
+        // traffic drops for 60 s.
+        assert!(
+            (r(EmnState::Zombie(Component::Server1), EmnAction::Restart(Component::Server2))
+                + 60.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn transitions_are_deterministic_fixes() {
+        let m = model();
+        let s = EmnState::Zombie(Component::Database);
+        let fix = EmnAction::Restart(Component::Database);
+        assert_eq!(
+            m.base()
+                .mdp()
+                .transition_prob(s.index(), fix.index(), EmnState::Null.index()),
+            1.0
+        );
+        let wrong = EmnAction::Restart(Component::Server1);
+        assert_eq!(
+            m.base()
+                .mdp()
+                .transition_prob(s.index(), wrong.index(), s.index()),
+            1.0
+        );
+    }
+
+    #[test]
+    fn every_fault_has_recovery_actions_identified() {
+        let m = model();
+        for s in EmnState::faults() {
+            let actions = m.recovery_actions_for(s.state_id());
+            assert!(!actions.is_empty(), "no recovery action for {s}");
+        }
+        // The cheapest action for a DB zombie is the DB restart, not a
+        // host C reboot (240 s of full outage beats 300 s).
+        let a = m
+            .cheapest_recovery_action(EmnState::Zombie(Component::Database).state_id())
+            .unwrap();
+        assert_eq!(a, EmnAction::Restart(Component::Database).action_id());
+    }
+
+    #[test]
+    fn cheapest_recovery_for_server_zombie_is_its_restart() {
+        let m = model();
+        let a = m
+            .cheapest_recovery_action(EmnState::Zombie(Component::Server1).state_id())
+            .unwrap();
+        assert_eq!(a, EmnAction::Restart(Component::Server1).action_id());
+    }
+
+    #[test]
+    fn rates_match_idle_drop_fractions() {
+        let m = model();
+        assert_eq!(m.rates()[0], 0.0);
+        assert!((m.rates()[EmnState::Zombie(Component::Server1).index()] + 0.5).abs() < 1e-12);
+        assert!((m.rates()[EmnState::Crash(Component::Database).index()] + 1.0).abs() < 1e-12);
+        assert!((m.rates()[EmnState::HostCrash(Host::A).index()] + 1.0).abs() < 1e-12);
+        assert!((m.rates()[EmnState::Zombie(Component::VoiceGateway).index()] + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = EmnConfig::default();
+        cfg.http_share = 2.0;
+        assert!(matches!(
+            build_model(&cfg),
+            Err(Error::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn transform_without_notification_succeeds() {
+        let m = model();
+        let cfg = EmnConfig::default();
+        let t = m.without_notification(cfg.operator_response_time).unwrap();
+        assert_eq!(t.pomdp().n_states(), 15);
+        assert_eq!(t.pomdp().n_actions(), 10);
+        assert_eq!(t.pomdp().n_observations(), 129);
+        // Termination reward for a DB crash: full outage for 6 hours.
+        assert!(
+            (t.pomdp()
+                .mdp()
+                .reward(EmnState::Crash(Component::Database).index(), 9)
+                + 21_600.0)
+                .abs()
+                < 1e-6
+        );
+    }
+}

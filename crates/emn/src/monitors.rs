@@ -1,0 +1,321 @@
+//! The monitoring subsystem: five component (ping) monitors and two
+//! path monitors, and the observation encoding.
+//!
+//! An observation of the EMN POMDP is the joint output of all seven
+//! monitors, encoded as a 7-bit mask (bit set = "monitor reports a
+//! failure"), giving `2⁷ = 128` observations. Monitors fire
+//! independently given the system state, so
+//! `q(mask | s) = Π_m p_m(s)^{bit} (1 − p_m(s))^{1−bit}`.
+
+use crate::config::EmnConfig;
+use crate::faults::EmnState;
+use crate::topology::{Component, Protocol};
+use bpr_pomdp::ObservationId;
+use std::fmt;
+
+/// One of the seven monitors of the EMN deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Monitor {
+    /// Ping-based monitor of a single component (HGMon, VGMon, S1Mon,
+    /// S2Mon, DBMon).
+    Component(Component),
+    /// End-to-end monitor driving a synthetic HTTP request (HPathMon).
+    HttpPath,
+    /// End-to-end monitor driving a synthetic voice request (VPathMon).
+    VoicePath,
+}
+
+/// Number of monitors (and bits in an observation mask).
+pub const N_MONITORS: usize = 7;
+
+/// Number of observations (`2^N_MONITORS`).
+pub const N_OBSERVATIONS: usize = 1 << N_MONITORS;
+
+impl Monitor {
+    /// All monitors in canonical bit order.
+    pub fn all() -> Vec<Monitor> {
+        let mut v: Vec<Monitor> = Component::ALL.into_iter().map(Monitor::Component).collect();
+        v.push(Monitor::HttpPath);
+        v.push(Monitor::VoicePath);
+        v
+    }
+
+    /// The bit this monitor occupies in the observation mask.
+    pub fn bit(self) -> usize {
+        match self {
+            Monitor::Component(c) => c.index(),
+            Monitor::HttpPath => 5,
+            Monitor::VoicePath => 6,
+        }
+    }
+
+    /// Probability that this monitor reports a failure in state `s`,
+    /// under the coverage/false-positive parameters of `config`.
+    ///
+    /// * Component monitors detect components that stop answering pings
+    ///   (crashes and host crashes) with probability
+    ///   `component_coverage`; zombies keep answering, so only the
+    ///   false-positive rate fires.
+    /// * Path monitors send one synthetic request down
+    ///   `gateway → S_i → DB` with the server drawn 50/50 and report a
+    ///   failure (with probability `path_coverage`) when any component
+    ///   on the sampled path is down. The 50/50 draw is the paper's
+    ///   "path diversity": a single zombie server is caught only half
+    ///   the time.
+    pub fn firing_prob(self, s: EmnState, config: &EmnConfig) -> f64 {
+        match self {
+            Monitor::Component(c) => {
+                if s.answers_ping(c) {
+                    config.component_false_positive
+                } else {
+                    config.component_coverage
+                }
+            }
+            Monitor::HttpPath => path_firing_prob(Protocol::Http, s, config),
+            Monitor::VoicePath => path_firing_prob(Protocol::Voice, s, config),
+        }
+    }
+}
+
+impl fmt::Display for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Monitor::Component(c) => write!(f, "{c}Mon"),
+            Monitor::HttpPath => write!(f, "HPathMon"),
+            Monitor::VoicePath => write!(f, "VPathMon"),
+        }
+    }
+}
+
+fn path_firing_prob(protocol: Protocol, s: EmnState, config: &EmnConfig) -> f64 {
+    use crate::config::PathRouting;
+    let gateway_down = s.is_down(protocol.gateway());
+    let db_down = s.is_down(Component::Database);
+    let p_broken = if gateway_down || db_down {
+        1.0
+    } else {
+        match config.path_routing {
+            PathRouting::RandomPerProbe => {
+                0.5 * f64::from(u8::from(s.is_down(Component::Server1)))
+                    + 0.5 * f64::from(u8::from(s.is_down(Component::Server2)))
+            }
+            PathRouting::FixedDisjoint => {
+                let probed = match protocol {
+                    Protocol::Http => Component::Server1,
+                    Protocol::Voice => Component::Server2,
+                };
+                f64::from(u8::from(s.is_down(probed)))
+            }
+        }
+    };
+    config.path_coverage * p_broken + config.path_false_positive * (1.0 - p_broken)
+}
+
+/// Whether `monitor` reports a failure in observation `mask`.
+pub fn fired(mask: ObservationId, monitor: Monitor) -> bool {
+    mask.index() & (1 << monitor.bit()) != 0
+}
+
+/// Encodes per-monitor outputs into an observation id.
+///
+/// `outputs[i]` corresponds to the monitor with bit `i` (the canonical
+/// order of [`Monitor::all`]).
+pub fn encode(outputs: [bool; N_MONITORS]) -> ObservationId {
+    let mut mask = 0usize;
+    for (i, &b) in outputs.iter().enumerate() {
+        if b {
+            mask |= 1 << i;
+        }
+    }
+    ObservationId::new(mask)
+}
+
+/// The probability of a full observation mask in state `s`:
+/// the product of independent per-monitor firing probabilities.
+pub fn observation_prob(mask: ObservationId, s: EmnState, config: &EmnConfig) -> f64 {
+    let mut p = 1.0;
+    for m in Monitor::all() {
+        let f = m.firing_prob(s, config);
+        p *= if fired(mask, m) { f } else { 1.0 - f };
+    }
+    p
+}
+
+/// A human-readable label for an observation mask, e.g.
+/// `"S1Mon,HPathMon"` (empty mask = `"all-clear"`).
+pub fn label(mask: ObservationId) -> String {
+    let names: Vec<String> = Monitor::all()
+        .into_iter()
+        .filter(|m| fired(mask, *m))
+        .map(|m| m.to_string())
+        .collect();
+    if names.is_empty() {
+        "all-clear".to_string()
+    } else {
+        names.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Host;
+
+    fn config() -> EmnConfig {
+        EmnConfig::default()
+    }
+
+    #[test]
+    fn monitor_bits_are_unique_and_dense() {
+        let mut bits: Vec<usize> = Monitor::all().into_iter().map(Monitor::bit).collect();
+        bits.sort_unstable();
+        assert_eq!(bits, (0..N_MONITORS).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn component_monitor_sees_crashes_not_zombies() {
+        let cfg = config();
+        let mon = Monitor::Component(Component::Server1);
+        assert_eq!(
+            mon.firing_prob(EmnState::Crash(Component::Server1), &cfg),
+            cfg.component_coverage
+        );
+        assert_eq!(
+            mon.firing_prob(EmnState::Zombie(Component::Server1), &cfg),
+            cfg.component_false_positive
+        );
+        assert_eq!(
+            mon.firing_prob(EmnState::Null, &cfg),
+            cfg.component_false_positive
+        );
+        // Host crash silences every hosted component.
+        assert_eq!(
+            Monitor::Component(Component::Database).firing_prob(EmnState::HostCrash(Host::C), &cfg),
+            cfg.component_coverage
+        );
+    }
+
+    #[test]
+    fn path_monitor_catches_zombie_servers_half_the_time() {
+        let cfg = config();
+        let p = Monitor::HttpPath.firing_prob(EmnState::Zombie(Component::Server1), &cfg);
+        let expected = cfg.path_coverage * 0.5 + cfg.path_false_positive * 0.5;
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_monitor_always_catches_gateway_and_db_faults() {
+        let cfg = config();
+        for s in [
+            EmnState::Zombie(Component::HttpGateway),
+            EmnState::Crash(Component::Database),
+            EmnState::HostCrash(Host::C), // DB down
+        ] {
+            assert_eq!(
+                Monitor::HttpPath.firing_prob(s, &cfg),
+                cfg.path_coverage,
+                "state {s}"
+            );
+        }
+        // Voice path does not care about the HTTP gateway.
+        assert_eq!(
+            Monitor::VoicePath.firing_prob(EmnState::Zombie(Component::HttpGateway), &cfg),
+            cfg.path_false_positive
+        );
+    }
+
+    #[test]
+    fn fixed_disjoint_routing_localises_server_zombies() {
+        use crate::config::PathRouting;
+        let cfg = EmnConfig {
+            path_routing: PathRouting::FixedDisjoint,
+            ..EmnConfig::default()
+        };
+        // HTTP path probes S1 only: an S1 zombie fires HPathMon with
+        // full coverage and VPathMon only as a false positive.
+        let s1 = EmnState::Zombie(Component::Server1);
+        assert_eq!(Monitor::HttpPath.firing_prob(s1, &cfg), cfg.path_coverage);
+        assert_eq!(
+            Monitor::VoicePath.firing_prob(s1, &cfg),
+            cfg.path_false_positive
+        );
+        let s2 = EmnState::Zombie(Component::Server2);
+        assert_eq!(
+            Monitor::HttpPath.firing_prob(s2, &cfg),
+            cfg.path_false_positive
+        );
+        assert_eq!(Monitor::VoicePath.firing_prob(s2, &cfg), cfg.path_coverage);
+    }
+
+    #[test]
+    fn random_routing_makes_server_zombies_observation_clones() {
+        use bpr_pomdp::diagnosis::{observation_distribution, total_variation};
+        let model = crate::build_model(&EmnConfig::default()).unwrap();
+        let a = crate::actions::EmnAction::Observe.action_id();
+        let p1 = observation_distribution(
+            model.base(),
+            EmnState::Zombie(Component::Server1).state_id(),
+            a,
+        );
+        let p2 = observation_distribution(
+            model.base(),
+            EmnState::Zombie(Component::Server2).state_id(),
+            a,
+        );
+        assert!(total_variation(&p1, &p2) < 1e-12, "expected clones");
+        // With fixed disjoint routing they separate.
+        let cfg = EmnConfig {
+            path_routing: crate::config::PathRouting::FixedDisjoint,
+            ..EmnConfig::default()
+        };
+        let model = crate::build_model(&cfg).unwrap();
+        let p1 = observation_distribution(
+            model.base(),
+            EmnState::Zombie(Component::Server1).state_id(),
+            a,
+        );
+        let p2 = observation_distribution(
+            model.base(),
+            EmnState::Zombie(Component::Server2).state_id(),
+            a,
+        );
+        assert!(total_variation(&p1, &p2) > 0.5);
+    }
+
+    #[test]
+    fn observation_probs_sum_to_one_in_every_state() {
+        let cfg = config();
+        for s in EmnState::all() {
+            let total: f64 = (0..N_OBSERVATIONS)
+                .map(|m| observation_prob(ObservationId::new(m), s, &cfg))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "state {s}: total {total}");
+        }
+    }
+
+    #[test]
+    fn encode_and_fired_roundtrip() {
+        let mask = encode([true, false, false, true, false, true, false]);
+        assert!(fired(mask, Monitor::Component(Component::HttpGateway)));
+        assert!(fired(mask, Monitor::Component(Component::Server2)));
+        assert!(fired(mask, Monitor::HttpPath));
+        assert!(!fired(mask, Monitor::VoicePath));
+        assert!(!fired(mask, Monitor::Component(Component::VoiceGateway)));
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(label(ObservationId::new(0)), "all-clear");
+        let mask = encode([false, false, true, false, false, true, false]);
+        assert_eq!(label(mask), "S1Mon,HPathMon");
+    }
+
+    #[test]
+    fn all_clear_is_most_likely_in_null() {
+        let cfg = config();
+        let p_clear = observation_prob(ObservationId::new(0), EmnState::Null, &cfg);
+        for m in 1..N_OBSERVATIONS {
+            assert!(p_clear >= observation_prob(ObservationId::new(m), EmnState::Null, &cfg));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Request-level workload description used by the discrete-event
+//! validation harness in `bpr-sim`.
+//!
+//! The POMDP model abstracts traffic into per-state *drop fractions*
+//! (see [`crate::topology::drop_fraction`]). This module exposes the
+//! underlying request-routing semantics so a discrete-event simulation
+//! can generate individual requests, route them through the topology,
+//! and verify that the empirical drop rate matches the analytic rate
+//! the model uses — the substitution check for the paper's production
+//! traffic, documented in `DESIGN.md`.
+
+use crate::faults::EmnState;
+use crate::topology::{Component, Protocol};
+use rand::Rng;
+
+/// A single synthetic request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Which protocol class the request belongs to.
+    pub protocol: Protocol,
+    /// Arrival time in seconds since the epoch of the simulation.
+    pub arrival: f64,
+}
+
+/// A Poisson-ish open workload: exponential inter-arrivals with the
+/// given rate and an HTTP/voice mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Mean arrivals per second.
+    pub arrival_rate: f64,
+    /// Fraction of requests that are HTTP.
+    pub http_share: f64,
+}
+
+impl Default for Workload {
+    fn default() -> Workload {
+        Workload {
+            arrival_rate: 100.0,
+            http_share: 0.8,
+        }
+    }
+}
+
+impl Workload {
+    /// Samples the next request after `now`.
+    pub fn next_request<R: Rng + ?Sized>(&self, rng: &mut R, now: f64) -> Request {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let gap = -u.ln() / self.arrival_rate;
+        let protocol = if rng.gen::<f64>() < self.http_share {
+            Protocol::Http
+        } else {
+            Protocol::Voice
+        };
+        Request {
+            protocol,
+            arrival: now + gap,
+        }
+    }
+}
+
+/// Samples the path a request takes: `gateway → S_i → DB` with the EMN
+/// server drawn 50/50 (the paper's "path diversity").
+pub fn sample_path<R: Rng + ?Sized>(rng: &mut R, protocol: Protocol) -> [Component; 3] {
+    let server = if rng.gen::<f64>() < 0.5 {
+        Component::Server1
+    } else {
+        Component::Server2
+    };
+    [protocol.gateway(), server, Component::Database]
+}
+
+/// Whether a request traversing `path` succeeds in system state
+/// `state`: every component on the path must be up (zombies fail the
+/// requests routed to them).
+pub fn path_ok(state: EmnState, path: &[Component]) -> bool {
+    path.iter().all(|&c| !state.is_down(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::drop_fraction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workload_generates_increasing_arrivals() {
+        let w = Workload::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut now = 0.0;
+        for _ in 0..100 {
+            let r = w.next_request(&mut rng, now);
+            assert!(r.arrival > now);
+            now = r.arrival;
+        }
+    }
+
+    #[test]
+    fn mix_approximates_http_share() {
+        let w = Workload {
+            arrival_rate: 10.0,
+            http_share: 0.8,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let http = (0..n)
+            .filter(|_| w.next_request(&mut rng, 0.0).protocol == Protocol::Http)
+            .count();
+        let share = http as f64 / n as f64;
+        assert!((share - 0.8).abs() < 0.02, "share = {share}");
+    }
+
+    #[test]
+    fn paths_start_at_the_gateway_and_end_at_the_db() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in Protocol::ALL {
+            let path = sample_path(&mut rng, p);
+            assert_eq!(path[0], p.gateway());
+            assert_eq!(path[2], Component::Database);
+            assert!(matches!(path[1], Component::Server1 | Component::Server2));
+        }
+    }
+
+    #[test]
+    fn empirical_drop_rate_matches_analytic_drop_fraction() {
+        // The substitution check: simulate requests one by one and
+        // compare against the closed-form drop fraction used by the
+        // POMDP rewards.
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Workload::default();
+        for state in [
+            EmnState::Null,
+            EmnState::Zombie(Component::Server1),
+            EmnState::Crash(Component::Database),
+            EmnState::Zombie(Component::HttpGateway),
+        ] {
+            let n = 40_000;
+            let mut dropped = 0usize;
+            for _ in 0..n {
+                let req = w.next_request(&mut rng, 0.0);
+                let path = sample_path(&mut rng, req.protocol);
+                if !path_ok(state, &path) {
+                    dropped += 1;
+                }
+            }
+            let empirical = dropped as f64 / n as f64;
+            let analytic = drop_fraction(w.http_share, |c| state.is_down(c));
+            assert!(
+                (empirical - analytic).abs() < 0.02,
+                "state {state}: empirical {empirical}, analytic {analytic}"
+            );
+        }
+    }
+}

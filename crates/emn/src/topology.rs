@@ -1,0 +1,256 @@
+//! Components, hosts, and request paths of the EMN deployment (Fig. 4).
+
+use std::fmt;
+
+/// The five software components of the EMN deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// HTTP gateway (HG) — front-end for 80 % of the traffic.
+    HttpGateway,
+    /// Voice gateway (VG) — front-end for 20 % of the traffic.
+    VoiceGateway,
+    /// EMN application server 1 (S1).
+    Server1,
+    /// EMN application server 2 (S2).
+    Server2,
+    /// The back-end database (DB).
+    Database,
+}
+
+impl Component {
+    /// All components, in canonical (index) order.
+    pub const ALL: [Component; 5] = [
+        Component::HttpGateway,
+        Component::VoiceGateway,
+        Component::Server1,
+        Component::Server2,
+        Component::Database,
+    ];
+
+    /// Canonical index (0..5) used in state/action numbering.
+    pub fn index(self) -> usize {
+        match self {
+            Component::HttpGateway => 0,
+            Component::VoiceGateway => 1,
+            Component::Server1 => 2,
+            Component::Server2 => 3,
+            Component::Database => 4,
+        }
+    }
+
+    /// The component with the given canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 5`.
+    pub fn from_index(index: usize) -> Component {
+        Component::ALL[index]
+    }
+
+    /// The host this component is deployed on.
+    ///
+    /// Deployment (per the SRDS'05 description of the same testbed):
+    /// HostA runs both gateways, HostB runs S1, HostC runs S2 and the
+    /// database.
+    pub fn host(self) -> Host {
+        match self {
+            Component::HttpGateway | Component::VoiceGateway => Host::A,
+            Component::Server1 => Host::B,
+            Component::Server2 | Component::Database => Host::C,
+        }
+    }
+
+    /// The short label used in state/action names.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Component::HttpGateway => "HG",
+            Component::VoiceGateway => "VG",
+            Component::Server1 => "S1",
+            Component::Server2 => "S2",
+            Component::Database => "DB",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The three hosts of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Host {
+    /// Hosts the HTTP and voice gateways.
+    A,
+    /// Hosts EMN server 1.
+    B,
+    /// Hosts EMN server 2 and the database.
+    C,
+}
+
+impl Host {
+    /// All hosts, in canonical (index) order.
+    pub const ALL: [Host; 3] = [Host::A, Host::B, Host::C];
+
+    /// Canonical index (0..3) used in state/action numbering.
+    pub fn index(self) -> usize {
+        match self {
+            Host::A => 0,
+            Host::B => 1,
+            Host::C => 2,
+        }
+    }
+
+    /// The host with the given canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn from_index(index: usize) -> Host {
+        Host::ALL[index]
+    }
+
+    /// The components deployed on this host.
+    pub fn components(self) -> Vec<Component> {
+        Component::ALL
+            .into_iter()
+            .filter(|c| c.host() == self)
+            .collect()
+    }
+
+    /// The short label used in state/action names.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Host::A => "hostA",
+            Host::B => "hostB",
+            Host::C => "hostC",
+        }
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The protocol classes carried by the system, with their traffic share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// HTTP requests — 80 % of the traffic in the paper's setup.
+    Http,
+    /// Voice requests — the remaining 20 %.
+    Voice,
+}
+
+impl Protocol {
+    /// Both protocols.
+    pub const ALL: [Protocol; 2] = [Protocol::Http, Protocol::Voice];
+
+    /// The gateway fronting this protocol.
+    pub fn gateway(self) -> Component {
+        match self {
+            Protocol::Http => Component::HttpGateway,
+            Protocol::Voice => Component::VoiceGateway,
+        }
+    }
+}
+
+/// The fraction of end-to-end requests dropped when `is_down(c)` holds
+/// for the broken components, given per-protocol traffic shares.
+///
+/// A request of protocol `p` traverses `gateway(p) → S_i → DB` with the
+/// server drawn 50/50; it is dropped if any component on its path is
+/// down. Zombie components count as down — they accept requests and
+/// fail them.
+pub fn drop_fraction(http_share: f64, is_down: impl Fn(Component) -> bool) -> f64 {
+    let voice_share = 1.0 - http_share;
+    let mut dropped = 0.0;
+    for p in Protocol::ALL {
+        let share = match p {
+            Protocol::Http => http_share,
+            Protocol::Voice => voice_share,
+        };
+        let gateway_down = is_down(p.gateway());
+        let db_down = is_down(Component::Database);
+        let s1_down = is_down(Component::Server1);
+        let s2_down = is_down(Component::Server2);
+        let p_drop = if gateway_down || db_down {
+            1.0
+        } else {
+            0.5 * f64::from(u8::from(s1_down)) + 0.5 * f64::from(u8::from(s2_down))
+        };
+        dropped += share * p_drop;
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_indices_roundtrip() {
+        for c in Component::ALL {
+            assert_eq!(Component::from_index(c.index()), c);
+        }
+        assert_eq!(Component::HttpGateway.to_string(), "HG");
+    }
+
+    #[test]
+    fn host_assignment_matches_deployment() {
+        assert_eq!(Host::A.components(), vec![
+            Component::HttpGateway,
+            Component::VoiceGateway
+        ]);
+        assert_eq!(Host::B.components(), vec![Component::Server1]);
+        assert_eq!(Host::C.components(), vec![
+            Component::Server2,
+            Component::Database
+        ]);
+        for h in Host::ALL {
+            assert_eq!(Host::from_index(h.index()), h);
+            for c in h.components() {
+                assert_eq!(c.host(), h);
+            }
+        }
+        assert_eq!(Host::B.to_string(), "hostB");
+    }
+
+    #[test]
+    fn protocol_gateways() {
+        assert_eq!(Protocol::Http.gateway(), Component::HttpGateway);
+        assert_eq!(Protocol::Voice.gateway(), Component::VoiceGateway);
+    }
+
+    #[test]
+    fn drop_fraction_of_single_faults() {
+        let f = |down: Component| drop_fraction(0.8, |c| c == down);
+        assert!((f(Component::HttpGateway) - 0.8).abs() < 1e-12);
+        assert!((f(Component::VoiceGateway) - 0.2).abs() < 1e-12);
+        assert!((f(Component::Server1) - 0.5).abs() < 1e-12);
+        assert!((f(Component::Server2) - 0.5).abs() < 1e-12);
+        assert!((f(Component::Database) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_fraction_of_compound_failures() {
+        // Both servers down kills everything that got past a gateway.
+        let both = drop_fraction(0.8, |c| {
+            matches!(c, Component::Server1 | Component::Server2)
+        });
+        assert!((both - 1.0).abs() < 1e-12);
+        // HostA down (both gateways) kills everything.
+        let host_a = drop_fraction(0.8, |c| c.host() == Host::A);
+        assert!((host_a - 1.0).abs() < 1e-12);
+        // Nothing down drops nothing.
+        assert_eq!(drop_fraction(0.8, |_| false), 0.0);
+    }
+
+    #[test]
+    fn drop_fraction_respects_traffic_mix() {
+        let f = drop_fraction(0.5, |c| c == Component::HttpGateway);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

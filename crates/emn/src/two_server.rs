@@ -1,0 +1,197 @@
+//! The didactic two-server model of the paper's Figure 1(a).
+//!
+//! Two redundant servers `a` and `b`; one of them may be faulty. The
+//! controller can restart either server (cost 0.5 if it was the faulty
+//! one being fixed... no — cost 0.5 for a restart that completes
+//! recovery, 1.0 for a wasted step) or just observe. Monitors report
+//! which server *appears* to have failed, with tunable noise.
+
+use bpr_core::{Error, RecoveryModel};
+use bpr_mdp::{ActionId, MdpBuilder, StateId};
+use bpr_pomdp::PomdpBuilder;
+
+/// State index of `Fault(a)`.
+pub const FAULT_A: usize = 0;
+/// State index of `Fault(b)`.
+pub const FAULT_B: usize = 1;
+/// State index of the null-fault state.
+pub const NULL: usize = 2;
+
+/// Action index of `Restart(a)`.
+pub const RESTART_A: usize = 0;
+/// Action index of `Restart(b)`.
+pub const RESTART_B: usize = 1;
+/// Action index of `Observe`.
+pub const OBSERVE: usize = 2;
+
+/// Observation index of "a appears to have failed".
+pub const OBS_A_FAILED: usize = 0;
+/// Observation index of "b appears to have failed".
+pub const OBS_B_FAILED: usize = 1;
+/// Observation index of "all clear".
+pub const OBS_CLEAR: usize = 2;
+
+/// Monitor accuracy of the two-server model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoServerConfig {
+    /// Probability the monitor blames the right server when one is
+    /// faulty.
+    pub accuracy: f64,
+    /// Probability of a false alarm ("x appears failed") when the
+    /// system is healthy; split evenly between the two servers.
+    pub false_alarm: f64,
+}
+
+impl Default for TwoServerConfig {
+    fn default() -> TwoServerConfig {
+        TwoServerConfig {
+            accuracy: 0.85,
+            false_alarm: 0.04,
+        }
+    }
+}
+
+/// Builds the Figure 1(a) recovery model.
+///
+/// Restarting the faulty server recovers the system at cost 0.5; any
+/// other restart wastes a step at cost 1.0 (0.5 in the null state);
+/// observing costs 1.0 in a faulty state and nothing when healthy.
+/// Cost rates (used for termination rewards) are 1 per unit time in a
+/// fault state.
+///
+/// # Errors
+///
+/// Propagates model-validation failures for out-of-range
+/// configurations (e.g. `accuracy` so low that observation rows stop
+/// being distributions).
+pub fn model(config: &TwoServerConfig) -> Result<RecoveryModel, Error> {
+    if !(0.0..=1.0).contains(&config.accuracy) || !(0.0..=1.0).contains(&config.false_alarm) {
+        return Err(Error::InvalidInput {
+            detail: "two-server monitor parameters must be probabilities".into(),
+        });
+    }
+    let mut mb = MdpBuilder::new(3, 3);
+    mb.state_label(FAULT_A, "Fault(a)")
+        .state_label(FAULT_B, "Fault(b)")
+        .state_label(NULL, "Null");
+    mb.action_label(RESTART_A, "Restart(a)")
+        .action_label(RESTART_B, "Restart(b)")
+        .action_label(OBSERVE, "Observe");
+    mb.transition(FAULT_A, RESTART_A, NULL, 1.0)
+        .reward(FAULT_A, RESTART_A, -0.5);
+    mb.transition(FAULT_B, RESTART_A, FAULT_B, 1.0)
+        .reward(FAULT_B, RESTART_A, -1.0);
+    mb.transition(NULL, RESTART_A, NULL, 1.0)
+        .reward(NULL, RESTART_A, -0.5);
+    mb.transition(FAULT_A, RESTART_B, FAULT_A, 1.0)
+        .reward(FAULT_A, RESTART_B, -1.0);
+    mb.transition(FAULT_B, RESTART_B, NULL, 1.0)
+        .reward(FAULT_B, RESTART_B, -0.5);
+    mb.transition(NULL, RESTART_B, NULL, 1.0)
+        .reward(NULL, RESTART_B, -0.5);
+    mb.transition(FAULT_A, OBSERVE, FAULT_A, 1.0)
+        .reward(FAULT_A, OBSERVE, -1.0);
+    mb.transition(FAULT_B, OBSERVE, FAULT_B, 1.0)
+        .reward(FAULT_B, OBSERVE, -1.0);
+    mb.transition(NULL, OBSERVE, NULL, 1.0)
+        .reward(NULL, OBSERVE, 0.0);
+
+    let acc = config.accuracy;
+    let miss = 1.0 - acc;
+    let fa = config.false_alarm;
+    let mut pb = PomdpBuilder::new(mb.build().map_err(Error::Mdp)?, 3);
+    pb.observation_label(OBS_A_FAILED, "a-appears-failed")
+        .observation_label(OBS_B_FAILED, "b-appears-failed")
+        .observation_label(OBS_CLEAR, "all-clear");
+    for a in 0..3 {
+        // In Fault(a): blame a with prob acc, blame b or miss with the
+        // remainder split 1:2 toward a clean bill.
+        pb.observation(FAULT_A, a, OBS_A_FAILED, acc)
+            .observation(FAULT_A, a, OBS_B_FAILED, miss / 3.0)
+            .observation(FAULT_A, a, OBS_CLEAR, 2.0 * miss / 3.0);
+        pb.observation(FAULT_B, a, OBS_B_FAILED, acc)
+            .observation(FAULT_B, a, OBS_A_FAILED, miss / 3.0)
+            .observation(FAULT_B, a, OBS_CLEAR, 2.0 * miss / 3.0);
+        pb.observation(NULL, a, OBS_A_FAILED, fa / 2.0)
+            .observation(NULL, a, OBS_B_FAILED, fa / 2.0)
+            .observation(NULL, a, OBS_CLEAR, 1.0 - fa);
+    }
+    RecoveryModel::new(
+        pb.build().map_err(Error::Pomdp)?,
+        vec![StateId::new(NULL)],
+        vec![-1.0, -1.0, 0.0],
+        vec![ActionId::new(OBSERVE)],
+    )
+}
+
+/// Convenience constructor with the default monitor parameters.
+///
+/// # Errors
+///
+/// Never fails for the default configuration; the `Result` mirrors
+/// [`model`].
+pub fn default_model() -> Result<RecoveryModel, Error> {
+    model(&TwoServerConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_valid() {
+        let m = default_model().unwrap();
+        assert_eq!(m.base().n_states(), 3);
+        assert_eq!(m.base().n_actions(), 3);
+        assert_eq!(m.base().n_observations(), 3);
+        assert_eq!(m.null_states(), &[StateId::new(NULL)]);
+        assert!(m.is_observe(ActionId::new(OBSERVE)));
+    }
+
+    #[test]
+    fn restart_semantics_match_figure_1a() {
+        let m = default_model().unwrap();
+        let p = m.base().mdp();
+        assert_eq!(p.transition_prob(FAULT_A, RESTART_A, NULL), 1.0);
+        assert_eq!(p.reward(FAULT_A, RESTART_A), -0.5);
+        assert_eq!(p.transition_prob(FAULT_A, RESTART_B, FAULT_A), 1.0);
+        assert_eq!(p.reward(FAULT_A, RESTART_B), -1.0);
+        assert_eq!(p.reward(NULL, OBSERVE), 0.0);
+    }
+
+    #[test]
+    fn recovery_actions_are_the_matching_restarts() {
+        let m = default_model().unwrap();
+        assert_eq!(
+            m.cheapest_recovery_action(StateId::new(FAULT_A)),
+            Some(ActionId::new(RESTART_A))
+        );
+        assert_eq!(
+            m.cheapest_recovery_action(StateId::new(FAULT_B)),
+            Some(ActionId::new(RESTART_B))
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(model(&TwoServerConfig {
+            accuracy: 1.5,
+            false_alarm: 0.0
+        })
+        .is_err());
+        assert!(model(&TwoServerConfig {
+            accuracy: 0.9,
+            false_alarm: -0.1
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn transforms_apply() {
+        let m = default_model().unwrap();
+        assert!(m.with_notification().is_ok());
+        let t = m.without_notification(100.0).unwrap();
+        assert_eq!(t.pomdp().n_states(), 4);
+        assert_eq!(t.pomdp().mdp().reward(FAULT_A, 3), -100.0);
+    }
+}

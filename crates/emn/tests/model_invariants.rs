@@ -1,0 +1,146 @@
+//! Invariant tests of the generated EMN model across configurations.
+
+use bpr_emn::actions::EmnAction;
+use bpr_emn::faults::EmnState;
+use bpr_emn::topology::{drop_fraction, Component, Host};
+use bpr_emn::{build_model, EmnConfig, PathRouting};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = EmnConfig> {
+    (
+        10.0f64..600.0,  // restart durations base
+        0.5f64..0.999,   // http share
+        0.9f64..0.999,   // component coverage
+        0.0f64..0.05,    // component fp
+        0.9f64..0.999,   // path coverage
+        0.0f64..0.05,    // path fp
+        prop_oneof![
+            Just(PathRouting::RandomPerProbe),
+            Just(PathRouting::FixedDisjoint)
+        ],
+    )
+        .prop_map(|(base, http, cc, cfp, pc, pfp, routing)| EmnConfig {
+            host_reboot_duration: base * 5.0,
+            db_restart_duration: base * 4.0,
+            vg_restart_duration: base * 2.0,
+            hg_restart_duration: base,
+            server_restart_duration: base,
+            monitor_duration: 5.0,
+            http_share: http,
+            component_coverage: cc,
+            component_false_positive: cfp.min(cc * 0.5),
+            path_coverage: pc,
+            path_false_positive: pfp.min(pc * 0.5),
+            operator_response_time: 3600.0,
+            path_routing: routing,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_models_always_validate(config in arb_config()) {
+        let model = build_model(&config).expect("model builds");
+        prop_assert_eq!(model.base().n_states(), 14);
+        prop_assert_eq!(model.base().n_actions(), 9);
+        prop_assert_eq!(model.base().n_observations(), 128);
+        prop_assert!(model.base().mdp().all_rewards_nonpositive());
+        // Both transforms apply.
+        prop_assert!(model.with_notification().is_ok());
+        prop_assert!(model.without_notification(config.operator_response_time).is_ok());
+    }
+
+    #[test]
+    fn rewards_scale_linearly_with_durations(config in arb_config()) {
+        let model = build_model(&config).expect("model builds");
+        // r(s, a) = -drop(s, a) * t_a, so |r| <= t_a everywhere.
+        for s in EmnState::all() {
+            for a in EmnAction::all() {
+                let r = model.base().mdp().reward(s.index(), a.index());
+                let t = model.base().mdp().duration(a.index());
+                prop_assert!(r.abs() <= t + 1e-9, "{s}/{a}: r={r}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn observation_rows_are_distributions(config in arb_config()) {
+        let model = build_model(&config).expect("model builds");
+        let m = model.base().observation_matrix(EmnAction::Observe.action_id());
+        for sum in m.row_sums() {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn worse_faults_cost_at_least_as_much_to_sit_on(config in arb_config()) {
+        let model = build_model(&config).expect("model builds");
+        let rate = |s: EmnState| -model.rates()[s.index()];
+        // DB down kills everything; a single server kills half of it.
+        prop_assert!(rate(EmnState::Crash(Component::Database)) >= rate(EmnState::Zombie(Component::Server1)));
+        prop_assert!(rate(EmnState::HostCrash(Host::A)) >= rate(EmnState::Zombie(Component::HttpGateway)));
+        prop_assert!(rate(EmnState::Null) == 0.0);
+        // Rates equal the topology's drop fractions.
+        for s in EmnState::all() {
+            let expect = drop_fraction(config.http_share, |c| s.is_down(c));
+            prop_assert!((rate(s) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_fault_is_recoverable_and_null_is_absorbing(config in arb_config()) {
+        let model = build_model(&config).expect("model builds");
+        for s in EmnState::faults() {
+            prop_assert!(!model.recovery_actions_for(s.state_id()).is_empty(), "{s}");
+        }
+        for a in EmnAction::all() {
+            prop_assert_eq!(
+                model.base().mdp().transition_prob(0, a.index(), 0),
+                1.0
+            );
+        }
+    }
+}
+
+#[test]
+fn reboot_cost_dominates_matching_restart_cost() {
+    // Rebooting a host is never cheaper than restarting the single
+    // faulty component on it (same fault fixed, longer outage).
+    let model = build_model(&EmnConfig::default()).unwrap();
+    let r = |s: EmnState, a: EmnAction| -model.base().mdp().reward(s.index(), a.index());
+    for c in Component::ALL {
+        let zombie = EmnState::Zombie(c);
+        let restart = EmnAction::Restart(c);
+        let reboot = EmnAction::Reboot(c.host());
+        assert!(
+            r(zombie, reboot) >= r(zombie, restart),
+            "reboot cheaper than restart for {c}"
+        );
+    }
+}
+
+#[test]
+fn fixed_disjoint_routing_changes_only_path_monitors() {
+    let random = build_model(&EmnConfig::default()).unwrap();
+    let fixed = build_model(&EmnConfig {
+        path_routing: PathRouting::FixedDisjoint,
+        ..EmnConfig::default()
+    })
+    .unwrap();
+    // Same dynamics and rewards; only q differs.
+    for s in 0..14 {
+        for a in 0..9 {
+            assert_eq!(
+                random.base().mdp().reward(s, a),
+                fixed.base().mdp().reward(s, a)
+            );
+        }
+    }
+    // And q actually differs somewhere (server zombies).
+    let s = EmnState::Zombie(Component::Server1).index();
+    let differs = (0..128).any(|o| {
+        random.base().observation_prob(s, 8, o) != fixed.base().observation_prob(s, 8, o)
+    });
+    assert!(differs);
+}

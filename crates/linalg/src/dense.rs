@@ -1,0 +1,176 @@
+//! Small dense-vector helpers shared across the workspace.
+//!
+//! All functions operate on `&[f64]` slices so callers keep control of
+//! allocation. Dimension mismatches are programming errors and panic.
+
+/// Dot product `Σ_i x[i]·y[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bpr_linalg::dense::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Sum of all entries.
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// `ℓ∞` norm: the largest absolute entry (0 for an empty slice).
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// `ℓ1` norm: the sum of absolute entries.
+pub fn norm_1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// `ℓ2` (Euclidean) norm.
+pub fn norm_2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// `ℓ∞` distance between two vectors: `max_i |x[i] − y[i]|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dist_inf(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist_inf: length mismatch");
+    x.iter()
+        .zip(y)
+        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+}
+
+/// Normalises `x` in place so its entries sum to 1.
+///
+/// Returns the original sum. If the sum is zero or non-finite, `x` is
+/// left untouched and the sum is returned so the caller can decide how
+/// to recover (belief updates treat this as an impossible observation).
+pub fn normalize_l1(x: &mut [f64]) -> f64 {
+    let s = sum(x);
+    if s != 0.0 && s.is_finite() {
+        for v in x.iter_mut() {
+            *v /= s;
+        }
+    }
+    s
+}
+
+/// True if all entries are finite.
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Index and value of the maximum entry, or `None` for an empty slice.
+///
+/// Ties resolve to the smallest index. NaN entries are skipped.
+pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// Index and value of the minimum entry, or `None` for an empty slice.
+///
+/// Ties resolve to the smallest index. NaN entries are skipped.
+pub fn argmin(x: &[f64]) -> Option<(usize, f64)> {
+    argmax(&x.iter().map(|v| -v).collect::<Vec<_>>()).map(|(i, v)| (i, -v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = [1.0, -2.0, 3.0];
+        let mut y = [0.5, 0.5, 0.5];
+        assert_eq!(dot(&x, &y), 1.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [2.5, -3.5, 6.5]);
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(norm_1(&x), 7.0);
+        assert_eq!(norm_2(&x), 5.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn dist_inf_symmetric() {
+        let a = [1.0, 2.0];
+        let b = [1.5, 0.0];
+        assert_eq!(dist_inf(&a, &b), 2.0);
+        assert_eq!(dist_inf(&b, &a), 2.0);
+        assert_eq!(dist_inf(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn normalize_l1_makes_distribution() {
+        let mut x = [1.0, 3.0];
+        let s = normalize_l1(&mut x);
+        assert_eq!(s, 4.0);
+        assert_eq!(x, [0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_l1_leaves_zero_vector() {
+        let mut x = [0.0, 0.0];
+        let s = normalize_l1(&mut x);
+        assert_eq!(s, 0.0);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_ties_resolve_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some((1, 3.0)));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn argmin_mirrors_argmax() {
+        assert_eq!(argmin(&[2.0, -1.0, 0.0]), Some((1, -1.0)));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

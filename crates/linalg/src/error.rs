@@ -1,0 +1,128 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A triplet or index referred to a row/column outside the matrix.
+    ///
+    /// Carries the offending `(row, col)` pair and the matrix shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+        /// Human-readable description of which operand mismatched.
+        what: &'static str,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    NotConverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm when the budget ran out.
+        residual: f64,
+    },
+    /// An iterative solver produced non-finite values (the underlying
+    /// fixed point does not exist, e.g. a divergent undiscounted bound).
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+    },
+    /// A direct solver hit a (numerically) singular matrix.
+    Singular {
+        /// Pivot column at which elimination broke down.
+        pivot: usize,
+    },
+    /// A value that must be a finite number was NaN or infinite.
+    NotFinite {
+        /// Description of the offending quantity.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            Error::DimensionMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(f, "dimension mismatch for {what}: expected {expected}, got {actual}"),
+            Error::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Error::Diverged { iteration } => {
+                write!(f, "iterative solver diverged at iteration {iteration}")
+            }
+            Error::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot in column {pivot})")
+            }
+            Error::NotFinite { what } => write!(f, "non-finite value encountered in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let errs = [
+            Error::IndexOutOfBounds {
+                row: 3,
+                col: 4,
+                nrows: 2,
+                ncols: 2,
+            },
+            Error::DimensionMismatch {
+                expected: 4,
+                actual: 3,
+                what: "rhs",
+            },
+            Error::NotConverged {
+                iterations: 10,
+                residual: 1.0,
+            },
+            Error::Diverged { iteration: 5 },
+            Error::Singular { pivot: 0 },
+            Error::NotFinite { what: "solution" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

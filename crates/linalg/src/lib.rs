@@ -1,0 +1,45 @@
+//! Dense and sparse linear algebra for the `bpr` workspace.
+//!
+//! This crate is the numerical substrate underneath the MDP/POMDP layers:
+//!
+//! * [`CsrMatrix`] — compressed sparse row matrices built from triplets,
+//!   the representation used for per-action transition matrices.
+//! * [`dense`] — small helpers on `&[f64]` slices (dot products, norms,
+//!   axpy) shared by the value-iteration and belief-update kernels.
+//! * [`solve`] — iterative fixed-point solvers (Jacobi, Gauss–Seidel,
+//!   successive over-relaxation) for systems of the form `x = b + M·x`,
+//!   which is exactly the shape of the RA-Bound linear system (Eq. 5 of
+//!   the paper), plus a dense LU factorisation used for verification and
+//!   for exact solves on small models.
+//!
+//! # Examples
+//!
+//! Solving the expected accumulated reward of a tiny absorbing Markov
+//! chain, `v = r + P·v`:
+//!
+//! ```
+//! use bpr_linalg::{CsrMatrix, solve::{self, IterOpts}};
+//!
+//! # fn main() -> Result<(), bpr_linalg::Error> {
+//! // Two transient states feeding an absorbing state (not represented):
+//! // state 0 -> state 1 w.p. 1, state 1 -> absorbing w.p. 1.
+//! let p = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)])?;
+//! let r = vec![-1.0, -2.0];
+//! let v = solve::gauss_seidel(&p, &r, &IterOpts::default())?;
+//! assert!((v[0] - (-3.0)).abs() < 1e-9);
+//! assert!((v[1] - (-2.0)).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+mod error;
+pub mod lu;
+pub mod solve;
+mod sparse;
+
+pub use error::Error;
+pub use sparse::{CsrMatrix, RowIter};

@@ -1,0 +1,218 @@
+//! Dense LU factorisation with partial pivoting.
+//!
+//! Used for exact solves of small systems — verification of the
+//! iterative solvers in tests and exact RA-Bound computation on toy
+//! models. Not intended for large matrices; the recovery models that
+//! motivate this workspace solve their (sparse) systems with
+//! [`crate::solve`] instead.
+
+use crate::Error;
+
+/// A dense LU factorisation `P·A = L·U` with partial pivoting.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_linalg::lu::Lu;
+///
+/// # fn main() -> Result<(), bpr_linalg::Error> {
+/// // Solve [2 1; 1 3] x = [3; 5].
+/// let lu = Lu::factor(2, &[2.0, 1.0, 1.0, 3.0])?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    /// Packed LU factors, row-major: `U` on and above the diagonal, the
+    /// unit-lower-triangular `L` (without its diagonal) below.
+    lu: Vec<f64>,
+    /// Row permutation applied to the right-hand side.
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factors a dense row-major `n x n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `a.len() != n * n`.
+    /// * [`Error::Singular`] if a pivot column has no usable pivot.
+    /// * [`Error::NotFinite`] if the input contains NaN or infinities.
+    pub fn factor(n: usize, a: &[f64]) -> Result<Lu, Error> {
+        if a.len() != n * n {
+            return Err(Error::DimensionMismatch {
+                expected: n * n,
+                actual: a.len(),
+                what: "lu input length",
+            });
+        }
+        if !crate::dense::all_finite(a) {
+            return Err(Error::NotFinite { what: "lu input" });
+        }
+        let mut lu = a.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut piv = k;
+            let mut piv_val = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > piv_val {
+                    piv = r;
+                    piv_val = v;
+                }
+            }
+            if piv_val < f64::EPSILON * 16.0 {
+                return Err(Error::Singular { pivot: k });
+            }
+            if piv != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, piv * n + c);
+                }
+                perm.swap(k, piv);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm })
+    }
+
+    /// Matrix dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, Error> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+                what: "lu rhs length",
+            });
+        }
+        // Forward substitution on the permuted rhs (L has unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = acc;
+        }
+        // Back substitution with U.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in (r + 1)..n {
+                acc -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = acc / self.lu[r * n + r];
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience wrapper: factor and solve in one call.
+///
+/// # Errors
+///
+/// Propagates the errors of [`Lu::factor`] and [`Lu::solve`].
+pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Result<Vec<f64>, Error> {
+    Lu::factor(n, a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // A = [[4, 3], [6, 3]], b = [10, 12] => x = [1, 2].
+        let x = solve_dense(2, &[4.0, 3.0, 6.0, 3.0], &[10.0, 12.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Leading entry zero forces a row swap.
+        let x = solve_dense(2, &[0.0, 1.0, 1.0, 0.0], &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let err = solve_dense(2, &[1.0, 2.0, 2.0, 4.0], &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, Error::Singular { .. }));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        assert!(matches!(
+            Lu::factor(2, &[1.0, 2.0, 3.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        let lu = Lu::factor(1, &[2.0]).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_input_is_reported() {
+        assert!(matches!(
+            Lu::factor(1, &[f64::NAN]),
+            Err(Error::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn reproduces_identity_action() {
+        let lu = Lu::factor(3, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = [1.5, -2.5, 0.25];
+        assert_eq!(lu.solve(&b).unwrap(), b.to_vec());
+        assert_eq!(lu.dim(), 3);
+    }
+
+    #[test]
+    fn random_systems_roundtrip() {
+        // Deterministic pseudo-random matrices; verify A * solve(b) == b.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for n in 1..=8 {
+            let mut a: Vec<f64> = (0..n * n).map(|_| next()).collect();
+            // Diagonal dominance guarantees non-singularity.
+            for i in 0..n {
+                a[i * n + i] += n as f64;
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = solve_dense(n, &a, &b).unwrap();
+            for r in 0..n {
+                let got: f64 = (0..n).map(|c| a[r * n + c] * x[c]).sum();
+                assert!((got - b[r]).abs() < 1e-9, "n={n} row={r}");
+            }
+        }
+    }
+}

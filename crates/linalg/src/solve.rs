@@ -1,0 +1,352 @@
+//! Iterative fixed-point solvers for `x = b + M·x`.
+//!
+//! The RA-Bound linear system (paper Eq. 5) has exactly this shape:
+//! `V⁻ = r̄ + P̄·V⁻` where `P̄` is the random-action transition matrix
+//! restricted to transient states and `r̄` the averaged one-step reward.
+//! The paper solves it with "Gauss-Seidel iterations with successive
+//! over-relaxation"; [`sor`] is that solver, with [`jacobi`] and
+//! [`gauss_seidel`] as simpler reference implementations.
+//!
+//! All solvers detect divergence (non-finite iterates or residual blow-up)
+//! and report it as [`Error::Diverged`] — this is how the workspace
+//! demonstrates that the BI-POMDP and blind-policy bounds fail to exist
+//! on undiscounted recovery models.
+
+use crate::{dense, CsrMatrix, Error};
+
+/// Options controlling an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterOpts {
+    /// Maximum number of sweeps before reporting [`Error::NotConverged`].
+    pub max_iters: usize,
+    /// Convergence threshold on the `ℓ∞` change between sweeps.
+    pub tol: f64,
+    /// Relaxation factor for [`sor`] (`1.0` = plain Gauss–Seidel).
+    pub omega: f64,
+    /// Residual magnitude beyond which the solve is declared divergent.
+    pub divergence_threshold: f64,
+}
+
+impl Default for IterOpts {
+    fn default() -> IterOpts {
+        IterOpts {
+            max_iters: 100_000,
+            tol: 1e-10,
+            omega: 1.0,
+            divergence_threshold: 1e18,
+        }
+    }
+}
+
+impl IterOpts {
+    /// Returns options with the given relaxation factor.
+    pub fn with_omega(mut self, omega: f64) -> IterOpts {
+        self.omega = omega;
+        self
+    }
+
+    /// Returns options with the given convergence tolerance.
+    pub fn with_tol(mut self, tol: f64) -> IterOpts {
+        self.tol = tol;
+        self
+    }
+
+    /// Returns options with the given iteration budget.
+    pub fn with_max_iters(mut self, max_iters: usize) -> IterOpts {
+        self.max_iters = max_iters;
+        self
+    }
+}
+
+fn check_shape(m: &CsrMatrix, b: &[f64]) -> Result<(), Error> {
+    if m.nrows() != m.ncols() {
+        return Err(Error::DimensionMismatch {
+            expected: m.nrows(),
+            actual: m.ncols(),
+            what: "fixed-point matrix (must be square)",
+        });
+    }
+    if b.len() != m.nrows() {
+        return Err(Error::DimensionMismatch {
+            expected: m.nrows(),
+            actual: b.len(),
+            what: "fixed-point rhs",
+        });
+    }
+    Ok(())
+}
+
+/// Solves `x = b + M·x` by Jacobi sweeps starting from `x = 0`.
+///
+/// Starting from zero matters for undiscounted negative models: the
+/// iterates are exactly the finite-horizon values `(L⁻)ᵏ·0` of the
+/// paper's Lemma 3.1, so they increase in accuracy monotonically toward
+/// the infinite-horizon value when it exists.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] if `M` is not square or `b` has the
+///   wrong length.
+/// * [`Error::NotConverged`] when the iteration budget is exhausted.
+/// * [`Error::Diverged`] when iterates become non-finite or exceed the
+///   divergence threshold (the fixed point does not exist).
+pub fn jacobi(m: &CsrMatrix, b: &[f64], opts: &IterOpts) -> Result<Vec<f64>, Error> {
+    check_shape(m, b)?;
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for it in 0..opts.max_iters {
+        m.matvec_into(&x, &mut next)?;
+        for i in 0..n {
+            next[i] += b[i];
+        }
+        let delta = dense::dist_inf(&x, &next);
+        std::mem::swap(&mut x, &mut next);
+        if !dense::all_finite(&x) || dense::norm_inf(&x) > opts.divergence_threshold {
+            return Err(Error::Diverged { iteration: it });
+        }
+        if delta <= opts.tol {
+            return Ok(x);
+        }
+    }
+    Err(Error::NotConverged {
+        iterations: opts.max_iters,
+        residual: dense::dist_inf(&x, &next),
+    })
+}
+
+/// Solves `x = b + M·x` by Gauss–Seidel sweeps starting from `x = 0`.
+///
+/// Equivalent to [`sor`] with `omega = 1`.
+///
+/// # Errors
+///
+/// Same as [`jacobi`].
+pub fn gauss_seidel(m: &CsrMatrix, b: &[f64], opts: &IterOpts) -> Result<Vec<f64>, Error> {
+    let opts = opts.clone().with_omega(1.0);
+    sor(m, b, &opts)
+}
+
+/// Solves `x = b + M·x` by Gauss–Seidel with successive over-relaxation.
+///
+/// Each sweep updates in place:
+/// `x_i ← (1−ω)·x_i + ω·(b_i + Σ_{j≠i} M_ij·x_j) / (1 − M_ii)`.
+/// A diagonal entry `M_ii = 1` would make state `i` absorbing with
+/// non-zero reward — the divergent case — and is reported as
+/// [`Error::Diverged`] immediately.
+///
+/// This is the solver the paper uses for the RA-Bound system (§3.1).
+///
+/// # Errors
+///
+/// Same as [`jacobi`], plus immediate divergence when `1 − M_ii` is not
+/// safely invertible.
+pub fn sor(m: &CsrMatrix, b: &[f64], opts: &IterOpts) -> Result<Vec<f64>, Error> {
+    check_shape(m, b)?;
+    if !(opts.omega > 0.0 && opts.omega < 2.0) {
+        return Err(Error::NotFinite {
+            what: "sor relaxation factor (must be in (0, 2))",
+        });
+    }
+    let n = b.len();
+    // Pre-extract diagonal so each sweep can skip it.
+    let mut diag = vec![0.0; n];
+    for i in 0..n {
+        for (j, v) in m.row(i) {
+            if j == i {
+                diag[i] = v;
+            }
+        }
+        if (1.0 - diag[i]).abs() < 1e-14 {
+            // A self-loop with probability 1 and (implicitly) non-zero
+            // reward has no finite fixed point.
+            return Err(Error::Diverged { iteration: 0 });
+        }
+    }
+    let mut x = vec![0.0; n];
+    for it in 0..opts.max_iters {
+        let mut delta = 0.0f64;
+        for i in 0..n {
+            let mut acc = b[i];
+            for (j, v) in m.row(i) {
+                if j != i {
+                    acc += v * x[j];
+                }
+            }
+            let gs = acc / (1.0 - diag[i]);
+            let new = (1.0 - opts.omega) * x[i] + opts.omega * gs;
+            delta = delta.max((new - x[i]).abs());
+            x[i] = new;
+        }
+        if !dense::all_finite(&x) || dense::norm_inf(&x) > opts.divergence_threshold {
+            return Err(Error::Diverged { iteration: it });
+        }
+        if delta <= opts.tol {
+            return Ok(x);
+        }
+    }
+    Err(Error::NotConverged {
+        iterations: opts.max_iters,
+        residual: f64::NAN,
+    })
+}
+
+/// Solves `x = b + M·x` exactly via dense LU on `(I − M)`.
+///
+/// Only suitable for small systems; used to cross-check the iterative
+/// solvers and for toy models.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] on shape mismatch.
+/// * [`Error::Singular`] when `(I − M)` is singular (no unique fixed
+///   point — e.g. a recurrent class with non-zero reward).
+pub fn direct(m: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>, Error> {
+    check_shape(m, b)?;
+    let n = b.len();
+    let mut a = m.to_dense();
+    for v in &mut a {
+        *v = -*v;
+    }
+    for i in 0..n {
+        a[i * n + i] += 1.0;
+    }
+    crate::lu::solve_dense(n, &a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_matrix() -> CsrMatrix {
+        // 0 -> 1 w.p. 1; 1 -> (absorbing, outside) w.p. 1.
+        CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn jacobi_solves_chain() {
+        let v = jacobi(&chain_matrix(), &[-1.0, -2.0], &IterOpts::default()).unwrap();
+        assert!((v[0] + 3.0).abs() < 1e-9);
+        assert!((v[1] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauss_seidel_solves_chain() {
+        let v = gauss_seidel(&chain_matrix(), &[-1.0, -2.0], &IterOpts::default()).unwrap();
+        assert!((v[0] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sor_matches_direct_on_random_substochastic() {
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in 2..=10 {
+            let mut triplets = Vec::new();
+            for r in 0..n {
+                // Random sub-stochastic row: total outgoing mass <= 0.9.
+                let mut remaining = 0.9 * next();
+                for c in 0..n {
+                    let share = remaining * next() * 0.5;
+                    if share > 1e-3 {
+                        triplets.push((r, c, share));
+                        remaining -= share;
+                    }
+                }
+            }
+            let m = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| -next()).collect();
+            let exact = direct(&m, &b).unwrap();
+            for omega in [0.8, 1.0, 1.3] {
+                let opts = IterOpts::default().with_omega(omega);
+                let v = sor(&m, &b, &opts).unwrap();
+                assert!(
+                    crate::dense::dist_inf(&v, &exact) < 1e-7,
+                    "n={n} omega={omega}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_self_loop_is_detected() {
+        // State 0 loops on itself w.p. 1 with reward -1: value is -inf.
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)]).unwrap();
+        let b = [-1.0];
+        assert!(matches!(
+            sor(&m, &b, &IterOpts::default()),
+            Err(Error::Diverged { .. })
+        ));
+        // Jacobi grinds toward -inf and must also notice.
+        let opts = IterOpts {
+            divergence_threshold: 1e3,
+            ..IterOpts::default()
+        };
+        assert!(matches!(jacobi(&m, &b, &opts), Err(Error::Diverged { .. })));
+    }
+
+    #[test]
+    fn divergent_two_cycle_is_detected() {
+        // 0 <-> 1 recurrent with negative rewards: no finite fixed point.
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let b = [-1.0, -1.0];
+        let opts = IterOpts {
+            divergence_threshold: 1e6,
+            max_iters: 10_000_000,
+            ..IterOpts::default()
+        };
+        assert!(matches!(sor(&m, &b, &opts), Err(Error::Diverged { .. })));
+    }
+
+    #[test]
+    fn zero_reward_recurrent_class_converges_to_zero() {
+        // Recurrent but reward-free: fixed point exists (x = anything with
+        // x0 = x1; iteration from 0 yields 0). Gauss-Seidel stays at 0.
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let v = gauss_seidel(&m, &[0.0, 0.0], &IterOpts::default()).unwrap();
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn not_converged_is_reported() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 0.999_999), (1, 0, 0.999_999)]).unwrap();
+        let opts = IterOpts {
+            max_iters: 3,
+            tol: 1e-14,
+            ..IterOpts::default()
+        };
+        assert!(matches!(
+            jacobi(&m, &[-1.0, -1.0], &opts),
+            Err(Error::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_omega_is_rejected() {
+        let m = CsrMatrix::zeros(1, 1);
+        for omega in [0.0, -1.0, 2.0, f64::NAN] {
+            let opts = IterOpts::default().with_omega(omega);
+            assert!(sor(&m, &[1.0], &opts).is_err(), "omega={omega}");
+        }
+    }
+
+    #[test]
+    fn rectangular_matrix_is_rejected() {
+        let m = CsrMatrix::zeros(2, 3);
+        assert!(matches!(
+            jacobi(&m, &[0.0, 0.0], &IterOpts::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn direct_reports_singular_recurrent_system() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            direct(&m, &[-1.0]),
+            Err(Error::Singular { .. })
+        ));
+    }
+}

@@ -1,0 +1,474 @@
+//! Compressed sparse row (CSR) matrices.
+
+use crate::Error;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// The matrix is immutable once built; construct it from triplets with
+/// [`CsrMatrix::from_triplets`] (duplicate entries are summed) or from a
+/// dense row-major slice with [`CsrMatrix::from_dense`].
+///
+/// # Examples
+///
+/// ```
+/// use bpr_linalg::CsrMatrix;
+///
+/// # fn main() -> Result<(), bpr_linalg::Error> {
+/// let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])?;
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.get(0, 2), 2.0);
+/// assert_eq!(m.get(1, 0), 0.0);
+/// let y = m.matvec(&[1.0, 1.0, 1.0])?;
+/// assert_eq!(y, vec![3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// `row_ptr[i]..row_ptr[i + 1]` indexes the entries of row `i`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates a matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate `(row, col)` pairs are summed; exact zeros are kept out
+    /// of the structure. Triplets may be in any order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if any triplet lies outside
+    /// `nrows x ncols`, and [`Error::NotFinite`] if any value is NaN or
+    /// infinite.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<CsrMatrix, Error> {
+        for &(r, c, v) in triplets {
+            if r >= nrows || c >= ncols {
+                return Err(Error::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
+            }
+            if !v.is_finite() {
+                return Err(Error::NotFinite {
+                    what: "matrix triplet value",
+                });
+            }
+        }
+        // Sort triplet indices by (row, col); equal keys end up adjacent
+        // so duplicates can be merged in a single pass.
+        let mut order: Vec<usize> = (0..triplets.len()).collect();
+        order.sort_unstable_by_key(|&i| (triplets[i].0, triplets[i].1));
+
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        let mut cur_row = 0usize;
+        for &i in &order {
+            let (r, c, v) = triplets[i];
+            while cur_row < r {
+                row_ptr.push(col_idx.len());
+                cur_row += 1;
+            }
+            if let (Some(&last_c), true) = (col_idx.last(), row_ptr.len() == r + 1) {
+                if last_c == c && !values.is_empty() && col_idx.len() > row_ptr[r] {
+                    *values.last_mut().expect("nonempty") += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while cur_row < nrows {
+            row_ptr.push(col_idx.len());
+            cur_row += 1;
+        }
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+
+        // Drop exact zeros produced by cancellation.
+        let mut m = CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.prune_zeros();
+        Ok(m)
+    }
+
+    /// Creates a matrix from a dense row-major slice.
+    ///
+    /// Entries with absolute value `0.0` are not stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `data.len() != nrows * ncols`.
+    pub fn from_dense(nrows: usize, ncols: usize, data: &[f64]) -> Result<CsrMatrix, Error> {
+        if data.len() != nrows * ncols {
+            return Err(Error::DimensionMismatch {
+                expected: nrows * ncols,
+                actual: data.len(),
+                what: "dense data length",
+            });
+        }
+        let mut triplets = Vec::new();
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = data[r * ncols + c];
+                if v != 0.0 {
+                    triplets.push((r, c, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(nrows, ncols, &triplets)
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> CsrMatrix {
+        let triplets: Vec<_> = (0..n).map(|i| (i, i, 1.0)).collect();
+        CsrMatrix::from_triplets(n, n, &triplets).expect("identity triplets are in bounds")
+    }
+
+    /// Creates an `nrows x ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> CsrMatrix {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    fn prune_zeros(&mut self) {
+        if !self.values.contains(&0.0) {
+            return;
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::with_capacity(self.col_idx.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        row_ptr.push(0);
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.values[k] != 0.0 {
+                    col_idx.push(self.col_idx[k]);
+                    values.push(self.values[k]);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        self.row_ptr = row_ptr;
+        self.col_idx = col_idx;
+        self.values = values;
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of explicitly stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)`, or `0.0` if it is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+            if self.col_idx[k] == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Iterates over the stored `(col, value)` pairs of one row, in
+    /// ascending column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.nrows()`.
+    pub fn row(&self, row: usize) -> RowIter<'_> {
+        assert!(row < self.nrows, "row out of bounds");
+        RowIter {
+            matrix: self,
+            pos: self.row_ptr[row],
+            end: self.row_ptr[row + 1],
+        }
+    }
+
+    /// Computes `y = self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, Error> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Computes `y = self * x`, writing into a caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.ncols()`
+    /// or `y.len() != self.nrows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), Error> {
+        if x.len() != self.ncols {
+            return Err(Error::DimensionMismatch {
+                expected: self.ncols,
+                actual: x.len(),
+                what: "matvec input",
+            });
+        }
+        if y.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                expected: self.nrows,
+                actual: y.len(),
+                what: "matvec output",
+            });
+        }
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+        Ok(())
+    }
+
+    /// Computes `y = selfᵀ * x` (equivalently `xᵀ · self`).
+    ///
+    /// This is the kernel of the belief propagation step
+    /// `π'(s) ∝ Σ_{s'} p(s|s',a) π(s')`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.nrows()`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>, Error> {
+        if x.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                expected: self.nrows,
+                actual: x.len(),
+                what: "transpose matvec input",
+            });
+        }
+        let mut y = vec![0.0; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[k]] += self.values[k] * xr;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Returns the explicit transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                triplets.push((self.col_idx[k], r, self.values[k]));
+            }
+        }
+        CsrMatrix::from_triplets(self.ncols, self.nrows, &triplets)
+            .expect("transposed triplets are in bounds")
+    }
+
+    /// Sum of the stored entries of each row.
+    ///
+    /// For a stochastic matrix every row sum is `1.0`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Returns a copy with every entry multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> CsrMatrix {
+        let mut m = self.clone();
+        for v in &mut m.values {
+            *v *= factor;
+        }
+        m.prune_zeros();
+        m
+    }
+
+    /// Converts to a dense row-major `Vec` (for tests and tiny models).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nrows * self.ncols];
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                d[r * self.ncols + self.col_idx[k]] = self.values[k];
+            }
+        }
+        d
+    }
+
+    /// True if every row sums to `1.0 ± tol` and all entries are in
+    /// `[0, 1 + tol]` — i.e. the matrix is (row-)stochastic.
+    pub fn is_stochastic(&self, tol: f64) -> bool {
+        self.values.iter().all(|&v| (-tol..=1.0 + tol).contains(&v))
+            && self
+                .row_sums()
+                .iter()
+                .all(|&s| (s - 1.0).abs() <= tol)
+    }
+}
+
+/// Iterator over the `(column, value)` pairs of a single matrix row.
+///
+/// Produced by [`CsrMatrix::row`].
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    matrix: &'a CsrMatrix,
+    pos: usize,
+    end: usize,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let item = (self.matrix.col_idx[self.pos], self.matrix.values[self.pos]);
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_roundtrip_dense() {
+        let dense = [1.0, 0.0, 2.0, 0.0, 0.0, -3.0];
+        let m = CsrMatrix::from_dense(2, 3, &dense).unwrap();
+        assert_eq!(m.to_dense(), dense.to_vec());
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 1, 0.5), (0, 1, 0.25), (0, 0, 1.0)]).unwrap();
+        assert_eq!(m.get(0, 1), 0.75);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn cancelled_duplicates_are_pruned() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, -1.0)]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_is_rejected() {
+        let err = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, Error::IndexOutOfBounds { row: 2, .. }));
+    }
+
+    #[test]
+    fn non_finite_triplet_is_rejected() {
+        let err = CsrMatrix::from_triplets(1, 1, &[(0, 0, f64::NAN)]).unwrap_err();
+        assert!(matches!(err, Error::NotFinite { .. }));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = CsrMatrix::from_dense(2, 3, &[1.0, 2.0, 0.0, 0.0, -1.0, 4.0]).unwrap();
+        let y = m.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn matvec_dimension_mismatch() {
+        let m = CsrMatrix::identity(2);
+        assert!(matches!(
+            m.matvec(&[1.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_matvec_agrees_with_explicit_transpose() {
+        let m = CsrMatrix::from_dense(2, 3, &[1.0, 2.0, 0.0, 0.5, 0.0, 4.0]).unwrap();
+        let x = [3.0, -1.0];
+        let via_kernel = m.matvec_transpose(&x).unwrap();
+        let via_transpose = m.transpose().matvec(&x).unwrap();
+        assert_eq!(via_kernel, via_transpose);
+    }
+
+    #[test]
+    fn identity_is_stochastic() {
+        assert!(CsrMatrix::identity(4).is_stochastic(1e-12));
+    }
+
+    #[test]
+    fn row_iterator_is_sorted_and_exact() {
+        let m =
+            CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 1, 2.0), (0, 0, 3.0)]).unwrap();
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 3.0), (1, 2.0), (3, 1.0)]);
+        assert_eq!(m.row(0).len(), 3);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::zeros(3, 2);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.matvec(&[1.0, 1.0]).unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn scaled_multiplies_entries() {
+        let m = CsrMatrix::identity(2).scaled(2.5);
+        assert_eq!(m.get(0, 0), 2.5);
+        assert_eq!(m.get(1, 1), 2.5);
+    }
+
+    #[test]
+    fn row_sums_of_stochastic_matrix() {
+        let m = CsrMatrix::from_dense(2, 2, &[0.25, 0.75, 1.0, 0.0]).unwrap();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert!((sums[1] - 1.0).abs() < 1e-12);
+        assert!(m.is_stochastic(1e-12));
+    }
+}

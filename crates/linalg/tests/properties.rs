@@ -1,0 +1,145 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use bpr_linalg::{dense, lu, solve, CsrMatrix};
+use proptest::prelude::*;
+
+/// A random dense matrix as a flat vector plus its dimensions.
+fn arb_dense(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c).prop_map(move |data| (r, c, data))
+    })
+}
+
+/// A random sub-stochastic square matrix (row sums <= `max_mass`).
+fn arb_substochastic(max_dim: usize, max_mass: f64) -> impl Strategy<Value = CsrMatrix> {
+    (2..=max_dim)
+        .prop_flat_map(move |n| {
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, n), n)
+                .prop_map(move |rows| (n, rows))
+        })
+        .prop_map(move |(n, rows)| {
+            let mut triplets = Vec::new();
+            for (r, row) in rows.iter().enumerate() {
+                let sum: f64 = row.iter().sum();
+                if sum <= 0.0 {
+                    continue;
+                }
+                let scale = max_mass / sum.max(max_mass);
+                for (c, &v) in row.iter().enumerate() {
+                    if v > 1e-3 {
+                        triplets.push((r, c, v * scale.min(max_mass / sum)));
+                    }
+                }
+            }
+            CsrMatrix::from_triplets(n, n, &triplets).expect("triplets in bounds")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_roundtrips_dense((r, c, data) in arb_dense(6)) {
+        let m = CsrMatrix::from_dense(r, c, &data).unwrap();
+        let back = m.to_dense();
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(m.nrows(), r);
+        prop_assert_eq!(m.ncols(), c);
+    }
+
+    #[test]
+    fn matvec_matches_dense_multiply((r, c, data) in arb_dense(6), seed in 0u64..100) {
+        let m = CsrMatrix::from_dense(r, c, &data).unwrap();
+        let x: Vec<f64> = (0..c).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let y = m.matvec(&x).unwrap();
+        for row in 0..r {
+            let expect: f64 = (0..c).map(|col| data[row * c + col] * x[col]).sum();
+            prop_assert!((y[row] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive((r, c, data) in arb_dense(5)) {
+        let m = CsrMatrix::from_dense(r, c, &data).unwrap();
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(m.to_dense(), tt.to_dense());
+    }
+
+    #[test]
+    fn transpose_matvec_agrees((r, c, data) in arb_dense(5), seed in 0u64..50) {
+        let m = CsrMatrix::from_dense(r, c, &data).unwrap();
+        let x: Vec<f64> = (0..r).map(|i| ((seed + i as u64) % 5) as f64 * 0.5 - 1.0).collect();
+        let fast = m.matvec_transpose(&x).unwrap();
+        let slow = m.transpose().matvec(&x).unwrap();
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iterative_solvers_agree_with_lu(m in arb_substochastic(7, 0.85), seed in 0u64..100) {
+        let n = m.nrows();
+        let b: Vec<f64> = (0..n)
+            .map(|i| -(((seed + i as u64) % 9) as f64) / 3.0)
+            .collect();
+        let exact = solve::direct(&m, &b).unwrap();
+        let opts = solve::IterOpts::default();
+        let gs = solve::gauss_seidel(&m, &b, &opts).unwrap();
+        let jc = solve::jacobi(&m, &b, &opts).unwrap();
+        let sr = solve::sor(&m, &b, &opts.clone().with_omega(1.3)).unwrap();
+        prop_assert!(dense::dist_inf(&gs, &exact) < 1e-6);
+        prop_assert!(dense::dist_inf(&jc, &exact) < 1e-6);
+        prop_assert!(dense::dist_inf(&sr, &exact) < 1e-6);
+    }
+
+    #[test]
+    fn lu_solves_diagonally_dominant(n in 1usize..7, seed in 0u64..200) {
+        let mut a = vec![0.0; n * n];
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 500.0 - 1.0
+        };
+        for i in 0..n * n {
+            a[i] = next();
+        }
+        for i in 0..n {
+            a[i * n + i] += n as f64 + 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = lu::solve_dense(n, &a, &b).unwrap();
+        for r in 0..n {
+            let got: f64 = (0..n).map(|c| a[r * n + c] * x[c]).sum();
+            prop_assert!((got - b[r]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn norms_satisfy_standard_inequalities(v in proptest::collection::vec(-5.0f64..5.0, 1..12)) {
+        let inf = dense::norm_inf(&v);
+        let one = dense::norm_1(&v);
+        let two = dense::norm_2(&v);
+        let n = v.len() as f64;
+        prop_assert!(inf <= one + 1e-12);
+        prop_assert!(inf <= two + 1e-12);
+        prop_assert!(two <= one + 1e-12);
+        prop_assert!(one <= n * inf + 1e-12);
+    }
+
+    #[test]
+    fn normalize_l1_produces_distributions(v in proptest::collection::vec(0.0f64..5.0, 1..12)) {
+        let mut v2 = v.clone();
+        let s = dense::normalize_l1(&mut v2);
+        if s > 0.0 {
+            let total: f64 = v2.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(v2.iter().all(|&p| p >= 0.0));
+        } else {
+            prop_assert_eq!(v, v2);
+        }
+    }
+}

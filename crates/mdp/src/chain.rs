@@ -1,0 +1,607 @@
+//! Markov chain analysis: reachability, recurrence, expected rewards.
+//!
+//! The RA-Bound (paper Eq. 5) reduces a POMDP to a Markov chain whose
+//! expected *total* (undiscounted) accumulated reward must exist and be
+//! finite. Existence hinges on structure: every recurrent state must
+//! accrue zero reward. This module provides the classification machinery
+//! (strongly connected components, recurrent classes, transient states)
+//! and the guarded solve.
+
+use crate::Error;
+use bpr_linalg::{solve, CsrMatrix};
+
+/// A finite Markov chain with one reward per state.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_linalg::CsrMatrix;
+/// use bpr_mdp::chain::MarkovChain;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 0 -> 1 -> 2(absorbing), rewards -1 on the way.
+/// let p = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 2, 1.0)])?;
+/// let chain = MarkovChain::new(p, vec![-1.0, -1.0, 0.0])?;
+/// let v = chain.expected_total_reward(&Default::default())?;
+/// assert!((v[0] + 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    p: CsrMatrix,
+    rewards: Vec<f64>,
+}
+
+/// Options for [`MarkovChain::expected_total_reward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOpts {
+    /// Relaxation factor for the Gauss–Seidel/SOR sweeps.
+    pub omega: f64,
+    /// Convergence tolerance on the `ℓ∞` change between sweeps.
+    pub tol: f64,
+    /// Maximum sweeps before giving up.
+    pub max_iters: usize,
+}
+
+impl Default for SolveOpts {
+    fn default() -> SolveOpts {
+        SolveOpts {
+            omega: 1.0,
+            tol: 1e-10,
+            max_iters: 100_000,
+        }
+    }
+}
+
+impl MarkovChain {
+    /// Creates a chain from a stochastic matrix and per-state rewards.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotStochastic`] if a row does not sum to 1.
+    /// * [`Error::InvalidReward`] if a reward is NaN or infinite.
+    /// * [`Error::IndexOutOfBounds`] if `rewards.len()` differs from the
+    ///   matrix dimension or the matrix is not square.
+    pub fn new(p: CsrMatrix, rewards: Vec<f64>) -> Result<MarkovChain, Error> {
+        if p.nrows() != p.ncols() {
+            return Err(Error::IndexOutOfBounds {
+                what: "chain matrix columns",
+                index: p.ncols(),
+                bound: p.nrows(),
+            });
+        }
+        if rewards.len() != p.nrows() {
+            return Err(Error::IndexOutOfBounds {
+                what: "chain rewards length",
+                index: rewards.len(),
+                bound: p.nrows(),
+            });
+        }
+        for (s, sum) in p.row_sums().iter().enumerate() {
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(Error::NotStochastic {
+                    state: s,
+                    action: 0,
+                    sum: *sum,
+                });
+            }
+        }
+        for (s, &r) in rewards.iter().enumerate() {
+            if !r.is_finite() {
+                return Err(Error::InvalidReward {
+                    state: s,
+                    action: 0,
+                    value: r,
+                });
+            }
+        }
+        Ok(MarkovChain { p, rewards })
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.p.nrows()
+    }
+
+    /// The transition matrix.
+    pub fn transition_matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+
+    /// The probability of moving from `from` to `to` in one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn transition_prob(&self, from: usize, to: usize) -> f64 {
+        self.p.get(from, to)
+    }
+
+    /// The reward accrued when leaving state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn reward(&self, s: usize) -> f64 {
+        self.rewards[s]
+    }
+
+    /// All per-state rewards.
+    pub fn rewards(&self) -> &[f64] {
+        &self.rewards
+    }
+
+    /// True if state `s` transitions to itself with probability 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn is_absorbing(&self, s: usize) -> bool {
+        let mut self_mass = 0.0;
+        for (t, p) in self.p.row(s) {
+            if t == s {
+                self_mass = p;
+            } else if p > 0.0 {
+                return false;
+            }
+        }
+        (self_mass - 1.0).abs() < 1e-12
+    }
+
+    /// States reachable (in any number of steps, including zero) from
+    /// any of `sources`, as a boolean mask.
+    pub fn reachable_from(&self, sources: &[usize]) -> Vec<bool> {
+        let n = self.n_states();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = sources.iter().copied().filter(|&s| s < n).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for (t, p) in self.p.row(s) {
+                if p > 0.0 && !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// For every state, whether some state in `targets` is reachable
+    /// from it (in any number of steps, including zero).
+    pub fn can_reach(&self, targets: &[usize]) -> Vec<bool> {
+        // Reverse-BFS over the transposed graph.
+        let n = self.n_states();
+        let pt = self.p.transpose();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = targets.iter().copied().filter(|&s| s < n).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for (t, p) in pt.row(s) {
+                if p > 0.0 && !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Strongly connected components in reverse topological order
+    /// (successor components first), via iterative Tarjan.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.n_states();
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+
+        // Explicit DFS stack of (node, successor iterator position).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            let succ: Vec<usize> = self.p.row(root).filter(|&(_, p)| p > 0.0).map(|(t, _)| t).collect();
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            call_stack.push((root, succ, 0));
+
+            while let Some((v, succ, mut i)) = call_stack.pop() {
+                let mut recursed = false;
+                while i < succ.len() {
+                    let w = succ[i];
+                    i += 1;
+                    if index[w] == usize::MAX {
+                        // "Recurse" into w.
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        let wsucc: Vec<usize> =
+                            self.p.row(w).filter(|&(_, p)| p > 0.0).map(|(t, _)| t).collect();
+                        call_stack.push((v, succ, i));
+                        call_stack.push((w, wsucc, 0));
+                        recursed = true;
+                        break;
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                }
+                if recursed {
+                    continue;
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    components.push(comp);
+                }
+                // Propagate lowlink to the parent frame.
+                if let Some((parent, _, _)) = call_stack.last() {
+                    let parent = *parent;
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+        components
+    }
+
+    /// The recurrent classes: SCCs with no probability mass leaving them.
+    pub fn recurrent_classes(&self) -> Vec<Vec<usize>> {
+        let sccs = self.sccs();
+        let n = self.n_states();
+        let mut comp_of = vec![usize::MAX; n];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &s in comp {
+                comp_of[s] = ci;
+            }
+        }
+        sccs.iter()
+            .enumerate()
+            .filter(|(ci, comp)| {
+                comp.iter().all(|&s| {
+                    self.p
+                        .row(s)
+                        .all(|(t, p)| p == 0.0 || comp_of[t] == *ci)
+                })
+            })
+            .map(|(_, comp)| comp.clone())
+            .collect()
+    }
+
+    /// Boolean mask of transient states (states not in any recurrent
+    /// class).
+    pub fn transient_states(&self) -> Vec<bool> {
+        let mut transient = vec![true; self.n_states()];
+        for comp in self.recurrent_classes() {
+            for s in comp {
+                transient[s] = false;
+            }
+        }
+        transient
+    }
+
+    /// Expected total accumulated reward `v(s) = r(s) + Σ p(s'|s) v(s')`
+    /// from every state, for chains whose recurrent classes are
+    /// reward-free (otherwise no finite solution exists).
+    ///
+    /// Recurrent states get value 0; the transient subsystem is solved
+    /// with Gauss–Seidel/SOR as in the paper's Section 3.1.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DivergentValue`] if any recurrent state has a non-zero
+    ///   reward.
+    /// * Propagates solver errors ([`Error::Linalg`]) from the sweep.
+    pub fn expected_total_reward(&self, opts: &SolveOpts) -> Result<Vec<f64>, Error> {
+        let n = self.n_states();
+        let transient = self.transient_states();
+        for s in 0..n {
+            if !transient[s] && self.rewards[s] != 0.0 {
+                return Err(Error::DivergentValue {
+                    what: "expected total reward (recurrent state with non-zero reward)",
+                });
+            }
+        }
+        // Index map onto the transient subsystem.
+        let idx: Vec<Option<usize>> = {
+            let mut next = 0usize;
+            transient
+                .iter()
+                .map(|&t| {
+                    if t {
+                        let i = next;
+                        next += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let nt = idx.iter().flatten().count();
+        if nt == 0 {
+            return Ok(vec![0.0; n]);
+        }
+        let mut triplets = Vec::new();
+        let mut b = vec![0.0; nt];
+        for s in 0..n {
+            let Some(i) = idx[s] else { continue };
+            b[i] = self.rewards[s];
+            for (t, p) in self.p.row(s) {
+                if let Some(j) = idx[t] {
+                    if p > 0.0 {
+                        triplets.push((i, j, p));
+                    }
+                }
+            }
+        }
+        let sub = CsrMatrix::from_triplets(nt, nt, &triplets).map_err(Error::Linalg)?;
+        let iter_opts = solve::IterOpts::default()
+            .with_omega(opts.omega)
+            .with_tol(opts.tol)
+            .with_max_iters(opts.max_iters);
+        let vt = solve::sor(&sub, &b, &iter_opts)?;
+        let mut v = vec![0.0; n];
+        for s in 0..n {
+            if let Some(i) = idx[s] {
+                v[s] = vt[i];
+            }
+        }
+        Ok(v)
+    }
+
+    /// Exact expected total reward via dense LU on the transient
+    /// subsystem. Suitable for small chains; used to verify the
+    /// iterative solve.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MarkovChain::expected_total_reward`], with
+    /// [`Error::Linalg`] wrapping singular-matrix failures.
+    pub fn expected_total_reward_direct(&self) -> Result<Vec<f64>, Error> {
+        let n = self.n_states();
+        let transient = self.transient_states();
+        for s in 0..n {
+            if !transient[s] && self.rewards[s] != 0.0 {
+                return Err(Error::DivergentValue {
+                    what: "expected total reward (recurrent state with non-zero reward)",
+                });
+            }
+        }
+        let idx: Vec<Option<usize>> = {
+            let mut next = 0usize;
+            transient
+                .iter()
+                .map(|&t| {
+                    if t {
+                        let i = next;
+                        next += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let nt = idx.iter().flatten().count();
+        if nt == 0 {
+            return Ok(vec![0.0; n]);
+        }
+        let mut triplets = Vec::new();
+        let mut b = vec![0.0; nt];
+        for s in 0..n {
+            let Some(i) = idx[s] else { continue };
+            b[i] = self.rewards[s];
+            for (t, p) in self.p.row(s) {
+                if let Some(j) = idx[t] {
+                    triplets.push((i, j, p));
+                }
+            }
+        }
+        let sub = CsrMatrix::from_triplets(nt, nt, &triplets).map_err(Error::Linalg)?;
+        let vt = solve::direct(&sub, &b).map_err(Error::from)?;
+        let mut v = vec![0.0; n];
+        for s in 0..n {
+            if let Some(i) = idx[s] {
+                v[s] = vt[i];
+            }
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, triplets: &[(usize, usize, f64)], rewards: &[f64]) -> MarkovChain {
+        let p = CsrMatrix::from_triplets(n, n, triplets).unwrap();
+        MarkovChain::new(p, rewards.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_stochastic_matrix() {
+        let p = CsrMatrix::from_triplets(1, 1, &[(0, 0, 0.5)]).unwrap();
+        assert!(matches!(
+            MarkovChain::new(p, vec![0.0]),
+            Err(Error::NotStochastic { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_reward_length_mismatch() {
+        let p = CsrMatrix::identity(2);
+        assert!(matches!(
+            MarkovChain::new(p, vec![0.0]),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn absorbing_detection() {
+        let c = chain(
+            2,
+            &[(0, 1, 1.0), (1, 1, 1.0)],
+            &[0.0, 0.0],
+        );
+        assert!(!c.is_absorbing(0));
+        assert!(c.is_absorbing(1));
+    }
+
+    #[test]
+    fn reachability_forward_and_backward() {
+        // 0 -> 1 -> 2(abs), 3 isolated loop.
+        let c = chain(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 2, 1.0), (3, 3, 1.0)],
+            &[0.0; 4],
+        );
+        assert_eq!(c.reachable_from(&[0]), vec![true, true, true, false]);
+        assert_eq!(c.can_reach(&[2]), vec![true, true, true, false]);
+        assert_eq!(c.reachable_from(&[3]), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn sccs_partition_states() {
+        // Cycle {0,1}, absorbing {2}.
+        let c = chain(
+            3,
+            &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 0.5), (2, 2, 1.0)],
+            &[0.0; 3],
+        );
+        let mut sccs = c.sccs();
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn recurrent_and_transient_classification() {
+        // 0 -> {0,1} cycle leaks to 2; 2 absorbing.
+        let c = chain(
+            3,
+            &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 0.5), (2, 2, 1.0)],
+            &[0.0; 3],
+        );
+        assert_eq!(c.recurrent_classes(), vec![vec![2]]);
+        assert_eq!(c.transient_states(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn two_recurrent_classes() {
+        let c = chain(
+            4,
+            &[(0, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (3, 0, 0.5), (3, 1, 0.5)],
+            &[0.0; 4],
+        );
+        let mut rec = c.recurrent_classes();
+        rec.sort();
+        assert_eq!(rec, vec![vec![0], vec![1, 2]]);
+        assert_eq!(c.transient_states(), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn expected_reward_of_absorbing_walk() {
+        // Geometric: stay with prob 0.5 (reward -1 each step until absorbed).
+        let c = chain(
+            2,
+            &[(0, 0, 0.5), (0, 1, 0.5), (1, 1, 1.0)],
+            &[-1.0, 0.0],
+        );
+        let v = c.expected_total_reward(&SolveOpts::default()).unwrap();
+        // E[steps in 0] = 2 => v = -2.
+        assert!((v[0] + 2.0).abs() < 1e-8);
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    fn iterative_matches_direct() {
+        let c = chain(
+            4,
+            &[
+                (0, 1, 0.3),
+                (0, 2, 0.7),
+                (1, 2, 0.5),
+                (1, 3, 0.5),
+                (2, 3, 1.0),
+                (3, 3, 1.0),
+            ],
+            &[-1.0, -2.0, -0.5, 0.0],
+        );
+        let it = c.expected_total_reward(&SolveOpts::default()).unwrap();
+        let ex = c.expected_total_reward_direct().unwrap();
+        for (a, b) in it.iter().zip(&ex) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn sor_accelerates_but_agrees() {
+        let c = chain(
+            3,
+            &[(0, 0, 0.9), (0, 1, 0.1), (1, 1, 0.9), (1, 2, 0.1), (2, 2, 1.0)],
+            &[-1.0, -1.0, 0.0],
+        );
+        let plain = c.expected_total_reward(&SolveOpts::default()).unwrap();
+        let relaxed = c
+            .expected_total_reward(&SolveOpts {
+                omega: 1.5,
+                ..SolveOpts::default()
+            })
+            .unwrap();
+        for (a, b) in plain.iter().zip(&relaxed) {
+            assert!((a - b).abs() < 1e-7);
+        }
+        assert!((plain[0] + 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recurrent_nonzero_reward_is_divergent() {
+        let c = chain(1, &[(0, 0, 1.0)], &[-1.0]);
+        assert!(matches!(
+            c.expected_total_reward(&SolveOpts::default()),
+            Err(Error::DivergentValue { .. })
+        ));
+        assert!(matches!(
+            c.expected_total_reward_direct(),
+            Err(Error::DivergentValue { .. })
+        ));
+    }
+
+    #[test]
+    fn reward_free_recurrent_chain_is_zero() {
+        let c = chain(2, &[(0, 1, 1.0), (1, 0, 1.0)], &[0.0, 0.0]);
+        let v = c.expected_total_reward(&SolveOpts::default()).unwrap();
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn large_chain_scc_does_not_overflow_stack() {
+        // A long path: each state leads to the next, last absorbing.
+        let n = 50_000;
+        let mut triplets: Vec<(usize, usize, f64)> =
+            (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        triplets.push((n - 1, n - 1, 1.0));
+        let c = chain(n, &triplets, &vec![0.0; n]);
+        let sccs = c.sccs();
+        assert_eq!(sccs.len(), n);
+        assert_eq!(c.recurrent_classes(), vec![vec![n - 1]]);
+    }
+}

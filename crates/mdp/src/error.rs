@@ -1,0 +1,158 @@
+use std::fmt;
+
+/// Errors produced when building or solving MDP models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A state or action index was outside the model's dimensions.
+    IndexOutOfBounds {
+        /// Description of the offending index kind ("state", "action", ...).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must stay under.
+        bound: usize,
+    },
+    /// The transition distribution `p(·|s, a)` does not sum to 1.
+    NotStochastic {
+        /// State whose distribution is malformed.
+        state: usize,
+        /// Action whose distribution is malformed.
+        action: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A probability was negative, above one, or non-finite.
+    InvalidProbability {
+        /// State of the offending entry.
+        state: usize,
+        /// Action of the offending entry.
+        action: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A reward was NaN or infinite.
+    InvalidReward {
+        /// State of the offending reward.
+        state: usize,
+        /// Action of the offending reward.
+        action: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The model has zero states or zero actions.
+    EmptyModel,
+    /// A dynamic-programming recursion has no finite solution
+    /// (e.g. a recurrent class accrues non-zero reward under β = 1).
+    DivergentValue {
+        /// Human-readable description of what diverged.
+        what: &'static str,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(bpr_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::IndexOutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound} required)")
+            }
+            Error::NotStochastic { state, action, sum } => write!(
+                f,
+                "transition distribution for state {state}, action {action} sums to {sum}, not 1"
+            ),
+            Error::InvalidProbability {
+                state,
+                action,
+                value,
+            } => write!(
+                f,
+                "invalid probability {value} for state {state}, action {action}"
+            ),
+            Error::InvalidReward {
+                state,
+                action,
+                value,
+            } => write!(
+                f,
+                "invalid reward {value} for state {state}, action {action}"
+            ),
+            Error::EmptyModel => write!(f, "model must have at least one state and one action"),
+            Error::DivergentValue { what } => {
+                write!(f, "no finite solution exists for {what}")
+            }
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bpr_linalg::Error> for Error {
+    fn from(e: bpr_linalg::Error) -> Error {
+        match e {
+            bpr_linalg::Error::Diverged { .. } => Error::DivergentValue {
+                what: "iterative linear solve (diverged)",
+            },
+            other => Error::Linalg(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let errs: Vec<Error> = vec![
+            Error::IndexOutOfBounds {
+                what: "state",
+                index: 5,
+                bound: 3,
+            },
+            Error::NotStochastic {
+                state: 0,
+                action: 1,
+                sum: 0.5,
+            },
+            Error::InvalidProbability {
+                state: 0,
+                action: 0,
+                value: -0.1,
+            },
+            Error::InvalidReward {
+                state: 0,
+                action: 0,
+                value: f64::NAN,
+            },
+            Error::EmptyModel,
+            Error::DivergentValue { what: "test" },
+            Error::Linalg(bpr_linalg::Error::Singular { pivot: 0 }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn linalg_divergence_maps_to_divergent_value() {
+        let e: Error = bpr_linalg::Error::Diverged { iteration: 3 }.into();
+        assert!(matches!(e, Error::DivergentValue { .. }));
+    }
+
+    #[test]
+    fn source_is_exposed_for_linalg_errors() {
+        use std::error::Error as _;
+        let e = Error::Linalg(bpr_linalg::Error::Singular { pivot: 1 });
+        assert!(e.source().is_some());
+        assert!(Error::EmptyModel.source().is_none());
+    }
+}

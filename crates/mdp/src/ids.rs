@@ -1,0 +1,108 @@
+//! Index newtypes distinguishing states from actions.
+
+use std::fmt;
+
+/// Identifier of an MDP/POMDP state (an index into the state space).
+///
+/// # Examples
+///
+/// ```
+/// use bpr_mdp::StateId;
+///
+/// let s = StateId::new(3);
+/// assert_eq!(s.index(), 3);
+/// assert_eq!(s.to_string(), "s3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StateId(usize);
+
+impl StateId {
+    /// Wraps a raw state index.
+    pub const fn new(index: usize) -> StateId {
+        StateId(index)
+    }
+
+    /// The raw index into the state space.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for StateId {
+    fn from(index: usize) -> StateId {
+        StateId(index)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of an MDP/POMDP action (an index into the action set).
+///
+/// # Examples
+///
+/// ```
+/// use bpr_mdp::ActionId;
+///
+/// let a = ActionId::new(1);
+/// assert_eq!(a.index(), 1);
+/// assert_eq!(a.to_string(), "a1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ActionId(usize);
+
+impl ActionId {
+    /// Wraps a raw action index.
+    pub const fn new(index: usize) -> ActionId {
+        ActionId(index)
+    }
+
+    /// The raw index into the action set.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ActionId {
+    fn from(index: usize) -> ActionId {
+        ActionId(index)
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(StateId::new(0));
+        set.insert(StateId::new(0));
+        set.insert(StateId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(StateId::new(0) < StateId::new(1));
+        assert!(ActionId::new(2) > ActionId::new(1));
+    }
+
+    #[test]
+    fn conversion_from_usize() {
+        assert_eq!(StateId::from(7).index(), 7);
+        assert_eq!(ActionId::from(7).index(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(StateId::default().to_string(), "s0");
+        assert_eq!(ActionId::new(12).to_string(), "a12");
+    }
+}

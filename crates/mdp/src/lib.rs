@@ -1,0 +1,59 @@
+//! Markov decision processes for the `bpr` workspace.
+//!
+//! An MDP here is the tuple `(S, A, p(·|s,a), r(s,a))` of the paper's
+//! Section 2, with rewards interpreted as costs (non-positive in
+//! recovery models). The crate provides:
+//!
+//! * [`Mdp`] and [`MdpBuilder`] — validated sparse models with optional
+//!   state/action labels and per-action durations.
+//! * [`value_iteration`] — discounted and undiscounted (negative-model)
+//!   dynamic programming (paper Eq. 1), producing optimal values and
+//!   deterministic stationary policies.
+//! * [`policy`] — policies, exact policy evaluation via linear solves,
+//!   and policy iteration.
+//! * [`chain`] — Markov chain analysis: reachability, strongly connected
+//!   components, recurrent/transient classification, and expected total
+//!   (undiscounted) accumulated reward — the computation behind the
+//!   RA-Bound (paper Eq. 5).
+//! * [`Mdp::uniform_random_chain`] — the random-action chain obtained by
+//!   replacing the max over actions with a uniform average, which is the
+//!   heart of the RA-Bound.
+//!
+//! # Examples
+//!
+//! The two-server model of the paper's Figure 1(a), solved exactly:
+//!
+//! ```
+//! use bpr_mdp::{MdpBuilder, value_iteration::{ValueIteration, Discount}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // States: 0 = Fault(a), 1 = Fault(b), 2 = Null (absorbing).
+//! let mut b = MdpBuilder::new(3, 2);
+//! b.action_label(0, "Restart(a)").action_label(1, "Restart(b)");
+//! b.transition(0, 0, 2, 1.0).reward(0, 0, -0.5); // fixes a
+//! b.transition(0, 1, 0, 1.0).reward(0, 1, -1.0); // wrong restart
+//! b.transition(1, 0, 1, 1.0).reward(1, 0, -1.0);
+//! b.transition(1, 1, 2, 1.0).reward(1, 1, -0.5);
+//! b.transition(2, 0, 2, 1.0).reward(2, 0, 0.0); // Null loops, free
+//! b.transition(2, 1, 2, 1.0).reward(2, 1, 0.0);
+//! let mdp = b.build()?;
+//!
+//! let sol = ValueIteration::new(Discount::Undiscounted).solve(&mdp)?;
+//! assert_eq!(sol.values, vec![-0.5, -0.5, 0.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+mod error;
+mod ids;
+mod model;
+pub mod policy;
+pub mod value_iteration;
+
+pub use error::Error;
+pub use ids::{ActionId, StateId};
+pub use model::{Mdp, MdpBuilder};

@@ -1,0 +1,268 @@
+//! Deterministic stationary policies, evaluation, and policy iteration.
+
+use crate::chain::SolveOpts;
+use crate::value_iteration::{q_values, Discount, Solution};
+use crate::{ActionId, Error, Mdp, StateId};
+use bpr_linalg::{solve, CsrMatrix};
+
+/// A deterministic stationary Markov policy `ρ : S → A`.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_mdp::{policy::Policy, ActionId};
+///
+/// let rho = Policy::new(vec![ActionId::new(1), ActionId::new(0)]);
+/// assert_eq!(rho.action(0.into()).index(), 1);
+/// assert_eq!(rho.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    actions: Vec<ActionId>,
+}
+
+impl Policy {
+    /// Wraps a per-state action assignment.
+    pub fn new(actions: Vec<ActionId>) -> Policy {
+        Policy { actions }
+    }
+
+    /// The constant policy that plays `action` everywhere (the "blind"
+    /// policy of Hauskrecht's bound).
+    pub fn constant(n_states: usize, action: ActionId) -> Policy {
+        Policy {
+            actions: vec![action; n_states],
+        }
+    }
+
+    /// The action prescribed for a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn action(&self, state: StateId) -> ActionId {
+        self.actions[state.index()]
+    }
+
+    /// Number of states covered.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if the policy covers no states.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterates over per-state actions in state order.
+    pub fn iter(&self) -> impl Iterator<Item = ActionId> + '_ {
+        self.actions.iter().copied()
+    }
+}
+
+/// Evaluates a policy exactly: the value `v_ρ` with
+/// `v_ρ = r_ρ + β P_ρ v_ρ`.
+///
+/// For [`Discount::Undiscounted`] the solve goes through
+/// [`crate::chain::MarkovChain::expected_total_reward`], which requires
+/// the policy's recurrent classes to be reward-free; otherwise the value
+/// does not exist and [`Error::DivergentValue`] is returned. This is
+/// exactly the mechanism by which the blind-policy bound fails on
+/// recovery models with recovery notification (paper §3.1).
+///
+/// # Errors
+///
+/// * [`Error::IndexOutOfBounds`] if the policy does not match the model.
+/// * [`Error::DivergentValue`] if no finite value exists.
+/// * [`Error::Linalg`] on solver failures.
+pub fn evaluate(
+    mdp: &Mdp,
+    policy: &Policy,
+    discount: Discount,
+    opts: &SolveOpts,
+) -> Result<Vec<f64>, Error> {
+    discount.validate()?;
+    match discount {
+        Discount::Undiscounted => {
+            let chain = mdp.policy_chain(policy)?;
+            chain.expected_total_reward(opts)
+        }
+        Discount::Factor(beta) => {
+            let chain = mdp.policy_chain(policy)?;
+            let scaled: CsrMatrix = chain.transition_matrix().scaled(beta);
+            let iter_opts = solve::IterOpts::default()
+                .with_omega(opts.omega)
+                .with_tol(opts.tol)
+                .with_max_iters(opts.max_iters);
+            solve::sor(&scaled, chain.rewards(), &iter_opts).map_err(Error::from)
+        }
+    }
+}
+
+/// Howard policy iteration for discounted models.
+///
+/// Starts from the all-zeros policy, alternating exact evaluation and
+/// greedy improvement until the policy is stable.
+///
+/// Undiscounted models are not supported here because policy evaluation
+/// may be undefined for intermediate policies; use
+/// [`crate::value_iteration::ValueIteration`] with
+/// [`Discount::Undiscounted`] instead.
+///
+/// # Errors
+///
+/// * [`Error::DivergentValue`] if `discount` is [`Discount::Undiscounted`]
+///   or outside `[0, 1)`.
+/// * Propagates evaluation failures.
+pub fn policy_iteration(mdp: &Mdp, discount: Discount, opts: &SolveOpts) -> Result<Solution, Error> {
+    let beta = match discount {
+        Discount::Undiscounted => {
+            return Err(Error::DivergentValue {
+                what: "policy iteration on undiscounted model (use value iteration)",
+            })
+        }
+        Discount::Factor(b) => {
+            discount.validate()?;
+            b
+        }
+    };
+    let mut policy = Policy::constant(mdp.n_states(), ActionId::new(0));
+    for it in 1..=1_000 {
+        let v = evaluate(mdp, &policy, discount, opts)?;
+        let q = q_values(mdp, &v, beta);
+        let mut improved = Policy::new(
+            (0..mdp.n_states())
+                .map(|s| {
+                    let mut best = policy.action(StateId::new(s));
+                    let mut best_q = q[best.index()][s];
+                    for a in 0..mdp.n_actions() {
+                        // Strict improvement beyond tolerance keeps the
+                        // iteration from cycling on ties.
+                        if q[a][s] > best_q + 1e-12 {
+                            best = ActionId::new(a);
+                            best_q = q[a][s];
+                        }
+                    }
+                    best
+                })
+                .collect(),
+        );
+        std::mem::swap(&mut policy, &mut improved);
+        if policy == improved {
+            let values = evaluate(mdp, &policy, discount, opts)?;
+            return Ok(Solution {
+                values,
+                policy,
+                iterations: it,
+            });
+        }
+    }
+    Err(Error::DivergentValue {
+        what: "policy iteration (did not stabilise)",
+    })
+}
+
+/// The "blind policy" values of Hauskrecht's bound: for each action `a`,
+/// the value of starting anywhere and playing `a` forever.
+///
+/// Returns one result per action; actions whose blind value diverges
+/// under the undiscounted criterion yield `Err`, which callers (the
+/// blind-policy POMDP bound) surface as "bound does not exist".
+pub fn blind_values(
+    mdp: &Mdp,
+    discount: Discount,
+    opts: &SolveOpts,
+) -> Vec<Result<Vec<f64>, Error>> {
+    (0..mdp.n_actions())
+        .map(|a| {
+            let policy = Policy::constant(mdp.n_states(), ActionId::new(a));
+            evaluate(mdp, &policy, discount, opts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MdpBuilder;
+
+    fn recovery_mdp() -> Mdp {
+        let mut b = MdpBuilder::new(3, 2);
+        // Action 0 fixes state 0; action 1 fixes state 1; state 2 absorbing.
+        b.transition(0, 0, 2, 1.0).reward(0, 0, -0.5);
+        b.transition(1, 0, 1, 1.0).reward(1, 0, -1.0);
+        b.transition(2, 0, 2, 1.0);
+        b.transition(0, 1, 0, 1.0).reward(0, 1, -1.0);
+        b.transition(1, 1, 2, 1.0).reward(1, 1, -0.5);
+        b.transition(2, 1, 2, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn evaluate_optimal_policy_undiscounted() {
+        let mdp = recovery_mdp();
+        let rho = Policy::new(vec![ActionId::new(0), ActionId::new(1), ActionId::new(0)]);
+        let v = evaluate(&mdp, &rho, Discount::Undiscounted, &SolveOpts::default()).unwrap();
+        assert!((v[0] + 0.5).abs() < 1e-9);
+        assert!((v[1] + 0.5).abs() < 1e-9);
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn evaluate_bad_policy_diverges_undiscounted() {
+        let mdp = recovery_mdp();
+        // Playing action 1 in state 0 loops forever with cost.
+        let rho = Policy::constant(3, ActionId::new(1));
+        assert!(matches!(
+            evaluate(&mdp, &rho, Discount::Undiscounted, &SolveOpts::default()),
+            Err(Error::DivergentValue { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_bad_policy_finite_discounted() {
+        let mdp = recovery_mdp();
+        let rho = Policy::constant(3, ActionId::new(1));
+        let v = evaluate(&mdp, &rho, Discount::Factor(0.5), &SolveOpts::default()).unwrap();
+        // v(0) = -1 + 0.5 v(0) => -2.
+        assert!((v[0] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_iteration_matches_value_iteration() {
+        use crate::value_iteration::ValueIteration;
+        let mdp = recovery_mdp();
+        let pi = policy_iteration(&mdp, Discount::Factor(0.9), &SolveOpts::default()).unwrap();
+        let vi = ValueIteration::new(Discount::Factor(0.9)).solve(&mdp).unwrap();
+        for (a, b) in pi.values.iter().zip(&vi.values) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(pi.policy.action(0.into()).index(), 0);
+        assert_eq!(pi.policy.action(1.into()).index(), 1);
+    }
+
+    #[test]
+    fn policy_iteration_rejects_undiscounted() {
+        let mdp = recovery_mdp();
+        assert!(policy_iteration(&mdp, Discount::Undiscounted, &SolveOpts::default()).is_err());
+    }
+
+    #[test]
+    fn blind_values_mix_finite_and_divergent() {
+        let mdp = recovery_mdp();
+        let blind = blind_values(&mdp, Discount::Undiscounted, &SolveOpts::default());
+        // Neither constant action recovers both fault states.
+        assert!(blind[0].is_err());
+        assert!(blind[1].is_err());
+        let blind_disc = blind_values(&mdp, Discount::Factor(0.9), &SolveOpts::default());
+        assert!(blind_disc.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn constant_policy_is_uniform() {
+        let rho = Policy::constant(4, ActionId::new(2));
+        assert_eq!(rho.len(), 4);
+        assert!(!rho.is_empty());
+        assert!(rho.iter().all(|a| a.index() == 2));
+    }
+}

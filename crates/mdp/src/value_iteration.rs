@@ -1,0 +1,348 @@
+//! Dynamic-programming solution of MDPs (paper Eq. 1).
+//!
+//! Supports both discounted models (`β < 1`) and the paper's
+//! undiscounted optimality criterion (`β = 1`). For undiscounted
+//! *negative* models (all rewards ≤ 0) with reward-free absorbing
+//! structure, iterating the Bellman operator from `v = 0` converges to
+//! the optimal value (Puterman, Theorem 7.3.10); divergence — values
+//! marching off to −∞ — is detected and reported.
+
+use crate::policy::Policy;
+use crate::{ActionId, Error, Mdp};
+use bpr_linalg::dense;
+
+/// The discounting regime of a solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Discount {
+    /// Discounted accumulated reward with factor `β ∈ [0, 1)`.
+    Factor(f64),
+    /// The paper's undiscounted total-reward criterion (`β = 1`).
+    Undiscounted,
+}
+
+impl Discount {
+    /// The numeric discount factor.
+    pub fn beta(self) -> f64 {
+        match self {
+            Discount::Factor(b) => b,
+            Discount::Undiscounted => 1.0,
+        }
+    }
+
+    /// Validates the factor is in `[0, 1)` for the discounted case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivergentValue`] for factors outside `[0, 1)`.
+    pub fn validate(self) -> Result<(), Error> {
+        match self {
+            Discount::Factor(b) if !(0.0..1.0).contains(&b) => Err(Error::DivergentValue {
+                what: "discount factor outside [0, 1)",
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Whether the Bellman recursion maximises or minimises over actions.
+///
+/// `Minimize` computes the *worst-action* value used by the BI-POMDP
+/// bound of Washington (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Pick the best action in every state (the usual optimal control).
+    #[default]
+    Maximize,
+    /// Pick the worst action in every state (BI-POMDP's `V_m^BI`).
+    Minimize,
+}
+
+/// Options for a value-iteration solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViOpts {
+    /// Stop when the `ℓ∞` change between sweeps is below this.
+    pub tol: f64,
+    /// Maximum number of sweeps.
+    pub max_iters: usize,
+    /// Declare divergence once `‖v‖∞` exceeds this.
+    pub divergence_threshold: f64,
+    /// Max/min over actions (see [`Objective`]).
+    pub objective: Objective,
+}
+
+impl Default for ViOpts {
+    fn default() -> ViOpts {
+        ViOpts {
+            tol: 1e-9,
+            max_iters: 1_000_000,
+            divergence_threshold: 1e15,
+            objective: Objective::Maximize,
+        }
+    }
+}
+
+/// The result of a value-iteration or policy-iteration solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal (or pessimal, under [`Objective::Minimize`]) values.
+    pub values: Vec<f64>,
+    /// A greedy deterministic stationary policy achieving `values`.
+    pub policy: Policy,
+    /// Number of Bellman sweeps performed.
+    pub iterations: usize,
+}
+
+/// Value-iteration solver (paper Eq. 1).
+///
+/// # Examples
+///
+/// ```
+/// use bpr_mdp::{MdpBuilder, value_iteration::{ValueIteration, Discount}};
+///
+/// # fn main() -> Result<(), bpr_mdp::Error> {
+/// let mut b = MdpBuilder::new(2, 2);
+/// b.transition(0, 0, 1, 1.0).reward(0, 0, -1.0); // good action
+/// b.transition(0, 1, 0, 1.0).reward(0, 1, -5.0); // bad action
+/// b.transition(1, 0, 1, 1.0);
+/// b.transition(1, 1, 1, 1.0);
+/// let mdp = b.build()?;
+/// let sol = ValueIteration::new(Discount::Undiscounted).solve(&mdp)?;
+/// assert_eq!(sol.values, vec![-1.0, 0.0]);
+/// assert_eq!(sol.policy.action(0.into()).index(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueIteration {
+    discount: Discount,
+    opts: ViOpts,
+}
+
+impl ValueIteration {
+    /// Creates a solver with default options.
+    pub fn new(discount: Discount) -> ValueIteration {
+        ValueIteration {
+            discount,
+            opts: ViOpts::default(),
+        }
+    }
+
+    /// Replaces the solver options.
+    pub fn with_opts(mut self, opts: ViOpts) -> ValueIteration {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs value iteration from `v = 0` until convergence.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DivergentValue`] if the iterates exceed the divergence
+    ///   threshold (no finite optimal value, e.g. an undiscounted model
+    ///   where every policy loops with negative reward) or the discount
+    ///   factor is invalid.
+    /// * [`Error::DivergentValue`] with a budget message when the sweep
+    ///   limit is reached before convergence.
+    pub fn solve(&self, mdp: &Mdp) -> Result<Solution, Error> {
+        self.discount.validate()?;
+        let beta = self.discount.beta();
+        let n = mdp.n_states();
+        let mut v = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        let mut q = vec![0.0; mdp.n_actions()];
+        for it in 0..self.opts.max_iters {
+            for s in 0..n {
+                for a in 0..mdp.n_actions() {
+                    let mut acc = mdp.reward_vector(ActionId::new(a))[s];
+                    for (s2, p) in mdp.successors(s, a) {
+                        acc += beta * p * v[s2.index()];
+                    }
+                    q[a] = acc;
+                }
+                next[s] = match self.opts.objective {
+                    Objective::Maximize => q.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    Objective::Minimize => q.iter().copied().fold(f64::INFINITY, f64::min),
+                };
+            }
+            let delta = dense::dist_inf(&v, &next);
+            std::mem::swap(&mut v, &mut next);
+            if !dense::all_finite(&v) || dense::norm_inf(&v) > self.opts.divergence_threshold {
+                return Err(Error::DivergentValue {
+                    what: "value iteration (iterates unbounded)",
+                });
+            }
+            if delta <= self.opts.tol {
+                let policy = self.greedy_policy(mdp, &v);
+                return Ok(Solution {
+                    values: v,
+                    policy,
+                    iterations: it + 1,
+                });
+            }
+        }
+        Err(Error::DivergentValue {
+            what: "value iteration (sweep budget exhausted)",
+        })
+    }
+
+    /// The greedy policy with respect to a value function.
+    fn greedy_policy(&self, mdp: &Mdp, v: &[f64]) -> Policy {
+        let beta = self.discount.beta();
+        let mut actions = Vec::with_capacity(mdp.n_states());
+        for s in 0..mdp.n_states() {
+            let mut best_a = 0usize;
+            let mut best_q = f64::NEG_INFINITY;
+            let mut worst_q = f64::INFINITY;
+            let mut worst_a = 0usize;
+            for a in 0..mdp.n_actions() {
+                let mut acc = mdp.reward_vector(ActionId::new(a))[s];
+                for (s2, p) in mdp.successors(s, a) {
+                    acc += beta * p * v[s2.index()];
+                }
+                if acc > best_q {
+                    best_q = acc;
+                    best_a = a;
+                }
+                if acc < worst_q {
+                    worst_q = acc;
+                    worst_a = a;
+                }
+            }
+            actions.push(ActionId::new(match self.opts.objective {
+                Objective::Maximize => best_a,
+                Objective::Minimize => worst_a,
+            }));
+        }
+        Policy::new(actions)
+    }
+}
+
+/// Per-(state, action) Q-values for a given value function:
+/// `Q(s, a) = r(s, a) + β Σ_{s'} p(s'|s,a) v(s')`.
+///
+/// Returned as `q[a][s]`. This is the kernel shared by the QMDP upper
+/// bound and greedy-policy extraction.
+///
+/// # Panics
+///
+/// Panics if `v.len() != mdp.n_states()`.
+pub fn q_values(mdp: &Mdp, v: &[f64], beta: f64) -> Vec<Vec<f64>> {
+    assert_eq!(v.len(), mdp.n_states(), "value function length mismatch");
+    let mut q = vec![vec![0.0; mdp.n_states()]; mdp.n_actions()];
+    for a in 0..mdp.n_actions() {
+        for s in 0..mdp.n_states() {
+            let mut acc = mdp.reward_vector(ActionId::new(a))[s];
+            for (s2, p) in mdp.successors(s, a) {
+                acc += beta * p * v[s2.index()];
+            }
+            q[a][s] = acc;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MdpBuilder;
+
+    fn recovery_mdp() -> Mdp {
+        // 0 = Fault(a), 1 = Fault(b), 2 = Null absorbing, 3 actions.
+        let mut b = MdpBuilder::new(3, 3);
+        b.transition(0, 0, 2, 1.0).reward(0, 0, -0.5);
+        b.transition(1, 0, 1, 1.0).reward(1, 0, -1.0);
+        b.transition(2, 0, 2, 1.0);
+        b.transition(0, 1, 0, 1.0).reward(0, 1, -1.0);
+        b.transition(1, 1, 2, 1.0).reward(1, 1, -0.5);
+        b.transition(2, 1, 2, 1.0);
+        b.transition(0, 2, 0, 1.0).reward(0, 2, -1.0);
+        b.transition(1, 2, 1, 1.0).reward(1, 2, -1.0);
+        b.transition(2, 2, 2, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn undiscounted_negative_model_solves() {
+        let sol = ValueIteration::new(Discount::Undiscounted)
+            .solve(&recovery_mdp())
+            .unwrap();
+        assert_eq!(sol.values, vec![-0.5, -0.5, 0.0]);
+        assert_eq!(sol.policy.action(0.into()).index(), 0);
+        assert_eq!(sol.policy.action(1.into()).index(), 1);
+    }
+
+    #[test]
+    fn discounted_solve_contracts() {
+        let sol = ValueIteration::new(Discount::Factor(0.9))
+            .solve(&recovery_mdp())
+            .unwrap();
+        assert!((sol.values[0] + 0.5).abs() < 1e-7);
+        assert_eq!(sol.values[2], 0.0);
+    }
+
+    #[test]
+    fn minimize_objective_computes_worst_action() {
+        // Worst action in fault states loops forever with cost: divergent.
+        let vi = ValueIteration::new(Discount::Undiscounted).with_opts(ViOpts {
+            objective: Objective::Minimize,
+            divergence_threshold: 1e6,
+            ..ViOpts::default()
+        });
+        assert!(matches!(
+            vi.solve(&recovery_mdp()),
+            Err(Error::DivergentValue { .. })
+        ));
+        // Discounted worst-action value is finite: -1 / (1 - 0.9) = -10
+        // for the looping observe action.
+        let vi = ValueIteration::new(Discount::Factor(0.9)).with_opts(ViOpts {
+            objective: Objective::Minimize,
+            ..ViOpts::default()
+        });
+        let sol = vi.solve(&recovery_mdp()).unwrap();
+        assert!((sol.values[0] + 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_discount_factor_is_rejected() {
+        for b in [1.0, 1.5, -0.1] {
+            assert!(ValueIteration::new(Discount::Factor(b))
+                .solve(&recovery_mdp())
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn divergent_undiscounted_model_is_detected() {
+        // Single state, single looping action with cost.
+        let mut b = MdpBuilder::new(1, 1);
+        b.transition(0, 0, 0, 1.0).reward(0, 0, -1.0);
+        let mdp = b.build().unwrap();
+        let vi = ValueIteration::new(Discount::Undiscounted).with_opts(ViOpts {
+            divergence_threshold: 1e4,
+            ..ViOpts::default()
+        });
+        assert!(matches!(
+            vi.solve(&mdp),
+            Err(Error::DivergentValue { .. })
+        ));
+    }
+
+    #[test]
+    fn q_values_match_bellman_backup() {
+        let mdp = recovery_mdp();
+        let v = vec![-0.5, -0.5, 0.0];
+        let q = q_values(&mdp, &v, 1.0);
+        assert_eq!(q[0][0], -0.5); // restart(a) in Fault(a): -0.5 + 0
+        assert_eq!(q[1][0], -1.5); // restart(b): -1.0 + v[0]
+        assert_eq!(q[2][2], 0.0);
+    }
+
+    #[test]
+    fn iterations_are_reported() {
+        let sol = ValueIteration::new(Discount::Undiscounted)
+            .solve(&recovery_mdp())
+            .unwrap();
+        assert!(sol.iterations >= 2);
+        assert!(sol.iterations < 100);
+    }
+}

@@ -1,0 +1,161 @@
+//! Edge-case tests for the Markov-chain machinery and value iteration:
+//! degenerate chains, near-singular dynamics, and large sparse models.
+
+use bpr_linalg::CsrMatrix;
+use bpr_mdp::chain::{MarkovChain, SolveOpts};
+use bpr_mdp::value_iteration::{Discount, ValueIteration, ViOpts};
+use bpr_mdp::MdpBuilder;
+
+fn chain(n: usize, triplets: &[(usize, usize, f64)], rewards: Vec<f64>) -> MarkovChain {
+    let p = CsrMatrix::from_triplets(n, n, triplets).unwrap();
+    MarkovChain::new(p, rewards).unwrap()
+}
+
+#[test]
+fn single_absorbing_state_chain() {
+    let c = chain(1, &[(0, 0, 1.0)], vec![0.0]);
+    assert!(c.is_absorbing(0));
+    assert_eq!(c.recurrent_classes(), vec![vec![0]]);
+    assert_eq!(
+        c.expected_total_reward(&SolveOpts::default()).unwrap(),
+        vec![0.0]
+    );
+}
+
+#[test]
+fn long_chain_with_slow_leak_converges() {
+    // 200 states in a line, each with a 0.99 self-loop: stiff but
+    // solvable. Verifies the iterative solver handles slow mixing.
+    let n = 200;
+    let mut triplets = Vec::new();
+    let mut rewards = vec![-1.0; n];
+    for s in 0..n - 1 {
+        triplets.push((s, s, 0.99));
+        triplets.push((s, s + 1, 0.01));
+    }
+    triplets.push((n - 1, n - 1, 1.0));
+    rewards[n - 1] = 0.0;
+    let c = chain(n, &triplets, rewards);
+    let v = c
+        .expected_total_reward(&SolveOpts {
+            max_iters: 1_000_000,
+            ..SolveOpts::default()
+        })
+        .unwrap();
+    // Each transient state expects 100 visits of cost 1 before moving on:
+    // v(s) = -(100 * remaining states).
+    let expect_first = -100.0 * (n as f64 - 1.0);
+    assert!(
+        (v[0] - expect_first).abs() / expect_first.abs() < 1e-5,
+        "v[0] = {}, expected {}",
+        v[0],
+        expect_first
+    );
+    // Under-relaxation also converges and agrees; aggressive
+    // over-relaxation fails loudly on this stiff non-symmetric system
+    // (reported as an error, never as silently wrong numbers).
+    let v_sor = c
+        .expected_total_reward(&SolveOpts {
+            omega: 0.95,
+            max_iters: 2_000_000,
+            ..SolveOpts::default()
+        })
+        .unwrap();
+    assert!((v_sor[0] - v[0]).abs() / v[0].abs() < 1e-5);
+    assert!(c
+        .expected_total_reward(&SolveOpts {
+            omega: 1.9,
+            max_iters: 100_000,
+            ..SolveOpts::default()
+        })
+        .is_err());
+}
+
+#[test]
+fn disconnected_recurrent_classes_are_each_detected() {
+    // Three separate 2-cycles.
+    let mut triplets = Vec::new();
+    for k in 0..3 {
+        let a = 2 * k;
+        let b = 2 * k + 1;
+        triplets.push((a, b, 1.0));
+        triplets.push((b, a, 1.0));
+    }
+    let c = chain(6, &triplets, vec![0.0; 6]);
+    let mut classes = c.recurrent_classes();
+    classes.sort();
+    assert_eq!(classes, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+    assert!(c.transient_states().iter().all(|t| !t));
+}
+
+#[test]
+fn value_iteration_on_a_large_sparse_model() {
+    // 300 states in a ring with a single absorbing exit; two actions:
+    // "walk" (move clockwise, cost 1) and "exit" (jump to the absorbing
+    // state, cost = distance-independent 50). Optimal: walk if close,
+    // exit if far.
+    let n = 301; // state n-1 is absorbing
+    let mut b = MdpBuilder::new(n, 2);
+    for s in 0..n - 1 {
+        let next = if s + 1 == n - 1 { n - 1 } else { s + 1 };
+        b.transition(s, 0, next, 1.0).reward(s, 0, -1.0);
+        b.transition(s, 1, n - 1, 1.0).reward(s, 1, -50.0);
+    }
+    b.transition(n - 1, 0, n - 1, 1.0);
+    b.transition(n - 1, 1, n - 1, 1.0);
+    let mdp = b.build().unwrap();
+    let sol = ValueIteration::new(Discount::Undiscounted)
+        .with_opts(ViOpts {
+            max_iters: 10_000,
+            ..ViOpts::default()
+        })
+        .solve(&mdp)
+        .unwrap();
+    // Near the exit, walking is optimal and costs the distance.
+    assert!((sol.values[n - 2] + 1.0).abs() < 1e-6);
+    assert!((sol.values[n - 11] + 10.0).abs() < 1e-6);
+    // Far away, bailing out for 50 caps the cost.
+    assert!((sol.values[0] + 50.0).abs() < 1e-6);
+    assert_eq!(sol.policy.action(bpr_mdp::StateId::new(0)).index(), 1);
+    assert_eq!(
+        sol.policy.action(bpr_mdp::StateId::new(n - 2)).index(),
+        0
+    );
+}
+
+#[test]
+fn uniform_random_chain_of_large_model_is_stochastic() {
+    let n = 150;
+    let mut b = MdpBuilder::new(n, 3);
+    for s in 0..n {
+        for a in 0..3 {
+            let t = (s + a + 1) % n;
+            b.transition(s, a, t, 0.5);
+            b.transition(s, a, s, 0.5);
+            b.reward(s, a, if s == 0 { 0.0 } else { -0.1 });
+        }
+    }
+    // Make state 0 absorbing and free so a finite solution exists.
+    let mdp = {
+        let mut b2 = MdpBuilder::new(n, 3);
+        for s in 0..n {
+            for a in 0..3 {
+                if s == 0 {
+                    b2.transition(0, a, 0, 1.0);
+                } else {
+                    let t = (s + a + 1) % n;
+                    b2.transition(s, a, t, 0.5);
+                    b2.transition(s, a, s, 0.5);
+                    b2.reward(s, a, -0.1);
+                }
+            }
+        }
+        b2.build().unwrap()
+    };
+    let chain = mdp.uniform_random_chain();
+    assert!(chain.transition_matrix().is_stochastic(1e-9));
+    let v = chain.expected_total_reward(&SolveOpts::default()).unwrap();
+    assert_eq!(v[0], 0.0);
+    assert!(v[1..].iter().all(|&x| x < 0.0 && x.is_finite()));
+    drop(b);
+}

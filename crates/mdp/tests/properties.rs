@@ -1,0 +1,151 @@
+//! Property-based tests of the MDP substrate: chain classification,
+//! value-iteration optimality, policy evaluation consistency, and the
+//! random-action chain.
+
+use bpr_linalg::CsrMatrix;
+use bpr_mdp::chain::{MarkovChain, SolveOpts};
+use bpr_mdp::policy::{evaluate, Policy};
+use bpr_mdp::value_iteration::{Discount, ValueIteration};
+use bpr_mdp::{ActionId, Mdp, MdpBuilder, StateId};
+use proptest::prelude::*;
+
+/// A random "recovery-shaped" MDP: state 0 absorbing and free; each
+/// other state has a dedicated fixing action plus looping actions with
+/// costs.
+fn arb_recovery_mdp() -> impl Strategy<Value = Mdp> {
+    (2usize..=5, 2usize..=4)
+        .prop_flat_map(|(n, na)| {
+            (
+                Just(n),
+                Just(na),
+                proptest::collection::vec(0.1f64..3.0, n * na),
+                proptest::collection::vec(0.0f64..1.0, n),
+            )
+        })
+        .prop_map(|(n, na, costs, fix_prob)| {
+            let mut b = MdpBuilder::new(n, na);
+            for a in 0..na {
+                b.transition(0, a, 0, 1.0).reward(0, a, 0.0);
+            }
+            for s in 1..n {
+                for a in 0..na {
+                    // Action (s % na) fixes state s with prob >= 0.5,
+                    // giving every state a way out (Condition 1).
+                    let p_fix = if a == s % na {
+                        0.5 + 0.5 * fix_prob[s]
+                    } else {
+                        0.0
+                    };
+                    if p_fix > 0.0 {
+                        b.transition(s, a, 0, p_fix);
+                        if p_fix < 1.0 {
+                            b.transition(s, a, s, 1.0 - p_fix);
+                        }
+                    } else {
+                        b.transition(s, a, s, 1.0);
+                    }
+                    b.reward(s, a, -costs[s * na + a]);
+                }
+            }
+            b.build().expect("random MDP builds")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn value_iteration_dominates_every_policy(mdp in arb_recovery_mdp(), pick in 0usize..100) {
+        let sol = ValueIteration::new(Discount::Undiscounted).solve(&mdp).unwrap();
+        // Compare against an arbitrary deterministic policy that plays
+        // the fixing action everywhere (finite value guaranteed).
+        let na = mdp.n_actions();
+        let rho = Policy::new(
+            (0..mdp.n_states())
+                .map(|s| ActionId::new(if s == 0 { pick % na } else { s % na }))
+                .collect(),
+        );
+        let v_rho = evaluate(&mdp, &rho, Discount::Undiscounted, &SolveOpts::default()).unwrap();
+        for s in 0..mdp.n_states() {
+            prop_assert!(
+                sol.values[s] + 1e-7 >= v_rho[s],
+                "optimal {} below policy value {} in state {s}",
+                sol.values[s],
+                v_rho[s]
+            );
+        }
+        // And the greedy policy achieves the optimal value.
+        let v_greedy = evaluate(&mdp, &sol.policy, Discount::Undiscounted, &SolveOpts::default())
+            .unwrap();
+        for s in 0..mdp.n_states() {
+            prop_assert!((v_greedy[s] - sol.values[s]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn discounted_value_is_above_undiscounted(mdp in arb_recovery_mdp()) {
+        // With non-positive rewards, discounting can only shrink the
+        // magnitude of accumulated cost: V_beta >= V_1 pointwise.
+        let undiscounted = ValueIteration::new(Discount::Undiscounted).solve(&mdp).unwrap();
+        let discounted = ValueIteration::new(Discount::Factor(0.9)).solve(&mdp).unwrap();
+        for s in 0..mdp.n_states() {
+            prop_assert!(discounted.values[s] + 1e-7 >= undiscounted.values[s]);
+        }
+    }
+
+    #[test]
+    fn random_action_chain_is_stochastic_and_below_optimum(mdp in arb_recovery_mdp()) {
+        let chain = mdp.uniform_random_chain();
+        prop_assert!(chain.transition_matrix().is_stochastic(1e-9));
+        let v_ra = chain.expected_total_reward(&SolveOpts::default()).unwrap();
+        let sol = ValueIteration::new(Discount::Undiscounted).solve(&mdp).unwrap();
+        for s in 0..mdp.n_states() {
+            prop_assert!(
+                v_ra[s] <= sol.values[s] + 1e-7,
+                "RA value {} above optimum {} in state {s}",
+                v_ra[s],
+                sol.values[s]
+            );
+        }
+    }
+
+    #[test]
+    fn chain_classification_partitions_states(mdp in arb_recovery_mdp()) {
+        let chain = mdp.uniform_random_chain();
+        let n = chain.n_states();
+        let recurrent: Vec<usize> = chain.recurrent_classes().into_iter().flatten().collect();
+        let transient = chain.transient_states();
+        for s in 0..n {
+            let is_recurrent = recurrent.contains(&s);
+            prop_assert_eq!(is_recurrent, !transient[s], "state {} double-classified", s);
+        }
+        // State 0 is absorbing, hence recurrent.
+        prop_assert!(recurrent.contains(&0));
+        // SCCs partition the state space.
+        let total: usize = chain.sccs().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn expected_reward_is_zero_iff_no_cost_reachable(mdp in arb_recovery_mdp()) {
+        let chain = mdp.uniform_random_chain();
+        let v = chain.expected_total_reward(&SolveOpts::default()).unwrap();
+        // State 0 is free and absorbing: value 0. Every other state
+        // accrues cost before absorption: value < 0.
+        prop_assert_eq!(v[0], 0.0);
+        for (s, &val) in v.iter().enumerate().skip(1) {
+            prop_assert!(val < 0.0, "state {} has value {}", s, val);
+        }
+    }
+}
+
+#[test]
+fn policy_evaluation_matches_hand_computed_chain() {
+    // Deterministic sanity check alongside the property tests:
+    // 1 -> 0 with cost 2 under the policy, 0 absorbing.
+    let p = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+    let chain = MarkovChain::new(p, vec![0.0, -2.0]).unwrap();
+    let v = chain.expected_total_reward(&SolveOpts::default()).unwrap();
+    assert_eq!(v, vec![0.0, -2.0]);
+    let _ = StateId::new(0);
+}

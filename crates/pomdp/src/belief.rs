@@ -1,0 +1,414 @@
+//! Belief states and the Bayes update (paper Eq. 3–4).
+
+use crate::{Error, ObservationId, Pomdp};
+use bpr_linalg::dense;
+use bpr_mdp::{ActionId, StateId};
+
+/// A belief state: a probability distribution over the POMDP's states.
+///
+/// The paper's `π = [π(1), ..., π(|S|)]`. Beliefs are immutable; the
+/// Bayes update ([`Belief::update`]) returns a fresh belief together
+/// with the probability `γ^{π,a}(o)` of the conditioning observation.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_pomdp::Belief;
+///
+/// let b = Belief::uniform(4);
+/// assert_eq!(b.prob(2.into()), 0.25);
+/// let point = Belief::point(4, 1.into());
+/// assert_eq!(point.prob(1.into()), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Belief {
+    probs: Vec<f64>,
+}
+
+impl Belief {
+    /// The uniform belief over `n` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Belief {
+        assert!(n > 0, "belief needs at least one state");
+        Belief {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// The belief concentrated on a single state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds or `n == 0`.
+    pub fn point(n: usize, state: StateId) -> Belief {
+        assert!(state.index() < n, "state out of bounds");
+        let mut probs = vec![0.0; n];
+        probs[state.index()] = 1.0;
+        Belief { probs }
+    }
+
+    /// The uniform belief over a subset of states (e.g. "all faults
+    /// equally likely", the controller's starting belief in §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or contains an out-of-bounds index.
+    pub fn uniform_over(n: usize, states: &[StateId]) -> Belief {
+        assert!(!states.is_empty(), "subset must be non-empty");
+        let mut probs = vec![0.0; n];
+        let w = 1.0 / states.len() as f64;
+        for s in states {
+            assert!(s.index() < n, "state out of bounds");
+            probs[s.index()] += w;
+        }
+        Belief { probs }
+    }
+
+    /// Builds a belief from raw probabilities, validating and
+    /// re-normalising away floating-point drift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBelief`] if the vector is empty, has
+    /// negative or non-finite entries, or sums to something further than
+    /// `1e-6` from 1.
+    pub fn from_probs(probs: Vec<f64>) -> Result<Belief, Error> {
+        if probs.is_empty() {
+            return Err(Error::InvalidBelief {
+                reason: "belief must cover at least one state",
+            });
+        }
+        if !dense::all_finite(&probs) || probs.iter().any(|&p| p < 0.0) {
+            return Err(Error::InvalidBelief {
+                reason: "entries must be finite and non-negative",
+            });
+        }
+        let sum = dense::sum(&probs);
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(Error::InvalidBelief {
+                reason: "entries must sum to 1",
+            });
+        }
+        let mut probs = probs;
+        dense::normalize_l1(&mut probs);
+        Ok(Belief { probs })
+    }
+
+    /// The per-state probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of states covered.
+    pub fn n_states(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The probability assigned to one state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn prob(&self, state: StateId) -> f64 {
+        self.probs[state.index()]
+    }
+
+    /// Total probability mass on a set of states (e.g. `P[S_φ]`, the
+    /// mass on null-fault states used by the baseline controllers'
+    /// termination rule).
+    pub fn prob_in(&self, states: &[StateId]) -> f64 {
+        states
+            .iter()
+            .filter(|s| s.index() < self.probs.len())
+            .map(|s| self.probs[s.index()])
+            .sum()
+    }
+
+    /// The most likely state and its probability (ties resolve to the
+    /// lowest index) — the "most likely" baseline controller's diagnosis.
+    pub fn most_likely(&self) -> (StateId, f64) {
+        let (i, p) = dense::argmax(&self.probs).expect("belief is non-empty");
+        (StateId::new(i), p)
+    }
+
+    /// Shannon entropy in nats; 0 for a point belief.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// The expected single-step reward `π · r(a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the belief's dimension differs from the model's.
+    pub fn expected_reward(&self, pomdp: &Pomdp, action: ActionId) -> f64 {
+        dense::dot(&self.probs, pomdp.mdp().reward_vector(action))
+    }
+
+    /// The predicted state distribution after taking `action`, before
+    /// observing: `pred(s') = Σ_s p(s'|s, a) π(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch (programming error).
+    pub fn predict(&self, pomdp: &Pomdp, action: ActionId) -> Vec<f64> {
+        pomdp
+            .mdp()
+            .transition_matrix(action)
+            .matvec_transpose(&self.probs)
+            .expect("belief length matches model")
+    }
+
+    /// The probability `γ^{π,a}(o)` of each observation after taking
+    /// `action` from this belief (paper Eq. 3). Sums to 1.
+    pub fn observation_probs(&self, pomdp: &Pomdp, action: ActionId) -> Vec<f64> {
+        let pred = self.predict(pomdp, action);
+        pomdp
+            .observation_matrix(action)
+            .matvec_transpose(&pred)
+            .expect("prediction length matches model")
+    }
+
+    /// Enumerates all possible successors of taking `action`: for every
+    /// observation with `γ^{π,a}(o) > gamma_cutoff`, the pair
+    /// `(o, γ, posterior)`.
+    ///
+    /// This computes every posterior in a single pass over the sparse
+    /// observation matrix, which is what makes deep tree expansions over
+    /// large observation spaces (the EMN model has 2⁷ masks) tractable.
+    /// The returned `γ` values over *all* observations sum to 1; entries
+    /// at or below the cutoff are omitted.
+    pub fn successors(
+        &self,
+        pomdp: &Pomdp,
+        action: ActionId,
+        gamma_cutoff: f64,
+    ) -> Vec<(ObservationId, f64, Belief)> {
+        let n = pomdp.n_states();
+        let pred = self.predict(pomdp, action);
+        // tau[o][s'] = q(o|s',a) * pred(s'), built sparsely.
+        let mut tau: Vec<Vec<f64>> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        tau.resize(pomdp.n_observations(), Vec::new());
+        for (s2, &p) in pred.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            for (o, q) in pomdp.observations_on_entering(s2, action) {
+                let slot = &mut tau[o.index()];
+                if slot.is_empty() {
+                    slot.resize(n, 0.0);
+                    touched.push(o.index());
+                }
+                slot[s2] += q * p;
+            }
+        }
+        touched.sort_unstable();
+        let mut out = Vec::with_capacity(touched.len());
+        for o in touched {
+            let mut probs = std::mem::take(&mut tau[o]);
+            let gamma = dense::normalize_l1(&mut probs);
+            if gamma > gamma_cutoff && gamma > 0.0 {
+                out.push((
+                    ObservationId::new(o),
+                    gamma,
+                    Belief { probs },
+                ));
+            }
+        }
+        out
+    }
+
+    /// The Bayes update (paper Eq. 4): the posterior belief after taking
+    /// `action` and observing `o`, together with the observation's prior
+    /// probability `γ^{π,a}(o)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ImpossibleObservation`] if `γ^{π,a}(o) = 0`.
+    pub fn update(
+        &self,
+        pomdp: &Pomdp,
+        action: ActionId,
+        o: ObservationId,
+    ) -> Result<(Belief, f64), Error> {
+        if o.index() >= pomdp.n_observations() {
+            return Err(Error::IndexOutOfBounds {
+                what: "observation",
+                index: o.index(),
+                bound: pomdp.n_observations(),
+            });
+        }
+        let pred = self.predict(pomdp, action);
+        let mut unnorm: Vec<f64> = (0..pomdp.n_states())
+            .map(|s| pomdp.observation_prob(s, action, o) * pred[s])
+            .collect();
+        let gamma = dense::normalize_l1(&mut unnorm);
+        if gamma <= 0.0 || !gamma.is_finite() {
+            return Err(Error::ImpossibleObservation {
+                action: action.index(),
+                observation: o.index(),
+            });
+        }
+        Ok((Belief { probs: unnorm }, gamma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_mdp::MdpBuilder;
+    use crate::PomdpBuilder;
+
+    /// Noisy two-state world: action 0 keeps the state; observations
+    /// reveal the state with 80 % accuracy.
+    fn noisy_pomdp() -> Pomdp {
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, -1.0);
+        mb.transition(1, 0, 1, 1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+        pb.observation(0, 0, 0, 0.8);
+        pb.observation(0, 0, 1, 0.2);
+        pb.observation(1, 0, 0, 0.2);
+        pb.observation(1, 0, 1, 0.8);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn constructors_land_on_simplex() {
+        assert_eq!(Belief::uniform(2).probs(), &[0.5, 0.5]);
+        assert_eq!(Belief::point(3, StateId::new(2)).probs(), &[0.0, 0.0, 1.0]);
+        let sub = Belief::uniform_over(4, &[StateId::new(1), StateId::new(3)]);
+        assert_eq!(sub.probs(), &[0.0, 0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn from_probs_validates() {
+        assert!(Belief::from_probs(vec![]).is_err());
+        assert!(Belief::from_probs(vec![0.5, 0.6]).is_err());
+        assert!(Belief::from_probs(vec![-0.1, 1.1]).is_err());
+        assert!(Belief::from_probs(vec![f64::NAN, 1.0]).is_err());
+        let b = Belief::from_probs(vec![0.25, 0.75]).unwrap();
+        assert_eq!(b.prob(StateId::new(1)), 0.75);
+    }
+
+    #[test]
+    fn bayes_update_sharpens_belief() {
+        let p = noisy_pomdp();
+        let b = Belief::uniform(2);
+        let (b2, gamma) = b.update(&p, ActionId::new(0), 0.into()).unwrap();
+        assert!((gamma - 0.5).abs() < 1e-12);
+        assert!((b2.prob(StateId::new(0)) - 0.8).abs() < 1e-12);
+        // Updating again with the same observation sharpens further:
+        // 0.8*0.8 / (0.8*0.8 + 0.2*0.2) = 0.941...
+        let (b3, _) = b2.update(&p, ActionId::new(0), 0.into()).unwrap();
+        assert!((b3.prob(StateId::new(0)) - 0.64 / 0.68).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation_probs_sum_to_one() {
+        let p = noisy_pomdp();
+        let b = Belief::from_probs(vec![0.3, 0.7]).unwrap();
+        let gammas = b.observation_probs(&p, ActionId::new(0));
+        assert!((gammas.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // gamma(o0) = 0.3*0.8 + 0.7*0.2 = 0.38.
+        assert!((gammas[0] - 0.38).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_consistency_with_observation_probs() {
+        let p = noisy_pomdp();
+        let b = Belief::from_probs(vec![0.9, 0.1]).unwrap();
+        let gammas = b.observation_probs(&p, ActionId::new(0));
+        for o in 0..2 {
+            let (_, g) = b.update(&p, ActionId::new(0), o.into()).unwrap();
+            assert!((g - gammas[o]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn successors_agree_with_update_and_gammas() {
+        let p = noisy_pomdp();
+        let b = Belief::from_probs(vec![0.4, 0.6]).unwrap();
+        let succ = b.successors(&p, ActionId::new(0), 0.0);
+        let gammas = b.observation_probs(&p, ActionId::new(0));
+        assert_eq!(succ.len(), 2);
+        let total: f64 = succ.iter().map(|(_, g, _)| g).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for (o, gamma, next) in &succ {
+            assert!((gamma - gammas[o.index()]).abs() < 1e-12);
+            let (expect, g2) = b.update(&p, ActionId::new(0), *o).unwrap();
+            assert!((g2 - gamma).abs() < 1e-12);
+            for (a, b) in next.probs().iter().zip(expect.probs()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn successors_cutoff_drops_rare_observations() {
+        let p = noisy_pomdp();
+        let b = Belief::point(2, StateId::new(0));
+        // gamma(o1) = 0.2 from state 0; a cutoff of 0.5 keeps only o0.
+        let succ = b.successors(&p, ActionId::new(0), 0.5);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0.index(), 0);
+    }
+
+    #[test]
+    fn impossible_observation_is_an_error() {
+        // Deterministic observation of the state: observing o1 from a
+        // point belief on state 0 is impossible.
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 0, 1.0);
+        mb.transition(1, 0, 1, 1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+        pb.observation(0, 0, 0, 1.0);
+        pb.observation(1, 0, 1, 1.0);
+        let p = pb.build().unwrap();
+        let b = Belief::point(2, StateId::new(0));
+        assert!(matches!(
+            b.update(&p, ActionId::new(0), 1.into()),
+            Err(Error::ImpossibleObservation { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_observation_is_an_error() {
+        let p = noisy_pomdp();
+        let b = Belief::uniform(2);
+        assert!(matches!(
+            b.update(&p, ActionId::new(0), 7.into()),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn expected_reward_is_dot_product() {
+        let p = noisy_pomdp();
+        let b = Belief::from_probs(vec![0.25, 0.75]).unwrap();
+        assert!((b.expected_reward(&p, ActionId::new(0)) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_likely_and_mass_queries() {
+        let b = Belief::from_probs(vec![0.2, 0.5, 0.3]).unwrap();
+        assert_eq!(b.most_likely(), (StateId::new(1), 0.5));
+        assert!((b.prob_in(&[StateId::new(0), StateId::new(2)]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_behaviour() {
+        assert_eq!(Belief::point(3, StateId::new(0)).entropy(), 0.0);
+        let u = Belief::uniform(4).entropy();
+        assert!((u - (4.0f64).ln()).abs() < 1e-12);
+    }
+}

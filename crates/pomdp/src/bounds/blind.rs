@@ -1,0 +1,126 @@
+//! Hauskrecht's blind-policy lower bound (paper §3.1 related work).
+
+use crate::bounds::VectorSetBound;
+use crate::{Error, Pomdp};
+use bpr_mdp::chain::SolveOpts;
+use bpr_mdp::policy::blind_values;
+use bpr_mdp::value_iteration::Discount;
+
+/// Computes the blind-policy bound: one hyperplane `V^{ba}_m(·, a)` per
+/// action, obtained by *blindly* following that action forever, with the
+/// POMDP bound being `max_a Σ_s π(s)·V^{ba}_m(s, a)`.
+///
+/// As the paper notes, on undiscounted recovery models **with recovery
+/// notification this bound is infinite for most models** — no single
+/// action makes progress from every state — so every per-action value
+/// diverges and this function returns [`Error::BoundDiverges`]. On
+/// models transformed for systems *without* recovery notification, the
+/// terminate action `a_T` always yields a finite value, so the bound
+/// exists (possibly with just that one hyperplane).
+///
+/// Actions whose blind value diverges are simply omitted from the set;
+/// the remaining hyperplanes are still valid lower bounds.
+///
+/// # Errors
+///
+/// * [`Error::BoundDiverges`] when *no* action has a finite blind value.
+/// * Propagates MDP solver failures other than divergence.
+pub fn blind_bound(
+    pomdp: &Pomdp,
+    discount: Discount,
+    opts: &SolveOpts,
+) -> Result<VectorSetBound, Error> {
+    let mut set = VectorSetBound::new(pomdp.n_states());
+    for result in blind_values(pomdp.mdp(), discount, opts) {
+        match result {
+            Ok(values) => {
+                set.add_vector(values)?;
+            }
+            Err(bpr_mdp::Error::DivergentValue { .. }) => {}
+            Err(e) => return Err(Error::Mdp(e)),
+        }
+    }
+    if set.is_empty() {
+        return Err(Error::BoundDiverges {
+            bound: "blind-policy bound",
+        });
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::ra::tests::two_server_notified;
+    use crate::bounds::{ra_bound, ValueBound};
+    use crate::{Belief, PomdpBuilder};
+    use bpr_mdp::MdpBuilder;
+
+    #[test]
+    fn diverges_with_recovery_notification() {
+        // Neither Restart(a), Restart(b) nor Observe recovers from both
+        // fault states, so all blind values diverge (paper §3.1).
+        let p = two_server_notified();
+        assert!(matches!(
+            blind_bound(&p, Discount::Undiscounted, &SolveOpts::default()),
+            Err(Error::BoundDiverges { .. })
+        ));
+    }
+
+    /// Two-server model with a terminate action (Fig. 2b, without
+    /// recovery notification): state 3 = s_T, action 3 = a_T.
+    fn two_server_terminated() -> Pomdp {
+        let top = 4.0; // operator response time in model steps
+        let mut mb = MdpBuilder::new(4, 4);
+        // Restart/Observe dynamics as in Fig. 1a; Null (state 2) costs
+        // 0.5 per restart (no notification: restarts in Null hurt).
+        mb.transition(0, 0, 2, 1.0).reward(0, 0, -0.5);
+        mb.transition(1, 0, 1, 1.0).reward(1, 0, -1.0);
+        mb.transition(2, 0, 2, 1.0).reward(2, 0, -0.5);
+        mb.transition(0, 1, 0, 1.0).reward(0, 1, -1.0);
+        mb.transition(1, 1, 2, 1.0).reward(1, 1, -0.5);
+        mb.transition(2, 1, 2, 1.0).reward(2, 1, -0.5);
+        mb.transition(0, 2, 0, 1.0).reward(0, 2, -1.0);
+        mb.transition(1, 2, 1, 1.0).reward(1, 2, -1.0);
+        mb.transition(2, 2, 2, 1.0).reward(2, 2, 0.0);
+        // Terminate action a_T: everything to s_T; termination rewards
+        // r(s, a_T) = rate(s) * top.
+        mb.transition(0, 3, 3, 1.0).reward(0, 3, -1.0 * top);
+        mb.transition(1, 3, 3, 1.0).reward(1, 3, -1.0 * top);
+        mb.transition(2, 3, 3, 1.0).reward(2, 3, 0.0);
+        // s_T absorbing and free.
+        for a in 0..4 {
+            mb.transition(3, a, 3, 1.0);
+        }
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 1);
+        for s in 0..4 {
+            pb.observation_all_actions(s, 0, 1.0);
+        }
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn terminate_action_gives_finite_blind_bound() {
+        let p = two_server_terminated();
+        let set = blind_bound(&p, Discount::Undiscounted, &SolveOpts::default()).unwrap();
+        // Only a_T converges.
+        assert_eq!(set.len(), 1);
+        let b = Belief::point(4, 0.into());
+        assert!((set.value(&b) + 4.0).abs() < 1e-9);
+        // And it is a weaker (or equal) bound than the RA-Bound at the
+        // fault vertex? Not necessarily pointwise — just check both exist.
+        let ra = ra_bound(&p, &SolveOpts::default()).unwrap();
+        assert!(ra.value(&b).is_finite());
+    }
+
+    #[test]
+    fn discounted_blind_bound_has_all_actions() {
+        let p = two_server_notified();
+        let set = blind_bound(&p, Discount::Factor(0.9), &SolveOpts::default()).unwrap();
+        // All three actions converge under discounting; dominated
+        // hyperplanes may be pruned but at least one must survive.
+        assert!(!set.is_empty());
+        assert!(set.len() <= 3);
+        assert!(set.value(&Belief::uniform(3)).is_finite());
+    }
+}

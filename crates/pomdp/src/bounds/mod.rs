@@ -1,0 +1,77 @@
+//! Value-function bounds for POMDPs.
+//!
+//! All bounds are functions of the belief state. Lower bounds
+//! underestimate the optimal value `V*_p(π)` (and therefore
+//! *overestimate* recovery cost); upper bounds do the reverse. The
+//! paper's central object is the **RA-Bound** ([`ra_bound`]); the
+//! BI-POMDP ([`bi_pomdp_bound`]) and blind-policy ([`blind_bound`])
+//! bounds are the prior art it is compared against (§3.1), and the
+//! QMDP/FIB upper bounds ([`qmdp_bound`], [`fib_bound`]) realise the
+//! "generation of upper bounds" extension from the paper's conclusion.
+
+mod bi;
+mod blind;
+mod pbvi;
+pub(crate) mod ra;
+mod upper;
+mod vector_set;
+
+pub use bi::bi_pomdp_bound;
+pub use blind::blind_bound;
+pub use pbvi::{pbvi_refine, simplex_grid, PbviOpts};
+pub use ra::{ra_bound, ra_values};
+pub use upper::{fib_bound, qmdp_bound, FibOpts};
+pub use vector_set::VectorSetBound;
+
+use crate::Belief;
+
+/// A real-valued function of the belief state used as a bound on the
+/// POMDP value function.
+///
+/// Implementors promise nothing about *which side* of the value function
+/// they sit on; that is a property of how the object was constructed
+/// (e.g. [`ra_bound`] returns lower bounds, [`qmdp_bound`] upper
+/// bounds).
+pub trait ValueBound {
+    /// Evaluates the bound at a belief state.
+    fn value(&self, belief: &Belief) -> f64;
+}
+
+/// A constant bound, independent of the belief.
+///
+/// `ConstantBound(0.0)` is the trivial upper bound for negative models
+/// (all rewards ≤ 0) used on the y-axis of the paper's Figure 5(a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantBound(pub f64);
+
+impl ValueBound for ConstantBound {
+    fn value(&self, _belief: &Belief) -> f64 {
+        self.0
+    }
+}
+
+impl<B: ValueBound + ?Sized> ValueBound for &B {
+    fn value(&self, belief: &Belief) -> f64 {
+        (**self).value(belief)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_bound_ignores_belief() {
+        let c = ConstantBound(-3.5);
+        assert_eq!(c.value(&Belief::uniform(2)), -3.5);
+        assert_eq!(c.value(&Belief::uniform(17)), -3.5);
+    }
+
+    #[test]
+    fn references_forward_value() {
+        let c = ConstantBound(1.0);
+        let r: &dyn ValueBound = &c;
+        assert_eq!(r.value(&Belief::uniform(3)), 1.0);
+        assert_eq!((&c).value(&Belief::uniform(3)), 1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Upper bounds on the POMDP value function (QMDP and FIB).
+//!
+//! The paper's conclusion lists "generation of upper bounds in addition
+//! to the lower bounds to facilitate branch and bound techniques" as
+//! future work; this module supplies the two classic constructions.
+//! Both treat the system as *more* observable than it is, so they can
+//! only overestimate the achievable value:
+//!
+//! * **QMDP** (Littman et al.): solve the fully observable MDP and use
+//!   `V(π) = max_a Σ_s π(s)·Q*(s, a)` — one hyperplane per action.
+//! * **FIB** (Hauskrecht's fast informed bound): tighten QMDP by folding
+//!   one step of observation information into the per-action vectors.
+
+use crate::bounds::VectorSetBound;
+use crate::{Error, Pomdp};
+use bpr_linalg::dense;
+use bpr_mdp::value_iteration::{q_values, Discount, ValueIteration};
+
+/// Computes the QMDP upper bound: per-action hyperplanes
+/// `Q*(·, a) = r(·, a) + β P(a) V*_m` from the optimal MDP values.
+///
+/// Valid for undiscounted recovery models whenever the underlying MDP
+/// has a finite optimum (guaranteed by the recovery transforms of
+/// `bpr-core`).
+///
+/// # Errors
+///
+/// * [`Error::BoundDiverges`] when the underlying MDP value diverges.
+/// * Propagates other MDP solver failures.
+pub fn qmdp_bound(pomdp: &Pomdp, discount: Discount) -> Result<VectorSetBound, Error> {
+    let sol = ValueIteration::new(discount)
+        .solve(pomdp.mdp())
+        .map_err(|e| match e {
+            bpr_mdp::Error::DivergentValue { .. } => Error::BoundDiverges {
+                bound: "QMDP upper bound",
+            },
+            other => Error::Mdp(other),
+        })?;
+    let q = q_values(pomdp.mdp(), &sol.values, discount.beta());
+    let mut set = VectorSetBound::new(pomdp.n_states());
+    for qa in q {
+        set.add_vector(qa)?;
+    }
+    Ok(set)
+}
+
+/// Options for the FIB iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FibOpts {
+    /// Stop when the `ℓ∞` change between sweeps is below this.
+    pub tol: f64,
+    /// Maximum number of sweeps.
+    pub max_iters: usize,
+}
+
+impl Default for FibOpts {
+    fn default() -> FibOpts {
+        FibOpts {
+            tol: 1e-9,
+            max_iters: 100_000,
+        }
+    }
+}
+
+/// Computes Hauskrecht's fast informed bound: per-action vectors
+/// `α_a` satisfying
+/// `α_a(s) = r(s,a) + β Σ_o max_{a'} Σ_{s'} p(s'|s,a) q(o|s',a) α_{a'}(s')`.
+///
+/// FIB dominates QMDP (`V_FIB ≤ V_QMDP` pointwise) while remaining an
+/// upper bound on the POMDP value. The iteration starts from the QMDP
+/// vectors and decreases monotonically, so it converges whenever QMDP
+/// exists on a negative model.
+///
+/// # Errors
+///
+/// * [`Error::BoundDiverges`] when QMDP (the starting point) diverges or
+///   the sweep budget runs out.
+pub fn fib_bound(pomdp: &Pomdp, discount: Discount, opts: &FibOpts) -> Result<VectorSetBound, Error> {
+    let beta = discount.beta();
+    let n = pomdp.n_states();
+    let na = pomdp.n_actions();
+    // Start from the QMDP vectors (a valid upper bound).
+    let qmdp = qmdp_bound(pomdp, discount)?;
+    // QMDP may have pruned dominated vectors; rebuild the full per-action
+    // set from scratch for the iteration.
+    let sol = ValueIteration::new(discount)
+        .solve(pomdp.mdp())
+        .map_err(Error::Mdp)?;
+    let mut alpha = q_values(pomdp.mdp(), &sol.values, beta);
+    let _ = qmdp;
+
+    for _ in 0..opts.max_iters {
+        let mut next = vec![vec![0.0; n]; na];
+        let mut delta = 0.0f64;
+        for a in 0..na {
+            for s in 0..n {
+                let mut acc = pomdp.mdp().reward(s, a);
+                // Σ_o max_{a'} Σ_{s'} p(s'|s,a) q(o|s',a) α_{a'}(s').
+                // Accumulate w_o(a') = Σ_{s'} p q α, sparse in (s', o).
+                let mut w = vec![vec![0.0f64; na]; pomdp.n_observations()];
+                for (s2, p) in pomdp.mdp().successors(s, a) {
+                    for (o, qv) in pomdp.observations_on_entering(s2, a) {
+                        let pq = p * qv;
+                        for (a2, row) in alpha.iter().enumerate() {
+                            w[o.index()][a2] += pq * row[s2.index()];
+                        }
+                    }
+                }
+                for wo in &w {
+                    let m = wo.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    if m.is_finite() {
+                        acc += beta * m;
+                    }
+                }
+                next[a][s] = acc;
+                delta = delta.max((acc - alpha[a][s]).abs());
+            }
+        }
+        alpha = next;
+        if delta <= opts.tol {
+            let mut set = VectorSetBound::new(n);
+            for row in alpha {
+                if !dense::all_finite(&row) {
+                    return Err(Error::BoundDiverges {
+                        bound: "FIB upper bound",
+                    });
+                }
+                set.add_vector(row)?;
+            }
+            return Ok(set);
+        }
+    }
+    Err(Error::BoundDiverges {
+        bound: "FIB upper bound",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::ra::tests::two_server_notified;
+    use crate::bounds::{ra_bound, ValueBound};
+    use crate::Belief;
+    use bpr_mdp::chain::SolveOpts;
+
+    #[test]
+    fn qmdp_matches_mdp_optimum_at_vertices() {
+        let p = two_server_notified();
+        let set = qmdp_bound(&p, Discount::Undiscounted).unwrap();
+        // At point beliefs, QMDP equals the MDP optimal value.
+        let sol = ValueIteration::new(Discount::Undiscounted)
+            .solve(p.mdp())
+            .unwrap();
+        for s in 0..p.n_states() {
+            let v = set.value(&Belief::point(p.n_states(), s.into()));
+            assert!((v - sol.values[s]).abs() < 1e-9, "state {s}");
+        }
+    }
+
+    #[test]
+    fn qmdp_dominates_ra_bound() {
+        let p = two_server_notified();
+        let upper = qmdp_bound(&p, Discount::Undiscounted).unwrap();
+        let lower = ra_bound(&p, &SolveOpts::default()).unwrap();
+        for probs in [
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.5, 0.5, 0.0],
+            vec![0.3, 0.3, 0.4],
+        ] {
+            let b = Belief::from_probs(probs).unwrap();
+            assert!(lower.value(&b) <= upper.value(&b) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fib_is_between_ra_and_qmdp() {
+        let p = two_server_notified();
+        let qmdp = qmdp_bound(&p, Discount::Undiscounted).unwrap();
+        let fib = fib_bound(&p, Discount::Undiscounted, &FibOpts::default()).unwrap();
+        let ra = ra_bound(&p, &SolveOpts::default()).unwrap();
+        for probs in [
+            vec![0.5, 0.5, 0.0],
+            vec![0.25, 0.25, 0.5],
+            vec![0.9, 0.1, 0.0],
+        ] {
+            let b = Belief::from_probs(probs).unwrap();
+            assert!(
+                fib.value(&b) <= qmdp.value(&b) + 1e-7,
+                "fib above qmdp at {b:?}"
+            );
+            assert!(
+                ra.value(&b) <= fib.value(&b) + 1e-7,
+                "ra above fib at {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn qmdp_diverges_without_transform() {
+        use crate::PomdpBuilder;
+        use bpr_mdp::MdpBuilder;
+        // Every action loops with cost: even full observability diverges.
+        let mut mb = MdpBuilder::new(1, 1);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, -1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 1);
+        pb.observation(0, 0, 0, 1.0);
+        let p = pb.build().unwrap();
+        assert!(matches!(
+            qmdp_bound(&p, Discount::Undiscounted),
+            Err(Error::BoundDiverges { .. })
+        ));
+    }
+}

@@ -1,0 +1,347 @@
+//! Piecewise-linear bounds represented as sets of hyperplanes.
+
+use crate::bounds::ValueBound;
+use crate::{Belief, Error};
+use bpr_linalg::dense;
+
+/// A piecewise-linear convex bound `V_B(π) = max_{b ∈ B} b · π`
+/// (paper Eq. 6).
+///
+/// Each vector `b` is a hyperplane over the belief simplex; the bound
+/// value at a belief is the best hyperplane there. The RA-Bound starts
+/// as a single hyperplane and the incremental backup of
+/// [`crate::backup`] grows the set.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_pomdp::{Belief, bounds::{ValueBound, VectorSetBound}};
+///
+/// # fn main() -> Result<(), bpr_pomdp::Error> {
+/// let mut set = VectorSetBound::new(2);
+/// set.add_vector(vec![-2.0, 0.0])?;
+/// set.add_vector(vec![0.0, -2.0])?;
+/// let mid = Belief::uniform(2);
+/// assert_eq!(set.value(&mid), -1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorSetBound {
+    n_states: usize,
+    vectors: Vec<Vec<f64>>,
+    /// How many times each vector was the argmax in `best_vector`.
+    /// Used by finite-storage eviction (paper §4.3).
+    usage: Vec<u64>,
+}
+
+impl VectorSetBound {
+    /// An empty set over `n_states`-dimensional beliefs.
+    ///
+    /// An empty set evaluates to `-∞`; add at least one vector before
+    /// using it as a leaf bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_states == 0`.
+    pub fn new(n_states: usize) -> VectorSetBound {
+        assert!(n_states > 0, "bound needs at least one state");
+        VectorSetBound {
+            n_states,
+            vectors: Vec::new(),
+            usage: Vec::new(),
+        }
+    }
+
+    /// A set seeded with one hyperplane.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VectorSetBound::add_vector`].
+    pub fn from_vector(vector: Vec<f64>) -> Result<VectorSetBound, Error> {
+        let mut set = VectorSetBound::new(vector.len().max(1));
+        set.add_vector(vector)?;
+        Ok(set)
+    }
+
+    /// Dimensionality of the underlying state space.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of hyperplanes currently in the set.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if the set holds no hyperplanes.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Iterates over the hyperplanes.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.vectors.iter().map(Vec::as_slice)
+    }
+
+    /// Adds a hyperplane unless it is pointwise dominated by an existing
+    /// one; removes existing hyperplanes the new one pointwise
+    /// dominates. Returns whether the vector was actually added.
+    ///
+    /// Pointwise domination (`b ≤ b'` everywhere) is a cheap sufficient
+    /// condition for uselessness; vectors that are dominated only in
+    /// combination are kept, matching the paper's remark that extra
+    /// hyperplanes "can be discarded" but need not be.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBelief`] if the vector has the wrong
+    /// length or non-finite entries.
+    pub fn add_vector(&mut self, vector: Vec<f64>) -> Result<bool, Error> {
+        if vector.len() != self.n_states {
+            return Err(Error::InvalidBelief {
+                reason: "bound vector length must equal the number of states",
+            });
+        }
+        if !dense::all_finite(&vector) {
+            return Err(Error::InvalidBelief {
+                reason: "bound vector entries must be finite",
+            });
+        }
+        const EPS: f64 = 1e-12;
+        // Dominated by an existing vector?
+        if self
+            .vectors
+            .iter()
+            .any(|b| vector.iter().zip(b).all(|(v, e)| *v <= *e + EPS))
+        {
+            return Ok(false);
+        }
+        // Drop existing vectors the new one dominates.
+        let keep: Vec<bool> = self
+            .vectors
+            .iter()
+            .map(|b| !b.iter().zip(&vector).all(|(e, v)| *e <= *v + EPS))
+            .collect();
+        let mut idx = 0;
+        self.vectors.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        let mut idx = 0;
+        self.usage.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        self.vectors.push(vector);
+        self.usage.push(0);
+        Ok(true)
+    }
+
+    /// The best hyperplane at a belief: `(index, value)`.
+    ///
+    /// Records a usage hit for the winner (interior statistics used by
+    /// [`VectorSetBound::evict_to`]). Returns `None` on an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the belief dimension differs from the set's.
+    pub fn best_vector(&mut self, belief: &Belief) -> Option<(usize, f64)> {
+        let best = self.best_vector_quiet(belief.probs())?;
+        self.usage[best.0] += 1;
+        Some(best)
+    }
+
+    /// The best hyperplane at a (possibly unnormalised) weight vector,
+    /// without recording usage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the set's dimension.
+    pub fn best_vector_quiet(&self, weights: &[f64]) -> Option<(usize, f64)> {
+        assert_eq!(weights.len(), self.n_states, "weight length mismatch");
+        self.vectors
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, dense::dot(weights, b)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite bound values"))
+    }
+
+    /// Shrinks the set to at most `max_len` hyperplanes by discarding
+    /// the least-used ones (the finite-storage strategy suggested in
+    /// paper §4.3). The most recently added vector is always kept.
+    ///
+    /// Returns the number of vectors evicted.
+    pub fn evict_to(&mut self, max_len: usize) -> usize {
+        if self.vectors.len() <= max_len || max_len == 0 {
+            return 0;
+        }
+        let last = self.vectors.len() - 1;
+        let mut order: Vec<usize> = (0..self.vectors.len()).collect();
+        // Most used first; the newest vector is pinned to the front.
+        order.sort_by_key(|&i| (i != last, std::cmp::Reverse(self.usage[i])));
+        order.truncate(max_len);
+        order.sort_unstable();
+        let evicted = self.vectors.len() - order.len();
+        self.vectors = order.iter().map(|&i| self.vectors[i].clone()).collect();
+        self.usage = order.iter().map(|&i| self.usage[i]).collect();
+        evicted
+    }
+}
+
+impl VectorSetBound {
+    /// Serialises the hyperplanes as tab-separated text (one vector per
+    /// line, full `f64` precision). Usage counts are not persisted.
+    ///
+    /// Lets a deployment bootstrap once off-line and ship the refined
+    /// bound with the controller.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for b in &self.vectors {
+            let line: Vec<String> = b.iter().map(|v| format!("{v:?}")).collect();
+            out.push_str(&line.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the output of [`VectorSetBound::to_tsv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBelief`] for empty input, ragged rows,
+    /// or unparseable numbers.
+    pub fn from_tsv(n_states: usize, text: &str) -> Result<VectorSetBound, Error> {
+        let mut set = VectorSetBound::new(n_states);
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let vector: Result<Vec<f64>, _> =
+                line.split('\t').map(|t| t.trim().parse::<f64>()).collect();
+            let vector = vector.map_err(|_| Error::InvalidBelief {
+                reason: "unparseable bound vector entry",
+            })?;
+            set.add_vector(vector)?;
+        }
+        if set.is_empty() {
+            return Err(Error::InvalidBelief {
+                reason: "serialised bound contained no vectors",
+            });
+        }
+        Ok(set)
+    }
+}
+
+impl ValueBound for VectorSetBound {
+    /// `max_{b ∈ B} b · π`, or `-∞` for an empty set.
+    fn value(&self, belief: &Belief) -> f64 {
+        self.best_vector_quiet(belief.probs())
+            .map_or(f64::NEG_INFINITY, |(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_negative_infinity() {
+        let set = VectorSetBound::new(2);
+        assert!(set.is_empty());
+        assert_eq!(set.value(&Belief::uniform(2)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn value_is_max_over_hyperplanes() {
+        let mut set = VectorSetBound::new(2);
+        set.add_vector(vec![-1.0, -3.0]).unwrap();
+        set.add_vector(vec![-3.0, -1.0]).unwrap();
+        assert_eq!(set.len(), 2);
+        let b0 = Belief::point(2, 0.into());
+        let b1 = Belief::point(2, 1.into());
+        assert_eq!(set.value(&b0), -1.0);
+        assert_eq!(set.value(&b1), -1.0);
+        assert_eq!(set.value(&Belief::uniform(2)), -2.0);
+    }
+
+    #[test]
+    fn dominated_vectors_are_rejected() {
+        let mut set = VectorSetBound::new(2);
+        assert!(set.add_vector(vec![-1.0, -1.0]).unwrap());
+        assert!(!set.add_vector(vec![-2.0, -2.0]).unwrap());
+        assert_eq!(set.len(), 1);
+        // Equal vectors are "dominated" too.
+        assert!(!set.add_vector(vec![-1.0, -1.0]).unwrap());
+    }
+
+    #[test]
+    fn dominating_vector_evicts_old_ones() {
+        let mut set = VectorSetBound::new(2);
+        set.add_vector(vec![-3.0, -3.0]).unwrap();
+        set.add_vector(vec![-4.0, -1.0]).unwrap();
+        assert!(set.add_vector(vec![-2.0, -1.0]).unwrap());
+        // [-2,-1] dominates both previous vectors.
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap(), &[-2.0, -1.0]);
+    }
+
+    #[test]
+    fn wrong_length_vector_is_rejected() {
+        let mut set = VectorSetBound::new(3);
+        assert!(set.add_vector(vec![0.0, 0.0]).is_err());
+        assert!(set.add_vector(vec![0.0, f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn best_vector_tracks_usage_and_eviction_respects_it() {
+        let mut set = VectorSetBound::new(2);
+        set.add_vector(vec![-1.0, -5.0]).unwrap();
+        set.add_vector(vec![-5.0, -1.0]).unwrap();
+        set.add_vector(vec![-2.5, -2.5]).unwrap();
+        let b0 = Belief::point(2, 0.into());
+        for _ in 0..5 {
+            let (i, v) = set.best_vector(&b0).unwrap();
+            assert_eq!(i, 0);
+            assert_eq!(v, -1.0);
+        }
+        // Evicting to 2 keeps the most-used (index 0) and the newest.
+        let evicted = set.evict_to(2);
+        assert_eq!(evicted, 1);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.value(&b0), -1.0);
+        let b1 = Belief::point(2, 1.into());
+        assert_eq!(set.value(&b1), -2.5);
+    }
+
+    #[test]
+    fn tsv_roundtrip_preserves_values() {
+        let mut set = VectorSetBound::new(3);
+        set.add_vector(vec![-1.5, -2.25, 0.0]).unwrap();
+        set.add_vector(vec![-3.0, -0.125, -1e-300]).unwrap();
+        let text = set.to_tsv();
+        let parsed = VectorSetBound::from_tsv(3, &text).unwrap();
+        assert_eq!(parsed.len(), set.len());
+        for probs in [[1.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.2, 0.3, 0.5]] {
+            let b = Belief::from_probs(probs.to_vec()).unwrap();
+            assert_eq!(parsed.value(&b), set.value(&b));
+        }
+    }
+
+    #[test]
+    fn tsv_rejects_garbage() {
+        assert!(VectorSetBound::from_tsv(2, "").is_err());
+        assert!(VectorSetBound::from_tsv(2, "1.0\tx\n").is_err());
+        assert!(VectorSetBound::from_tsv(2, "1.0\n").is_err()); // ragged
+    }
+
+    #[test]
+    fn evict_is_noop_when_small() {
+        let mut set = VectorSetBound::from_vector(vec![0.0, 0.0]).unwrap();
+        assert_eq!(set.evict_to(5), 0);
+        assert_eq!(set.evict_to(0), 0);
+        assert_eq!(set.len(), 1);
+    }
+}

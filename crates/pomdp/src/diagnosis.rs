@@ -1,0 +1,204 @@
+//! Diagnosability analysis: how well do the observations separate
+//! states?
+//!
+//! The paper's premise is that monitoring is imprecise — "one may never
+//! know for certain which faults have occurred". This module
+//! quantifies that imprecision: divergences between the per-state
+//! observation distributions tell you which faults the monitors can
+//! localise directly, which are confusable, and roughly how many
+//! monitor sweeps separating two hypotheses takes. States with
+//! *identical* observation distributions (e.g. two zombie servers
+//! behind blind 50/50 routing) can only be told apart by acting —
+//! which is exactly why recovery needs decision-theoretic control
+//! rather than diagnose-then-fix.
+
+use crate::{Error, Pomdp};
+use bpr_mdp::{ActionId, StateId};
+
+/// The dense observation distribution `q(·|s, a)`.
+///
+/// # Panics
+///
+/// Panics if an index is out of bounds.
+pub fn observation_distribution(pomdp: &Pomdp, s: StateId, a: ActionId) -> Vec<f64> {
+    let mut q = vec![0.0; pomdp.n_observations()];
+    for (o, p) in pomdp.observations_on_entering(s, a) {
+        q[o.index()] = p;
+    }
+    q
+}
+
+/// Total-variation distance `½ Σ_o |p(o) − q(o)|` between two
+/// distributions; 0 for identical, 1 for disjoint support.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `Σ_o p(o) ln(p(o)/q(o))` in nats.
+/// Returns `f64::INFINITY` when `p` puts mass where `q` has none.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let mut kl = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if a > 0.0 {
+            if b <= 0.0 {
+                return f64::INFINITY;
+            }
+            kl += a * (a / b).ln();
+        }
+    }
+    kl.max(0.0)
+}
+
+/// Bhattacharyya coefficient `Σ_o √(p(o)·q(o))` — 1 for identical
+/// distributions, 0 for disjoint support.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bhattacharyya_coefficient(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    p.iter().zip(q).map(|(a, b)| (a * b).sqrt()).sum()
+}
+
+/// The pairwise confusion matrix of a model under one (observation)
+/// action: entry `[i][j]` is the total-variation distance between
+/// `q(·|s_i, a)` and `q(·|s_j, a)`. Zero off-diagonal entries identify
+/// state pairs the monitors cannot separate at all.
+///
+/// # Errors
+///
+/// Returns [`Error::IndexOutOfBounds`] if `a` is out of bounds.
+pub fn confusion_matrix(pomdp: &Pomdp, a: ActionId) -> Result<Vec<Vec<f64>>, Error> {
+    if a.index() >= pomdp.n_actions() {
+        return Err(Error::IndexOutOfBounds {
+            what: "action",
+            index: a.index(),
+            bound: pomdp.n_actions(),
+        });
+    }
+    let n = pomdp.n_states();
+    let dists: Vec<Vec<f64>> = (0..n)
+        .map(|s| observation_distribution(pomdp, StateId::new(s), a))
+        .collect();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let tv = total_variation(&dists[i], &dists[j]);
+            m[i][j] = tv;
+            m[j][i] = tv;
+        }
+    }
+    Ok(m)
+}
+
+/// A rough estimate of the number of independent monitor sweeps needed
+/// to drive the posterior odds between two states from 1:1 to
+/// `confidence : (1 − confidence)`, assuming the system sits in the
+/// first state: `ln(odds) / KL(q_i ‖ q_j)`.
+///
+/// Returns `f64::INFINITY` for indistinguishable states and `0.0` when
+/// one observation suffices (disjoint supports).
+///
+/// # Panics
+///
+/// Panics if `confidence` is not in `(0.5, 1)` or an index is out of
+/// bounds.
+pub fn sweeps_to_separate(
+    pomdp: &Pomdp,
+    truth: StateId,
+    alternative: StateId,
+    a: ActionId,
+    confidence: f64,
+) -> f64 {
+    assert!(
+        confidence > 0.5 && confidence < 1.0,
+        "confidence must be in (0.5, 1)"
+    );
+    let p = observation_distribution(pomdp, truth, a);
+    let q = observation_distribution(pomdp, alternative, a);
+    let kl = kl_divergence(&p, &q);
+    if kl == 0.0 {
+        return f64::INFINITY;
+    }
+    let target_odds = confidence / (1.0 - confidence);
+    (target_odds.ln() / kl).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_mdp::MdpBuilder;
+    use crate::PomdpBuilder;
+
+    fn three_state_pomdp() -> Pomdp {
+        // States: 0 and 1 produce distinct observations, 2 mirrors 1.
+        let mut mb = MdpBuilder::new(3, 1);
+        for s in 0..3 {
+            mb.transition(s, 0, s, 1.0);
+        }
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+        pb.observation(0, 0, 0, 0.9).observation(0, 0, 1, 0.1);
+        pb.observation(1, 0, 0, 0.2).observation(1, 0, 1, 0.8);
+        pb.observation(2, 0, 0, 0.2).observation(2, 0, 1, 0.8);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn divergence_basics() {
+        let p = [0.5, 0.5];
+        let q = [0.5, 0.5];
+        assert_eq!(total_variation(&p, &q), 0.0);
+        assert_eq!(kl_divergence(&p, &q), 0.0);
+        assert!((bhattacharyya_coefficient(&p, &q) - 1.0).abs() < 1e-12);
+        let r = [1.0, 0.0];
+        let s = [0.0, 1.0];
+        assert_eq!(total_variation(&r, &s), 1.0);
+        assert_eq!(kl_divergence(&r, &s), f64::INFINITY);
+        assert_eq!(bhattacharyya_coefficient(&r, &s), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_identifies_clones() {
+        let p = three_state_pomdp();
+        let m = confusion_matrix(&p, ActionId::new(0)).unwrap();
+        assert_eq!(m[1][2], 0.0, "states 1 and 2 are observation clones");
+        assert!(m[0][1] > 0.5);
+        assert_eq!(m[0][1], m[1][0]);
+        assert_eq!(m[0][0], 0.0);
+        assert!(confusion_matrix(&p, ActionId::new(9)).is_err());
+    }
+
+    #[test]
+    fn separation_sweeps_behave() {
+        let p = three_state_pomdp();
+        // Clones can never be separated.
+        assert_eq!(
+            sweeps_to_separate(&p, StateId::new(1), StateId::new(2), ActionId::new(0), 0.99),
+            f64::INFINITY
+        );
+        // Distinct states separate in a finite number of sweeps that
+        // grows with the confidence target.
+        let low = sweeps_to_separate(&p, StateId::new(0), StateId::new(1), ActionId::new(0), 0.9);
+        let high =
+            sweeps_to_separate(&p, StateId::new(0), StateId::new(1), ActionId::new(0), 0.9999);
+        assert!(low.is_finite() && low > 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_panics() {
+        let p = three_state_pomdp();
+        sweeps_to_separate(&p, StateId::new(0), StateId::new(1), ActionId::new(0), 0.4);
+    }
+}

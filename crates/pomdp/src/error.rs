@@ -1,0 +1,125 @@
+use std::fmt;
+
+/// Errors produced by POMDP construction and solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An index (state, action, or observation) was out of bounds.
+    IndexOutOfBounds {
+        /// What kind of index was offending.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must stay under.
+        bound: usize,
+    },
+    /// An observation distribution `q(·|s, a)` does not sum to 1.
+    ObservationNotStochastic {
+        /// Destination state of the malformed distribution.
+        state: usize,
+        /// Action of the malformed distribution.
+        action: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A belief vector was not a probability distribution.
+    InvalidBelief {
+        /// Why the belief was rejected.
+        reason: &'static str,
+    },
+    /// A belief update conditioned on an observation of probability 0.
+    ImpossibleObservation {
+        /// The conditioning action.
+        action: usize,
+        /// The impossible observation.
+        observation: usize,
+    },
+    /// A requested bound has no finite value on this model (e.g. the
+    /// BI-POMDP or blind-policy bound on an undiscounted recovery model).
+    BoundDiverges {
+        /// Which bound failed to exist.
+        bound: &'static str,
+    },
+    /// An error surfaced from the underlying MDP machinery.
+    Mdp(bpr_mdp::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::IndexOutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound} required)")
+            }
+            Error::ObservationNotStochastic { state, action, sum } => write!(
+                f,
+                "observation distribution for state {state}, action {action} sums to {sum}, not 1"
+            ),
+            Error::InvalidBelief { reason } => write!(f, "invalid belief state: {reason}"),
+            Error::ImpossibleObservation {
+                action,
+                observation,
+            } => write!(
+                f,
+                "cannot condition on observation {observation} with probability 0 under action {action}"
+            ),
+            Error::BoundDiverges { bound } => {
+                write!(f, "the {bound} has no finite value on this model")
+            }
+            Error::Mdp(e) => write!(f, "mdp failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Mdp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bpr_mdp::Error> for Error {
+    fn from(e: bpr_mdp::Error) -> Error {
+        Error::Mdp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let errs = [
+            Error::IndexOutOfBounds {
+                what: "observation",
+                index: 9,
+                bound: 4,
+            },
+            Error::ObservationNotStochastic {
+                state: 1,
+                action: 0,
+                sum: 0.3,
+            },
+            Error::InvalidBelief {
+                reason: "entries must sum to 1",
+            },
+            Error::ImpossibleObservation {
+                action: 0,
+                observation: 2,
+            },
+            Error::BoundDiverges { bound: "BI-POMDP bound" },
+            Error::Mdp(bpr_mdp::Error::EmptyModel),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn mdp_errors_convert_and_expose_source() {
+        use std::error::Error as _;
+        let e: Error = bpr_mdp::Error::EmptyModel.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,467 @@
+//! POMDP model representation and validated construction.
+
+use crate::Error;
+use bpr_linalg::CsrMatrix;
+use bpr_mdp::{ActionId, Mdp, StateId};
+use rand::Rng;
+use std::fmt;
+
+/// Identifier of an observation (an index into the observation set).
+///
+/// # Examples
+///
+/// ```
+/// use bpr_pomdp::ObservationId;
+///
+/// let o = ObservationId::new(5);
+/// assert_eq!(o.index(), 5);
+/// assert_eq!(o.to_string(), "o5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObservationId(usize);
+
+impl ObservationId {
+    /// Wraps a raw observation index.
+    pub const fn new(index: usize) -> ObservationId {
+        ObservationId(index)
+    }
+
+    /// The raw index into the observation set.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ObservationId {
+    fn from(index: usize) -> ObservationId {
+        ObservationId(index)
+    }
+}
+
+impl fmt::Display for ObservationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A finite POMDP `(S, A, O, p, q, r)`.
+///
+/// Wraps an [`Mdp`] core and adds the observation model `q(o | s', a)`:
+/// the probability of observing `o` when the system transitions *into*
+/// state `s'` as a result of action `a` (paper §2). Construct through
+/// [`PomdpBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pomdp {
+    mdp: Mdp,
+    n_observations: usize,
+    /// `observations[a]` is `n_states x n_observations`; row `s'` holds
+    /// `q(· | s', a)`.
+    observations: Vec<CsrMatrix>,
+    observation_labels: Vec<String>,
+}
+
+impl Pomdp {
+    /// The underlying MDP `(S, A, p, r)`.
+    pub fn mdp(&self) -> &Mdp {
+        &self.mdp
+    }
+
+    /// Number of states `|S|`.
+    pub fn n_states(&self) -> usize {
+        self.mdp.n_states()
+    }
+
+    /// Number of actions `|A|`.
+    pub fn n_actions(&self) -> usize {
+        self.mdp.n_actions()
+    }
+
+    /// Number of observations `|O|`.
+    pub fn n_observations(&self) -> usize {
+        self.n_observations
+    }
+
+    /// Iterates over all observation ids.
+    pub fn observations(&self) -> impl Iterator<Item = ObservationId> {
+        (0..self.n_observations).map(ObservationId::new)
+    }
+
+    /// The probability `q(o | entered, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn observation_prob(
+        &self,
+        entered: impl Into<StateId>,
+        action: impl Into<ActionId>,
+        o: impl Into<ObservationId>,
+    ) -> f64 {
+        self.observations[action.into().index()]
+            .get(entered.into().index(), o.into().index())
+    }
+
+    /// The sparse observation matrix of one action (rows are entered
+    /// states, columns observations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of bounds.
+    pub fn observation_matrix(&self, action: impl Into<ActionId>) -> &CsrMatrix {
+        &self.observations[action.into().index()]
+    }
+
+    /// Iterates over the observations `(o, q(o|s', a))` possible when
+    /// entering `entered` under `action`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn observations_on_entering(
+        &self,
+        entered: impl Into<StateId>,
+        action: impl Into<ActionId>,
+    ) -> impl Iterator<Item = (ObservationId, f64)> + '_ {
+        self.observations[action.into().index()]
+            .row(entered.into().index())
+            .map(|(o, q)| (ObservationId::new(o), q))
+    }
+
+    /// The label of an observation (defaults to `"o<i>"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of bounds.
+    pub fn observation_label(&self, o: impl Into<ObservationId>) -> &str {
+        &self.observation_labels[o.into().index()]
+    }
+
+    /// Looks up an observation id by label.
+    pub fn observation_by_label(&self, label: &str) -> Option<ObservationId> {
+        self.observation_labels
+            .iter()
+            .position(|l| l == label)
+            .map(ObservationId::new)
+    }
+
+    /// Samples a successor state `s' ~ p(·|s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn sample_transition<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        from: StateId,
+        action: ActionId,
+    ) -> StateId {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut last = from;
+        for (s2, p) in self.mdp.successors(from, action) {
+            acc += p;
+            last = s2;
+            if u < acc {
+                return s2;
+            }
+        }
+        // Floating-point slack: fall back to the last successor.
+        last
+    }
+
+    /// Samples an observation `o ~ q(·|entered, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds, or if the observation row
+    /// is empty (the builder guarantees it never is).
+    pub fn sample_observation<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entered: StateId,
+        action: ActionId,
+    ) -> ObservationId {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut last = None;
+        for (o, q) in self.observations_on_entering(entered, action) {
+            acc += q;
+            last = Some(o);
+            if u < acc {
+                return o;
+            }
+        }
+        last.expect("observation distribution must be non-empty")
+    }
+}
+
+/// Builder for [`Pomdp`] models: an already-built [`Mdp`] plus the
+/// observation model.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_mdp::MdpBuilder;
+/// use bpr_pomdp::PomdpBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mb = MdpBuilder::new(2, 1);
+/// mb.transition(0, 0, 1, 1.0);
+/// mb.transition(1, 0, 1, 1.0);
+/// let mut pb = PomdpBuilder::new(mb.build()?, 2);
+/// pb.observation(0, 0, 0, 1.0); // entering s0 yields o0
+/// pb.observation(1, 0, 0, 0.25); // entering s1: o0 w.p. 1/4 ...
+/// pb.observation(1, 0, 1, 0.75); // ... o1 w.p. 3/4
+/// let pomdp = pb.build()?;
+/// assert_eq!(pomdp.n_observations(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PomdpBuilder {
+    mdp: Mdp,
+    n_observations: usize,
+    triplets: Vec<Vec<(usize, usize, f64)>>,
+    observation_labels: Vec<String>,
+}
+
+impl PomdpBuilder {
+    /// Starts a builder around an MDP core with `n_observations`
+    /// possible observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_observations` is zero.
+    pub fn new(mdp: Mdp, n_observations: usize) -> PomdpBuilder {
+        assert!(n_observations > 0, "POMDP needs at least one observation");
+        let n_actions = mdp.n_actions();
+        PomdpBuilder {
+            mdp,
+            n_observations,
+            triplets: vec![Vec::new(); n_actions],
+            observation_labels: (0..n_observations).map(|i| format!("o{i}")).collect(),
+        }
+    }
+
+    /// Adds probability mass to `q(o | entered, action)`.
+    ///
+    /// Mass for the same triple accumulates across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn observation(
+        &mut self,
+        entered: impl Into<StateId>,
+        action: impl Into<ActionId>,
+        o: impl Into<ObservationId>,
+        q: f64,
+    ) -> &mut PomdpBuilder {
+        let (s, a, o) = (entered.into().index(), action.into().index(), o.into().index());
+        assert!(s < self.mdp.n_states(), "entered-state {s} out of bounds");
+        assert!(a < self.mdp.n_actions(), "action {a} out of bounds");
+        assert!(o < self.n_observations, "observation {o} out of bounds");
+        self.triplets[a].push((s, o, q));
+        self
+    }
+
+    /// Declares that entering `entered` under *any* action produces the
+    /// same observation distribution entry. A convenience for models
+    /// (like the EMN system) whose monitors depend only on the state.
+    pub fn observation_all_actions(
+        &mut self,
+        entered: impl Into<StateId>,
+        o: impl Into<ObservationId>,
+        q: f64,
+    ) -> &mut PomdpBuilder {
+        let (s, o) = (entered.into(), o.into());
+        for a in 0..self.mdp.n_actions() {
+            self.observation(s, a, o, q);
+        }
+        self
+    }
+
+    /// Sets a human-readable label for an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of bounds.
+    pub fn observation_label(
+        &mut self,
+        o: impl Into<ObservationId>,
+        label: impl Into<String>,
+    ) -> &mut PomdpBuilder {
+        let o = o.into().index();
+        assert!(o < self.n_observations, "observation {o} out of bounds");
+        self.observation_labels[o] = label.into();
+        self
+    }
+
+    /// Validates the observation model and builds the [`Pomdp`].
+    ///
+    /// Every `(entered state, action)` pair reachable in principle must
+    /// have a full observation distribution; missing or non-unit rows
+    /// are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ObservationNotStochastic`] if any `q(·|s, a)` row does
+    ///   not sum to 1 within `1e-9`.
+    /// * [`Error::IndexOutOfBounds`] via the underlying matrix build if
+    ///   triplets are malformed (the panicking setters normally prevent
+    ///   this).
+    pub fn build(&self) -> Result<Pomdp, Error> {
+        const TOL: f64 = 1e-9;
+        let n = self.mdp.n_states();
+        let mut observations = Vec::with_capacity(self.mdp.n_actions());
+        for a in 0..self.mdp.n_actions() {
+            let m = CsrMatrix::from_triplets(n, self.n_observations, &self.triplets[a])
+                .map_err(|e| Error::Mdp(bpr_mdp::Error::Linalg(e)))?;
+            for s in 0..n {
+                let mut sum = 0.0;
+                for (_, q) in m.row(s) {
+                    if !q.is_finite() || q < -TOL || q > 1.0 + TOL {
+                        return Err(Error::ObservationNotStochastic {
+                            state: s,
+                            action: a,
+                            sum: q,
+                        });
+                    }
+                    sum += q;
+                }
+                if (sum - 1.0).abs() > TOL {
+                    return Err(Error::ObservationNotStochastic {
+                        state: s,
+                        action: a,
+                        sum,
+                    });
+                }
+            }
+            observations.push(m);
+        }
+        Ok(Pomdp {
+            mdp: self.mdp.clone(),
+            n_observations: self.n_observations,
+            observations,
+            observation_labels: self.observation_labels.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_mdp::MdpBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn tiny_pomdp() -> Pomdp {
+        // Two states, one action moving 0 -> 1 (1 absorbing), two obs.
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 1, 0.5);
+        mb.transition(0, 0, 0, 0.5);
+        mb.transition(1, 0, 1, 1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+        pb.observation(0, 0, 0, 0.9);
+        pb.observation(0, 0, 1, 0.1);
+        pb.observation(1, 0, 1, 1.0);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn model_accessors() {
+        let p = tiny_pomdp();
+        assert_eq!(p.n_states(), 2);
+        assert_eq!(p.n_actions(), 1);
+        assert_eq!(p.n_observations(), 2);
+        assert_eq!(p.observation_prob(0, 0, 0), 0.9);
+        assert_eq!(p.observation_prob(1, 0, 0), 0.0);
+        assert_eq!(p.observation_label(1), "o1");
+        assert_eq!(p.observation_by_label("o0"), Some(ObservationId::new(0)));
+        assert_eq!(p.observation_by_label("nope"), None);
+        assert_eq!(p.observations().count(), 2);
+    }
+
+    #[test]
+    fn missing_observation_row_is_rejected() {
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 1, 1.0);
+        mb.transition(1, 0, 1, 1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 1);
+        pb.observation(0, 0, 0, 1.0);
+        // State 1 has no observation distribution.
+        assert!(matches!(
+            pb.build(),
+            Err(Error::ObservationNotStochastic { state: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn non_unit_observation_row_is_rejected() {
+        let mut mb = MdpBuilder::new(1, 1);
+        mb.transition(0, 0, 0, 1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+        pb.observation(0, 0, 0, 0.5);
+        pb.observation(0, 0, 1, 0.4);
+        assert!(matches!(
+            pb.build(),
+            Err(Error::ObservationNotStochastic { .. })
+        ));
+    }
+
+    #[test]
+    fn observation_all_actions_covers_every_action() {
+        let mut mb = MdpBuilder::new(1, 3);
+        for a in 0..3 {
+            mb.transition(0, a, 0, 1.0);
+        }
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 1);
+        pb.observation_all_actions(0, 0, 1.0);
+        let p = pb.build().unwrap();
+        for a in 0..3 {
+            assert_eq!(p.observation_prob(0, a, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_distributions() {
+        let p = tiny_pomdp();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut to_one = 0usize;
+        let mut obs_zero = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let s2 = p.sample_transition(&mut rng, StateId::new(0), ActionId::new(0));
+            if s2.index() == 1 {
+                to_one += 1;
+            }
+            let o = p.sample_observation(&mut rng, StateId::new(0), ActionId::new(0));
+            if o.index() == 0 {
+                obs_zero += 1;
+            }
+        }
+        let frac_one = to_one as f64 / n as f64;
+        let frac_obs0 = obs_zero as f64 / n as f64;
+        assert!((frac_one - 0.5).abs() < 0.02, "frac_one = {frac_one}");
+        assert!((frac_obs0 - 0.9).abs() < 0.02, "frac_obs0 = {frac_obs0}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let p = tiny_pomdp();
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(
+                p.sample_transition(&mut a, StateId::new(0), ActionId::new(0)),
+                p.sample_transition(&mut b, StateId::new(0), ActionId::new(0))
+            );
+        }
+    }
+
+    #[test]
+    fn observation_id_display() {
+        assert_eq!(ObservationId::new(3).to_string(), "o3");
+        assert_eq!(ObservationId::from(2).index(), 2);
+    }
+}

@@ -1,0 +1,427 @@
+//! Finite-depth Max-Avg tree expansion (paper Fig. 1(b)).
+//!
+//! The online controller chooses actions by unrolling the POMDP dynamic
+//! programming recursion (Eq. 2) to a small depth from the current
+//! belief, evaluating a bound at the leaves, and executing the action
+//! that maximises the root value. With a *lower* bound at the leaves the
+//! controller inherits the termination guarantees of paper §4.2.
+
+use crate::bounds::ValueBound;
+use crate::{Belief, Error, Pomdp};
+use bpr_mdp::ActionId;
+
+/// The decision produced by a tree expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The maximising action at the root.
+    pub action: ActionId,
+    /// The root value under the expansion.
+    pub value: f64,
+    /// Per-action root values (`q_values[a]` for action `a`).
+    pub q_values: Vec<f64>,
+    /// Number of belief nodes evaluated (leaves + interior).
+    pub nodes_expanded: usize,
+}
+
+/// Expands the recursion to `depth` and returns the best root action.
+///
+/// `depth = 0` evaluates the bound directly and picks the action that
+/// maximises the one-step lookahead implied by... no: `depth` counts
+/// action layers, so `depth = 1` is the paper's "tree depth one"
+/// (choose an action, average over observations, evaluate the bound at
+/// the successor beliefs). `depth = 0` is rejected because it makes no
+/// decision.
+///
+/// Observation branches with probability below `gamma_cutoff` are
+/// pruned (their contribution to the average is bounded by the cutoff
+/// times the worst bound value); `0.0` disables pruning of everything
+/// except genuinely impossible observations.
+///
+/// # Errors
+///
+/// * [`Error::IndexOutOfBounds`] if `depth == 0`.
+/// * Propagates belief-update failures (which cannot occur for
+///   observations with positive probability).
+pub fn expand(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+) -> Result<Decision, Error> {
+    expand_with_cutoff(pomdp, belief, depth, leaf, beta, 0.0)
+}
+
+/// [`expand`] with an explicit observation-probability cutoff.
+///
+/// # Errors
+///
+/// Same as [`expand`].
+pub fn expand_with_cutoff(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+) -> Result<Decision, Error> {
+    if depth == 0 {
+        return Err(Error::IndexOutOfBounds {
+            what: "tree depth (must be >= 1)",
+            index: 0,
+            bound: usize::MAX,
+        });
+    }
+    let mut nodes = 0usize;
+    let mut q_values = Vec::with_capacity(pomdp.n_actions());
+    for a in 0..pomdp.n_actions() {
+        let q = action_value(
+            pomdp,
+            belief,
+            ActionId::new(a),
+            depth,
+            leaf,
+            beta,
+            gamma_cutoff,
+            &mut nodes,
+        )?;
+        q_values.push(q);
+    }
+    let (best_a, best_q) = q_values
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite tree values"))
+        .expect("model has at least one action");
+    Ok(Decision {
+        action: ActionId::new(best_a),
+        value: best_q,
+        q_values,
+        nodes_expanded: nodes,
+    })
+}
+
+/// Expands the recursion with **branch-and-bound pruning**: an upper
+/// bound orders the actions and prunes those whose optimistic value
+/// cannot beat the best action found so far — the use of upper bounds
+/// the paper's conclusion proposes as future work.
+///
+/// Produces exactly the same decision values as
+/// [`expand_with_cutoff`] (pruned actions are provably not maximisers;
+/// their reported q-value is their upper estimate), typically expanding
+/// far fewer nodes.
+///
+/// # Errors
+///
+/// Same as [`expand`].
+pub fn expand_branch_and_bound(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    lower: &dyn ValueBound,
+    upper: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+) -> Result<Decision, Error> {
+    if depth == 0 {
+        return Err(Error::IndexOutOfBounds {
+            what: "tree depth (must be >= 1)",
+            index: 0,
+            bound: usize::MAX,
+        });
+    }
+    let mut nodes = 0usize;
+    let na = pomdp.n_actions();
+    // Per action: successors plus the optimistic one-step estimate.
+    let mut entries: Vec<(usize, f64, Vec<(f64, Belief)>)> = Vec::with_capacity(na);
+    for a in 0..na {
+        let action = ActionId::new(a);
+        let succ: Vec<(f64, Belief)> = belief
+            .successors(pomdp, action, gamma_cutoff)
+            .into_iter()
+            .map(|(_o, g, b)| (g, b))
+            .collect();
+        let mut q_ub = belief.expected_reward(pomdp, action);
+        for (g, b) in &succ {
+            q_ub += beta * g * upper.value(b);
+        }
+        entries.push((a, q_ub, succ));
+    }
+    entries.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite upper estimates"));
+
+    let mut q_values = vec![f64::NEG_INFINITY; na];
+    let mut best_value = f64::NEG_INFINITY;
+    let mut best_action = entries[0].0;
+    for (a, q_ub, succ) in entries {
+        if q_ub <= best_value {
+            // Provably cannot beat the incumbent: record the optimistic
+            // estimate and skip the descent.
+            q_values[a] = q_ub;
+            continue;
+        }
+        let action = ActionId::new(a);
+        let mut q = belief.expected_reward(pomdp, action);
+        for (g, b) in succ {
+            let v = bb_value(pomdp, &b, depth - 1, lower, upper, beta, gamma_cutoff, &mut nodes)?;
+            q += beta * g * v;
+        }
+        q_values[a] = q;
+        if q > best_value {
+            best_value = q;
+            best_action = a;
+        }
+    }
+    Ok(Decision {
+        action: ActionId::new(best_action),
+        value: best_value,
+        q_values,
+        nodes_expanded: nodes,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bb_value(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    lower: &dyn ValueBound,
+    upper: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    nodes: &mut usize,
+) -> Result<f64, Error> {
+    *nodes += 1;
+    if depth == 0 {
+        return Ok(lower.value(belief));
+    }
+    let na = pomdp.n_actions();
+    let mut entries: Vec<(f64, Vec<(f64, Belief)>, ActionId)> = Vec::with_capacity(na);
+    for a in 0..na {
+        let action = ActionId::new(a);
+        let succ: Vec<(f64, Belief)> = belief
+            .successors(pomdp, action, gamma_cutoff)
+            .into_iter()
+            .map(|(_o, g, b)| (g, b))
+            .collect();
+        let mut q_ub = belief.expected_reward(pomdp, action);
+        for (g, b) in &succ {
+            q_ub += beta * g * upper.value(b);
+        }
+        entries.push((q_ub, succ, action));
+    }
+    entries.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite upper estimates"));
+    let mut best = f64::NEG_INFINITY;
+    for (q_ub, succ, action) in entries {
+        if q_ub <= best {
+            break; // sorted: everything after is also prunable
+        }
+        let mut q = belief.expected_reward(pomdp, action);
+        for (g, b) in succ {
+            let v = bb_value(pomdp, &b, depth - 1, lower, upper, beta, gamma_cutoff, nodes)?;
+            q += beta * g * v;
+        }
+        best = best.max(q);
+    }
+    Ok(best)
+}
+
+/// Value of the belief under the expansion: `max_a Q(π, a, depth)`, or
+/// the leaf bound at depth 0.
+fn belief_value(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    nodes: &mut usize,
+) -> Result<f64, Error> {
+    *nodes += 1;
+    if depth == 0 {
+        return Ok(leaf.value(belief));
+    }
+    let mut best = f64::NEG_INFINITY;
+    for a in 0..pomdp.n_actions() {
+        let q = action_value(
+            pomdp,
+            belief,
+            ActionId::new(a),
+            depth,
+            leaf,
+            beta,
+            gamma_cutoff,
+            nodes,
+        )?;
+        best = best.max(q);
+    }
+    Ok(best)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn action_value(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    action: ActionId,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    nodes: &mut usize,
+) -> Result<f64, Error> {
+    let mut q = belief.expected_reward(pomdp, action);
+    for (_o, gamma, next) in belief.successors(pomdp, action, gamma_cutoff) {
+        let v = belief_value(pomdp, &next, depth - 1, leaf, beta, gamma_cutoff, nodes)?;
+        q += beta * gamma * v;
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::ra::tests::two_server_notified;
+    use crate::bounds::{ra_bound, ConstantBound};
+    use bpr_mdp::chain::SolveOpts;
+
+    #[test]
+    fn depth_zero_is_rejected() {
+        let p = two_server_notified();
+        let bound = ConstantBound(0.0);
+        assert!(expand(&p, &Belief::uniform(3), 0, &bound, 1.0).is_err());
+    }
+
+    #[test]
+    fn certain_fault_picks_matching_restart() {
+        let p = two_server_notified();
+        let bound = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let d = expand(&p, &Belief::point(3, 0.into()), 1, &bound, 1.0).unwrap();
+        assert_eq!(d.action.index(), 0, "q = {:?}", d.q_values);
+        let d = expand(&p, &Belief::point(3, 1.into()), 1, &bound, 1.0).unwrap();
+        assert_eq!(d.action.index(), 1);
+    }
+
+    #[test]
+    fn null_belief_prefers_free_observe() {
+        let p = two_server_notified();
+        let bound = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let d = expand(&p, &Belief::point(3, 2.into()), 2, &bound, 1.0).unwrap();
+        // Observe costs nothing in Null (the looping action with r = 0).
+        assert_eq!(d.action.index(), 2, "q = {:?}", d.q_values);
+        assert!((d.value - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_trees_never_lower_the_root_value() {
+        // With a lower bound at the leaves satisfying V <= Lp V, the
+        // root value is non-decreasing in depth (each extra layer
+        // applies Lp once more).
+        let p = two_server_notified();
+        let bound = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let b = Belief::uniform(3);
+        let mut prev = f64::NEG_INFINITY;
+        for depth in 1..=4 {
+            let d = expand(&p, &b, depth, &bound, 1.0).unwrap();
+            assert!(
+                d.value + 1e-9 >= prev,
+                "depth {depth} lowered value: {prev} -> {}",
+                d.value
+            );
+            prev = d.value;
+        }
+    }
+
+    #[test]
+    fn q_values_are_reported_for_all_actions() {
+        let p = two_server_notified();
+        let bound = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let d = expand(&p, &Belief::uniform(3), 1, &bound, 1.0).unwrap();
+        assert_eq!(d.q_values.len(), 3);
+        assert!(d.q_values.iter().all(|q| q.is_finite()));
+        let max = d.q_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(d.value, max);
+    }
+
+    #[test]
+    fn node_count_grows_with_depth() {
+        let p = two_server_notified();
+        let bound = ConstantBound(0.0);
+        let b = Belief::uniform(3);
+        let d1 = expand(&p, &b, 1, &bound, 1.0).unwrap();
+        let d2 = expand(&p, &b, 2, &bound, 1.0).unwrap();
+        assert!(d2.nodes_expanded > d1.nodes_expanded);
+    }
+
+    #[test]
+    fn cutoff_prunes_rare_observations() {
+        let p = two_server_notified();
+        let bound = ConstantBound(0.0);
+        let b = Belief::uniform(3);
+        let full = expand_with_cutoff(&p, &b, 2, &bound, 1.0, 0.0).unwrap();
+        let pruned = expand_with_cutoff(&p, &b, 2, &bound, 1.0, 0.2).unwrap();
+        assert!(pruned.nodes_expanded <= full.nodes_expanded);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_plain_expansion() {
+        use crate::bounds::qmdp_bound;
+        use bpr_mdp::value_iteration::Discount;
+        let p = two_server_notified();
+        let lower = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let upper = qmdp_bound(&p, Discount::Undiscounted).unwrap();
+        for probs in [
+            vec![1.0, 0.0, 0.0],
+            vec![0.5, 0.5, 0.0],
+            vec![0.3, 0.3, 0.4],
+            vec![0.05, 0.9, 0.05],
+        ] {
+            let b = Belief::from_probs(probs).unwrap();
+            for depth in 1..=3 {
+                let plain = expand(&p, &b, depth, &lower, 1.0).unwrap();
+                let bb =
+                    expand_branch_and_bound(&p, &b, depth, &lower, &upper, 1.0, 0.0).unwrap();
+                assert!(
+                    (bb.value - plain.value).abs() < 1e-9,
+                    "depth {depth}: {} vs {}",
+                    bb.value,
+                    plain.value
+                );
+                // Tie-breaking may differ, but the chosen action must be
+                // a maximiser of the plain expansion.
+                assert!(
+                    (plain.q_values[bb.action.index()] - plain.value).abs() < 1e-9,
+                    "depth {depth}: bb picked a non-maximiser"
+                );
+                assert!(bb.nodes_expanded <= plain.nodes_expanded);
+            }
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_rejects_zero_depth() {
+        let p = two_server_notified();
+        let bound = ConstantBound(0.0);
+        assert!(expand_branch_and_bound(
+            &p,
+            &Belief::uniform(3),
+            0,
+            &bound,
+            &bound,
+            1.0,
+            0.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn expansion_with_trivial_upper_bound_is_optimistic() {
+        // Leaf bound 0 (upper) must give a root value >= the value with
+        // the RA lower bound at the leaves.
+        let p = two_server_notified();
+        let lower = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let upper = ConstantBound(0.0);
+        let b = Belief::uniform(3);
+        let lo = expand(&p, &b, 2, &lower, 1.0).unwrap();
+        let hi = expand(&p, &b, 2, &upper, 1.0).unwrap();
+        assert!(hi.value + 1e-9 >= lo.value);
+    }
+}

@@ -1,0 +1,179 @@
+//! Edge-case tests for bound sets, eviction, persistence, and the
+//! diagnosis helpers.
+
+use bpr_mdp::{ActionId, MdpBuilder, StateId};
+use bpr_pomdp::backup::incremental_backup;
+use bpr_pomdp::bounds::{
+    fib_bound, qmdp_bound, ra_bound, simplex_grid, ValueBound, VectorSetBound,
+};
+use bpr_pomdp::diagnosis::{
+    bhattacharyya_coefficient, confusion_matrix, kl_divergence, total_variation,
+};
+use bpr_pomdp::{Belief, Pomdp, PomdpBuilder};
+
+fn small_recovery_pomdp() -> Pomdp {
+    let mut mb = MdpBuilder::new(3, 3);
+    for a in 0..3 {
+        mb.transition(0, a, 0, 1.0);
+    }
+    for s in 1..3 {
+        for a in 0..3 {
+            if a == s {
+                mb.transition(s, a, 0, 1.0);
+            } else {
+                mb.transition(s, a, s, 1.0);
+            }
+            mb.reward(s, a, -(1.0 + s as f64 * 0.5));
+        }
+    }
+    let mut pb = PomdpBuilder::new(mb.build().unwrap(), 3);
+    for s in 0..3 {
+        for o in 0..3 {
+            pb.observation_all_actions(s, o, if s == o { 0.8 } else { 0.1 });
+        }
+    }
+    pb.build().unwrap()
+}
+
+#[test]
+fn eviction_under_churn_preserves_validity() {
+    // Hammer a capped set with backups at rotating beliefs; the bound
+    // must stay below QMDP at every probe after arbitrary evictions.
+    let p = small_recovery_pomdp();
+    let upper = qmdp_bound(&p, bpr_mdp::value_iteration::Discount::Undiscounted).unwrap();
+    let mut set = ra_bound(&p, &Default::default()).unwrap();
+    let probes = simplex_grid(3, 4);
+    for round in 0..30 {
+        let b = &probes[round % probes.len()];
+        incremental_backup(&p, &mut set, b, 1.0).unwrap();
+        set.evict_to(3);
+        assert!(set.len() <= 3);
+        for probe in &probes {
+            assert!(
+                set.value(probe) <= upper.value(probe) + 1e-7,
+                "round {round}: bound crossed QMDP"
+            );
+        }
+    }
+}
+
+#[test]
+fn tsv_roundtrip_of_a_refined_set() {
+    let p = small_recovery_pomdp();
+    let mut set = ra_bound(&p, &Default::default()).unwrap();
+    for b in simplex_grid(3, 3) {
+        incremental_backup(&p, &mut set, &b, 1.0).unwrap();
+    }
+    let restored = VectorSetBound::from_tsv(3, &set.to_tsv()).unwrap();
+    for b in simplex_grid(3, 5) {
+        assert!(
+            (restored.value(&b) - set.value(&b)).abs() < 1e-12,
+            "roundtrip value drift at {b:?}"
+        );
+    }
+}
+
+#[test]
+fn fib_refines_qmdp_when_observations_are_noisy() {
+    // With genuinely noisy observations and stochastic outcomes FIB can
+    // be strictly tighter than QMDP somewhere; at minimum it must never
+    // be looser.
+    let mut mb = MdpBuilder::new(2, 2);
+    mb.transition(0, 0, 0, 0.5);
+    mb.transition(0, 0, 1, 0.5);
+    mb.reward(0, 0, -1.0);
+    mb.transition(0, 1, 1, 1.0).reward(0, 1, -2.0);
+    mb.transition(1, 0, 1, 1.0);
+    mb.transition(1, 1, 1, 1.0);
+    let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+    pb.observation_all_actions(0, 0, 0.6);
+    pb.observation_all_actions(0, 1, 0.4);
+    pb.observation_all_actions(1, 0, 0.4);
+    pb.observation_all_actions(1, 1, 0.6);
+    let p = pb.build().unwrap();
+    let q = qmdp_bound(&p, bpr_mdp::value_iteration::Discount::Undiscounted).unwrap();
+    let f = fib_bound(
+        &p,
+        bpr_mdp::value_iteration::Discount::Undiscounted,
+        &Default::default(),
+    )
+    .unwrap();
+    for b in simplex_grid(2, 10) {
+        assert!(f.value(&b) <= q.value(&b) + 1e-9);
+    }
+}
+
+#[test]
+fn divergence_measures_are_consistent() {
+    let p = small_recovery_pomdp();
+    let m = confusion_matrix(&p, ActionId::new(0)).unwrap();
+    // Symmetric with zero diagonal.
+    for i in 0..3 {
+        assert_eq!(m[i][i], 0.0);
+        for j in 0..3 {
+            assert_eq!(m[i][j], m[j][i]);
+        }
+    }
+    // TV and Bhattacharyya orderings agree on this symmetric channel.
+    let d0 = bpr_pomdp::diagnosis::observation_distribution(&p, StateId::new(0), ActionId::new(0));
+    let d1 = bpr_pomdp::diagnosis::observation_distribution(&p, StateId::new(1), ActionId::new(0));
+    let tv = total_variation(&d0, &d1);
+    let bc = bhattacharyya_coefficient(&d0, &d1);
+    let kl = kl_divergence(&d0, &d1);
+    assert!(tv > 0.0 && tv <= 1.0);
+    assert!(bc > 0.0 && bc < 1.0);
+    assert!(kl > 0.0 && kl.is_finite());
+    // Pinsker: TV <= sqrt(KL / 2).
+    assert!(tv <= (kl / 2.0).sqrt() + 1e-9);
+}
+
+#[test]
+fn grid_sizes_match_binomials() {
+    // C(r + n - 1, n - 1) points on the grid.
+    let binom = |n: u64, k: u64| -> u64 {
+        let mut acc = 1u64;
+        for i in 0..k {
+            acc = acc * (n - i) / (i + 1);
+        }
+        acc
+    };
+    for n in 1..=4usize {
+        for r in 1..=5usize {
+            let expect = binom((r + n - 1) as u64, (n - 1) as u64);
+            assert_eq!(
+                simplex_grid(n, r).len() as u64,
+                expect,
+                "n={n}, r={r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn backups_on_point_beliefs_recover_exact_state_values() {
+    // Repeated backups at the vertex beliefs converge to the true MDP
+    // optimal values there for this fully-observable-per-vertex case...
+    // more precisely, the bound at each vertex must reach the value of
+    // the best single-action-then-optimal plan, which here equals the
+    // MDP optimum because transitions are deterministic.
+    let p = small_recovery_pomdp();
+    let sol = bpr_mdp::value_iteration::ValueIteration::new(
+        bpr_mdp::value_iteration::Discount::Undiscounted,
+    )
+    .solve(p.mdp())
+    .unwrap();
+    let mut set = ra_bound(&p, &Default::default()).unwrap();
+    for _ in 0..20 {
+        for s in 0..3 {
+            incremental_backup(&p, &mut set, &Belief::point(3, StateId::new(s)), 1.0).unwrap();
+        }
+    }
+    for s in 0..3 {
+        let v = set.value(&Belief::point(3, StateId::new(s)));
+        assert!(
+            (v - sol.values[s]).abs() < 1e-6,
+            "vertex {s}: bound {v} vs optimal {}",
+            sol.values[s]
+        );
+    }
+}

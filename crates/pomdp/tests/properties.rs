@@ -1,0 +1,150 @@
+//! Property-based tests of the POMDP layer: belief algebra, bound-set
+//! invariants, backup monotonicity, and tree-expansion consistency on
+//! randomly generated models.
+
+use bpr_mdp::{ActionId, MdpBuilder, StateId};
+use bpr_pomdp::backup::incremental_backup;
+use bpr_pomdp::bounds::{ra_bound, ValueBound};
+use bpr_pomdp::{tree, Belief, Pomdp, PomdpBuilder};
+use proptest::prelude::*;
+
+/// A random POMDP with recovery shape: state 0 absorbing & free, every
+/// other state fixable, full-support observation noise.
+fn arb_pomdp() -> impl Strategy<Value = Pomdp> {
+    (2usize..=5, 2usize..=4, 2usize..=4, 0.55f64..0.95)
+        .prop_flat_map(|(n, na, no, acc)| {
+            (
+                Just(n),
+                Just(na),
+                Just(no),
+                Just(acc),
+                proptest::collection::vec(0.1f64..2.0, n * na),
+            )
+        })
+        .prop_map(|(n, na, no, acc, costs)| {
+            let mut b = MdpBuilder::new(n, na);
+            for a in 0..na {
+                b.transition(0, a, 0, 1.0);
+            }
+            for s in 1..n {
+                for a in 0..na {
+                    if a == s % na {
+                        b.transition(s, a, 0, 1.0);
+                    } else {
+                        b.transition(s, a, s, 1.0);
+                    }
+                    b.reward(s, a, -costs[s * na + a]);
+                }
+            }
+            let mdp = b.build().expect("mdp builds");
+            let mut pb = PomdpBuilder::new(mdp, no);
+            for s in 0..n {
+                let truth = s % no;
+                let spread = (1.0 - acc) / (no - 1) as f64;
+                for o in 0..no {
+                    pb.observation_all_actions(s, o, if o == truth { acc } else { spread });
+                }
+            }
+            pb.build().expect("pomdp builds")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn observation_probabilities_are_a_distribution(p in arb_pomdp()) {
+        let belief = Belief::uniform(p.n_states());
+        for a in 0..p.n_actions() {
+            let gammas = belief.observation_probs(&p, ActionId::new(a));
+            let total: f64 = gammas.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(gammas.iter().all(|&g| g >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn successors_partition_probability(p in arb_pomdp()) {
+        let n = p.n_states();
+        let belief = Belief::uniform(n);
+        for a in 0..p.n_actions() {
+            let succ = belief.successors(&p, ActionId::new(a), 0.0);
+            let total: f64 = succ.iter().map(|(_, g, _)| g).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            for (_, g, next) in succ {
+                prop_assert!(g > 0.0);
+                let sum: f64 = next.probs().iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bound_set_value_is_max_of_members(p in arb_pomdp()) {
+        let ra = ra_bound(&p, &Default::default()).expect("RA exists");
+        let belief = Belief::uniform(p.n_states());
+        let v = ra.value(&belief);
+        let best = ra
+            .iter()
+            .map(|b| b.iter().zip(belief.probs()).map(|(x, y)| x * y).sum::<f64>())
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((v - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backup_is_monotone_everywhere_not_just_at_the_point(
+        p in arb_pomdp(),
+        seed in 0u64..50,
+    ) {
+        // Adding a backup vector can only raise the max over
+        // hyperplanes at EVERY belief.
+        let mut set = ra_bound(&p, &Default::default()).expect("RA exists");
+        let n = p.n_states();
+        let probes: Vec<Belief> = (0..n)
+            .map(|s| Belief::point(n, StateId::new(s)))
+            .chain([Belief::uniform(n)])
+            .collect();
+        let before: Vec<f64> = probes.iter().map(|b| set.value(b)).collect();
+        let backup_at = Belief::point(n, StateId::new((seed as usize) % n));
+        incremental_backup(&p, &mut set, &backup_at, 1.0).expect("backup");
+        for (probe, old) in probes.iter().zip(before) {
+            prop_assert!(set.value(probe) + 1e-12 >= old);
+        }
+    }
+
+    #[test]
+    fn tree_value_is_monotone_in_depth_with_ra_leaves(
+        p in arb_pomdp(),
+        weights in proptest::collection::vec(0.01f64..1.0, 5),
+    ) {
+        let n = p.n_states();
+        let sum: f64 = weights[..n].iter().sum();
+        let b = Belief::from_probs(weights[..n].iter().map(|w| w / sum).collect())
+            .expect("valid belief");
+        let ra = ra_bound(&p, &Default::default()).expect("RA exists");
+        let v1 = tree::expand(&p, &b, 1, &ra, 1.0).expect("d1").value;
+        let v2 = tree::expand(&p, &b, 2, &ra, 1.0).expect("d2").value;
+        prop_assert!(v2 + 1e-9 >= v1, "depth 2 ({v2}) below depth 1 ({v1})");
+        prop_assert!(v1 + 1e-9 >= ra.value(&b), "L_p dropped below the bound");
+    }
+
+    #[test]
+    fn belief_update_is_bayes_consistent(p in arb_pomdp(), seed in 0u64..100) {
+        // After updating on observation o, re-weighting by gamma must
+        // recover the predicted distribution: sum_o gamma(o) pi'(s|o)
+        // == pred(s).
+        let n = p.n_states();
+        let belief = Belief::uniform(n);
+        let a = ActionId::new((seed as usize) % p.n_actions());
+        let pred = belief.predict(&p, a);
+        let mut recomposed = vec![0.0; n];
+        for (_, gamma, next) in belief.successors(&p, a, 0.0) {
+            for (s, q) in next.probs().iter().enumerate() {
+                recomposed[s] += gamma * q;
+            }
+        }
+        for s in 0..n {
+            prop_assert!((recomposed[s] - pred[s]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! A small discrete-event simulation engine.
+//!
+//! Events are arbitrary payloads scheduled at f64 timestamps; the queue
+//! pops them in time order with FIFO tie-breaking (insertion order for
+//! equal timestamps), which keeps simulations deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue ordered by time, then insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_sim::des::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "later");
+/// q.schedule(1.0, "sooner");
+/// assert_eq!(q.pop(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop(), Some((2.0, "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Entry<E>) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Entry<E>) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Entry<E>) -> Ordering {
+        // BinaryHeap is a max-heap: invert to get earliest-first, with
+        // lower sequence numbers winning ties.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at 0.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or earlier than the current clock
+    /// (events cannot be scheduled in the past).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedules `event` `delay` seconds after the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The current simulation clock (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> EventQueue<E> {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, ());
+        q.schedule_in(7.5, ());
+        assert_eq!(q.peek_time(), Some(5.0));
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        q.pop();
+        assert_eq!(q.now(), 7.5);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_tracks_pending_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! The fault-injection harness behind the paper's Table 1.
+//!
+//! An *episode* injects one fault, lets a controller drive recovery
+//! against the simulated [`World`], and measures the paper's per-fault
+//! metrics. A *campaign* repeats episodes over a fault population and
+//! averages.
+
+use crate::metrics::CampaignSummary;
+use crate::World;
+use bpr_core::{Error, RecoveryController, RecoveryModel, Step};
+use bpr_mdp::StateId;
+use bpr_pomdp::Belief;
+use rand::Rng;
+use std::time::Instant;
+
+/// Knobs of the harness itself (controller policy knobs live on the
+/// controllers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessConfig {
+    /// Per-episode step cap; a controller that has not terminated after
+    /// this many decisions is cut off (and the episode marked
+    /// unterminated).
+    pub max_steps: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> HarnessConfig {
+        HarnessConfig { max_steps: 500 }
+    }
+}
+
+/// The per-fault metrics of one recovery episode (paper Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeOutcome {
+    /// The injected fault.
+    pub fault: StateId,
+    /// Accumulated cost (requests dropped): the negated model rewards
+    /// of all executed actions.
+    pub cost: f64,
+    /// Wall-clock seconds from detection until the controller
+    /// terminated recovery.
+    pub recovery_time: f64,
+    /// Wall-clock seconds the fault was actually present.
+    pub residual_time: f64,
+    /// Wall-clock seconds the controller spent inside `decide()`.
+    pub algorithm_time: f64,
+    /// Number of recovery (non-observe) actions executed.
+    pub actions: usize,
+    /// Number of monitor invocations (observations delivered).
+    pub monitor_calls: usize,
+    /// Whether the world was in a null-fault state at termination.
+    pub recovered: bool,
+    /// Whether the controller terminated within the step cap.
+    pub terminated: bool,
+}
+
+/// One step of an episode trace (see [`run_episode_traced`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// 1-based step number.
+    pub step: usize,
+    /// Wall-clock seconds at the *end* of the step.
+    pub wall: f64,
+    /// The executed action, or `None` for the terminate decision.
+    pub action: Option<bpr_mdp::ActionId>,
+    /// The world's true state after the action.
+    pub world_after: StateId,
+    /// The observation delivered to the controller, if any.
+    pub observation: Option<bpr_pomdp::ObservationId>,
+    /// Cost incurred by this step.
+    pub cost: f64,
+    /// Belief mass the controller places on the null-fault states
+    /// after the step (NaN for belief-less controllers).
+    pub null_mass: f64,
+}
+
+/// Runs one fault-injection episode.
+///
+/// The protocol mirrors paper §4/§5: the fault is injected, monitors
+/// detect *something*, the controller starts from the belief "all
+/// faults equally likely" conditioned on the detection observation
+/// (Eq. 4), then alternates decisions, action execution, and monitor
+/// updates until it terminates.
+///
+/// # Errors
+///
+/// Propagates controller failures (model mismatch, belief-update
+/// errors).
+pub fn run_episode<R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    controller: &mut dyn RecoveryController,
+    fault: StateId,
+    config: &HarnessConfig,
+    rng: &mut R,
+) -> Result<EpisodeOutcome, Error> {
+    run_episode_impl(model, controller, fault, config, rng, None)
+}
+
+/// [`run_episode`] with a full per-step trace, for debugging models
+/// and controllers (and for rendering recovery timelines).
+///
+/// # Errors
+///
+/// Same as [`run_episode`].
+pub fn run_episode_traced<R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    controller: &mut dyn RecoveryController,
+    fault: StateId,
+    config: &HarnessConfig,
+    rng: &mut R,
+) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
+    let mut trace = Vec::new();
+    let outcome = run_episode_impl(model, controller, fault, config, rng, Some(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn run_episode_impl<R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    controller: &mut dyn RecoveryController,
+    fault: StateId,
+    config: &HarnessConfig,
+    rng: &mut R,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+) -> Result<EpisodeOutcome, Error> {
+    let mut world = World::new(model, fault);
+    let faults = model.fault_states();
+    let prior = Belief::uniform_over(model.base().n_states(), &faults);
+    // Condition the prior on the detection observation (not charged to
+    // the monitor-call metric: it is the detection that *triggered*
+    // recovery).
+    let initial = if controller.uses_monitors() {
+        let observe = model
+            .observe_actions()
+            .first()
+            .copied()
+            .unwrap_or_else(|| bpr_mdp::ActionId::new(0));
+        let o = world.observe_in_place(rng);
+        match prior.update(model.base(), observe, o) {
+            Ok((b, _)) => b,
+            Err(_) => prior,
+        }
+    } else {
+        prior
+    };
+    controller.begin(initial, Some(fault))?;
+
+    let mut outcome = EpisodeOutcome {
+        fault,
+        cost: 0.0,
+        recovery_time: 0.0,
+        residual_time: 0.0,
+        algorithm_time: 0.0,
+        actions: 0,
+        monitor_calls: 0,
+        recovered: false,
+        terminated: false,
+    };
+    let mut wall = 0.0f64;
+    let mut fault_fixed_at: Option<f64> = None;
+    if world.is_recovered() {
+        fault_fixed_at = Some(0.0);
+    }
+
+    for step_no in 1..=config.max_steps {
+        let t0 = Instant::now();
+        let step = controller.decide()?;
+        outcome.algorithm_time += t0.elapsed().as_secs_f64();
+        match step {
+            Step::Terminate => {
+                outcome.terminated = true;
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(TraceEvent {
+                        step: step_no,
+                        wall,
+                        action: None,
+                        world_after: world.state(),
+                        observation: None,
+                        cost: 0.0,
+                        null_mass: controller
+                            .belief()
+                            .map_or(f64::NAN, |b| b.prob_in(model.null_states())),
+                    });
+                }
+                break;
+            }
+            Step::Execute(a) => {
+                let pre_state = world.state();
+                let step_cost = -model.base().mdp().reward(pre_state, a);
+                outcome.cost += step_cost;
+                wall += model.base().mdp().duration(a);
+                let (post, obs) = world.step(rng, a);
+                if fault_fixed_at.is_none() && model.is_null(post) {
+                    fault_fixed_at = Some(wall);
+                }
+                if !model.is_observe(a) {
+                    outcome.actions += 1;
+                }
+                let mut delivered = None;
+                if controller.uses_monitors() {
+                    controller.observe(a, obs)?;
+                    outcome.monitor_calls += 1;
+                    delivered = Some(obs);
+                }
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(TraceEvent {
+                        step: step_no,
+                        wall,
+                        action: Some(a),
+                        world_after: post,
+                        observation: delivered,
+                        cost: step_cost,
+                        null_mass: controller
+                            .belief()
+                            .map_or(f64::NAN, |b| b.prob_in(model.null_states())),
+                    });
+                }
+            }
+        }
+    }
+    outcome.recovery_time = wall;
+    outcome.recovered = world.is_recovered();
+    outcome.residual_time = fault_fixed_at.unwrap_or(wall);
+    Ok(outcome)
+}
+
+/// Runs a campaign: `episodes` fault injections cycling round-robin
+/// through `fault_population` (so different controllers driven with
+/// the same population and episode count face the identical, balanced
+/// fault sequence), all driven through the same controller (which is
+/// re-`begin`-ed for each episode). Returns the per-fault averages.
+///
+/// # Errors
+///
+/// * [`Error::InvalidInput`] if `fault_population` is empty.
+/// * Propagates episode failures.
+pub fn run_campaign<R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    controller: &mut dyn RecoveryController,
+    fault_population: &[StateId],
+    episodes: usize,
+    config: &HarnessConfig,
+    rng: &mut R,
+) -> Result<CampaignSummary, Error> {
+    if fault_population.is_empty() {
+        return Err(Error::InvalidInput {
+            detail: "fault population must be non-empty".into(),
+        });
+    }
+    let mut outcomes = Vec::with_capacity(episodes);
+    for i in 0..episodes {
+        let fault = fault_population[i % fault_population.len()];
+        outcomes.push(run_episode(model, controller, fault, config, rng)?);
+    }
+    Ok(CampaignSummary::from_outcomes(
+        controller.name(),
+        &outcomes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_core::baselines::{HeuristicController, MostLikelyController, OracleController};
+    use bpr_core::{BoundedConfig, BoundedController};
+    use bpr_emn::two_server;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> RecoveryModel {
+        two_server::default_model().unwrap()
+    }
+
+    #[test]
+    fn oracle_episode_is_one_action_no_monitors() {
+        let m = model();
+        let mut c = OracleController::new(m.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_episode(
+            &m,
+            &mut c,
+            StateId::new(two_server::FAULT_A),
+            &HarnessConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.terminated);
+        assert!(out.recovered);
+        assert_eq!(out.actions, 1);
+        assert_eq!(out.monitor_calls, 0);
+        assert_eq!(out.cost, 0.5);
+        assert_eq!(out.recovery_time, 1.0);
+        assert_eq!(out.residual_time, 1.0);
+    }
+
+    #[test]
+    fn most_likely_recovers_the_system() {
+        let m = model();
+        let mut c = MostLikelyController::new(m.clone(), 0.95).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut recovered = 0;
+        for i in 0..20 {
+            let fault = StateId::new(if i % 2 == 0 {
+                two_server::FAULT_A
+            } else {
+                two_server::FAULT_B
+            });
+            let out =
+                run_episode(&m, &mut c, fault, &HarnessConfig::default(), &mut rng).unwrap();
+            assert!(out.terminated, "episode {i} did not terminate");
+            if out.recovered {
+                recovered += 1;
+            }
+        }
+        assert!(recovered >= 18, "only {recovered}/20 recovered");
+    }
+
+    #[test]
+    fn bounded_controller_full_campaign() {
+        let m = model();
+        let t = m.without_notification(50.0).unwrap();
+        let mut c = BoundedController::new(t, BoundedConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let summary = run_campaign(
+            &m,
+            &mut c,
+            &[
+                StateId::new(two_server::FAULT_A),
+                StateId::new(two_server::FAULT_B),
+            ],
+            30,
+            &HarnessConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(summary.episodes, 30);
+        assert_eq!(summary.unterminated, 0);
+        assert_eq!(summary.unrecovered, 0, "controller quit before recovery");
+        assert!(summary.mean_cost > 0.0);
+        assert!(summary.mean_recovery_time >= summary.mean_residual_time);
+    }
+
+    #[test]
+    fn heuristic_campaign_terminates() {
+        let m = model();
+        let mut c = HeuristicController::new(m.clone(), 1, 0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let summary = run_campaign(
+            &m,
+            &mut c,
+            &[StateId::new(two_server::FAULT_A)],
+            10,
+            &HarnessConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(summary.episodes, 10);
+        assert_eq!(summary.unterminated, 0);
+        assert!(summary.mean_monitor_calls >= summary.mean_actions);
+    }
+
+    #[test]
+    fn empty_population_is_rejected() {
+        let m = model();
+        let mut c = OracleController::new(m.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(run_campaign(&m, &mut c, &[], 5, &HarnessConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn traced_episode_records_every_step() {
+        let m = model();
+        let t = m.without_notification(50.0).unwrap();
+        let mut c = BoundedController::new(t, BoundedConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let (out, trace) = run_episode_traced(
+            &m,
+            &mut c,
+            StateId::new(two_server::FAULT_A),
+            &HarnessConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.terminated);
+        // One trace event per decision, terminate included; for a
+        // monitor-using controller every execute step delivers one
+        // observation.
+        assert_eq!(trace.len(), out.monitor_calls + 1);
+        let last = trace.last().unwrap();
+        assert_eq!(last.action, None, "final event must be the termination");
+        assert!(last.null_mass > 0.5, "terminated while unsure");
+        // Wall clock is non-decreasing and costs are non-negative.
+        let mut prev_wall = 0.0;
+        for e in &trace {
+            assert!(e.wall >= prev_wall);
+            assert!(e.cost >= 0.0);
+            prev_wall = e.wall;
+        }
+        let total: f64 = trace.iter().map(|e| e.cost).sum();
+        assert!((total - out.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injecting_null_fault_is_benign() {
+        // Degenerate episode: "fault" is the null state; the controller
+        // should terminate quickly and report recovered.
+        let m = model();
+        let t = m.without_notification(50.0).unwrap();
+        let mut c = BoundedController::new(t, BoundedConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = run_episode(
+            &m,
+            &mut c,
+            StateId::new(two_server::NULL),
+            &HarnessConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.terminated);
+        assert!(out.recovered);
+        assert_eq!(out.residual_time, 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Simulation substrate for the `bpr` workspace: the fault-injection
+//! harness behind the paper's experiments (§5) and a small
+//! discrete-event engine used for request-level model validation.
+//!
+//! * [`World`] — ground-truth simulator of a recovery model: holds the
+//!   true (hidden) fault state and samples transitions and monitor
+//!   observations from the model's `p` and `q`.
+//! * [`harness`] — drives any [`bpr_core::RecoveryController`] against
+//!   a [`World`], measuring the paper's per-fault metrics: cost,
+//!   recovery time, residual time, algorithm time, recovery actions,
+//!   and monitor calls (Table 1).
+//! * [`metrics`] — campaign aggregation (per-fault averages).
+//! * [`des`] — a generic discrete-event queue, used by the
+//!   request-level simulation that validates the model's analytic drop
+//!   fractions against individually routed requests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod harness;
+pub mod metrics;
+mod world;
+
+pub use harness::{
+    run_campaign, run_episode, run_episode_traced, EpisodeOutcome, HarnessConfig, TraceEvent,
+};
+pub use metrics::CampaignSummary;
+pub use world::World;

@@ -1,0 +1,131 @@
+//! Campaign-level aggregation of episode metrics.
+
+use crate::harness::EpisodeOutcome;
+
+/// Per-fault averages over a fault-injection campaign — one row of the
+/// paper's Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Controller name the campaign was run with.
+    pub controller: String,
+    /// Number of episodes aggregated.
+    pub episodes: usize,
+    /// Mean accumulated cost (requests dropped) per fault.
+    pub mean_cost: f64,
+    /// Mean wall-clock seconds until the controller terminated.
+    pub mean_recovery_time: f64,
+    /// Mean wall-clock seconds the fault was present.
+    pub mean_residual_time: f64,
+    /// Mean seconds of controller compute per fault.
+    pub mean_algorithm_time: f64,
+    /// Mean recovery actions per fault.
+    pub mean_actions: f64,
+    /// Mean monitor invocations per fault.
+    pub mean_monitor_calls: f64,
+    /// Episodes that ended with the fault still present.
+    pub unrecovered: usize,
+    /// Episodes cut off by the step cap before the controller
+    /// terminated.
+    pub unterminated: usize,
+}
+
+impl CampaignSummary {
+    /// Aggregates a slice of episode outcomes.
+    ///
+    /// An empty slice yields a zeroed summary (0 episodes).
+    pub fn from_outcomes(controller: &str, outcomes: &[EpisodeOutcome]) -> CampaignSummary {
+        let n = outcomes.len();
+        let mean = |f: &dyn Fn(&EpisodeOutcome) -> f64| -> f64 {
+            if n == 0 {
+                0.0
+            } else {
+                outcomes.iter().map(f).sum::<f64>() / n as f64
+            }
+        };
+        CampaignSummary {
+            controller: controller.to_string(),
+            episodes: n,
+            mean_cost: mean(&|o| o.cost),
+            mean_recovery_time: mean(&|o| o.recovery_time),
+            mean_residual_time: mean(&|o| o.residual_time),
+            mean_algorithm_time: mean(&|o| o.algorithm_time),
+            mean_actions: mean(&|o| o.actions as f64),
+            mean_monitor_calls: mean(&|o| o.monitor_calls as f64),
+            unrecovered: outcomes.iter().filter(|o| !o.recovered).count(),
+            unterminated: outcomes.iter().filter(|o| !o.terminated).count(),
+        }
+    }
+
+    /// Formats the summary as a row matching the layout of the paper's
+    /// Table 1 (algorithm time in milliseconds).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<14} {:>10.2} {:>14.2} {:>14.2} {:>14.3} {:>8.2} {:>14.2}",
+            self.controller,
+            self.mean_cost,
+            self.mean_recovery_time,
+            self.mean_residual_time,
+            self.mean_algorithm_time * 1e3,
+            self.mean_actions,
+            self.mean_monitor_calls,
+        )
+    }
+
+    /// The header matching [`CampaignSummary::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<14} {:>10} {:>14} {:>14} {:>14} {:>8} {:>14}",
+            "Algorithm", "Cost", "RecoveryT(s)", "ResidualT(s)", "AlgT(ms)", "Actions", "MonitorCalls"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_mdp::StateId;
+
+    fn outcome(cost: f64, recovered: bool) -> EpisodeOutcome {
+        EpisodeOutcome {
+            fault: StateId::new(1),
+            cost,
+            recovery_time: 2.0 * cost,
+            residual_time: cost,
+            algorithm_time: 0.001,
+            actions: 2,
+            monitor_calls: 5,
+            recovered,
+            terminated: true,
+        }
+    }
+
+    #[test]
+    fn aggregation_computes_means() {
+        let s = CampaignSummary::from_outcomes("x", &[outcome(1.0, true), outcome(3.0, false)]);
+        assert_eq!(s.episodes, 2);
+        assert_eq!(s.mean_cost, 2.0);
+        assert_eq!(s.mean_recovery_time, 4.0);
+        assert_eq!(s.mean_residual_time, 2.0);
+        assert_eq!(s.mean_actions, 2.0);
+        assert_eq!(s.mean_monitor_calls, 5.0);
+        assert_eq!(s.unrecovered, 1);
+        assert_eq!(s.unterminated, 0);
+    }
+
+    #[test]
+    fn empty_campaign_is_zeroed() {
+        let s = CampaignSummary::from_outcomes("none", &[]);
+        assert_eq!(s.episodes, 0);
+        assert_eq!(s.mean_cost, 0.0);
+    }
+
+    #[test]
+    fn table_row_aligns_with_header() {
+        let s = CampaignSummary::from_outcomes("bounded", &[outcome(1.0, true)]);
+        let header = CampaignSummary::table_header();
+        let row = s.table_row();
+        assert!(!header.is_empty());
+        assert!(row.starts_with("bounded"));
+        assert!(row.contains("1.00"));
+    }
+}

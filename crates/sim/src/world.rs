@@ -1,0 +1,126 @@
+//! Ground-truth simulation of a recovery model.
+
+use bpr_core::RecoveryModel;
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::ObservationId;
+use rand::Rng;
+
+/// The simulated "real system": holds the true fault state hidden from
+/// the controller and samples the model's transition and observation
+/// kernels.
+///
+/// # Examples
+///
+/// ```
+/// use bpr_emn::two_server;
+/// use bpr_sim::World;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = two_server::default_model()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut world = World::new(&model, 0.into());
+/// // Restarting server a fixes Fault(a).
+/// let (state, _obs) = world.step(&mut rng, 0.into());
+/// assert_eq!(state.index(), two_server::NULL);
+/// assert!(world.is_recovered());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct World<'a> {
+    model: &'a RecoveryModel,
+    state: StateId,
+}
+
+impl<'a> World<'a> {
+    /// Creates a world with the given true state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds for the model.
+    pub fn new(model: &'a RecoveryModel, state: StateId) -> World<'a> {
+        assert!(
+            state.index() < model.base().n_states(),
+            "world state out of bounds"
+        );
+        World { model, state }
+    }
+
+    /// The (hidden) true state.
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+
+    /// True if the world currently sits in a null-fault state.
+    pub fn is_recovered(&self) -> bool {
+        self.model.is_null(self.state)
+    }
+
+    /// Executes `action`: samples the successor state and the monitor
+    /// observation generated on entering it.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        action: ActionId,
+    ) -> (StateId, ObservationId) {
+        let next = self.model.base().sample_transition(rng, self.state, action);
+        let obs = self.model.base().sample_observation(rng, next, action);
+        self.state = next;
+        (next, obs)
+    }
+
+    /// Samples a monitor observation of the *current* state without
+    /// changing it — the "failure detected" observation that triggers
+    /// recovery (uses the model's observe action when one is tagged).
+    pub fn observe_in_place<R: Rng + ?Sized>(&self, rng: &mut R) -> ObservationId {
+        let action = self
+            .model
+            .observe_actions()
+            .first()
+            .copied()
+            .unwrap_or(ActionId::new(0));
+        self.model.base().sample_observation(rng, self.state, action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_emn::two_server;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wrong_restart_leaves_the_fault() {
+        let model = two_server::default_model().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut world = World::new(&model, StateId::new(two_server::FAULT_A));
+        let (s, _) = world.step(&mut rng, ActionId::new(two_server::RESTART_B));
+        assert_eq!(s.index(), two_server::FAULT_A);
+        assert!(!world.is_recovered());
+    }
+
+    #[test]
+    fn observation_distribution_tracks_state() {
+        let model = two_server::default_model().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let world = World::new(&model, StateId::new(two_server::FAULT_B));
+        let n = 5_000;
+        let mut blame_b = 0usize;
+        for _ in 0..n {
+            if world.observe_in_place(&mut rng).index() == two_server::OBS_B_FAILED {
+                blame_b += 1;
+            }
+        }
+        let frac = blame_b as f64 / n as f64;
+        assert!((frac - 0.85).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_state_panics() {
+        let model = two_server::default_model().unwrap();
+        let _ = World::new(&model, StateId::new(17));
+    }
+}

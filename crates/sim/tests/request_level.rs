@@ -1,0 +1,167 @@
+//! Request-level discrete-event validation of the EMN cost model.
+//!
+//! The POMDP rewards are `-(analytic drop fraction) x duration`. This
+//! test replays a recovery scenario at *request* granularity with the
+//! DES engine — individual Poisson arrivals routed through the
+//! topology, components taken down by faults and recovery actions — and
+//! checks that the measured number of dropped requests matches the
+//! model's cost prediction. This is the substitution check for the
+//! paper's production traffic (DESIGN.md §2).
+
+use bpr_emn::actions::EmnAction;
+use bpr_emn::faults::EmnState;
+use bpr_emn::requests::{path_ok, sample_path, Workload};
+use bpr_emn::topology::Component;
+use bpr_emn::EmnConfig;
+use bpr_sim::des::EventQueue;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One timeline segment: a system state plus the recovery action in
+/// flight (whose components are unavailable for its duration).
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    state: EmnState,
+    action: EmnAction,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival,
+    SegmentEnd,
+}
+
+/// Simulates `segments` back-to-back at request granularity and
+/// returns (dropped requests, model-predicted cost).
+fn simulate(segments: &[Segment], config: &EmnConfig, seed: u64) -> (f64, f64) {
+    let model = bpr_emn::build_model(config).expect("model builds");
+    let workload = Workload {
+        arrival_rate: 200.0,
+        http_share: config.http_share,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+
+    let mut predicted = 0.0;
+    let mut boundaries = Vec::new();
+    let mut t = 0.0;
+    for seg in segments {
+        let duration = model.base().mdp().duration(seg.action.index());
+        predicted += -model.base().mdp().reward(seg.state.index(), seg.action.index());
+        t += duration;
+        boundaries.push(t);
+    }
+    let horizon = t;
+
+    let first = workload.next_request(&mut rng, 0.0);
+    queue.schedule(first.arrival.min(horizon), Event::Arrival);
+    queue.schedule(horizon, Event::SegmentEnd);
+
+    let mut dropped = 0usize;
+    let mut total = 0usize;
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::SegmentEnd => break,
+            Event::Arrival => {
+                if now >= horizon {
+                    break;
+                }
+                let seg_idx = boundaries.iter().position(|&b| now < b).unwrap_or(0);
+                let seg = segments[seg_idx];
+                let req = workload.next_request(&mut rng, now);
+                if req.arrival < horizon {
+                    queue.schedule(req.arrival, Event::Arrival);
+                }
+                total += 1;
+                let path = sample_path(&mut rng, req.protocol);
+                let down_by_action = seg.action.components_taken_down();
+                let ok = path
+                    .iter()
+                    .all(|c| !seg.state.is_down(*c) && !down_by_action.contains(c))
+                    && path_ok(seg.state, &path);
+                if !ok {
+                    dropped += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 1000, "not enough requests simulated");
+    // Convert dropped-request count to the model's "fraction x seconds"
+    // cost unit by dividing by the arrival rate.
+    (dropped as f64 / workload.arrival_rate, predicted)
+}
+
+#[test]
+fn des_drop_count_matches_model_cost_for_zombie_recovery() {
+    // Scenario: S1 is a zombie. The controller observes (5 s), restarts
+    // S2 by mistake (60 s, both servers effectively out), observes
+    // again, then restarts S1 (60 s), then observes in the Null state.
+    let config = EmnConfig::default();
+    let segments = [
+        Segment {
+            state: EmnState::Zombie(Component::Server1),
+            action: EmnAction::Observe,
+        },
+        Segment {
+            state: EmnState::Zombie(Component::Server1),
+            action: EmnAction::Restart(Component::Server2),
+        },
+        Segment {
+            state: EmnState::Zombie(Component::Server1),
+            action: EmnAction::Observe,
+        },
+        Segment {
+            state: EmnState::Zombie(Component::Server1),
+            action: EmnAction::Restart(Component::Server1),
+        },
+        Segment {
+            state: EmnState::Null,
+            action: EmnAction::Observe,
+        },
+    ];
+    let (measured, predicted) = simulate(&segments, &config, 42);
+    let rel_err = (measured - predicted).abs() / predicted;
+    assert!(
+        rel_err < 0.05,
+        "request-level drops {measured:.1} vs model cost {predicted:.1} (rel err {rel_err:.3})"
+    );
+}
+
+#[test]
+fn des_drop_count_matches_model_cost_for_db_crash_recovery() {
+    // Scenario: the database crashes (total outage), controller reboots
+    // host C (300 s, still total outage), then all clear.
+    let config = EmnConfig::default();
+    let segments = [
+        Segment {
+            state: EmnState::Crash(Component::Database),
+            action: EmnAction::Observe,
+        },
+        Segment {
+            state: EmnState::Crash(Component::Database),
+            action: EmnAction::Reboot(bpr_emn::topology::Host::C),
+        },
+        Segment {
+            state: EmnState::Null,
+            action: EmnAction::Observe,
+        },
+    ];
+    let (measured, predicted) = simulate(&segments, &config, 7);
+    let rel_err = (measured - predicted).abs() / predicted;
+    assert!(
+        rel_err < 0.05,
+        "request-level drops {measured:.1} vs model cost {predicted:.1} (rel err {rel_err:.3})"
+    );
+}
+
+#[test]
+fn des_healthy_system_drops_nothing() {
+    let config = EmnConfig::default();
+    let segments = [Segment {
+        state: EmnState::Null,
+        action: EmnAction::Observe,
+    }; 20];
+    let (measured, predicted) = simulate(&segments, &config, 9);
+    assert_eq!(predicted, 0.0);
+    assert_eq!(measured, 0.0);
+}

@@ -1,0 +1,64 @@
+//! How precise are the EMN monitors? Quantifies the paper's premise
+//! that "one may never know for certain which faults have occurred":
+//! pairwise confusability of the 14 states under the monitor sweep,
+//! and how the path-probe routing model changes it.
+//!
+//! Run with: `cargo run -p bpr-bench --example diagnosability`
+
+use bpr_emn::actions::EmnAction;
+use bpr_emn::faults::EmnState;
+use bpr_emn::{EmnConfig, PathRouting};
+use bpr_pomdp::diagnosis::{confusion_matrix, sweeps_to_separate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for routing in [PathRouting::RandomPerProbe, PathRouting::FixedDisjoint] {
+        let config = EmnConfig {
+            path_routing: routing,
+            ..EmnConfig::default()
+        };
+        let model = bpr_emn::build_model(&config)?;
+        let observe = EmnAction::Observe.action_id();
+        let confusion = confusion_matrix(model.base(), observe)?;
+
+        println!("=== path routing: {routing:?} ===");
+        println!("most confusable state pairs (total-variation distance of monitor outputs):");
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..confusion.len() {
+            for j in (i + 1)..confusion.len() {
+                pairs.push((i, j, confusion[i][j]));
+            }
+        }
+        pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+        for (i, j, tv) in pairs.iter().take(6) {
+            println!(
+                "  {:<12} vs {:<12} TV = {:.4}{}",
+                EmnState::from_index(*i).to_string(),
+                EmnState::from_index(*j).to_string(),
+                tv,
+                if *tv < 1e-12 {
+                    "  <- observation clones: only recovery actions separate them"
+                } else {
+                    ""
+                }
+            );
+        }
+
+        println!("monitor sweeps to reach 99.99% confidence against the null hypothesis:");
+        for fault in EmnState::zombies() {
+            let sweeps = sweeps_to_separate(
+                model.base(),
+                fault.state_id(),
+                EmnState::Null.state_id(),
+                observe,
+                0.9999,
+            );
+            println!("  {:<12} ~{sweeps:.1} sweeps", fault.to_string());
+        }
+        println!();
+    }
+    println!("note: crashes separate instantly (component monitors see them);");
+    println!("zombies need path evidence, and under blind 50/50 routing the two");
+    println!("server zombies are indistinguishable without acting — the core");
+    println!("reason diagnose-then-fix underperforms decision-theoretic recovery.");
+    Ok(())
+}

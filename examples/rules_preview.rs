@@ -1,0 +1,61 @@
+//! Generates the "if-then recovery rules" implied by the bounded
+//! controller on the EMN model — the artifact the paper's introduction
+//! says system designers write by hand, produced automatically and
+//! reviewable before deployment.
+//!
+//! Run with: `cargo run -p bpr-bench --example rules_preview --release`
+
+use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
+use bpr_core::preview::{preview, render, PreviewOpts};
+use bpr_emn::actions::EmnAction;
+use bpr_emn::EmnConfig;
+use bpr_mdp::chain::SolveOpts;
+use bpr_pomdp::bounds::ra_bound;
+use bpr_pomdp::Belief;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = EmnConfig::default();
+    let model = bpr_emn::build_model(&config)?;
+    let transformed = model.without_notification(config.operator_response_time)?;
+
+    let mut bound = ra_bound(transformed.pomdp(), &SolveOpts::default())?;
+    let mut rng = StdRng::seed_from_u64(7);
+    bootstrap(
+        &transformed,
+        &mut bound,
+        &BootstrapConfig {
+            variant: BootstrapVariant::Average,
+            iterations: 10,
+            depth: 2,
+            max_steps: 40,
+            conditioning_action: EmnAction::Observe.action_id(),
+            ..BootstrapConfig::default()
+        },
+        &mut rng,
+    )?;
+
+    // The detection-time belief: all faults equally likely.
+    let initial = Belief::uniform_over(
+        model.base().n_states(),
+        &model.fault_states(),
+    );
+    let rows = preview(
+        &transformed,
+        &bound,
+        &initial,
+        &PreviewOpts {
+            horizon: 3,
+            max_rows: 40,
+            ..PreviewOpts::default()
+        },
+    )?;
+    println!(
+        "# {} rules generated from the bounded controller (horizon 3):\n",
+        rows.len()
+    );
+    print!("{}", render(&transformed, &rows, 3));
+    println!("\n# indentation = decision depth; p = probability of reaching the belief");
+    Ok(())
+}

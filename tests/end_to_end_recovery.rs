@@ -1,0 +1,165 @@
+//! End-to-end integration tests: the full pipeline (model → transform →
+//! RA-Bound → bootstrap → online control → fault-injection harness) on
+//! the EMN system, spanning every crate in the workspace.
+
+use bpr_core::baselines::{HeuristicController, MostLikelyController, OracleController};
+use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
+use bpr_core::{BoundedConfig, BoundedController};
+use bpr_emn::actions::EmnAction;
+use bpr_emn::faults::EmnState;
+use bpr_emn::EmnConfig;
+use bpr_mdp::chain::SolveOpts;
+use bpr_pomdp::bounds::ra_bound;
+use bpr_sim::{run_campaign, run_episode, HarnessConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bounded_controller(seed: u64) -> (bpr_core::RecoveryModel, BoundedController) {
+    let config = EmnConfig::default();
+    let model = bpr_emn::build_model(&config).expect("EMN model builds");
+    let transformed = model
+        .without_notification(config.operator_response_time)
+        .expect("transform succeeds");
+    let mut bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
+    let mut rng = StdRng::seed_from_u64(seed);
+    bootstrap(
+        &transformed,
+        &mut bound,
+        &BootstrapConfig {
+            variant: BootstrapVariant::Average,
+            iterations: 10,
+            depth: 2,
+            max_steps: 40,
+            conditioning_action: EmnAction::Observe.action_id(),
+            ..BootstrapConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("bootstrap succeeds");
+    let controller = BoundedController::with_bound(
+        transformed,
+        bound,
+        BoundedConfig {
+            depth: 1,
+            gamma_cutoff: 1e-3,
+            ..BoundedConfig::default()
+        },
+    )
+    .expect("controller builds");
+    (model, controller)
+}
+
+#[test]
+fn bounded_controller_recovers_every_zombie_fault() {
+    let (model, mut controller) = bounded_controller(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let config = HarnessConfig::default();
+    for zombie in EmnState::zombies() {
+        for _ in 0..3 {
+            let out = run_episode(&model, &mut controller, zombie.state_id(), &config, &mut rng)
+                .expect("episode runs");
+            assert!(out.terminated, "did not terminate on {zombie}");
+            assert!(out.recovered, "quit before recovering {zombie}");
+            assert!(out.cost > 0.0);
+            assert!(out.recovery_time >= out.residual_time);
+        }
+    }
+}
+
+#[test]
+fn bounded_controller_recovers_crashes_and_host_faults_too() {
+    let (model, mut controller) = bounded_controller(3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let config = HarnessConfig::default();
+    for fault in EmnState::faults() {
+        let out = run_episode(&model, &mut controller, fault.state_id(), &config, &mut rng)
+            .expect("episode runs");
+        assert!(out.terminated, "did not terminate on {fault}");
+        assert!(out.recovered, "quit before recovering {fault}");
+    }
+}
+
+#[test]
+fn all_controllers_complete_a_zombie_campaign() {
+    let config = EmnConfig::default();
+    let model = bpr_emn::build_model(&config).expect("EMN model builds");
+    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let harness = HarnessConfig::default();
+    let episodes = 10;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut most_likely = MostLikelyController::new(model.clone(), 0.999).expect("controller");
+    let s = run_campaign(&model, &mut most_likely, &zombies, episodes, &harness, &mut rng)
+        .expect("campaign");
+    assert_eq!(s.unterminated, 0);
+    assert_eq!(s.unrecovered, 0);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut heuristic = HeuristicController::new(model.clone(), 1, 0.999)
+        .expect("controller")
+        .with_gamma_cutoff(1e-3);
+    let s = run_campaign(&model, &mut heuristic, &zombies, episodes, &harness, &mut rng)
+        .expect("campaign");
+    assert_eq!(s.unterminated, 0);
+    assert_eq!(s.unrecovered, 0);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut oracle = OracleController::new(model.clone());
+    let s = run_campaign(&model, &mut oracle, &zombies, episodes, &harness, &mut rng)
+        .expect("campaign");
+    assert_eq!(s.unterminated, 0);
+    assert_eq!(s.unrecovered, 0);
+    assert_eq!(s.mean_actions, 1.0, "oracle needs exactly one action");
+    assert_eq!(s.mean_monitor_calls, 0.0, "oracle never calls monitors");
+}
+
+#[test]
+fn oracle_is_a_lower_envelope_on_cost() {
+    let config = EmnConfig::default();
+    let model = bpr_emn::build_model(&config).expect("EMN model builds");
+    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let harness = HarnessConfig::default();
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut oracle = OracleController::new(model.clone());
+    let oracle_s = run_campaign(&model, &mut oracle, &zombies, 40, &harness, &mut rng)
+        .expect("campaign");
+
+    let (_, mut bounded) = bounded_controller(6);
+    let mut rng = StdRng::seed_from_u64(6);
+    let bounded_s = run_campaign(&model, &mut bounded, &zombies, 40, &harness, &mut rng)
+        .expect("campaign");
+
+    assert!(
+        bounded_s.mean_cost >= oracle_s.mean_cost,
+        "bounded ({}) beat the oracle ({})",
+        bounded_s.mean_cost,
+        oracle_s.mean_cost
+    );
+    assert!(bounded_s.mean_residual_time >= oracle_s.mean_residual_time - 1e-9);
+}
+
+#[test]
+fn learning_transfers_across_episodes() {
+    // The bound keeps improving across episodes; the vector count grows
+    // (or at least never resets) between campaigns.
+    let (model, mut controller) = bounded_controller(8);
+    let before = controller.bound().len();
+    let mut rng = StdRng::seed_from_u64(9);
+    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    run_campaign(
+        &model,
+        &mut controller,
+        &zombies,
+        20,
+        &HarnessConfig::default(),
+        &mut rng,
+    )
+    .expect("campaign");
+    assert!(
+        controller.bound().len() >= before,
+        "bound set shrank from {before} to {}",
+        controller.bound().len()
+    );
+    assert!(controller.stats().backups > 0);
+}
