@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable locally or from CI. Mirrors
+# .github/workflows/ci.yml exactly.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> tests"
+cargo test -q
+
+echo "==> clippy (-D warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> rustfmt check"
+cargo fmt --check
+
+echo "==> robustness smoke (10 episodes)"
+cargo run -p bpr-bench --bin robustness --release -- --episodes 10
+
+echo "==> ci.sh: all gates passed"

@@ -66,8 +66,7 @@ fn main() {
             },
         )
         .expect("controller builds");
-        run_campaign(&model, &mut c, &zombies, episodes, &harness, &mut rng)
-            .expect("campaign runs")
+        run_campaign(&model, &mut c, &zombies, episodes, &harness, &mut rng).expect("campaign runs")
     };
 
     println!("# Ablation 1: operator response time t_op (bounded-d1, {episodes} faults)");
@@ -155,7 +154,10 @@ fn main() {
             Belief::from_probs(p).expect("probe belief")
         };
         let raw = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
-        println!("{:<28} {:>14} {:>10}", "strategy", "cost@uniform", "vectors");
+        println!(
+            "{:<28} {:>14} {:>10}",
+            "strategy", "cost@uniform", "vectors"
+        );
         println!(
             "{:<28} {:>14.1} {:>10}",
             "RA only",
@@ -227,8 +229,7 @@ fn main() {
         let transformed = model_r
             .without_notification(cfg.operator_response_time)
             .expect("transform");
-        let mut bound =
-            ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
+        let mut bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
         let mut rng = StdRng::seed_from_u64(seed);
         bootstrap(
             &transformed,
@@ -254,19 +255,30 @@ fn main() {
             },
         )
         .expect("controller");
-        let s = run_campaign(&model_r, &mut bounded, &zombies_r, episodes, &harness, &mut rng)
-            .expect("campaign");
-        println!("{:>16} {:>14} {}", format!("{routing:?}"), "bounded-d1", s.table_row());
-
-        let mut diag = bpr_core::baselines::DiagnoseThenFixController::new(
-            model_r.clone(),
-            0.7,
-            0.9999,
+        let s = run_campaign(
+            &model_r,
+            &mut bounded,
+            &zombies_r,
+            episodes,
+            &harness,
+            &mut rng,
         )
-        .expect("controller");
+        .expect("campaign");
+        println!(
+            "{:>16} {:>14} {}",
+            format!("{routing:?}"),
+            "bounded-d1",
+            s.table_row()
+        );
+
+        let mut diag =
+            bpr_core::baselines::DiagnoseThenFixController::new(model_r.clone(), 0.7, 0.9999)
+                .expect("controller");
         let mut rng = StdRng::seed_from_u64(seed);
-        let s = run_campaign(&model_r, &mut diag, &zombies_r, episodes, &harness, &mut rng)
-            .expect("campaign");
+        let s = run_campaign(
+            &model_r, &mut diag, &zombies_r, episodes, &harness, &mut rng,
+        )
+        .expect("campaign");
         println!(
             "{:>16} {:>14} {}",
             format!("{routing:?}"),

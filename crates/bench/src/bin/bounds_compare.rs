@@ -12,7 +12,10 @@ use bpr_bench::experiments::bounds_comparison;
 fn main() {
     for (notified, title) in [
         (true, "with recovery notification (S_phi absorbing)"),
-        (false, "without recovery notification (terminate action added)"),
+        (
+            false,
+            "without recovery notification (terminate action added)",
+        ),
     ] {
         println!("# EMN model, {title}");
         println!(

@@ -1,0 +1,77 @@
+//! Degraded-world robustness sweep: action-failure probability ×
+//! monitor-dropout rate on the EMN model (zombie faults), comparing
+//! the paper's controllers against the hardened resilient decorator.
+//!
+//! Usage:
+//! `cargo run -p bpr-bench --bin robustness --release -- \
+//!     [--episodes 60] [--seed 7] [--failures 0.0,0.2] [--dropouts 0.0,0.1] \
+//!     [--corruption 0.0] [--secondary 0.0] [--max-secondary 0]`
+
+use bpr_bench::experiments::{robustness_sweep, RobustnessConfig};
+use bpr_bench::flag;
+
+/// Parses a comma-separated probability list flag.
+fn list_flag(args: &[String], name: &str, default: &[f64]) -> Vec<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| {
+            v.split(',')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<Vec<_>, _>>()
+                .ok()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = RobustnessConfig {
+        episodes: flag(&args, "--episodes", 60usize),
+        seed: flag(&args, "--seed", 7u64),
+        failure_probs: list_flag(&args, "--failures", &[0.0, 0.2]),
+        dropout_probs: list_flag(&args, "--dropouts", &[0.0, 0.1]),
+        obs_corruption_prob: flag(&args, "--corruption", 0.0f64),
+        secondary_fault_prob: flag(&args, "--secondary", 0.0f64),
+        max_secondary_faults: flag(&args, "--max-secondary", 0usize),
+        ..RobustnessConfig::default()
+    };
+    eprintln!(
+        "robustness sweep: {} episodes per controller per cell, {} cells...",
+        config.episodes,
+        config.failure_probs.len() * config.dropout_probs.len()
+    );
+    let cells = match robustness_sweep(&config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("robustness sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("# Robustness sweep (EMN zombies): recovery under a degraded world");
+    for cell in &cells {
+        println!(
+            "\n## action-failure {:.2}, monitor-dropout {:.2}",
+            cell.action_failure_prob, cell.monitor_dropout_prob
+        );
+        println!(
+            "{:<22} {:>9} {:>10} {:>8} {:>9} {:>8} {:>7} {:>8}",
+            "Algorithm", "Recovery", "Cost", "Retries", "Escalate", "Resets", "Abort", "Unterm"
+        );
+        for row in &cell.rows {
+            let s = &row.summary;
+            println!(
+                "{:<22} {:>8.1}% {:>10.2} {:>8.2} {:>9.2} {:>8.2} {:>7} {:>8}",
+                s.controller,
+                100.0 * s.recovery_rate(),
+                s.mean_cost,
+                s.mean_retries,
+                s.mean_escalations,
+                s.mean_belief_resets,
+                row.aborted,
+                s.unterminated,
+            );
+        }
+    }
+    println!("\n# note: aborted episodes (controller errors) count as unrecovered");
+}

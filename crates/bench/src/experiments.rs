@@ -4,17 +4,20 @@ use bpr_core::baselines::{HeuristicController, MostLikelyController, OracleContr
 use bpr_core::bootstrap::{
     bootstrap, bootstrap_updates, BootstrapConfig, BootstrapVariant, IterationRecord,
 };
-use bpr_core::{BoundedConfig, BoundedController, Error, RecoveryModel};
+use bpr_core::{
+    BoundedConfig, BoundedController, Error, RecoveryModel, ResilienceConfig, ResilientController,
+};
 use bpr_emn::actions::EmnAction;
 use bpr_emn::faults::EmnState;
 use bpr_emn::EmnConfig;
 use bpr_mdp::chain::SolveOpts;
 use bpr_mdp::value_iteration::Discount;
-use bpr_pomdp::bounds::{
-    bi_pomdp_bound, blind_bound, fib_bound, qmdp_bound, ra_bound, ValueBound,
-};
+use bpr_pomdp::bounds::{bi_pomdp_bound, blind_bound, fib_bound, qmdp_bound, ra_bound, ValueBound};
 use bpr_pomdp::Belief;
-use bpr_sim::{run_campaign, CampaignSummary, HarnessConfig};
+use bpr_sim::{
+    run_campaign, run_episode_degraded, CampaignSummary, EpisodeOutcome, HarnessConfig,
+    PerturbationPlan,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -265,21 +268,22 @@ pub fn bounds_comparison(notified: bool) -> Result<Vec<BoundReport>, Error> {
     let opts = SolveOpts::default();
     let mut reports = Vec::new();
 
-    let mut push = |name: &'static str,
-                    result: Result<bpr_pomdp::bounds::VectorSetBound, bpr_pomdp::Error>| {
-        match result {
-            Ok(set) => reports.push(BoundReport {
-                name,
-                value_at_uniform: Some(set.value(&uniform)),
-                n_vectors: set.len(),
-            }),
-            Err(_) => reports.push(BoundReport {
-                name,
-                value_at_uniform: None,
-                n_vectors: 0,
-            }),
-        }
-    };
+    let mut push =
+        |name: &'static str,
+         result: Result<bpr_pomdp::bounds::VectorSetBound, bpr_pomdp::Error>| {
+            match result {
+                Ok(set) => reports.push(BoundReport {
+                    name,
+                    value_at_uniform: Some(set.value(&uniform)),
+                    n_vectors: set.len(),
+                }),
+                Err(_) => reports.push(BoundReport {
+                    name,
+                    value_at_uniform: None,
+                    n_vectors: 0,
+                }),
+            }
+        };
     push("RA-Bound (lower)", ra_bound(&pomdp, &opts));
     push(
         "BI-POMDP (lower)",
@@ -295,6 +299,242 @@ pub fn bounds_comparison(notified: bool) -> Result<Vec<BoundReport>, Error> {
         fib_bound(&pomdp, Discount::Undiscounted, &Default::default()),
     );
     Ok(reports)
+}
+
+/// Configuration of the robustness sweep (degraded-world extension):
+/// action-failure probability × monitor-dropout rate grid on the EMN
+/// model, zombie faults only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessConfig {
+    /// Fault injections per controller per grid cell.
+    pub episodes: usize,
+    /// RNG seed (drives both the episode stream and, mixed with the
+    /// grid coordinates, the perturbation-plan streams).
+    pub seed: u64,
+    /// Termination probability for the most-likely / heuristic
+    /// baselines.
+    pub p_term: f64,
+    /// Observation-branch pruning cutoff for the tree-based
+    /// controllers.
+    pub gamma_cutoff: f64,
+    /// Step cap per episode.
+    pub max_steps: usize,
+    /// Action-failure probabilities to sweep.
+    pub failure_probs: Vec<f64>,
+    /// Monitor-dropout probabilities to sweep.
+    pub dropout_probs: Vec<f64>,
+    /// Observation-corruption probability applied in every cell.
+    pub obs_corruption_prob: f64,
+    /// Per-step secondary-fault probability applied in every cell.
+    pub secondary_fault_prob: f64,
+    /// Cap on secondary faults per episode.
+    pub max_secondary_faults: usize,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> RobustnessConfig {
+        RobustnessConfig {
+            episodes: 60,
+            seed: 7,
+            p_term: 0.9999,
+            gamma_cutoff: 1e-3,
+            max_steps: 400,
+            failure_probs: vec![0.0, 0.2],
+            dropout_probs: vec![0.0, 0.1],
+            obs_corruption_prob: 0.0,
+            secondary_fault_prob: 0.0,
+            max_secondary_faults: 0,
+        }
+    }
+}
+
+/// One controller's results at one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessRow {
+    /// The campaign averages (aborted episodes enter as
+    /// unrecovered/unterminated with zeroed metrics).
+    pub summary: CampaignSummary,
+    /// Episodes the controller *aborted* (returned an error, e.g. a
+    /// belief update refusing an impossible observation) instead of
+    /// terminating.
+    pub aborted: usize,
+}
+
+/// All controllers' results at one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessCell {
+    /// Probability that a non-observe action silently failed.
+    pub action_failure_prob: f64,
+    /// Probability that a monitor observation was dropped.
+    pub monitor_dropout_prob: f64,
+    /// One row per controller, in sweep order.
+    pub rows: Vec<RobustnessRow>,
+}
+
+/// The bootstrapped depth-1 bounded controller of the Table 1
+/// experiment, reconstructed for robustness sweeps.
+fn bootstrapped_bounded_d1(
+    model: &RecoveryModel,
+    seed: u64,
+    gamma_cutoff: f64,
+) -> Result<BoundedController, Error> {
+    let emn_config = EmnConfig::default();
+    let transformed = model.without_notification(emn_config.operator_response_time)?;
+    let mut bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    bootstrap(
+        &transformed,
+        &mut bound,
+        &BootstrapConfig {
+            variant: BootstrapVariant::Average,
+            iterations: 10,
+            depth: 2,
+            max_steps: 40,
+            conditioning_action: EmnAction::Observe.action_id(),
+            ..BootstrapConfig::default()
+        },
+        &mut rng,
+    )?;
+    BoundedController::with_bound(
+        transformed,
+        bound,
+        BoundedConfig {
+            depth: 1,
+            gamma_cutoff,
+            vector_cap: Some(64),
+            ..BoundedConfig::default()
+        },
+    )
+}
+
+/// Runs a degraded campaign that tolerates controller aborts: an
+/// episode whose controller errors out (instead of terminating) is
+/// recorded as unrecovered and unterminated with zeroed metrics, and
+/// counted separately. Controllers built for the idealised model *do*
+/// abort in degraded worlds — that failure mode is data here.
+fn abort_tolerant_campaign(
+    model: &RecoveryModel,
+    controller: &mut dyn bpr_core::RecoveryController,
+    population: &[bpr_mdp::StateId],
+    episodes: usize,
+    plan: &PerturbationPlan,
+    harness: &HarnessConfig,
+    rng: &mut StdRng,
+) -> (CampaignSummary, usize) {
+    let mut outcomes = Vec::with_capacity(episodes);
+    let mut aborted = 0usize;
+    for i in 0..episodes {
+        let fault = population[i % population.len()];
+        let episode_plan = PerturbationPlan {
+            seed: plan
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..plan.clone()
+        };
+        match run_episode_degraded(model, controller, fault, &episode_plan, harness, rng) {
+            Ok(out) => outcomes.push(out),
+            Err(_) => {
+                aborted += 1;
+                outcomes.push(EpisodeOutcome {
+                    fault,
+                    cost: 0.0,
+                    recovery_time: 0.0,
+                    residual_time: 0.0,
+                    algorithm_time: 0.0,
+                    actions: 0,
+                    monitor_calls: 0,
+                    recovered: false,
+                    terminated: false,
+                    perturbations: Default::default(),
+                    retries: 0,
+                    escalations: 0,
+                    belief_resets: 0,
+                });
+            }
+        }
+    }
+    (
+        CampaignSummary::from_outcomes(controller.name(), &outcomes),
+        aborted,
+    )
+}
+
+/// Sweeps action-failure probability × monitor-dropout rate on the EMN
+/// model (zombie faults), comparing the most-likely, heuristic (depth
+/// 1), and bounded (depth 1, bootstrapped) controllers against the
+/// hardened `resilient-bounded` decorator. Reports recovery rate,
+/// cost, and escalation counters per cell.
+///
+/// # Errors
+///
+/// Propagates model and controller *construction* failures; in-episode
+/// controller aborts are recorded in the rows instead.
+pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>, Error> {
+    let model = emn_model()?;
+    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let harness = HarnessConfig {
+        max_steps: config.max_steps,
+    };
+    let mut cells = Vec::new();
+    for (fi, &failure) in config.failure_probs.iter().enumerate() {
+        for (di, &dropout) in config.dropout_probs.iter().enumerate() {
+            let plan = PerturbationPlan {
+                // Distinct stream per cell, reproducible from the seed.
+                seed: config
+                    .seed
+                    .wrapping_add(((fi * 1000 + di) as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+                action_failure_prob: failure,
+                monitor_dropout_prob: dropout,
+                obs_corruption_prob: config.obs_corruption_prob,
+                secondary_fault_prob: config.secondary_fault_prob,
+                max_secondary_faults: config.max_secondary_faults,
+                secondary_faults: Vec::new(),
+            };
+            // Reject bad grid points up front: inside the campaign a plan
+            // error is indistinguishable from a controller abort.
+            plan.validate(&model)?;
+            let mut rows = Vec::new();
+            let mut run = |controller: &mut dyn bpr_core::RecoveryController, name: String| -> () {
+                let mut rng = StdRng::seed_from_u64(config.seed);
+                let (mut summary, aborted) = abort_tolerant_campaign(
+                    &model,
+                    controller,
+                    &zombies,
+                    config.episodes,
+                    &plan,
+                    &harness,
+                    &mut rng,
+                );
+                summary.controller = name;
+                rows.push(RobustnessRow { summary, aborted });
+            };
+
+            let mut ml = MostLikelyController::new(model.clone(), config.p_term)?;
+            run(&mut ml, "most-likely".into());
+            let mut h1 = HeuristicController::new(model.clone(), 1, config.p_term)?
+                .with_gamma_cutoff(config.gamma_cutoff);
+            run(&mut h1, "heuristic-d1".into());
+            let mut bounded = bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?;
+            run(&mut bounded, "bounded-d1".into());
+            let inner = bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?;
+            let mut hardened = ResilientController::new(
+                model.clone(),
+                inner,
+                ResilienceConfig {
+                    max_steps: config.max_steps,
+                    ..ResilienceConfig::default()
+                },
+            )?;
+            run(&mut hardened, "resilient-bounded-d1".into());
+
+            cells.push(RobustnessCell {
+                action_failure_prob: failure,
+                monitor_dropout_prob: dropout,
+                rows,
+            });
+        }
+    }
+    Ok(cells)
 }
 
 #[cfg(test)]
@@ -358,8 +598,16 @@ mod tests {
         assert_eq!(rows.len(), 4); // most-likely, heuristic-d1, bounded, oracle
         for row in &rows {
             assert_eq!(row.episodes, 12);
-            assert_eq!(row.unterminated, 0, "{} failed to terminate", row.controller);
-            assert_eq!(row.unrecovered, 0, "{} quit before recovery", row.controller);
+            assert_eq!(
+                row.unterminated, 0,
+                "{} failed to terminate",
+                row.controller
+            );
+            assert_eq!(
+                row.unrecovered, 0,
+                "{} quit before recovery",
+                row.controller
+            );
         }
         let oracle = rows.iter().find(|r| r.controller == "oracle").unwrap();
         for row in &rows {

@@ -285,9 +285,7 @@ impl DiagnoseThenFixController {
     ) -> Result<DiagnoseThenFixController, Error> {
         if !(0.0..=1.0).contains(&diagnosis_threshold) || !diagnosis_threshold.is_finite() {
             return Err(Error::InvalidInput {
-                detail: format!(
-                    "diagnosis threshold must be in [0, 1], got {diagnosis_threshold}"
-                ),
+                detail: format!("diagnosis threshold must be in [0, 1], got {diagnosis_threshold}"),
             });
         }
         Ok(DiagnoseThenFixController {
@@ -420,12 +418,12 @@ impl RecoveryController for OracleController {
             return Ok(Step::Terminate);
         }
         self.acted = true;
-        let action = self
-            .model
-            .cheapest_recovery_action(fault)
-            .ok_or_else(|| Error::InvalidInput {
-                detail: format!("no recovery action exists for fault {fault}"),
-            })?;
+        let action =
+            self.model
+                .cheapest_recovery_action(fault)
+                .ok_or_else(|| Error::InvalidInput {
+                    detail: format!("no recovery action exists for fault {fault}"),
+                })?;
         Ok(Step::Execute(action))
     }
 
@@ -504,11 +502,8 @@ mod tests {
     fn diagnose_then_fix_observes_when_unsure_then_acts() {
         let mut c = DiagnoseThenFixController::new(two_server_model(), 0.8, 0.9999).unwrap();
         // 50/50 between the two faults: must observe first.
-        c.begin(
-            Belief::from_probs(vec![0.45, 0.45, 0.1]).unwrap(),
-            None,
-        )
-        .unwrap();
+        c.begin(Belief::from_probs(vec![0.45, 0.45, 0.1]).unwrap(), None)
+            .unwrap();
         assert_eq!(c.decide().unwrap(), Step::Execute(ActionId::new(2)));
         // Strong evidence for Fault(b): now it acts.
         c.observe(ActionId::new(2), ObservationId::new(1)).unwrap();

@@ -155,9 +155,7 @@ impl BoundedController {
         let termination_plane: Vec<f64> = (0..model.pomdp().n_states())
             .map(|s| model.pomdp().mdp().reward(s, a_t))
             .collect();
-        bound
-            .add_vector(termination_plane)
-            .map_err(Error::Pomdp)?;
+        bound.add_vector(termination_plane).map_err(Error::Pomdp)?;
         for _ in 0..config.startup_vertex_sweeps {
             for s in 0..model.pomdp().n_states() {
                 let vertex = Belief::point(model.pomdp().n_states(), bpr_mdp::StateId::new(s));
@@ -235,8 +233,13 @@ impl RecoveryController for BoundedController {
         }
         let belief = self.belief.clone().ok_or(Error::NotStarted)?;
         if self.config.backup_online {
-            incremental_backup(self.model.pomdp(), &mut self.bound, &belief, self.config.beta)
-                .map_err(Error::Pomdp)?;
+            incremental_backup(
+                self.model.pomdp(),
+                &mut self.bound,
+                &belief,
+                self.config.beta,
+            )
+            .map_err(Error::Pomdp)?;
             self.stats.backups += 1;
             if let Some(cap) = self.config.vector_cap {
                 self.stats.vectors_evicted += self.bound.evict_to(cap);
@@ -485,11 +488,8 @@ mod tests {
         let model = two_server_model().without_notification(100.0).unwrap();
         let mut c = BoundedController::new(model, BoundedConfig::default()).unwrap();
         // Belief leaning toward "probably fine" but the fault is real.
-        c.begin(
-            Belief::from_probs(vec![0.25, 0.15, 0.6]).unwrap(),
-            None,
-        )
-        .unwrap();
+        c.begin(Belief::from_probs(vec![0.25, 0.15, 0.6]).unwrap(), None)
+            .unwrap();
         let mut world = 0usize; // Fault(a)
         for _ in 0..50 {
             match c.decide().unwrap() {

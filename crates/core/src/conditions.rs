@@ -101,13 +101,16 @@ pub fn check_no_free_actions(pomdp: &Pomdp, exempt: &[StateId]) -> Result<(), Er
         }
         m
     };
-    for s in 0..pomdp.n_states() {
-        if exempt_mask[s] {
+    for (s, &is_exempt) in exempt_mask.iter().enumerate() {
+        if is_exempt {
             continue;
         }
         for a in 0..pomdp.n_actions() {
             if pomdp.mdp().reward(s, a) == 0.0 {
-                return Err(Error::FreeAction { state: s, action: a });
+                return Err(Error::FreeAction {
+                    state: s,
+                    action: a,
+                });
             }
         }
     }
@@ -264,8 +267,7 @@ mod tests {
         // An inflated "bound" (all zeros) claims the faulty states are
         // free, which one Bellman application refutes.
         let zero = VectorSetBound::from_vector(vec![0.0; 4]).unwrap();
-        let violation =
-            check_uniform_improvability(model.pomdp(), &zero, &probes, 1e-9).unwrap();
+        let violation = check_uniform_improvability(model.pomdp(), &zero, &probes, 1e-9).unwrap();
         assert!(violation.is_some());
     }
 

@@ -15,6 +15,24 @@ pub enum Step {
     Terminate,
 }
 
+/// Counters a hardened controller accumulates while compensating for
+/// model/world mismatch (see `ResilientController`). Plain controllers
+/// report `None` from [`RecoveryController::resilience_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceStats {
+    /// Repeated-action retries granted before escalating.
+    pub retries: usize,
+    /// Escalation-ladder steps taken (inner → heuristic → reboot-all →
+    /// terminate).
+    pub escalations: usize,
+    /// Belief re-initialisations triggered by the divergence watchdog
+    /// or by inner-controller update failures.
+    pub belief_resets: usize,
+    /// Observations the model assigned zero likelihood (recovered via
+    /// the epsilon-mixture update instead of aborting).
+    pub impossible_observations: usize,
+}
+
 /// An online recovery controller, driven by a simulation harness or a
 /// live system in the loop:
 ///
@@ -59,6 +77,29 @@ pub trait RecoveryController {
     /// The controller's current belief over the *base* state space, if
     /// it maintains one (the oracle does not).
     fn belief(&self) -> Option<Belief>;
+
+    /// Notifies the controller that `action` was executed but **no
+    /// observation arrived** (monitor dropout in a degraded world).
+    ///
+    /// The default keeps the belief untouched, mirroring what a
+    /// controller built for the idealised model would do; hardened
+    /// controllers override this with a predict-only belief update.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may propagate the same failures as
+    /// [`RecoveryController::observe`].
+    fn on_unobserved(&mut self, action: ActionId) -> Result<(), Error> {
+        let _ = action;
+        Ok(())
+    }
+
+    /// Counters describing how much the controller had to compensate
+    /// for a misbehaving world; `None` for controllers without a
+    /// hardening layer. Harnesses fold these into episode outcomes.
+    fn resilience_stats(&self) -> Option<ResilienceStats> {
+        None
+    }
 
     /// Whether the controller consumes monitor output. Harnesses skip
     /// monitor invocation (and its metric) when this is `false`.

@@ -116,9 +116,7 @@ mod tests {
             Error::InvalidInput {
                 detail: "rates length".into(),
             },
-            Error::Pomdp(bpr_pomdp::Error::InvalidBelief {
-                reason: "x",
-            }),
+            Error::Pomdp(bpr_pomdp::Error::InvalidBelief { reason: "x" }),
             Error::Mdp(bpr_mdp::Error::EmptyModel),
         ];
         for e in errs {

@@ -41,12 +41,14 @@ mod error;
 mod model;
 mod notified;
 pub mod preview;
+mod resilient;
 
 pub use bounded::{BoundedConfig, BoundedController};
-pub use controller::{RecoveryController, Step};
-pub use notified::{NotifiedBoundedController, NotifiedConfig};
+pub use controller::{RecoveryController, ResilienceStats, Step};
 pub use error::Error;
 pub use model::{Notification, RecoveryModel, TerminatedModel};
+pub use notified::{NotifiedBoundedController, NotifiedConfig};
+pub use resilient::{EscalationLevel, ResilienceConfig, ResilientController};
 
 pub use bpr_mdp::{ActionId, StateId};
 pub use bpr_pomdp::{Belief, ObservationId};

@@ -206,10 +206,7 @@ impl RecoveryModel {
                 }
             }
         }
-        let mut pb = PomdpBuilder::new(
-            mb.build().map_err(Error::Mdp)?,
-            self.base.n_observations(),
-        );
+        let mut pb = PomdpBuilder::new(mb.build().map_err(Error::Mdp)?, self.base.n_observations());
         for o in 0..self.base.n_observations() {
             pb.observation_label(o, self.base.observation_label(o));
         }
@@ -473,12 +470,7 @@ pub(crate) mod tests {
         ));
         // Non-zero rate on a null state.
         assert!(matches!(
-            RecoveryModel::new(
-                base,
-                vec![StateId::new(2)],
-                vec![-1.0, -1.0, -0.5],
-                vec![]
-            ),
+            RecoveryModel::new(base, vec![StateId::new(2)], vec![-1.0, -1.0, -0.5], vec![]),
             Err(Error::InvalidInput { .. })
         ));
     }

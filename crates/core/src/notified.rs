@@ -282,7 +282,7 @@ mod tests {
         let c = NotifiedBoundedController::new(&model, NotifiedConfig::default()).unwrap();
         assert_eq!(c.name(), "bounded-notified");
         assert!(c.uses_monitors());
-        assert!(c.bound().len() >= 1);
+        assert!(!c.bound().is_empty());
         assert_eq!(c.transformed().n_states(), 3);
     }
 }

@@ -127,7 +127,11 @@ pub fn preview(
         rows.push(PreviewRow {
             depth,
             belief: belief.clone(),
-            action: if terminate { None } else { Some(decision.action) },
+            action: if terminate {
+                None
+            } else {
+                Some(decision.action)
+            },
             value: decision.value,
             reach_probability: reach,
         });

@@ -138,7 +138,10 @@ mod tests {
     fn reboot_fixes_host_and_hosted_component_faults() {
         let a = EmnAction::Reboot(Host::C);
         assert_eq!(a.apply(EmnState::HostCrash(Host::C)), EmnState::Null);
-        assert_eq!(a.apply(EmnState::Crash(Component::Database)), EmnState::Null);
+        assert_eq!(
+            a.apply(EmnState::Crash(Component::Database)),
+            EmnState::Null
+        );
         assert_eq!(
             a.apply(EmnState::Zombie(Component::Server2)),
             EmnState::Null
@@ -190,7 +193,9 @@ mod tests {
     fn every_fault_has_a_fixing_action() {
         for s in EmnState::faults() {
             assert!(
-                EmnAction::all().iter().any(|a| a.apply(s) == EmnState::Null),
+                EmnAction::all()
+                    .iter()
+                    .any(|a| a.apply(s) == EmnState::Null),
                 "no action fixes {s}"
             );
         }

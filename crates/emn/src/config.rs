@@ -152,23 +152,35 @@ mod tests {
 
     #[test]
     fn invalid_durations_are_rejected() {
-        let mut c = EmnConfig::default();
-        c.monitor_duration = 0.0;
+        let c = EmnConfig {
+            monitor_duration: 0.0,
+            ..EmnConfig::default()
+        };
         assert!(c.validate().is_err());
-        c.monitor_duration = f64::NAN;
+        let c = EmnConfig {
+            monitor_duration: f64::NAN,
+            ..EmnConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn invalid_probabilities_are_rejected() {
-        let mut c = EmnConfig::default();
-        c.http_share = 1.5;
+        let c = EmnConfig {
+            http_share: 1.5,
+            ..EmnConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = EmnConfig::default();
-        c.path_false_positive = 0.99;
+        let c = EmnConfig {
+            path_false_positive: 0.99,
+            ..EmnConfig::default()
+        };
         assert!(c.validate().is_err(), "fp above coverage must fail");
-        let mut c = EmnConfig::default();
-        c.component_false_positive = c.component_coverage;
+        let base = EmnConfig::default();
+        let c = EmnConfig {
+            component_false_positive: base.component_coverage,
+            ..base
+        };
         assert!(c.validate().is_err());
     }
 }

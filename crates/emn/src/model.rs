@@ -148,7 +148,9 @@ mod tests {
         let m = model();
         let r = |s: EmnState, a: EmnAction| m.base().mdp().reward(s.index(), a.index());
         // Observing while S1 is a zombie: half the traffic drops for 5 s.
-        assert!((r(EmnState::Zombie(Component::Server1), EmnAction::Observe) + 0.5 * 5.0).abs() < 1e-9);
+        assert!(
+            (r(EmnState::Zombie(Component::Server1), EmnAction::Observe) + 0.5 * 5.0).abs() < 1e-9
+        );
         // Restarting the DB in the Null state: everything drops for 240 s.
         assert!((r(EmnState::Null, EmnAction::Restart(Component::Database)) + 240.0).abs() < 1e-9);
         // Observing in Null is free.
@@ -156,8 +158,10 @@ mod tests {
         // Restarting S2 while S1 is zombie: both servers down -> all
         // traffic drops for 60 s.
         assert!(
-            (r(EmnState::Zombie(Component::Server1), EmnAction::Restart(Component::Server2))
-                + 60.0)
+            (r(
+                EmnState::Zombie(Component::Server1),
+                EmnAction::Restart(Component::Server2)
+            ) + 60.0)
                 .abs()
                 < 1e-9
         );
@@ -219,12 +223,11 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut cfg = EmnConfig::default();
-        cfg.http_share = 2.0;
-        assert!(matches!(
-            build_model(&cfg),
-            Err(Error::InvalidInput { .. })
-        ));
+        let cfg = EmnConfig {
+            http_share: 2.0,
+            ..EmnConfig::default()
+        };
+        assert!(matches!(build_model(&cfg), Err(Error::InvalidInput { .. })));
     }
 
     #[test]

@@ -200,15 +200,15 @@ mod tests {
 
     #[test]
     fn host_assignment_matches_deployment() {
-        assert_eq!(Host::A.components(), vec![
-            Component::HttpGateway,
-            Component::VoiceGateway
-        ]);
+        assert_eq!(
+            Host::A.components(),
+            vec![Component::HttpGateway, Component::VoiceGateway]
+        );
         assert_eq!(Host::B.components(), vec![Component::Server1]);
-        assert_eq!(Host::C.components(), vec![
-            Component::Server2,
-            Component::Database
-        ]);
+        assert_eq!(
+            Host::C.components(),
+            vec![Component::Server2, Component::Database]
+        );
         for h in Host::ALL {
             assert_eq!(Host::from_index(h.index()), h);
             for c in h.components() {

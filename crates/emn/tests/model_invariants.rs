@@ -8,12 +8,12 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = EmnConfig> {
     (
-        10.0f64..600.0,  // restart durations base
-        0.5f64..0.999,   // http share
-        0.9f64..0.999,   // component coverage
-        0.0f64..0.05,    // component fp
-        0.9f64..0.999,   // path coverage
-        0.0f64..0.05,    // path fp
+        10.0f64..600.0, // restart durations base
+        0.5f64..0.999,  // http share
+        0.9f64..0.999,  // component coverage
+        0.0f64..0.05,   // component fp
+        0.9f64..0.999,  // path coverage
+        0.0f64..0.05,   // path fp
         prop_oneof![
             Just(PathRouting::RandomPerProbe),
             Just(PathRouting::FixedDisjoint)
@@ -139,8 +139,7 @@ fn fixed_disjoint_routing_changes_only_path_monitors() {
     }
     // And q actually differs somewhere (server zombies).
     let s = EmnState::Zombie(Component::Server1).index();
-    let differs = (0..128).any(|o| {
-        random.base().observation_prob(s, 8, o) != fixed.base().observation_prob(s, 8, o)
-    });
+    let differs = (0..128)
+        .any(|o| random.base().observation_prob(s, 8, o) != fixed.base().observation_prob(s, 8, o));
     assert!(differs);
 }

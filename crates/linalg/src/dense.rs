@@ -58,9 +58,7 @@ pub fn norm_2(x: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn dist_inf(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dist_inf: length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
 }
 
 /// Normalises `x` in place so its entries sum to 1.

@@ -97,6 +97,7 @@ impl Lu {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution indexes `x` and the packed factor together
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, Error> {
         let n = self.n;
         if b.len() != n {

@@ -151,13 +151,13 @@ pub fn sor(m: &CsrMatrix, b: &[f64], opts: &IterOpts) -> Result<Vec<f64>, Error>
     let n = b.len();
     // Pre-extract diagonal so each sweep can skip it.
     let mut diag = vec![0.0; n];
-    for i in 0..n {
+    for (i, d) in diag.iter_mut().enumerate() {
         for (j, v) in m.row(i) {
             if j == i {
-                diag[i] = v;
+                *d = v;
             }
         }
-        if (1.0 - diag[i]).abs() < 1e-14 {
+        if (1.0 - *d).abs() < 1e-14 {
             // A self-loop with probability 1 and (implicitly) non-zero
             // reward has no finite fixed point.
             return Err(Error::Diverged { iteration: 0 });
@@ -240,7 +240,9 @@ mod tests {
     fn sor_matches_direct_on_random_substochastic() {
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 11) as f64 / (1u64 << 53) as f64
         };
         for n in 2..=10 {
@@ -344,9 +346,6 @@ mod tests {
     #[test]
     fn direct_reports_singular_recurrent_system() {
         let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)]).unwrap();
-        assert!(matches!(
-            direct(&m, &[-1.0]),
-            Err(Error::Singular { .. })
-        ));
+        assert!(matches!(direct(&m, &[-1.0]), Err(Error::Singular { .. })));
     }
 }

@@ -250,12 +250,12 @@ impl CsrMatrix {
                 what: "matvec output",
             });
         }
-        for r in 0..self.nrows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *out = acc;
         }
         Ok(())
     }
@@ -277,8 +277,7 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.ncols];
-        for r in 0..self.nrows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -335,10 +334,7 @@ impl CsrMatrix {
     /// `[0, 1 + tol]` — i.e. the matrix is (row-)stochastic.
     pub fn is_stochastic(&self, tol: f64) -> bool {
         self.values.iter().all(|&v| (-tol..=1.0 + tol).contains(&v))
-            && self
-                .row_sums()
-                .iter()
-                .all(|&s| (s - 1.0).abs() <= tol)
+            && self.row_sums().iter().all(|&s| (s - 1.0).abs() <= tol)
     }
 }
 
@@ -442,8 +438,7 @@ mod tests {
 
     #[test]
     fn row_iterator_is_sorted_and_exact() {
-        let m =
-            CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 1, 2.0), (0, 0, 3.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 1, 2.0), (0, 0, 3.0)]).unwrap();
         let row: Vec<_> = m.row(0).collect();
         assert_eq!(row, vec![(0, 3.0), (1, 2.0), (3, 1.0)]);
         assert_eq!(m.row(0).len(), 3);

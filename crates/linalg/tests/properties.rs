@@ -104,8 +104,8 @@ proptest! {
             s ^= s << 17;
             (s % 1000) as f64 / 500.0 - 1.0
         };
-        for i in 0..n * n {
-            a[i] = next();
+        for cell in a.iter_mut().take(n * n) {
+            *cell = next();
         }
         for i in 0..n {
             a[i * n + i] += n as f64 + 1.0;

@@ -208,7 +208,12 @@ impl MarkovChain {
                 continue;
             }
             let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-            let succ: Vec<usize> = self.p.row(root).filter(|&(_, p)| p > 0.0).map(|(t, _)| t).collect();
+            let succ: Vec<usize> = self
+                .p
+                .row(root)
+                .filter(|&(_, p)| p > 0.0)
+                .map(|(t, _)| t)
+                .collect();
             index[root] = next_index;
             lowlink[root] = next_index;
             next_index += 1;
@@ -228,8 +233,12 @@ impl MarkovChain {
                         next_index += 1;
                         stack.push(w);
                         on_stack[w] = true;
-                        let wsucc: Vec<usize> =
-                            self.p.row(w).filter(|&(_, p)| p > 0.0).map(|(t, _)| t).collect();
+                        let wsucc: Vec<usize> = self
+                            .p
+                            .row(w)
+                            .filter(|&(_, p)| p > 0.0)
+                            .map(|(t, _)| t)
+                            .collect();
                         call_stack.push((v, succ, i));
                         call_stack.push((w, wsucc, 0));
                         recursed = true;
@@ -276,11 +285,8 @@ impl MarkovChain {
         sccs.iter()
             .enumerate()
             .filter(|(ci, comp)| {
-                comp.iter().all(|&s| {
-                    self.p
-                        .row(s)
-                        .all(|(t, p)| p == 0.0 || comp_of[t] == *ci)
-                })
+                comp.iter()
+                    .all(|&s| self.p.row(s).all(|(t, p)| p == 0.0 || comp_of[t] == *ci))
             })
             .map(|(_, comp)| comp.clone())
             .collect()
@@ -313,8 +319,8 @@ impl MarkovChain {
     pub fn expected_total_reward(&self, opts: &SolveOpts) -> Result<Vec<f64>, Error> {
         let n = self.n_states();
         let transient = self.transient_states();
-        for s in 0..n {
-            if !transient[s] && self.rewards[s] != 0.0 {
+        for (s, &t) in transient.iter().enumerate() {
+            if !t && self.rewards[s] != 0.0 {
                 return Err(Error::DivergentValue {
                     what: "expected total reward (recurrent state with non-zero reward)",
                 });
@@ -379,8 +385,8 @@ impl MarkovChain {
     pub fn expected_total_reward_direct(&self) -> Result<Vec<f64>, Error> {
         let n = self.n_states();
         let transient = self.transient_states();
-        for s in 0..n {
-            if !transient[s] && self.rewards[s] != 0.0 {
+        for (s, &t) in transient.iter().enumerate() {
+            if !t && self.rewards[s] != 0.0 {
                 return Err(Error::DivergentValue {
                     what: "expected total reward (recurrent state with non-zero reward)",
                 });
@@ -457,11 +463,7 @@ mod tests {
 
     #[test]
     fn absorbing_detection() {
-        let c = chain(
-            2,
-            &[(0, 1, 1.0), (1, 1, 1.0)],
-            &[0.0, 0.0],
-        );
+        let c = chain(2, &[(0, 1, 1.0), (1, 1, 1.0)], &[0.0, 0.0]);
         assert!(!c.is_absorbing(0));
         assert!(c.is_absorbing(1));
     }
@@ -508,7 +510,13 @@ mod tests {
     fn two_recurrent_classes() {
         let c = chain(
             4,
-            &[(0, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (3, 0, 0.5), (3, 1, 0.5)],
+            &[
+                (0, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (3, 0, 0.5),
+                (3, 1, 0.5),
+            ],
             &[0.0; 4],
         );
         let mut rec = c.recurrent_classes();
@@ -520,11 +528,7 @@ mod tests {
     #[test]
     fn expected_reward_of_absorbing_walk() {
         // Geometric: stay with prob 0.5 (reward -1 each step until absorbed).
-        let c = chain(
-            2,
-            &[(0, 0, 0.5), (0, 1, 0.5), (1, 1, 1.0)],
-            &[-1.0, 0.0],
-        );
+        let c = chain(2, &[(0, 0, 0.5), (0, 1, 0.5), (1, 1, 1.0)], &[-1.0, 0.0]);
         let v = c.expected_total_reward(&SolveOpts::default()).unwrap();
         // E[steps in 0] = 2 => v = -2.
         assert!((v[0] + 2.0).abs() < 1e-8);
@@ -556,7 +560,13 @@ mod tests {
     fn sor_accelerates_but_agrees() {
         let c = chain(
             3,
-            &[(0, 0, 0.9), (0, 1, 0.1), (1, 1, 0.9), (1, 2, 0.1), (2, 2, 1.0)],
+            &[
+                (0, 0, 0.9),
+                (0, 1, 0.1),
+                (1, 1, 0.9),
+                (1, 2, 0.1),
+                (2, 2, 1.0),
+            ],
             &[-1.0, -1.0, 0.0],
         );
         let plain = c.expected_total_reward(&SolveOpts::default()).unwrap();
@@ -596,8 +606,7 @@ mod tests {
     fn large_chain_scc_does_not_overflow_stack() {
         // A long path: each state leads to the next, last absorbing.
         let n = 50_000;
-        let mut triplets: Vec<(usize, usize, f64)> =
-            (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let mut triplets: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
         triplets.push((n - 1, n - 1, 1.0));
         let c = chain(n, &triplets, &vec![0.0; n]);
         let sccs = c.sccs();

@@ -298,7 +298,11 @@ impl MdpBuilder {
         to: impl Into<StateId>,
         p: f64,
     ) -> &mut MdpBuilder {
-        let (s, a, s2) = (from.into().index(), action.into().index(), to.into().index());
+        let (s, a, s2) = (
+            from.into().index(),
+            action.into().index(),
+            to.into().index(),
+        );
         assert!(s < self.n_states, "from-state {s} out of bounds");
         assert!(a < self.n_actions, "action {a} out of bounds");
         assert!(s2 < self.n_states, "to-state {s2} out of bounds");
@@ -339,7 +343,11 @@ impl MdpBuilder {
         impulse: f64,
     ) -> &mut MdpBuilder {
         let a = action.into();
-        assert!(a.index() < self.n_actions, "action {} out of bounds", a.index());
+        assert!(
+            a.index() < self.n_actions,
+            "action {} out of bounds",
+            a.index()
+        );
         let t = self.durations[a.index()];
         self.reward(state, a, rate * t + impulse)
     }
@@ -421,7 +429,7 @@ impl MdpBuilder {
             for s in 0..self.n_states {
                 let mut sum = 0.0;
                 for (_, p) in m.row(s) {
-                    if !p.is_finite() || p < -TOL || p > 1.0 + TOL {
+                    if !p.is_finite() || !(-TOL..=1.0 + TOL).contains(&p) {
                         return Err(Error::InvalidProbability {
                             state: s,
                             action: a,
@@ -559,10 +567,7 @@ mod tests {
         b2.transition(0, 0, 0, -0.2);
         b2.transition(0, 0, 1, 1.2);
         b2.transition(1, 0, 1, 1.0);
-        assert!(matches!(
-            b2.build(),
-            Err(Error::InvalidProbability { .. })
-        ));
+        assert!(matches!(b2.build(), Err(Error::InvalidProbability { .. })));
         assert!(b.build().is_ok());
     }
 
@@ -621,11 +626,8 @@ mod tests {
     #[test]
     fn policy_chain_follows_policy() {
         let m = two_server();
-        let rho = crate::policy::Policy::new(vec![
-            ActionId::new(0),
-            ActionId::new(1),
-            ActionId::new(2),
-        ]);
+        let rho =
+            crate::policy::Policy::new(vec![ActionId::new(0), ActionId::new(1), ActionId::new(2)]);
         let chain = m.policy_chain(&rho).unwrap();
         assert_eq!(chain.transition_prob(0, 2), 1.0);
         assert_eq!(chain.transition_prob(1, 2), 1.0);

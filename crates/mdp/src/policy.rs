@@ -114,7 +114,11 @@ pub fn evaluate(
 /// * [`Error::DivergentValue`] if `discount` is [`Discount::Undiscounted`]
 ///   or outside `[0, 1)`.
 /// * Propagates evaluation failures.
-pub fn policy_iteration(mdp: &Mdp, discount: Discount, opts: &SolveOpts) -> Result<Solution, Error> {
+pub fn policy_iteration(
+    mdp: &Mdp,
+    discount: Discount,
+    opts: &SolveOpts,
+) -> Result<Solution, Error> {
     let beta = match discount {
         Discount::Undiscounted => {
             return Err(Error::DivergentValue {
@@ -135,12 +139,12 @@ pub fn policy_iteration(mdp: &Mdp, discount: Discount, opts: &SolveOpts) -> Resu
                 .map(|s| {
                     let mut best = policy.action(StateId::new(s));
                     let mut best_q = q[best.index()][s];
-                    for a in 0..mdp.n_actions() {
+                    for (a, qa) in q.iter().enumerate() {
                         // Strict improvement beyond tolerance keeps the
                         // iteration from cycling on ties.
-                        if q[a][s] > best_q + 1e-12 {
+                        if qa[s] > best_q + 1e-12 {
                             best = ActionId::new(a);
-                            best_q = q[a][s];
+                            best_q = qa[s];
                         }
                     }
                     best
@@ -233,7 +237,9 @@ mod tests {
         use crate::value_iteration::ValueIteration;
         let mdp = recovery_mdp();
         let pi = policy_iteration(&mdp, Discount::Factor(0.9), &SolveOpts::default()).unwrap();
-        let vi = ValueIteration::new(Discount::Factor(0.9)).solve(&mdp).unwrap();
+        let vi = ValueIteration::new(Discount::Factor(0.9))
+            .solve(&mdp)
+            .unwrap();
         for (a, b) in pi.values.iter().zip(&vi.values) {
             assert!((a - b).abs() < 1e-6);
         }

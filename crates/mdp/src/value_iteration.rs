@@ -151,15 +151,15 @@ impl ValueIteration {
         let mut next = vec![0.0; n];
         let mut q = vec![0.0; mdp.n_actions()];
         for it in 0..self.opts.max_iters {
-            for s in 0..n {
-                for a in 0..mdp.n_actions() {
+            for (s, out) in next.iter_mut().enumerate() {
+                for (a, qa) in q.iter_mut().enumerate() {
                     let mut acc = mdp.reward_vector(ActionId::new(a))[s];
                     for (s2, p) in mdp.successors(s, a) {
                         acc += beta * p * v[s2.index()];
                     }
-                    q[a] = acc;
+                    *qa = acc;
                 }
-                next[s] = match self.opts.objective {
+                *out = match self.opts.objective {
                     Objective::Maximize => q.iter().copied().fold(f64::NEG_INFINITY, f64::max),
                     Objective::Minimize => q.iter().copied().fold(f64::INFINITY, f64::min),
                 };
@@ -229,13 +229,13 @@ impl ValueIteration {
 pub fn q_values(mdp: &Mdp, v: &[f64], beta: f64) -> Vec<Vec<f64>> {
     assert_eq!(v.len(), mdp.n_states(), "value function length mismatch");
     let mut q = vec![vec![0.0; mdp.n_states()]; mdp.n_actions()];
-    for a in 0..mdp.n_actions() {
-        for s in 0..mdp.n_states() {
+    for (a, qa) in q.iter_mut().enumerate() {
+        for (s, out) in qa.iter_mut().enumerate() {
             let mut acc = mdp.reward_vector(ActionId::new(a))[s];
             for (s2, p) in mdp.successors(s, a) {
                 acc += beta * p * v[s2.index()];
             }
-            q[a][s] = acc;
+            *out = acc;
         }
     }
     q
@@ -321,10 +321,7 @@ mod tests {
             divergence_threshold: 1e4,
             ..ViOpts::default()
         });
-        assert!(matches!(
-            vi.solve(&mdp),
-            Err(Error::DivergentValue { .. })
-        ));
+        assert!(matches!(vi.solve(&mdp), Err(Error::DivergentValue { .. })));
     }
 
     #[test]

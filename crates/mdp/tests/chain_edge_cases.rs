@@ -117,10 +117,7 @@ fn value_iteration_on_a_large_sparse_model() {
     // Far away, bailing out for 50 caps the cost.
     assert!((sol.values[0] + 50.0).abs() < 1e-6);
     assert_eq!(sol.policy.action(bpr_mdp::StateId::new(0)).index(), 1);
-    assert_eq!(
-        sol.policy.action(bpr_mdp::StateId::new(n - 2)).index(),
-        0
-    );
+    assert_eq!(sol.policy.action(bpr_mdp::StateId::new(n - 2)).index(), 0);
 }
 
 #[test]

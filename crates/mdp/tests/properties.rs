@@ -66,19 +66,19 @@ proptest! {
                 .collect(),
         );
         let v_rho = evaluate(&mdp, &rho, Discount::Undiscounted, &SolveOpts::default()).unwrap();
-        for s in 0..mdp.n_states() {
+        for (s, &vr) in v_rho.iter().enumerate() {
             prop_assert!(
-                sol.values[s] + 1e-7 >= v_rho[s],
+                sol.values[s] + 1e-7 >= vr,
                 "optimal {} below policy value {} in state {s}",
                 sol.values[s],
-                v_rho[s]
+                vr
             );
         }
         // And the greedy policy achieves the optimal value.
         let v_greedy = evaluate(&mdp, &sol.policy, Discount::Undiscounted, &SolveOpts::default())
             .unwrap();
-        for s in 0..mdp.n_states() {
-            prop_assert!((v_greedy[s] - sol.values[s]).abs() < 1e-6);
+        for (s, &vg) in v_greedy.iter().enumerate() {
+            prop_assert!((vg - sol.values[s]).abs() < 1e-6);
         }
     }
 
@@ -99,11 +99,11 @@ proptest! {
         prop_assert!(chain.transition_matrix().is_stochastic(1e-9));
         let v_ra = chain.expected_total_reward(&SolveOpts::default()).unwrap();
         let sol = ValueIteration::new(Discount::Undiscounted).solve(&mdp).unwrap();
-        for s in 0..mdp.n_states() {
+        for (s, &vra) in v_ra.iter().enumerate() {
             prop_assert!(
-                v_ra[s] <= sol.values[s] + 1e-7,
+                vra <= sol.values[s] + 1e-7,
                 "RA value {} above optimum {} in state {s}",
-                v_ra[s],
+                vra,
                 sol.values[s]
             );
         }
@@ -115,9 +115,9 @@ proptest! {
         let n = chain.n_states();
         let recurrent: Vec<usize> = chain.recurrent_classes().into_iter().flatten().collect();
         let transient = chain.transient_states();
-        for s in 0..n {
+        for (s, &t) in transient.iter().enumerate() {
             let is_recurrent = recurrent.contains(&s);
-            prop_assert_eq!(is_recurrent, !transient[s], "state {} double-classified", s);
+            prop_assert_eq!(is_recurrent, !t, "state {} double-classified", s);
         }
         // State 0 is absorbing, hence recurrent.
         prop_assert!(recurrent.contains(&0));

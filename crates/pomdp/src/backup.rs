@@ -67,7 +67,7 @@ pub fn incremental_backup(
         .map(|(_, v)| v)
         .unwrap_or(f64::NEG_INFINITY);
 
-    let mut best: Option<(f64, Vec<f64>, ActionId)> = None;
+    let mut best: Option<(f64, Vec<f64>, ActionId, Vec<usize>)> = None;
     for a in 0..pomdp.n_actions() {
         let action = ActionId::new(a);
         let pred = belief.predict(pomdp, action);
@@ -76,6 +76,10 @@ pub fn incremental_backup(
         // choice[o] = index into the bound set.
         let nobs = pomdp.n_observations();
         let mut choice = vec![0usize; nobs];
+        // Observations actually reachable from the current belief; the
+        // choice for an unreachable observation is arbitrary (any
+        // hyperplane is sound there) and must not count as usage.
+        let mut reachable = vec![false; nobs];
         {
             // τ built observation-by-observation using the sparse
             // observation matrix.
@@ -86,13 +90,11 @@ pub fn incremental_backup(
                 }
                 for (o, qv) in pomdp.observations_on_entering(s2, action) {
                     tau[o.index()][s2] = qv * pred[s2];
+                    reachable[o.index()] |= qv * pred[s2] > 0.0;
                 }
             }
             for (o, tau_o) in tau.iter().enumerate() {
-                choice[o] = bounds
-                    .best_vector_quiet(tau_o)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
+                choice[o] = bounds.best_vector_quiet(tau_o).map(|(i, _)| i).unwrap_or(0);
             }
         }
         // w(s') = Σ_o q(o|s',a) · b^{a,o}(s'), then b_a = r(a) + β P(a) w.
@@ -114,11 +116,23 @@ pub fn incremental_backup(
         dense::axpy(beta, &pw, &mut ba);
 
         let value = dense::dot(belief.probs(), &ba);
-        if best.as_ref().map_or(true, |(bv, _, _)| value > *bv) {
-            best = Some((value, ba, action));
+        if best.as_ref().is_none_or(|(bv, _, _, _)| value > *bv) {
+            let support: Vec<usize> = (0..nobs)
+                .filter(|&o| reachable[o])
+                .map(|o| choice[o])
+                .collect();
+            best = Some((value, ba, action, support));
         }
     }
-    let (value_at_pi, vector, action) = best.expect("model has at least one action");
+    let (value_at_pi, vector, action, support) = best.expect("model has at least one action");
+    // The hyperplanes backing the winning action's reachable observation
+    // branches are the ones the current policy actually leans on; mark
+    // them so finite-storage eviction (paper §4.3) keeps the
+    // load-bearing vectors. Recorded before insertion, while indices
+    // are stable.
+    for i in support {
+        bounds.record_use(i);
+    }
     let added = bounds.add_vector(vector.clone())?;
     let value_after = bounds
         .best_vector_quiet(belief.probs())

@@ -217,11 +217,7 @@ impl Belief {
             let mut probs = std::mem::take(&mut tau[o]);
             let gamma = dense::normalize_l1(&mut probs);
             if gamma > gamma_cutoff && gamma > 0.0 {
-                out.push((
-                    ObservationId::new(o),
-                    gamma,
-                    Belief { probs },
-                ));
+                out.push((ObservationId::new(o), gamma, Belief { probs }));
             }
         }
         out
@@ -260,13 +256,74 @@ impl Belief {
         }
         Ok((Belief { probs: unnorm }, gamma))
     }
+
+    /// The Bayes update hardened for model/world mismatch: where
+    /// [`Belief::update`] reports [`Error::ImpossibleObservation`] for a
+    /// zero-likelihood observation, this falls back to an
+    /// epsilon-mixture observation kernel
+    /// `q'(o|s',a) = (1-ε)·q(o|s',a) + ε/|O|`
+    /// and renormalises against that mixture — equivalent to admitting
+    /// that with probability `ε` the monitor output is arbitrary. The
+    /// fallback posterior keeps the *predicted* state distribution's
+    /// support instead of crashing the episode, degrading gracefully to
+    /// "the observation told us nothing".
+    ///
+    /// Returns the posterior, the observation probability under the
+    /// kernel actually used, and which path was taken
+    /// ([`RobustUpdate::Exact`] when the ordinary update succeeded).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidBelief`] if `epsilon` is not in `(0, 1]`.
+    /// * [`Error::IndexOutOfBounds`] for an out-of-range observation.
+    pub fn update_robust(
+        &self,
+        pomdp: &Pomdp,
+        action: ActionId,
+        o: ObservationId,
+        epsilon: f64,
+    ) -> Result<(Belief, f64, RobustUpdate), Error> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(Error::InvalidBelief {
+                reason: "robust-update epsilon must be in (0, 1]",
+            });
+        }
+        match self.update(pomdp, action, o) {
+            Ok((next, gamma)) => Ok((next, gamma, RobustUpdate::Exact)),
+            Err(Error::ImpossibleObservation { .. }) => {
+                let pred = self.predict(pomdp, action);
+                let floor = epsilon / pomdp.n_observations() as f64;
+                let mut unnorm: Vec<f64> = (0..pomdp.n_states())
+                    .map(|s| {
+                        let q = (1.0 - epsilon) * pomdp.observation_prob(s, action, o) + floor;
+                        q * pred[s]
+                    })
+                    .collect();
+                let gamma = dense::normalize_l1(&mut unnorm);
+                debug_assert!(gamma > 0.0, "mixture kernel gives every observation mass");
+                Ok((Belief { probs: unnorm }, gamma, RobustUpdate::EpsilonMixed))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Which path [`Belief::update_robust`] took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustUpdate {
+    /// The ordinary Bayes update succeeded; the observation had positive
+    /// likelihood under the model.
+    Exact,
+    /// The observation had zero likelihood; the posterior came from the
+    /// epsilon-mixture fallback kernel.
+    EpsilonMixed,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpr_mdp::MdpBuilder;
     use crate::PomdpBuilder;
+    use bpr_mdp::MdpBuilder;
 
     /// Noisy two-state world: action 0 keeps the state; observations
     /// reveal the state with 80 % accuracy.
@@ -328,9 +385,9 @@ mod tests {
         let p = noisy_pomdp();
         let b = Belief::from_probs(vec![0.9, 0.1]).unwrap();
         let gammas = b.observation_probs(&p, ActionId::new(0));
-        for o in 0..2 {
+        for (o, &gamma) in gammas.iter().enumerate() {
             let (_, g) = b.update(&p, ActionId::new(0), o.into()).unwrap();
-            assert!((g - gammas[o]).abs() < 1e-12);
+            assert!((g - gamma).abs() < 1e-12);
         }
     }
 
@@ -387,6 +444,76 @@ mod tests {
         let b = Belief::uniform(2);
         assert!(matches!(
             b.update(&p, ActionId::new(0), 7.into()),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+    }
+
+    /// Deterministic observation of the state; observing the "wrong"
+    /// symbol has zero likelihood.
+    fn deterministic_pomdp() -> Pomdp {
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 0, 1.0);
+        mb.transition(1, 0, 1, 1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+        pb.observation(0, 0, 0, 1.0);
+        pb.observation(1, 0, 1, 1.0);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn robust_update_matches_exact_update_when_possible() {
+        let p = noisy_pomdp();
+        let b = Belief::uniform(2);
+        let (exact, gamma) = b.update(&p, ActionId::new(0), 0.into()).unwrap();
+        let (robust, gamma_r, path) = b
+            .update_robust(&p, ActionId::new(0), 0.into(), 0.05)
+            .unwrap();
+        assert_eq!(path, RobustUpdate::Exact);
+        assert_eq!(robust, exact);
+        assert_eq!(gamma_r, gamma);
+    }
+
+    #[test]
+    fn robust_update_survives_impossible_observations() {
+        let p = deterministic_pomdp();
+        let b = Belief::point(2, StateId::new(0));
+        assert!(b.update(&p, ActionId::new(0), 1.into()).is_err());
+        let (next, gamma, path) = b
+            .update_robust(&p, ActionId::new(0), 1.into(), 0.1)
+            .unwrap();
+        assert_eq!(path, RobustUpdate::EpsilonMixed);
+        assert!(gamma > 0.0);
+        // The mixture kernel is state-independent on the impossible
+        // branch here, so the posterior keeps the prediction's support.
+        assert!((next.prob(StateId::new(0)) - 1.0).abs() < 1e-12);
+        assert!((next.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_update_mixture_weighs_likely_states_higher() {
+        let p = deterministic_pomdp();
+        // Mass on both states: observing o1 is possible (from state 1),
+        // so the exact path runs and sharpens onto state 1.
+        let b = Belief::from_probs(vec![0.7, 0.3]).unwrap();
+        let (next, _, path) = b
+            .update_robust(&p, ActionId::new(0), 1.into(), 0.1)
+            .unwrap();
+        assert_eq!(path, RobustUpdate::Exact);
+        assert_eq!(next.prob(StateId::new(1)), 1.0);
+    }
+
+    #[test]
+    fn robust_update_validates_epsilon_and_bounds() {
+        let p = noisy_pomdp();
+        let b = Belief::uniform(2);
+        assert!(b
+            .update_robust(&p, ActionId::new(0), 0.into(), 0.0)
+            .is_err());
+        assert!(b
+            .update_robust(&p, ActionId::new(0), 0.into(), 1.5)
+            .is_err());
+        assert!(matches!(
+            b.update_robust(&p, ActionId::new(0), 7.into(), 0.1),
             Err(Error::IndexOutOfBounds { .. })
         ));
     }

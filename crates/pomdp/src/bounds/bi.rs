@@ -65,9 +65,9 @@ mod tests {
         // discounted criterion — compare pointwise on vertex beliefs.
         // The worst action can only be worse than the average action.
         let ra = ra_discounted(&p, beta);
-        for s in 0..p.n_states() {
+        for (s, &ra_s) in ra.iter().enumerate() {
             let vertex = Belief::point(p.n_states(), s.into());
-            assert!(bi.value(&vertex) <= ra[s] + 1e-9, "state {s}");
+            assert!(bi.value(&vertex) <= ra_s + 1e-9, "state {s}");
         }
         let _ = ra_values(&p, &SolveOpts::default()); // exercised elsewhere
     }
@@ -79,13 +79,13 @@ mod tests {
         let mut v = vec![0.0; m.n_states()];
         for _ in 0..10_000 {
             let mut next = vec![0.0; m.n_states()];
-            for s in 0..m.n_states() {
+            for (s, out) in next.iter_mut().enumerate() {
                 for a in 0..m.n_actions() {
                     let mut acc = m.reward(s, a);
                     for (s2, prob) in m.successors(s, a) {
                         acc += beta * prob * v[s2.index()];
                     }
-                    next[s] += inv * acc;
+                    *out += inv * acc;
                 }
             }
             v = next;

@@ -85,8 +85,8 @@ mod tests {
         mb.transition(2, 2, 2, 1.0).reward(2, 2, 0.0);
         // Terminate action a_T: everything to s_T; termination rewards
         // r(s, a_T) = rate(s) * top.
-        mb.transition(0, 3, 3, 1.0).reward(0, 3, -1.0 * top);
-        mb.transition(1, 3, 3, 1.0).reward(1, 3, -1.0 * top);
+        mb.transition(0, 3, 3, 1.0).reward(0, 3, -top);
+        mb.transition(1, 3, 3, 1.0).reward(1, 3, -top);
         mb.transition(2, 3, 3, 1.0).reward(2, 3, 0.0);
         // s_T absorbing and free.
         for a in 0..4 {

@@ -72,6 +72,6 @@ mod tests {
         let c = ConstantBound(1.0);
         let r: &dyn ValueBound = &c;
         assert_eq!(r.value(&Belief::uniform(3)), 1.0);
-        assert_eq!((&c).value(&Belief::uniform(3)), 1.0);
+        assert_eq!(c.value(&Belief::uniform(3)), 1.0);
     }
 }

@@ -149,8 +149,14 @@ mod tests {
         )
         .unwrap();
         let after = bound.value(&probe);
-        assert!(after > before + 0.1, "no meaningful tightening: {before} -> {after}");
-        assert!(after <= upper.value(&probe) + 1e-7, "crossed the upper bound");
+        assert!(
+            after > before + 0.1,
+            "no meaningful tightening: {before} -> {after}"
+        );
+        assert!(
+            after <= upper.value(&probe) + 1e-7,
+            "crossed the upper bound"
+        );
         assert!(sweeps >= 1);
         // The refined bound still satisfies Property 1(b) at the grid.
         for b in simplex_grid(3, 3) {

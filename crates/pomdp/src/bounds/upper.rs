@@ -75,7 +75,11 @@ impl Default for FibOpts {
 ///
 /// * [`Error::BoundDiverges`] when QMDP (the starting point) diverges or
 ///   the sweep budget runs out.
-pub fn fib_bound(pomdp: &Pomdp, discount: Discount, opts: &FibOpts) -> Result<VectorSetBound, Error> {
+pub fn fib_bound(
+    pomdp: &Pomdp,
+    discount: Discount,
+    opts: &FibOpts,
+) -> Result<VectorSetBound, Error> {
     let beta = discount.beta();
     let n = pomdp.n_states();
     let na = pomdp.n_actions();

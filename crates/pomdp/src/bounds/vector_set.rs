@@ -169,6 +169,18 @@ impl VectorSetBound {
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite bound values"))
     }
 
+    /// Records a usage hit for the vector at `index` (interior
+    /// statistics used by [`VectorSetBound::evict_to`]). Callers that
+    /// select vectors through [`VectorSetBound::best_vector_quiet`]
+    /// use this to mark the choices that actually supported a decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn record_use(&mut self, index: usize) {
+        self.usage[index] += 1;
+    }
+
     /// Shrinks the set to at most `max_len` hyperplanes by discarding
     /// the least-used ones (the finite-storage strategy suggested in
     /// paper §4.3). The most recently added vector is always kept.

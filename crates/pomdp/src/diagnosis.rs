@@ -137,8 +137,8 @@ pub fn sweeps_to_separate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpr_mdp::MdpBuilder;
     use crate::PomdpBuilder;
+    use bpr_mdp::MdpBuilder;
 
     fn three_state_pomdp() -> Pomdp {
         // States: 0 and 1 produce distinct observations, 2 mirrors 1.
@@ -189,8 +189,13 @@ mod tests {
         // Distinct states separate in a finite number of sweeps that
         // grows with the confidence target.
         let low = sweeps_to_separate(&p, StateId::new(0), StateId::new(1), ActionId::new(0), 0.9);
-        let high =
-            sweeps_to_separate(&p, StateId::new(0), StateId::new(1), ActionId::new(0), 0.9999);
+        let high = sweeps_to_separate(
+            &p,
+            StateId::new(0),
+            StateId::new(1),
+            ActionId::new(0),
+            0.9999,
+        );
         assert!(low.is_finite() && low > 0.0);
         assert!(high > low);
     }

@@ -108,7 +108,9 @@ mod tests {
                 action: 0,
                 observation: 2,
             },
-            Error::BoundDiverges { bound: "BI-POMDP bound" },
+            Error::BoundDiverges {
+                bound: "BI-POMDP bound",
+            },
             Error::Mdp(bpr_mdp::Error::EmptyModel),
         ];
         for e in errs {

@@ -55,7 +55,7 @@ mod error;
 mod model;
 pub mod tree;
 
-pub use belief::Belief;
+pub use belief::{Belief, RobustUpdate};
 pub use bpr_mdp::{ActionId, StateId};
 pub use error::Error;
 pub use model::{ObservationId, Pomdp, PomdpBuilder};

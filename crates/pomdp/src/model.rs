@@ -97,8 +97,7 @@ impl Pomdp {
         action: impl Into<ActionId>,
         o: impl Into<ObservationId>,
     ) -> f64 {
-        self.observations[action.into().index()]
-            .get(entered.into().index(), o.into().index())
+        self.observations[action.into().index()].get(entered.into().index(), o.into().index())
     }
 
     /// The sparse observation matrix of one action (rows are entered
@@ -257,7 +256,11 @@ impl PomdpBuilder {
         o: impl Into<ObservationId>,
         q: f64,
     ) -> &mut PomdpBuilder {
-        let (s, a, o) = (entered.into().index(), action.into().index(), o.into().index());
+        let (s, a, o) = (
+            entered.into().index(),
+            action.into().index(),
+            o.into().index(),
+        );
         assert!(s < self.mdp.n_states(), "entered-state {s} out of bounds");
         assert!(a < self.mdp.n_actions(), "action {a} out of bounds");
         assert!(o < self.n_observations, "observation {o} out of bounds");
@@ -320,7 +323,7 @@ impl PomdpBuilder {
             for s in 0..n {
                 let mut sum = 0.0;
                 for (_, q) in m.row(s) {
-                    if !q.is_finite() || q < -TOL || q > 1.0 + TOL {
+                    if !q.is_finite() || !(-TOL..=1.0 + TOL).contains(&q) {
                         return Err(Error::ObservationNotStochastic {
                             state: s,
                             action: a,

@@ -10,6 +10,10 @@ use crate::bounds::ValueBound;
 use crate::{Belief, Error, Pomdp};
 use bpr_mdp::ActionId;
 
+/// Successor beliefs of one action: `(γ(o), b')` per surviving
+/// observation branch.
+type Successors = Vec<(f64, Belief)>;
+
 /// The decision produced by a tree expansion.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
@@ -133,10 +137,10 @@ pub fn expand_branch_and_bound(
     let mut nodes = 0usize;
     let na = pomdp.n_actions();
     // Per action: successors plus the optimistic one-step estimate.
-    let mut entries: Vec<(usize, f64, Vec<(f64, Belief)>)> = Vec::with_capacity(na);
+    let mut entries: Vec<(usize, f64, Successors)> = Vec::with_capacity(na);
     for a in 0..na {
         let action = ActionId::new(a);
-        let succ: Vec<(f64, Belief)> = belief
+        let succ: Successors = belief
             .successors(pomdp, action, gamma_cutoff)
             .into_iter()
             .map(|(_o, g, b)| (g, b))
@@ -162,7 +166,16 @@ pub fn expand_branch_and_bound(
         let action = ActionId::new(a);
         let mut q = belief.expected_reward(pomdp, action);
         for (g, b) in succ {
-            let v = bb_value(pomdp, &b, depth - 1, lower, upper, beta, gamma_cutoff, &mut nodes)?;
+            let v = bb_value(
+                pomdp,
+                &b,
+                depth - 1,
+                lower,
+                upper,
+                beta,
+                gamma_cutoff,
+                &mut nodes,
+            )?;
             q += beta * g * v;
         }
         q_values[a] = q;
@@ -195,10 +208,10 @@ fn bb_value(
         return Ok(lower.value(belief));
     }
     let na = pomdp.n_actions();
-    let mut entries: Vec<(f64, Vec<(f64, Belief)>, ActionId)> = Vec::with_capacity(na);
+    let mut entries: Vec<(f64, Successors, ActionId)> = Vec::with_capacity(na);
     for a in 0..na {
         let action = ActionId::new(a);
-        let succ: Vec<(f64, Belief)> = belief
+        let succ: Successors = belief
             .successors(pomdp, action, gamma_cutoff)
             .into_iter()
             .map(|(_o, g, b)| (g, b))
@@ -217,7 +230,16 @@ fn bb_value(
         }
         let mut q = belief.expected_reward(pomdp, action);
         for (g, b) in succ {
-            let v = bb_value(pomdp, &b, depth - 1, lower, upper, beta, gamma_cutoff, nodes)?;
+            let v = bb_value(
+                pomdp,
+                &b,
+                depth - 1,
+                lower,
+                upper,
+                beta,
+                gamma_cutoff,
+                nodes,
+            )?;
             q += beta * g * v;
         }
         best = best.max(q);
@@ -377,8 +399,7 @@ mod tests {
             let b = Belief::from_probs(probs).unwrap();
             for depth in 1..=3 {
                 let plain = expand(&p, &b, depth, &lower, 1.0).unwrap();
-                let bb =
-                    expand_branch_and_bound(&p, &b, depth, &lower, &upper, 1.0, 0.0).unwrap();
+                let bb = expand_branch_and_bound(&p, &b, depth, &lower, &upper, 1.0, 0.0).unwrap();
                 assert!(
                     (bb.value - plain.value).abs() < 1e-9,
                     "depth {depth}: {} vs {}",
@@ -400,16 +421,9 @@ mod tests {
     fn branch_and_bound_rejects_zero_depth() {
         let p = two_server_notified();
         let bound = ConstantBound(0.0);
-        assert!(expand_branch_and_bound(
-            &p,
-            &Belief::uniform(3),
-            0,
-            &bound,
-            &bound,
-            1.0,
-            0.0
-        )
-        .is_err());
+        assert!(
+            expand_branch_and_bound(&p, &Belief::uniform(3), 0, &bound, &bound, 1.0, 0.0).is_err()
+        );
     }
 
     #[test]

@@ -108,10 +108,10 @@ fn divergence_measures_are_consistent() {
     let p = small_recovery_pomdp();
     let m = confusion_matrix(&p, ActionId::new(0)).unwrap();
     // Symmetric with zero diagonal.
-    for i in 0..3 {
-        assert_eq!(m[i][i], 0.0);
-        for j in 0..3 {
-            assert_eq!(m[i][j], m[j][i]);
+    for (i, row) in m.iter().enumerate() {
+        assert_eq!(row[i], 0.0);
+        for (j, &v) in row.iter().enumerate() {
+            assert_eq!(v, m[j][i]);
         }
     }
     // TV and Bhattacharyya orderings agree on this symmetric channel.
@@ -140,11 +140,7 @@ fn grid_sizes_match_binomials() {
     for n in 1..=4usize {
         for r in 1..=5usize {
             let expect = binom((r + n - 1) as u64, (n - 1) as u64);
-            assert_eq!(
-                simplex_grid(n, r).len() as u64,
-                expect,
-                "n={n}, r={r}"
-            );
+            assert_eq!(simplex_grid(n, r).len() as u64, expect, "n={n}, r={r}");
         }
     }
 }

@@ -3,8 +3,12 @@
 //! An *episode* injects one fault, lets a controller drive recovery
 //! against the simulated [`World`], and measures the paper's per-fault
 //! metrics. A *campaign* repeats episodes over a fault population and
-//! averages.
+//! averages. The degraded variants ([`run_episode_degraded`],
+//! [`run_campaign_degraded`]) drive the same protocol against a
+//! [`DegradedWorld`] whose contract with the controller is perturbed by
+//! a seeded [`PerturbationPlan`].
 
+use crate::degraded::{DegradedWorld, PerturbationCounts, PerturbationPlan, SimWorld};
 use crate::metrics::CampaignSummary;
 use crate::World;
 use bpr_core::{Error, RecoveryController, RecoveryModel, Step};
@@ -29,7 +33,8 @@ impl Default for HarnessConfig {
     }
 }
 
-/// The per-fault metrics of one recovery episode (paper Table 1).
+/// The per-fault metrics of one recovery episode (paper Table 1, plus
+/// the robustness counters of the degraded harness).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeOutcome {
     /// The injected fault.
@@ -52,6 +57,18 @@ pub struct EpisodeOutcome {
     pub recovered: bool,
     /// Whether the controller terminated within the step cap.
     pub terminated: bool,
+    /// Perturbations the world inflicted (all zero for undegraded
+    /// episodes).
+    pub perturbations: PerturbationCounts,
+    /// Retries the controller's hardening layer granted (0 for plain
+    /// controllers).
+    pub retries: usize,
+    /// Escalation-ladder steps the controller took (0 for plain
+    /// controllers).
+    pub escalations: usize,
+    /// Belief re-initialisations the controller performed (0 for plain
+    /// controllers).
+    pub belief_resets: usize,
 }
 
 /// One step of an episode trace (see [`run_episode_traced`]).
@@ -72,6 +89,13 @@ pub struct TraceEvent {
     /// Belief mass the controller places on the null-fault states
     /// after the step (NaN for belief-less controllers).
     pub null_mass: f64,
+    /// Whether the action silently failed (degraded worlds only).
+    pub action_failed: bool,
+    /// Whether the delivered observation was corrupted (degraded worlds
+    /// only).
+    pub observation_corrupted: bool,
+    /// The secondary fault injected at the end of this step, if any.
+    pub injected_fault: Option<StateId>,
 }
 
 /// Runs one fault-injection episode.
@@ -85,7 +109,7 @@ pub struct TraceEvent {
 /// # Errors
 ///
 /// Propagates controller failures (model mismatch, belief-update
-/// errors).
+/// errors) and rejects out-of-bounds faults.
 pub fn run_episode<R: Rng + ?Sized>(
     model: &RecoveryModel,
     controller: &mut dyn RecoveryController,
@@ -93,7 +117,8 @@ pub fn run_episode<R: Rng + ?Sized>(
     config: &HarnessConfig,
     rng: &mut R,
 ) -> Result<EpisodeOutcome, Error> {
-    run_episode_impl(model, controller, fault, config, rng, None)
+    let world = World::new(model, fault)?;
+    run_episode_impl(model, controller, world, config, rng, None)
 }
 
 /// [`run_episode`] with a full per-step trace, for debugging models
@@ -109,38 +134,78 @@ pub fn run_episode_traced<R: Rng + ?Sized>(
     config: &HarnessConfig,
     rng: &mut R,
 ) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
+    let world = World::new(model, fault)?;
     let mut trace = Vec::new();
-    let outcome = run_episode_impl(model, controller, fault, config, rng, Some(&mut trace))?;
+    let outcome = run_episode_impl(model, controller, world, config, rng, Some(&mut trace))?;
     Ok((outcome, trace))
 }
 
-fn run_episode_impl<R: Rng + ?Sized>(
+/// Runs one episode against a [`DegradedWorld`] governed by `plan`.
+///
+/// With `PerturbationPlan::none()` the episode is byte-identical to
+/// [`run_episode`] under the same `rng` seed: the plan's randomness
+/// lives on its own stream.
+///
+/// # Errors
+///
+/// Same as [`run_episode`], plus plan validation failures.
+pub fn run_episode_degraded<R: Rng + ?Sized>(
     model: &RecoveryModel,
     controller: &mut dyn RecoveryController,
     fault: StateId,
+    plan: &PerturbationPlan,
+    config: &HarnessConfig,
+    rng: &mut R,
+) -> Result<EpisodeOutcome, Error> {
+    let world = DegradedWorld::new(model, fault, plan.clone())?;
+    run_episode_impl(model, controller, world, config, rng, None)
+}
+
+/// [`run_episode_degraded`] with a full per-step trace.
+///
+/// # Errors
+///
+/// Same as [`run_episode_degraded`].
+pub fn run_episode_degraded_traced<R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    controller: &mut dyn RecoveryController,
+    fault: StateId,
+    plan: &PerturbationPlan,
+    config: &HarnessConfig,
+    rng: &mut R,
+) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
+    let world = DegradedWorld::new(model, fault, plan.clone())?;
+    let mut trace = Vec::new();
+    let outcome = run_episode_impl(model, controller, world, config, rng, Some(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn run_episode_impl<W: SimWorld, R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    controller: &mut dyn RecoveryController,
+    mut world: W,
     config: &HarnessConfig,
     rng: &mut R,
     mut trace: Option<&mut Vec<TraceEvent>>,
 ) -> Result<EpisodeOutcome, Error> {
-    let mut world = World::new(model, fault);
+    let fault = world.true_state();
     let faults = model.fault_states();
     let prior = Belief::uniform_over(model.base().n_states(), &faults);
     // Condition the prior on the detection observation (not charged to
     // the monitor-call metric: it is the detection that *triggered*
-    // recovery).
-    let initial = if controller.uses_monitors() {
-        let observe = model
-            .observe_actions()
-            .first()
-            .copied()
-            .unwrap_or_else(|| bpr_mdp::ActionId::new(0));
-        let o = world.observe_in_place(rng);
-        match prior.update(model.base(), observe, o) {
-            Ok((b, _)) => b,
-            Err(_) => prior,
-        }
-    } else {
-        prior
+    // recovery). Models without a tagged observe action have no
+    // monitoring kernel to sample, so their controllers start from the
+    // unconditioned prior.
+    let initial = match model.observe_actions().first().copied() {
+        Some(observe) if controller.uses_monitors() => match world.detect(rng)? {
+            Some(o) => match prior.update(model.base(), observe, o) {
+                Ok((b, _)) => b,
+                Err(_) => prior,
+            },
+            // Detection observation lost to monitor dropout.
+            None => prior,
+        },
+        _ => prior,
     };
     controller.begin(initial, Some(fault))?;
 
@@ -154,10 +219,14 @@ fn run_episode_impl<R: Rng + ?Sized>(
         monitor_calls: 0,
         recovered: false,
         terminated: false,
+        perturbations: PerturbationCounts::default(),
+        retries: 0,
+        escalations: 0,
+        belief_resets: 0,
     };
     let mut wall = 0.0f64;
     let mut fault_fixed_at: Option<f64> = None;
-    if world.is_recovered() {
+    if world.recovered() {
         fault_fixed_at = Some(0.0);
     }
 
@@ -173,53 +242,79 @@ fn run_episode_impl<R: Rng + ?Sized>(
                         step: step_no,
                         wall,
                         action: None,
-                        world_after: world.state(),
+                        world_after: world.true_state(),
                         observation: None,
                         cost: 0.0,
                         null_mass: controller
                             .belief()
                             .map_or(f64::NAN, |b| b.prob_in(model.null_states())),
+                        action_failed: false,
+                        observation_corrupted: false,
+                        injected_fault: None,
                     });
                 }
                 break;
             }
             Step::Execute(a) => {
-                let pre_state = world.state();
+                let pre_state = world.true_state();
                 let step_cost = -model.base().mdp().reward(pre_state, a);
                 outcome.cost += step_cost;
                 wall += model.base().mdp().duration(a);
-                let (post, obs) = world.step(rng, a);
-                if fault_fixed_at.is_none() && model.is_null(post) {
-                    fault_fixed_at = Some(wall);
+                let result = world.step_world(rng, a);
+                if model.is_null(result.state) {
+                    if fault_fixed_at.is_none() {
+                        fault_fixed_at = Some(wall);
+                    }
+                } else if result.injected_fault.is_some() {
+                    // A secondary fault re-broke the system: the fault
+                    // is "present" again, so stop crediting the earlier
+                    // fix with the residual-time clock.
+                    fault_fixed_at = None;
                 }
                 if !model.is_observe(a) {
                     outcome.actions += 1;
                 }
                 let mut delivered = None;
                 if controller.uses_monitors() {
-                    controller.observe(a, obs)?;
-                    outcome.monitor_calls += 1;
-                    delivered = Some(obs);
+                    match result.observation {
+                        Some(obs) => {
+                            controller.observe(a, obs)?;
+                            outcome.monitor_calls += 1;
+                            delivered = Some(obs);
+                        }
+                        // Monitor dropout: the action ran, nothing came
+                        // back. Not a monitor call — nothing answered.
+                        None => controller.on_unobserved(a)?,
+                    }
                 }
                 if let Some(trace) = trace.as_deref_mut() {
                     trace.push(TraceEvent {
                         step: step_no,
                         wall,
                         action: Some(a),
-                        world_after: post,
+                        world_after: result.state,
                         observation: delivered,
                         cost: step_cost,
                         null_mass: controller
                             .belief()
                             .map_or(f64::NAN, |b| b.prob_in(model.null_states())),
+                        action_failed: result.action_failed,
+                        observation_corrupted: result.observation_corrupted,
+                        injected_fault: result.injected_fault,
                     });
                 }
             }
         }
     }
     outcome.recovery_time = wall;
-    outcome.recovered = world.is_recovered();
+    outcome.recovered = world.recovered();
     outcome.residual_time = fault_fixed_at.unwrap_or(wall);
+    outcome.perturbations = world.perturbations();
+    if let Some(stats) = controller.resilience_stats() {
+        outcome.retries = stats.retries;
+        outcome.escalations = stats.escalations;
+        outcome.belief_resets = stats.belief_resets;
+    }
     Ok(outcome)
 }
 
@@ -251,10 +346,51 @@ pub fn run_campaign<R: Rng + ?Sized>(
         let fault = fault_population[i % fault_population.len()];
         outcomes.push(run_episode(model, controller, fault, config, rng)?);
     }
-    Ok(CampaignSummary::from_outcomes(
-        controller.name(),
-        &outcomes,
-    ))
+    Ok(CampaignSummary::from_outcomes(controller.name(), &outcomes))
+}
+
+/// [`run_campaign`] against degraded worlds. Each episode derives its
+/// own plan seed from `plan.seed` and the episode index, so episodes
+/// see independent perturbation streams while the whole campaign stays
+/// reproducible.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`], plus plan validation failures.
+pub fn run_campaign_degraded<R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    controller: &mut dyn RecoveryController,
+    fault_population: &[StateId],
+    episodes: usize,
+    plan: &PerturbationPlan,
+    config: &HarnessConfig,
+    rng: &mut R,
+) -> Result<CampaignSummary, Error> {
+    if fault_population.is_empty() {
+        return Err(Error::InvalidInput {
+            detail: "fault population must be non-empty".into(),
+        });
+    }
+    let mut outcomes = Vec::with_capacity(episodes);
+    for i in 0..episodes {
+        let fault = fault_population[i % fault_population.len()];
+        let episode_plan = PerturbationPlan {
+            // SplitMix64-style spread keeps per-episode streams apart.
+            seed: plan
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..plan.clone()
+        };
+        outcomes.push(run_episode_degraded(
+            model,
+            controller,
+            fault,
+            &episode_plan,
+            config,
+            rng,
+        )?);
+    }
+    Ok(CampaignSummary::from_outcomes(controller.name(), &outcomes))
 }
 
 #[cfg(test)]
@@ -290,6 +426,8 @@ mod tests {
         assert_eq!(out.cost, 0.5);
         assert_eq!(out.recovery_time, 1.0);
         assert_eq!(out.residual_time, 1.0);
+        assert_eq!(out.perturbations.total(), 0);
+        assert_eq!(out.retries + out.escalations + out.belief_resets, 0);
     }
 
     #[test]
@@ -304,8 +442,7 @@ mod tests {
             } else {
                 two_server::FAULT_B
             });
-            let out =
-                run_episode(&m, &mut c, fault, &HarnessConfig::default(), &mut rng).unwrap();
+            let out = run_episode(&m, &mut c, fault, &HarnessConfig::default(), &mut rng).unwrap();
             assert!(out.terminated, "episode {i} did not terminate");
             if out.recovered {
                 recovered += 1;
@@ -364,6 +501,31 @@ mod tests {
         let mut c = OracleController::new(m.clone());
         let mut rng = StdRng::seed_from_u64(5);
         assert!(run_campaign(&m, &mut c, &[], 5, &HarnessConfig::default(), &mut rng).is_err());
+        assert!(run_campaign_degraded(
+            &m,
+            &mut c,
+            &[],
+            5,
+            &PerturbationPlan::none(),
+            &HarnessConfig::default(),
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_fault_is_rejected() {
+        let m = model();
+        let mut c = OracleController::new(m.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(run_episode(
+            &m,
+            &mut c,
+            StateId::new(99),
+            &HarnessConfig::default(),
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]
@@ -393,6 +555,8 @@ mod tests {
         for e in &trace {
             assert!(e.wall >= prev_wall);
             assert!(e.cost >= 0.0);
+            assert!(!e.action_failed && !e.observation_corrupted);
+            assert_eq!(e.injected_fault, None);
             prev_wall = e.wall;
         }
         let total: f64 = trace.iter().map(|e| e.cost).sum();
@@ -418,5 +582,58 @@ mod tests {
         assert!(out.terminated);
         assert!(out.recovered);
         assert_eq!(out.residual_time, 0.0);
+    }
+
+    #[test]
+    fn zero_plan_episode_matches_undegraded_episode() {
+        let m = model();
+        let t = m.without_notification(50.0).unwrap();
+        let mut c1 = BoundedController::new(t.clone(), BoundedConfig::default()).unwrap();
+        let mut c2 = BoundedController::new(t, BoundedConfig::default()).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(21);
+        let mut rng2 = StdRng::seed_from_u64(21);
+        let fault = StateId::new(two_server::FAULT_B);
+        let (o1, t1) =
+            run_episode_traced(&m, &mut c1, fault, &HarnessConfig::default(), &mut rng1).unwrap();
+        let (o2, t2) = run_episode_degraded_traced(
+            &m,
+            &mut c2,
+            fault,
+            &PerturbationPlan::none(),
+            &HarnessConfig::default(),
+            &mut rng2,
+        )
+        .unwrap();
+        let strip = |o: &EpisodeOutcome| {
+            let mut o = o.clone();
+            o.algorithm_time = 0.0;
+            o
+        };
+        assert_eq!(strip(&o1), strip(&o2));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn full_dropout_forces_blind_recovery() {
+        let m = model();
+        let mut c = MostLikelyController::new(m.clone(), 0.95).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let plan = PerturbationPlan {
+            seed: 5,
+            monitor_dropout_prob: 1.0,
+            ..PerturbationPlan::none()
+        };
+        let out = run_episode_degraded(
+            &m,
+            &mut c,
+            StateId::new(two_server::FAULT_A),
+            &plan,
+            &HarnessConfig { max_steps: 40 },
+            &mut rng,
+        )
+        .unwrap();
+        // Every observation (detection included) was dropped.
+        assert_eq!(out.monitor_calls, 0);
+        assert!(out.perturbations.dropped_observations > 0);
     }
 }

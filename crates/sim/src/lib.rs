@@ -5,10 +5,15 @@
 //! * [`World`] — ground-truth simulator of a recovery model: holds the
 //!   true (hidden) fault state and samples transitions and monitor
 //!   observations from the model's `p` and `q`.
+//! * [`degraded`] — the robustness extension: [`DegradedWorld`] wraps a
+//!   [`World`] and perturbs its contract with the controller (silent
+//!   action failures, monitor dropout, observation corruption,
+//!   mid-episode secondary faults) under a seeded
+//!   [`PerturbationPlan`].
 //! * [`harness`] — drives any [`bpr_core::RecoveryController`] against
-//!   a [`World`], measuring the paper's per-fault metrics: cost,
-//!   recovery time, residual time, algorithm time, recovery actions,
-//!   and monitor calls (Table 1).
+//!   a [`World`] (or [`DegradedWorld`]), measuring the paper's
+//!   per-fault metrics: cost, recovery time, residual time, algorithm
+//!   time, recovery actions, and monitor calls (Table 1).
 //! * [`metrics`] — campaign aggregation (per-fault averages).
 //! * [`des`] — a generic discrete-event queue, used by the
 //!   request-level simulation that validates the model's analytic drop
@@ -17,13 +22,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degraded;
 pub mod des;
 pub mod harness;
 pub mod metrics;
 mod world;
 
+pub use degraded::{DegradedWorld, PerturbationCounts, PerturbationPlan, SimWorld, StepResult};
 pub use harness::{
-    run_campaign, run_episode, run_episode_traced, EpisodeOutcome, HarnessConfig, TraceEvent,
+    run_campaign, run_campaign_degraded, run_episode, run_episode_degraded,
+    run_episode_degraded_traced, run_episode_traced, EpisodeOutcome, HarnessConfig, TraceEvent,
 };
 pub use metrics::CampaignSummary;
 pub use world::World;

@@ -27,6 +27,14 @@ pub struct CampaignSummary {
     /// Episodes cut off by the step cap before the controller
     /// terminated.
     pub unterminated: usize,
+    /// Mean perturbation events per episode (degraded campaigns only).
+    pub mean_perturbations: f64,
+    /// Mean hardening-layer retries per episode.
+    pub mean_retries: f64,
+    /// Mean escalation-ladder steps per episode.
+    pub mean_escalations: f64,
+    /// Mean belief re-initialisations per episode.
+    pub mean_belief_resets: f64,
 }
 
 impl CampaignSummary {
@@ -53,6 +61,19 @@ impl CampaignSummary {
             mean_monitor_calls: mean(&|o| o.monitor_calls as f64),
             unrecovered: outcomes.iter().filter(|o| !o.recovered).count(),
             unterminated: outcomes.iter().filter(|o| !o.terminated).count(),
+            mean_perturbations: mean(&|o| o.perturbations.total() as f64),
+            mean_retries: mean(&|o| o.retries as f64),
+            mean_escalations: mean(&|o| o.escalations as f64),
+            mean_belief_resets: mean(&|o| o.belief_resets as f64),
+        }
+    }
+
+    /// Fraction of episodes that ended recovered.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            (self.episodes - self.unrecovered) as f64 / self.episodes as f64
         }
     }
 
@@ -75,7 +96,13 @@ impl CampaignSummary {
     pub fn table_header() -> String {
         format!(
             "{:<14} {:>10} {:>14} {:>14} {:>14} {:>8} {:>14}",
-            "Algorithm", "Cost", "RecoveryT(s)", "ResidualT(s)", "AlgT(ms)", "Actions", "MonitorCalls"
+            "Algorithm",
+            "Cost",
+            "RecoveryT(s)",
+            "ResidualT(s)",
+            "AlgT(ms)",
+            "Actions",
+            "MonitorCalls"
         )
     }
 }
@@ -96,6 +123,13 @@ mod tests {
             monitor_calls: 5,
             recovered,
             terminated: true,
+            perturbations: crate::PerturbationCounts {
+                failed_actions: 1,
+                ..Default::default()
+            },
+            retries: 3,
+            escalations: 1,
+            belief_resets: 0,
         }
     }
 
@@ -110,6 +144,11 @@ mod tests {
         assert_eq!(s.mean_monitor_calls, 5.0);
         assert_eq!(s.unrecovered, 1);
         assert_eq!(s.unterminated, 0);
+        assert_eq!(s.mean_perturbations, 1.0);
+        assert_eq!(s.mean_retries, 3.0);
+        assert_eq!(s.mean_escalations, 1.0);
+        assert_eq!(s.mean_belief_resets, 0.0);
+        assert_eq!(s.recovery_rate(), 0.5);
     }
 
     #[test]

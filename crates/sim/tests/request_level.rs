@@ -47,7 +47,10 @@ fn simulate(segments: &[Segment], config: &EmnConfig, seed: u64) -> (f64, f64) {
     let mut t = 0.0;
     for seg in segments {
         let duration = model.base().mdp().duration(seg.action.index());
-        predicted += -model.base().mdp().reward(seg.state.index(), seg.action.index());
+        predicted += -model
+            .base()
+            .mdp()
+            .reward(seg.state.index(), seg.action.index());
         t += duration;
         boundaries.push(t);
     }

@@ -76,8 +76,7 @@ fn persisted_bound_reproduces_controller_decisions() {
     };
     let mut original =
         BoundedController::with_bound(transformed.clone(), bound, config.clone()).unwrap();
-    let mut restored =
-        BoundedController::with_bound(transformed, reloaded, config).unwrap();
+    let mut restored = BoundedController::with_bound(transformed, reloaded, config).unwrap();
     for probs in [
         vec![0.8, 0.1, 0.1],
         vec![0.1, 0.8, 0.1],
@@ -213,8 +212,8 @@ fn world_and_harness_agree_on_costs() {
     let replayed: f64 = trace.iter().map(|e| e.cost).sum();
     assert!((replayed - out.cost).abs() < 1e-12);
     // And a fresh world stepped with the same seed is deterministic.
-    let mut w1 = World::new(&model, StateId::new(0));
-    let mut w2 = World::new(&model, StateId::new(0));
+    let mut w1 = World::new(&model, StateId::new(0)).unwrap();
+    let mut w2 = World::new(&model, StateId::new(0)).unwrap();
     let mut r1 = StdRng::seed_from_u64(4);
     let mut r2 = StdRng::seed_from_u64(4);
     for a in 0..3 {
@@ -242,8 +241,7 @@ fn bound_value_bridges_simulation_performance() {
     let n = 60;
     for i in 0..n {
         let fault = StateId::new(if i % 2 == 0 { 0 } else { 1 });
-        let out = run_episode(&model, &mut c, fault, &HarnessConfig::default(), &mut rng)
-            .unwrap();
+        let out = run_episode(&model, &mut c, fault, &HarnessConfig::default(), &mut rng).unwrap();
         total += -out.cost; // realised reward
     }
     let realised = total / n as f64;

@@ -80,12 +80,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baselines.
     let mut rng = StdRng::seed_from_u64(1);
     let mut most_likely = MostLikelyController::new(model.clone(), 0.999)?;
-    let summary = run_campaign(&model, &mut most_likely, &faults, episodes, &harness, &mut rng)?;
+    let summary = run_campaign(
+        &model,
+        &mut most_likely,
+        &faults,
+        episodes,
+        &harness,
+        &mut rng,
+    )?;
     println!("{}", summary.table_row());
 
     let mut rng = StdRng::seed_from_u64(1);
     let mut heuristic = HeuristicController::new(model.clone(), 2, 0.999)?;
-    let summary = run_campaign(&model, &mut heuristic, &faults, episodes, &harness, &mut rng)?;
+    let summary = run_campaign(
+        &model,
+        &mut heuristic,
+        &faults,
+        episodes,
+        &harness,
+        &mut rng,
+    )?;
     println!("{}", summary.table_row());
 
     // The bounded controller, with a 15-minute operator response time.

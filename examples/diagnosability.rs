@@ -23,9 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("=== path routing: {routing:?} ===");
         println!("most confusable state pairs (total-variation distance of monitor outputs):");
         let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
-        for i in 0..confusion.len() {
-            for j in (i + 1)..confusion.len() {
-                pairs.push((i, j, confusion[i][j]));
+        for (i, row) in confusion.iter().enumerate() {
+            for (j, &tv) in row.iter().enumerate().skip(i + 1) {
+                pairs.push((i, j, tv));
             }
         }
         pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));

@@ -55,10 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Inject a zombie into EMN server 1: it still answers pings, so
     // only the 50/50-routed path monitors can catch it.
     let fault = EmnState::Zombie(Component::Server1);
-    let mut world = World::new(&model, fault.state_id());
+    let mut world = World::new(&model, fault.state_id())?;
     println!("injected: {fault} (invisible to ping monitors)");
 
-    let detection = world.observe_in_place(&mut rng);
+    let detection = world.observe_in_place(&mut rng)?;
     println!(
         "detection observation: {}",
         model.base().observation_label(detection)

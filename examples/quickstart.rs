@@ -46,8 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    sees monitor outputs, never the true state.
     let mut rng = StdRng::seed_from_u64(42);
     let true_fault = StateId::new(two_server::FAULT_B);
-    let mut world = World::new(&model, true_fault);
-    let detection = world.observe_in_place(&mut rng);
+    let mut world = World::new(&model, true_fault)?;
+    let detection = world.observe_in_place(&mut rng)?;
     println!(
         "fault injected: {} (controller sees only: {})",
         model.base().mdp().state_label(true_fault),

@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // The detection-time belief: all faults equally likely.
-    let initial = Belief::uniform_over(
-        model.base().n_states(),
-        &model.fault_states(),
-    );
+    let initial = Belief::uniform_over(model.base().n_states(), &model.fault_states());
     let rows = preview(
         &transformed,
         &bound,

@@ -60,10 +60,7 @@ fn property_1b_ra_bound_is_below_its_own_backup() {
     for b in probe_beliefs(pomdp.n_states()) {
         let v = ra.value(&b);
         let lp = tree::expand(pomdp, &b, 1, &ra, 1.0).expect("expand").value;
-        assert!(
-            v <= lp + 1e-7,
-            "V_B({b:?}) = {v} exceeds L_p V_B = {lp}"
-        );
+        assert!(v <= lp + 1e-7, "V_B({b:?}) = {v} exceeds L_p V_B = {lp}");
     }
 }
 

@@ -56,8 +56,14 @@ fn bounded_controller_recovers_every_zombie_fault() {
     let config = HarnessConfig::default();
     for zombie in EmnState::zombies() {
         for _ in 0..3 {
-            let out = run_episode(&model, &mut controller, zombie.state_id(), &config, &mut rng)
-                .expect("episode runs");
+            let out = run_episode(
+                &model,
+                &mut controller,
+                zombie.state_id(),
+                &config,
+                &mut rng,
+            )
+            .expect("episode runs");
             assert!(out.terminated, "did not terminate on {zombie}");
             assert!(out.recovered, "quit before recovering {zombie}");
             assert!(out.cost > 0.0);
@@ -89,8 +95,15 @@ fn all_controllers_complete_a_zombie_campaign() {
 
     let mut rng = StdRng::seed_from_u64(5);
     let mut most_likely = MostLikelyController::new(model.clone(), 0.999).expect("controller");
-    let s = run_campaign(&model, &mut most_likely, &zombies, episodes, &harness, &mut rng)
-        .expect("campaign");
+    let s = run_campaign(
+        &model,
+        &mut most_likely,
+        &zombies,
+        episodes,
+        &harness,
+        &mut rng,
+    )
+    .expect("campaign");
     assert_eq!(s.unterminated, 0);
     assert_eq!(s.unrecovered, 0);
 
@@ -98,8 +111,15 @@ fn all_controllers_complete_a_zombie_campaign() {
     let mut heuristic = HeuristicController::new(model.clone(), 1, 0.999)
         .expect("controller")
         .with_gamma_cutoff(1e-3);
-    let s = run_campaign(&model, &mut heuristic, &zombies, episodes, &harness, &mut rng)
-        .expect("campaign");
+    let s = run_campaign(
+        &model,
+        &mut heuristic,
+        &zombies,
+        episodes,
+        &harness,
+        &mut rng,
+    )
+    .expect("campaign");
     assert_eq!(s.unterminated, 0);
     assert_eq!(s.unrecovered, 0);
 
@@ -122,13 +142,13 @@ fn oracle_is_a_lower_envelope_on_cost() {
 
     let mut rng = StdRng::seed_from_u64(6);
     let mut oracle = OracleController::new(model.clone());
-    let oracle_s = run_campaign(&model, &mut oracle, &zombies, 40, &harness, &mut rng)
-        .expect("campaign");
+    let oracle_s =
+        run_campaign(&model, &mut oracle, &zombies, 40, &harness, &mut rng).expect("campaign");
 
     let (_, mut bounded) = bounded_controller(6);
     let mut rng = StdRng::seed_from_u64(6);
-    let bounded_s = run_campaign(&model, &mut bounded, &zombies, 40, &harness, &mut rng)
-        .expect("campaign");
+    let bounded_s =
+        run_campaign(&model, &mut bounded, &zombies, 40, &harness, &mut rng).expect("campaign");
 
     assert!(
         bounded_s.mean_cost >= oracle_s.mean_cost,

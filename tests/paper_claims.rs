@@ -84,8 +84,16 @@ fn claim_table1_qualitative_ordering() {
     let oracle = get("oracle");
 
     for row in &rows {
-        assert_eq!(row.unrecovered, 0, "{} quit before recovery", row.controller);
-        assert_eq!(row.unterminated, 0, "{} failed to terminate", row.controller);
+        assert_eq!(
+            row.unrecovered, 0,
+            "{} quit before recovery",
+            row.controller
+        );
+        assert_eq!(
+            row.unterminated, 0,
+            "{} failed to terminate",
+            row.controller
+        );
     }
     assert!(
         bounded.mean_cost < most_likely.mean_cost,

@@ -62,7 +62,8 @@ fn build(spec: &RandomModelSpec) -> RecoveryModel {
                 mb.transition(s, a, 0, 1.0);
                 mb.reward(s, a, if a == observe { 0.0 } else { -spec.wrong_cost });
             } else if a + 1 == s {
-                mb.transition(s, a, 0, 1.0).reward(s, a, -spec.fix_costs[s - 1]);
+                mb.transition(s, a, 0, 1.0)
+                    .reward(s, a, -spec.fix_costs[s - 1]);
             } else {
                 mb.transition(s, a, s, 1.0).reward(
                     s,
@@ -171,7 +172,7 @@ proptest! {
             BoundedController::new(t, BoundedConfig::default()).expect("controller builds");
         let fault = StateId::new(1 + fault_pick % spec.n_faults);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut world = World::new(&model, fault);
+        let mut world = World::new(&model, fault).expect("world builds");
         let faults: Vec<_> = (1..=spec.n_faults).map(StateId::new).collect();
         controller
             .begin(Belief::uniform_over(model.base().n_states(), &faults), None)

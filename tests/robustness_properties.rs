@@ -1,0 +1,301 @@
+//! Property tests for the degraded-world robustness extension:
+//!
+//! * A zero-perturbation `PerturbationPlan` must be *invisible* —
+//!   episodes against a `DegradedWorld` reproduce plain-`World`
+//!   episodes bit-for-bit under the same RNG seed.
+//! * The hardened `ResilientController` must terminate within its own
+//!   budget on randomized models no matter how unreliable the world is
+//!   (action failures up to 0.5, monitor dropout up to 0.3).
+//! * On the EMN model at action-failure 0.2 / monitor-dropout 0.1 the
+//!   hardened controller recovers ≥99% of zombie faults while the
+//!   unhardened bounded controller demonstrably degrades.
+
+use bpr_bench::experiments::{robustness_sweep, RobustnessConfig};
+use bpr_core::{
+    BoundedConfig, BoundedController, RecoveryModel, ResilienceConfig, ResilientController,
+};
+use bpr_emn::two_server;
+use bpr_mdp::{ActionId, MdpBuilder, StateId};
+use bpr_pomdp::PomdpBuilder;
+use bpr_sim::{
+    run_episode_degraded, run_episode_degraded_traced, run_episode_traced, EpisodeOutcome,
+    HarnessConfig, PerturbationPlan,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of a random recovery model (same family as
+/// `random_model_properties.rs`, which cannot be shared across test
+/// binaries): `n_faults` fault states, one dedicated fixing action per
+/// fault plus an observe action, and a noisy observation channel.
+#[derive(Debug, Clone)]
+struct RandomModelSpec {
+    n_faults: usize,
+    accuracy: f64,
+    fix_costs: Vec<f64>,
+    wrong_cost: f64,
+    observe_cost: f64,
+}
+
+fn arb_spec() -> impl Strategy<Value = RandomModelSpec> {
+    (1usize..=4)
+        .prop_flat_map(|n_faults| {
+            (
+                Just(n_faults),
+                0.5f64..0.95,
+                proptest::collection::vec(0.2f64..2.0, n_faults),
+                0.2f64..2.0,
+                0.05f64..1.0,
+            )
+        })
+        .prop_map(
+            |(n_faults, accuracy, fix_costs, wrong_cost, observe_cost)| RandomModelSpec {
+                n_faults,
+                accuracy,
+                fix_costs,
+                wrong_cost,
+                observe_cost,
+            },
+        )
+}
+
+fn build(spec: &RandomModelSpec) -> RecoveryModel {
+    let n = spec.n_faults + 1; // state 0 = null
+    let na = spec.n_faults + 1; // action i fixes fault i+1; last = observe
+    let observe = na - 1;
+    let mut mb = MdpBuilder::new(n, na);
+    for a in 0..na {
+        for s in 0..n {
+            if s == 0 {
+                mb.transition(s, a, 0, 1.0);
+                mb.reward(s, a, if a == observe { 0.0 } else { -spec.wrong_cost });
+            } else if a + 1 == s {
+                mb.transition(s, a, 0, 1.0)
+                    .reward(s, a, -spec.fix_costs[s - 1]);
+            } else {
+                mb.transition(s, a, s, 1.0).reward(
+                    s,
+                    a,
+                    if a == observe {
+                        -spec.observe_cost
+                    } else {
+                        -spec.wrong_cost
+                    },
+                );
+            }
+        }
+    }
+    let no = spec.n_faults + 1;
+    let mut pb = PomdpBuilder::new(mb.build().expect("random model builds"), no);
+    for s in 0..n {
+        let truth = if s == 0 { no - 1 } else { s - 1 };
+        let spread = (1.0 - spec.accuracy) / (no - 1) as f64;
+        for o in 0..no {
+            let q = if o == truth { spec.accuracy } else { spread };
+            pb.observation_all_actions(s, o, q);
+        }
+    }
+    let mut rates = vec![-1.0; n];
+    rates[0] = 0.0;
+    RecoveryModel::new(
+        pb.build().expect("observations build"),
+        vec![StateId::new(0)],
+        rates,
+        vec![ActionId::new(observe)],
+    )
+    .expect("random model satisfies the recovery conditions")
+}
+
+/// Strips the one nondeterministic field (host compute time).
+fn comparable(o: &EpisodeOutcome) -> EpisodeOutcome {
+    let mut o = o.clone();
+    o.algorithm_time = 0.0;
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A zero plan must leave the episode RNG stream untouched: the
+    /// degraded harness reproduces the plain harness bit-for-bit.
+    #[test]
+    fn zero_plan_is_trace_equivalent_on_random_models(
+        spec in arb_spec(),
+        top in 2.0f64..100.0,
+        seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        fault_pick in 0usize..4,
+    ) {
+        let model = build(&spec);
+        let mut c1 = BoundedController::new(
+            model.without_notification(top).expect("transform"),
+            BoundedConfig::default(),
+        )
+        .expect("controller builds");
+        let mut c2 = BoundedController::new(
+            model.without_notification(top).expect("transform"),
+            BoundedConfig::default(),
+        )
+        .expect("controller builds");
+        let fault = StateId::new(1 + fault_pick % spec.n_faults);
+        let config = HarnessConfig { max_steps: 200 };
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let (o1, t1) =
+            run_episode_traced(&model, &mut c1, fault, &config, &mut rng1).expect("plain episode");
+        let plan = PerturbationPlan { seed: plan_seed, ..PerturbationPlan::none() };
+        let (o2, t2) =
+            run_episode_degraded_traced(&model, &mut c2, fault, &plan, &config, &mut rng2)
+                .expect("degraded episode");
+        prop_assert_eq!(comparable(&o1), comparable(&o2));
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(o2.perturbations.total(), 0);
+    }
+
+    /// Hard budgets hold no matter how hostile the world: the hardened
+    /// controller always reaches its own Terminate decision (the
+    /// harness cap sits *above* the controller budget, so termination
+    /// cannot come from the harness cut-off).
+    #[test]
+    fn resilient_controller_terminates_on_degraded_random_models(
+        spec in arb_spec(),
+        top in 2.0f64..100.0,
+        seed in 0u64..1000,
+        failure in 0.0f64..0.5,
+        dropout in 0.0f64..0.3,
+        fault_pick in 0usize..4,
+    ) {
+        let model = build(&spec);
+        let inner = BoundedController::new(
+            model.without_notification(top).expect("transform"),
+            BoundedConfig::default(),
+        )
+        .expect("controller builds");
+        let mut c = ResilientController::new(
+            model.clone(),
+            inner,
+            ResilienceConfig { max_steps: 120, ..ResilienceConfig::default() },
+        )
+        .expect("resilient wrapper builds");
+        let fault = StateId::new(1 + fault_pick % spec.n_faults);
+        let plan = PerturbationPlan {
+            seed: seed ^ 0xDEAD_BEEF,
+            action_failure_prob: failure,
+            monitor_dropout_prob: dropout,
+            ..PerturbationPlan::none()
+        };
+        let config = HarnessConfig { max_steps: 200 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = run_episode_degraded(&model, &mut c, fault, &plan, &config, &mut rng)
+            .expect("hardened episodes never abort");
+        prop_assert!(out.terminated, "controller exceeded its own step budget");
+    }
+}
+
+/// Spot check of the equivalence property on the paper's own
+/// hand-built model rather than a random one.
+#[test]
+fn zero_plan_is_trace_equivalent_on_two_server() {
+    let model = two_server::default_model().unwrap();
+    for seed in 0..20u64 {
+        let mut c1 = BoundedController::new(
+            model.without_notification(50.0).unwrap(),
+            BoundedConfig::default(),
+        )
+        .unwrap();
+        let mut c2 = BoundedController::new(
+            model.without_notification(50.0).unwrap(),
+            BoundedConfig::default(),
+        )
+        .unwrap();
+        let fault = StateId::new(if seed % 2 == 0 {
+            two_server::FAULT_A
+        } else {
+            two_server::FAULT_B
+        });
+        let config = HarnessConfig::default();
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let (o1, t1) = run_episode_traced(&model, &mut c1, fault, &config, &mut rng1).unwrap();
+        let plan = PerturbationPlan {
+            seed: seed.wrapping_mul(31),
+            ..PerturbationPlan::none()
+        };
+        let (o2, t2) =
+            run_episode_degraded_traced(&model, &mut c2, fault, &plan, &config, &mut rng2).unwrap();
+        assert_eq!(comparable(&o1), comparable(&o2), "seed {seed}");
+        assert_eq!(t1, t2, "seed {seed}");
+    }
+}
+
+/// The acceptance bar of the robustness extension: at action-failure
+/// 0.2 and monitor-dropout 0.1 on EMN zombies, the hardened controller
+/// recovers ≥99% of faults within budget, while the unhardened bounded
+/// controller demonstrably degrades (stalled diagnoses ending in wrong
+/// terminations, aborts, or step-cap cut-offs).
+#[test]
+fn resilient_controller_clears_the_emn_acceptance_bar() {
+    let cells = robustness_sweep(&RobustnessConfig {
+        episodes: 60,
+        seed: 7,
+        failure_probs: vec![0.2],
+        dropout_probs: vec![0.1],
+        ..RobustnessConfig::default()
+    })
+    .unwrap();
+    assert_eq!(cells.len(), 1);
+    let cell = &cells[0];
+    let find = |name: &str| {
+        cell.rows
+            .iter()
+            .find(|r| r.summary.controller == name)
+            .unwrap_or_else(|| panic!("missing row {name}"))
+    };
+
+    let hardened = find("resilient-bounded-d1");
+    assert!(
+        hardened.summary.recovery_rate() >= 0.99,
+        "hardened recovery rate {:.3} below 99%",
+        hardened.summary.recovery_rate()
+    );
+    assert_eq!(hardened.summary.unterminated, 0, "hardened blew its budget");
+    assert_eq!(hardened.aborted, 0, "hardened controller aborted");
+    assert!(
+        hardened.summary.mean_retries > 0.0 || hardened.summary.mean_escalations > 0.0,
+        "no hardening activity recorded"
+    );
+
+    let plain = find("bounded-d1");
+    let failures = plain.summary.unrecovered + plain.summary.unterminated + plain.aborted;
+    assert!(
+        failures * 20 >= plain.summary.episodes,
+        "unhardened bounded controller unexpectedly robust: only {failures}/{} failures",
+        plain.summary.episodes
+    );
+}
+
+/// Degenerate sweeps stay well-formed: at the zero grid point the
+/// degraded harness equals the plain one, so every controller recovers
+/// everything and no perturbations are counted.
+#[test]
+fn sweep_zero_cell_recovers_everything() {
+    let cells = robustness_sweep(&RobustnessConfig {
+        episodes: 10,
+        seed: 7,
+        failure_probs: vec![0.0],
+        dropout_probs: vec![0.0],
+        ..RobustnessConfig::default()
+    })
+    .unwrap();
+    for row in &cells[0].rows {
+        assert_eq!(row.summary.unrecovered, 0, "{}", row.summary.controller);
+        assert_eq!(row.summary.unterminated, 0, "{}", row.summary.controller);
+        assert_eq!(row.aborted, 0, "{}", row.summary.controller);
+        assert_eq!(
+            row.summary.mean_perturbations, 0.0,
+            "{}",
+            row.summary.controller
+        );
+    }
+}
