@@ -19,4 +19,8 @@ cargo fmt --check
 echo "==> robustness smoke (10 episodes)"
 cargo run -p bpr-bench --bin robustness --release -- --episodes 10
 
+echo "==> determinism smoke (scaling at 1,2 threads; fails on divergence)"
+cargo run -p bpr-bench --bin scaling --release -- \
+  --episodes 12 --bootstrap-iters 6 --batch 3 --max-steps 200 --threads 1,2
+
 echo "==> ci.sh: all gates passed"

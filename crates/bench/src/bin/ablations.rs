@@ -13,7 +13,11 @@
 //!    routes) under both the bounded and a diagnose-then-fix
 //!    controller — the "path diversity" knob of the paper's Fig. 4.
 //!
-//! Usage: `cargo run -p bpr-bench --bin ablations --release -- [--faults 120] [--seed 7]`
+//! Usage: `cargo run -p bpr-bench --bin ablations --release -- \
+//!     [--faults 120] [--seed 7] [--threads N]`
+//!
+//! Campaigns fan across `--threads` workers (default: all hardware
+//! threads); results are bit-identical whatever the width.
 
 use bpr_bench::experiments::emn_model;
 use bpr_bench::flag;
@@ -22,8 +26,9 @@ use bpr_core::{BoundedConfig, BoundedController};
 use bpr_emn::actions::EmnAction;
 use bpr_emn::faults::EmnState;
 use bpr_mdp::chain::SolveOpts;
+use bpr_par::WorkPool;
 use bpr_pomdp::bounds::ra_bound;
-use bpr_sim::{run_campaign, CampaignSummary, HarnessConfig};
+use bpr_sim::{Campaign, CampaignSummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,9 +36,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let episodes = flag(&args, "--faults", 120usize);
     let seed = flag(&args, "--seed", 7u64);
+    let threads = flag(&args, "--threads", WorkPool::default().threads());
     let model = emn_model().expect("default EMN model builds");
     let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
-    let harness = HarnessConfig::default();
 
     let run_bounded = |top: f64, depth: usize, cap: Option<usize>| -> CampaignSummary {
         let transformed = model.without_notification(top).expect("transform succeeds");
@@ -55,7 +60,7 @@ fn main() {
             &mut rng,
         )
         .expect("bootstrap succeeds");
-        let mut c = BoundedController::with_bound(
+        let proto = BoundedController::with_bound(
             transformed,
             bound,
             BoundedConfig {
@@ -66,7 +71,14 @@ fn main() {
             },
         )
         .expect("controller builds");
-        run_campaign(&model, &mut c, &zombies, episodes, &harness, &mut rng).expect("campaign runs")
+        Campaign::new(&model)
+            .population(&zombies)
+            .episodes(episodes)
+            .seed(seed)
+            .threads(threads)
+            .run(|_| Ok(proto.clone()))
+            .expect("campaign runs")
+            .summary
     };
 
     println!("# Ablation 1: operator response time t_op (bounded-d1, {episodes} faults)");
@@ -124,7 +136,7 @@ fn main() {
             .without_notification(cfg.operator_response_time)
             .expect("transform");
         let bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
-        let mut c = BoundedController::with_bound(
+        let proto = BoundedController::with_bound(
             transformed,
             bound,
             BoundedConfig {
@@ -134,10 +146,15 @@ fn main() {
             },
         )
         .expect("controller");
-        let mut rng = StdRng::seed_from_u64(seed);
         let zombies_c: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
-        let s = run_campaign(&model_c, &mut c, &zombies_c, episodes, &harness, &mut rng)
-            .expect("campaign");
+        let s = Campaign::new(&model_c)
+            .population(&zombies_c)
+            .episodes(episodes)
+            .seed(seed)
+            .threads(threads)
+            .run(|_| Ok(proto.clone()))
+            .expect("campaign")
+            .summary;
         println!("{:>10.3} {}", coverage, s.table_row());
     }
     println!();
@@ -245,7 +262,7 @@ fn main() {
             &mut rng,
         )
         .expect("bootstrap");
-        let mut bounded = BoundedController::with_bound(
+        let bounded = BoundedController::with_bound(
             transformed,
             bound,
             BoundedConfig {
@@ -255,15 +272,14 @@ fn main() {
             },
         )
         .expect("controller");
-        let s = run_campaign(
-            &model_r,
-            &mut bounded,
-            &zombies_r,
-            episodes,
-            &harness,
-            &mut rng,
-        )
-        .expect("campaign");
+        let s = Campaign::new(&model_r)
+            .population(&zombies_r)
+            .episodes(episodes)
+            .seed(seed)
+            .threads(threads)
+            .run(|_| Ok(bounded.clone()))
+            .expect("campaign")
+            .summary;
         println!(
             "{:>16} {:>14} {}",
             format!("{routing:?}"),
@@ -271,14 +287,16 @@ fn main() {
             s.table_row()
         );
 
-        let mut diag =
-            bpr_core::baselines::DiagnoseThenFixController::new(model_r.clone(), 0.7, 0.9999)
-                .expect("controller");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let s = run_campaign(
-            &model_r, &mut diag, &zombies_r, episodes, &harness, &mut rng,
-        )
-        .expect("campaign");
+        let s = Campaign::new(&model_r)
+            .population(&zombies_r)
+            .episodes(episodes)
+            .seed(seed)
+            .threads(threads)
+            .run(|_| {
+                bpr_core::baselines::DiagnoseThenFixController::new(model_r.clone(), 0.7, 0.9999)
+            })
+            .expect("campaign")
+            .summary;
         println!(
             "{:>16} {:>14} {}",
             format!("{routing:?}"),

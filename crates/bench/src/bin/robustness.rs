@@ -5,10 +5,14 @@
 //! Usage:
 //! `cargo run -p bpr-bench --bin robustness --release -- \
 //!     [--episodes 60] [--seed 7] [--failures 0.0,0.2] [--dropouts 0.0,0.1] \
-//!     [--corruption 0.0] [--secondary 0.0] [--max-secondary 0]`
+//!     [--corruption 0.0] [--secondary 0.0] [--max-secondary 0] [--threads N]`
+//!
+//! Campaigns fan across `--threads` workers (default: all hardware
+//! threads); results are bit-identical whatever the width.
 
 use bpr_bench::experiments::{robustness_sweep, RobustnessConfig};
 use bpr_bench::flag;
+use bpr_par::WorkPool;
 
 /// Parses a comma-separated probability list flag.
 fn list_flag(args: &[String], name: &str, default: &[f64]) -> Vec<f64> {
@@ -34,6 +38,7 @@ fn main() {
         obs_corruption_prob: flag(&args, "--corruption", 0.0f64),
         secondary_fault_prob: flag(&args, "--secondary", 0.0f64),
         max_secondary_faults: flag(&args, "--max-secondary", 0usize),
+        threads: flag(&args, "--threads", WorkPool::default().threads()),
         ..RobustnessConfig::default()
     };
     eprintln!(

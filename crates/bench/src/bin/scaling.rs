@@ -1,0 +1,188 @@
+//! Scaling benchmark for the deterministic parallel engines: runs the
+//! EMN fault-injection campaign (bootstrapped bounded-d1 controller)
+//! and the batch bootstrap at several thread counts, records
+//! episodes/sec and backups/sec into `BENCH_scaling.json`, and — the
+//! part that gates CI — verifies that every width produces bit-identical
+//! results. Exits nonzero on any determinism mismatch.
+//!
+//! Usage:
+//! `cargo run -p bpr-bench --bin scaling --release -- \
+//!     [--episodes 120] [--bootstrap-iters 24] [--batch 8] [--seed 7] \
+//!     [--threads 1,2,4,8] [--max-steps 400] [--out BENCH_scaling.json]`
+
+use bpr_bench::experiments::{bootstrapped_bounded_d1, emn_model};
+use bpr_bench::flag;
+use bpr_core::bootstrap::{bootstrap_par, BootstrapConfig, BootstrapVariant};
+use bpr_emn::actions::EmnAction;
+use bpr_emn::faults::EmnState;
+use bpr_emn::EmnConfig;
+use bpr_mdp::chain::SolveOpts;
+use bpr_par::WorkPool;
+use bpr_pomdp::bounds::ra_bound;
+use bpr_sim::Campaign;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Parses the comma-separated `--threads` list.
+fn threads_flag(args: &[String], default: &[usize]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| {
+            v.split(',')
+                .map(|p| p.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .ok()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+struct WidthResult {
+    threads: usize,
+    wall_seconds: f64,
+    rate: f64,
+}
+
+fn json_results(rows: &[WidthResult], rate_key: &str) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"{}\": {:.3}}}",
+            r.threads, r.wall_seconds, rate_key, r.rate
+        );
+    }
+    out.push(']');
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let episodes = flag(&args, "--episodes", 120usize);
+    let bootstrap_iters = flag(&args, "--bootstrap-iters", 24usize);
+    let batch = flag(&args, "--batch", 8usize);
+    let seed = flag(&args, "--seed", 7u64);
+    let max_steps = flag(&args, "--max-steps", 400usize);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scaling.json".to_string());
+    let widths = threads_flag(&args, &[1, 2, 4, 8]);
+    let hardware = WorkPool::default().threads();
+    eprintln!(
+        "scaling: {episodes} campaign episodes + {bootstrap_iters} bootstrap episodes \
+         at widths {widths:?} ({hardware} hardware threads)"
+    );
+
+    let model = emn_model().expect("EMN model builds");
+    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let prototype =
+        bootstrapped_bounded_d1(&model, seed, 1e-3).expect("bounded-d1 prototype builds");
+
+    // --- Campaign scaling: episodes/sec, identical outcomes required.
+    let mut campaign_rows = Vec::new();
+    let mut reference: Option<Vec<bpr_sim::EpisodeOutcome>> = None;
+    let mut deterministic = true;
+    for &threads in &widths {
+        let report = Campaign::new(&model)
+            .population(&zombies)
+            .episodes(episodes)
+            .max_steps(max_steps)
+            .seed(seed)
+            .threads(threads)
+            .run(|_| Ok(prototype.clone()))
+            .expect("campaign runs");
+        let canonical = report.canonical_outcomes();
+        match &reference {
+            None => reference = Some(canonical),
+            Some(expected) => {
+                if *expected != canonical {
+                    eprintln!("DETERMINISM VIOLATION: campaign at {threads} threads diverged");
+                    deterministic = false;
+                }
+            }
+        }
+        eprintln!(
+            "  campaign  threads={threads}: {:.2} episodes/sec ({:.3}s)",
+            report.episodes_per_sec(),
+            report.wall_seconds
+        );
+        campaign_rows.push(WidthResult {
+            threads,
+            wall_seconds: report.wall_seconds,
+            rate: report.episodes_per_sec(),
+        });
+    }
+
+    // --- Bootstrap scaling: backups/sec, identical reports and bound.
+    let emn_config = EmnConfig::default();
+    let transformed = model
+        .without_notification(emn_config.operator_response_time)
+        .expect("transform");
+    let config = BootstrapConfig {
+        variant: BootstrapVariant::Random,
+        iterations: bootstrap_iters,
+        depth: 1,
+        max_steps: 40,
+        conditioning_action: EmnAction::Observe.action_id(),
+        ..BootstrapConfig::default()
+    };
+    let mut bootstrap_rows = Vec::new();
+    let mut boot_reference: Option<(usize, String)> = None;
+    for &threads in &widths {
+        let pool = WorkPool::new(threads).expect("nonzero width");
+        let mut bound =
+            ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound exists");
+        let start = Instant::now();
+        let report = bootstrap_par(&transformed, &mut bound, &config, batch, seed, &pool)
+            .expect("bootstrap runs");
+        let wall = start.elapsed().as_secs_f64();
+        let fingerprint = (report.total_backups, bound.to_tsv());
+        match &boot_reference {
+            None => boot_reference = Some(fingerprint),
+            Some(expected) => {
+                if *expected != fingerprint {
+                    eprintln!("DETERMINISM VIOLATION: bootstrap at {threads} threads diverged");
+                    deterministic = false;
+                }
+            }
+        }
+        let rate = if wall > 0.0 {
+            report.total_backups as f64 / wall
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  bootstrap threads={threads}: {:.2} backups/sec ({} backups, {:.3}s)",
+            rate, report.total_backups, wall
+        );
+        bootstrap_rows.push(WidthResult {
+            threads,
+            wall_seconds: wall,
+            rate,
+        });
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"seed\": {seed},\n  \"hardware_threads\": {hardware},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"campaign\": {{\"controller\": \"bounded-d1\", \"episodes\": {episodes}, \
+         \"max_steps\": {max_steps}, \"results\": {}}},\n  \
+         \"bootstrap\": {{\"iterations\": {bootstrap_iters}, \"batch\": {batch}, \
+         \"results\": {}}}\n}}\n",
+        json_results(&campaign_rows, "episodes_per_sec"),
+        json_results(&bootstrap_rows, "backups_per_sec"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark file");
+    eprintln!("wrote {out_path}");
+
+    if !deterministic {
+        eprintln!("scaling benchmark FAILED: results depend on thread count");
+        std::process::exit(1);
+    }
+}

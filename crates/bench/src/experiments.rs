@@ -14,10 +14,7 @@ use bpr_mdp::chain::SolveOpts;
 use bpr_mdp::value_iteration::Discount;
 use bpr_pomdp::bounds::{bi_pomdp_bound, blind_bound, fib_bound, qmdp_bound, ra_bound, ValueBound};
 use bpr_pomdp::Belief;
-use bpr_sim::{
-    run_campaign, run_episode_degraded, CampaignSummary, EpisodeOutcome, HarnessConfig,
-    PerturbationPlan,
-};
+use bpr_sim::{Campaign, CampaignSummary, PerturbationPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -103,6 +100,9 @@ pub struct Table1Config {
     pub gamma_cutoff: f64,
     /// Step cap per episode.
     pub max_steps: usize,
+    /// Worker threads for the campaigns (results are thread-count
+    /// independent; this only changes wall-clock time).
+    pub threads: usize,
 }
 
 impl Default for Table1Config {
@@ -116,6 +116,7 @@ impl Default for Table1Config {
             bootstrap_depth: 2,
             gamma_cutoff: 1e-3,
             max_steps: 400,
+            threads: 1,
         }
     }
 }
@@ -131,101 +132,90 @@ impl Default for Table1Config {
 /// Propagates model, bootstrap, and campaign failures.
 pub fn table1(config: &Table1Config) -> Result<Vec<CampaignSummary>, Error> {
     let model = emn_model()?;
-    let emn_config = EmnConfig::default();
     let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
-    let harness = HarnessConfig {
-        max_steps: config.max_steps,
-    };
+    // One campaign session shared by every row: identical fault
+    // sequence and per-episode seed streams, so the rows differ only by
+    // controller. Expensive prototypes (the bootstrapped bounded
+    // controller) are built once and cloned per episode.
+    let campaign = Campaign::new(&model)
+        .population(&zombies)
+        .episodes(config.episodes)
+        .max_steps(config.max_steps)
+        .seed(config.seed)
+        .threads(config.threads);
     let mut rows = Vec::new();
 
     // Most-likely.
     {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut c = MostLikelyController::new(model.clone(), config.p_term)?;
-        rows.push(run_campaign(
-            &model,
-            &mut c,
-            &zombies,
-            config.episodes,
-            &harness,
-            &mut rng,
-        )?);
-        rows.last_mut().expect("just pushed").controller = "most-likely".into();
+        let mut summary = campaign
+            .clone()
+            .run(|_| MostLikelyController::new(model.clone(), config.p_term))?
+            .summary;
+        summary.controller = "most-likely".into();
+        rows.push(summary);
     }
     // Heuristic at each depth.
     for &depth in &config.heuristic_depths {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut c = HeuristicController::new(model.clone(), depth, config.p_term)?
+        let proto = HeuristicController::new(model.clone(), depth, config.p_term)?
             .with_gamma_cutoff(config.gamma_cutoff);
-        let mut summary = run_campaign(
-            &model,
-            &mut c,
-            &zombies,
-            config.episodes,
-            &harness,
-            &mut rng,
-        )?;
+        let mut summary = campaign.clone().run(|_| Ok(proto.clone()))?.summary;
         summary.controller = format!("heuristic-d{depth}");
         rows.push(summary);
     }
     // Bounded, depth 1, bootstrapped.
     {
-        let transformed = model.without_notification(emn_config.operator_response_time)?;
-        let mut bound =
-            ra_bound(transformed.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        bootstrap(
-            &transformed,
-            &mut bound,
-            &BootstrapConfig {
-                variant: BootstrapVariant::Average,
-                iterations: config.bootstrap_runs,
-                depth: config.bootstrap_depth,
-                max_steps: 40,
-                conditioning_action: EmnAction::Observe.action_id(),
-                ..BootstrapConfig::default()
-            },
-            &mut rng,
-        )?;
-        let mut c = BoundedController::with_bound(
-            transformed,
-            bound,
-            BoundedConfig {
-                depth: 1,
-                gamma_cutoff: config.gamma_cutoff,
-                // Paper §4.3: finite storage for the bound vectors keeps
-                // per-decision cost flat across a long campaign.
-                vector_cap: Some(64),
-                ..BoundedConfig::default()
-            },
-        )?;
-        let mut summary = run_campaign(
-            &model,
-            &mut c,
-            &zombies,
-            config.episodes,
-            &harness,
-            &mut rng,
-        )?;
+        let proto = table1_bounded_prototype(&model, config)?;
+        let mut summary = campaign.clone().run(|_| Ok(proto.clone()))?.summary;
         summary.controller = "bounded-d1".into();
         rows.push(summary);
     }
     // Oracle.
     {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut c = OracleController::new(model.clone());
-        let mut summary = run_campaign(
-            &model,
-            &mut c,
-            &zombies,
-            config.episodes,
-            &harness,
-            &mut rng,
-        )?;
+        let mut summary = campaign
+            .clone()
+            .run(|_| Ok(OracleController::new(model.clone())))?
+            .summary;
         summary.controller = "oracle".into();
         rows.push(summary);
     }
     Ok(rows)
+}
+
+/// The Table 1 bounded controller: RA-Bound tightened by the paper's
+/// bootstrap schedule, expanded at depth 1, with capped vector storage.
+fn table1_bounded_prototype(
+    model: &RecoveryModel,
+    config: &Table1Config,
+) -> Result<BoundedController, Error> {
+    let emn_config = EmnConfig::default();
+    let transformed = model.without_notification(emn_config.operator_response_time)?;
+    let mut bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    bootstrap(
+        &transformed,
+        &mut bound,
+        &BootstrapConfig {
+            variant: BootstrapVariant::Average,
+            iterations: config.bootstrap_runs,
+            depth: config.bootstrap_depth,
+            max_steps: 40,
+            conditioning_action: EmnAction::Observe.action_id(),
+            ..BootstrapConfig::default()
+        },
+        &mut rng,
+    )?;
+    BoundedController::with_bound(
+        transformed,
+        bound,
+        BoundedConfig {
+            depth: 1,
+            gamma_cutoff: config.gamma_cutoff,
+            // Paper §4.3: finite storage for the bound vectors keeps
+            // per-decision cost flat across a long campaign.
+            vector_cap: Some(64),
+            ..BoundedConfig::default()
+        },
+    )
 }
 
 /// Existence and value of each bound on a model, at the uniform belief.
@@ -329,6 +319,9 @@ pub struct RobustnessConfig {
     pub secondary_fault_prob: f64,
     /// Cap on secondary faults per episode.
     pub max_secondary_faults: usize,
+    /// Worker threads for the campaigns (results are thread-count
+    /// independent; this only changes wall-clock time).
+    pub threads: usize,
 }
 
 impl Default for RobustnessConfig {
@@ -344,6 +337,7 @@ impl Default for RobustnessConfig {
             obs_corruption_prob: 0.0,
             secondary_fault_prob: 0.0,
             max_secondary_faults: 0,
+            threads: 1,
         }
     }
 }
@@ -372,8 +366,13 @@ pub struct RobustnessCell {
 }
 
 /// The bootstrapped depth-1 bounded controller of the Table 1
-/// experiment, reconstructed for robustness sweeps.
-fn bootstrapped_bounded_d1(
+/// experiment, reconstructed for robustness sweeps and the scaling
+/// benchmark.
+///
+/// # Errors
+///
+/// Propagates transform, bound, and bootstrap failures.
+pub fn bootstrapped_bounded_d1(
     model: &RecoveryModel,
     seed: u64,
     gamma_cutoff: f64,
@@ -407,63 +406,17 @@ fn bootstrapped_bounded_d1(
     )
 }
 
-/// Runs a degraded campaign that tolerates controller aborts: an
-/// episode whose controller errors out (instead of terminating) is
-/// recorded as unrecovered and unterminated with zeroed metrics, and
-/// counted separately. Controllers built for the idealised model *do*
-/// abort in degraded worlds — that failure mode is data here.
-fn abort_tolerant_campaign(
-    model: &RecoveryModel,
-    controller: &mut dyn bpr_core::RecoveryController,
-    population: &[bpr_mdp::StateId],
-    episodes: usize,
-    plan: &PerturbationPlan,
-    harness: &HarnessConfig,
-    rng: &mut StdRng,
-) -> (CampaignSummary, usize) {
-    let mut outcomes = Vec::with_capacity(episodes);
-    let mut aborted = 0usize;
-    for i in 0..episodes {
-        let fault = population[i % population.len()];
-        let episode_plan = PerturbationPlan {
-            seed: plan
-                .seed
-                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            ..plan.clone()
-        };
-        match run_episode_degraded(model, controller, fault, &episode_plan, harness, rng) {
-            Ok(out) => outcomes.push(out),
-            Err(_) => {
-                aborted += 1;
-                outcomes.push(EpisodeOutcome {
-                    fault,
-                    cost: 0.0,
-                    recovery_time: 0.0,
-                    residual_time: 0.0,
-                    algorithm_time: 0.0,
-                    actions: 0,
-                    monitor_calls: 0,
-                    recovered: false,
-                    terminated: false,
-                    perturbations: Default::default(),
-                    retries: 0,
-                    escalations: 0,
-                    belief_resets: 0,
-                });
-            }
-        }
-    }
-    (
-        CampaignSummary::from_outcomes(controller.name(), &outcomes),
-        aborted,
-    )
-}
-
 /// Sweeps action-failure probability × monitor-dropout rate on the EMN
 /// model (zombie faults), comparing the most-likely, heuristic (depth
 /// 1), and bounded (depth 1, bootstrapped) controllers against the
 /// hardened `resilient-bounded` decorator. Reports recovery rate,
 /// cost, and escalation counters per cell.
+///
+/// Each cell is an abort-tolerant [`Campaign`]: an episode whose
+/// controller errors out (instead of terminating) enters the summary
+/// as unrecovered/unterminated with zeroed metrics and is counted in
+/// [`RobustnessRow::aborted`] — controllers built for the idealised
+/// model *do* abort in degraded worlds, and that failure mode is data.
 ///
 /// # Errors
 ///
@@ -472,9 +425,13 @@ fn abort_tolerant_campaign(
 pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>, Error> {
     let model = emn_model()?;
     let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
-    let harness = HarnessConfig {
-        max_steps: config.max_steps,
-    };
+    let base = Campaign::new(&model)
+        .population(&zombies)
+        .episodes(config.episodes)
+        .max_steps(config.max_steps)
+        .seed(config.seed)
+        .threads(config.threads)
+        .abort_tolerant(true);
     let mut cells = Vec::new();
     for (fi, &failure) in config.failure_probs.iter().enumerate() {
         for (di, &dropout) in config.dropout_probs.iter().enumerate() {
@@ -490,42 +447,43 @@ pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>
                 max_secondary_faults: config.max_secondary_faults,
                 secondary_faults: Vec::new(),
             };
-            // Reject bad grid points up front: inside the campaign a plan
-            // error is indistinguishable from a controller abort.
+            // Reject bad grid points up front with a clear error instead
+            // of one tangled in the per-controller campaign results.
             plan.validate(&model)?;
+            let campaign = base.clone().degraded(&plan);
             let mut rows = Vec::new();
-            let mut run = |controller: &mut dyn bpr_core::RecoveryController, name: String| -> () {
-                let mut rng = StdRng::seed_from_u64(config.seed);
-                let (mut summary, aborted) = abort_tolerant_campaign(
-                    &model,
-                    controller,
-                    &zombies,
-                    config.episodes,
-                    &plan,
-                    &harness,
-                    &mut rng,
-                );
-                summary.controller = name;
-                rows.push(RobustnessRow { summary, aborted });
+            let mut push = |report: bpr_sim::CampaignReport, name: &str| {
+                let mut summary = report.summary;
+                summary.controller = name.to_string();
+                rows.push(RobustnessRow {
+                    summary,
+                    aborted: report.aborted,
+                });
             };
 
-            let mut ml = MostLikelyController::new(model.clone(), config.p_term)?;
-            run(&mut ml, "most-likely".into());
-            let mut h1 = HeuristicController::new(model.clone(), 1, config.p_term)?
+            push(
+                campaign
+                    .clone()
+                    .run(|_| MostLikelyController::new(model.clone(), config.p_term))?,
+                "most-likely",
+            );
+            let h1 = HeuristicController::new(model.clone(), 1, config.p_term)?
                 .with_gamma_cutoff(config.gamma_cutoff);
-            run(&mut h1, "heuristic-d1".into());
-            let mut bounded = bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?;
-            run(&mut bounded, "bounded-d1".into());
-            let inner = bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?;
-            let mut hardened = ResilientController::new(
+            push(campaign.clone().run(|_| Ok(h1.clone()))?, "heuristic-d1");
+            let bounded = bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?;
+            push(campaign.clone().run(|_| Ok(bounded.clone()))?, "bounded-d1");
+            let hardened = ResilientController::new(
                 model.clone(),
-                inner,
+                bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?,
                 ResilienceConfig {
                     max_steps: config.max_steps,
                     ..ResilienceConfig::default()
                 },
             )?;
-            run(&mut hardened, "resilient-bounded-d1".into());
+            push(
+                campaign.clone().run(|_| Ok(hardened.clone()))?,
+                "resilient-bounded-d1",
+            );
 
             cells.push(RobustnessCell {
                 action_failure_prob: failure,

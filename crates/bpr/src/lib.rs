@@ -1,0 +1,88 @@
+//! Facade over the `bpr` workspace: one dependency, one prelude.
+//!
+//! Downstream code (the `examples/`, scripts, external users) should
+//! depend on this crate alone instead of importing six workspace
+//! crates by hand:
+//!
+//! ```ignore
+//! use bpr::prelude::*;
+//!
+//! let model = bpr::emn::two_server::default_model()?;
+//! let mut controller = BoundedController::new(
+//!     model.without_notification(50.0)?,
+//!     BoundedConfig::default(),
+//! )?;
+//! ```
+//!
+//! Two layers:
+//!
+//! * **Module aliases** — every workspace crate re-exported under a
+//!   short name (`bpr::core`, `bpr::pomdp`, `bpr::sim`, ...), so
+//!   anything not in the prelude is still one path away
+//!   (`bpr::pomdp::diagnosis::confusion_matrix`,
+//!   `bpr::core::preview::preview`).
+//! * **[`prelude`]** — the curated working set: controllers, the
+//!   episode/campaign harness, model building blocks, bounds, and the
+//!   RNG plumbing that nearly every program needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bpr_core as core;
+pub use bpr_emn as emn;
+pub use bpr_linalg as linalg;
+pub use bpr_mdp as mdp;
+pub use bpr_par as par;
+pub use bpr_pomdp as pomdp;
+pub use bpr_sim as sim;
+pub use rand;
+
+/// The curated working set: `use bpr::prelude::*;` covers what a
+/// typical recovery program touches.
+pub mod prelude {
+    pub use bpr_core::baselines::{
+        DiagnoseThenFixController, HeuristicController, MostLikelyController, OracleController,
+    };
+    pub use bpr_core::bootstrap::{
+        bootstrap, bootstrap_par, bootstrap_updates, BootstrapConfig, BootstrapReport,
+        BootstrapVariant,
+    };
+    pub use bpr_core::{
+        ActionId, BoundedConfig, BoundedController, Error, NotifiedBoundedController,
+        NotifiedConfig, RecoveryController, RecoveryModel, ResilienceConfig, ResilientController,
+        StateId, Step, TerminatedModel,
+    };
+    pub use bpr_emn::{two_server, EmnConfig, PathRouting};
+    pub use bpr_mdp::chain::SolveOpts;
+    pub use bpr_mdp::MdpBuilder;
+    pub use bpr_par::{split_seed, WorkPool};
+    pub use bpr_pomdp::bounds::{qmdp_bound, ra_bound, ValueBound, VectorSetBound};
+    pub use bpr_pomdp::{Belief, PomdpBuilder};
+    pub use bpr_sim::{
+        Campaign, CampaignReport, CampaignSummary, DegradedWorld, EpisodeOutcome, EpisodeRunner,
+        HarnessConfig, PerturbationPlan, World,
+    };
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    // The facade's only job is to re-export coherently; a compile-time
+    // smoke that the prelude names resolve and don't collide.
+    #[allow(unused_imports)]
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_names_resolve() {
+        let model = two_server::default_model().unwrap();
+        let mut controller = OracleController::new(model.clone());
+        let mut rng = StdRng::seed_from_stream(1, 0);
+        let out = EpisodeRunner::new(&model)
+            .run_with_rng(&mut controller, StateId::new(two_server::FAULT_A), &mut rng)
+            .unwrap();
+        assert!(out.recovered && out.terminated);
+        assert_eq!(crate::emn::two_server::FAULT_A, two_server::FAULT_A);
+        assert!(WorkPool::new(2).unwrap().threads() == 2);
+    }
+}

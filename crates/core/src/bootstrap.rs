@@ -4,10 +4,12 @@
 
 use crate::{Error, TerminatedModel};
 use bpr_mdp::ActionId;
+use bpr_par::WorkPool;
 use bpr_pomdp::backup::incremental_backup;
 use bpr_pomdp::bounds::{ValueBound, VectorSetBound};
 use bpr_pomdp::{tree, Belief};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// How bootstrap episodes choose their initial belief (paper §5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +62,133 @@ impl Default for BootstrapConfig {
     }
 }
 
+impl BootstrapConfig {
+    /// Starts a validated builder pre-loaded with the defaults.
+    pub fn builder() -> BootstrapConfigBuilder {
+        BootstrapConfigBuilder {
+            config: BootstrapConfig::default(),
+        }
+    }
+
+    /// Checks the numeric invariants every bootstrap entry point needs.
+    ///
+    /// Deliberately more lenient than [`BootstrapConfigBuilder::build`]:
+    /// zero `iterations` (a no-op run) and zero `max_steps` stay legal
+    /// here so hand-built configs keep working, while the builder
+    /// rejects them as almost-certainly-unintended.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] for a zero tree depth, a `beta` outside
+    /// `(0, 1]` or non-finite, a negative or non-finite `gamma_cutoff`,
+    /// or a zero `vector_cap`.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.depth == 0 {
+            return Err(Error::InvalidInput {
+                detail: "bootstrap tree depth must be at least 1".into(),
+            });
+        }
+        if !(self.beta.is_finite() && self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(Error::InvalidInput {
+                detail: format!("bootstrap beta must be in (0, 1], got {}", self.beta),
+            });
+        }
+        if !self.gamma_cutoff.is_finite() || self.gamma_cutoff < 0.0 {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "bootstrap gamma cutoff must be finite and non-negative, got {}",
+                    self.gamma_cutoff
+                ),
+            });
+        }
+        if self.vector_cap == Some(0) {
+            return Err(Error::InvalidInput {
+                detail: "bootstrap vector cap of 0 would evict every hyperplane".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validated builder for [`BootstrapConfig`]: [`BootstrapConfigBuilder::build`]
+/// returns `Err` on nonsense instead of letting a zero-iteration or
+/// NaN-threshold config silently produce an empty or diverging run.
+#[derive(Debug, Clone)]
+pub struct BootstrapConfigBuilder {
+    config: BootstrapConfig,
+}
+
+impl BootstrapConfigBuilder {
+    /// Sets the initial-belief scheme.
+    pub fn variant(mut self, variant: BootstrapVariant) -> BootstrapConfigBuilder {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Sets the number of simulated recovery episodes.
+    pub fn iterations(mut self, iterations: usize) -> BootstrapConfigBuilder {
+        self.config.iterations = iterations;
+        self
+    }
+
+    /// Sets the tree depth used for in-episode action selection.
+    pub fn depth(mut self, depth: usize) -> BootstrapConfigBuilder {
+        self.config.depth = depth;
+        self
+    }
+
+    /// Sets the per-episode step cap.
+    pub fn max_steps(mut self, max_steps: usize) -> BootstrapConfigBuilder {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the discount factor.
+    pub fn beta(mut self, beta: f64) -> BootstrapConfigBuilder {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Caps the stored bound vectors (least-used eviction).
+    pub fn vector_cap(mut self, cap: Option<usize>) -> BootstrapConfigBuilder {
+        self.config.vector_cap = cap;
+        self
+    }
+
+    /// Sets the action conditioning [`BootstrapVariant::Random`] starts.
+    pub fn conditioning_action(mut self, action: ActionId) -> BootstrapConfigBuilder {
+        self.config.conditioning_action = action;
+        self
+    }
+
+    /// Sets the observation-branch pruning threshold.
+    pub fn gamma_cutoff(mut self, cutoff: f64) -> BootstrapConfigBuilder {
+        self.config.gamma_cutoff = cutoff;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BootstrapConfig::validate`] rejects, plus zero
+    /// `iterations` and zero `max_steps`.
+    pub fn build(self) -> Result<BootstrapConfig, Error> {
+        if self.config.iterations == 0 {
+            return Err(Error::InvalidInput {
+                detail: "bootstrap iterations must be at least 1".into(),
+            });
+        }
+        if self.config.max_steps == 0 {
+            return Err(Error::InvalidInput {
+                detail: "bootstrap max_steps must be at least 1".into(),
+            });
+        }
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Per-iteration progress of the bound (the series plotted in the
 /// paper's Figure 5).
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +207,9 @@ pub struct IterationRecord {
 pub struct BootstrapReport {
     /// One record per iteration, in order.
     pub records: Vec<IterationRecord>,
+    /// Total incremental backups performed across the whole run — the
+    /// work unit behind the scaling benchmark's backups/sec metric.
+    pub total_backups: usize,
 }
 
 impl BootstrapReport {
@@ -106,30 +238,10 @@ pub fn bootstrap<R: Rng + ?Sized>(
     config: &BootstrapConfig,
     rng: &mut R,
 ) -> Result<BootstrapReport, Error> {
-    if config.depth == 0 {
-        return Err(Error::InvalidInput {
-            detail: "bootstrap tree depth must be at least 1".into(),
-        });
-    }
-    if config.conditioning_action.index() >= model.pomdp().n_actions() {
-        return Err(Error::InvalidInput {
-            detail: "conditioning action out of bounds".into(),
-        });
-    }
+    check_against_model(config, model)?;
     let pomdp = model.pomdp();
     let faults = model.fault_states();
-    if faults.is_empty() {
-        return Err(Error::InvalidInput {
-            detail: "model has no fault states to bootstrap on".into(),
-        });
-    }
-    // The evaluation belief of Fig. 5: uniform over the base states.
-    let uniform_eval = {
-        let n_base = pomdp.n_states() - 1;
-        let mut probs = vec![1.0 / n_base as f64; n_base];
-        probs.push(0.0);
-        Belief::from_probs(probs).map_err(Error::Pomdp)?
-    };
+    let uniform_eval = uniform_eval_belief(model)?;
 
     let mut report = BootstrapReport::default();
     for iteration in 1..=config.iterations {
@@ -153,6 +265,7 @@ pub fn bootstrap<R: Rng + ?Sized>(
 
         for _step in 0..config.max_steps {
             incremental_backup(pomdp, bound, &belief, config.beta).map_err(Error::Pomdp)?;
+            report.total_backups += 1;
             if let Some(cap) = config.vector_cap {
                 bound.evict_to(cap);
             }
@@ -207,29 +320,10 @@ pub fn bootstrap_updates<R: Rng + ?Sized>(
     config: &BootstrapConfig,
     rng: &mut R,
 ) -> Result<BootstrapReport, Error> {
-    if config.depth == 0 {
-        return Err(Error::InvalidInput {
-            detail: "bootstrap tree depth must be at least 1".into(),
-        });
-    }
-    if config.conditioning_action.index() >= model.pomdp().n_actions() {
-        return Err(Error::InvalidInput {
-            detail: "conditioning action out of bounds".into(),
-        });
-    }
+    check_against_model(config, model)?;
     let pomdp = model.pomdp();
     let faults = model.fault_states();
-    if faults.is_empty() {
-        return Err(Error::InvalidInput {
-            detail: "model has no fault states to bootstrap on".into(),
-        });
-    }
-    let uniform_eval = {
-        let n_base = pomdp.n_states() - 1;
-        let mut probs = vec![1.0 / n_base as f64; n_base];
-        probs.push(0.0);
-        Belief::from_probs(probs).map_err(Error::Pomdp)?
-    };
+    let uniform_eval = uniform_eval_belief(model)?;
 
     // Each iteration invokes the controller once and performs one
     // incremental update there. Average always re-invokes at the fixed
@@ -253,6 +347,7 @@ pub fn bootstrap_updates<R: Rng + ?Sized>(
             }
         };
         incremental_backup(pomdp, bound, &belief, config.beta).map_err(Error::Pomdp)?;
+        report.total_backups += 1;
         if let Some(cap) = config.vector_cap {
             bound.evict_to(cap);
         }
@@ -263,6 +358,160 @@ pub fn bootstrap_updates<R: Rng + ?Sized>(
         });
     }
     Ok(report)
+}
+
+/// Deterministic parallel bootstrap: the batch-synchronous (PBVI-style)
+/// variant behind the scaling benchmark.
+///
+/// `config.iterations` episodes run in rounds of `batch`. Within a
+/// round every episode simulates its belief trajectory **against a
+/// frozen snapshot** of the bound, in parallel on `pool`, with its RNG
+/// derived from `(master_seed, episode_index)` — so trajectories are a
+/// pure function of the episode index. The backups those trajectories
+/// request are then merged into the live bound *sequentially, in
+/// episode order*. Results are therefore bit-identical for every pool
+/// width, including 1; the round structure (not the thread count) is
+/// the algorithmic knob.
+///
+/// This is a different — batch-synchronous — algorithm from
+/// [`bootstrap`], whose every backup immediately sharpens the bound the
+/// *same* episode keeps planning with. Expect `bootstrap_par` with
+/// `batch == 1` and one thread to behave like [`bootstrap`] in spirit
+/// but not bit-for-bit: here planning always uses the round's snapshot.
+/// Monotone improvement of the bound is preserved (backups only add
+/// dominating hyperplanes).
+///
+/// # Errors
+///
+/// * [`Error::InvalidInput`] for a zero `batch`, plus everything
+///   [`bootstrap`] rejects.
+/// * Propagates backup/expansion failures (lowest episode index first,
+///   whatever the pool width).
+pub fn bootstrap_par(
+    model: &TerminatedModel,
+    bound: &mut VectorSetBound,
+    config: &BootstrapConfig,
+    batch: usize,
+    master_seed: u64,
+    pool: &WorkPool,
+) -> Result<BootstrapReport, Error> {
+    check_against_model(config, model)?;
+    if batch == 0 {
+        return Err(Error::InvalidInput {
+            detail: "bootstrap batch size must be at least 1".into(),
+        });
+    }
+    let pomdp = model.pomdp();
+    let uniform_eval = uniform_eval_belief(model)?;
+
+    let mut report = BootstrapReport::default();
+    let mut next_episode = 0usize;
+    while next_episode < config.iterations {
+        let round = batch.min(config.iterations - next_episode);
+        // Freeze the bound for the round: planning inside the round's
+        // episodes must not observe each other's backups.
+        let frozen = bound.clone();
+        let trajectories: Vec<Result<Vec<Belief>, Error>> = pool.map_indices(round, |offset| {
+            let episode = next_episode + offset;
+            let mut rng = StdRng::seed_from_stream(master_seed, episode as u64);
+            simulate_trajectory(model, &frozen, config, &mut rng)
+        });
+        // Sequential merge, episode order: this is what makes the run
+        // independent of how the trajectories were scheduled.
+        for (offset, trajectory) in trajectories.into_iter().enumerate() {
+            let trajectory = trajectory?;
+            for belief in &trajectory {
+                incremental_backup(pomdp, bound, belief, config.beta).map_err(Error::Pomdp)?;
+                report.total_backups += 1;
+                if let Some(cap) = config.vector_cap {
+                    bound.evict_to(cap);
+                }
+            }
+            report.records.push(IterationRecord {
+                iteration: next_episode + offset + 1,
+                bound_at_uniform: bound.value(&uniform_eval),
+                n_vectors: bound.len(),
+            });
+        }
+        next_episode += round;
+    }
+    Ok(report)
+}
+
+/// One bootstrap episode planned against a frozen bound, returning the
+/// beliefs at which [`bootstrap_par`] will back up (in visit order).
+/// A pure function of `(model, frozen, config, rng-stream)` — the
+/// determinism contract [`WorkPool::map_indices`] requires.
+fn simulate_trajectory<R: Rng + ?Sized>(
+    model: &TerminatedModel,
+    frozen: &VectorSetBound,
+    config: &BootstrapConfig,
+    rng: &mut R,
+) -> Result<Vec<Belief>, Error> {
+    let pomdp = model.pomdp();
+    let faults = model.fault_states();
+    let mut world = faults[rng.gen_range(0..faults.len())];
+    let fault_belief = Belief::uniform_over(pomdp.n_states(), &faults);
+    let mut belief = match config.variant {
+        BootstrapVariant::Average => fault_belief,
+        BootstrapVariant::Random => {
+            let a = config.conditioning_action;
+            let o = pomdp.sample_observation(rng, world, a);
+            match fault_belief.update(pomdp, a, o) {
+                Ok((b, _)) => b,
+                Err(_) => Belief::uniform_over(pomdp.n_states(), &faults),
+            }
+        }
+    };
+    let mut visited = Vec::new();
+    for _step in 0..config.max_steps {
+        visited.push(belief.clone());
+        let decision = tree::expand_with_cutoff(
+            pomdp,
+            &belief,
+            config.depth,
+            frozen,
+            config.beta,
+            config.gamma_cutoff,
+        )
+        .map_err(Error::Pomdp)?;
+        if decision.action == model.terminate_action() {
+            break;
+        }
+        let next = pomdp.sample_transition(rng, world, decision.action);
+        let o = pomdp.sample_observation(rng, next, decision.action);
+        world = next;
+        match belief.update(pomdp, decision.action, o) {
+            Ok((b, _)) => belief = b,
+            Err(_) => belief = Belief::uniform_over(pomdp.n_states(), &faults),
+        }
+    }
+    Ok(visited)
+}
+
+/// Shared entry validation: config invariants plus the model-dependent
+/// checks every bootstrap flavour needs.
+fn check_against_model(config: &BootstrapConfig, model: &TerminatedModel) -> Result<(), Error> {
+    config.validate()?;
+    if config.conditioning_action.index() >= model.pomdp().n_actions() {
+        return Err(Error::InvalidInput {
+            detail: "conditioning action out of bounds".into(),
+        });
+    }
+    if model.fault_states().is_empty() {
+        return Err(Error::InvalidInput {
+            detail: "model has no fault states to bootstrap on".into(),
+        });
+    }
+    Ok(())
+}
+
+/// The evaluation belief of Fig. 5: uniform over the base states.
+fn uniform_eval_belief(model: &TerminatedModel) -> Result<Belief, Error> {
+    let n_base = model.pomdp().n_states() - 1;
+    let mut probs = vec![1.0 / n_base as f64; n_base];
+    probs.push(0.0);
+    Belief::from_probs(probs).map_err(Error::Pomdp)
 }
 
 #[cfg(test)]
@@ -427,6 +676,99 @@ mod tests {
         };
         let report = bootstrap_updates(&model, &mut bound, &config, &mut rng).unwrap();
         assert!(report.final_bound_at_uniform().unwrap() > before + 0.1);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_and_accepts_sane_configs() {
+        assert!(BootstrapConfig::builder().iterations(0).build().is_err());
+        assert!(BootstrapConfig::builder().max_steps(0).build().is_err());
+        assert!(BootstrapConfig::builder().depth(0).build().is_err());
+        assert!(BootstrapConfig::builder().beta(f64::NAN).build().is_err());
+        assert!(BootstrapConfig::builder().beta(0.0).build().is_err());
+        assert!(BootstrapConfig::builder().beta(1.5).build().is_err());
+        assert!(BootstrapConfig::builder()
+            .gamma_cutoff(-1.0)
+            .build()
+            .is_err());
+        assert!(BootstrapConfig::builder()
+            .vector_cap(Some(0))
+            .build()
+            .is_err());
+        let config = BootstrapConfig::builder()
+            .variant(BootstrapVariant::Random)
+            .iterations(7)
+            .depth(1)
+            .max_steps(20)
+            .beta(0.99)
+            .vector_cap(Some(8))
+            .conditioning_action(ActionId::new(2))
+            .gamma_cutoff(1e-5)
+            .build()
+            .unwrap();
+        assert_eq!(config.iterations, 7);
+        assert_eq!(config.variant, BootstrapVariant::Random);
+        // The runtime check stays lenient on zero iterations (no-op runs
+        // are legal) but still rejects numeric nonsense.
+        assert!(BootstrapConfig {
+            iterations: 0,
+            ..BootstrapConfig::default()
+        }
+        .validate()
+        .is_ok());
+        assert!(BootstrapConfig {
+            beta: f64::NAN,
+            ..BootstrapConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn parallel_bootstrap_is_thread_count_invariant() {
+        let config = BootstrapConfig {
+            variant: BootstrapVariant::Random,
+            iterations: 12,
+            depth: 1,
+            max_steps: 15,
+            conditioning_action: ActionId::new(2),
+            ..BootstrapConfig::default()
+        };
+        let run = |threads: usize| {
+            let (model, mut bound) = setup();
+            let pool = WorkPool::new(threads).unwrap();
+            let report = bootstrap_par(&model, &mut bound, &config, 4, 77, &pool).unwrap();
+            (report, bound.to_tsv())
+        };
+        let (serial_report, serial_bound) = run(1);
+        let (wide_report, wide_bound) = run(4);
+        assert_eq!(serial_report, wide_report);
+        assert_eq!(serial_bound, wide_bound);
+        assert_eq!(serial_report.records.len(), 12);
+        assert!(serial_report.total_backups >= 12);
+    }
+
+    #[test]
+    fn parallel_bootstrap_improves_monotonically() {
+        let (model, mut bound) = setup();
+        let config = BootstrapConfig {
+            iterations: 10,
+            depth: 1,
+            conditioning_action: ActionId::new(2),
+            ..BootstrapConfig::default()
+        };
+        let report = bootstrap_par(&model, &mut bound, &config, 3, 5, &WorkPool::serial()).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for rec in &report.records {
+            assert!(
+                rec.bound_at_uniform + 1e-9 >= prev,
+                "regressed at {}",
+                rec.iteration
+            );
+            prev = rec.bound_at_uniform;
+        }
+        assert!(report.final_bound_at_uniform().unwrap() <= 1e-9);
+        // Zero batch is rejected.
+        assert!(bootstrap_par(&model, &mut bound, &config, 0, 5, &WorkPool::serial()).is_err());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! A small, dependency-free work pool for the deterministic parallel
+//! engines of the `bpr` workspace.
+//!
+//! The design goal is *determinism first*: results must be bit-identical
+//! whatever the thread count. [`WorkPool::map`] therefore imposes a
+//! contract on the mapped closure — it must be a pure function of the
+//! item index and item value — and in exchange guarantees that the
+//! output vector is ordered by index, independent of how chunks were
+//! scheduled across workers. Randomised work items derive their own RNG
+//! from `(master_seed, index)` via [`rand::split_seed`] /
+//! [`rand::SeedableRng::seed_from_stream`] instead of threading one
+//! mutable generator through the loop.
+//!
+//! Workers are scoped `std::thread`s spawned per call (`bpr` workloads
+//! are seconds-to-minutes long; spawn cost is noise), pulling chunks
+//! from a shared atomic cursor so stragglers self-balance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub use rand::split_seed;
+
+/// Errors of pool construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A pool must have at least one worker.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ZeroThreads => write!(f, "work pool needs at least one thread"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fixed-width work pool over scoped `std::thread` workers.
+///
+/// The pool itself is trivially cheap (it only records the width);
+/// threads are spawned inside each `map`-family call via
+/// [`std::thread::scope`], so borrowed items and closures need no
+/// `'static` bound.
+///
+/// # Determinism contract
+///
+/// The closures passed to [`WorkPool::map`] / [`WorkPool::try_map`]
+/// must be pure functions of `(index, item)`: no shared mutable state,
+/// no reliance on execution order. Under that contract the returned
+/// vector is bit-identical for every pool width, including 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkPool {
+    threads: NonZeroUsize,
+}
+
+impl WorkPool {
+    /// Creates a pool of `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::ZeroThreads`] if `threads` is zero.
+    pub fn new(threads: usize) -> Result<WorkPool, PoolError> {
+        NonZeroUsize::new(threads)
+            .map(|threads| WorkPool { threads })
+            .ok_or(PoolError::ZeroThreads)
+    }
+
+    /// A single-worker pool: every `map` runs inline on the caller's
+    /// thread. Useful as the reference run in determinism checks.
+    pub fn serial() -> WorkPool {
+        WorkPool {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// A pool as wide as the hardware: `std::thread::available_parallelism`,
+    /// falling back to 1 when the platform cannot tell.
+    pub fn with_available_parallelism() -> WorkPool {
+        WorkPool {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order. `f` must be pure per the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from `f` on the calling thread.
+    pub fn map_indices<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let width = self.threads.get();
+        if width == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        // ~4 chunks per worker balances stragglers against cursor
+        // contention; the chunk walk inside a worker is in index order,
+        // but correctness never depends on scheduling — results land in
+        // their index slot regardless.
+        let chunk = (n / (width * 4)).max(1);
+        let workers = width.min(n.div_ceil(chunk));
+        let cursor = AtomicUsize::new(0);
+        let f = &f;
+        let cursor = &cursor;
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            for i in start..(start + chunk).min(n) {
+                                local.push((i, f(i)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => {
+                        for (i, value) in local {
+                            results[i] = Some(value);
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every index in 0..n was claimed by exactly one chunk"))
+            .collect()
+    }
+
+    /// Applies `f` to every item, returning results in item order.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.map_indices(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Fallible [`WorkPool::map`]: all items are processed, and on
+    /// failure the error of the *smallest* failing index is returned —
+    /// the same error a serial loop would hit first, whatever the pool
+    /// width.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index error produced by `f`, if any.
+    pub fn try_map<I, T, E, F>(&self, items: &[I], f: F) -> Result<Vec<T>, E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(usize, &I) -> Result<T, E> + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for result in self.map_indices(items.len(), |i| f(i, &items[i])) {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for WorkPool {
+    /// Defaults to hardware width ([`WorkPool::with_available_parallelism`]).
+    fn default() -> WorkPool {
+        WorkPool::with_available_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert_eq!(WorkPool::new(0), Err(PoolError::ZeroThreads));
+        assert!(WorkPool::new(1).is_ok());
+        assert_eq!(WorkPool::serial().threads(), 1);
+        assert!(WorkPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_index_order_across_widths() {
+        let items: Vec<u64> = (0..997).collect();
+        let reference: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for width in [1usize, 2, 3, 8] {
+            let pool = WorkPool::new(width).unwrap();
+            assert_eq!(
+                pool.map(&items, |_, &x| x * x + 1),
+                reference,
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_streams_are_width_independent() {
+        // The intended idiom: each item derives its RNG from
+        // (master, index). Draw counts differ per item to prove no
+        // cross-item stream sharing.
+        let draw = |i: usize| -> f64 {
+            let mut rng = StdRng::seed_from_stream(99, i as u64);
+            (0..=i % 5).map(|_| rng.gen::<f64>()).sum()
+        };
+        let serial = WorkPool::serial().map_indices(64, draw);
+        let wide = WorkPool::new(7).unwrap().map_indices(64, draw);
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn try_map_returns_the_lowest_index_error() {
+        let items: Vec<usize> = (0..100).collect();
+        for width in [1usize, 4] {
+            let pool = WorkPool::new(width).unwrap();
+            let result = pool.try_map(&items, |_, &x| if x % 30 == 17 { Err(x) } else { Ok(x) });
+            assert_eq!(result, Err(17), "width {width}");
+        }
+        let ok = WorkPool::new(4)
+            .unwrap()
+            .try_map(&items, |_, &x| Ok::<_, ()>(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let pool = WorkPool::new(8).unwrap();
+        assert_eq!(pool.map_indices(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map_indices(1, |i| i), vec![0]);
+        assert_eq!(pool.map_indices(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let pool = WorkPool::new(2).unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.map_indices(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

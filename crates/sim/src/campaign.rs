@@ -1,0 +1,378 @@
+//! The deterministic parallel campaign engine.
+//!
+//! [`Campaign`] is the session API behind every expensive
+//! fault-injection loop in the workspace (paper Table 1 runs 10 000
+//! injections per controller). Episodes of a campaign are
+//! *independent given their seeds*: episode `i` draws its world
+//! randomness from the stream `(master_seed, i)` (via
+//! [`rand::split_seed`]), gets a controller freshly built by the
+//! session's factory, and — for degraded campaigns — a perturbation
+//! plan on stream `(plan.seed, i)`. Because nothing is threaded
+//! through the loop, episodes schedule freely across a
+//! [`bpr_par::WorkPool`], and the canonical results (see
+//! [`EpisodeOutcome::canonical`]) are **bit-identical for every thread
+//! count**, including 1.
+//!
+//! Contrast with [`crate::harness::run_campaign`], the serial stateful
+//! protocol in which one controller carries its state (e.g. online
+//! bound refinement) across episodes on a single shared RNG stream.
+
+use crate::harness::{EpisodeOutcome, EpisodeRunner, HarnessConfig};
+use crate::metrics::CampaignSummary;
+use crate::PerturbationPlan;
+use bpr_core::{Error, RecoveryController, RecoveryModel};
+use bpr_mdp::StateId;
+use bpr_par::WorkPool;
+use rand::rngs::StdRng;
+use rand::{split_seed, SeedableRng};
+use std::time::Instant;
+
+/// A configured campaign session. Build with [`Campaign::new`] plus the
+/// chained setters, then execute with [`Campaign::run`].
+///
+/// ```ignore
+/// let report = Campaign::new(&model)
+///     .population(&zombies)
+///     .episodes(10_000)
+///     .seed(7)
+///     .threads(8)
+///     .run(|_episode| MostLikelyController::new(model.clone(), 0.9999))?;
+/// println!("{}", report.summary.table_row());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign<'m> {
+    model: &'m RecoveryModel,
+    population: Vec<StateId>,
+    episodes: usize,
+    config: HarnessConfig,
+    plan: Option<PerturbationPlan>,
+    master_seed: u64,
+    threads: usize,
+    abort_tolerant: bool,
+}
+
+/// What a campaign run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-fault averages (the Table 1 row).
+    pub summary: CampaignSummary,
+    /// One outcome per episode, in episode order — stable whatever the
+    /// thread count. Aborted episodes (abort-tolerant sessions only)
+    /// appear as zeroed unrecovered/unterminated outcomes.
+    pub outcomes: Vec<EpisodeOutcome>,
+    /// Episodes whose controller errored out instead of terminating
+    /// (always 0 unless the session is [`Campaign::abort_tolerant`]).
+    pub aborted: usize,
+    /// Worker threads the campaign ran on.
+    pub threads: usize,
+    /// Wall-clock seconds the campaign took.
+    pub wall_seconds: f64,
+}
+
+impl CampaignReport {
+    /// Episodes per wall-clock second — the scaling metric of
+    /// `BENCH_scaling.json`.
+    pub fn episodes_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.outcomes.len() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The outcomes with wall-clock fields zeroed; two runs of the same
+    /// session are equal under this view regardless of thread count.
+    pub fn canonical_outcomes(&self) -> Vec<EpisodeOutcome> {
+        self.outcomes
+            .iter()
+            .map(EpisodeOutcome::canonical)
+            .collect()
+    }
+}
+
+impl<'m> Campaign<'m> {
+    /// Creates a session with default harness config, no degradation,
+    /// seed 0, and a single worker.
+    pub fn new(model: &'m RecoveryModel) -> Campaign<'m> {
+        Campaign {
+            model,
+            population: Vec::new(),
+            episodes: 0,
+            config: HarnessConfig::default(),
+            plan: None,
+            master_seed: 0,
+            threads: 1,
+            abort_tolerant: false,
+        }
+    }
+
+    /// Sets the fault population episodes cycle through round-robin.
+    pub fn population(mut self, population: &[StateId]) -> Campaign<'m> {
+        self.population = population.to_vec();
+        self
+    }
+
+    /// Sets the number of fault injections.
+    pub fn episodes(mut self, episodes: usize) -> Campaign<'m> {
+        self.episodes = episodes;
+        self
+    }
+
+    /// Replaces the harness configuration.
+    pub fn config(mut self, config: &HarnessConfig) -> Campaign<'m> {
+        self.config = config.clone();
+        self
+    }
+
+    /// Sets the per-episode step cap.
+    pub fn max_steps(mut self, max_steps: usize) -> Campaign<'m> {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    /// Runs every episode against a degraded world. Episode `i` gets an
+    /// independent perturbation stream: `plan.seed` is re-derived as
+    /// `split_seed(plan.seed, i)`.
+    pub fn degraded(mut self, plan: &PerturbationPlan) -> Campaign<'m> {
+        self.plan = Some(plan.clone());
+        self
+    }
+
+    /// Sets the master seed all per-episode streams derive from.
+    pub fn seed(mut self, master_seed: u64) -> Campaign<'m> {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Sets the worker count (the result does not depend on it).
+    pub fn threads(mut self, threads: usize) -> Campaign<'m> {
+        self.threads = threads;
+        self
+    }
+
+    /// Tolerate controller aborts: an episode whose controller errors
+    /// out (instead of terminating) is recorded as unrecovered and
+    /// unterminated with zeroed metrics and counted in
+    /// [`CampaignReport::aborted`], rather than failing the campaign.
+    /// Controllers built for the idealised model *do* abort in degraded
+    /// worlds — robustness sweeps treat that failure mode as data.
+    pub fn abort_tolerant(mut self, tolerate: bool) -> Campaign<'m> {
+        self.abort_tolerant = tolerate;
+        self
+    }
+
+    /// Runs the campaign. `factory` builds the controller for each
+    /// episode from its index; it must be deterministic per index
+    /// (cloning a pre-built prototype is the usual, cheap pattern).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidInput`] for an empty population, a zero thread
+    ///   count, an invalid harness config, or an invalid plan.
+    /// * Factory failures, and — unless the session is
+    ///   [`Campaign::abort_tolerant`] — episode failures (the
+    ///   lowest-index one, whatever the thread count).
+    pub fn run<C, F>(&self, factory: F) -> Result<CampaignReport, Error>
+    where
+        C: RecoveryController,
+        F: Fn(usize) -> Result<C, Error> + Sync,
+    {
+        if self.population.is_empty() {
+            return Err(Error::InvalidInput {
+                detail: "fault population must be non-empty".into(),
+            });
+        }
+        self.config.validate()?;
+        if let Some(plan) = &self.plan {
+            plan.validate(self.model)?;
+        }
+        let pool = WorkPool::new(self.threads).map_err(|e| Error::InvalidInput {
+            detail: e.to_string(),
+        })?;
+        // The report is labelled with the controller's name; build one
+        // up front so an empty campaign is labelled too, and factory
+        // errors surface before any threads spawn.
+        let name = factory(0)?.name().to_string();
+
+        let start = Instant::now();
+        let results: Vec<Result<EpisodeOutcome, Error>> =
+            pool.map_indices(self.episodes, |i| self.run_one(i, &factory));
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let mut outcomes = Vec::with_capacity(self.episodes);
+        let mut aborted = 0usize;
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) if !self.abort_tolerant => return Err(e),
+                Err(_) => {
+                    aborted += 1;
+                    outcomes.push(EpisodeOutcome {
+                        fault: self.population[i % self.population.len()],
+                        cost: 0.0,
+                        recovery_time: 0.0,
+                        residual_time: 0.0,
+                        algorithm_time: 0.0,
+                        actions: 0,
+                        monitor_calls: 0,
+                        recovered: false,
+                        terminated: false,
+                        perturbations: Default::default(),
+                        retries: 0,
+                        escalations: 0,
+                        belief_resets: 0,
+                    });
+                }
+            }
+        }
+        Ok(CampaignReport {
+            summary: CampaignSummary::from_outcomes(&name, &outcomes),
+            outcomes,
+            aborted,
+            threads: pool.threads(),
+            wall_seconds,
+        })
+    }
+
+    /// Episode `i`, a pure function of `(self, i)` — the determinism
+    /// contract of [`WorkPool::map_indices`].
+    fn run_one<C, F>(&self, i: usize, factory: &F) -> Result<EpisodeOutcome, Error>
+    where
+        C: RecoveryController,
+        F: Fn(usize) -> Result<C, Error> + Sync,
+    {
+        let fault = self.population[i % self.population.len()];
+        let mut controller = factory(i)?;
+        let mut rng = StdRng::seed_from_stream(self.master_seed, i as u64);
+        let mut runner = EpisodeRunner::new(self.model).config(&self.config);
+        if let Some(plan) = &self.plan {
+            let episode_plan = PerturbationPlan {
+                seed: split_seed(plan.seed, i as u64),
+                ..plan.clone()
+            };
+            runner = runner.degraded(&episode_plan);
+        }
+        runner.run_with_rng(&mut controller, fault, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_core::baselines::{MostLikelyController, OracleController};
+    use bpr_emn::two_server;
+
+    fn model() -> RecoveryModel {
+        two_server::default_model().unwrap()
+    }
+
+    fn population() -> Vec<StateId> {
+        vec![
+            StateId::new(two_server::FAULT_A),
+            StateId::new(two_server::FAULT_B),
+        ]
+    }
+
+    #[test]
+    fn empty_population_is_rejected() {
+        let m = model();
+        let err = Campaign::new(&m)
+            .episodes(3)
+            .run(|_| Ok(OracleController::new(m.clone())));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let m = model();
+        let err = Campaign::new(&m)
+            .population(&population())
+            .episodes(3)
+            .threads(0)
+            .run(|_| Ok(OracleController::new(m.clone())));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn episode_order_is_stable_and_faults_cycle() {
+        let m = model();
+        let pop = population();
+        let report = Campaign::new(&m)
+            .population(&pop)
+            .episodes(9)
+            .seed(3)
+            .threads(4)
+            .run(|_| Ok(OracleController::new(m.clone())))
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 9);
+        assert_eq!(report.summary.episodes, 9);
+        assert_eq!(report.aborted, 0);
+        for (i, out) in report.outcomes.iter().enumerate() {
+            assert_eq!(out.fault, pop[i % pop.len()], "episode {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_bit_for_bit() {
+        let m = model();
+        let pop = population();
+        let session = |threads: usize| {
+            Campaign::new(&m)
+                .population(&pop)
+                .episodes(12)
+                .seed(11)
+                .threads(threads)
+                .run(|_| MostLikelyController::new(m.clone(), 0.95))
+                .unwrap()
+        };
+        let serial = session(1);
+        let wide = session(4);
+        assert_eq!(serial.canonical_outcomes(), wide.canonical_outcomes());
+        assert_eq!(serial.summary.mean_cost, wide.summary.mean_cost);
+    }
+
+    #[test]
+    fn degraded_campaign_is_thread_count_invariant_and_aborts_count() {
+        let m = model();
+        let pop = population();
+        let plan = PerturbationPlan {
+            seed: 9,
+            monitor_dropout_prob: 0.4,
+            action_failure_prob: 0.3,
+            ..PerturbationPlan::none()
+        };
+        let session = |threads: usize| {
+            Campaign::new(&m)
+                .population(&pop)
+                .episodes(10)
+                .max_steps(60)
+                .degraded(&plan)
+                .seed(5)
+                .threads(threads)
+                .abort_tolerant(true)
+                .run(|_| MostLikelyController::new(m.clone(), 0.95))
+                .unwrap()
+        };
+        let serial = session(1);
+        let wide = session(3);
+        assert_eq!(serial.canonical_outcomes(), wide.canonical_outcomes());
+        assert_eq!(serial.aborted, wide.aborted);
+        // The perturbations actually fired on some episode.
+        assert!(serial
+            .outcomes
+            .iter()
+            .any(|o| o.perturbations.total() > 0 || !o.terminated));
+    }
+
+    #[test]
+    fn empty_campaign_yields_a_named_zero_summary() {
+        let m = model();
+        let report = Campaign::new(&m)
+            .population(&population())
+            .run(|_| Ok(OracleController::new(m.clone())))
+            .unwrap();
+        assert_eq!(report.summary.episodes, 0);
+        assert_eq!(report.summary.controller, "oracle");
+        assert_eq!(report.episodes_per_sec(), 0.0);
+    }
+}

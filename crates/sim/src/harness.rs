@@ -2,11 +2,14 @@
 //!
 //! An *episode* injects one fault, lets a controller drive recovery
 //! against the simulated [`World`], and measures the paper's per-fault
-//! metrics. A *campaign* repeats episodes over a fault population and
-//! averages. The degraded variants ([`run_episode_degraded`],
-//! [`run_campaign_degraded`]) drive the same protocol against a
-//! [`DegradedWorld`] whose contract with the controller is perturbed by
-//! a seeded [`PerturbationPlan`].
+//! metrics. Episodes are configured and launched through the
+//! [`EpisodeRunner`] builder (`.degraded(..)`, `.seed(..)`,
+//! `.max_steps(..)`, then [`EpisodeRunner::run`] or
+//! [`EpisodeRunner::run_traced`]); the former free-function quartet
+//! (`run_episode*`) survives as thin deprecated wrappers for one
+//! release. A *campaign* repeats episodes over a fault population and
+//! averages — serially here ([`run_campaign`]), or deterministically in
+//! parallel through [`crate::campaign::Campaign`].
 
 use crate::degraded::{DegradedWorld, PerturbationCounts, PerturbationPlan, SimWorld};
 use crate::metrics::CampaignSummary;
@@ -14,11 +17,17 @@ use crate::World;
 use bpr_core::{Error, RecoveryController, RecoveryModel, Step};
 use bpr_mdp::StateId;
 use bpr_pomdp::Belief;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Knobs of the harness itself (controller policy knobs live on the
 /// controllers).
+///
+/// The fields stay public for struct-literal construction, but
+/// [`HarnessConfig::builder`] is the recommended path: it validates and
+/// returns an `Err` on nonsense instead of silently running, and every
+/// harness entry point re-checks via [`HarnessConfig::validate`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessConfig {
     /// Per-episode step cap; a controller that has not terminated after
@@ -30,6 +39,209 @@ pub struct HarnessConfig {
 impl Default for HarnessConfig {
     fn default() -> HarnessConfig {
         HarnessConfig { max_steps: 500 }
+    }
+}
+
+impl HarnessConfig {
+    /// Starts a validated builder, initialised to the defaults.
+    pub fn builder() -> HarnessConfigBuilder {
+        HarnessConfigBuilder {
+            config: HarnessConfig::default(),
+        }
+    }
+
+    /// Checks the configuration for values that would make every
+    /// episode degenerate.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] if `max_steps` is zero (no controller
+    /// could ever terminate: every episode would be cut off before its
+    /// first decision).
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.max_steps == 0 {
+            return Err(Error::InvalidInput {
+                detail: "harness max_steps must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`HarnessConfig`].
+#[derive(Debug, Clone)]
+pub struct HarnessConfigBuilder {
+    config: HarnessConfig,
+}
+
+impl HarnessConfigBuilder {
+    /// Sets the per-episode step cap.
+    pub fn max_steps(mut self, max_steps: usize) -> HarnessConfigBuilder {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HarnessConfig::validate`].
+    pub fn build(self) -> Result<HarnessConfig, Error> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Builder-style episode launcher — the single front door to the
+/// episode protocol.
+///
+/// ```ignore
+/// let outcome = EpisodeRunner::new(&model)
+///     .max_steps(400)
+///     .degraded(&plan)   // optional: perturbed world
+///     .seed(42)          // episode RNG, derived internally
+///     .run(&mut controller, fault)?;
+/// ```
+///
+/// `run`/`run_traced` seed a fresh [`StdRng`] from `.seed(..)` (default
+/// 0), making the episode a pure function of its inputs; the
+/// `*_with_rng` variants accept a caller-threaded generator for legacy
+/// call sites and for campaigns that interleave episodes on one stream.
+#[derive(Debug, Clone)]
+pub struct EpisodeRunner<'m> {
+    model: &'m RecoveryModel,
+    config: HarnessConfig,
+    plan: Option<PerturbationPlan>,
+    seed: u64,
+}
+
+impl<'m> EpisodeRunner<'m> {
+    /// Creates a runner with the default [`HarnessConfig`], an
+    /// undegraded world, and seed 0.
+    pub fn new(model: &'m RecoveryModel) -> EpisodeRunner<'m> {
+        EpisodeRunner {
+            model,
+            config: HarnessConfig::default(),
+            plan: None,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the whole harness configuration.
+    pub fn config(mut self, config: &HarnessConfig) -> EpisodeRunner<'m> {
+        self.config = config.clone();
+        self
+    }
+
+    /// Sets the per-episode step cap.
+    pub fn max_steps(mut self, max_steps: usize) -> EpisodeRunner<'m> {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    /// Runs the episode against a [`DegradedWorld`] governed by `plan`
+    /// instead of a plain [`World`]. With [`PerturbationPlan::none`]
+    /// the episode is byte-identical to the undegraded protocol under
+    /// the same RNG: the plan's randomness lives on its own stream.
+    pub fn degraded(mut self, plan: &PerturbationPlan) -> EpisodeRunner<'m> {
+        self.plan = Some(plan.clone());
+        self
+    }
+
+    /// Seeds the episode RNG used by [`EpisodeRunner::run`] /
+    /// [`EpisodeRunner::run_traced`].
+    pub fn seed(mut self, seed: u64) -> EpisodeRunner<'m> {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs one fault-injection episode.
+    ///
+    /// The protocol mirrors paper §4/§5: the fault is injected,
+    /// monitors detect *something*, the controller starts from the
+    /// belief "all faults equally likely" conditioned on the detection
+    /// observation (Eq. 4), then alternates decisions, action
+    /// execution, and monitor updates until it terminates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (model mismatch, belief-update
+    /// errors) and rejects invalid configs, out-of-bounds faults, and
+    /// (for degraded runs) invalid plans.
+    pub fn run(
+        &self,
+        controller: &mut dyn RecoveryController,
+        fault: StateId,
+    ) -> Result<EpisodeOutcome, Error> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_with_rng(controller, fault, &mut rng)
+    }
+
+    /// [`EpisodeRunner::run`] with a full per-step trace, for debugging
+    /// models and controllers (and for rendering recovery timelines).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EpisodeRunner::run`].
+    pub fn run_traced(
+        &self,
+        controller: &mut dyn RecoveryController,
+        fault: StateId,
+    ) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_traced_with_rng(controller, fault, &mut rng)
+    }
+
+    /// [`EpisodeRunner::run`] drawing randomness from a caller-supplied
+    /// generator instead of the built-in `.seed(..)` stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EpisodeRunner::run`].
+    pub fn run_with_rng<R: Rng + ?Sized>(
+        &self,
+        controller: &mut dyn RecoveryController,
+        fault: StateId,
+        rng: &mut R,
+    ) -> Result<EpisodeOutcome, Error> {
+        self.dispatch(controller, fault, rng, None)
+    }
+
+    /// [`EpisodeRunner::run_traced`] drawing randomness from a
+    /// caller-supplied generator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EpisodeRunner::run`].
+    pub fn run_traced_with_rng<R: Rng + ?Sized>(
+        &self,
+        controller: &mut dyn RecoveryController,
+        fault: StateId,
+        rng: &mut R,
+    ) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
+        let mut trace = Vec::new();
+        let outcome = self.dispatch(controller, fault, rng, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
+    fn dispatch<R: Rng + ?Sized>(
+        &self,
+        controller: &mut dyn RecoveryController,
+        fault: StateId,
+        rng: &mut R,
+        trace: Option<&mut Vec<TraceEvent>>,
+    ) -> Result<EpisodeOutcome, Error> {
+        self.config.validate()?;
+        match &self.plan {
+            Some(plan) => {
+                let world = DegradedWorld::new(self.model, fault, plan.clone())?;
+                run_episode_impl(self.model, controller, world, &self.config, rng, trace)
+            }
+            None => {
+                let world = World::new(self.model, fault)?;
+                run_episode_impl(self.model, controller, world, &self.config, rng, trace)
+            }
+        }
     }
 }
 
@@ -71,6 +283,20 @@ pub struct EpisodeOutcome {
     pub belief_resets: usize,
 }
 
+impl EpisodeOutcome {
+    /// The outcome with its wall-clock-derived field
+    /// (`algorithm_time`) zeroed — everything that remains is a pure
+    /// function of `(model, controller, seeds)`. This is the view that
+    /// determinism checks compare: a parallel campaign must reproduce
+    /// the serial campaign's canonical outcomes bit-for-bit.
+    pub fn canonical(&self) -> EpisodeOutcome {
+        EpisodeOutcome {
+            algorithm_time: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
 /// One step of an episode trace (see [`run_episode_traced`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
@@ -100,16 +326,14 @@ pub struct TraceEvent {
 
 /// Runs one fault-injection episode.
 ///
-/// The protocol mirrors paper §4/§5: the fault is injected, monitors
-/// detect *something*, the controller starts from the belief "all
-/// faults equally likely" conditioned on the detection observation
-/// (Eq. 4), then alternates decisions, action execution, and monitor
-/// updates until it terminates.
-///
 /// # Errors
 ///
 /// Propagates controller failures (model mismatch, belief-update
 /// errors) and rejects out-of-bounds faults.
+#[deprecated(
+    since = "0.2.0",
+    note = "use EpisodeRunner::new(model).config(config).run_with_rng(controller, fault, rng)"
+)]
 pub fn run_episode<R: Rng + ?Sized>(
     model: &RecoveryModel,
     controller: &mut dyn RecoveryController,
@@ -117,16 +341,20 @@ pub fn run_episode<R: Rng + ?Sized>(
     config: &HarnessConfig,
     rng: &mut R,
 ) -> Result<EpisodeOutcome, Error> {
-    let world = World::new(model, fault)?;
-    run_episode_impl(model, controller, world, config, rng, None)
+    EpisodeRunner::new(model)
+        .config(config)
+        .run_with_rng(controller, fault, rng)
 }
 
-/// [`run_episode`] with a full per-step trace, for debugging models
-/// and controllers (and for rendering recovery timelines).
+/// [`run_episode`] with a full per-step trace.
 ///
 /// # Errors
 ///
 /// Same as [`run_episode`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use EpisodeRunner::new(model).config(config).run_traced_with_rng(controller, fault, rng)"
+)]
 pub fn run_episode_traced<R: Rng + ?Sized>(
     model: &RecoveryModel,
     controller: &mut dyn RecoveryController,
@@ -134,21 +362,20 @@ pub fn run_episode_traced<R: Rng + ?Sized>(
     config: &HarnessConfig,
     rng: &mut R,
 ) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
-    let world = World::new(model, fault)?;
-    let mut trace = Vec::new();
-    let outcome = run_episode_impl(model, controller, world, config, rng, Some(&mut trace))?;
-    Ok((outcome, trace))
+    EpisodeRunner::new(model)
+        .config(config)
+        .run_traced_with_rng(controller, fault, rng)
 }
 
 /// Runs one episode against a [`DegradedWorld`] governed by `plan`.
 ///
-/// With `PerturbationPlan::none()` the episode is byte-identical to
-/// [`run_episode`] under the same `rng` seed: the plan's randomness
-/// lives on its own stream.
-///
 /// # Errors
 ///
 /// Same as [`run_episode`], plus plan validation failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use EpisodeRunner::new(model).degraded(plan).config(config).run_with_rng(..)"
+)]
 pub fn run_episode_degraded<R: Rng + ?Sized>(
     model: &RecoveryModel,
     controller: &mut dyn RecoveryController,
@@ -157,8 +384,10 @@ pub fn run_episode_degraded<R: Rng + ?Sized>(
     config: &HarnessConfig,
     rng: &mut R,
 ) -> Result<EpisodeOutcome, Error> {
-    let world = DegradedWorld::new(model, fault, plan.clone())?;
-    run_episode_impl(model, controller, world, config, rng, None)
+    EpisodeRunner::new(model)
+        .config(config)
+        .degraded(plan)
+        .run_with_rng(controller, fault, rng)
 }
 
 /// [`run_episode_degraded`] with a full per-step trace.
@@ -166,6 +395,10 @@ pub fn run_episode_degraded<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Same as [`run_episode_degraded`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use EpisodeRunner::new(model).degraded(plan).config(config).run_traced_with_rng(..)"
+)]
 pub fn run_episode_degraded_traced<R: Rng + ?Sized>(
     model: &RecoveryModel,
     controller: &mut dyn RecoveryController,
@@ -174,10 +407,10 @@ pub fn run_episode_degraded_traced<R: Rng + ?Sized>(
     config: &HarnessConfig,
     rng: &mut R,
 ) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
-    let world = DegradedWorld::new(model, fault, plan.clone())?;
-    let mut trace = Vec::new();
-    let outcome = run_episode_impl(model, controller, world, config, rng, Some(&mut trace))?;
-    Ok((outcome, trace))
+    EpisodeRunner::new(model)
+        .config(config)
+        .degraded(plan)
+        .run_traced_with_rng(controller, fault, rng)
 }
 
 fn run_episode_impl<W: SimWorld, R: Rng + ?Sized>(
@@ -318,11 +551,16 @@ fn run_episode_impl<W: SimWorld, R: Rng + ?Sized>(
     Ok(outcome)
 }
 
-/// Runs a campaign: `episodes` fault injections cycling round-robin
-/// through `fault_population` (so different controllers driven with
-/// the same population and episode count face the identical, balanced
-/// fault sequence), all driven through the same controller (which is
-/// re-`begin`-ed for each episode). Returns the per-fault averages.
+/// Runs a *serial, stateful* campaign: `episodes` fault injections
+/// cycling round-robin through `fault_population` (so different
+/// controllers driven with the same population and episode count face
+/// the identical, balanced fault sequence), all driven through the
+/// same controller (which is re-`begin`-ed for each episode) on one
+/// shared RNG stream. Controller state (e.g. online bound refinement)
+/// carries across episodes.
+///
+/// For the deterministic parallel engine — independent episodes with
+/// per-episode seed derivation — use [`crate::campaign::Campaign`].
 ///
 /// # Errors
 ///
@@ -341,10 +579,11 @@ pub fn run_campaign<R: Rng + ?Sized>(
             detail: "fault population must be non-empty".into(),
         });
     }
+    let runner = EpisodeRunner::new(model).config(config);
     let mut outcomes = Vec::with_capacity(episodes);
     for i in 0..episodes {
         let fault = fault_population[i % fault_population.len()];
-        outcomes.push(run_episode(model, controller, fault, config, rng)?);
+        outcomes.push(runner.run_with_rng(controller, fault, rng)?);
     }
     Ok(CampaignSummary::from_outcomes(controller.name(), &outcomes))
 }
@@ -376,19 +615,19 @@ pub fn run_campaign_degraded<R: Rng + ?Sized>(
         let fault = fault_population[i % fault_population.len()];
         let episode_plan = PerturbationPlan {
             // SplitMix64-style spread keeps per-episode streams apart.
+            // (Kept verbatim for seed-stability of recorded runs; the
+            // parallel engine uses `rand::split_seed` instead.)
             seed: plan
                 .seed
                 .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             ..plan.clone()
         };
-        outcomes.push(run_episode_degraded(
-            model,
-            controller,
-            fault,
-            &episode_plan,
-            config,
-            rng,
-        )?);
+        outcomes.push(
+            EpisodeRunner::new(model)
+                .config(config)
+                .degraded(&episode_plan)
+                .run_with_rng(controller, fault, rng)?,
+        );
     }
     Ok(CampaignSummary::from_outcomes(controller.name(), &outcomes))
 }
@@ -410,15 +649,10 @@ mod tests {
     fn oracle_episode_is_one_action_no_monitors() {
         let m = model();
         let mut c = OracleController::new(m.clone());
-        let mut rng = StdRng::seed_from_u64(1);
-        let out = run_episode(
-            &m,
-            &mut c,
-            StateId::new(two_server::FAULT_A),
-            &HarnessConfig::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let out = EpisodeRunner::new(&m)
+            .seed(1)
+            .run(&mut c, StateId::new(two_server::FAULT_A))
+            .unwrap();
         assert!(out.terminated);
         assert!(out.recovered);
         assert_eq!(out.actions, 1);
@@ -435,6 +669,7 @@ mod tests {
         let m = model();
         let mut c = MostLikelyController::new(m.clone(), 0.95).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
+        let runner = EpisodeRunner::new(&m);
         let mut recovered = 0;
         for i in 0..20 {
             let fault = StateId::new(if i % 2 == 0 {
@@ -442,7 +677,7 @@ mod tests {
             } else {
                 two_server::FAULT_B
             });
-            let out = run_episode(&m, &mut c, fault, &HarnessConfig::default(), &mut rng).unwrap();
+            let out = runner.run_with_rng(&mut c, fault, &mut rng).unwrap();
             assert!(out.terminated, "episode {i} did not terminate");
             if out.recovered {
                 recovered += 1;
@@ -517,15 +752,48 @@ mod tests {
     fn out_of_bounds_fault_is_rejected() {
         let m = model();
         let mut c = OracleController::new(m.clone());
-        let mut rng = StdRng::seed_from_u64(5);
-        assert!(run_episode(
-            &m,
-            &mut c,
-            StateId::new(99),
-            &HarnessConfig::default(),
-            &mut rng
-        )
-        .is_err());
+        assert!(EpisodeRunner::new(&m)
+            .seed(5)
+            .run(&mut c, StateId::new(99))
+            .is_err());
+    }
+
+    #[test]
+    fn zero_max_steps_is_rejected() {
+        let m = model();
+        let mut c = OracleController::new(m.clone());
+        assert!(EpisodeRunner::new(&m)
+            .max_steps(0)
+            .run(&mut c, StateId::new(two_server::FAULT_A))
+            .is_err());
+        assert!(HarnessConfig::builder().max_steps(0).build().is_err());
+        assert_eq!(
+            HarnessConfig::builder().max_steps(7).build().unwrap(),
+            HarnessConfig { max_steps: 7 }
+        );
+        assert!(HarnessConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_runner() {
+        let m = model();
+        let t = m.without_notification(50.0).unwrap();
+        let fault = StateId::new(two_server::FAULT_A);
+        let config = HarnessConfig::default();
+
+        let mut c1 = BoundedController::new(t.clone(), BoundedConfig::default()).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(17);
+        let (o1, t1) = run_episode_traced(&m, &mut c1, fault, &config, &mut rng1).unwrap();
+
+        let mut c2 = BoundedController::new(t, BoundedConfig::default()).unwrap();
+        let (o2, t2) = EpisodeRunner::new(&m)
+            .seed(17)
+            .run_traced(&mut c2, fault)
+            .unwrap();
+
+        assert_eq!(o1.canonical(), o2.canonical());
+        assert_eq!(t1, t2);
     }
 
     #[test]
@@ -533,15 +801,10 @@ mod tests {
         let m = model();
         let t = m.without_notification(50.0).unwrap();
         let mut c = BoundedController::new(t, BoundedConfig::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(12);
-        let (out, trace) = run_episode_traced(
-            &m,
-            &mut c,
-            StateId::new(two_server::FAULT_A),
-            &HarnessConfig::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let (out, trace) = EpisodeRunner::new(&m)
+            .seed(12)
+            .run_traced(&mut c, StateId::new(two_server::FAULT_A))
+            .unwrap();
         assert!(out.terminated);
         // One trace event per decision, terminate included; for a
         // monitor-using controller every execute step delivers one
@@ -570,15 +833,10 @@ mod tests {
         let m = model();
         let t = m.without_notification(50.0).unwrap();
         let mut c = BoundedController::new(t, BoundedConfig::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
-        let out = run_episode(
-            &m,
-            &mut c,
-            StateId::new(two_server::NULL),
-            &HarnessConfig::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let out = EpisodeRunner::new(&m)
+            .seed(6)
+            .run(&mut c, StateId::new(two_server::NULL))
+            .unwrap();
         assert!(out.terminated);
         assert!(out.recovered);
         assert_eq!(out.residual_time, 0.0);
@@ -590,26 +848,17 @@ mod tests {
         let t = m.without_notification(50.0).unwrap();
         let mut c1 = BoundedController::new(t.clone(), BoundedConfig::default()).unwrap();
         let mut c2 = BoundedController::new(t, BoundedConfig::default()).unwrap();
-        let mut rng1 = StdRng::seed_from_u64(21);
-        let mut rng2 = StdRng::seed_from_u64(21);
         let fault = StateId::new(two_server::FAULT_B);
-        let (o1, t1) =
-            run_episode_traced(&m, &mut c1, fault, &HarnessConfig::default(), &mut rng1).unwrap();
-        let (o2, t2) = run_episode_degraded_traced(
-            &m,
-            &mut c2,
-            fault,
-            &PerturbationPlan::none(),
-            &HarnessConfig::default(),
-            &mut rng2,
-        )
-        .unwrap();
-        let strip = |o: &EpisodeOutcome| {
-            let mut o = o.clone();
-            o.algorithm_time = 0.0;
-            o
-        };
-        assert_eq!(strip(&o1), strip(&o2));
+        let (o1, t1) = EpisodeRunner::new(&m)
+            .seed(21)
+            .run_traced(&mut c1, fault)
+            .unwrap();
+        let (o2, t2) = EpisodeRunner::new(&m)
+            .seed(21)
+            .degraded(&PerturbationPlan::none())
+            .run_traced(&mut c2, fault)
+            .unwrap();
+        assert_eq!(o1.canonical(), o2.canonical());
         assert_eq!(t1, t2);
     }
 
@@ -617,21 +866,17 @@ mod tests {
     fn full_dropout_forces_blind_recovery() {
         let m = model();
         let mut c = MostLikelyController::new(m.clone(), 0.95).unwrap();
-        let mut rng = StdRng::seed_from_u64(31);
         let plan = PerturbationPlan {
             seed: 5,
             monitor_dropout_prob: 1.0,
             ..PerturbationPlan::none()
         };
-        let out = run_episode_degraded(
-            &m,
-            &mut c,
-            StateId::new(two_server::FAULT_A),
-            &plan,
-            &HarnessConfig { max_steps: 40 },
-            &mut rng,
-        )
-        .unwrap();
+        let out = EpisodeRunner::new(&m)
+            .seed(31)
+            .degraded(&plan)
+            .max_steps(40)
+            .run(&mut c, StateId::new(two_server::FAULT_A))
+            .unwrap();
         // Every observation (detection included) was dropped.
         assert_eq!(out.monitor_calls, 0);
         assert!(out.perturbations.dropped_observations > 0);

@@ -11,9 +11,14 @@
 //!   mid-episode secondary faults) under a seeded
 //!   [`PerturbationPlan`].
 //! * [`harness`] — drives any [`bpr_core::RecoveryController`] against
-//!   a [`World`] (or [`DegradedWorld`]), measuring the paper's
-//!   per-fault metrics: cost, recovery time, residual time, algorithm
-//!   time, recovery actions, and monitor calls (Table 1).
+//!   a [`World`] (or [`DegradedWorld`]) via the [`EpisodeRunner`]
+//!   builder, measuring the paper's per-fault metrics: cost, recovery
+//!   time, residual time, algorithm time, recovery actions, and
+//!   monitor calls (Table 1).
+//! * [`campaign`] — the deterministic parallel campaign engine:
+//!   [`Campaign`] fans independent episodes across a
+//!   [`bpr_par::WorkPool`] with per-episode RNG streams, bit-identical
+//!   for every thread count.
 //! * [`metrics`] — campaign aggregation (per-fault averages).
 //! * [`des`] — a generic discrete-event queue, used by the
 //!   request-level simulation that validates the model's analytic drop
@@ -22,16 +27,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod degraded;
 pub mod des;
 pub mod harness;
 pub mod metrics;
 mod world;
 
+pub use campaign::{Campaign, CampaignReport};
 pub use degraded::{DegradedWorld, PerturbationCounts, PerturbationPlan, SimWorld, StepResult};
+#[allow(deprecated)]
 pub use harness::{
     run_campaign, run_campaign_degraded, run_episode, run_episode_degraded,
-    run_episode_degraded_traced, run_episode_traced, EpisodeOutcome, HarnessConfig, TraceEvent,
+    run_episode_degraded_traced, run_episode_traced, EpisodeOutcome, EpisodeRunner, HarnessConfig,
+    HarnessConfigBuilder, TraceEvent,
 };
 pub use metrics::CampaignSummary;
 pub use world::World;

@@ -14,7 +14,7 @@ use bpr_mdp::chain::SolveOpts;
 use bpr_mdp::{ActionId, StateId};
 use bpr_pomdp::bounds::{ra_bound, ValueBound, VectorSetBound};
 use bpr_pomdp::Belief;
-use bpr_sim::{run_campaign, run_episode, run_episode_traced, HarnessConfig, World};
+use bpr_sim::{run_campaign, EpisodeRunner, HarnessConfig, World};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,14 +33,9 @@ fn notified_controller_completes_episodes_on_two_server() {
     .unwrap();
     let mut rng = StdRng::seed_from_u64(31);
     for fault in [two_server::FAULT_A, two_server::FAULT_B] {
-        let out = run_episode(
-            &model,
-            &mut c,
-            StateId::new(fault),
-            &HarnessConfig::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let out = EpisodeRunner::new(&model)
+            .run_with_rng(&mut c, StateId::new(fault), &mut rng)
+            .unwrap();
         assert!(out.terminated, "fault {fault} did not terminate");
         assert!(out.recovered, "fault {fault} quit before recovery");
     }
@@ -96,14 +91,9 @@ fn traces_expose_belief_convergence() {
     let transformed = model.without_notification(50.0).unwrap();
     let mut c = BoundedController::new(transformed, BoundedConfig::default()).unwrap();
     let mut rng = StdRng::seed_from_u64(8);
-    let (out, trace) = run_episode_traced(
-        &model,
-        &mut c,
-        StateId::new(two_server::FAULT_B),
-        &HarnessConfig::default(),
-        &mut rng,
-    )
-    .unwrap();
+    let (out, trace) = EpisodeRunner::new(&model)
+        .run_traced_with_rng(&mut c, StateId::new(two_server::FAULT_B), &mut rng)
+        .unwrap();
     assert!(out.terminated && out.recovered);
     // The null-mass at termination must dominate the null-mass at the
     // first step (the controller learned the system recovered).
@@ -201,14 +191,9 @@ fn world_and_harness_agree_on_costs() {
     let transformed = model.without_notification(50.0).unwrap();
     let mut c = BoundedController::new(transformed, BoundedConfig::default()).unwrap();
     let mut rng = StdRng::seed_from_u64(99);
-    let (out, trace) = run_episode_traced(
-        &model,
-        &mut c,
-        StateId::new(two_server::FAULT_A),
-        &HarnessConfig::default(),
-        &mut rng,
-    )
-    .unwrap();
+    let (out, trace) = EpisodeRunner::new(&model)
+        .run_traced_with_rng(&mut c, StateId::new(two_server::FAULT_A), &mut rng)
+        .unwrap();
     let replayed: f64 = trace.iter().map(|e| e.cost).sum();
     assert!((replayed - out.cost).abs() < 1e-12);
     // And a fresh world stepped with the same seed is deterministic.
@@ -241,7 +226,9 @@ fn bound_value_bridges_simulation_performance() {
     let n = 60;
     for i in 0..n {
         let fault = StateId::new(if i % 2 == 0 { 0 } else { 1 });
-        let out = run_episode(&model, &mut c, fault, &HarnessConfig::default(), &mut rng).unwrap();
+        let out = EpisodeRunner::new(&model)
+            .run_with_rng(&mut c, fault, &mut rng)
+            .unwrap();
         total += -out.cost; // realised reward
     }
     let realised = total / n as f64;

@@ -6,35 +6,26 @@
 //!
 //! Run with: `cargo run -p bpr-bench --example bound_improvement --release`
 
-use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
-use bpr_emn::actions::EmnAction;
-use bpr_emn::faults::EmnState;
-use bpr_emn::topology::Component;
-use bpr_emn::EmnConfig;
-use bpr_mdp::chain::SolveOpts;
-use bpr_pomdp::bounds::{qmdp_bound, ra_bound, ValueBound};
-use bpr_pomdp::Belief;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bpr::emn::actions::EmnAction;
+use bpr::emn::faults::EmnState;
+use bpr::emn::topology::Component;
+use bpr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = EmnConfig::default();
-    let model = bpr_emn::build_model(&config)?;
+    let model = bpr::emn::build_model(&config)?;
     let transformed = model.without_notification(config.operator_response_time)?;
     let pomdp = transformed.pomdp();
     let n = pomdp.n_states();
 
     // Probe beliefs: total uncertainty, a suspected server-1 zombie,
     // and a suspected database fault.
-    let uniform = Belief::uniform_over(
-        n,
-        &(0..n - 1).map(bpr_mdp::StateId::new).collect::<Vec<_>>(),
-    );
+    let uniform = Belief::uniform_over(n, &(0..n - 1).map(StateId::new).collect::<Vec<_>>());
     let s1z = Belief::point(n, EmnState::Zombie(Component::Server1).state_id());
     let dbz = Belief::point(n, EmnState::Zombie(Component::Database).state_id());
 
     let mut bound = ra_bound(pomdp, &SolveOpts::default())?;
-    let upper = qmdp_bound(pomdp, bpr_mdp::value_iteration::Discount::Undiscounted)?;
+    let upper = qmdp_bound(pomdp, bpr::mdp::value_iteration::Discount::Undiscounted)?;
     println!(
         "QMDP upper bound (cost can never be below): uniform {:.0}, S1-zombie {:.0}, DB-zombie {:.0}\n",
         -upper.value(&uniform),

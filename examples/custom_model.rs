@@ -5,13 +5,7 @@
 //!
 //! Run with: `cargo run -p bpr-bench --example custom_model`
 
-use bpr_core::baselines::{HeuristicController, MostLikelyController, OracleController};
-use bpr_core::{BoundedConfig, BoundedController, RecoveryController, RecoveryModel};
-use bpr_mdp::{ActionId, MdpBuilder, StateId};
-use bpr_pomdp::PomdpBuilder;
-use bpr_sim::{run_campaign, CampaignSummary, HarnessConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bpr::prelude::*;
 
 /// States: 0 = Null, 1 = CacheWedged, 2 = ReplicaDown.
 /// Actions: 0 = FlushCache (10 s), 1 = RestartReplica (60 s),
@@ -73,47 +67,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("custom model validated: conditions 1 & 2 hold\n");
 
     let faults = [StateId::new(1), StateId::new(2)];
-    let harness = HarnessConfig::default();
     let episodes = 200;
+    // Every controller gets the identical campaign session: same fault
+    // sequence, same per-episode seed streams, fanned across whatever
+    // the hardware offers (results are thread-count independent).
+    let campaign = Campaign::new(&model)
+        .population(&faults)
+        .episodes(episodes)
+        .seed(1)
+        .threads(WorkPool::default().threads());
     println!("{}", CampaignSummary::table_header());
 
     // Baselines.
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut most_likely = MostLikelyController::new(model.clone(), 0.999)?;
-    let summary = run_campaign(
-        &model,
-        &mut most_likely,
-        &faults,
-        episodes,
-        &harness,
-        &mut rng,
-    )?;
+    let summary = campaign
+        .clone()
+        .run(|_| MostLikelyController::new(model.clone(), 0.999))?
+        .summary;
     println!("{}", summary.table_row());
 
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut heuristic = HeuristicController::new(model.clone(), 2, 0.999)?;
-    let summary = run_campaign(
-        &model,
-        &mut heuristic,
-        &faults,
-        episodes,
-        &harness,
-        &mut rng,
-    )?;
+    let summary = campaign
+        .clone()
+        .run(|_| HeuristicController::new(model.clone(), 2, 0.999))?
+        .summary;
     println!("{}", summary.table_row());
 
     // The bounded controller, with a 15-minute operator response time.
+    // Constructing it solves the RA-Bound once; each episode then clones
+    // the prototype, which is cheap.
     let transformed = model.without_notification(900.0)?;
-    let mut bounded = BoundedController::new(transformed, BoundedConfig::default())?;
-    let mut rng = StdRng::seed_from_u64(1);
-    let summary = run_campaign(&model, &mut bounded, &faults, episodes, &harness, &mut rng)?;
+    let bounded = BoundedController::new(transformed, BoundedConfig::default())?;
+    let summary = campaign.clone().run(|_| Ok(bounded.clone()))?.summary;
     println!("{}", summary.table_row());
     let bounded_cost = summary.mean_cost;
     assert_eq!(summary.unrecovered, 0, "bounded quit before recovery");
 
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut oracle = OracleController::new(model.clone());
-    let summary = run_campaign(&model, &mut oracle, &faults, episodes, &harness, &mut rng)?;
+    let summary = campaign
+        .clone()
+        .run(|_| Ok(OracleController::new(model.clone())))?
+        .summary;
     println!("{}", summary.table_row());
     println!(
         "\nbounded controller cost is {:.1}x the oracle's ideal",

@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run -p bpr-bench --example diagnosability`
 
-use bpr_emn::actions::EmnAction;
-use bpr_emn::faults::EmnState;
-use bpr_emn::{EmnConfig, PathRouting};
-use bpr_pomdp::diagnosis::{confusion_matrix, sweeps_to_separate};
+use bpr::emn::actions::EmnAction;
+use bpr::emn::faults::EmnState;
+use bpr::pomdp::diagnosis::{confusion_matrix, sweeps_to_separate};
+use bpr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for routing in [PathRouting::RandomPerProbe, PathRouting::FixedDisjoint] {
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             path_routing: routing,
             ..EmnConfig::default()
         };
-        let model = bpr_emn::build_model(&config)?;
+        let model = bpr::emn::build_model(&config)?;
         let observe = EmnAction::Observe.action_id();
         let confusion = confusion_matrix(model.base(), observe)?;
 

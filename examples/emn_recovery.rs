@@ -5,22 +5,14 @@
 //!
 //! Run with: `cargo run -p bpr-bench --example emn_recovery --release`
 
-use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
-use bpr_core::{BoundedConfig, BoundedController, RecoveryController, Step};
-use bpr_emn::actions::EmnAction;
-use bpr_emn::faults::EmnState;
-use bpr_emn::topology::Component;
-use bpr_emn::EmnConfig;
-use bpr_mdp::chain::SolveOpts;
-use bpr_pomdp::bounds::ra_bound;
-use bpr_pomdp::Belief;
-use bpr_sim::World;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bpr::emn::actions::EmnAction;
+use bpr::emn::faults::EmnState;
+use bpr::emn::topology::Component;
+use bpr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = EmnConfig::default();
-    let model = bpr_emn::build_model(&config)?;
+    let model = bpr::emn::build_model(&config)?;
     let transformed = model.without_notification(config.operator_response_time)?;
     let mut rng = StdRng::seed_from_u64(2024);
 

@@ -3,13 +3,7 @@
 //!
 //! Run with: `cargo run -p bpr-bench --example quickstart`
 
-use bpr_core::{BoundedConfig, BoundedController, RecoveryController, Step};
-use bpr_emn::two_server;
-use bpr_mdp::StateId;
-use bpr_pomdp::Belief;
-use bpr_sim::World;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bpr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the system as a recovery model: two redundant servers,
@@ -36,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut controller = BoundedController::new(transformed, BoundedConfig::default())?;
     println!(
         "initial RA-Bound at uniform belief: {:.3}",
-        bpr_pomdp::bounds::ValueBound::value(
+        ValueBound::value(
             controller.bound(),
             &Belief::uniform(model.base().n_states() + 1)
         )

@@ -5,19 +5,13 @@
 //!
 //! Run with: `cargo run -p bpr-bench --example rules_preview --release`
 
-use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
-use bpr_core::preview::{preview, render, PreviewOpts};
-use bpr_emn::actions::EmnAction;
-use bpr_emn::EmnConfig;
-use bpr_mdp::chain::SolveOpts;
-use bpr_pomdp::bounds::ra_bound;
-use bpr_pomdp::Belief;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bpr::core::preview::{preview, render, PreviewOpts};
+use bpr::emn::actions::EmnAction;
+use bpr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = EmnConfig::default();
-    let model = bpr_emn::build_model(&config)?;
+    let model = bpr::emn::build_model(&config)?;
     let transformed = model.without_notification(config.operator_response_time)?;
 
     let mut bound = ra_bound(transformed.pomdp(), &SolveOpts::default())?;

@@ -10,7 +10,7 @@ use bpr_emn::faults::EmnState;
 use bpr_emn::EmnConfig;
 use bpr_mdp::chain::SolveOpts;
 use bpr_pomdp::bounds::ra_bound;
-use bpr_sim::{run_campaign, run_episode, HarnessConfig};
+use bpr_sim::{run_campaign, EpisodeRunner, HarnessConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,14 +56,10 @@ fn bounded_controller_recovers_every_zombie_fault() {
     let config = HarnessConfig::default();
     for zombie in EmnState::zombies() {
         for _ in 0..3 {
-            let out = run_episode(
-                &model,
-                &mut controller,
-                zombie.state_id(),
-                &config,
-                &mut rng,
-            )
-            .expect("episode runs");
+            let out = EpisodeRunner::new(&model)
+                .config(&config)
+                .run_with_rng(&mut controller, zombie.state_id(), &mut rng)
+                .expect("episode runs");
             assert!(out.terminated, "did not terminate on {zombie}");
             assert!(out.recovered, "quit before recovering {zombie}");
             assert!(out.cost > 0.0);
@@ -78,7 +74,9 @@ fn bounded_controller_recovers_crashes_and_host_faults_too() {
     let mut rng = StdRng::seed_from_u64(4);
     let config = HarnessConfig::default();
     for fault in EmnState::faults() {
-        let out = run_episode(&model, &mut controller, fault.state_id(), &config, &mut rng)
+        let out = EpisodeRunner::new(&model)
+            .config(&config)
+            .run_with_rng(&mut controller, fault.state_id(), &mut rng)
             .expect("episode runs");
         assert!(out.terminated, "did not terminate on {fault}");
         assert!(out.recovered, "quit before recovering {fault}");

@@ -17,10 +17,7 @@ use bpr_core::{
 use bpr_emn::two_server;
 use bpr_mdp::{ActionId, MdpBuilder, StateId};
 use bpr_pomdp::PomdpBuilder;
-use bpr_sim::{
-    run_episode_degraded, run_episode_degraded_traced, run_episode_traced, EpisodeOutcome,
-    HarnessConfig, PerturbationPlan,
-};
+use bpr_sim::{EpisodeOutcome, EpisodeRunner, HarnessConfig, PerturbationPlan};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -142,12 +139,16 @@ proptest! {
         let config = HarnessConfig { max_steps: 200 };
         let mut rng1 = StdRng::seed_from_u64(seed);
         let mut rng2 = StdRng::seed_from_u64(seed);
-        let (o1, t1) =
-            run_episode_traced(&model, &mut c1, fault, &config, &mut rng1).expect("plain episode");
+        let (o1, t1) = EpisodeRunner::new(&model)
+            .config(&config)
+            .run_traced_with_rng(&mut c1, fault, &mut rng1)
+            .expect("plain episode");
         let plan = PerturbationPlan { seed: plan_seed, ..PerturbationPlan::none() };
-        let (o2, t2) =
-            run_episode_degraded_traced(&model, &mut c2, fault, &plan, &config, &mut rng2)
-                .expect("degraded episode");
+        let (o2, t2) = EpisodeRunner::new(&model)
+            .config(&config)
+            .degraded(&plan)
+            .run_traced_with_rng(&mut c2, fault, &mut rng2)
+            .expect("degraded episode");
         prop_assert_eq!(comparable(&o1), comparable(&o2));
         prop_assert_eq!(t1, t2);
         prop_assert_eq!(o2.perturbations.total(), 0);
@@ -187,7 +188,10 @@ proptest! {
         };
         let config = HarnessConfig { max_steps: 200 };
         let mut rng = StdRng::seed_from_u64(seed);
-        let out = run_episode_degraded(&model, &mut c, fault, &plan, &config, &mut rng)
+        let out = EpisodeRunner::new(&model)
+            .config(&config)
+            .degraded(&plan)
+            .run_with_rng(&mut c, fault, &mut rng)
             .expect("hardened episodes never abort");
         prop_assert!(out.terminated, "controller exceeded its own step budget");
     }
@@ -217,13 +221,19 @@ fn zero_plan_is_trace_equivalent_on_two_server() {
         let config = HarnessConfig::default();
         let mut rng1 = StdRng::seed_from_u64(seed);
         let mut rng2 = StdRng::seed_from_u64(seed);
-        let (o1, t1) = run_episode_traced(&model, &mut c1, fault, &config, &mut rng1).unwrap();
+        let (o1, t1) = EpisodeRunner::new(&model)
+            .config(&config)
+            .run_traced_with_rng(&mut c1, fault, &mut rng1)
+            .unwrap();
         let plan = PerturbationPlan {
             seed: seed.wrapping_mul(31),
             ..PerturbationPlan::none()
         };
-        let (o2, t2) =
-            run_episode_degraded_traced(&model, &mut c2, fault, &plan, &config, &mut rng2).unwrap();
+        let (o2, t2) = EpisodeRunner::new(&model)
+            .config(&config)
+            .degraded(&plan)
+            .run_traced_with_rng(&mut c2, fault, &mut rng2)
+            .unwrap();
         assert_eq!(comparable(&o1), comparable(&o2), "seed {seed}");
         assert_eq!(t1, t2, "seed {seed}");
     }
