@@ -23,4 +23,8 @@ echo "==> determinism smoke (scaling at 1,2 threads; fails on divergence)"
 cargo run -p bpr-bench --bin scaling --release -- \
   --episodes 12 --bootstrap-iters 6 --batch 3 --max-steps 200 --threads 1,2
 
+echo "==> kill-and-resume smoke (fails on resume divergence; keeps snapshot)"
+cargo run -p bpr-bench --bin kill_resume --release -- \
+  --episodes 20 --every 3 --bootstrap-iters 8 --batch 4 --max-steps 200 --threads 1,2
+
 echo "==> ci.sh: all gates passed"

@@ -41,6 +41,7 @@ struct WidthResult {
     threads: usize,
     wall_seconds: f64,
     rate: f64,
+    skipped: bool,
 }
 
 fn json_results(rows: &[WidthResult], rate_key: &str) -> String {
@@ -49,11 +50,15 @@ fn json_results(rows: &[WidthResult], rate_key: &str) -> String {
         if i > 0 {
             out.push_str(", ");
         }
-        let _ = write!(
-            out,
-            "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"{}\": {:.3}}}",
-            r.threads, r.wall_seconds, rate_key, r.rate
-        );
+        if r.skipped {
+            let _ = write!(out, "{{\"threads\": {}, \"skipped\": true}}", r.threads);
+        } else {
+            let _ = write!(
+                out,
+                "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"{}\": {:.3}}}",
+                r.threads, r.wall_seconds, rate_key, r.rate
+            );
+        }
     }
     out.push(']');
     out
@@ -89,6 +94,18 @@ fn main() {
     let mut reference: Option<Vec<bpr_sim::EpisodeOutcome>> = None;
     let mut deterministic = true;
     for &threads in &widths {
+        // Oversubscribed widths measure scheduler noise, not scaling;
+        // skip them (determinism across widths is covered by the tests).
+        if threads > hardware {
+            eprintln!("  campaign  threads={threads}: skipped (> {hardware} hardware threads)");
+            campaign_rows.push(WidthResult {
+                threads,
+                wall_seconds: 0.0,
+                rate: 0.0,
+                skipped: true,
+            });
+            continue;
+        }
         let report = Campaign::new(&model)
             .population(&zombies)
             .episodes(episodes)
@@ -116,6 +133,7 @@ fn main() {
             threads,
             wall_seconds: report.wall_seconds,
             rate: report.episodes_per_sec(),
+            skipped: false,
         });
     }
 
@@ -135,6 +153,16 @@ fn main() {
     let mut bootstrap_rows = Vec::new();
     let mut boot_reference: Option<(usize, String)> = None;
     for &threads in &widths {
+        if threads > hardware {
+            eprintln!("  bootstrap threads={threads}: skipped (> {hardware} hardware threads)");
+            bootstrap_rows.push(WidthResult {
+                threads,
+                wall_seconds: 0.0,
+                rate: 0.0,
+                skipped: true,
+            });
+            continue;
+        }
         let pool = WorkPool::new(threads).expect("nonzero width");
         let mut bound =
             ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound exists");
@@ -165,6 +193,7 @@ fn main() {
             threads,
             wall_seconds: wall,
             rate,
+            skipped: false,
         });
     }
 

@@ -44,23 +44,24 @@ pub mod prelude {
         DiagnoseThenFixController, HeuristicController, MostLikelyController, OracleController,
     };
     pub use bpr_core::bootstrap::{
-        bootstrap, bootstrap_par, bootstrap_updates, BootstrapConfig, BootstrapReport,
-        BootstrapVariant,
+        bootstrap, bootstrap_par, bootstrap_par_durable, bootstrap_updates, BootstrapConfig,
+        BootstrapReport, BootstrapVariant, DurableBootstrapReport,
     };
+    pub use bpr_core::snapshot::{CheckpointPolicy, SnapshotError};
     pub use bpr_core::{
-        ActionId, BoundedConfig, BoundedController, Error, NotifiedBoundedController,
-        NotifiedConfig, RecoveryController, RecoveryModel, ResilienceConfig, ResilientController,
-        StateId, Step, TerminatedModel,
+        ActionId, AnytimeConfig, AnytimeController, BoundedConfig, BoundedController, Error,
+        NotifiedBoundedController, NotifiedConfig, RecoveryController, RecoveryModel,
+        ResilienceConfig, ResilientController, StateId, Step, TerminatedModel,
     };
     pub use bpr_emn::{two_server, EmnConfig, PathRouting};
     pub use bpr_mdp::chain::SolveOpts;
     pub use bpr_mdp::MdpBuilder;
-    pub use bpr_par::{split_seed, WorkPool};
+    pub use bpr_par::{split_seed, Quarantined, WorkPool};
     pub use bpr_pomdp::bounds::{qmdp_bound, ra_bound, ValueBound, VectorSetBound};
     pub use bpr_pomdp::{Belief, PomdpBuilder};
     pub use bpr_sim::{
         Campaign, CampaignReport, CampaignSummary, DegradedWorld, EpisodeOutcome, EpisodeRunner,
-        HarnessConfig, PerturbationPlan, World,
+        HarnessConfig, PerturbationPlan, QuarantinedEpisode, World,
     };
     pub use rand::rngs::StdRng;
     pub use rand::{Rng, SeedableRng};

@@ -1,0 +1,740 @@
+//! Deadline-aware (anytime) Max-Avg planning.
+//!
+//! Point-based POMDP methods are explicitly anytime algorithms: cutting
+//! refinement short still leaves a sound lower bound, so a decision
+//! built on the partial result is safe, just less informed. This module
+//! applies that property to the online controller: the Max-Avg tree is
+//! expanded by **iterative deepening under a per-decision node budget**,
+//! and whatever depth completed last is the decision. When even depth 1
+//! is unaffordable the planner degrades to the depth-0 *bound-greedy*
+//! choice — `argmax_a [ r(π, a) + β · V_B(pred(π, a)) ]` — which costs
+//! one bound evaluation per action and is always affordable.
+//!
+//! [`AnytimeController`] packages the budgeted planner behind the
+//! [`RecoveryController`] interface so [`crate::ResilientController`]
+//! can use it as a dedicated escalation rung: when full-depth planning
+//! fails or stalls, decisions keep flowing at bounded cost instead of
+//! jumping straight to the belief-argmax heuristic.
+
+use crate::{Error, RecoveryController, Step, TerminatedModel};
+use bpr_mdp::chain::SolveOpts;
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::backup::incremental_backup;
+use bpr_pomdp::bounds::{ra_bound, ValueBound, VectorSetBound};
+use bpr_pomdp::{Belief, ObservationId, Pomdp};
+
+/// Configuration of an [`AnytimeController`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeConfig {
+    /// Per-decision cap on belief nodes evaluated across all deepening
+    /// passes. The depth-0 greedy fallback is not counted (it touches
+    /// no tree nodes) so a decision is always produced.
+    pub node_budget: usize,
+    /// Deepest expansion attempted when the budget allows.
+    pub max_depth: usize,
+    /// Discount factor (the recovery criterion is undiscounted: 1.0).
+    pub beta: f64,
+    /// Observation branches with probability at or below this are
+    /// pruned during tree expansion.
+    pub gamma_cutoff: f64,
+    /// Prefer terminating when `a_T` ties with the best action.
+    pub prefer_terminate_on_tie: bool,
+    /// Refine the bound with an incremental backup at each belief the
+    /// controller visits.
+    pub backup_online: bool,
+    /// Optional cap on the number of bound hyperplanes.
+    pub vector_cap: Option<usize>,
+}
+
+impl Default for AnytimeConfig {
+    fn default() -> AnytimeConfig {
+        AnytimeConfig {
+            node_budget: 2000,
+            max_depth: 3,
+            beta: 1.0,
+            gamma_cutoff: 1e-6,
+            prefer_terminate_on_tie: true,
+            backup_online: false,
+            vector_cap: None,
+        }
+    }
+}
+
+impl AnytimeConfig {
+    /// Checks the numeric invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] for a zero budget or depth, a `beta`
+    /// outside `(0, 1]`, a negative or non-finite `gamma_cutoff`, or a
+    /// zero `vector_cap`.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.node_budget == 0 {
+            return Err(Error::InvalidInput {
+                detail: "anytime node budget must be at least 1".into(),
+            });
+        }
+        if self.max_depth == 0 {
+            return Err(Error::InvalidInput {
+                detail: "anytime max depth must be at least 1".into(),
+            });
+        }
+        if !(self.beta.is_finite() && self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(Error::InvalidInput {
+                detail: format!("anytime beta must be in (0, 1], got {}", self.beta),
+            });
+        }
+        if !self.gamma_cutoff.is_finite() || self.gamma_cutoff < 0.0 {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "anytime gamma cutoff must be finite and non-negative, got {}",
+                    self.gamma_cutoff
+                ),
+            });
+        }
+        if self.vector_cap == Some(0) {
+            return Err(Error::InvalidInput {
+                detail: "anytime vector cap of 0 would evict every hyperplane".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The decision produced by a budgeted expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeDecision {
+    /// The maximising action at the deepest completed pass.
+    pub action: ActionId,
+    /// Root value of that pass.
+    pub value: f64,
+    /// Per-action root values of that pass.
+    pub q_values: Vec<f64>,
+    /// The deepest fully completed expansion depth; `0` means only the
+    /// bound-greedy fallback fit in the budget.
+    pub completed_depth: usize,
+    /// Belief nodes evaluated across all passes, including the aborted
+    /// one (whose probe node can push this to `node_budget + 1`).
+    pub nodes_expanded: usize,
+    /// Whether a deepening pass was cut short by the budget.
+    pub budget_exhausted: bool,
+}
+
+/// Last-maximiser argmax — the tie-breaking rule of
+/// [`bpr_pomdp::tree::expand_with_cutoff`] (its `max_by` keeps the last
+/// maximal element), replicated so a generous budget reproduces the
+/// unbudgeted expansion bit-for-bit.
+fn argmax_last(q_values: &[f64]) -> (ActionId, f64) {
+    let mut best = 0usize;
+    for (i, q) in q_values.iter().enumerate().skip(1) {
+        if *q >= q_values[best] {
+            best = i;
+        }
+    }
+    (ActionId::new(best), q_values[best])
+}
+
+/// Iterative-deepening Max-Avg expansion under a node budget.
+///
+/// Depths `1..=max_depth` are attempted in order, each against the
+/// budget *remaining* after the previous passes; the decision of the
+/// deepest pass that ran to completion is returned, and a pass cut
+/// short mid-expansion is discarded (its partial q-values would mix
+/// depths). When no pass completes, the decision is the depth-0
+/// bound-greedy choice. With a budget large enough for `max_depth` the
+/// result — action, value, q-values, and per-pass node count — is
+/// bit-identical to [`bpr_pomdp::tree::expand_with_cutoff`] at
+/// `max_depth`.
+///
+/// # Errors
+///
+/// * [`Error::InvalidInput`] if `max_depth == 0`.
+/// * Propagates belief-arithmetic failures from the greedy fallback.
+pub fn anytime_expand(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    leaf: &dyn ValueBound,
+    max_depth: usize,
+    node_budget: usize,
+    beta: f64,
+    gamma_cutoff: f64,
+) -> Result<AnytimeDecision, Error> {
+    if max_depth == 0 {
+        return Err(Error::InvalidInput {
+            detail: "anytime expansion depth must be at least 1".into(),
+        });
+    }
+    // Depth-0 bound-greedy fallback: reward plus the bound at the
+    // *predicted* (pre-observation) belief. One bound evaluation per
+    // action, no tree nodes — the floor the planner can always afford.
+    let mut greedy = Vec::with_capacity(pomdp.n_actions());
+    for a in 0..pomdp.n_actions() {
+        let action = ActionId::new(a);
+        let predicted = Belief::from_probs(belief.predict(pomdp, action)).map_err(Error::Pomdp)?;
+        greedy.push(belief.expected_reward(pomdp, action) + beta * leaf.value(&predicted));
+    }
+    let (action, value) = argmax_last(&greedy);
+    let mut decision = AnytimeDecision {
+        action,
+        value,
+        q_values: greedy,
+        completed_depth: 0,
+        nodes_expanded: 0,
+        budget_exhausted: false,
+    };
+
+    for depth in 1..=max_depth {
+        let remaining = node_budget.saturating_sub(decision.nodes_expanded);
+        if remaining == 0 {
+            decision.budget_exhausted = true;
+            break;
+        }
+        let (spent, q_values) =
+            budgeted_root(pomdp, belief, depth, leaf, beta, gamma_cutoff, remaining);
+        decision.nodes_expanded += spent;
+        match q_values {
+            Some(q_values) => {
+                let (action, value) = argmax_last(&q_values);
+                decision.action = action;
+                decision.value = value;
+                decision.q_values = q_values;
+                decision.completed_depth = depth;
+            }
+            None => {
+                decision.budget_exhausted = true;
+                break;
+            }
+        }
+    }
+    Ok(decision)
+}
+
+/// One full-width root pass at `depth`, aborting (returning `None`
+/// q-values) the moment the node budget is exceeded. Node accounting
+/// mirrors [`bpr_pomdp::tree`] exactly: only belief nodes count, and
+/// the root belief itself is not counted.
+fn budgeted_root(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    budget: usize,
+) -> (usize, Option<Vec<f64>>) {
+    let mut nodes = 0usize;
+    let mut q_values = Vec::with_capacity(pomdp.n_actions());
+    for a in 0..pomdp.n_actions() {
+        match action_value_b(
+            pomdp,
+            belief,
+            ActionId::new(a),
+            depth,
+            leaf,
+            beta,
+            gamma_cutoff,
+            budget,
+            &mut nodes,
+        ) {
+            Some(q) => q_values.push(q),
+            None => return (nodes, None),
+        }
+    }
+    (nodes, Some(q_values))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn belief_value_b(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    budget: usize,
+    nodes: &mut usize,
+) -> Option<f64> {
+    *nodes += 1;
+    if *nodes > budget {
+        return None;
+    }
+    if depth == 0 {
+        return Some(leaf.value(belief));
+    }
+    let mut best = f64::NEG_INFINITY;
+    for a in 0..pomdp.n_actions() {
+        let q = action_value_b(
+            pomdp,
+            belief,
+            ActionId::new(a),
+            depth,
+            leaf,
+            beta,
+            gamma_cutoff,
+            budget,
+            nodes,
+        )?;
+        best = best.max(q);
+    }
+    Some(best)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn action_value_b(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    action: ActionId,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    budget: usize,
+    nodes: &mut usize,
+) -> Option<f64> {
+    let mut q = belief.expected_reward(pomdp, action);
+    for (_o, gamma, next) in belief.successors(pomdp, action, gamma_cutoff) {
+        let v = belief_value_b(
+            pomdp,
+            &next,
+            depth - 1,
+            leaf,
+            beta,
+            gamma_cutoff,
+            budget,
+            nodes,
+        )?;
+        q += beta * gamma * v;
+    }
+    Some(q)
+}
+
+/// Cumulative statistics of an [`AnytimeController`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnytimeStats {
+    /// Number of `decide()` calls served.
+    pub decisions: usize,
+    /// Belief nodes evaluated across all decisions.
+    pub nodes_expanded: usize,
+    /// Decisions in which a deepening pass was cut short by the budget.
+    pub budget_exhaustions: usize,
+    /// Deepest expansion any decision completed.
+    pub deepest_completed: usize,
+    /// Incremental backups performed (online refinement).
+    pub backups: usize,
+}
+
+/// A deadline-aware recovery controller: [`anytime_expand`] behind the
+/// [`RecoveryController`] interface.
+///
+/// Semantically a [`crate::BoundedController`] whose per-decision cost
+/// is hard-capped: same model transform, same termination rule, same
+/// lower-bound leaves — but planning depth adapts to the budget instead
+/// of being fixed, and the depth-0 bound-greedy choice is the worst
+/// case rather than an error.
+#[derive(Debug, Clone)]
+pub struct AnytimeController {
+    model: TerminatedModel,
+    bound: VectorSetBound,
+    config: AnytimeConfig,
+    belief: Option<Belief>,
+    terminated: bool,
+    stats: AnytimeStats,
+}
+
+impl AnytimeController {
+    /// Creates a controller, computing the RA-Bound of the transformed
+    /// model as the initial leaf bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RA-Bound failures, plus everything
+    /// [`AnytimeController::with_bound`] rejects.
+    pub fn new(model: TerminatedModel, config: AnytimeConfig) -> Result<AnytimeController, Error> {
+        let bound = ra_bound(model.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
+        AnytimeController::with_bound(model, bound, config)
+    }
+
+    /// Creates a controller around an existing (e.g. bootstrapped)
+    /// bound set.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] if the bound dimension mismatches the
+    /// model or the config is invalid.
+    pub fn with_bound(
+        model: TerminatedModel,
+        bound: VectorSetBound,
+        config: AnytimeConfig,
+    ) -> Result<AnytimeController, Error> {
+        config.validate()?;
+        if bound.n_states() != model.pomdp().n_states() {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "bound covers {} states, model has {}",
+                    bound.n_states(),
+                    model.pomdp().n_states()
+                ),
+            });
+        }
+        let mut bound = bound;
+        // Seed the termination hyperplane b(s) = r(s, a_T), as the
+        // bounded controller does; no startup vertex sweeps — this
+        // controller's contract is bounded per-call cost from the start.
+        let a_t = model.terminate_action();
+        let termination_plane: Vec<f64> = (0..model.pomdp().n_states())
+            .map(|s| model.pomdp().mdp().reward(s, a_t))
+            .collect();
+        bound.add_vector(termination_plane).map_err(Error::Pomdp)?;
+        Ok(AnytimeController {
+            model,
+            bound,
+            config,
+            belief: None,
+            terminated: false,
+            stats: AnytimeStats::default(),
+        })
+    }
+
+    /// The transformed model the controller runs on.
+    pub fn model(&self) -> &TerminatedModel {
+        &self.model
+    }
+
+    /// The current bound set.
+    pub fn bound(&self) -> &VectorSetBound {
+        &self.bound
+    }
+
+    /// Mutable access to the bound set (for external bootstrapping).
+    pub fn bound_mut(&mut self) -> &mut VectorSetBound {
+        &mut self.bound
+    }
+
+    /// Controller statistics accumulated so far.
+    pub fn stats(&self) -> AnytimeStats {
+        self.stats
+    }
+
+    /// The belief over the *transformed* state space (including `s_T`).
+    pub fn transformed_belief(&self) -> Option<&Belief> {
+        self.belief.as_ref()
+    }
+}
+
+impl RecoveryController for AnytimeController {
+    fn name(&self) -> &str {
+        "anytime"
+    }
+
+    fn begin(&mut self, initial: Belief, _true_fault: Option<StateId>) -> Result<(), Error> {
+        let lifted = if initial.n_states() + 1 == self.model.pomdp().n_states() {
+            self.model.extend_belief(&initial)?
+        } else if initial.n_states() == self.model.pomdp().n_states() {
+            initial
+        } else {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "initial belief covers {} states, expected {} or {}",
+                    initial.n_states(),
+                    self.model.pomdp().n_states() - 1,
+                    self.model.pomdp().n_states()
+                ),
+            });
+        };
+        self.belief = Some(lifted);
+        self.terminated = false;
+        Ok(())
+    }
+
+    fn decide(&mut self) -> Result<Step, Error> {
+        if self.terminated {
+            return Err(Error::AlreadyTerminated);
+        }
+        let belief = self.belief.clone().ok_or(Error::NotStarted)?;
+        if self.config.backup_online {
+            incremental_backup(
+                self.model.pomdp(),
+                &mut self.bound,
+                &belief,
+                self.config.beta,
+            )
+            .map_err(Error::Pomdp)?;
+            self.stats.backups += 1;
+            if let Some(cap) = self.config.vector_cap {
+                self.bound.evict_to(cap);
+            }
+        }
+        let decision = anytime_expand(
+            self.model.pomdp(),
+            &belief,
+            &self.bound,
+            self.config.max_depth,
+            self.config.node_budget,
+            self.config.beta,
+            self.config.gamma_cutoff,
+        )?;
+        self.stats.decisions += 1;
+        self.stats.nodes_expanded += decision.nodes_expanded;
+        self.stats.budget_exhaustions += usize::from(decision.budget_exhausted);
+        self.stats.deepest_completed = self.stats.deepest_completed.max(decision.completed_depth);
+
+        let a_t = self.model.terminate_action();
+        let terminate = decision.action == a_t
+            || (self.config.prefer_terminate_on_tie
+                && decision.q_values[a_t.index()] >= decision.value - 1e-12);
+        if terminate {
+            self.terminated = true;
+            return Ok(Step::Terminate);
+        }
+        Ok(Step::Execute(decision.action))
+    }
+
+    fn observe(&mut self, action: ActionId, o: ObservationId) -> Result<(), Error> {
+        let belief = self.belief.as_ref().ok_or(Error::NotStarted)?;
+        if !self.model.is_base_action(action) {
+            return Err(Error::InvalidInput {
+                detail: "cannot observe after the terminate action".into(),
+            });
+        }
+        let (next, _gamma) = belief
+            .update(self.model.pomdp(), action, o)
+            .map_err(Error::Pomdp)?;
+        self.belief = Some(next);
+        Ok(())
+    }
+
+    fn belief(&self) -> Option<Belief> {
+        self.belief.as_ref().and_then(|b| {
+            let base: Vec<f64> = b.probs()[..b.n_states() - 1].to_vec();
+            let sum: f64 = base.iter().sum();
+            let probs = if sum > 0.0 {
+                base.iter().map(|p| p / sum).collect()
+            } else {
+                base
+            };
+            Belief::from_probs(probs).ok()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::two_server_model;
+    use bpr_pomdp::tree;
+
+    fn setup() -> (TerminatedModel, VectorSetBound) {
+        let model = two_server_model().without_notification(10.0).unwrap();
+        let bound = ra_bound(model.pomdp(), &SolveOpts::default()).unwrap();
+        (model, bound)
+    }
+
+    #[test]
+    fn generous_budget_reproduces_the_unbudgeted_expansion() {
+        let (model, bound) = setup();
+        let pomdp = model.pomdp();
+        for probs in [
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.5, 0.5, 0.0, 0.0],
+            vec![0.3, 0.3, 0.4, 0.0],
+            vec![0.05, 0.9, 0.05, 0.0],
+        ] {
+            let b = Belief::from_probs(probs).unwrap();
+            for depth in 1..=3 {
+                let plain = tree::expand_with_cutoff(pomdp, &b, depth, &bound, 1.0, 0.0).unwrap();
+                let any = anytime_expand(pomdp, &b, &bound, depth, usize::MAX, 1.0, 0.0).unwrap();
+                assert_eq!(any.action, plain.action, "depth {depth}");
+                assert_eq!(any.value, plain.value, "depth {depth}");
+                assert_eq!(any.q_values, plain.q_values, "depth {depth}");
+                assert_eq!(any.completed_depth, depth);
+                assert!(!any.budget_exhausted);
+                // The final pass must cost exactly what the unbudgeted
+                // expansion reports; earlier passes add their own nodes.
+                assert!(any.nodes_expanded >= plain.nodes_expanded, "depth {depth}");
+                let shallower: usize = (1..depth)
+                    .map(|d| {
+                        tree::expand_with_cutoff(pomdp, &b, d, &bound, 1.0, 0.0)
+                            .unwrap()
+                            .nodes_expanded
+                    })
+                    .sum();
+                assert_eq!(any.nodes_expanded, plain.nodes_expanded + shallower);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_remaining_budget_degrades_to_the_greedy_choice() {
+        let (model, bound) = setup();
+        let pomdp = model.pomdp();
+        let b = Belief::uniform(4);
+        let d = anytime_expand(pomdp, &b, &bound, 3, 1, 1.0, 0.0).unwrap();
+        assert_eq!(d.completed_depth, 0);
+        assert!(d.budget_exhausted);
+        assert_eq!(d.q_values.len(), pomdp.n_actions());
+        assert!(d.q_values.iter().all(|q| q.is_finite()));
+        // The greedy choice is the argmax of its own q-values.
+        let max = d.q_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(d.value, max);
+    }
+
+    #[test]
+    fn partial_passes_keep_the_best_completed_depth() {
+        let (model, bound) = setup();
+        let pomdp = model.pomdp();
+        let b = Belief::uniform(4);
+        let d1 = tree::expand_with_cutoff(pomdp, &b, 1, &bound, 1.0, 0.0).unwrap();
+        // Enough for depth 1 but (with the depth-1 spend subtracted)
+        // not for depth 2.
+        let budget = d1.nodes_expanded + 1;
+        let d = anytime_expand(pomdp, &b, &bound, 3, budget, 1.0, 0.0).unwrap();
+        assert_eq!(d.completed_depth, 1);
+        assert!(d.budget_exhausted);
+        assert_eq!(d.action, d1.action);
+        assert_eq!(d.value, d1.value);
+        assert_eq!(d.q_values, d1.q_values);
+        // The aborted pass's probe node may overshoot by exactly one.
+        assert!(d.nodes_expanded <= budget + 1);
+    }
+
+    #[test]
+    fn zero_depth_is_rejected() {
+        let (model, bound) = setup();
+        assert!(
+            anytime_expand(model.pomdp(), &Belief::uniform(4), &bound, 0, 100, 1.0, 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let ok = AnytimeConfig::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            AnytimeConfig {
+                node_budget: 0,
+                ..ok.clone()
+            },
+            AnytimeConfig {
+                max_depth: 0,
+                ..ok.clone()
+            },
+            AnytimeConfig {
+                beta: 0.0,
+                ..ok.clone()
+            },
+            AnytimeConfig {
+                beta: f64::NAN,
+                ..ok.clone()
+            },
+            AnytimeConfig {
+                gamma_cutoff: -1.0,
+                ..ok.clone()
+            },
+            AnytimeConfig {
+                vector_cap: Some(0),
+                ..ok.clone()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn controller_lifecycle_matches_the_bounded_contract() {
+        let (model, _) = setup();
+        let mut c = AnytimeController::new(model, AnytimeConfig::default()).unwrap();
+        assert_eq!(c.name(), "anytime");
+        assert!(matches!(c.decide(), Err(Error::NotStarted)));
+        c.begin(Belief::point(3, StateId::new(2)), None).unwrap();
+        // Null belief: terminating is free.
+        assert_eq!(c.decide().unwrap(), Step::Terminate);
+        assert!(matches!(c.decide(), Err(Error::AlreadyTerminated)));
+        assert_eq!(c.stats().decisions, 1);
+    }
+
+    #[test]
+    fn controller_recovers_a_certain_fault() {
+        let (model, _) = setup();
+        let mut c = AnytimeController::new(model, AnytimeConfig::default()).unwrap();
+        c.begin(Belief::point(3, StateId::new(1)), None).unwrap();
+        let mut world = 1usize;
+        for _ in 0..50 {
+            match c.decide().unwrap() {
+                Step::Terminate => break,
+                Step::Execute(a) => {
+                    if a.index() == 1 && world == 1 {
+                        world = 2;
+                    }
+                    if a.index() == 0 && world == 0 {
+                        world = 2;
+                    }
+                    let o = match world {
+                        0 => 0,
+                        1 => 1,
+                        _ => 2,
+                    };
+                    c.observe(a, ObservationId::new(o)).unwrap();
+                }
+            }
+        }
+        assert_eq!(world, 2, "anytime controller quit before recovering");
+        assert!(c.stats().deepest_completed >= 1);
+        assert_eq!(c.stats().budget_exhaustions, 0);
+    }
+
+    #[test]
+    fn starved_controller_still_recovers_via_the_greedy_floor() {
+        let (model, _) = setup();
+        let mut c = AnytimeController::new(
+            model,
+            AnytimeConfig {
+                node_budget: 1,
+                ..AnytimeConfig::default()
+            },
+        )
+        .unwrap();
+        c.begin(Belief::point(3, StateId::new(0)), None).unwrap();
+        let mut world = 0usize;
+        for _ in 0..50 {
+            match c.decide().unwrap() {
+                Step::Terminate => break,
+                Step::Execute(a) => {
+                    if a.index() == 0 && world == 0 {
+                        world = 2;
+                    }
+                    if a.index() == 1 && world == 1 {
+                        world = 2;
+                    }
+                    let o = match world {
+                        0 => 0,
+                        1 => 1,
+                        _ => 2,
+                    };
+                    c.observe(a, ObservationId::new(o)).unwrap();
+                }
+            }
+        }
+        assert_eq!(world, 2, "greedy floor failed to recover a certain fault");
+        let stats = c.stats();
+        assert!(stats.budget_exhaustions >= 1);
+        assert_eq!(stats.deepest_completed, 0);
+    }
+
+    #[test]
+    fn projected_belief_hides_terminate_state() {
+        let (model, _) = setup();
+        let mut c = AnytimeController::new(model, AnytimeConfig::default()).unwrap();
+        c.begin(Belief::uniform(3), None).unwrap();
+        let b = c.belief().unwrap();
+        assert_eq!(b.n_states(), 3);
+        assert!((b.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(c.transformed_belief().unwrap().n_states(), 4);
+    }
+
+    #[test]
+    fn mismatched_bound_dimension_is_rejected() {
+        let (model, _) = setup();
+        let bound = VectorSetBound::from_vector(vec![0.0, 0.0]).unwrap();
+        assert!(AnytimeController::with_bound(model, bound, AnytimeConfig::default()).is_err());
+    }
+}

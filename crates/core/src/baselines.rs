@@ -48,9 +48,10 @@ impl MostLikelyController {
         })
     }
 
-    /// The most likely *fault* state under the current belief.
-    fn most_likely_fault(&self, belief: &Belief) -> StateId {
-        let mut best = None;
+    /// The most likely *fault* state under the current belief, or
+    /// `None` for a (degenerate) model without fault states.
+    fn most_likely_fault(&self, belief: &Belief) -> Option<StateId> {
+        let mut best: Option<(StateId, f64)> = None;
         for s in self.model.fault_states() {
             let p = belief.prob(s);
             match best {
@@ -58,7 +59,7 @@ impl MostLikelyController {
                 _ => best = Some((s, p)),
             }
         }
-        best.expect("recovery model has at least one fault state").0
+        best.map(|(s, _)| s)
     }
 }
 
@@ -87,7 +88,9 @@ impl RecoveryController for MostLikelyController {
             self.terminated = true;
             return Ok(Step::Terminate);
         }
-        let fault = self.most_likely_fault(belief);
+        let fault = self.most_likely_fault(belief).ok_or(Error::InvalidInput {
+            detail: "recovery model has no fault states".into(),
+        })?;
         let action = self
             .model
             .cheapest_recovery_action(fault)
@@ -335,8 +338,10 @@ impl RecoveryController for DiagnoseThenFixController {
             .fault_states()
             .into_iter()
             .map(|s| (s, belief.prob(s)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"))
-            .expect("at least one fault state");
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .ok_or(Error::InvalidInput {
+                detail: "recovery model has no fault states".into(),
+            })?;
         let confident = fault_mass > 0.0 && leader_p / fault_mass >= self.diagnosis_threshold;
         if !confident {
             if let Some(observe) = self.model.observe_actions().first() {

@@ -2,6 +2,7 @@
 //! off-line iterative improvement of the lower bound by simulating
 //! monitor outputs and backing up at the visited belief states.
 
+use crate::snapshot::{fnv1a64, BootstrapCheckpoint, CheckpointPolicy, SnapshotError};
 use crate::{Error, TerminatedModel};
 use bpr_mdp::ActionId;
 use bpr_par::WorkPool;
@@ -401,41 +402,227 @@ pub fn bootstrap_par(
             detail: "bootstrap batch size must be at least 1".into(),
         });
     }
-    let pomdp = model.pomdp();
     let uniform_eval = uniform_eval_belief(model)?;
 
     let mut report = BootstrapReport::default();
     let mut next_episode = 0usize;
     while next_episode < config.iterations {
         let round = batch.min(config.iterations - next_episode);
-        // Freeze the bound for the round: planning inside the round's
-        // episodes must not observe each other's backups.
-        let frozen = bound.clone();
-        let trajectories: Vec<Result<Vec<Belief>, Error>> = pool.map_indices(round, |offset| {
-            let episode = next_episode + offset;
-            let mut rng = StdRng::seed_from_stream(master_seed, episode as u64);
-            simulate_trajectory(model, &frozen, config, &mut rng)
-        });
-        // Sequential merge, episode order: this is what makes the run
-        // independent of how the trajectories were scheduled.
-        for (offset, trajectory) in trajectories.into_iter().enumerate() {
-            let trajectory = trajectory?;
-            for belief in &trajectory {
-                incremental_backup(pomdp, bound, belief, config.beta).map_err(Error::Pomdp)?;
-                report.total_backups += 1;
-                if let Some(cap) = config.vector_cap {
-                    bound.evict_to(cap);
-                }
-            }
-            report.records.push(IterationRecord {
-                iteration: next_episode + offset + 1,
-                bound_at_uniform: bound.value(&uniform_eval),
-                n_vectors: bound.len(),
-            });
-        }
+        bootstrap_round(
+            model,
+            bound,
+            config,
+            master_seed,
+            pool,
+            next_episode,
+            round,
+            &uniform_eval,
+            &mut report,
+        )?;
         next_episode += round;
     }
     Ok(report)
+}
+
+/// One batch-synchronous round of [`bootstrap_par`]: simulate `round`
+/// episodes starting at `next_episode` against a frozen bound, then
+/// merge their backups sequentially in episode order.
+#[allow(clippy::too_many_arguments)]
+fn bootstrap_round(
+    model: &TerminatedModel,
+    bound: &mut VectorSetBound,
+    config: &BootstrapConfig,
+    master_seed: u64,
+    pool: &WorkPool,
+    next_episode: usize,
+    round: usize,
+    uniform_eval: &Belief,
+    report: &mut BootstrapReport,
+) -> Result<(), Error> {
+    let pomdp = model.pomdp();
+    // Freeze the bound for the round: planning inside the round's
+    // episodes must not observe each other's backups.
+    let frozen = bound.clone();
+    let trajectories: Vec<Result<Vec<Belief>, Error>> = pool.map_indices(round, |offset| {
+        let episode = next_episode + offset;
+        let mut rng = StdRng::seed_from_stream(master_seed, episode as u64);
+        simulate_trajectory(model, &frozen, config, &mut rng)
+    });
+    // Sequential merge, episode order: this is what makes the run
+    // independent of how the trajectories were scheduled.
+    for (offset, trajectory) in trajectories.into_iter().enumerate() {
+        let trajectory = trajectory?;
+        for belief in &trajectory {
+            incremental_backup(pomdp, bound, belief, config.beta).map_err(Error::Pomdp)?;
+            report.total_backups += 1;
+            if let Some(cap) = config.vector_cap {
+                bound.evict_to(cap);
+            }
+        }
+        report.records.push(IterationRecord {
+            iteration: next_episode + offset + 1,
+            bound_at_uniform: bound.value(uniform_eval),
+            n_vectors: bound.len(),
+        });
+    }
+    Ok(())
+}
+
+/// The result of a durable (checkpointed) bootstrap run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableBootstrapReport {
+    /// The underlying bootstrap report — bit-identical to what an
+    /// uninterrupted [`bootstrap_par`] run would have produced.
+    pub report: BootstrapReport,
+    /// `Some(episode)` when the run resumed from a snapshot covering
+    /// episodes `0..episode`.
+    pub resumed_from: Option<usize>,
+    /// The typed reason the snapshot was ignored, when it was (the run
+    /// then started fresh from the caller's seed bound).
+    pub snapshot_error: Option<SnapshotError>,
+    /// Snapshots written during this run.
+    pub checkpoints_written: usize,
+}
+
+/// The parameters that must match between the run that wrote a
+/// checkpoint and the run resuming from it. `iterations` is
+/// deliberately excluded: a run killed partway toward a larger target
+/// is exactly what resume is for.
+fn session_fingerprint(
+    model: &TerminatedModel,
+    config: &BootstrapConfig,
+    batch: usize,
+    master_seed: u64,
+) -> u64 {
+    let canon = format!(
+        "seed={master_seed} batch={batch} variant={:?} depth={} max_steps={} beta={:?} \
+         vector_cap={:?} conditioning={} gamma_cutoff={:?} n_states={}",
+        config.variant,
+        config.depth,
+        config.max_steps,
+        config.beta,
+        config.vector_cap,
+        config.conditioning_action.index(),
+        config.gamma_cutoff,
+        model.pomdp().n_states()
+    );
+    fnv1a64(canon.as_bytes())
+}
+
+/// [`bootstrap_par`] with crash durability: the bound, records, and
+/// progress cursor are snapshotted to `policy.path` every
+/// `policy.every` rounds (and at completion), and a run finding a
+/// compatible snapshot resumes from its round boundary.
+///
+/// Because episodes are a pure function of `(master_seed, index)` and
+/// backups merge sequentially in episode order, a resumed run is
+/// **bit-identical** to an uninterrupted one — same records, same
+/// hyperplanes, same usage counters.
+///
+/// A snapshot that is missing is the normal first-run state. A snapshot
+/// that is truncated, bit-flipped, version-mismatched, or written by a
+/// different session (seed/config/model mismatch) is *ignored*: the run
+/// starts fresh from the caller's seed bound and reports the typed
+/// [`SnapshotError`] in [`DurableBootstrapReport::snapshot_error`].
+/// Corruption never panics and never poisons the bound.
+///
+/// # Errors
+///
+/// * Everything [`bootstrap_par`] rejects.
+/// * [`Error::Snapshot`] when a checkpoint cannot be **written**
+///   (durability was requested and cannot be provided).
+pub fn bootstrap_par_durable(
+    model: &TerminatedModel,
+    bound: &mut VectorSetBound,
+    config: &BootstrapConfig,
+    batch: usize,
+    master_seed: u64,
+    pool: &WorkPool,
+    policy: &CheckpointPolicy,
+) -> Result<DurableBootstrapReport, Error> {
+    check_against_model(config, model)?;
+    if batch == 0 {
+        return Err(Error::InvalidInput {
+            detail: "bootstrap batch size must be at least 1".into(),
+        });
+    }
+    policy.validate()?;
+    let fingerprint = session_fingerprint(model, config, batch, master_seed);
+    let uniform_eval = uniform_eval_belief(model)?;
+
+    let mut report = BootstrapReport::default();
+    let mut resumed_from = None;
+    let mut snapshot_error = None;
+    let mut next_episode = 0usize;
+    match BootstrapCheckpoint::load(&policy.path) {
+        Ok(None) => {}
+        Ok(Some(cp)) => {
+            if cp.fingerprint != fingerprint {
+                snapshot_error = Some(SnapshotError::Incompatible {
+                    detail: "checkpoint was written by a different session \
+                             (seed, batch, config, or model mismatch)"
+                        .into(),
+                });
+            } else if cp.next_episode > config.iterations {
+                snapshot_error = Some(SnapshotError::Incompatible {
+                    detail: format!(
+                        "checkpoint is ahead of the requested run: episode {} > {}",
+                        cp.next_episode, config.iterations
+                    ),
+                });
+            } else {
+                match cp.restore_bound() {
+                    Ok(restored) => {
+                        *bound = restored;
+                        next_episode = cp.next_episode;
+                        report.records = cp.records;
+                        report.total_backups = cp.total_backups;
+                        resumed_from = Some(next_episode);
+                    }
+                    Err(e) => snapshot_error = Some(e),
+                }
+            }
+        }
+        Err(e) => snapshot_error = Some(e),
+    }
+
+    let mut checkpoints_written = 0usize;
+    let mut rounds_since_checkpoint = 0usize;
+    while next_episode < config.iterations {
+        let round = batch.min(config.iterations - next_episode);
+        bootstrap_round(
+            model,
+            bound,
+            config,
+            master_seed,
+            pool,
+            next_episode,
+            round,
+            &uniform_eval,
+            &mut report,
+        )?;
+        next_episode += round;
+        rounds_since_checkpoint += 1;
+        if rounds_since_checkpoint >= policy.every || next_episode >= config.iterations {
+            BootstrapCheckpoint::capture(
+                fingerprint,
+                next_episode,
+                report.total_backups,
+                &report.records,
+                bound,
+            )
+            .save(&policy.path)
+            .map_err(Error::Snapshot)?;
+            checkpoints_written += 1;
+            rounds_since_checkpoint = 0;
+        }
+    }
+    Ok(DurableBootstrapReport {
+        report,
+        resumed_from,
+        snapshot_error,
+        checkpoints_written,
+    })
 }
 
 /// One bootstrap episode planned against a frozen bound, returning the
@@ -769,6 +956,196 @@ mod tests {
         assert!(report.final_bound_at_uniform().unwrap() <= 1e-9);
         // Zero batch is rejected.
         assert!(bootstrap_par(&model, &mut bound, &config, 0, 5, &WorkPool::serial()).is_err());
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bpr_bootstrap_{}_{name}", std::process::id()))
+    }
+
+    fn durable_config() -> BootstrapConfig {
+        BootstrapConfig {
+            variant: BootstrapVariant::Random,
+            iterations: 12,
+            depth: 1,
+            max_steps: 15,
+            conditioning_action: ActionId::new(2),
+            ..BootstrapConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_bootstrap_matches_plain_parallel_run() {
+        let config = durable_config();
+        let path = scratch("fresh");
+        let _ = std::fs::remove_file(&path);
+        let (model, mut plain_bound) = setup();
+        let plain = bootstrap_par(
+            &model,
+            &mut plain_bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+        )
+        .unwrap();
+        let (model, mut durable_bound) = setup();
+        let durable = bootstrap_par_durable(
+            &model,
+            &mut durable_bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+            &CheckpointPolicy::new(&path, 1),
+        )
+        .unwrap();
+        assert_eq!(durable.report, plain);
+        assert_eq!(durable.resumed_from, None);
+        assert_eq!(durable.snapshot_error, None);
+        assert_eq!(durable.checkpoints_written, 3); // 12 episodes / batch 4
+        assert_eq!(durable_bound.to_tsv(), plain_bound.to_tsv());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_bootstrap_resumes_bit_identically() {
+        let config = durable_config();
+        let path = scratch("resume");
+        let _ = std::fs::remove_file(&path);
+        let (model, mut reference_bound) = setup();
+        let reference = bootstrap_par(
+            &model,
+            &mut reference_bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+        )
+        .unwrap();
+        // "Kill" after 8 of the 12 episodes by running a shorter target.
+        let killed_at = BootstrapConfig {
+            iterations: 8,
+            ..config.clone()
+        };
+        let (model, mut bound) = setup();
+        let policy = CheckpointPolicy::new(&path, 1);
+        bootstrap_par_durable(
+            &model,
+            &mut bound,
+            &killed_at,
+            4,
+            77,
+            &WorkPool::serial(),
+            &policy,
+        )
+        .unwrap();
+        // Resume toward the full target from a *fresh* seed bound.
+        let (model, mut bound) = setup();
+        let resumed = bootstrap_par_durable(
+            &model,
+            &mut bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from, Some(8));
+        assert_eq!(resumed.snapshot_error, None);
+        assert_eq!(resumed.report, reference);
+        assert_eq!(bound.to_tsv(), reference_bound.to_tsv());
+        assert_eq!(bound.usage_counts(), reference_bound.usage_counts());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_snapshot_falls_back_to_seed_bound() {
+        let config = durable_config();
+        let path = scratch("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let policy = CheckpointPolicy::new(&path, 1);
+        let (model, mut bound) = setup();
+        bootstrap_par_durable(
+            &model,
+            &mut bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+            &policy,
+        )
+        .unwrap();
+        // Flip one payload bit.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (model, mut bound) = setup();
+        let recovered = bootstrap_par_durable(
+            &model,
+            &mut bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+            &policy,
+        )
+        .unwrap();
+        assert!(matches!(
+            recovered.snapshot_error,
+            Some(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(recovered.resumed_from, None);
+        // The fallback run is a full fresh run from the seed bound.
+        let (model, mut plain_bound) = setup();
+        let plain = bootstrap_par(
+            &model,
+            &mut plain_bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+        )
+        .unwrap();
+        assert_eq!(recovered.report, plain);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_session_snapshot_is_rejected_as_incompatible() {
+        let config = durable_config();
+        let path = scratch("foreign");
+        let _ = std::fs::remove_file(&path);
+        let policy = CheckpointPolicy::new(&path, 1);
+        let (model, mut bound) = setup();
+        bootstrap_par_durable(
+            &model,
+            &mut bound,
+            &config,
+            4,
+            99, // different master seed
+            &WorkPool::serial(),
+            &policy,
+        )
+        .unwrap();
+        let (model, mut bound) = setup();
+        let recovered = bootstrap_par_durable(
+            &model,
+            &mut bound,
+            &config,
+            4,
+            77,
+            &WorkPool::serial(),
+            &policy,
+        )
+        .unwrap();
+        assert!(matches!(
+            recovered.snapshot_error,
+            Some(SnapshotError::Incompatible { .. })
+        ));
+        assert_eq!(recovered.resumed_from, None);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -294,7 +294,7 @@ impl RecoveryController for BoundedController {
     }
 
     fn belief(&self) -> Option<Belief> {
-        self.belief.as_ref().map(|b| {
+        self.belief.as_ref().and_then(|b| {
             let base: Vec<f64> = b.probs()[..b.n_states() - 1].to_vec();
             // Mass on s_T is zero until termination, so renormalising is
             // a no-op in practice; it guards the corner case anyway.
@@ -304,7 +304,9 @@ impl RecoveryController for BoundedController {
             } else {
                 base
             };
-            Belief::from_probs(probs).expect("projected belief is a distribution")
+            // A degenerate projection (all mass on s_T) has no base
+            // belief to report.
+            Belief::from_probs(probs).ok()
         })
     }
 }

@@ -31,6 +31,9 @@ pub struct ResilienceStats {
     /// Observations the model assigned zero likelihood (recovered via
     /// the epsilon-mixture update instead of aborting).
     pub impossible_observations: usize,
+    /// Decisions served by the budgeted anytime rung of the escalation
+    /// ladder (zero unless an anytime controller is configured).
+    pub anytime_decisions: usize,
 }
 
 /// An online recovery controller, driven by a simulation harness or a

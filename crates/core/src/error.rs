@@ -41,6 +41,13 @@ pub enum Error {
     Pomdp(bpr_pomdp::Error),
     /// An error surfaced from the MDP machinery.
     Mdp(bpr_mdp::Error),
+    /// A durability snapshot could not be read or written.
+    Snapshot(crate::snapshot::SnapshotError),
+    /// A work item panicked and the caller opted not to tolerate it.
+    Panicked {
+        /// Episode identity and the captured panic payload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -66,6 +73,8 @@ impl fmt::Display for Error {
             Error::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
             Error::Pomdp(e) => write!(f, "pomdp failure: {e}"),
             Error::Mdp(e) => write!(f, "mdp failure: {e}"),
+            Error::Snapshot(e) => write!(f, "snapshot failure: {e}"),
+            Error::Panicked { detail } => write!(f, "work item panicked: {detail}"),
         }
     }
 }
@@ -75,6 +84,7 @@ impl std::error::Error for Error {
         match self {
             Error::Pomdp(e) => Some(e),
             Error::Mdp(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +99,12 @@ impl From<bpr_pomdp::Error> for Error {
 impl From<bpr_mdp::Error> for Error {
     fn from(e: bpr_mdp::Error) -> Error {
         Error::Mdp(e)
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for Error {
+    fn from(e: crate::snapshot::SnapshotError) -> Error {
+        Error::Snapshot(e)
     }
 }
 
@@ -118,6 +134,12 @@ mod tests {
             },
             Error::Pomdp(bpr_pomdp::Error::InvalidBelief { reason: "x" }),
             Error::Mdp(bpr_mdp::Error::EmptyModel),
+            Error::Snapshot(crate::snapshot::SnapshotError::Malformed {
+                detail: "header".into(),
+            }),
+            Error::Panicked {
+                detail: "episode 3".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -130,6 +152,8 @@ mod tests {
         let e: Error = bpr_pomdp::Error::InvalidBelief { reason: "x" }.into();
         assert!(e.source().is_some());
         let e: Error = bpr_mdp::Error::EmptyModel.into();
+        assert!(e.source().is_some());
+        let e: Error = crate::snapshot::SnapshotError::Io { detail: "d".into() }.into();
         assert!(e.source().is_some());
     }
 }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod anytime;
 pub mod baselines;
 pub mod bootstrap;
 mod bounded;
@@ -42,7 +43,11 @@ mod model;
 mod notified;
 pub mod preview;
 mod resilient;
+pub mod snapshot;
 
+pub use anytime::{
+    anytime_expand, AnytimeConfig, AnytimeController, AnytimeDecision, AnytimeStats,
+};
 pub use bounded::{BoundedConfig, BoundedController};
 pub use controller::{RecoveryController, ResilienceStats, Step};
 pub use error::Error;

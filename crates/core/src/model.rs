@@ -168,7 +168,7 @@ impl RecoveryModel {
             .max_by(|&a, &b| {
                 let ra = self.base.mdp().reward(fault, a);
                 let rb = self.base.mdp().reward(fault, b);
-                ra.partial_cmp(&rb).expect("finite rewards")
+                ra.total_cmp(&rb)
             })
     }
 

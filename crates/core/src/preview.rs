@@ -159,7 +159,7 @@ pub fn render(model: &TerminatedModel, rows: &[PreviewRow], top_k: usize) -> Str
             .enumerate()
             .filter(|(_, p)| *p > 1e-4)
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked.truncate(top_k);
         let belief_desc: Vec<String> = ranked
             .iter()

@@ -20,9 +20,10 @@
 //!   the belief has diverged from reality (e.g. a restart the model
 //!   says always works silently failed), so the belief is re-seeded
 //!   and the inner controller re-begun. Resets are budgeted too.
-//! * **Escalation ladder** — inner controller → model-driven heuristic
-//!   (cheapest recovery action per likely fault, attempts capped) →
-//!   reboot-everything → terminate, under a hard per-episode step and
+//! * **Escalation ladder** — inner controller → budgeted anytime
+//!   planner (when configured via `with_anytime`) → model-driven
+//!   heuristic (cheapest recovery action per likely fault, attempts
+//!   capped) → reboot-everything → terminate, under a hard per-episode step and
 //!   modeled wall-clock budget, so recovery always terminates even
 //!   when the model is wrong (preserving Property 1's spirit).
 //! * **Guarded termination** — an inner `Terminate` is only accepted
@@ -30,7 +31,7 @@
 //!   otherwise it is treated as a diagnosis failure and escalated.
 
 use crate::controller::ResilienceStats;
-use crate::{Error, RecoveryController, RecoveryModel, Step};
+use crate::{AnytimeController, Error, RecoveryController, RecoveryModel, Step};
 use bpr_mdp::{ActionId, StateId};
 use bpr_pomdp::{Belief, ObservationId, RobustUpdate};
 
@@ -124,6 +125,9 @@ impl ResilienceConfig {
 pub enum EscalationLevel {
     /// Delegating to the wrapped controller.
     Inner,
+    /// Deadline-bounded planning on the [`AnytimeController`] rung
+    /// (skipped when none is configured).
+    Anytime,
     /// Model-driven heuristic: cheapest recovery action for the most
     /// likely faults, attempts capped.
     Heuristic,
@@ -150,6 +154,12 @@ pub struct ResilientController<C> {
     /// Broad-coverage recovery actions for the reboot-all level, widest
     /// coverage first; computed once at construction.
     reboot_ladder: Vec<ActionId>,
+    /// Optional deadline-bounded planner: an extra ladder rung between
+    /// the inner controller and the heuristic.
+    anytime: Option<AnytimeController>,
+    /// Whether the anytime rung has a live episode (begun and tracking
+    /// observations); false forces a re-begin from the robust belief.
+    anytime_live: bool,
 
     belief: Option<Belief>,
     level: EscalationLevel,
@@ -211,6 +221,8 @@ impl<C: RecoveryController> ResilientController<C> {
             config,
             name,
             reboot_ladder,
+            anytime: None,
+            anytime_live: false,
             belief: None,
             level: EscalationLevel::Inner,
             stats: ResilienceStats::default(),
@@ -231,9 +243,63 @@ impl<C: RecoveryController> ResilientController<C> {
         })
     }
 
+    /// Adds a deadline-bounded [`AnytimeController`] as an extra
+    /// escalation rung between the inner controller and the heuristic:
+    /// when the inner controller wedges or stalls, decisions keep
+    /// coming from budgeted planning before the ladder falls back to
+    /// model heuristics.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when the anytime controller's
+    /// transformed model does not extend this controller's base model
+    /// (base states + the terminate state).
+    pub fn with_anytime(
+        mut self,
+        controller: AnytimeController,
+    ) -> Result<ResilientController<C>, Error> {
+        if controller.model().pomdp().n_states() != self.model.base().n_states() + 1 {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "anytime controller covers {} states, expected {} (base + terminate)",
+                    controller.model().pomdp().n_states(),
+                    self.model.base().n_states() + 1
+                ),
+            });
+        }
+        self.anytime = Some(controller);
+        Ok(self)
+    }
+
     /// The wrapped controller.
     pub fn inner(&self) -> &C {
         &self.inner
+    }
+
+    /// The anytime rung, when configured.
+    pub fn anytime(&self) -> Option<&AnytimeController> {
+        self.anytime.as_ref()
+    }
+
+    /// The ladder level reached when the inner controller fails: the
+    /// anytime rung when one is configured, else the heuristic.
+    fn post_inner_level(&self) -> EscalationLevel {
+        if self.anytime.is_some() {
+            EscalationLevel::Anytime
+        } else {
+            EscalationLevel::Heuristic
+        }
+    }
+
+    /// The next rung below the current level (skipping the anytime rung
+    /// when none is configured).
+    fn next_level(&self) -> EscalationLevel {
+        match self.level {
+            EscalationLevel::Inner => self.post_inner_level(),
+            EscalationLevel::Anytime => EscalationLevel::Heuristic,
+            EscalationLevel::Heuristic => EscalationLevel::RebootAll,
+            _ => EscalationLevel::Terminate,
+        }
     }
 
     /// The current escalation level.
@@ -265,12 +331,15 @@ impl<C: RecoveryController> ResilientController<C> {
         self.calm_streak = 0;
         self.confirming = false;
         self.reset_run_tracking();
+        // A fresh belief invalidates any live anytime episode too; the
+        // rung re-begins from the new belief at its next decision.
+        self.anytime_live = false;
         if self.level == EscalationLevel::Inner
             && !self.inner_poisoned
             && self.inner.begin(fresh.clone(), None).is_err()
         {
             self.inner_poisoned = true;
-            self.escalate(EscalationLevel::Heuristic);
+            self.escalate(self.post_inner_level());
         }
         self.belief = Some(fresh);
     }
@@ -360,18 +429,15 @@ impl<C: RecoveryController> ResilientController<C> {
         faults.sort_by(|a, b| {
             belief
                 .prob(*b)
-                .partial_cmp(&belief.prob(*a))
-                .expect("belief probabilities are finite")
+                .total_cmp(&belief.prob(*a))
                 .then(a.index().cmp(&b.index()))
         });
         for f in faults {
             if self.heuristic_attempts[f.index()] < self.config.heuristic_attempts_per_fault {
-                self.heuristic_attempts[f.index()] += 1;
-                let action = self
-                    .model
-                    .cheapest_recovery_action(f)
-                    .expect("filtered above");
-                return Ok(Step::Execute(action));
+                if let Some(action) = self.model.cheapest_recovery_action(f) {
+                    self.heuristic_attempts[f.index()] += 1;
+                    return Ok(Step::Execute(action));
+                }
             }
         }
         self.escalate(EscalationLevel::RebootAll);
@@ -398,9 +464,48 @@ impl<C: RecoveryController> ResilientController<C> {
         self.confirming = false;
         match self.level {
             EscalationLevel::Inner => unreachable!("inner decisions handled by decide()"),
+            EscalationLevel::Anytime => self.decide_anytime(),
             EscalationLevel::Heuristic => self.decide_heuristic(),
             EscalationLevel::RebootAll => self.decide_reboot_all(),
             EscalationLevel::Terminate => self.terminate_now(),
+        }
+    }
+
+    /// One decision from the anytime rung. A dead episode (fresh
+    /// escalation, belief reset, refused observation) is re-begun from
+    /// the current robust belief; any failure sends the ladder on to
+    /// the heuristic.
+    fn decide_anytime(&mut self) -> Result<Step, Error> {
+        let belief = self.belief.clone().ok_or(Error::NotStarted)?;
+        let needs_begin = !self.anytime_live;
+        let result = match self.anytime.as_mut() {
+            Some(anytime) => {
+                if needs_begin {
+                    anytime.begin(belief, None).and_then(|()| anytime.decide())
+                } else {
+                    anytime.decide()
+                }
+            }
+            // Ladder invariant: the Anytime level is only reachable via
+            // post_inner_level()/next_level(), which require the rung.
+            // Degrade instead of panicking if it is somehow absent.
+            None => Err(Error::NotStarted),
+        };
+        match result {
+            Ok(Step::Terminate) => {
+                self.anytime_live = false;
+                self.guarded_terminate()
+            }
+            Ok(Step::Execute(action)) => {
+                self.anytime_live = true;
+                self.stats.anytime_decisions += 1;
+                Ok(Step::Execute(action))
+            }
+            Err(_) => {
+                self.anytime_live = false;
+                self.escalate(EscalationLevel::Heuristic);
+                self.decide_on_ladder()
+            }
         }
     }
 }
@@ -431,6 +536,7 @@ impl<C: RecoveryController> RecoveryController for ResilientController<C> {
         self.calm_streak = 0;
         self.resets_used = 0;
         self.inner_poisoned = false;
+        self.anytime_live = false;
         self.confirming = false;
         self.heuristic_attempts.fill(0);
         self.reboot_cursor = 0;
@@ -470,14 +576,14 @@ impl<C: RecoveryController> RecoveryController for ResilientController<C> {
                     // Inner controller wedged (belief update refused,
                     // internal invariant broken): fall down the ladder.
                     self.inner_poisoned = true;
-                    self.escalate(EscalationLevel::Heuristic);
+                    self.escalate(self.post_inner_level());
                     self.decide_on_ladder()
                 }
             }
         } else if self.level == EscalationLevel::Inner {
             // Inner poisoned but not yet escalated (e.g. failed
             // re-begin during reset).
-            self.escalate(EscalationLevel::Heuristic);
+            self.escalate(self.post_inner_level());
             self.decide_on_ladder()
         } else {
             self.decide_on_ladder()
@@ -489,11 +595,7 @@ impl<C: RecoveryController> RecoveryController for ResilientController<C> {
                     // Retry budget exhausted: the same action keeps
                     // coming back without the belief going anywhere.
                     self.reset_run_tracking();
-                    self.escalate(match self.level {
-                        EscalationLevel::Inner => EscalationLevel::Heuristic,
-                        EscalationLevel::Heuristic => EscalationLevel::RebootAll,
-                        _ => EscalationLevel::Terminate,
-                    });
+                    self.escalate(self.next_level());
                     self.decide_on_ladder()
                 } else {
                     Ok(Step::Execute(action))
@@ -534,14 +636,20 @@ impl<C: RecoveryController> RecoveryController for ResilientController<C> {
             if self.resets_used < self.config.max_belief_resets {
                 self.reset_belief();
             } else {
-                self.escalate(match self.level {
-                    EscalationLevel::Inner => EscalationLevel::Heuristic,
-                    EscalationLevel::Heuristic => EscalationLevel::RebootAll,
-                    _ => EscalationLevel::Terminate,
-                });
+                self.escalate(self.next_level());
                 self.surprise_streak = 0;
             }
             return Ok(());
+        }
+
+        if self.level == EscalationLevel::Anytime && self.anytime_live {
+            if let Some(anytime) = self.anytime.as_mut() {
+                if anytime.observe(action, o).is_err() {
+                    // The anytime belief refused the observation; the
+                    // next decision re-begins from the robust belief.
+                    self.anytime_live = false;
+                }
+            }
         }
 
         if self.level == EscalationLevel::Inner
@@ -722,6 +830,84 @@ mod tests {
             stats.belief_resets + stats.escalations + stats.retries > 0,
             "recovery succeeded without the hardening layer doing anything: {stats:?}"
         );
+    }
+
+    /// An inner controller that accepts episodes but wedges on every
+    /// decision — the failure the anytime rung exists to absorb.
+    #[derive(Debug, Clone)]
+    struct WedgedController;
+
+    impl RecoveryController for WedgedController {
+        fn name(&self) -> &str {
+            "wedged"
+        }
+        fn begin(&mut self, _initial: Belief, _true_fault: Option<StateId>) -> Result<(), Error> {
+            Ok(())
+        }
+        fn decide(&mut self) -> Result<Step, Error> {
+            Err(Error::NotStarted)
+        }
+        fn observe(&mut self, _action: ActionId, _o: ObservationId) -> Result<(), Error> {
+            Ok(())
+        }
+        fn belief(&self) -> Option<Belief> {
+            None
+        }
+    }
+
+    fn anytime_rung() -> crate::AnytimeController {
+        let model = two_server_model().without_notification(50.0).unwrap();
+        crate::AnytimeController::new(model, crate::AnytimeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn wedged_inner_falls_to_the_anytime_rung_and_recovers() {
+        let model = two_server_model();
+        let mut c = ResilientController::new(model, WedgedController, ResilienceConfig::default())
+            .unwrap()
+            .with_anytime(anytime_rung())
+            .unwrap();
+        c.begin(Belief::point(3, StateId::new(0)), None).unwrap();
+        let mut world = 0usize;
+        for _ in 0..60 {
+            match c.decide().unwrap() {
+                Step::Terminate => break,
+                Step::Execute(a) => {
+                    if a.index() == 0 && world == 0 {
+                        world = 2;
+                    }
+                    if a.index() == 1 && world == 1 {
+                        world = 2;
+                    }
+                    let o = ObservationId::new(match world {
+                        0 => 0,
+                        1 => 1,
+                        _ => 2,
+                    });
+                    c.observe(a, o).unwrap();
+                }
+            }
+        }
+        assert_eq!(world, 2, "anytime rung failed to recover the fault");
+        assert!(c.terminated, "episode did not terminate");
+        let stats = c.resilience_stats().unwrap();
+        assert!(
+            stats.anytime_decisions >= 1,
+            "recovery bypassed the anytime rung: {stats:?}"
+        );
+        // The ladder never needed to fall past the anytime rung.
+        assert!(c.level() <= EscalationLevel::Anytime, "{:?}", c.level());
+    }
+
+    #[test]
+    fn without_the_rung_a_wedged_inner_goes_straight_to_the_heuristic() {
+        let model = two_server_model();
+        let mut c =
+            ResilientController::new(model, WedgedController, ResilienceConfig::default()).unwrap();
+        c.begin(Belief::point(3, StateId::new(0)), None).unwrap();
+        let _ = c.decide().unwrap();
+        assert_eq!(c.level(), EscalationLevel::Heuristic);
+        assert_eq!(c.resilience_stats().unwrap().anytime_decisions, 0);
     }
 
     #[test]

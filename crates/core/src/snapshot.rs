@@ -1,0 +1,628 @@
+//! Durable, checksummed snapshots of long-running recovery state.
+//!
+//! A recovery service accumulates two kinds of expensive state: the
+//! bootstrapped bound vectors (hours of simulated episodes) and the
+//! progress of a fault-injection campaign. This module gives both a
+//! crash-safe home:
+//!
+//! * **Container format** — every snapshot is a single file with a
+//!   one-line header `bpr-snapshot 1 <kind> <payload-bytes> <fnv64>`
+//!   followed by the payload. The FNV-1a checksum covers the payload,
+//!   so truncation, bit flips, and partially written files are all
+//!   detected and reported as a typed [`SnapshotError`] instead of
+//!   garbage state or a panic.
+//! * **Atomic writes** — [`write_snapshot`] writes a temporary sibling
+//!   file and renames it into place, so a kill mid-write leaves either
+//!   the old snapshot or the new one, never a torn file.
+//! * **Exact round-trips** — floating-point fields are serialised with
+//!   Rust's `{:?}` formatting, which round-trips every finite `f64`
+//!   bit-for-bit. Resuming from a snapshot therefore reproduces the
+//!   uninterrupted run exactly (see
+//!   [`crate::bootstrap::bootstrap_par_durable`]).
+//!
+//! Callers that hold seed state (e.g. the RA-Bound a bootstrap run
+//! started from) treat every [`SnapshotError`] as "start fresh from the
+//! seed": corruption degrades availability of the *checkpoint*, never
+//! of the service.
+
+use crate::bootstrap::IterationRecord;
+use crate::Error;
+use bpr_pomdp::bounds::VectorSetBound;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Magic tag of the container header.
+const MAGIC: &str = "bpr-snapshot";
+/// Current container version.
+const VERSION: &str = "1";
+
+/// Why a snapshot could not be read (or written).
+///
+/// Every variant is recoverable by design: durable runners fall back to
+/// their seed state and surface the error in their report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// The file ends before the payload the header promised.
+    Truncated {
+        /// Payload bytes the header declared.
+        expected: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The payload checksum does not match the header (bit flip or
+    /// concurrent mutation).
+    ChecksumMismatch {
+        /// Checksum the header declared.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// The header declares a container version this build cannot read.
+    VersionMismatch {
+        /// The version string found in the header.
+        found: String,
+    },
+    /// The file is a valid snapshot of a different kind (e.g. a
+    /// campaign snapshot passed to a bootstrap resume).
+    WrongKind {
+        /// Kind the caller expected.
+        expected: String,
+        /// Kind the header declared.
+        found: String,
+    },
+    /// The snapshot parsed but belongs to a different session
+    /// (mismatched seed, config, or model shape).
+    Incompatible {
+        /// What differed.
+        detail: String,
+    },
+    /// The header or payload is structurally malformed.
+    Malformed {
+        /// What failed to parse.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { detail } => write!(f, "snapshot io failure: {detail}"),
+            SnapshotError::Truncated { expected, actual } => write!(
+                f,
+                "snapshot truncated: header promised {expected} payload bytes, found {actual}"
+            ),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            SnapshotError::VersionMismatch { found } => {
+                write!(f, "snapshot version {found:?} is not readable by this build")
+            }
+            SnapshotError::WrongKind { expected, found } => {
+                write!(f, "snapshot kind {found:?} where {expected:?} was expected")
+            }
+            SnapshotError::Incompatible { detail } => {
+                write!(f, "snapshot belongs to a different session: {detail}")
+            }
+            SnapshotError::Malformed { detail } => write!(f, "snapshot malformed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit hash — the payload checksum of the container format.
+///
+/// Dependency-free and byte-order independent; collision resistance is
+/// not a goal (the threat model is corruption, not an adversary).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Writes a snapshot atomically: the header + payload go to a `.tmp`
+/// sibling first, which is then renamed over `path`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] if the temporary file cannot be written or
+/// renamed.
+pub fn write_snapshot(path: &Path, kind: &str, payload: &str) -> Result<(), SnapshotError> {
+    let header = format!(
+        "{MAGIC} {VERSION} {kind} {} {:016x}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    );
+    let mut bytes = Vec::with_capacity(header.len() + payload.len());
+    bytes.extend_from_slice(header.as_bytes());
+    bytes.extend_from_slice(payload.as_bytes());
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io {
+        detail: format!("writing {}: {e}", tmp.display()),
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io {
+        detail: format!("renaming {} into place: {e}", tmp.display()),
+    })
+}
+
+/// Reads and verifies a snapshot of the given kind.
+///
+/// Returns `Ok(None)` when the file does not exist — a missing
+/// checkpoint is the normal first-run state, not an error.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] variant describing why the file cannot be
+/// trusted; callers fall back to their seed state.
+pub fn read_snapshot(path: &Path, kind: &str) -> Result<Option<String>, SnapshotError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(SnapshotError::Io {
+                detail: format!("reading {}: {e}", path.display()),
+            })
+        }
+    };
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(SnapshotError::Malformed {
+            detail: "no header line".into(),
+        })?;
+    let header = std::str::from_utf8(&bytes[..newline]).map_err(|_| SnapshotError::Malformed {
+        detail: "header is not UTF-8".into(),
+    })?;
+    let fields: Vec<&str> = header.split(' ').collect();
+    if fields.len() != 5 || fields[0] != MAGIC {
+        return Err(SnapshotError::Malformed {
+            detail: format!("unrecognised header {header:?}"),
+        });
+    }
+    if fields[1] != VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            found: fields[1].to_string(),
+        });
+    }
+    if fields[2] != kind {
+        return Err(SnapshotError::WrongKind {
+            expected: kind.to_string(),
+            found: fields[2].to_string(),
+        });
+    }
+    let expected_len: usize = fields[3].parse().map_err(|_| SnapshotError::Malformed {
+        detail: format!("unparseable payload length {:?}", fields[3]),
+    })?;
+    let expected_sum =
+        u64::from_str_radix(fields[4], 16).map_err(|_| SnapshotError::Malformed {
+            detail: format!("unparseable checksum {:?}", fields[4]),
+        })?;
+    let payload = &bytes[newline + 1..];
+    if payload.len() < expected_len {
+        return Err(SnapshotError::Truncated {
+            expected: expected_len,
+            actual: payload.len(),
+        });
+    }
+    if payload.len() > expected_len {
+        return Err(SnapshotError::Malformed {
+            detail: format!(
+                "trailing garbage: {} payload bytes where the header promised {}",
+                payload.len(),
+                expected_len
+            ),
+        });
+    }
+    let actual_sum = fnv1a64(payload);
+    if actual_sum != expected_sum {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: expected_sum,
+            actual: actual_sum,
+        });
+    }
+    let payload = String::from_utf8(payload.to_vec()).map_err(|_| SnapshotError::Malformed {
+        detail: "payload is not UTF-8".into(),
+    })?;
+    Ok(Some(payload))
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("snapshot"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Where and how often a durable runner writes its snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Snapshot file location (a `.tmp` sibling is used during writes).
+    pub path: PathBuf,
+    /// Work units (bootstrap rounds, campaign episodes) between
+    /// snapshots. Must be at least 1.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy snapshotting every `every` work units to `path`.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> CheckpointPolicy {
+        CheckpointPolicy {
+            path: path.into(),
+            every,
+        }
+    }
+
+    /// Rejects the degenerate zero interval.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when `every` is zero.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.every == 0 {
+            return Err(Error::InvalidInput {
+                detail: "checkpoint interval must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The persisted state of a [`crate::bootstrap::bootstrap_par_durable`]
+/// run: everything needed to continue the round loop bit-identically.
+///
+/// The bound's hyperplanes **and their usage counters** are both
+/// persisted — eviction under a vector cap depends on usage, so
+/// dropping the counters would make a resumed run diverge from the
+/// uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapCheckpoint {
+    /// Hash of the session parameters (seed, batch, config, model
+    /// shape); a resume with different parameters is rejected as
+    /// [`SnapshotError::Incompatible`].
+    pub fingerprint: u64,
+    /// First episode index the resumed run must execute.
+    pub next_episode: usize,
+    /// Backups performed so far.
+    pub total_backups: usize,
+    /// Per-iteration records accumulated so far.
+    pub records: Vec<IterationRecord>,
+    /// State-space dimension of the bound.
+    pub n_states: usize,
+    /// The bound hyperplanes, in insertion order
+    /// ([`VectorSetBound::to_tsv`] format).
+    pub bound_tsv: String,
+    /// Per-hyperplane usage counters, parallel to the TSV rows.
+    pub usage: Vec<u64>,
+}
+
+/// Container kind tag of bootstrap checkpoints.
+pub const BOOTSTRAP_KIND: &str = "bootstrap";
+
+impl BootstrapCheckpoint {
+    /// Captures the live bootstrap state.
+    pub fn capture(
+        fingerprint: u64,
+        next_episode: usize,
+        total_backups: usize,
+        records: &[IterationRecord],
+        bound: &VectorSetBound,
+    ) -> BootstrapCheckpoint {
+        BootstrapCheckpoint {
+            fingerprint,
+            next_episode,
+            total_backups,
+            records: records.to_vec(),
+            n_states: bound.n_states(),
+            bound_tsv: bound.to_tsv(),
+            usage: bound.usage_counts().to_vec(),
+        }
+    }
+
+    /// Rebuilds the bound this checkpoint captured, usage counters
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when the TSV or the usage counters
+    /// do not describe a valid bound.
+    pub fn restore_bound(&self) -> Result<VectorSetBound, SnapshotError> {
+        let mut bound = VectorSetBound::from_tsv(self.n_states, &self.bound_tsv).map_err(|e| {
+            SnapshotError::Malformed {
+                detail: format!("bound vectors: {e}"),
+            }
+        })?;
+        bound
+            .set_usage_counts(&self.usage)
+            .map_err(|e| SnapshotError::Malformed {
+                detail: format!("usage counters: {e}"),
+            })?;
+        Ok(bound)
+    }
+
+    /// Serialises the checkpoint payload (container header excluded).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!("next {}\n", self.next_episode));
+        out.push_str(&format!("backups {}\n", self.total_backups));
+        out.push_str(&format!("n_states {}\n", self.n_states));
+        for r in &self.records {
+            out.push_str(&format!(
+                "record {}\t{:?}\t{}\n",
+                r.iteration, r.bound_at_uniform, r.n_vectors
+            ));
+        }
+        let usage: Vec<String> = self.usage.iter().map(u64::to_string).collect();
+        out.push_str(&format!("usage {}\n", usage.join(" ")));
+        out.push_str("bound\n");
+        out.push_str(&self.bound_tsv);
+        out
+    }
+
+    /// Parses a payload produced by [`BootstrapCheckpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] for any structural deviation.
+    pub fn decode(payload: &str) -> Result<BootstrapCheckpoint, SnapshotError> {
+        let malformed = |detail: String| SnapshotError::Malformed { detail };
+        let mut fingerprint = None;
+        let mut next_episode = None;
+        let mut total_backups = None;
+        let mut n_states = None;
+        let mut records = Vec::new();
+        let mut usage = None;
+        let mut lines = payload.lines();
+        for line in lines.by_ref() {
+            if line == "bound" {
+                break;
+            }
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| malformed(format!("keyless line {line:?}")))?;
+            match key {
+                "fingerprint" => {
+                    fingerprint = Some(
+                        u64::from_str_radix(rest, 16)
+                            .map_err(|_| malformed(format!("fingerprint {rest:?}")))?,
+                    );
+                }
+                "next" => {
+                    next_episode = Some(
+                        rest.parse()
+                            .map_err(|_| malformed(format!("next {rest:?}")))?,
+                    );
+                }
+                "backups" => {
+                    total_backups = Some(
+                        rest.parse()
+                            .map_err(|_| malformed(format!("backups {rest:?}")))?,
+                    );
+                }
+                "n_states" => {
+                    n_states = Some(
+                        rest.parse()
+                            .map_err(|_| malformed(format!("n_states {rest:?}")))?,
+                    );
+                }
+                "record" => {
+                    let fields: Vec<&str> = rest.split('\t').collect();
+                    if fields.len() != 3 {
+                        return Err(malformed(format!("record {rest:?}")));
+                    }
+                    records.push(IterationRecord {
+                        iteration: fields[0]
+                            .parse()
+                            .map_err(|_| malformed(format!("record iteration {rest:?}")))?,
+                        bound_at_uniform: fields[1]
+                            .parse()
+                            .map_err(|_| malformed(format!("record bound {rest:?}")))?,
+                        n_vectors: fields[2]
+                            .parse()
+                            .map_err(|_| malformed(format!("record vectors {rest:?}")))?,
+                    });
+                }
+                "usage" => {
+                    let counts: Result<Vec<u64>, _> = rest
+                        .split(' ')
+                        .filter(|t| !t.is_empty())
+                        .map(str::parse)
+                        .collect();
+                    usage = Some(counts.map_err(|_| malformed(format!("usage {rest:?}")))?);
+                }
+                _ => return Err(malformed(format!("unknown key {key:?}"))),
+            }
+        }
+        let bound_tsv: String = lines.map(|l| format!("{l}\n")).collect();
+        Ok(BootstrapCheckpoint {
+            fingerprint: fingerprint.ok_or_else(|| malformed("missing fingerprint".into()))?,
+            next_episode: next_episode.ok_or_else(|| malformed("missing next".into()))?,
+            total_backups: total_backups.ok_or_else(|| malformed("missing backups".into()))?,
+            n_states: n_states.ok_or_else(|| malformed("missing n_states".into()))?,
+            records,
+            usage: usage.ok_or_else(|| malformed("missing usage".into()))?,
+            bound_tsv,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] from the underlying write.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        write_snapshot(path, BOOTSTRAP_KIND, &self.encode())
+    }
+
+    /// Loads and verifies a checkpoint; `Ok(None)` when no snapshot
+    /// exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] describing why the file cannot be trusted.
+    pub fn load(path: &Path) -> Result<Option<BootstrapCheckpoint>, SnapshotError> {
+        match read_snapshot(path, BOOTSTRAP_KIND)? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(BootstrapCheckpoint::decode(&payload)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bpr_snapshot_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let path = scratch("roundtrip");
+        write_snapshot(&path, "demo", "hello\nworld\n").unwrap();
+        assert_eq!(
+            read_snapshot(&path, "demo").unwrap().as_deref(),
+            Some("hello\nworld\n")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_none_not_an_error() {
+        assert_eq!(read_snapshot(&scratch("missing"), "demo").unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = scratch("truncated");
+        write_snapshot(&path, "demo", "0123456789").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, "demo"),
+            Err(SnapshotError::Truncated {
+                expected: 10,
+                actual: 7
+            })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let path = scratch("bitflip");
+        write_snapshot(&path, "demo", "0123456789").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, "demo"),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_and_kind_mismatches_are_typed() {
+        let path = scratch("version");
+        write_snapshot(&path, "demo", "x").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("bpr-snapshot 1", "bpr-snapshot 99", 1)).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, "demo"),
+            Err(SnapshotError::VersionMismatch { .. })
+        ));
+        write_snapshot(&path, "other", "x").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, "demo"),
+            Err(SnapshotError::WrongKind { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_header_is_malformed() {
+        let path = scratch("garbage");
+        std::fs::write(&path, "not a snapshot\nat all\n").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, "demo"),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        std::fs::write(&path, [0xFFu8, 0xFE, b'\n']).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, "demo"),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bootstrap_checkpoint_roundtrips_exactly() {
+        let mut bound = VectorSetBound::new(3);
+        bound.add_vector(vec![-1.5, -2.25, 0.0]).unwrap();
+        bound.add_vector(vec![-3.0, -0.125, -1e-300]).unwrap();
+        bound.set_usage_counts(&[7, 0]).unwrap();
+        let records = vec![IterationRecord {
+            iteration: 1,
+            bound_at_uniform: -0.1234567890123456,
+            n_vectors: 2,
+        }];
+        let cp = BootstrapCheckpoint::capture(0xDEAD_BEEF, 4, 17, &records, &bound);
+        let parsed = BootstrapCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(parsed, cp);
+        let restored = parsed.restore_bound().unwrap();
+        assert_eq!(restored, bound);
+        assert_eq!(restored.usage_counts(), bound.usage_counts());
+    }
+
+    #[test]
+    fn checkpoint_policy_validates() {
+        assert!(CheckpointPolicy::new("x", 0).validate().is_err());
+        assert!(CheckpointPolicy::new("x", 3).validate().is_ok());
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let errs = [
+            SnapshotError::Io { detail: "d".into() },
+            SnapshotError::Truncated {
+                expected: 2,
+                actual: 1,
+            },
+            SnapshotError::ChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            SnapshotError::VersionMismatch { found: "9".into() },
+            SnapshotError::WrongKind {
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            SnapshotError::Incompatible { detail: "d".into() },
+            SnapshotError::Malformed { detail: "d".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

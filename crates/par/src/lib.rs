@@ -40,6 +40,25 @@ impl std::fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
+/// A work item that panicked under [`WorkPool::map_indices_isolated`]
+/// and was quarantined instead of tearing down the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Index of the poisoned work item.
+    pub index: usize,
+    /// The captured panic payload (or a placeholder for non-string
+    /// payloads).
+    pub payload: String,
+}
+
+impl std::fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for Quarantined {}
+
 /// A fixed-width work pool over scoped `std::thread` workers.
 ///
 /// The pool itself is trivially cheap (it only records the width);
@@ -151,6 +170,39 @@ impl WorkPool {
             .collect()
     }
 
+    /// [`WorkPool::map_indices`] with **panic isolation**: each call of
+    /// `f` runs under [`std::panic::catch_unwind`], so one poisoned
+    /// work item is reported as a [`Quarantined`] entry in its index
+    /// slot instead of tearing down the whole batch. All other items
+    /// still run to completion, in their usual index slots.
+    ///
+    /// The quarantine captures the panic payload when it is a `String`
+    /// or `&str` (the overwhelmingly common case: `panic!`, `assert!`,
+    /// `unwrap`, `expect`); other payload types are reported as opaque.
+    ///
+    /// Note the standard panic hook still runs per panic (stderr
+    /// backtrace noise); callers wanting silence can install their own
+    /// hook.
+    pub fn map_indices_isolated<T, F>(&self, n: usize, f: F) -> Vec<Result<T, Quarantined>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let f = &f;
+        self.map_indices(n, move |i| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|payload| {
+                let payload = if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Quarantined { index: i, payload }
+            })
+        })
+    }
+
     /// Applies `f` to every item, returning results in item order.
     pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
     where
@@ -253,6 +305,39 @@ mod tests {
         assert_eq!(pool.map_indices(0, |i| i), Vec::<usize>::new());
         assert_eq!(pool.map_indices(1, |i| i), vec![0]);
         assert_eq!(pool.map_indices(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn isolated_map_quarantines_the_poisoned_item() {
+        for width in [1usize, 4] {
+            let pool = WorkPool::new(width).unwrap();
+            let results = pool.map_indices_isolated(8, |i| {
+                assert!(i != 5, "boom at {i}");
+                i * 10
+            });
+            assert_eq!(results.len(), 8, "width {width}");
+            for (i, r) in results.iter().enumerate() {
+                if i == 5 {
+                    let q = r.as_ref().unwrap_err();
+                    assert_eq!(q.index, 5);
+                    assert!(q.payload.contains("boom at 5"), "payload: {}", q.payload);
+                    assert!(q.to_string().contains("work item 5"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_with_no_panics_matches_plain_map() {
+        let pool = WorkPool::new(3).unwrap();
+        let isolated: Vec<usize> = pool
+            .map_indices_isolated(64, |i| i + 1)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(isolated, pool.map_indices(64, |i| i + 1));
     }
 
     #[test]

@@ -181,6 +181,32 @@ impl VectorSetBound {
         self.usage[index] += 1;
     }
 
+    /// The per-hyperplane usage counters, parallel to [`VectorSetBound::iter`].
+    ///
+    /// Eviction under a vector cap is driven by these counters, so
+    /// durable checkpoints persist them alongside the hyperplanes —
+    /// dropping them would make a resumed run evict differently from an
+    /// uninterrupted one.
+    pub fn usage_counts(&self) -> &[u64] {
+        &self.usage
+    }
+
+    /// Overwrites the usage counters (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBelief`] when `counts.len()` differs from
+    /// the number of hyperplanes.
+    pub fn set_usage_counts(&mut self, counts: &[u64]) -> Result<(), Error> {
+        if counts.len() != self.vectors.len() {
+            return Err(Error::InvalidBelief {
+                reason: "usage counter length must equal the number of bound vectors",
+            });
+        }
+        self.usage.copy_from_slice(counts);
+        Ok(())
+    }
+
     /// Shrinks the set to at most `max_len` hyperplanes by discarding
     /// the least-used ones (the finite-storage strategy suggested in
     /// paper §4.3). The most recently added vector is always kept.
@@ -347,6 +373,18 @@ mod tests {
         assert!(VectorSetBound::from_tsv(2, "").is_err());
         assert!(VectorSetBound::from_tsv(2, "1.0\tx\n").is_err());
         assert!(VectorSetBound::from_tsv(2, "1.0\n").is_err()); // ragged
+    }
+
+    #[test]
+    fn usage_counters_roundtrip_through_accessors() {
+        let mut set = VectorSetBound::new(2);
+        set.add_vector(vec![-1.0, -5.0]).unwrap();
+        set.add_vector(vec![-5.0, -1.0]).unwrap();
+        set.best_vector(&Belief::point(2, 0.into())).unwrap();
+        assert_eq!(set.usage_counts(), &[1, 0]);
+        set.set_usage_counts(&[3, 9]).unwrap();
+        assert_eq!(set.usage_counts(), &[3, 9]);
+        assert!(set.set_usage_counts(&[1]).is_err());
     }
 
     #[test]

@@ -20,11 +20,13 @@
 use crate::harness::{EpisodeOutcome, EpisodeRunner, HarnessConfig};
 use crate::metrics::CampaignSummary;
 use crate::PerturbationPlan;
+use bpr_core::snapshot::{fnv1a64, read_snapshot, write_snapshot, CheckpointPolicy, SnapshotError};
 use bpr_core::{Error, RecoveryController, RecoveryModel};
 use bpr_mdp::StateId;
 use bpr_par::WorkPool;
 use rand::rngs::StdRng;
 use rand::{split_seed, SeedableRng};
+use std::path::Path;
 use std::time::Instant;
 
 /// A configured campaign session. Build with [`Campaign::new`] plus the
@@ -49,6 +51,36 @@ pub struct Campaign<'m> {
     master_seed: u64,
     threads: usize,
     abort_tolerant: bool,
+    checkpoint: Option<CheckpointPolicy>,
+}
+
+/// An episode whose controller panicked and was quarantined by the
+/// pool's isolation layer instead of tearing down the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedEpisode {
+    /// Index of the poisoned episode.
+    pub episode: usize,
+    /// The fault it was injecting.
+    pub fault: StateId,
+    /// The episode's derived RNG seed (`split_seed(master, episode)`) —
+    /// enough to replay the panic in isolation.
+    pub seed: u64,
+    /// The captured panic payload (control characters replaced by
+    /// spaces so the report stays line-safe).
+    pub payload: String,
+}
+
+impl std::fmt::Display for QuarantinedEpisode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "episode {} (fault {}, seed {:#018x}) panicked: {}",
+            self.episode,
+            self.fault.index(),
+            self.seed,
+            self.payload
+        )
+    }
 }
 
 /// What a campaign run produced.
@@ -60,13 +92,28 @@ pub struct CampaignReport {
     /// thread count. Aborted episodes (abort-tolerant sessions only)
     /// appear as zeroed unrecovered/unterminated outcomes.
     pub outcomes: Vec<EpisodeOutcome>,
-    /// Episodes whose controller errored out instead of terminating
-    /// (always 0 unless the session is [`Campaign::abort_tolerant`]).
+    /// Episodes whose controller errored out or panicked instead of
+    /// terminating (always 0 unless the session is
+    /// [`Campaign::abort_tolerant`]). Panicked episodes are aborted
+    /// episodes that additionally appear in
+    /// [`CampaignReport::quarantined`].
     pub aborted: usize,
+    /// Episodes whose controller panicked; the isolation layer
+    /// quarantined them (with fault, seed, and panic payload) instead
+    /// of tearing down the campaign.
+    pub quarantined: Vec<QuarantinedEpisode>,
     /// Worker threads the campaign ran on.
     pub threads: usize,
     /// Wall-clock seconds the campaign took.
     pub wall_seconds: f64,
+    /// Episode index the run resumed from, when a compatible checkpoint
+    /// was loaded (`None` for a fresh run).
+    pub resumed_from: Option<usize>,
+    /// Why a present-but-unusable checkpoint was discarded, if that
+    /// happened; the campaign then ran fresh from episode 0.
+    pub snapshot_error: Option<SnapshotError>,
+    /// Checkpoints written during this run.
+    pub checkpoints_written: usize,
 }
 
 impl CampaignReport {
@@ -103,6 +150,7 @@ impl<'m> Campaign<'m> {
             master_seed: 0,
             threads: 1,
             abort_tolerant: false,
+            checkpoint: None,
         }
     }
 
@@ -156,8 +204,29 @@ impl<'m> Campaign<'m> {
     /// [`CampaignReport::aborted`], rather than failing the campaign.
     /// Controllers built for the idealised model *do* abort in degraded
     /// worlds — robustness sweeps treat that failure mode as data.
+    ///
+    /// Panicking episodes are handled the same way (and additionally
+    /// reported in [`CampaignReport::quarantined`]); without tolerance
+    /// a panic fails the campaign with [`Error::Panicked`].
     pub fn abort_tolerant(mut self, tolerate: bool) -> Campaign<'m> {
         self.abort_tolerant = tolerate;
+        self
+    }
+
+    /// Checkpoints campaign progress to `path` every `every` episodes
+    /// (and at completion), and resumes from a compatible checkpoint at
+    /// `path` if one exists when [`Campaign::run`] starts.
+    ///
+    /// Because episodes are pure functions of `(master_seed, index)`,
+    /// a killed-and-resumed campaign reproduces the uninterrupted run's
+    /// [`CampaignReport::canonical_outcomes`] bit-for-bit, at any
+    /// thread count. A checkpoint written by a *different* session
+    /// (other seed, population, config, or plan) is rejected as
+    /// incompatible; a corrupted one is discarded with a typed
+    /// [`SnapshotError`] — either way the campaign runs fresh from
+    /// episode 0 and reports why in [`CampaignReport::snapshot_error`].
+    pub fn checkpoint(mut self, path: impl Into<std::path::PathBuf>, every: usize) -> Campaign<'m> {
+        self.checkpoint = Some(CheckpointPolicy::new(path, every));
         self
     }
 
@@ -189,53 +258,156 @@ impl<'m> Campaign<'m> {
         let pool = WorkPool::new(self.threads).map_err(|e| Error::InvalidInput {
             detail: e.to_string(),
         })?;
+        if let Some(policy) = &self.checkpoint {
+            policy.validate()?;
+        }
         // The report is labelled with the controller's name; build one
         // up front so an empty campaign is labelled too, and factory
         // errors surface before any threads spawn.
         let name = factory(0)?.name().to_string();
 
         let start = Instant::now();
-        let results: Vec<Result<EpisodeOutcome, Error>> =
-            pool.map_indices(self.episodes, |i| self.run_one(i, &factory));
-        let wall_seconds = start.elapsed().as_secs_f64();
+        let mut outcomes: Vec<EpisodeOutcome> = Vec::with_capacity(self.episodes);
+        let mut aborted_flags: Vec<bool> = Vec::with_capacity(self.episodes);
+        let mut quarantined: Vec<QuarantinedEpisode> = Vec::new();
+        let mut resumed_from = None;
+        let mut snapshot_error = None;
+        let mut checkpoints_written = 0usize;
 
-        let mut outcomes = Vec::with_capacity(self.episodes);
-        let mut aborted = 0usize;
-        for (i, result) in results.into_iter().enumerate() {
-            match result {
-                Ok(outcome) => outcomes.push(outcome),
-                Err(e) if !self.abort_tolerant => return Err(e),
-                Err(_) => {
-                    aborted += 1;
-                    outcomes.push(EpisodeOutcome {
-                        fault: self.population[i % self.population.len()],
-                        cost: 0.0,
-                        recovery_time: 0.0,
-                        residual_time: 0.0,
-                        algorithm_time: 0.0,
-                        actions: 0,
-                        monitor_calls: 0,
-                        recovered: false,
-                        terminated: false,
-                        perturbations: Default::default(),
-                        retries: 0,
-                        escalations: 0,
-                        belief_resets: 0,
-                    });
+        if let Some(policy) = &self.checkpoint {
+            match CampaignCheckpoint::load(&policy.path) {
+                Ok(None) => {}
+                Ok(Some(cp)) => {
+                    if cp.fingerprint != self.fingerprint() {
+                        snapshot_error = Some(SnapshotError::Incompatible {
+                            detail: "checkpoint was written by a different campaign session".into(),
+                        });
+                    } else {
+                        // A checkpoint ahead of a shorter target is
+                        // fine: its prefix IS the shorter run.
+                        let take = cp.outcomes.len().min(self.episodes);
+                        outcomes = cp.outcomes[..take].to_vec();
+                        aborted_flags = cp.aborted_flags[..take].to_vec();
+                        quarantined = cp
+                            .quarantined
+                            .into_iter()
+                            .filter(|q| q.episode < take)
+                            .collect();
+                        resumed_from = Some(take);
+                    }
                 }
+                // A present-but-untrustworthy checkpoint must never
+                // kill the campaign: record why and run fresh.
+                Err(e) => snapshot_error = Some(e),
             }
         }
+
+        while outcomes.len() < self.episodes {
+            let next = outcomes.len();
+            let round = match &self.checkpoint {
+                Some(policy) => policy.every.min(self.episodes - next),
+                None => self.episodes - next,
+            };
+            let results =
+                pool.map_indices_isolated(round, |offset| self.run_one(next + offset, &factory));
+            for (offset, result) in results.into_iter().enumerate() {
+                let i = next + offset;
+                match result {
+                    Ok(Ok(outcome)) => {
+                        outcomes.push(outcome);
+                        aborted_flags.push(false);
+                    }
+                    Ok(Err(e)) if !self.abort_tolerant => return Err(e),
+                    Ok(Err(_)) => {
+                        outcomes.push(self.aborted_outcome(i));
+                        aborted_flags.push(true);
+                    }
+                    Err(q) => {
+                        let entry = QuarantinedEpisode {
+                            episode: i,
+                            fault: self.population[i % self.population.len()],
+                            seed: split_seed(self.master_seed, i as u64),
+                            payload: sanitize_payload(&q.payload),
+                        };
+                        if !self.abort_tolerant {
+                            return Err(Error::Panicked {
+                                detail: entry.to_string(),
+                            });
+                        }
+                        quarantined.push(entry);
+                        outcomes.push(self.aborted_outcome(i));
+                        aborted_flags.push(true);
+                    }
+                }
+            }
+            if let Some(policy) = &self.checkpoint {
+                CampaignCheckpoint {
+                    fingerprint: self.fingerprint(),
+                    outcomes: outcomes.iter().map(EpisodeOutcome::canonical).collect(),
+                    aborted_flags: aborted_flags.clone(),
+                    quarantined: quarantined.clone(),
+                }
+                .save(&policy.path)?;
+                checkpoints_written += 1;
+            }
+        }
+        let wall_seconds = start.elapsed().as_secs_f64();
+
         Ok(CampaignReport {
             summary: CampaignSummary::from_outcomes(&name, &outcomes),
+            aborted: aborted_flags.iter().filter(|&&f| f).count(),
             outcomes,
-            aborted,
+            quarantined,
             threads: pool.threads(),
             wall_seconds,
+            resumed_from,
+            snapshot_error,
+            checkpoints_written,
         })
     }
 
+    /// The zeroed outcome recorded for an aborted or quarantined
+    /// episode under [`Campaign::abort_tolerant`].
+    fn aborted_outcome(&self, i: usize) -> EpisodeOutcome {
+        EpisodeOutcome {
+            fault: self.population[i % self.population.len()],
+            cost: 0.0,
+            recovery_time: 0.0,
+            residual_time: 0.0,
+            algorithm_time: 0.0,
+            actions: 0,
+            monitor_calls: 0,
+            recovered: false,
+            terminated: false,
+            perturbations: Default::default(),
+            retries: 0,
+            escalations: 0,
+            belief_resets: 0,
+        }
+    }
+
+    /// Hash of everything that determines per-episode results *except*
+    /// the episode target and thread count — so a run killed short of a
+    /// longer target, or resumed on different hardware, still matches.
+    /// The controller factory cannot be hashed; resuming with a
+    /// different factory is the caller's bug.
+    fn fingerprint(&self) -> u64 {
+        fnv1a64(
+            format!(
+                "seed={} population={:?} max_steps={} plan={:?} tolerant={} n_states={}",
+                self.master_seed,
+                self.population,
+                self.config.max_steps,
+                self.plan,
+                self.abort_tolerant,
+                self.model.base().n_states(),
+            )
+            .as_bytes(),
+        )
+    }
+
     /// Episode `i`, a pure function of `(self, i)` — the determinism
-    /// contract of [`WorkPool::map_indices`].
+    /// contract of [`WorkPool::map_indices_isolated`].
     fn run_one<C, F>(&self, i: usize, factory: &F) -> Result<EpisodeOutcome, Error>
     where
         C: RecoveryController,
@@ -256,14 +428,225 @@ impl<'m> Campaign<'m> {
     }
 }
 
+/// Replaces control characters (tabs, newlines, …) with spaces so a
+/// panic payload stays confined to its line/field in the checkpoint
+/// and in log output.
+fn sanitize_payload(payload: &str) -> String {
+    payload
+        .chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect()
+}
+
+/// Snapshot kind tag for campaign checkpoints.
+const CAMPAIGN_KIND: &str = "campaign";
+
+/// Everything needed to resume a campaign: the session fingerprint and
+/// the canonical per-episode results so far. Stored through the
+/// checksummed [`bpr_core::snapshot`] container.
+#[derive(Debug, Clone, PartialEq)]
+struct CampaignCheckpoint {
+    fingerprint: u64,
+    outcomes: Vec<EpisodeOutcome>,
+    aborted_flags: Vec<bool>,
+    quarantined: Vec<QuarantinedEpisode>,
+}
+
+impl CampaignCheckpoint {
+    fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!("next {}\n", self.outcomes.len()));
+        for q in &self.quarantined {
+            out.push_str(&format!(
+                "quarantined {}\t{}\t{:016x}\t{}\n",
+                q.episode,
+                q.fault.index(),
+                q.seed,
+                sanitize_payload(&q.payload),
+            ));
+        }
+        for (outcome, &aborted) in self.outcomes.iter().zip(&self.aborted_flags) {
+            let p = &outcome.perturbations;
+            out.push_str(&format!(
+                "outcome {}\t{:?}\t{:?}\t{:?}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                outcome.fault.index(),
+                outcome.cost,
+                outcome.recovery_time,
+                outcome.residual_time,
+                outcome.actions,
+                outcome.monitor_calls,
+                u8::from(outcome.recovered),
+                u8::from(outcome.terminated),
+                u8::from(aborted),
+                p.failed_actions,
+                p.dropped_observations,
+                p.corrupted_observations,
+                p.injected_faults,
+                outcome.retries,
+                outcome.escalations,
+                outcome.belief_resets,
+            ));
+        }
+        out
+    }
+
+    fn decode(payload: &str) -> Result<CampaignCheckpoint, SnapshotError> {
+        fn malformed(detail: impl Into<String>) -> SnapshotError {
+            SnapshotError::Malformed {
+                detail: detail.into(),
+            }
+        }
+        let mut lines = payload.lines();
+        let fingerprint = lines
+            .next()
+            .and_then(|l| l.strip_prefix("fingerprint "))
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| malformed("campaign checkpoint missing fingerprint line"))?;
+        let declared: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("next "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| malformed("campaign checkpoint missing next line"))?;
+        let mut quarantined = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut aborted_flags = Vec::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("quarantined ") {
+                let fields: Vec<&str> = rest.splitn(4, '\t').collect();
+                if fields.len() != 4 {
+                    return Err(malformed("quarantined line needs 4 fields"));
+                }
+                quarantined.push(QuarantinedEpisode {
+                    episode: fields[0]
+                        .parse()
+                        .map_err(|_| malformed("bad quarantined episode index"))?,
+                    fault: StateId::new(
+                        fields[1]
+                            .parse()
+                            .map_err(|_| malformed("bad quarantined fault index"))?,
+                    ),
+                    seed: u64::from_str_radix(fields[2], 16)
+                        .map_err(|_| malformed("bad quarantined seed"))?,
+                    payload: fields[3].to_string(),
+                });
+            } else if let Some(rest) = line.strip_prefix("outcome ") {
+                let fields: Vec<&str> = rest.split('\t').collect();
+                if fields.len() != 16 {
+                    return Err(malformed("outcome line needs 16 fields"));
+                }
+                let int = |i: usize| -> Result<usize, SnapshotError> {
+                    fields[i]
+                        .parse()
+                        .map_err(|_| malformed(format!("bad integer in outcome field {i}")))
+                };
+                let float = |i: usize| -> Result<f64, SnapshotError> {
+                    fields[i]
+                        .parse()
+                        .map_err(|_| malformed(format!("bad float in outcome field {i}")))
+                };
+                let flag = |i: usize| -> Result<bool, SnapshotError> {
+                    match fields[i] {
+                        "0" => Ok(false),
+                        "1" => Ok(true),
+                        _ => Err(malformed(format!("bad flag in outcome field {i}"))),
+                    }
+                };
+                outcomes.push(EpisodeOutcome {
+                    fault: StateId::new(int(0)?),
+                    cost: float(1)?,
+                    recovery_time: float(2)?,
+                    residual_time: float(3)?,
+                    algorithm_time: 0.0,
+                    actions: int(4)?,
+                    monitor_calls: int(5)?,
+                    recovered: flag(6)?,
+                    terminated: flag(7)?,
+                    perturbations: crate::PerturbationCounts {
+                        failed_actions: int(9)?,
+                        dropped_observations: int(10)?,
+                        corrupted_observations: int(11)?,
+                        injected_faults: int(12)?,
+                    },
+                    retries: int(13)?,
+                    escalations: int(14)?,
+                    belief_resets: int(15)?,
+                });
+                aborted_flags.push(flag(8)?);
+            } else {
+                return Err(malformed("unrecognised campaign checkpoint line"));
+            }
+        }
+        if outcomes.len() != declared {
+            return Err(malformed(format!(
+                "campaign checkpoint declares {declared} outcomes but carries {}",
+                outcomes.len()
+            )));
+        }
+        Ok(CampaignCheckpoint {
+            fingerprint,
+            outcomes,
+            aborted_flags,
+            quarantined,
+        })
+    }
+
+    fn save(&self, path: &Path) -> Result<(), Error> {
+        write_snapshot(path, CAMPAIGN_KIND, &self.encode()).map_err(Error::from)
+    }
+
+    fn load(path: &Path) -> Result<Option<CampaignCheckpoint>, SnapshotError> {
+        match read_snapshot(path, CAMPAIGN_KIND)? {
+            Some(payload) => Ok(Some(CampaignCheckpoint::decode(&payload)?)),
+            None => Ok(None),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bpr_core::baselines::{MostLikelyController, OracleController};
+    use bpr_core::Step;
     use bpr_emn::two_server;
+    use bpr_mdp::ActionId;
+    use bpr_pomdp::{Belief, ObservationId};
 
     fn model() -> RecoveryModel {
         two_server::default_model().unwrap()
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bpr_campaign_{}_{name}", std::process::id()))
+    }
+
+    /// An oracle that panics inside `decide()` when poisoned — the
+    /// fixture for the quarantine tests.
+    struct PanickyController {
+        inner: OracleController,
+        poisoned: bool,
+    }
+
+    impl RecoveryController for PanickyController {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn begin(&mut self, initial: Belief, true_fault: Option<StateId>) -> Result<(), Error> {
+            self.inner.begin(initial, true_fault)
+        }
+        fn decide(&mut self) -> Result<Step, Error> {
+            assert!(!self.poisoned, "poisoned episode");
+            self.inner.decide()
+        }
+        fn observe(&mut self, action: ActionId, o: ObservationId) -> Result<(), Error> {
+            self.inner.observe(action, o)
+        }
+        fn belief(&self) -> Option<Belief> {
+            self.inner.belief()
+        }
+        fn uses_monitors(&self) -> bool {
+            self.inner.uses_monitors()
+        }
     }
 
     fn population() -> Vec<StateId> {
@@ -362,6 +745,186 @@ mod tests {
             .outcomes
             .iter()
             .any(|o| o.perturbations.total() > 0 || !o.terminated));
+    }
+
+    #[test]
+    fn killed_campaign_resumes_bit_identically_across_thread_counts() {
+        let m = model();
+        let pop = population();
+        let path = scratch("kill_resume");
+        let _ = std::fs::remove_file(&path);
+        let session = |episodes: usize, threads: usize, checkpointed: bool| {
+            let mut c = Campaign::new(&m)
+                .population(&pop)
+                .episodes(episodes)
+                .seed(23)
+                .threads(threads);
+            if checkpointed {
+                c = c.checkpoint(&path, 2);
+            }
+            c.run(|_| MostLikelyController::new(m.clone(), 0.95))
+                .unwrap()
+        };
+        let reference = session(12, 1, false);
+
+        // "Kill" at episode 5 by running a shorter target, then resume
+        // to the full target on a different thread count.
+        let killed = session(5, 2, true);
+        assert_eq!(killed.checkpoints_written, 3);
+        assert_eq!(killed.resumed_from, None);
+        let resumed = session(12, 4, true);
+        assert_eq!(resumed.resumed_from, Some(5));
+        assert_eq!(resumed.snapshot_error, None);
+        assert_eq!(resumed.canonical_outcomes(), reference.canonical_outcomes());
+        // Summaries agree on everything but the wall-clock mean.
+        assert_eq!(resumed.summary.mean_cost, reference.summary.mean_cost);
+        assert_eq!(resumed.summary.unrecovered, reference.summary.unrecovered);
+
+        // A third run finds the finished checkpoint and replays it
+        // without re-running a single episode.
+        let replayed = session(12, 1, true);
+        assert_eq!(replayed.resumed_from, Some(12));
+        assert_eq!(replayed.checkpoints_written, 0);
+        assert_eq!(
+            replayed.canonical_outcomes(),
+            reference.canonical_outcomes()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_campaign_checkpoint_is_discarded_with_a_typed_error() {
+        let m = model();
+        let pop = population();
+        let path = scratch("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let session = |checkpointed: bool| {
+            let mut c = Campaign::new(&m)
+                .population(&pop)
+                .episodes(6)
+                .seed(31)
+                .threads(2);
+            if checkpointed {
+                c = c.checkpoint(&path, 3);
+            }
+            c.run(|_| MostLikelyController::new(m.clone(), 0.95))
+                .unwrap()
+        };
+        session(true);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let report = session(true);
+        assert!(matches!(
+            report.snapshot_error,
+            Some(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(report.resumed_from, None);
+        assert_eq!(
+            report.canonical_outcomes(),
+            session(false).canonical_outcomes()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_campaign_checkpoint_is_rejected_as_incompatible() {
+        let m = model();
+        let pop = population();
+        let path = scratch("foreign");
+        let _ = std::fs::remove_file(&path);
+        let session = |seed: u64| {
+            Campaign::new(&m)
+                .population(&pop)
+                .episodes(4)
+                .seed(seed)
+                .checkpoint(&path, 2)
+                .run(|_| Ok(OracleController::new(m.clone())))
+                .unwrap()
+        };
+        session(1);
+        let report = session(2);
+        assert!(matches!(
+            report.snapshot_error,
+            Some(SnapshotError::Incompatible { .. })
+        ));
+        assert_eq!(report.resumed_from, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panicking_episode_is_quarantined_when_tolerant() {
+        let m = model();
+        let pop = population();
+        let path = scratch("quarantine");
+        let _ = std::fs::remove_file(&path);
+        let session = |threads: usize| {
+            Campaign::new(&m)
+                .population(&pop)
+                .episodes(8)
+                .seed(7)
+                .threads(threads)
+                .abort_tolerant(true)
+                .checkpoint(&path, 4)
+                .run(|i| {
+                    Ok(PanickyController {
+                        inner: OracleController::new(m.clone()),
+                        poisoned: i == 3,
+                    })
+                })
+                .unwrap()
+        };
+        for threads in [1usize, 3] {
+            let _ = std::fs::remove_file(&path);
+            let report = session(threads);
+            assert_eq!(report.aborted, 1, "threads {threads}");
+            assert_eq!(report.quarantined.len(), 1);
+            let q = &report.quarantined[0];
+            assert_eq!(q.episode, 3);
+            assert_eq!(q.fault, pop[3 % pop.len()]);
+            assert_eq!(q.seed, split_seed(7, 3));
+            assert!(
+                q.payload.contains("poisoned episode"),
+                "payload: {}",
+                q.payload
+            );
+            assert!(!report.outcomes[3].terminated);
+            assert!(report.outcomes[2].terminated, "healthy episodes survive");
+        }
+
+        // The quarantine survives a checkpoint round-trip.
+        let replayed = session(1);
+        assert_eq!(replayed.resumed_from, Some(8));
+        assert_eq!(replayed.quarantined.len(), 1);
+        assert_eq!(replayed.quarantined[0].episode, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panicking_episode_fails_an_intolerant_campaign_with_a_typed_error() {
+        let m = model();
+        let pop = population();
+        let err = Campaign::new(&m)
+            .population(&pop)
+            .episodes(6)
+            .seed(7)
+            .threads(2)
+            .run(|i| {
+                Ok(PanickyController {
+                    inner: OracleController::new(m.clone()),
+                    poisoned: i == 2,
+                })
+            })
+            .unwrap_err();
+        match err {
+            Error::Panicked { detail } => {
+                assert!(detail.contains("episode 2"), "detail: {detail}");
+                assert!(detail.contains("poisoned episode"), "detail: {detail}");
+            }
+            other => panic!("expected Error::Panicked, got {other:?}"),
+        }
     }
 
     #[test]

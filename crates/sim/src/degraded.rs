@@ -306,9 +306,11 @@ impl<'a> DegradedWorld<'a> {
             return None;
         }
         let fault = pool[self.prng.gen_range(0..pool.len())];
-        self.world
-            .force_state(fault)
-            .expect("plan validated fault states at construction");
+        // Plan validation makes an out-of-range fault unreachable;
+        // treat one as "no injection" rather than poisoning the episode.
+        if self.world.force_state(fault).is_err() {
+            return None;
+        }
         self.counts.injected_faults += 1;
         Some(fault)
     }

@@ -6,8 +6,8 @@
 //! [`EpisodeRunner`] builder (`.degraded(..)`, `.seed(..)`,
 //! `.max_steps(..)`, then [`EpisodeRunner::run`] or
 //! [`EpisodeRunner::run_traced`]); the former free-function quartet
-//! (`run_episode*`) survives as thin deprecated wrappers for one
-//! release. A *campaign* repeats episodes over a fault population and
+//! (`run_episode*`) has been removed after its deprecation release.
+//! A *campaign* repeats episodes over a fault population and
 //! averages — serially here ([`run_campaign`]), or deterministically in
 //! parallel through [`crate::campaign::Campaign`].
 
@@ -297,7 +297,7 @@ impl EpisodeOutcome {
     }
 }
 
-/// One step of an episode trace (see [`run_episode_traced`]).
+/// One step of an episode trace (see [`EpisodeRunner::run_traced`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// 1-based step number.
@@ -322,95 +322,6 @@ pub struct TraceEvent {
     pub observation_corrupted: bool,
     /// The secondary fault injected at the end of this step, if any.
     pub injected_fault: Option<StateId>,
-}
-
-/// Runs one fault-injection episode.
-///
-/// # Errors
-///
-/// Propagates controller failures (model mismatch, belief-update
-/// errors) and rejects out-of-bounds faults.
-#[deprecated(
-    since = "0.2.0",
-    note = "use EpisodeRunner::new(model).config(config).run_with_rng(controller, fault, rng)"
-)]
-pub fn run_episode<R: Rng + ?Sized>(
-    model: &RecoveryModel,
-    controller: &mut dyn RecoveryController,
-    fault: StateId,
-    config: &HarnessConfig,
-    rng: &mut R,
-) -> Result<EpisodeOutcome, Error> {
-    EpisodeRunner::new(model)
-        .config(config)
-        .run_with_rng(controller, fault, rng)
-}
-
-/// [`run_episode`] with a full per-step trace.
-///
-/// # Errors
-///
-/// Same as [`run_episode`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use EpisodeRunner::new(model).config(config).run_traced_with_rng(controller, fault, rng)"
-)]
-pub fn run_episode_traced<R: Rng + ?Sized>(
-    model: &RecoveryModel,
-    controller: &mut dyn RecoveryController,
-    fault: StateId,
-    config: &HarnessConfig,
-    rng: &mut R,
-) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
-    EpisodeRunner::new(model)
-        .config(config)
-        .run_traced_with_rng(controller, fault, rng)
-}
-
-/// Runs one episode against a [`DegradedWorld`] governed by `plan`.
-///
-/// # Errors
-///
-/// Same as [`run_episode`], plus plan validation failures.
-#[deprecated(
-    since = "0.2.0",
-    note = "use EpisodeRunner::new(model).degraded(plan).config(config).run_with_rng(..)"
-)]
-pub fn run_episode_degraded<R: Rng + ?Sized>(
-    model: &RecoveryModel,
-    controller: &mut dyn RecoveryController,
-    fault: StateId,
-    plan: &PerturbationPlan,
-    config: &HarnessConfig,
-    rng: &mut R,
-) -> Result<EpisodeOutcome, Error> {
-    EpisodeRunner::new(model)
-        .config(config)
-        .degraded(plan)
-        .run_with_rng(controller, fault, rng)
-}
-
-/// [`run_episode_degraded`] with a full per-step trace.
-///
-/// # Errors
-///
-/// Same as [`run_episode_degraded`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use EpisodeRunner::new(model).degraded(plan).config(config).run_traced_with_rng(..)"
-)]
-pub fn run_episode_degraded_traced<R: Rng + ?Sized>(
-    model: &RecoveryModel,
-    controller: &mut dyn RecoveryController,
-    fault: StateId,
-    plan: &PerturbationPlan,
-    config: &HarnessConfig,
-    rng: &mut R,
-) -> Result<(EpisodeOutcome, Vec<TraceEvent>), Error> {
-    EpisodeRunner::new(model)
-        .config(config)
-        .degraded(plan)
-        .run_traced_with_rng(controller, fault, rng)
 }
 
 fn run_episode_impl<W: SimWorld, R: Rng + ?Sized>(
@@ -772,28 +683,6 @@ mod tests {
             HarnessConfig { max_steps: 7 }
         );
         assert!(HarnessConfig::builder().build().is_ok());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_runner() {
-        let m = model();
-        let t = m.without_notification(50.0).unwrap();
-        let fault = StateId::new(two_server::FAULT_A);
-        let config = HarnessConfig::default();
-
-        let mut c1 = BoundedController::new(t.clone(), BoundedConfig::default()).unwrap();
-        let mut rng1 = StdRng::seed_from_u64(17);
-        let (o1, t1) = run_episode_traced(&m, &mut c1, fault, &config, &mut rng1).unwrap();
-
-        let mut c2 = BoundedController::new(t, BoundedConfig::default()).unwrap();
-        let (o2, t2) = EpisodeRunner::new(&m)
-            .seed(17)
-            .run_traced(&mut c2, fault)
-            .unwrap();
-
-        assert_eq!(o1.canonical(), o2.canonical());
-        assert_eq!(t1, t2);
     }
 
     #[test]

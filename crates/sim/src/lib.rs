@@ -34,12 +34,10 @@ pub mod harness;
 pub mod metrics;
 mod world;
 
-pub use campaign::{Campaign, CampaignReport};
+pub use campaign::{Campaign, CampaignReport, QuarantinedEpisode};
 pub use degraded::{DegradedWorld, PerturbationCounts, PerturbationPlan, SimWorld, StepResult};
-#[allow(deprecated)]
 pub use harness::{
-    run_campaign, run_campaign_degraded, run_episode, run_episode_degraded,
-    run_episode_degraded_traced, run_episode_traced, EpisodeOutcome, EpisodeRunner, HarnessConfig,
+    run_campaign, run_campaign_degraded, EpisodeOutcome, EpisodeRunner, HarnessConfig,
     HarnessConfigBuilder, TraceEvent,
 };
 pub use metrics::CampaignSummary;
