@@ -27,4 +27,8 @@ echo "==> kill-and-resume smoke (fails on resume divergence; keeps snapshot)"
 cargo run -p bpr-bench --bin kill_resume --release -- \
   --episodes 20 --every 3 --bootstrap-iters 8 --batch 4 --max-steps 200 --threads 1,2
 
+echo "==> planning-throughput smoke (fails on fused/parallel divergence or steady-state allocations)"
+cargo run -p bpr-bench --bin planning --release -- \
+  --decisions 8 --depth 2 --threads 1,2,4
+
 echo "==> ci.sh: all gates passed"

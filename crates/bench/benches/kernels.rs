@@ -1,6 +1,7 @@
 //! Criterion benchmarks of the computational kernels: RA-Bound solve
 //! (paper §4.3's off-line cost), belief updates, incremental backups,
-//! and the QMDP/FIB upper bounds.
+//! the QMDP/FIB upper bounds, and whole-decision tree expansion
+//! (legacy vs fused kernel) at depths 2–3.
 
 use bpr_bench::experiments::emn_model;
 use bpr_core::TerminatedModel;
@@ -9,7 +10,7 @@ use bpr_mdp::chain::SolveOpts;
 use bpr_mdp::value_iteration::Discount;
 use bpr_pomdp::backup::incremental_backup;
 use bpr_pomdp::bounds::{qmdp_bound, ra_bound};
-use bpr_pomdp::Belief;
+use bpr_pomdp::{tree, Belief, PlanWorkspace};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -72,9 +73,50 @@ fn bench_upper_bounds(c: &mut Criterion) {
     });
 }
 
+fn bench_tree_expansion(c: &mut Criterion) {
+    // Whole-decision cost at the depths the paper's controllers use.
+    // Depth 3 runs at a coarser cutoff to keep the benchmark short; the
+    // legacy/fused comparison stays apples-to-apples at each depth.
+    let t = transformed();
+    let pomdp = t.pomdp();
+    let bound = ra_bound(pomdp, &SolveOpts::default()).expect("bound exists");
+    let belief = Belief::uniform(pomdp.n_states());
+    for (depth, cutoff) in [(2usize, 1e-3f64), (3, 1e-2)] {
+        c.bench_function(&format!("tree_expand_legacy_emn_d{depth}"), |b| {
+            b.iter(|| {
+                tree::legacy::expand_with_cutoff(
+                    pomdp,
+                    black_box(&belief),
+                    depth,
+                    &bound,
+                    1.0,
+                    cutoff,
+                )
+                .expect("legacy expansion succeeds")
+            })
+        });
+        c.bench_function(&format!("tree_expand_fused_emn_d{depth}"), |b| {
+            let mut ws = PlanWorkspace::new();
+            b.iter(|| {
+                tree::expand_with_workspace(
+                    pomdp,
+                    black_box(&belief),
+                    depth,
+                    &bound,
+                    1.0,
+                    cutoff,
+                    &mut ws,
+                )
+                .expect("fused expansion succeeds")
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_ra_bound, bench_belief_ops, bench_backup, bench_upper_bounds
+    targets = bench_ra_bound, bench_belief_ops, bench_backup, bench_upper_bounds,
+        bench_tree_expansion
 }
 criterion_main!(kernels);

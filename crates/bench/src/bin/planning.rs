@@ -1,0 +1,251 @@
+//! Planning-throughput benchmark for the fused tree-expansion kernel:
+//! measures decisions/sec and nodes/sec on the EMN model for the
+//! retained legacy path, the fused workspace path, and root-parallel
+//! expansion at several widths — all in the same run, so the reported
+//! speedups compare like with like.
+//!
+//! Three properties gate the run (exit nonzero on violation):
+//!
+//! 1. the fused decision is **bit-identical** to the legacy decision;
+//! 2. root-parallel decisions are bit-identical to sequential at every
+//!    requested width;
+//! 3. steady-state fused decisions perform **zero heap allocations**
+//!    (counted by a tallying global allocator in this binary only).
+//!
+//! Results land in `BENCH_planning.json`.
+//!
+//! Usage:
+//! `cargo run -p bpr-bench --bin planning --release -- \
+//!     [--decisions 40] [--depth 2] [--cutoff 1e-3] [--threads 1,2,4] \
+//!     [--min-speedup 0.0] [--out BENCH_planning.json]`
+
+use bpr_bench::experiments::emn_model;
+use bpr_bench::flag;
+use bpr_mdp::chain::SolveOpts;
+use bpr_par::WorkPool;
+use bpr_pomdp::bounds::ra_bound;
+use bpr_pomdp::{tree, Belief, PlanWorkspace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A pass-through allocator that counts allocation events. Lives in
+/// this binary only — the libraries stay `forbid(unsafe_code)`; the
+/// planner's zero-allocation claim is verified here from the outside.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn threads_flag(args: &[String], default: &[usize]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| {
+            v.split(',')
+                .map(|p| p.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .ok()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+struct PathResult {
+    wall_seconds: f64,
+    decisions_per_sec: f64,
+    nodes_per_sec: f64,
+    nodes_per_decision: f64,
+}
+
+fn rates(decisions: usize, nodes: usize, wall: f64) -> PathResult {
+    PathResult {
+        wall_seconds: wall,
+        decisions_per_sec: decisions as f64 / wall,
+        nodes_per_sec: nodes as f64 / wall,
+        nodes_per_decision: nodes as f64 / decisions as f64,
+    }
+}
+
+fn write_path(out: &mut String, name: &str, r: &PathResult) {
+    let _ = write!(
+        out,
+        "\"{}\": {{\"wall_seconds\": {:.6}, \"decisions_per_sec\": {:.3}, \
+         \"nodes_per_sec\": {:.1}, \"nodes_per_decision\": {:.1}}}",
+        name, r.wall_seconds, r.decisions_per_sec, r.nodes_per_sec, r.nodes_per_decision
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let decisions = flag(&args, "--decisions", 40usize).max(1);
+    let depth = flag(&args, "--depth", 2usize).max(1);
+    let cutoff = flag(&args, "--cutoff", 1e-3f64);
+    let min_speedup = flag(&args, "--min-speedup", 0.0f64);
+    let widths = threads_flag(&args, &[1, 2, 4]);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_planning.json".to_string());
+
+    let model = emn_model()
+        .expect("EMN model builds")
+        .without_notification(21_600.0)
+        .expect("transform succeeds");
+    let pomdp = model.pomdp();
+    let bound = ra_bound(pomdp, &SolveOpts::default()).expect("RA-Bound exists");
+    let belief = Belief::uniform(pomdp.n_states());
+    println!(
+        "planning benchmark: EMN ({} states, {} actions, {} observations), \
+         depth {depth}, cutoff {cutoff:e}, {decisions} decisions per path",
+        pomdp.n_states(),
+        pomdp.n_actions(),
+        pomdp.n_observations()
+    );
+
+    // --- Legacy path (per-node successor rebuild, fresh allocations).
+    let legacy_ref = tree::legacy::expand_with_cutoff(pomdp, &belief, depth, &bound, 1.0, cutoff)
+        .expect("legacy expansion succeeds");
+    let start = Instant::now();
+    let mut legacy_nodes = 0usize;
+    for _ in 0..decisions {
+        let d = tree::legacy::expand_with_cutoff(pomdp, &belief, depth, &bound, 1.0, cutoff)
+            .expect("legacy expansion succeeds");
+        legacy_nodes += d.nodes_expanded;
+    }
+    let legacy = rates(decisions, legacy_nodes, start.elapsed().as_secs_f64());
+    println!(
+        "  legacy: {:.1} decisions/sec, {:.0} nodes/sec",
+        legacy.decisions_per_sec, legacy.nodes_per_sec
+    );
+
+    // --- Fused workspace path, with the allocation gate.
+    let mut ws = PlanWorkspace::new();
+    for _ in 0..2 {
+        // Warm-up: populate the scratch arena, frames, and cache tables.
+        tree::expand_with_workspace(pomdp, &belief, depth, &bound, 1.0, cutoff, &mut ws)
+            .expect("fused expansion succeeds");
+    }
+    if ws.decision() != &legacy_ref {
+        eprintln!(
+            "DIVERGENCE: fused decision differs from legacy\n  legacy: {legacy_ref:?}\n  fused:  {:?}",
+            ws.decision()
+        );
+        std::process::exit(1);
+    }
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut fused_nodes = 0usize;
+    for _ in 0..decisions {
+        tree::expand_with_workspace(pomdp, &belief, depth, &bound, 1.0, cutoff, &mut ws)
+            .expect("fused expansion succeeds");
+        fused_nodes += ws.decision().nodes_expanded;
+    }
+    let fused_wall = start.elapsed().as_secs_f64();
+    let steady_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let fused = rates(decisions, fused_nodes, fused_wall);
+    let allocs_per_decision = steady_allocs as f64 / decisions as f64;
+    let stats = ws.stats().clone();
+    println!(
+        "  fused:  {:.1} decisions/sec, {:.0} nodes/sec, {} allocations over {} decisions, \
+         cache {}/{} hits/misses",
+        fused.decisions_per_sec,
+        fused.nodes_per_sec,
+        steady_allocs,
+        decisions,
+        stats.cache_hits,
+        stats.cache_misses
+    );
+    if steady_allocs != 0 {
+        eprintln!(
+            "ALLOCATION GATE: {steady_allocs} heap allocations in {decisions} steady-state fused \
+             decisions (expected 0)"
+        );
+        std::process::exit(1);
+    }
+
+    let speedup = fused.decisions_per_sec / legacy.decisions_per_sec;
+    println!("  speedup (fused over legacy): {speedup:.2}x");
+    if speedup < min_speedup {
+        eprintln!("SPEEDUP GATE: {speedup:.2}x < required {min_speedup:.2}x");
+        std::process::exit(1);
+    }
+
+    // --- Root-parallel expansion, gated on exact Decision equality.
+    let sequential = tree::expand_with_cutoff(pomdp, &belief, depth, &bound, 1.0, cutoff)
+        .expect("sequential expansion succeeds");
+    let mut parallel_rows = String::from("[");
+    for (i, &width) in widths.iter().enumerate() {
+        let pool = WorkPool::new(width).expect("positive width");
+        let first = tree::expand_par(pomdp, &belief, depth, &bound, 1.0, cutoff, &pool)
+            .expect("parallel expansion succeeds");
+        if first != sequential {
+            eprintln!(
+                "DIVERGENCE: parallel decision at width {width} differs from sequential\n  \
+                 sequential: {sequential:?}\n  parallel:   {first:?}"
+            );
+            std::process::exit(1);
+        }
+        let start = Instant::now();
+        let mut nodes = 0usize;
+        for _ in 0..decisions {
+            let d = tree::expand_par(pomdp, &belief, depth, &bound, 1.0, cutoff, &pool)
+                .expect("parallel expansion succeeds");
+            nodes += d.nodes_expanded;
+        }
+        let r = rates(decisions, nodes, start.elapsed().as_secs_f64());
+        println!(
+            "  parallel x{width}: {:.1} decisions/sec (bit-identical to sequential)",
+            r.decisions_per_sec
+        );
+        if i > 0 {
+            parallel_rows.push_str(", ");
+        }
+        let _ = write!(
+            parallel_rows,
+            "{{\"threads\": {width}, \"wall_seconds\": {:.6}, \"decisions_per_sec\": {:.3}, \
+             \"bit_identical\": true}}",
+            r.wall_seconds, r.decisions_per_sec
+        );
+    }
+    parallel_rows.push(']');
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"model\": \"emn\", \"depth\": {depth}, \"gamma_cutoff\": {cutoff:e}, \
+         \"decisions\": {decisions},\n  "
+    );
+    write_path(&mut json, "legacy", &legacy);
+    json.push_str(",\n  ");
+    write_path(&mut json, "fused", &fused);
+    let _ = write!(
+        json,
+        ",\n  \"allocations_per_decision\": {allocs_per_decision:.3},\n  \
+         \"cache_hits\": {}, \"cache_misses\": {},\n  \
+         \"speedup_fused_over_legacy\": {speedup:.3},\n  \"parallel\": {parallel_rows}\n}}\n",
+        stats.cache_hits, stats.cache_misses
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -21,7 +21,7 @@ use bpr_mdp::chain::SolveOpts;
 use bpr_mdp::{ActionId, StateId};
 use bpr_pomdp::backup::incremental_backup;
 use bpr_pomdp::bounds::{ra_bound, ValueBound, VectorSetBound};
-use bpr_pomdp::{Belief, ObservationId, Pomdp};
+use bpr_pomdp::{tree, Belief, ObservationId, PlanWorkspace, Pomdp};
 
 /// Configuration of an [`AnytimeController`].
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +159,42 @@ pub fn anytime_expand(
     beta: f64,
     gamma_cutoff: f64,
 ) -> Result<AnytimeDecision, Error> {
+    let mut ws = PlanWorkspace::new();
+    anytime_expand_with_workspace(
+        pomdp,
+        belief,
+        leaf,
+        max_depth,
+        node_budget,
+        beta,
+        gamma_cutoff,
+        &mut ws,
+    )
+}
+
+/// [`anytime_expand`] running against a reusable [`PlanWorkspace`]: the
+/// deepening passes run on the fused planning kernel
+/// ([`bpr_pomdp::tree::expand_budgeted`]) with all tree scratch drawn
+/// from the workspace, so a controller holding its workspace across
+/// decisions pays no per-node allocations. The transposition cache is
+/// not used (budgeted passes must abort at literal expansion order),
+/// and the returned decision is identical to the pre-fusion
+/// implementation: same values, same abort points, same node counts.
+///
+/// # Errors
+///
+/// Same as [`anytime_expand`].
+#[allow(clippy::too_many_arguments)]
+pub fn anytime_expand_with_workspace(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    leaf: &dyn ValueBound,
+    max_depth: usize,
+    node_budget: usize,
+    beta: f64,
+    gamma_cutoff: f64,
+    ws: &mut PlanWorkspace,
+) -> Result<AnytimeDecision, Error> {
     if max_depth == 0 {
         return Err(Error::InvalidInput {
             detail: "anytime expansion depth must be at least 1".into(),
@@ -167,11 +203,37 @@ pub fn anytime_expand(
     // Depth-0 bound-greedy fallback: reward plus the bound at the
     // *predicted* (pre-observation) belief. One bound evaluation per
     // action, no tree nodes — the floor the planner can always afford.
+    // Inlines `Belief::from_probs(belief.predict(..))` against workspace
+    // scratch: same validation, same renormalisation, no temporaries.
     let mut greedy = Vec::with_capacity(pomdp.n_actions());
+    let mut pred = ws.checkout(pomdp.n_states());
+    let mut invalid: Option<&'static str> = None;
     for a in 0..pomdp.n_actions() {
         let action = ActionId::new(a);
-        let predicted = Belief::from_probs(belief.predict(pomdp, action)).map_err(Error::Pomdp)?;
-        greedy.push(belief.expected_reward(pomdp, action) + beta * leaf.value(&predicted));
+        pomdp
+            .mdp()
+            .transition_matrix(action)
+            .matvec_transpose_into(belief.probs(), &mut pred)
+            .expect("belief length matches model");
+        if pred.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            invalid = Some("entries must be finite and non-negative");
+            break;
+        }
+        let sum: f64 = pred.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            invalid = Some("entries must sum to 1");
+            break;
+        }
+        if sum != 0.0 && sum.is_finite() {
+            for v in pred.iter_mut() {
+                *v /= sum;
+            }
+        }
+        greedy.push(belief.expected_reward(pomdp, action) + beta * leaf.value_weights(&pred));
+    }
+    ws.release(pred);
+    if let Some(reason) = invalid {
+        return Err(Error::Pomdp(bpr_pomdp::Error::InvalidBelief { reason }));
     }
     let (action, value) = argmax_last(&greedy);
     let mut decision = AnytimeDecision {
@@ -189,123 +251,31 @@ pub fn anytime_expand(
             decision.budget_exhausted = true;
             break;
         }
-        let (spent, q_values) =
-            budgeted_root(pomdp, belief, depth, leaf, beta, gamma_cutoff, remaining);
-        decision.nodes_expanded += spent;
-        match q_values {
-            Some(q_values) => {
-                let (action, value) = argmax_last(&q_values);
-                decision.action = action;
-                decision.value = value;
-                decision.q_values = q_values;
-                decision.completed_depth = depth;
-            }
-            None => {
-                decision.budget_exhausted = true;
-                break;
-            }
+        let pass = tree::expand_budgeted(
+            pomdp,
+            belief,
+            depth,
+            leaf,
+            beta,
+            gamma_cutoff,
+            remaining,
+            ws,
+        )
+        .map_err(Error::Pomdp)?;
+        decision.nodes_expanded += pass.nodes_spent;
+        if pass.completed {
+            let (action, value) = argmax_last(ws.q_scratch());
+            decision.action = action;
+            decision.value = value;
+            decision.q_values.clear();
+            decision.q_values.extend_from_slice(ws.q_scratch());
+            decision.completed_depth = depth;
+        } else {
+            decision.budget_exhausted = true;
+            break;
         }
     }
     Ok(decision)
-}
-
-/// One full-width root pass at `depth`, aborting (returning `None`
-/// q-values) the moment the node budget is exceeded. Node accounting
-/// mirrors [`bpr_pomdp::tree`] exactly: only belief nodes count, and
-/// the root belief itself is not counted.
-fn budgeted_root(
-    pomdp: &Pomdp,
-    belief: &Belief,
-    depth: usize,
-    leaf: &dyn ValueBound,
-    beta: f64,
-    gamma_cutoff: f64,
-    budget: usize,
-) -> (usize, Option<Vec<f64>>) {
-    let mut nodes = 0usize;
-    let mut q_values = Vec::with_capacity(pomdp.n_actions());
-    for a in 0..pomdp.n_actions() {
-        match action_value_b(
-            pomdp,
-            belief,
-            ActionId::new(a),
-            depth,
-            leaf,
-            beta,
-            gamma_cutoff,
-            budget,
-            &mut nodes,
-        ) {
-            Some(q) => q_values.push(q),
-            None => return (nodes, None),
-        }
-    }
-    (nodes, Some(q_values))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn belief_value_b(
-    pomdp: &Pomdp,
-    belief: &Belief,
-    depth: usize,
-    leaf: &dyn ValueBound,
-    beta: f64,
-    gamma_cutoff: f64,
-    budget: usize,
-    nodes: &mut usize,
-) -> Option<f64> {
-    *nodes += 1;
-    if *nodes > budget {
-        return None;
-    }
-    if depth == 0 {
-        return Some(leaf.value(belief));
-    }
-    let mut best = f64::NEG_INFINITY;
-    for a in 0..pomdp.n_actions() {
-        let q = action_value_b(
-            pomdp,
-            belief,
-            ActionId::new(a),
-            depth,
-            leaf,
-            beta,
-            gamma_cutoff,
-            budget,
-            nodes,
-        )?;
-        best = best.max(q);
-    }
-    Some(best)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn action_value_b(
-    pomdp: &Pomdp,
-    belief: &Belief,
-    action: ActionId,
-    depth: usize,
-    leaf: &dyn ValueBound,
-    beta: f64,
-    gamma_cutoff: f64,
-    budget: usize,
-    nodes: &mut usize,
-) -> Option<f64> {
-    let mut q = belief.expected_reward(pomdp, action);
-    for (_o, gamma, next) in belief.successors(pomdp, action, gamma_cutoff) {
-        let v = belief_value_b(
-            pomdp,
-            &next,
-            depth - 1,
-            leaf,
-            beta,
-            gamma_cutoff,
-            budget,
-            nodes,
-        )?;
-        q += beta * gamma * v;
-    }
-    Some(q)
 }
 
 /// Cumulative statistics of an [`AnytimeController`].
@@ -339,6 +309,7 @@ pub struct AnytimeController {
     belief: Option<Belief>,
     terminated: bool,
     stats: AnytimeStats,
+    workspace: PlanWorkspace,
 }
 
 impl AnytimeController {
@@ -392,6 +363,7 @@ impl AnytimeController {
             belief: None,
             terminated: false,
             stats: AnytimeStats::default(),
+            workspace: PlanWorkspace::new(),
         })
     }
 
@@ -464,7 +436,7 @@ impl RecoveryController for AnytimeController {
                 self.bound.evict_to(cap);
             }
         }
-        let decision = anytime_expand(
+        let decision = anytime_expand_with_workspace(
             self.model.pomdp(),
             &belief,
             &self.bound,
@@ -472,6 +444,7 @@ impl RecoveryController for AnytimeController {
             self.config.node_budget,
             self.config.beta,
             self.config.gamma_cutoff,
+            &mut self.workspace,
         )?;
         self.stats.decisions += 1;
         self.stats.nodes_expanded += decision.nodes_expanded;

@@ -3,9 +3,10 @@
 use crate::{Error, RecoveryController, Step, TerminatedModel};
 use bpr_mdp::chain::SolveOpts;
 use bpr_mdp::{ActionId, StateId};
+use bpr_par::WorkPool;
 use bpr_pomdp::backup::incremental_backup;
 use bpr_pomdp::bounds::{ra_bound, VectorSetBound};
-use bpr_pomdp::{tree, Belief, ObservationId};
+use bpr_pomdp::{tree, Belief, ObservationId, PlanStats, PlanWorkspace};
 
 /// Configuration of a [`BoundedController`].
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +42,13 @@ pub struct BoundedConfig {
     /// an un-bootstrapped controller terminate too eagerly; a couple of
     /// vertex sweeps repair exactly that region. Set to 0 to disable.
     pub startup_vertex_sweeps: usize,
+    /// Worker threads for root-level parallel expansion. `1` (the
+    /// default) plans sequentially in the controller's reusable
+    /// workspace; larger values expand the root actions concurrently
+    /// over a [`WorkPool`], producing **bit-identical decisions** at
+    /// every width. Ignored when `branch_and_bound` is set — incumbent
+    /// pruning is inherently sequential.
+    pub root_threads: usize,
 }
 
 impl Default for BoundedConfig {
@@ -54,6 +62,7 @@ impl Default for BoundedConfig {
             gamma_cutoff: 1e-6,
             branch_and_bound: false,
             startup_vertex_sweeps: 2,
+            root_threads: 1,
         }
     }
 }
@@ -93,6 +102,7 @@ pub struct BoundedController {
     belief: Option<Belief>,
     terminated: bool,
     stats: BoundedStats,
+    workspace: PlanWorkspace,
 }
 
 impl BoundedController {
@@ -125,6 +135,11 @@ impl BoundedController {
         if config.depth == 0 {
             return Err(Error::InvalidInput {
                 detail: "tree depth must be at least 1".into(),
+            });
+        }
+        if config.root_threads == 0 {
+            return Err(Error::InvalidInput {
+                detail: "root_threads must be at least 1".into(),
             });
         }
         if bound.n_states() != model.pomdp().n_states() {
@@ -171,6 +186,7 @@ impl BoundedController {
             belief: None,
             terminated: false,
             stats: BoundedStats::default(),
+            workspace: PlanWorkspace::new(),
         })
     }
 
@@ -192,6 +208,16 @@ impl BoundedController {
     /// Controller statistics accumulated so far.
     pub fn stats(&self) -> BoundedStats {
         self.stats
+    }
+
+    /// Planning-kernel statistics of the controller's workspace
+    /// (transposition-cache hits/misses, scratch buffers built).
+    ///
+    /// Covers the sequential workspace paths only; with
+    /// `root_threads > 1` the parallel expansion uses short-lived
+    /// per-worker workspaces that are not aggregated here.
+    pub fn plan_stats(&self) -> &PlanStats {
+        self.workspace.stats()
     }
 
     /// The belief over the *transformed* state space (including `s_T`).
@@ -245,38 +271,63 @@ impl RecoveryController for BoundedController {
                 self.stats.vectors_evicted += self.bound.evict_to(cap);
             }
         }
-        let decision = match &self.upper {
-            Some(upper) => tree::expand_branch_and_bound(
-                self.model.pomdp(),
-                &belief,
-                self.config.depth,
-                &self.bound,
-                upper,
-                self.config.beta,
-                self.config.gamma_cutoff,
-            ),
-            None => tree::expand_with_cutoff(
-                self.model.pomdp(),
-                &belief,
-                self.config.depth,
-                &self.bound,
-                self.config.beta,
-                self.config.gamma_cutoff,
-            ),
-        }
-        .map_err(Error::Pomdp)?;
-        self.stats.decisions += 1;
-        self.stats.nodes_expanded += decision.nodes_expanded;
-
         let a_t = self.model.terminate_action();
-        let terminate = decision.action == a_t
-            || (self.config.prefer_terminate_on_tie
-                && decision.q_values[a_t.index()] >= decision.value - 1e-12);
+        let (action, value, q_at_terminate, nodes_expanded) = match &self.upper {
+            Some(upper) => {
+                tree::expand_branch_and_bound_with_workspace(
+                    self.model.pomdp(),
+                    &belief,
+                    self.config.depth,
+                    &self.bound,
+                    upper,
+                    self.config.beta,
+                    self.config.gamma_cutoff,
+                    &mut self.workspace,
+                )
+                .map_err(Error::Pomdp)?;
+                let d = self.workspace.decision();
+                (d.action, d.value, d.q_values[a_t.index()], d.nodes_expanded)
+            }
+            None if self.config.root_threads > 1 => {
+                let pool = WorkPool::new(self.config.root_threads)
+                    .expect("root_threads validated at construction");
+                let d = tree::expand_par(
+                    self.model.pomdp(),
+                    &belief,
+                    self.config.depth,
+                    &self.bound,
+                    self.config.beta,
+                    self.config.gamma_cutoff,
+                    &pool,
+                )
+                .map_err(Error::Pomdp)?;
+                (d.action, d.value, d.q_values[a_t.index()], d.nodes_expanded)
+            }
+            None => {
+                tree::expand_with_workspace(
+                    self.model.pomdp(),
+                    &belief,
+                    self.config.depth,
+                    &self.bound,
+                    self.config.beta,
+                    self.config.gamma_cutoff,
+                    &mut self.workspace,
+                )
+                .map_err(Error::Pomdp)?;
+                let d = self.workspace.decision();
+                (d.action, d.value, d.q_values[a_t.index()], d.nodes_expanded)
+            }
+        };
+        self.stats.decisions += 1;
+        self.stats.nodes_expanded += nodes_expanded;
+
+        let terminate = action == a_t
+            || (self.config.prefer_terminate_on_tie && q_at_terminate >= value - 1e-12);
         if terminate {
             self.terminated = true;
             return Ok(Step::Terminate);
         }
-        Ok(Step::Execute(decision.action))
+        Ok(Step::Execute(action))
     }
 
     fn observe(&mut self, action: ActionId, o: ObservationId) -> Result<(), Error> {
@@ -547,6 +598,74 @@ mod tests {
             bb.begin(b, None).unwrap();
             assert_eq!(plain.decide().unwrap(), bb.decide().unwrap());
         }
+    }
+
+    #[test]
+    fn zero_root_threads_is_rejected() {
+        let model = two_server_model().without_notification(10.0).unwrap();
+        assert!(BoundedController::new(
+            model,
+            BoundedConfig {
+                root_threads: 0,
+                ..BoundedConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parallel_roots_reproduce_the_sequential_episode() {
+        // Same model, same belief trajectory: every decision must agree
+        // bit-for-bit whatever the root width. Online backups mutate the
+        // bound, so the controllers must see identical belief sequences.
+        let model = two_server_model().without_notification(10.0).unwrap();
+        let mut controllers: Vec<BoundedController> = [1usize, 2, 4]
+            .into_iter()
+            .map(|root_threads| {
+                BoundedController::new(
+                    model.clone(),
+                    BoundedConfig {
+                        depth: 2,
+                        root_threads,
+                        ..BoundedConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        for c in &mut controllers {
+            c.begin(
+                Belief::uniform_over(3, &[StateId::new(0), StateId::new(1)]),
+                None,
+            )
+            .unwrap();
+        }
+        for _ in 0..10 {
+            let steps: Vec<Step> = controllers
+                .iter_mut()
+                .map(|c| c.decide().unwrap())
+                .collect();
+            assert!(steps.iter().all(|s| *s == steps[0]), "diverged: {steps:?}");
+            match steps[0] {
+                Step::Terminate => break,
+                Step::Execute(a) => {
+                    for c in &mut controllers {
+                        c.observe(a, ObservationId::new(1)).unwrap();
+                    }
+                }
+            }
+        }
+        let stats: Vec<_> = controllers.iter().map(|c| c.stats()).collect();
+        assert!(stats.iter().all(|s| *s == stats[0]), "stats diverged");
+    }
+
+    #[test]
+    fn workspace_reuse_reports_cache_activity() {
+        let mut c = controller(10.0, 3);
+        c.begin(Belief::uniform(3), None).unwrap();
+        let _ = c.decide().unwrap();
+        let stats = c.plan_stats();
+        assert!(stats.cache_hits + stats.cache_misses > 0);
     }
 
     #[test]

@@ -46,7 +46,8 @@ mod resilient;
 pub mod snapshot;
 
 pub use anytime::{
-    anytime_expand, AnytimeConfig, AnytimeController, AnytimeDecision, AnytimeStats,
+    anytime_expand, anytime_expand_with_workspace, AnytimeConfig, AnytimeController,
+    AnytimeDecision, AnytimeStats,
 };
 pub use bounded::{BoundedConfig, BoundedController};
 pub use controller::{RecoveryController, ResilienceStats, Step};

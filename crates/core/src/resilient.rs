@@ -247,7 +247,10 @@ impl<C: RecoveryController> ResilientController<C> {
     /// escalation rung between the inner controller and the heuristic:
     /// when the inner controller wedges or stalls, decisions keep
     /// coming from budgeted planning before the ladder falls back to
-    /// model heuristics.
+    /// model heuristics. The rung's budgeted passes run on the fused
+    /// planning kernel against the controller's own reusable
+    /// [`bpr_pomdp::PlanWorkspace`], so escalated decisions stay cheap
+    /// even under tight deadlines.
     ///
     /// # Errors
     ///

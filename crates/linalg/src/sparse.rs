@@ -269,6 +269,22 @@ impl CsrMatrix {
     ///
     /// Returns [`Error::DimensionMismatch`] if `x.len() != self.nrows()`.
     pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>, Error> {
+        let mut y = vec![0.0; self.ncols];
+        self.matvec_transpose_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Computes `y = selfᵀ * x`, writing into a caller-provided buffer.
+    ///
+    /// Bit-identical to [`CsrMatrix::matvec_transpose`] (same traversal
+    /// and accumulation order); the buffer variant exists so hot loops
+    /// can reuse scratch instead of allocating per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.nrows()`
+    /// or `y.len() != self.ncols()`.
+    pub fn matvec_transpose_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), Error> {
         if x.len() != self.nrows {
             return Err(Error::DimensionMismatch {
                 expected: self.nrows,
@@ -276,7 +292,14 @@ impl CsrMatrix {
                 what: "transpose matvec input",
             });
         }
-        let mut y = vec![0.0; self.ncols];
+        if y.len() != self.ncols {
+            return Err(Error::DimensionMismatch {
+                expected: self.ncols,
+                actual: y.len(),
+                what: "transpose matvec output",
+            });
+        }
+        y.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
@@ -285,7 +308,56 @@ impl CsrMatrix {
                 y[self.col_idx[k]] += self.values[k] * xr;
             }
         }
-        Ok(y)
+        Ok(())
+    }
+
+    /// Fused row gather-and-scale: writes `out[c] = self[row, c] * x[c]`
+    /// for every stored entry of `row` (zero elsewhere) and returns the
+    /// sum of those products, accumulated in ascending column order.
+    ///
+    /// This is the diagonal-scale half of a fused posterior operator
+    /// `τ = diag(row) ∘ M`: apply `M` once with
+    /// [`CsrMatrix::matvec_transpose_into`], then this per row. Since
+    /// the skipped columns contribute exactly `+0.0` and every product
+    /// here is a plain `v * x[c]`, the returned sum equals a dense
+    /// left-to-right sum over `out` bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if `row >= self.nrows()` and
+    /// [`Error::DimensionMismatch`] if `x` or `out` is not `ncols` long.
+    pub fn row_scaled_into(&self, row: usize, x: &[f64], out: &mut [f64]) -> Result<f64, Error> {
+        if row >= self.nrows {
+            return Err(Error::IndexOutOfBounds {
+                row,
+                col: 0,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        if x.len() != self.ncols {
+            return Err(Error::DimensionMismatch {
+                expected: self.ncols,
+                actual: x.len(),
+                what: "row_scaled input",
+            });
+        }
+        if out.len() != self.ncols {
+            return Err(Error::DimensionMismatch {
+                expected: self.ncols,
+                actual: out.len(),
+                what: "row_scaled output",
+            });
+        }
+        out.fill(0.0);
+        let mut acc = 0.0;
+        for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+            let c = self.col_idx[k];
+            let t = self.values[k] * x[c];
+            out[c] = t;
+            acc += t;
+        }
+        Ok(acc)
     }
 
     /// Returns the explicit transpose as a new CSR matrix.

@@ -121,9 +121,36 @@ impl WorkPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_indices_with(n, || (), |(), i| f(i))
+    }
+
+    /// [`WorkPool::map_indices`] with **per-worker scratch state**: each
+    /// worker thread builds one `S` via `init` and threads it mutably
+    /// through every item it processes. This is the entry point for
+    /// allocation-heavy work (e.g. planning workspaces) where the
+    /// scratch should be constructed once per worker, not once per item.
+    ///
+    /// The determinism contract extends naturally: `f(&mut s, i)` must
+    /// return a value that depends only on `i` — the scratch may carry
+    /// buffers and memoised *exact* intermediate results between items,
+    /// but must never change what `f` returns for a given index. Under
+    /// that contract the output is bit-identical for every pool width
+    /// and every assignment of items to workers. `S` needs no `Send`
+    /// bound: scratch is created and dropped inside its worker.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from `init` or `f` on the calling thread.
+    pub fn map_indices_with<S, T, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
         let width = self.threads.get();
         if width == 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            let mut scratch = init();
+            return (0..n).map(|i| f(&mut scratch, i)).collect();
         }
         // ~4 chunks per worker balances stragglers against cursor
         // contention; the chunk walk inside a worker is in index order,
@@ -132,6 +159,7 @@ impl WorkPool {
         let chunk = (n / (width * 4)).max(1);
         let workers = width.min(n.div_ceil(chunk));
         let cursor = AtomicUsize::new(0);
+        let init = &init;
         let f = &f;
         let cursor = &cursor;
         let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -139,6 +167,7 @@ impl WorkPool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(move || {
+                        let mut scratch = init();
                         let mut local: Vec<(usize, T)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -146,7 +175,7 @@ impl WorkPool {
                                 break;
                             }
                             for i in start..(start + chunk).min(n) {
-                                local.push((i, f(i)));
+                                local.push((i, f(&mut scratch, i)));
                             }
                         }
                         local
@@ -297,6 +326,35 @@ mod tests {
             .unwrap()
             .try_map(&items, |_, &x| Ok::<_, ()>(x));
         assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // Count scratch constructions: at most one per worker, and the
+        // output must match the scratch-free path at every width.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let reference: Vec<usize> = (0..200).map(|i| i * 3).collect();
+        for width in [1usize, 2, 4] {
+            let pool = WorkPool::new(width).unwrap();
+            let builds = AtomicUsize::new(0);
+            let out = pool.map_indices_with(
+                200,
+                || {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    scratch.push(i);
+                    i * 3
+                },
+            );
+            assert_eq!(out, reference, "width {width}");
+            assert!(
+                builds.load(Ordering::Relaxed) <= width,
+                "width {width}: {} scratch builds",
+                builds.load(Ordering::Relaxed)
+            );
+        }
     }
 
     #[test]

@@ -97,6 +97,14 @@ impl Belief {
         Ok(Belief { probs })
     }
 
+    /// Wraps an already-normalised probability vector without
+    /// validation. Internal constructor for the planning kernel, which
+    /// produces posteriors that are normalised by construction.
+    pub(crate) fn from_raw(probs: Vec<f64>) -> Belief {
+        debug_assert!(!probs.is_empty(), "belief must cover at least one state");
+        Belief { probs }
+    }
+
     /// The per-state probabilities.
     pub fn probs(&self) -> &[f64] {
         &self.probs

@@ -35,6 +35,19 @@ use crate::Belief;
 pub trait ValueBound {
     /// Evaluates the bound at a belief state.
     fn value(&self, belief: &Belief) -> f64;
+
+    /// Evaluates the bound at a belief given as a raw (already
+    /// normalised) probability slice.
+    ///
+    /// Must return exactly the same value as [`ValueBound::value`] on
+    /// the [`Belief`] wrapping `weights`. The default implementation
+    /// does just that (allocating a temporary belief); bound types on
+    /// hot planning paths override it to evaluate allocation-free —
+    /// this is what lets the tree kernel score leaves (Eq. 6) straight
+    /// from its scratch buffers.
+    fn value_weights(&self, weights: &[f64]) -> f64 {
+        self.value(&Belief::from_raw(weights.to_vec()))
+    }
 }
 
 /// A constant bound, independent of the belief.
@@ -48,11 +61,19 @@ impl ValueBound for ConstantBound {
     fn value(&self, _belief: &Belief) -> f64 {
         self.0
     }
+
+    fn value_weights(&self, _weights: &[f64]) -> f64 {
+        self.0
+    }
 }
 
 impl<B: ValueBound + ?Sized> ValueBound for &B {
     fn value(&self, belief: &Belief) -> f64 {
         (**self).value(belief)
+    }
+
+    fn value_weights(&self, weights: &[f64]) -> f64 {
+        (**self).value_weights(weights)
     }
 }
 

@@ -221,10 +221,26 @@ impl VectorSetBound {
         // Most used first; the newest vector is pinned to the front.
         order.sort_by_key(|&i| (i != last, std::cmp::Reverse(self.usage[i])));
         order.truncate(max_len);
-        order.sort_unstable();
+        // Survivors keep their original relative order, so marking them
+        // and retaining in place drops the losers without cloning (or
+        // even moving the heap storage of) any surviving hyperplane.
+        let mut keep = vec![false; self.vectors.len()];
+        for &i in &order {
+            keep[i] = true;
+        }
         let evicted = self.vectors.len() - order.len();
-        self.vectors = order.iter().map(|&i| self.vectors[i].clone()).collect();
-        self.usage = order.iter().map(|&i| self.usage[i]).collect();
+        let mut idx = 0;
+        self.vectors.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        let mut idx = 0;
+        self.usage.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
         evicted
     }
 }
@@ -277,6 +293,13 @@ impl ValueBound for VectorSetBound {
     /// `max_{b ∈ B} b · π`, or `-∞` for an empty set.
     fn value(&self, belief: &Belief) -> f64 {
         self.best_vector_quiet(belief.probs())
+            .map_or(f64::NEG_INFINITY, |(_, v)| v)
+    }
+
+    /// Same maximisation straight off the weight slice — the planning
+    /// kernel's allocation-free leaf evaluation.
+    fn value_weights(&self, weights: &[f64]) -> f64 {
+        self.best_vector_quiet(weights)
             .map_or(f64::NEG_INFINITY, |(_, v)| v)
     }
 }
@@ -385,6 +408,50 @@ mod tests {
         set.set_usage_counts(&[3, 9]).unwrap();
         assert_eq!(set.usage_counts(), &[3, 9]);
         assert!(set.set_usage_counts(&[1]).is_err());
+    }
+
+    #[test]
+    fn evict_retains_surviving_vectors_in_place() {
+        let mut set = VectorSetBound::new(2);
+        set.add_vector(vec![-1.0, -5.0]).unwrap();
+        set.add_vector(vec![-5.0, -1.0]).unwrap();
+        set.add_vector(vec![-4.0, -2.0]).unwrap();
+        set.add_vector(vec![-2.5, -2.5]).unwrap();
+        for _ in 0..3 {
+            set.best_vector(&Belief::point(2, 0.into())).unwrap();
+        }
+        set.best_vector(&Belief::point(2, 1.into())).unwrap();
+        // Survivors: index 0 (most used), index 1 (next), index 3
+        // (newest, pinned). Record the heap addresses of their storage.
+        let ptr0 = set.iter().next().unwrap().as_ptr();
+        let ptr1 = set.iter().nth(1).unwrap().as_ptr();
+        let ptr3 = set.iter().nth(3).unwrap().as_ptr();
+        let evicted = set.evict_to(3);
+        assert_eq!(evicted, 1);
+        assert_eq!(set.len(), 3);
+        let survivors: Vec<&[f64]> = set.iter().collect();
+        assert_eq!(survivors[0], &[-1.0, -5.0]);
+        assert_eq!(survivors[1], &[-5.0, -1.0]);
+        assert_eq!(survivors[2], &[-2.5, -2.5]);
+        // Values preserved and the vector contents were not reallocated:
+        // each survivor still lives at its original heap address.
+        assert_eq!(survivors[0].as_ptr(), ptr0);
+        assert_eq!(survivors[1].as_ptr(), ptr1);
+        assert_eq!(survivors[2].as_ptr(), ptr3);
+        assert_eq!(set.usage_counts(), &[3, 1, 0]);
+    }
+
+    #[test]
+    fn value_weights_matches_value() {
+        let mut set = VectorSetBound::new(2);
+        set.add_vector(vec![-1.0, -3.0]).unwrap();
+        set.add_vector(vec![-3.0, -1.0]).unwrap();
+        let b = Belief::from_probs(vec![0.25, 0.75]).unwrap();
+        assert_eq!(set.value_weights(b.probs()), set.value(&b));
+        assert_eq!(
+            VectorSetBound::new(2).value_weights(&[0.5, 0.5]),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

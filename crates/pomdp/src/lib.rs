@@ -20,7 +20,11 @@
 //!   (Eq. 7) used for iterative bound improvement.
 //! * [`tree`] — the finite-depth Max-Avg expansion of the dynamic
 //!   programming recursion (Fig. 1(b)) with bounds at the leaves, the
-//!   decision procedure of the online recovery controller.
+//!   decision procedure of the online recovery controller. Expansion
+//!   runs on fused posterior operators precomputed per
+//!   `(action, observation)` at model build time, with all scratch in a
+//!   reusable [`PlanWorkspace`] — steady-state decisions allocate
+//!   nothing — and optional root-parallel expansion over `bpr_par`.
 //!
 //! # Examples
 //!
@@ -53,9 +57,11 @@ pub mod bounds;
 pub mod diagnosis;
 mod error;
 mod model;
+mod plan;
 pub mod tree;
 
 pub use belief::{Belief, RobustUpdate};
 pub use bpr_mdp::{ActionId, StateId};
 pub use error::Error;
 pub use model::{ObservationId, Pomdp, PomdpBuilder};
+pub use plan::{PlanStats, PlanWorkspace};

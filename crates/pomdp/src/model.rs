@@ -57,6 +57,11 @@ pub struct Pomdp {
     /// `observations[a]` is `n_states x n_observations`; row `s'` holds
     /// `q(· | s', a)`.
     observations: Vec<CsrMatrix>,
+    /// `observations_t[a] = observations[a]ᵀ` (`n_observations x
+    /// n_states`), precomputed at build time; row `o` is the sparse
+    /// diagonal of the fused posterior operator `τ_{a,o}` (see
+    /// [`Pomdp::observation_transpose`]).
+    observations_t: Vec<CsrMatrix>,
     observation_labels: Vec<String>,
 }
 
@@ -108,6 +113,26 @@ impl Pomdp {
     /// Panics if `action` is out of bounds.
     pub fn observation_matrix(&self, action: impl Into<ActionId>) -> &CsrMatrix {
         &self.observations[action.into().index()]
+    }
+
+    /// The transposed observation matrix of one action
+    /// (`n_observations x n_states`; row `o` holds `q(o | ·, action)`),
+    /// precomputed at build time.
+    ///
+    /// Row `o` is the sparse diagonal of the fused posterior operator
+    /// `τ_{a,o} = diag(q(o|·,a)) ∘ P_aᵀ` (paper Eq. 3–4): the planning
+    /// kernel applies `P_aᵀ` once per `(node, action)` via
+    /// [`bpr_linalg::CsrMatrix::matvec_transpose_into`] and then derives
+    /// every observation branch with one
+    /// [`bpr_linalg::CsrMatrix::row_scaled_into`] over these rows —
+    /// bit-identical to [`crate::Belief::successors`] but without the
+    /// per-branch scatter/rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of bounds.
+    pub fn observation_transpose(&self, action: impl Into<ActionId>) -> &CsrMatrix {
+        &self.observations_t[action.into().index()]
     }
 
     /// Iterates over the observations `(o, q(o|s', a))` possible when
@@ -342,10 +367,12 @@ impl PomdpBuilder {
             }
             observations.push(m);
         }
+        let observations_t = observations.iter().map(CsrMatrix::transpose).collect();
         Ok(Pomdp {
             mdp: self.mdp.clone(),
             n_observations: self.n_observations,
             observations,
+            observations_t,
             observation_labels: self.observation_labels.clone(),
         })
     }

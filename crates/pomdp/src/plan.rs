@@ -1,0 +1,454 @@
+//! Reusable scratch state for the fused planning kernel.
+//!
+//! A [`PlanWorkspace`] owns everything a tree expansion
+//! ([`crate::tree`]) needs beyond the model itself: a free-list arena
+//! of belief buffers, per-depth branch-and-bound frames, the
+//! within-decision transposition cache, and the [`Decision`] scratch
+//! the result is assembled in. Controllers hold one workspace across
+//! decisions, so after the first decision warms the buffers up, a
+//! decision performs **zero heap allocations** (the bench suite's
+//! counting allocator enforces this).
+//!
+//! # Transposition cache
+//!
+//! Recovery models produce many *identical* posteriors inside one tree:
+//! several restart actions collapse the belief onto the same null-fault
+//! posterior, and the EMN monitors are action-independent. The cache
+//! maps `(remaining depth, belief)` to the subtree value computed the
+//! first time that node was seen. Keys quantise the belief at machine
+//! precision — the exact `f64` bit patterns — so a hit can only occur
+//! on a bit-identical belief and caching never changes any value.
+//! Each entry also stores the number of nodes the subtree expanded, and
+//! a hit re-adds that count, so `Decision::nodes_expanded` is invariant
+//! to both the cache and the distribution of work across parallel root
+//! workers. The cache is cleared between decisions (bounds mutate
+//! across decisions, e.g. by online backup) and is **disabled** on
+//! budgeted anytime passes, whose abort points must depend only on the
+//! literal expansion order.
+
+use crate::tree::Decision;
+use bpr_linalg::CsrMatrix;
+use bpr_mdp::ActionId;
+
+/// Cumulative counters of one workspace's planning activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Transposition-cache hits (subtrees replayed from the cache).
+    pub cache_hits: u64,
+    /// Transposition-cache misses (subtrees expanded and stored).
+    pub cache_misses: u64,
+    /// Belief buffers allocated because the arena was empty. Steady
+    /// state is a constant value: every decision after the first warm
+    /// one reuses arena buffers.
+    pub buffers_allocated: u64,
+}
+
+/// Reusable scratch for [`crate::tree`] expansions.
+///
+/// Create once (`PlanWorkspace::new()`), pass to the
+/// `*_with_workspace` entry points, and read the result via
+/// [`PlanWorkspace::decision`]. All scratch is retained between
+/// decisions; only the transposition cache's *entries* are cleared.
+#[derive(Debug, Clone, Default)]
+pub struct PlanWorkspace {
+    arena: Vec<Vec<f64>>,
+    frames: Vec<BbFrame>,
+    cache: BeliefCache,
+    q_scratch: Vec<f64>,
+    decision: Decision,
+    stats: PlanStats,
+}
+
+impl PlanWorkspace {
+    /// An empty workspace. Buffers are grown lazily by the first
+    /// decisions and reused afterwards.
+    pub fn new() -> PlanWorkspace {
+        PlanWorkspace::default()
+    }
+
+    /// Counters accumulated over the workspace's lifetime.
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+
+    /// The decision produced by the most recent `*_with_workspace`
+    /// expansion.
+    pub fn decision(&self) -> &Decision {
+        &self.decision
+    }
+
+    /// Moves the most recent decision out, leaving an empty placeholder
+    /// (used by the allocating convenience wrappers).
+    pub fn take_decision(&mut self) -> Decision {
+        std::mem::replace(
+            &mut self.decision,
+            Decision {
+                action: ActionId::new(0),
+                value: f64::NEG_INFINITY,
+                q_values: Vec::new(),
+                nodes_expanded: 0,
+            },
+        )
+    }
+
+    /// The per-action root values of the most recent *completed*
+    /// budgeted pass ([`crate::tree::expand_budgeted`]).
+    pub fn q_scratch(&self) -> &[f64] {
+        &self.q_scratch
+    }
+
+    /// Starts a new decision: empties the transposition cache (bounds
+    /// may have changed since the previous decision) while keeping its
+    /// capacity.
+    pub(crate) fn begin(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Borrows a zeroed length-`n` scratch buffer from the arena,
+    /// allocating only when the free list is empty. Return it with
+    /// [`PlanWorkspace::release`] so later checkouts can reuse it.
+    pub fn checkout(&mut self, n: usize) -> Vec<f64> {
+        match self.arena.pop() {
+            Some(mut buf) => {
+                if buf.len() != n {
+                    buf.clear();
+                    buf.resize(n, 0.0);
+                }
+                buf
+            }
+            None => {
+                self.stats.buffers_allocated += 1;
+                vec![0.0; n]
+            }
+        }
+    }
+
+    /// Returns a buffer from [`PlanWorkspace::checkout`] to the arena.
+    pub fn release(&mut self, buf: Vec<f64>) {
+        self.arena.push(buf);
+    }
+
+    pub(crate) fn take_frame(&mut self, depth: usize) -> BbFrame {
+        if self.frames.len() <= depth {
+            self.frames.resize_with(depth + 1, BbFrame::default);
+        }
+        std::mem::take(&mut self.frames[depth])
+    }
+
+    pub(crate) fn put_frame(&mut self, depth: usize, frame: BbFrame) {
+        self.frames[depth] = frame;
+    }
+
+    pub(crate) fn cache_get(&mut self, depth: usize, weights: &[f64]) -> Option<(f64, usize)> {
+        let hit = self.cache.get(depth, weights);
+        if hit.is_some() {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+        }
+        hit
+    }
+
+    pub(crate) fn cache_put(&mut self, depth: usize, weights: &[f64], value: f64, nodes: usize) {
+        self.cache.put(depth, weights, value, nodes);
+    }
+
+    pub(crate) fn q_clear(&mut self) {
+        self.q_scratch.clear();
+    }
+
+    pub(crate) fn q_push(&mut self, q: f64) {
+        self.q_scratch.push(q);
+    }
+
+    pub(crate) fn decision_clear(&mut self) {
+        self.decision.q_values.clear();
+    }
+
+    pub(crate) fn decision_fill(&mut self, n_actions: usize, value: f64) {
+        self.decision.q_values.clear();
+        self.decision.q_values.resize(n_actions, value);
+    }
+
+    pub(crate) fn push_q(&mut self, q: f64) {
+        self.decision.q_values.push(q);
+    }
+
+    pub(crate) fn set_q(&mut self, action: usize, q: f64) {
+        self.decision.q_values[action] = q;
+    }
+
+    pub(crate) fn q_values(&self) -> &[f64] {
+        &self.decision.q_values
+    }
+
+    pub(crate) fn finish_decision(&mut self, action: ActionId, value: f64, nodes: usize) {
+        self.decision.action = action;
+        self.decision.value = value;
+        self.decision.nodes_expanded = nodes;
+    }
+}
+
+/// Per-depth scratch of one branch-and-bound node: the shared
+/// predictive vector, the surviving branches (flat `gammas` +
+/// posterior slots), and the per-action entries ordered for pruning.
+///
+/// Frames are checked out of the workspace by remaining depth via
+/// [`std::mem::take`]; a node at depth `d` only ever recurses into
+/// depth `d - 1`, so the frame it holds is never aliased.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BbFrame {
+    pub(crate) pred: Vec<f64>,
+    pub(crate) gammas: Vec<f64>,
+    posts: Vec<Vec<f64>>,
+    posts_used: usize,
+    pub(crate) entries: Vec<BbEntry>,
+}
+
+/// One action's row in a branch-and-bound frame.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BbEntry {
+    pub(crate) action: usize,
+    pub(crate) reward: f64,
+    pub(crate) q_ub: f64,
+    /// Index of the action's first branch in `gammas`/`posts`.
+    pub(crate) start: usize,
+    /// Number of surviving branches.
+    pub(crate) len: usize,
+}
+
+impl BbFrame {
+    pub(crate) fn reset(&mut self, n_states: usize) {
+        self.pred.clear();
+        self.pred.resize(n_states, 0.0);
+        self.gammas.clear();
+        self.entries.clear();
+        self.posts_used = 0;
+    }
+
+    /// Number of branches collected so far.
+    pub(crate) fn branches(&self) -> usize {
+        self.gammas.len()
+    }
+
+    /// Applies observation row `o` of `obs_t` to the predictive vector,
+    /// writing the unnormalised posterior into the next free slot and
+    /// returning `γ`. The slot is only consumed if the caller follows
+    /// up with [`BbFrame::keep_branch`].
+    pub(crate) fn scale_branch(
+        &mut self,
+        obs_t: &CsrMatrix,
+        o: usize,
+        n_states: usize,
+    ) -> Result<f64, bpr_linalg::Error> {
+        if self.posts.len() == self.posts_used {
+            self.posts.push(vec![0.0; n_states]);
+        }
+        let slot = &mut self.posts[self.posts_used];
+        if slot.len() != n_states {
+            slot.clear();
+            slot.resize(n_states, 0.0);
+        }
+        obs_t.row_scaled_into(o, &self.pred, slot)
+    }
+
+    /// Normalises the pending slot by `gamma` (replicating
+    /// [`bpr_linalg::dense::normalize_l1`]'s finite-sum guard) and
+    /// commits it as a surviving branch.
+    pub(crate) fn keep_branch(&mut self, gamma: f64) {
+        if gamma != 0.0 && gamma.is_finite() {
+            for v in self.posts[self.posts_used].iter_mut() {
+                *v /= gamma;
+            }
+        }
+        self.gammas.push(gamma);
+        self.posts_used += 1;
+    }
+
+    pub(crate) fn post(&self, i: usize) -> &[f64] {
+        &self.posts[i]
+    }
+}
+
+/// Open-addressing transposition table over `(depth, belief-bits)`
+/// keys. No `std::collections::HashMap`: the flat key arena and
+/// retained-capacity `clear` keep steady-state decisions free of
+/// allocations and rehash noise.
+#[derive(Debug, Clone, Default)]
+struct BeliefCache {
+    slots: Vec<Slot>,
+    /// Flat storage of the `f64::to_bits` key words, `key_len` per
+    /// entry (all beliefs of one model share a length).
+    keys: Vec<u64>,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    occupied: bool,
+    hash: u64,
+    depth: u32,
+    start: usize,
+    value: f64,
+    nodes: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    occupied: false,
+    hash: 0,
+    depth: 0,
+    start: 0,
+    value: 0.0,
+    nodes: 0,
+};
+
+/// FNV-1a over the depth and the belief's exact bit patterns.
+fn hash_key(depth: usize, weights: &[f64]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    h ^= depth as u64;
+    h = h.wrapping_mul(FNV_PRIME);
+    for &w in weights {
+        h ^= w.to_bits();
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl BeliefCache {
+    fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.occupied = false;
+        }
+        self.keys.clear();
+        self.len = 0;
+    }
+
+    fn key_matches(&self, start: usize, weights: &[f64]) -> bool {
+        self.keys[start..start + weights.len()]
+            .iter()
+            .zip(weights)
+            .all(|(&k, &w)| k == w.to_bits())
+    }
+
+    fn get(&self, depth: usize, weights: &[f64]) -> Option<(f64, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let hash = hash_key(depth, weights);
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = &self.slots[i];
+            if !slot.occupied {
+                return None;
+            }
+            if slot.hash == hash
+                && slot.depth == depth as u32
+                && self.key_matches(slot.start, weights)
+            {
+                return Some((slot.value, slot.nodes as usize));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn put(&mut self, depth: usize, weights: &[f64], value: f64, nodes: usize) {
+        if self.slots.is_empty() {
+            self.slots = vec![EMPTY_SLOT; 64];
+        } else if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let start = self.keys.len();
+        self.keys.extend(weights.iter().map(|w| w.to_bits()));
+        let slot = Slot {
+            occupied: true,
+            hash: hash_key(depth, weights),
+            depth: depth as u32,
+            start,
+            value,
+            nodes: nodes as u64,
+        };
+        self.insert_slot(slot);
+        self.len += 1;
+    }
+
+    fn insert_slot(&mut self, slot: Slot) {
+        let mask = self.slots.len() - 1;
+        let mut i = (slot.hash as usize) & mask;
+        while self.slots[i].occupied {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = slot;
+    }
+
+    fn grow(&mut self) {
+        let doubled = vec![EMPTY_SLOT; self.slots.len() * 2];
+        let old = std::mem::replace(&mut self.slots, doubled);
+        for slot in old {
+            if slot.occupied {
+                self.insert_slot(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_only_on_exact_bits_and_depth() {
+        let mut cache = BeliefCache::default();
+        let a = [0.25, 0.75];
+        let b = [0.25, 0.75 + 1e-16];
+        assert_eq!(cache.get(2, &a), None);
+        cache.put(2, &a, -1.5, 7);
+        assert_eq!(cache.get(2, &a), Some((-1.5, 7)));
+        assert_eq!(cache.get(1, &a), None, "depth is part of the key");
+        if b[1] != a[1] {
+            assert_eq!(cache.get(2, &b), None, "near-equal bits miss");
+        }
+        cache.clear();
+        assert_eq!(cache.get(2, &a), None);
+        assert!(!cache.slots.is_empty(), "clear keeps capacity");
+    }
+
+    #[test]
+    fn cache_survives_growth() {
+        let mut cache = BeliefCache::default();
+        for i in 0..500usize {
+            cache.put(1, &[i as f64, 1.0 - i as f64], -(i as f64), i);
+        }
+        for i in 0..500usize {
+            assert_eq!(
+                cache.get(1, &[i as f64, 1.0 - i as f64]),
+                Some((-(i as f64), i)),
+                "entry {i} lost in growth"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_arena_recycles_buffers() {
+        let mut ws = PlanWorkspace::new();
+        let a = ws.checkout(4);
+        let b = ws.checkout(4);
+        assert_eq!(ws.stats().buffers_allocated, 2);
+        ws.release(a);
+        ws.release(b);
+        let c = ws.checkout(4);
+        let d = ws.checkout(4);
+        assert_eq!(ws.stats().buffers_allocated, 2, "buffers were reused");
+        assert_eq!(c.len(), 4);
+        assert_eq!(d.len(), 4);
+        ws.release(c);
+        ws.release(d);
+        // A different model size reshapes, reusing the heap block when
+        // capacity allows.
+        let e = ws.checkout(3);
+        assert_eq!(e.len(), 3);
+        assert_eq!(ws.stats().buffers_allocated, 2);
+    }
+}

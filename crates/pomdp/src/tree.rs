@@ -5,14 +5,29 @@
 //! belief, evaluating a bound at the leaves, and executing the action
 //! that maximises the root value. With a *lower* bound at the leaves the
 //! controller inherits the termination guarantees of paper §4.2.
+//!
+//! # The fused kernel
+//!
+//! Expansion runs on precomputed fused posterior operators
+//! `τ_{a,o} = diag(q(o|·,a)) ∘ P_aᵀ`: one `P_aᵀ π` transpose SpMV per
+//! `(node, action)` ([`bpr_linalg::CsrMatrix::matvec_transpose_into`])
+//! followed by one sparse diagonal scale per observation
+//! ([`bpr_linalg::CsrMatrix::row_scaled_into`] over
+//! [`Pomdp::observation_transpose`]). Because the legacy scatter in
+//! [`Belief::successors`] writes each `(o, s')` cell exactly once as the
+//! single product `q(o|s',a) · pred(s')`, the fused path produces
+//! bit-identical `γ` values, posteriors, and branch order — it only
+//! removes the per-node rebuild of the `|O|`-slot scatter table. All
+//! scratch lives in a caller-provided [`PlanWorkspace`], so steady-state
+//! decisions allocate nothing; the pre-fusion implementation is kept
+//! verbatim in [`legacy`] as the equivalence/baseline reference.
 
 use crate::bounds::ValueBound;
-use crate::{Belief, Error, Pomdp};
+use crate::plan::{BbEntry, PlanWorkspace};
+use crate::{Belief, Error, ObservationId, Pomdp};
+use bpr_linalg::dense;
 use bpr_mdp::ActionId;
-
-/// Successor beliefs of one action: `(γ(o), b')` per surviving
-/// observation branch.
-type Successors = Vec<(f64, Belief)>;
+use bpr_par::WorkPool;
 
 /// The decision produced by a tree expansion.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,14 +42,31 @@ pub struct Decision {
     pub nodes_expanded: usize,
 }
 
+impl Default for Decision {
+    fn default() -> Decision {
+        Decision {
+            action: ActionId::new(0),
+            value: f64::NEG_INFINITY,
+            q_values: Vec::new(),
+            nodes_expanded: 0,
+        }
+    }
+}
+
+fn depth_zero_error() -> Error {
+    Error::IndexOutOfBounds {
+        what: "tree depth (must be >= 1)",
+        index: 0,
+        bound: usize::MAX,
+    }
+}
+
 /// Expands the recursion to `depth` and returns the best root action.
 ///
-/// `depth = 0` evaluates the bound directly and picks the action that
-/// maximises the one-step lookahead implied by... no: `depth` counts
-/// action layers, so `depth = 1` is the paper's "tree depth one"
-/// (choose an action, average over observations, evaluate the bound at
-/// the successor beliefs). `depth = 0` is rejected because it makes no
-/// decision.
+/// `depth` counts action layers: `depth = 1` is the paper's "tree depth
+/// one" — choose an action, average over the surviving observation
+/// branches, and evaluate the leaf bound at the successor beliefs.
+/// `depth = 0` is rejected because it makes no decision.
 ///
 /// Observation branches with probability below `gamma_cutoff` are
 /// pruned (their contribution to the average is bounded by the cutoff
@@ -44,8 +76,6 @@ pub struct Decision {
 /// # Errors
 ///
 /// * [`Error::IndexOutOfBounds`] if `depth == 0`.
-/// * Propagates belief-update failures (which cannot occur for
-///   observations with positive probability).
 pub fn expand(
     pomdp: &Pomdp,
     belief: &Belief,
@@ -58,6 +88,10 @@ pub fn expand(
 
 /// [`expand`] with an explicit observation-probability cutoff.
 ///
+/// Convenience wrapper over [`expand_with_workspace`] that pays one
+/// workspace construction per call; controllers making repeated
+/// decisions should hold a [`PlanWorkspace`] instead.
+///
 /// # Errors
 ///
 /// Same as [`expand`].
@@ -69,39 +103,171 @@ pub fn expand_with_cutoff(
     beta: f64,
     gamma_cutoff: f64,
 ) -> Result<Decision, Error> {
+    let mut ws = PlanWorkspace::new();
+    expand_with_workspace(pomdp, belief, depth, leaf, beta, gamma_cutoff, &mut ws)?;
+    Ok(ws.take_decision())
+}
+
+/// [`expand_with_cutoff`] writing into a reusable [`PlanWorkspace`].
+///
+/// The result lands in [`PlanWorkspace::decision`]. After the first
+/// (warm-up) decision a workspace-backed expansion performs no heap
+/// allocation. Values, tie-breaking, and `nodes_expanded` are exactly
+/// those of [`legacy::expand_with_cutoff`].
+///
+/// # Errors
+///
+/// Same as [`expand`].
+#[allow(clippy::too_many_arguments)]
+pub fn expand_with_workspace(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    ws: &mut PlanWorkspace,
+) -> Result<(), Error> {
     if depth == 0 {
-        return Err(Error::IndexOutOfBounds {
-            what: "tree depth (must be >= 1)",
-            index: 0,
-            bound: usize::MAX,
-        });
+        return Err(depth_zero_error());
     }
+    ws.begin();
+    ws.decision_clear();
+    let kernel = Kernel {
+        pomdp,
+        leaf,
+        beta,
+        cutoff: gamma_cutoff,
+        use_cache: true,
+        budget: usize::MAX,
+    };
     let mut nodes = 0usize;
-    let mut q_values = Vec::with_capacity(pomdp.n_actions());
     for a in 0..pomdp.n_actions() {
-        let q = action_value(
-            pomdp,
-            belief,
-            ActionId::new(a),
-            depth,
-            leaf,
-            beta,
-            gamma_cutoff,
-            &mut nodes,
-        )?;
-        q_values.push(q);
+        let q = kernel
+            .action_q(ws, belief.probs(), a, depth, &mut nodes)
+            .expect("unbudgeted expansion never aborts");
+        ws.push_q(q);
     }
-    let (best_a, best_q) = q_values
-        .iter()
-        .copied()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite tree values"))
-        .expect("model has at least one action");
+    let (best_a, best_q) = argmax_last(ws.q_values());
+    ws.finish_decision(ActionId::new(best_a), best_q, nodes);
+    Ok(())
+}
+
+/// Root-parallel [`expand_with_cutoff`]: the root actions are expanded
+/// concurrently over a [`WorkPool`], each worker holding its own
+/// private [`PlanWorkspace`].
+///
+/// The returned [`Decision`] is **bit-identical** to the sequential
+/// path at every pool width: each root action's subtree value is a pure
+/// function of `(belief, action, depth)`, transposition-cache hits
+/// replay the exact value and node count the subtree would have
+/// expanded (so per-action node counts are independent of how actions
+/// are grouped onto workers or caches), and the root argmax runs over
+/// the index-ordered q-values exactly as in the sequential code.
+///
+/// # Errors
+///
+/// Same as [`expand`].
+pub fn expand_par(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &(dyn ValueBound + Sync),
+    beta: f64,
+    gamma_cutoff: f64,
+    pool: &WorkPool,
+) -> Result<Decision, Error> {
+    if depth == 0 {
+        return Err(depth_zero_error());
+    }
+    let results: Vec<(f64, usize)> =
+        pool.map_indices_with(pomdp.n_actions(), PlanWorkspace::new, |ws, a| {
+            let kernel = Kernel {
+                pomdp,
+                leaf: leaf as &dyn ValueBound,
+                beta,
+                cutoff: gamma_cutoff,
+                use_cache: true,
+                budget: usize::MAX,
+            };
+            let mut nodes = 0usize;
+            let q = kernel
+                .action_q(ws, belief.probs(), a, depth, &mut nodes)
+                .expect("unbudgeted expansion never aborts");
+            (q, nodes)
+        });
+    let q_values: Vec<f64> = results.iter().map(|&(q, _)| q).collect();
+    let nodes_expanded = results.iter().map(|&(_, n)| n).sum();
+    let (best_a, best_q) = argmax_last(&q_values);
     Ok(Decision {
         action: ActionId::new(best_a),
         value: best_q,
         q_values,
-        nodes_expanded: nodes,
+        nodes_expanded,
+    })
+}
+
+/// Outcome of one budgeted (anytime) expansion pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetedPass {
+    /// Nodes expanded before finishing or aborting.
+    pub nodes_spent: usize,
+    /// Whether the pass finished within its budget. When `true` the
+    /// per-action root values are in [`PlanWorkspace::q_scratch`].
+    pub completed: bool,
+}
+
+/// One depth-`depth` expansion pass that aborts as soon as more than
+/// `budget` nodes have been expanded (the anytime controller's
+/// iterative-deepening primitive).
+///
+/// The transposition cache is **not** used here: a budgeted pass's
+/// abort point must depend only on the literal expansion order, so a
+/// resumed or re-run pass dies at exactly the same node. Node
+/// accounting matches the unbudgeted path: each belief node costs 1,
+/// counted before the budget check.
+///
+/// # Errors
+///
+/// Same as [`expand`].
+#[allow(clippy::too_many_arguments)]
+pub fn expand_budgeted(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    budget: usize,
+    ws: &mut PlanWorkspace,
+) -> Result<BudgetedPass, Error> {
+    if depth == 0 {
+        return Err(depth_zero_error());
+    }
+    let kernel = Kernel {
+        pomdp,
+        leaf,
+        beta,
+        cutoff: gamma_cutoff,
+        use_cache: false,
+        budget,
+    };
+    ws.q_clear();
+    let mut nodes = 0usize;
+    for a in 0..pomdp.n_actions() {
+        match kernel.action_q(ws, belief.probs(), a, depth, &mut nodes) {
+            Some(q) => ws.q_push(q),
+            None => {
+                return Ok(BudgetedPass {
+                    nodes_spent: nodes,
+                    completed: false,
+                })
+            }
+        }
+    }
+    Ok(BudgetedPass {
+        nodes_spent: nodes,
+        completed: true,
     })
 }
 
@@ -127,73 +293,34 @@ pub fn expand_branch_and_bound(
     beta: f64,
     gamma_cutoff: f64,
 ) -> Result<Decision, Error> {
-    if depth == 0 {
-        return Err(Error::IndexOutOfBounds {
-            what: "tree depth (must be >= 1)",
-            index: 0,
-            bound: usize::MAX,
-        });
-    }
-    let mut nodes = 0usize;
-    let na = pomdp.n_actions();
-    // Per action: successors plus the optimistic one-step estimate.
-    let mut entries: Vec<(usize, f64, Successors)> = Vec::with_capacity(na);
-    for a in 0..na {
-        let action = ActionId::new(a);
-        let succ: Successors = belief
-            .successors(pomdp, action, gamma_cutoff)
-            .into_iter()
-            .map(|(_o, g, b)| (g, b))
-            .collect();
-        let mut q_ub = belief.expected_reward(pomdp, action);
-        for (g, b) in &succ {
-            q_ub += beta * g * upper.value(b);
-        }
-        entries.push((a, q_ub, succ));
-    }
-    entries.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite upper estimates"));
-
-    let mut q_values = vec![f64::NEG_INFINITY; na];
-    let mut best_value = f64::NEG_INFINITY;
-    let mut best_action = entries[0].0;
-    for (a, q_ub, succ) in entries {
-        if q_ub <= best_value {
-            // Provably cannot beat the incumbent: record the optimistic
-            // estimate and skip the descent.
-            q_values[a] = q_ub;
-            continue;
-        }
-        let action = ActionId::new(a);
-        let mut q = belief.expected_reward(pomdp, action);
-        for (g, b) in succ {
-            let v = bb_value(
-                pomdp,
-                &b,
-                depth - 1,
-                lower,
-                upper,
-                beta,
-                gamma_cutoff,
-                &mut nodes,
-            )?;
-            q += beta * g * v;
-        }
-        q_values[a] = q;
-        if q > best_value {
-            best_value = q;
-            best_action = a;
-        }
-    }
-    Ok(Decision {
-        action: ActionId::new(best_action),
-        value: best_value,
-        q_values,
-        nodes_expanded: nodes,
-    })
+    let mut ws = PlanWorkspace::new();
+    expand_branch_and_bound_with_workspace(
+        pomdp,
+        belief,
+        depth,
+        lower,
+        upper,
+        beta,
+        gamma_cutoff,
+        &mut ws,
+    )?;
+    Ok(ws.take_decision())
 }
 
+/// [`expand_branch_and_bound`] writing into a reusable
+/// [`PlanWorkspace`]; the result lands in [`PlanWorkspace::decision`].
+///
+/// The root and the recursion share one collect-score-prune helper
+/// ([`BbKernel::collect`]); they differ only in that the root reports a
+/// q-value for every action (pruned ones get their upper estimate)
+/// while interior nodes stop at the first prunable entry of the sorted
+/// order.
+///
+/// # Errors
+///
+/// Same as [`expand`].
 #[allow(clippy::too_many_arguments)]
-fn bb_value(
+pub fn expand_branch_and_bound_with_workspace(
     pomdp: &Pomdp,
     belief: &Belief,
     depth: usize,
@@ -201,102 +328,542 @@ fn bb_value(
     upper: &dyn ValueBound,
     beta: f64,
     gamma_cutoff: f64,
-    nodes: &mut usize,
-) -> Result<f64, Error> {
-    *nodes += 1;
+    ws: &mut PlanWorkspace,
+) -> Result<(), Error> {
     if depth == 0 {
-        return Ok(lower.value(belief));
+        return Err(depth_zero_error());
     }
+    ws.begin();
     let na = pomdp.n_actions();
-    let mut entries: Vec<(f64, Successors, ActionId)> = Vec::with_capacity(na);
-    for a in 0..na {
-        let action = ActionId::new(a);
-        let succ: Successors = belief
-            .successors(pomdp, action, gamma_cutoff)
-            .into_iter()
-            .map(|(_o, g, b)| (g, b))
-            .collect();
-        let mut q_ub = belief.expected_reward(pomdp, action);
-        for (g, b) in &succ {
-            q_ub += beta * g * upper.value(b);
+    ws.decision_fill(na, f64::NEG_INFINITY);
+    let kernel = BbKernel {
+        pomdp,
+        lower,
+        upper,
+        beta,
+        cutoff: gamma_cutoff,
+    };
+    let mut nodes = 0usize;
+    let mut frame = ws.take_frame(depth);
+    kernel.collect(&mut frame, belief.probs());
+    let mut best_value = f64::NEG_INFINITY;
+    let mut best_action = frame.entries[0].action;
+    for idx in 0..frame.entries.len() {
+        let e = frame.entries[idx];
+        if e.q_ub <= best_value {
+            // Provably cannot beat the incumbent: record the optimistic
+            // estimate and skip the descent.
+            ws.set_q(e.action, e.q_ub);
+            continue;
         }
-        entries.push((q_ub, succ, action));
+        let mut q = e.reward;
+        for i in e.start..e.start + e.len {
+            let v = kernel.value(ws, frame.post(i), depth - 1, &mut nodes);
+            q += beta * frame.gammas[i] * v;
+        }
+        ws.set_q(e.action, q);
+        if q > best_value {
+            best_value = q;
+            best_action = e.action;
+        }
     }
-    entries.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite upper estimates"));
-    let mut best = f64::NEG_INFINITY;
-    for (q_ub, succ, action) in entries {
-        if q_ub <= best {
-            break; // sorted: everything after is also prunable
+    ws.put_frame(depth, frame);
+    ws.finish_decision(ActionId::new(best_action), best_value, nodes);
+    Ok(())
+}
+
+/// The fused-operator successor enumeration, as an allocating
+/// convenience mirroring [`Belief::successors`]'s signature.
+///
+/// Bit-identical to the legacy two-pass scatter: same `γ` values, same
+/// posteriors, same (ascending-observation) branch order, same
+/// cutoff/impossibility filtering. The planning kernel inlines this
+/// loop against workspace scratch; this entry point exists for belief
+/// consumers and for the equivalence proptests.
+pub fn fused_successors(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    action: ActionId,
+    gamma_cutoff: f64,
+) -> Vec<(ObservationId, f64, Belief)> {
+    let n = pomdp.n_states();
+    let mut pred = vec![0.0; n];
+    pomdp
+        .mdp()
+        .transition_matrix(action)
+        .matvec_transpose_into(belief.probs(), &mut pred)
+        .expect("belief length matches model");
+    let obs_t = pomdp.observation_transpose(action);
+    let mut out = Vec::new();
+    for o in 0..pomdp.n_observations() {
+        let mut post = vec![0.0; n];
+        let gamma = obs_t
+            .row_scaled_into(o, &pred, &mut post)
+            .expect("prediction length matches model");
+        if gamma > gamma_cutoff && gamma > 0.0 {
+            if gamma.is_finite() {
+                for v in &mut post {
+                    *v /= gamma;
+                }
+            }
+            out.push((ObservationId::new(o), gamma, Belief::from_raw(post)));
         }
-        let mut q = belief.expected_reward(pomdp, action);
-        for (g, b) in succ {
-            let v = bb_value(
+    }
+    out
+}
+
+/// `max_by` over the q-values, replicating the iterator's
+/// last-maximal-element tie-breaking of the legacy root argmax.
+fn argmax_last(q_values: &[f64]) -> (usize, f64) {
+    q_values
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite tree values"))
+        .expect("model has at least one action")
+}
+
+/// The plain (no upper bound) fused expansion engine. `budget` is
+/// `usize::MAX` for unbudgeted runs; `use_cache` is off for budgeted
+/// passes so abort points stay a function of the literal expansion
+/// order.
+struct Kernel<'a> {
+    pomdp: &'a Pomdp,
+    leaf: &'a dyn ValueBound,
+    beta: f64,
+    cutoff: f64,
+    use_cache: bool,
+    budget: usize,
+}
+
+impl Kernel<'_> {
+    /// `Q(belief, a)` at `depth` remaining action layers; `None` if the
+    /// node budget ran out mid-subtree.
+    fn action_q(
+        &self,
+        ws: &mut PlanWorkspace,
+        belief: &[f64],
+        a: usize,
+        depth: usize,
+        nodes: &mut usize,
+    ) -> Option<f64> {
+        let action = ActionId::new(a);
+        let mut q = dense::dot(belief, self.pomdp.mdp().reward_vector(action));
+        let n = self.pomdp.n_states();
+        let mut pred = ws.checkout(n);
+        self.pomdp
+            .mdp()
+            .transition_matrix(action)
+            .matvec_transpose_into(belief, &mut pred)
+            .expect("belief length matches model");
+        let obs_t = self.pomdp.observation_transpose(action);
+        let mut post = ws.checkout(n);
+        let mut aborted = false;
+        for o in 0..self.pomdp.n_observations() {
+            let gamma = obs_t
+                .row_scaled_into(o, &pred, &mut post)
+                .expect("prediction length matches model");
+            if gamma > self.cutoff && gamma > 0.0 {
+                if gamma.is_finite() {
+                    // normalize_l1's guard: division only for a finite,
+                    // non-zero mass (non-zero is established above).
+                    for v in post.iter_mut() {
+                        *v /= gamma;
+                    }
+                }
+                match self.node_value(ws, &post, depth - 1, nodes) {
+                    Some(v) => q += self.beta * gamma * v,
+                    None => {
+                        aborted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        ws.release(post);
+        ws.release(pred);
+        if aborted {
+            None
+        } else {
+            Some(q)
+        }
+    }
+
+    /// `max_a Q(belief, a)` at `depth` remaining layers, or the leaf
+    /// bound at depth 0.
+    fn node_value(
+        &self,
+        ws: &mut PlanWorkspace,
+        belief: &[f64],
+        depth: usize,
+        nodes: &mut usize,
+    ) -> Option<f64> {
+        *nodes += 1;
+        if *nodes > self.budget {
+            return None;
+        }
+        if self.use_cache {
+            if let Some((value, sub)) = ws.cache_get(depth, belief) {
+                *nodes += sub;
+                return Some(value);
+            }
+        }
+        let before = *nodes;
+        let value = if depth == 0 {
+            self.leaf.value_weights(belief)
+        } else {
+            let mut best = f64::NEG_INFINITY;
+            for a in 0..self.pomdp.n_actions() {
+                let q = self.action_q(ws, belief, a, depth, nodes)?;
+                best = best.max(q);
+            }
+            best
+        };
+        if self.use_cache {
+            ws.cache_put(depth, belief, value, *nodes - before);
+        }
+        Some(value)
+    }
+}
+
+/// The branch-and-bound fused engine: like [`Kernel`] but with an upper
+/// bound ordering and pruning the actions of every interior node.
+struct BbKernel<'a> {
+    pomdp: &'a Pomdp,
+    lower: &'a dyn ValueBound,
+    upper: &'a dyn ValueBound,
+    beta: f64,
+    cutoff: f64,
+}
+
+impl BbKernel<'_> {
+    /// Expands one node's successor set into `frame` and sorts the
+    /// per-action entries by descending upper estimate (action index
+    /// breaks ties, replicating the legacy stable sort). Shared by the
+    /// root and the recursion.
+    fn collect(&self, frame: &mut crate::plan::BbFrame, belief: &[f64]) {
+        let n = self.pomdp.n_states();
+        frame.reset(n);
+        for a in 0..self.pomdp.n_actions() {
+            let action = ActionId::new(a);
+            let reward = dense::dot(belief, self.pomdp.mdp().reward_vector(action));
+            self.pomdp
+                .mdp()
+                .transition_matrix(action)
+                .matvec_transpose_into(belief, &mut frame.pred)
+                .expect("belief length matches model");
+            let obs_t = self.pomdp.observation_transpose(action);
+            let start = frame.branches();
+            for o in 0..self.pomdp.n_observations() {
+                let gamma = frame
+                    .scale_branch(obs_t, o, n)
+                    .expect("prediction length matches model");
+                if gamma > self.cutoff && gamma > 0.0 {
+                    frame.keep_branch(gamma);
+                }
+            }
+            let mut q_ub = reward;
+            for i in start..frame.branches() {
+                q_ub += self.beta * frame.gammas[i] * self.upper.value_weights(frame.post(i));
+            }
+            frame.entries.push(BbEntry {
+                action: a,
+                reward,
+                q_ub,
+                start,
+                len: frame.branches() - start,
+            });
+        }
+        frame.entries.sort_unstable_by(|x, y| {
+            y.q_ub
+                .partial_cmp(&x.q_ub)
+                .expect("finite upper estimates")
+                .then(x.action.cmp(&y.action))
+        });
+    }
+
+    fn value(
+        &self,
+        ws: &mut PlanWorkspace,
+        belief: &[f64],
+        depth: usize,
+        nodes: &mut usize,
+    ) -> f64 {
+        *nodes += 1;
+        if let Some((value, sub)) = ws.cache_get(depth, belief) {
+            *nodes += sub;
+            return value;
+        }
+        let before = *nodes;
+        let value = if depth == 0 {
+            self.lower.value_weights(belief)
+        } else {
+            let mut frame = ws.take_frame(depth);
+            self.collect(&mut frame, belief);
+            let mut best = f64::NEG_INFINITY;
+            for idx in 0..frame.entries.len() {
+                let e = frame.entries[idx];
+                if e.q_ub <= best {
+                    break; // sorted: everything after is also prunable
+                }
+                let mut q = e.reward;
+                for i in e.start..e.start + e.len {
+                    let v = self.value(ws, frame.post(i), depth - 1, nodes);
+                    q += self.beta * frame.gammas[i] * v;
+                }
+                best = best.max(q);
+            }
+            ws.put_frame(depth, frame);
+            best
+        };
+        ws.cache_put(depth, belief, value, *nodes - before);
+        value
+    }
+}
+
+/// The pre-fusion tree expansion, retained verbatim.
+///
+/// These are the implementations the fused kernel replaced: every node
+/// re-derives its successors through [`Belief::successors`]'s two-pass
+/// scatter and allocates fresh posterior vectors per branch. They are
+/// kept as (a) the reference the equivalence tests compare bit-for-bit
+/// against, and (b) the in-run baseline of `bench --bin planning`.
+pub mod legacy {
+    use super::{Decision, Successors};
+    use crate::bounds::ValueBound;
+    use crate::{Belief, Error, Pomdp};
+    use bpr_mdp::ActionId;
+
+    /// Pre-fusion [`super::expand_with_cutoff`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::expand`].
+    pub fn expand_with_cutoff(
+        pomdp: &Pomdp,
+        belief: &Belief,
+        depth: usize,
+        leaf: &dyn ValueBound,
+        beta: f64,
+        gamma_cutoff: f64,
+    ) -> Result<Decision, Error> {
+        if depth == 0 {
+            return Err(super::depth_zero_error());
+        }
+        let mut nodes = 0usize;
+        let mut q_values = Vec::with_capacity(pomdp.n_actions());
+        for a in 0..pomdp.n_actions() {
+            let q = action_value(
                 pomdp,
-                &b,
-                depth - 1,
-                lower,
-                upper,
+                belief,
+                ActionId::new(a),
+                depth,
+                leaf,
+                beta,
+                gamma_cutoff,
+                &mut nodes,
+            )?;
+            q_values.push(q);
+        }
+        let (best_a, best_q) = q_values
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite tree values"))
+            .expect("model has at least one action");
+        Ok(Decision {
+            action: ActionId::new(best_a),
+            value: best_q,
+            q_values,
+            nodes_expanded: nodes,
+        })
+    }
+
+    /// Pre-fusion [`super::expand_branch_and_bound`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::expand`].
+    pub fn expand_branch_and_bound(
+        pomdp: &Pomdp,
+        belief: &Belief,
+        depth: usize,
+        lower: &dyn ValueBound,
+        upper: &dyn ValueBound,
+        beta: f64,
+        gamma_cutoff: f64,
+    ) -> Result<Decision, Error> {
+        if depth == 0 {
+            return Err(super::depth_zero_error());
+        }
+        let mut nodes = 0usize;
+        let na = pomdp.n_actions();
+        // Per action: successors plus the optimistic one-step estimate.
+        let mut entries: Vec<(usize, f64, Successors)> = Vec::with_capacity(na);
+        for a in 0..na {
+            let action = ActionId::new(a);
+            let succ: Successors = belief
+                .successors(pomdp, action, gamma_cutoff)
+                .into_iter()
+                .map(|(_o, g, b)| (g, b))
+                .collect();
+            let mut q_ub = belief.expected_reward(pomdp, action);
+            for (g, b) in &succ {
+                q_ub += beta * g * upper.value(b);
+            }
+            entries.push((a, q_ub, succ));
+        }
+        entries.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite upper estimates"));
+
+        let mut q_values = vec![f64::NEG_INFINITY; na];
+        let mut best_value = f64::NEG_INFINITY;
+        let mut best_action = entries[0].0;
+        for (a, q_ub, succ) in entries {
+            if q_ub <= best_value {
+                // Provably cannot beat the incumbent: record the
+                // optimistic estimate and skip the descent.
+                q_values[a] = q_ub;
+                continue;
+            }
+            let action = ActionId::new(a);
+            let mut q = belief.expected_reward(pomdp, action);
+            for (g, b) in succ {
+                let v = bb_value(
+                    pomdp,
+                    &b,
+                    depth - 1,
+                    lower,
+                    upper,
+                    beta,
+                    gamma_cutoff,
+                    &mut nodes,
+                )?;
+                q += beta * g * v;
+            }
+            q_values[a] = q;
+            if q > best_value {
+                best_value = q;
+                best_action = a;
+            }
+        }
+        Ok(Decision {
+            action: ActionId::new(best_action),
+            value: best_value,
+            q_values,
+            nodes_expanded: nodes,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bb_value(
+        pomdp: &Pomdp,
+        belief: &Belief,
+        depth: usize,
+        lower: &dyn ValueBound,
+        upper: &dyn ValueBound,
+        beta: f64,
+        gamma_cutoff: f64,
+        nodes: &mut usize,
+    ) -> Result<f64, Error> {
+        *nodes += 1;
+        if depth == 0 {
+            return Ok(lower.value(belief));
+        }
+        let na = pomdp.n_actions();
+        let mut entries: Vec<(f64, Successors, ActionId)> = Vec::with_capacity(na);
+        for a in 0..na {
+            let action = ActionId::new(a);
+            let succ: Successors = belief
+                .successors(pomdp, action, gamma_cutoff)
+                .into_iter()
+                .map(|(_o, g, b)| (g, b))
+                .collect();
+            let mut q_ub = belief.expected_reward(pomdp, action);
+            for (g, b) in &succ {
+                q_ub += beta * g * upper.value(b);
+            }
+            entries.push((q_ub, succ, action));
+        }
+        entries.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite upper estimates"));
+        let mut best = f64::NEG_INFINITY;
+        for (q_ub, succ, action) in entries {
+            if q_ub <= best {
+                break; // sorted: everything after is also prunable
+            }
+            let mut q = belief.expected_reward(pomdp, action);
+            for (g, b) in succ {
+                let v = bb_value(
+                    pomdp,
+                    &b,
+                    depth - 1,
+                    lower,
+                    upper,
+                    beta,
+                    gamma_cutoff,
+                    nodes,
+                )?;
+                q += beta * g * v;
+            }
+            best = best.max(q);
+        }
+        Ok(best)
+    }
+
+    /// Value of the belief under the expansion: `max_a Q(π, a, depth)`,
+    /// or the leaf bound at depth 0.
+    fn belief_value(
+        pomdp: &Pomdp,
+        belief: &Belief,
+        depth: usize,
+        leaf: &dyn ValueBound,
+        beta: f64,
+        gamma_cutoff: f64,
+        nodes: &mut usize,
+    ) -> Result<f64, Error> {
+        *nodes += 1;
+        if depth == 0 {
+            return Ok(leaf.value(belief));
+        }
+        let mut best = f64::NEG_INFINITY;
+        for a in 0..pomdp.n_actions() {
+            let q = action_value(
+                pomdp,
+                belief,
+                ActionId::new(a),
+                depth,
+                leaf,
                 beta,
                 gamma_cutoff,
                 nodes,
             )?;
-            q += beta * g * v;
+            best = best.max(q);
         }
-        best = best.max(q);
+        Ok(best)
     }
-    Ok(best)
+
+    #[allow(clippy::too_many_arguments)]
+    fn action_value(
+        pomdp: &Pomdp,
+        belief: &Belief,
+        action: ActionId,
+        depth: usize,
+        leaf: &dyn ValueBound,
+        beta: f64,
+        gamma_cutoff: f64,
+        nodes: &mut usize,
+    ) -> Result<f64, Error> {
+        let mut q = belief.expected_reward(pomdp, action);
+        for (_o, gamma, next) in belief.successors(pomdp, action, gamma_cutoff) {
+            let v = belief_value(pomdp, &next, depth - 1, leaf, beta, gamma_cutoff, nodes)?;
+            q += beta * gamma * v;
+        }
+        Ok(q)
+    }
 }
 
-/// Value of the belief under the expansion: `max_a Q(π, a, depth)`, or
-/// the leaf bound at depth 0.
-fn belief_value(
-    pomdp: &Pomdp,
-    belief: &Belief,
-    depth: usize,
-    leaf: &dyn ValueBound,
-    beta: f64,
-    gamma_cutoff: f64,
-    nodes: &mut usize,
-) -> Result<f64, Error> {
-    *nodes += 1;
-    if depth == 0 {
-        return Ok(leaf.value(belief));
-    }
-    let mut best = f64::NEG_INFINITY;
-    for a in 0..pomdp.n_actions() {
-        let q = action_value(
-            pomdp,
-            belief,
-            ActionId::new(a),
-            depth,
-            leaf,
-            beta,
-            gamma_cutoff,
-            nodes,
-        )?;
-        best = best.max(q);
-    }
-    Ok(best)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn action_value(
-    pomdp: &Pomdp,
-    belief: &Belief,
-    action: ActionId,
-    depth: usize,
-    leaf: &dyn ValueBound,
-    beta: f64,
-    gamma_cutoff: f64,
-    nodes: &mut usize,
-) -> Result<f64, Error> {
-    let mut q = belief.expected_reward(pomdp, action);
-    for (_o, gamma, next) in belief.successors(pomdp, action, gamma_cutoff) {
-        let v = belief_value(pomdp, &next, depth - 1, leaf, beta, gamma_cutoff, nodes)?;
-        q += beta * gamma * v;
-    }
-    Ok(q)
-}
+/// Successor beliefs of one action: `(γ(o), b')` per surviving
+/// observation branch.
+type Successors = Vec<(f64, Belief)>;
 
 #[cfg(test)]
 mod tests {
@@ -310,6 +877,13 @@ mod tests {
         let p = two_server_notified();
         let bound = ConstantBound(0.0);
         assert!(expand(&p, &Belief::uniform(3), 0, &bound, 1.0).is_err());
+        assert!(legacy::expand_with_cutoff(&p, &Belief::uniform(3), 0, &bound, 1.0, 0.0).is_err());
+        let pool = WorkPool::serial();
+        assert!(expand_par(&p, &Belief::uniform(3), 0, &bound, 1.0, 0.0, &pool).is_err());
+        let mut ws = PlanWorkspace::new();
+        assert!(
+            expand_budgeted(&p, &Belief::uniform(3), 0, &bound, 1.0, 0.0, 10, &mut ws).is_err()
+        );
     }
 
     #[test]
@@ -437,5 +1011,135 @@ mod tests {
         let lo = expand(&p, &b, 2, &lower, 1.0).unwrap();
         let hi = expand(&p, &b, 2, &upper, 1.0).unwrap();
         assert!(hi.value + 1e-9 >= lo.value);
+    }
+
+    // ------------------------------------------------------------------
+    // Fused-kernel equivalence against the legacy path.
+
+    fn probe_beliefs() -> Vec<Belief> {
+        vec![
+            Belief::uniform(3),
+            Belief::point(3, 0.into()),
+            Belief::point(3, 2.into()),
+            Belief::from_probs(vec![0.05, 0.9, 0.05]).unwrap(),
+            Belief::from_probs(vec![0.3, 0.3, 0.4]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn fused_successors_are_bit_identical_to_legacy() {
+        let p = two_server_notified();
+        for b in probe_beliefs() {
+            for a in 0..p.n_actions() {
+                for cutoff in [0.0, 0.05, 0.3] {
+                    let action = ActionId::new(a);
+                    let old = b.successors(&p, action, cutoff);
+                    let new = fused_successors(&p, &b, action, cutoff);
+                    assert_eq!(old.len(), new.len(), "branch count a={a} cutoff={cutoff}");
+                    for ((o1, g1, b1), (o2, g2, b2)) in old.iter().zip(&new) {
+                        assert_eq!(o1, o2);
+                        assert_eq!(g1.to_bits(), g2.to_bits(), "gamma differs at {o1}");
+                        assert_eq!(b1.probs(), b2.probs(), "posterior differs at {o1}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_expansion_matches_legacy_exactly() {
+        let p = two_server_notified();
+        let ra = ra_bound(&p, &SolveOpts::default()).unwrap();
+        for b in probe_beliefs() {
+            for depth in 1..=3 {
+                for cutoff in [0.0, 0.05] {
+                    let old = legacy::expand_with_cutoff(&p, &b, depth, &ra, 1.0, cutoff).unwrap();
+                    let new = expand_with_cutoff(&p, &b, depth, &ra, 1.0, cutoff).unwrap();
+                    assert_eq!(old, new, "depth={depth} cutoff={cutoff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_branch_and_bound_matches_legacy_exactly() {
+        use crate::bounds::qmdp_bound;
+        use bpr_mdp::value_iteration::Discount;
+        let p = two_server_notified();
+        let lower = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let upper = qmdp_bound(&p, Discount::Undiscounted).unwrap();
+        for b in probe_beliefs() {
+            for depth in 1..=3 {
+                let old = legacy::expand_branch_and_bound(&p, &b, depth, &lower, &upper, 1.0, 0.0)
+                    .unwrap();
+                let new = expand_branch_and_bound(&p, &b, depth, &lower, &upper, 1.0, 0.0).unwrap();
+                assert_eq!(old, new, "depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_root_expansion_is_bit_identical() {
+        let p = two_server_notified();
+        let ra = ra_bound(&p, &SolveOpts::default()).unwrap();
+        for b in probe_beliefs() {
+            for depth in 1..=3 {
+                let sequential = expand_with_cutoff(&p, &b, depth, &ra, 1.0, 0.0).unwrap();
+                for width in [1usize, 2, 4] {
+                    let pool = WorkPool::new(width).unwrap();
+                    let parallel = expand_par(&p, &b, depth, &ra, 1.0, 0.0, &pool).unwrap();
+                    assert_eq!(sequential, parallel, "depth={depth} width={width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_steady_state() {
+        let p = two_server_notified();
+        let ra = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let mut ws = PlanWorkspace::new();
+        let b = Belief::uniform(3);
+        expand_with_workspace(&p, &b, 3, &ra, 1.0, 0.0, &mut ws).unwrap();
+        let first = ws.decision().clone();
+        let warm = ws.stats().buffers_allocated;
+        for _ in 0..5 {
+            expand_with_workspace(&p, &b, 3, &ra, 1.0, 0.0, &mut ws).unwrap();
+            assert_eq!(ws.decision(), &first, "decisions drifted across reuse");
+        }
+        assert_eq!(
+            ws.stats().buffers_allocated,
+            warm,
+            "steady-state decisions allocated fresh buffers"
+        );
+    }
+
+    #[test]
+    fn transposition_cache_fires_on_repeated_posteriors() {
+        let p = two_server_notified();
+        let bound = ConstantBound(0.0);
+        let mut ws = PlanWorkspace::new();
+        expand_with_workspace(&p, &Belief::uniform(3), 3, &bound, 1.0, 0.0, &mut ws).unwrap();
+        // Restart actions collapse onto identical posteriors, so a
+        // depth-3 tree revisits nodes.
+        assert!(ws.stats().cache_hits > 0, "stats: {:?}", ws.stats());
+    }
+
+    #[test]
+    fn budgeted_pass_matches_plain_when_budget_is_generous() {
+        let p = two_server_notified();
+        let ra = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let b = Belief::uniform(3);
+        let plain = expand_with_cutoff(&p, &b, 2, &ra, 1.0, 0.0).unwrap();
+        let mut ws = PlanWorkspace::new();
+        let pass =
+            expand_budgeted(&p, &b, 2, &ra, 1.0, 0.0, plain.nodes_expanded, &mut ws).unwrap();
+        assert!(pass.completed);
+        assert_eq!(pass.nodes_spent, plain.nodes_expanded);
+        assert_eq!(ws.q_scratch(), plain.q_values.as_slice());
+        // One node fewer and the pass must abort.
+        let pass =
+            expand_budgeted(&p, &b, 2, &ra, 1.0, 0.0, plain.nodes_expanded - 1, &mut ws).unwrap();
+        assert!(!pass.completed);
     }
 }
