@@ -31,4 +31,16 @@ echo "==> planning-throughput smoke (fails on fused/parallel divergence or stead
 cargo run -p bpr-bench --bin planning --release -- \
   --decisions 8 --depth 2 --threads 1,2,4
 
+echo "==> modelcheck (static lint gate over the paper models; fails on error-severity findings)"
+cargo run -p bpr-bench --bin modelcheck --release -- --quiet --out MODELCHECK.json
+
+# Note: `command -v cargo-miri` is a false positive under rustup (the
+# proxy shim exists even when the component is absent) — ask rustup.
+if rustup component list --installed 2>/dev/null | grep -q "^miri"; then
+  echo "==> miri (bpr-linalg + bpr-pomdp unit tests)"
+  cargo miri test -p bpr-linalg -p bpr-pomdp --lib -q
+else
+  echo "==> miri: not installed, skipping (CI runs it on nightly)"
+fi
+
 echo "==> ci.sh: all gates passed"

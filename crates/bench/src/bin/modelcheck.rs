@@ -1,0 +1,62 @@
+//! Static-analysis gate over the paper's models: lints the EMN and
+//! two-server recovery models (raw and after both §3.1 transforms)
+//! with `bpr-lint`, prints the human-readable reports, writes the
+//! machine-readable JSON bundle (reports + full lint catalog), and
+//! exits non-zero if any error-severity finding exists — the CI
+//! soundness gate.
+//!
+//! Usage:
+//! `cargo run -p bpr-bench --bin modelcheck --release -- \
+//!     [--out MODELCHECK.json] [--broken] [--quiet]`
+//!
+//! `--broken` additionally lints the deliberately corrupted fixture,
+//! demonstrating (and letting tests assert) the non-zero exit path.
+
+use bpr_bench::modelcheck::{broken_fixture, bundle_json, lint_paper_models};
+use bpr_core::lint::Severity;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let broken = args.iter().any(|a| a == "--broken");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "MODELCHECK.json".to_string());
+
+    let mut reports = match lint_paper_models() {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("modelcheck: building the paper models failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    if broken {
+        reports.push(broken_fixture());
+    }
+
+    if !quiet {
+        for r in &reports {
+            print!("{}", r.render());
+            println!();
+        }
+    }
+
+    let json = bundle_json(&reports);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("modelcheck: could not write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warn)).sum();
+    println!(
+        "modelcheck: {} model stage(s), {errors} error(s), {warnings} warning(s) -> {out_path}",
+        reports.len()
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

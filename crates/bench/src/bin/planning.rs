@@ -19,6 +19,12 @@
 //!     [--decisions 40] [--depth 2] [--cutoff 1e-3] [--threads 1,2,4] \
 //!     [--min-speedup 0.0] [--out BENCH_planning.json]`
 
+// The one sanctioned `unsafe` user in the workspace: implementing
+// `GlobalAlloc` is inherently unsafe, and the zero-allocation gate
+// needs a counting allocator. Everything else inherits
+// `unsafe_code = "deny"` from the workspace lint table.
+#![allow(unsafe_code)]
+
 use bpr_bench::experiments::emn_model;
 use bpr_bench::flag;
 use bpr_mdp::chain::SolveOpts;

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod modelcheck;
 
 /// Minimal command-line flag parsing for the experiment binaries:
 /// `--name value` pairs, with defaults.

@@ -1,0 +1,200 @@
+//! The `modelcheck` static-analysis gate: lints the paper's models
+//! (EMN and two-server, raw and transformed) with `bpr-lint` and
+//! bundles the reports — plus the full lint catalog — into one JSON
+//! document for CI artifact upload.
+//!
+//! The library half lives here so the integration tests can exercise
+//! the exact logic the `modelcheck` binary ships: [`lint_paper_models`]
+//! must come back clean at error severity, and [`broken_fixture`] — a
+//! deliberately corrupted model — must not.
+
+use bpr_core::lint::{lint_pomdp, LintContext, LintReport, Termination};
+use bpr_core::{Error, RecoveryModel};
+use bpr_mdp::MdpBuilder;
+use bpr_pomdp::PomdpBuilder;
+use std::fmt::Write as _;
+
+/// The operator response time used for the two-server no-notification
+/// transform (the EMN transform takes its `t_op` from `EmnConfig`).
+const TWO_SERVER_TOP: f64 = 10.0;
+
+/// Lints one paper model at every stage the pipeline runs it in: the
+/// raw recovery model, the with-notification transform, and the
+/// no-notification transform.
+fn lint_stages(name: &str, model: &RecoveryModel, top: f64) -> Result<Vec<LintReport>, Error> {
+    let mut reports = Vec::new();
+    reports.push(lint_pomdp(
+        model.base(),
+        &model.lint_context().named(format!("{name} (raw)")).full(),
+    ));
+    let notified = model.with_notification()?;
+    reports.push(lint_pomdp(
+        &notified,
+        &LintContext::transformed(model.null_states().to_vec(), None)
+            .named(format!("{name} (with-notification)"))
+            .full(),
+    ));
+    let terminated = model.without_notification(top)?;
+    reports.push(lint_pomdp(
+        terminated.pomdp(),
+        &terminated
+            .lint_context()
+            .named(format!("{name} (no-notification)"))
+            .full(),
+    ));
+    Ok(reports)
+}
+
+/// Lints the EMN and two-server models (raw + both §3.1 transforms).
+///
+/// # Errors
+///
+/// Propagates model construction failures.
+pub fn lint_paper_models() -> Result<Vec<LintReport>, Error> {
+    let mut reports = Vec::new();
+    let two_server = bpr_emn::two_server::default_model()?;
+    reports.extend(lint_stages("two-server", &two_server, TWO_SERVER_TOP)?);
+    let emn_config = bpr_emn::EmnConfig::default();
+    let emn = bpr_emn::build_model(&emn_config)?;
+    reports.extend(lint_stages("emn", &emn, emn_config.operator_response_time)?);
+    Ok(reports)
+}
+
+/// A deliberately broken "recovery model" that trips a spread of lint
+/// codes: a positive reward (BPR008, Condition 2), a state that cannot
+/// reach the null set (BPR011, Condition 1) and is absorbing under
+/// every action (BPR014), free actions outside the exempt set
+/// (BPR012), a dead observation column (BPR006), malformed termination
+/// machinery (BPR015), and a divergent random chain on a model claimed
+/// to be transformed (BPR019, error at this stage).
+///
+/// Built straight through the `Mdp`/`Pomdp` builders — the
+/// `RecoveryModel` constructor would (correctly) refuse it, which is
+/// the point: `modelcheck --broken` demonstrates the analyzer and the
+/// non-zero exit path on exactly the class of model the validated
+/// constructors exist to keep out.
+///
+/// # Panics
+///
+/// Never panics: the fixture's matrices are stochastic and its rewards
+/// finite, so the builders accept it.
+pub fn broken_fixture() -> LintReport {
+    // States: 0 = Fault(wedged), 1 = Fault(looping), 2 = Null, 3 = "s_T".
+    // Action 0 "repairs", action 1 claims to be a_T but misroutes.
+    let mut mb = MdpBuilder::new(4, 2);
+    mb.state_label(0, "Wedged")
+        .state_label(1, "Looping")
+        .state_label(2, "Null")
+        .state_label(3, "Terminated");
+    mb.action_label(0, "Repair").action_label(1, "Terminate");
+    // Wedged absorbs under every action and even pays for the privilege.
+    mb.transition(0, 0, 0, 1.0).reward(0, 0, 0.5); // positive reward
+    mb.transition(0, 1, 0, 1.0).reward(0, 1, -1.0); // a_T misroutes
+                                                    // Looping recovers under Repair, free of charge.
+    mb.transition(1, 0, 2, 1.0).reward(1, 0, 0.0); // free action
+    mb.transition(1, 1, 3, 1.0).reward(1, 1, -2.0);
+    // Null idles free under both actions (free actions, but exempt).
+    mb.transition(2, 0, 2, 1.0).reward(2, 0, 0.0);
+    mb.transition(2, 1, 3, 1.0).reward(2, 1, 0.0);
+    // "s_T" leaks back into the fault space and charges rent.
+    mb.transition(3, 0, 1, 1.0).reward(3, 0, -1.0);
+    mb.transition(3, 1, 3, 1.0).reward(3, 1, 0.0);
+    let mdp = mb.build().expect("fixture matrices are stochastic");
+    let mut pb = PomdpBuilder::new(mdp, 3);
+    pb.observation_label(0, "alarm")
+        .observation_label(1, "clear")
+        .observation_label(2, "unused");
+    for s in 0..4 {
+        // Observation 2 is a dead column; states 0 and 1 are aliased.
+        let alarm = if s >= 2 { 0.1 } else { 0.9 };
+        for a in 0..2 {
+            pb.observation(s, a, 0, alarm)
+                .observation(s, a, 1, 1.0 - alarm);
+        }
+    }
+    let pomdp = pb.build().expect("fixture observations are stochastic");
+    let ctx = LintContext::transformed(
+        vec![2.into()],
+        Some(Termination {
+            state: 3.into(),
+            action: 1.into(),
+            operator_response_time: 0.5, // shorter than any repair
+        }),
+    )
+    .named("broken-fixture")
+    .full();
+    lint_pomdp(&pomdp, &ctx)
+}
+
+/// Bundles lint reports and the full catalog into the `modelcheck`
+/// JSON document: `{"catalog": [...], "models": [...], "errors": N}`.
+pub fn bundle_json(reports: &[LintReport]) -> String {
+    let mut out = String::from("{\"catalog\": ");
+    out.push_str(&bpr_core::lint::catalog::catalog_json());
+    out.push_str(", \"models\": [");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&r.to_json());
+    }
+    let errors: usize = reports
+        .iter()
+        .map(|r| r.count(bpr_core::lint::Severity::Error))
+        .sum();
+    let _ = write!(out, "], \"errors\": {errors}}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_core::lint::{LintCode, Severity};
+
+    #[test]
+    fn paper_models_are_clean_at_error_severity() {
+        let reports = lint_paper_models().unwrap();
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            assert!(!r.has_errors(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn broken_fixture_trips_the_expected_codes() {
+        let report = broken_fixture();
+        assert!(report.has_errors());
+        let codes: Vec<LintCode> = report.diagnostics().iter().map(|d| d.code).collect();
+        for expected in [
+            LintCode::PositiveReward,
+            LintCode::UnrecoverableState,
+            LintCode::AbsorbingFault,
+            LintCode::FreeAction,
+            LintCode::DeadObservationColumn,
+            LintCode::TerminationStructure,
+            LintCode::DivergentRandomChain,
+            LintCode::MonitorAliasing,
+            LintCode::OperatorResponseTime,
+        ] {
+            assert!(codes.contains(&expected), "missing {expected}");
+        }
+        // At the transformed stage the divergence is an error.
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::DivergentRandomChain && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn bundle_json_counts_errors_and_ships_the_catalog() {
+        let clean = bundle_json(&lint_paper_models().unwrap());
+        assert!(clean.contains("\"errors\": 0"));
+        let broken = bundle_json(&[broken_fixture()]);
+        assert!(!broken.contains("\"errors\": 0"));
+        // The catalog rides along with >= 8 distinct codes either way.
+        let distinct = (1..=19)
+            .filter(|i| clean.contains(&format!("BPR{i:03}")))
+            .count();
+        assert!(distinct >= 8, "only {distinct} catalog codes in JSON");
+    }
+}

@@ -31,6 +31,7 @@
 pub use bpr_core as core;
 pub use bpr_emn as emn;
 pub use bpr_linalg as linalg;
+pub use bpr_lint as lint;
 pub use bpr_mdp as mdp;
 pub use bpr_par as par;
 pub use bpr_pomdp as pomdp;
@@ -54,6 +55,7 @@ pub mod prelude {
         ResilienceConfig, ResilientController, StateId, Step, TerminatedModel,
     };
     pub use bpr_emn::{two_server, EmnConfig, PathRouting};
+    pub use bpr_lint::{lint_pomdp, Diagnostic, LintCode, LintContext, LintReport, Severity};
     pub use bpr_mdp::chain::SolveOpts;
     pub use bpr_mdp::MdpBuilder;
     pub use bpr_par::{split_seed, Quarantined, WorkPool};
@@ -85,5 +87,7 @@ mod tests {
         assert!(out.recovered && out.terminated);
         assert_eq!(crate::emn::two_server::FAULT_A, two_server::FAULT_A);
         assert!(WorkPool::new(2).unwrap().threads() == 2);
+        let report: LintReport = lint_pomdp(model.base(), &model.lint_context());
+        assert!(!report.has_errors(), "{}", report.render());
     }
 }

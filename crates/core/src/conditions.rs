@@ -8,8 +8,19 @@
 //! * **No free actions** (Property 1(a), §4.2): every action outside
 //!   the exempt states accrues strictly negative reward, which is what
 //!   makes the bounded controller's termination argument go through.
+//!
+//! These checks are built on (and subsumed by) the `bpr-lint` static
+//! analyzer, re-exported here as [`lint`](crate::lint): where a
+//! condition check fails fast with an [`Error`] carrying **all**
+//! violations, [`lint::lint_pomdp`](bpr_lint::lint_pomdp) produces the
+//! full structured report with severities and fix-it hints. Use the
+//! checks for construction-time gating and the analyzer for diagnosis.
 
 use crate::Error;
+use bpr_lint::checks;
+pub use bpr_lint::{
+    lint_pomdp, Diagnostic, LintCode, LintContext, LintReport, Severity, Stage, Termination,
+};
 use bpr_mdp::StateId;
 use bpr_pomdp::Pomdp;
 
@@ -23,36 +34,37 @@ use bpr_pomdp::Pomdp;
 ///
 /// # Errors
 ///
-/// Returns [`Error::Condition1Violated`] with the offending state in
-/// the detail message.
+/// Returns [`Error::Condition1Violated`] naming **every** offending
+/// state (not just the first) in the detail message.
 pub fn check_condition1(pomdp: &Pomdp, null_states: &[StateId]) -> Result<(), Error> {
     if null_states.is_empty() {
         return Err(Error::Condition1Violated {
             detail: "the set of null-fault states is empty".into(),
         });
     }
-    for s in null_states {
-        if s.index() >= pomdp.n_states() {
-            return Err(Error::Condition1Violated {
-                detail: format!("null state {s} is out of bounds"),
-            });
-        }
+    let oob: Vec<String> = null_states
+        .iter()
+        .filter(|s| s.index() >= pomdp.n_states())
+        .map(|s| s.to_string())
+        .collect();
+    if !oob.is_empty() {
+        return Err(Error::Condition1Violated {
+            detail: format!("null state(s) {} out of bounds", oob.join(", ")),
+        });
     }
-    // Union chain: average over actions preserves positive-probability
-    // edges, so the uniform random chain has the union reachability.
-    let chain = pomdp.mdp().uniform_random_chain();
-    let targets: Vec<usize> = null_states.iter().map(|s| s.index()).collect();
-    let ok = chain.can_reach(&targets);
-    for (s, reachable) in ok.iter().enumerate() {
-        if !reachable {
-            return Err(Error::Condition1Violated {
-                detail: format!(
-                    "state {} ({}) cannot reach any null-fault state",
-                    s,
-                    pomdp.mdp().state_label(s)
-                ),
-            });
-        }
+    let ctx = LintContext::raw(null_states.to_vec());
+    let stranded = checks::unrecoverable_states(pomdp, &ctx);
+    if !stranded.is_empty() {
+        let described: Vec<String> = stranded
+            .iter()
+            .map(|s| format!("{} ({})", s.index(), pomdp.mdp().state_label(*s)))
+            .collect();
+        return Err(Error::Condition1Violated {
+            detail: format!(
+                "state(s) {} cannot reach any null-fault state",
+                described.join(", ")
+            ),
+        });
     }
     Ok(())
 }
@@ -61,22 +73,15 @@ pub fn check_condition1(pomdp: &Pomdp, null_states: &[StateId]) -> Result<(), Er
 ///
 /// # Errors
 ///
-/// Returns [`Error::Condition2Violated`] identifying the first positive
-/// reward found.
+/// Returns [`Error::Condition2Violated`] listing **every** positive
+/// `(state, action, reward)` triple.
 pub fn check_condition2(pomdp: &Pomdp) -> Result<(), Error> {
-    for a in 0..pomdp.n_actions() {
-        for s in 0..pomdp.n_states() {
-            let r = pomdp.mdp().reward(s, a);
-            if r > 0.0 {
-                return Err(Error::Condition2Violated {
-                    state: s,
-                    action: a,
-                    reward: r,
-                });
-            }
-        }
+    let violations = checks::positive_rewards(pomdp);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::Condition2Violated { violations })
     }
-    Ok(())
 }
 
 /// Checks Property 1(a): `|r(s, a)| > 0` for every action in every
@@ -90,31 +95,16 @@ pub fn check_condition2(pomdp: &Pomdp) -> Result<(), Error> {
 ///
 /// # Errors
 ///
-/// Returns [`Error::FreeAction`] identifying the first free action.
+/// Returns [`Error::FreeAction`] listing **every** free
+/// `(state, action)` pair.
 pub fn check_no_free_actions(pomdp: &Pomdp, exempt: &[StateId]) -> Result<(), Error> {
-    let exempt_mask: Vec<bool> = {
-        let mut m = vec![false; pomdp.n_states()];
-        for s in exempt {
-            if s.index() < pomdp.n_states() {
-                m[s.index()] = true;
-            }
-        }
-        m
-    };
-    for (s, &is_exempt) in exempt_mask.iter().enumerate() {
-        if is_exempt {
-            continue;
-        }
-        for a in 0..pomdp.n_actions() {
-            if pomdp.mdp().reward(s, a) == 0.0 {
-                return Err(Error::FreeAction {
-                    state: s,
-                    action: a,
-                });
-            }
-        }
+    let ctx = LintContext::raw(Vec::new()).with_exempt(exempt.to_vec());
+    let violations = checks::free_action_pairs(pomdp, &ctx);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::FreeAction { violations })
     }
-    Ok(())
 }
 
 /// Checks Property 1(b) at a set of probe beliefs: the bound must be
@@ -197,7 +187,25 @@ mod tests {
         let p = pomdp_from(&mb);
         let err = check_condition1(&p, &[StateId::new(1)]).unwrap_err();
         match err {
-            Error::Condition1Violated { detail } => assert!(detail.contains("state 0")),
+            Error::Condition1Violated { detail } => assert!(detail.contains("0 (s0)")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition1_reports_all_stranded_states() {
+        // States 0 and 1 both loop forever; only state 2 is null.
+        let mut mb = MdpBuilder::new(3, 1);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, -1.0);
+        mb.transition(1, 0, 1, 1.0).reward(1, 0, -1.0);
+        mb.transition(2, 0, 2, 1.0);
+        let p = pomdp_from(&mb);
+        let err = check_condition1(&p, &[StateId::new(2)]).unwrap_err();
+        match err {
+            Error::Condition1Violated { detail } => {
+                assert!(detail.contains("0 (s0)"), "{detail}");
+                assert!(detail.contains("1 (s1)"), "{detail}");
+            }
             other => panic!("unexpected error {other:?}"),
         }
     }
@@ -207,7 +215,11 @@ mod tests {
         let mut mb = MdpBuilder::new(1, 1);
         mb.transition(0, 0, 0, 1.0);
         let p = pomdp_from(&mb);
-        assert!(check_condition1(&p, &[StateId::new(5)]).is_err());
+        let err = check_condition1(&p, &[StateId::new(5)]).unwrap_err();
+        match err {
+            Error::Condition1Violated { detail } => assert!(detail.contains("s5")),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -225,18 +237,17 @@ mod tests {
     }
 
     #[test]
-    fn condition2_detects_positive_reward() {
-        let mut mb = MdpBuilder::new(1, 1);
+    fn condition2_reports_all_positive_rewards() {
+        let mut mb = MdpBuilder::new(2, 1);
         mb.transition(0, 0, 0, 1.0).reward(0, 0, 0.25);
+        mb.transition(1, 0, 1, 1.0).reward(1, 0, 0.75);
         let p = pomdp_from(&mb);
-        assert!(matches!(
-            check_condition2(&p),
-            Err(Error::Condition2Violated {
-                state: 0,
-                action: 0,
-                ..
-            })
-        ));
+        match check_condition2(&p).unwrap_err() {
+            Error::Condition2Violated { violations } => {
+                assert_eq!(violations, vec![(0, 0, 0.25), (1, 0, 0.75)]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -272,15 +283,53 @@ mod tests {
     }
 
     #[test]
-    fn free_action_check_respects_exempt_states() {
-        let mut mb = MdpBuilder::new(2, 1);
+    fn free_action_check_reports_all_pairs_with_actions() {
+        let mut mb = MdpBuilder::new(2, 2);
         mb.transition(0, 0, 1, 1.0).reward(0, 0, -1.0);
+        mb.transition(0, 1, 0, 1.0).reward(0, 1, 0.0);
         mb.transition(1, 0, 1, 1.0).reward(1, 0, 0.0);
+        mb.transition(1, 1, 1, 1.0).reward(1, 1, 0.0);
         let p = pomdp_from(&mb);
+        match check_no_free_actions(&p, &[]).unwrap_err() {
+            Error::FreeAction { violations } => {
+                assert_eq!(violations, vec![(0, 1), (1, 0), (1, 1)]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
         assert!(matches!(
-            check_no_free_actions(&p, &[]),
-            Err(Error::FreeAction { state: 1, .. })
+            check_no_free_actions(&p, &[StateId::new(1)]).unwrap_err(),
+            Error::FreeAction { violations } if violations == vec![(0, 1)]
         ));
-        assert!(check_no_free_actions(&p, &[StateId::new(1)]).is_ok());
+    }
+
+    #[test]
+    fn condition_checks_agree_with_lint_analyzer() {
+        // The fast-fail checks and the full analyzer are built on the
+        // same primitives: a model failing a check must lint dirty, and
+        // the clean two-server model must pass both.
+        let model = crate::model::tests::two_server_model();
+        assert!(check_condition1(model.base(), model.null_states()).is_ok());
+        assert!(check_condition2(model.base()).is_ok());
+        let report = lint_pomdp(
+            model.base(),
+            &LintContext::raw(model.null_states().to_vec()).full(),
+        );
+        assert!(!report.has_errors(), "{}", report.render());
+
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 0, 1.0).reward(0, 0, 0.5);
+        mb.transition(1, 0, 1, 1.0);
+        let bad = pomdp_from(&mb);
+        assert!(check_condition1(&bad, &[StateId::new(1)]).is_err());
+        assert!(check_condition2(&bad).is_err());
+        let report = lint_pomdp(&bad, &LintContext::raw(vec![StateId::new(1)]));
+        assert!(report.has_errors());
+        let codes: Vec<&str> = report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect();
+        assert!(codes.contains(&LintCode::UnrecoverableState.as_str()));
+        assert!(codes.contains(&LintCode::PositiveReward.as_str()));
     }
 }

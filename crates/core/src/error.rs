@@ -9,23 +9,26 @@ pub enum Error {
         /// Explanation, including the offending state when applicable.
         detail: String,
     },
-    /// The model violates Condition 2: a single-step reward is positive.
+    /// The model violates Condition 2: one or more single-step rewards
+    /// are positive.
     Condition2Violated {
-        /// State with the positive reward.
-        state: usize,
-        /// Action with the positive reward.
-        action: usize,
-        /// The offending reward.
-        reward: f64,
+        /// Every `(state, action, reward)` triple with a positive
+        /// reward, in (action-major) discovery order.
+        violations: Vec<(usize, usize, f64)>,
     },
-    /// The model has a "free" (zero-cost) action outside the exempt
+    /// The model has "free" (zero-cost) actions outside the exempt
     /// states, violating condition (a) of the termination property
     /// (Property 1). Reported by the optional strict check only.
     FreeAction {
-        /// State with the free action.
-        state: usize,
-        /// The free action.
-        action: usize,
+        /// Every free `(state, action)` pair.
+        violations: Vec<(usize, usize)>,
+    },
+    /// The model failed static analysis at error severity (see
+    /// [`crate::lint`]). The report carries every finding, errors
+    /// first, with offending ids, labels, and fix-it hints.
+    Lint {
+        /// The full lint report.
+        report: bpr_lint::LintReport,
     },
     /// A controller method was called out of order (e.g. `decide`
     /// before `begin`).
@@ -56,18 +59,33 @@ impl fmt::Display for Error {
             Error::Condition1Violated { detail } => {
                 write!(f, "condition 1 violated: {detail}")
             }
-            Error::Condition2Violated {
-                state,
-                action,
-                reward,
-            } => write!(
-                f,
-                "condition 2 violated: reward {reward} > 0 for state {state}, action {action}"
-            ),
-            Error::FreeAction { state, action } => write!(
-                f,
-                "free action {action} in non-exempt state {state} (termination property at risk)"
-            ),
+            Error::Condition2Violated { violations } => {
+                let listed: Vec<String> = violations
+                    .iter()
+                    .map(|(s, a, r)| format!("r(s{s}, a{a}) = {r}"))
+                    .collect();
+                write!(
+                    f,
+                    "condition 2 violated: {} positive reward(s): {}",
+                    violations.len(),
+                    listed.join(", ")
+                )
+            }
+            Error::FreeAction { violations } => {
+                let listed: Vec<String> = violations
+                    .iter()
+                    .map(|(s, a)| format!("a{a} in s{s}"))
+                    .collect();
+                write!(
+                    f,
+                    "{} free action(s) in non-exempt states (termination property at risk): {}",
+                    violations.len(),
+                    listed.join(", ")
+                )
+            }
+            Error::Lint { report } => {
+                write!(f, "model failed static analysis: {}", report.summary())
+            }
             Error::NotStarted => write!(f, "controller used before begin() was called"),
             Error::AlreadyTerminated => write!(f, "controller driven past termination"),
             Error::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
@@ -119,13 +137,13 @@ mod tests {
                 detail: "state 3 cannot recover".into(),
             },
             Error::Condition2Violated {
-                state: 0,
-                action: 1,
-                reward: 0.5,
+                violations: vec![(0, 1, 0.5), (2, 0, 0.25)],
             },
             Error::FreeAction {
-                state: 2,
-                action: 0,
+                violations: vec![(2, 0)],
+            },
+            Error::Lint {
+                report: bpr_lint::LintReport::new("broken", vec![]),
             },
             Error::NotStarted,
             Error::AlreadyTerminated,

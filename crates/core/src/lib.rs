@@ -11,7 +11,9 @@
 //!    outputs — see [`RecoveryModel`].
 //! 2. Validate the paper's **Condition 1** (recovery is always
 //!    possible) and **Condition 2** (rewards are costs) —
-//!    [`conditions`].
+//!    [`conditions`], built on the [`lint`] static analyzer, which can
+//!    also produce a complete structured diagnostic report
+//!    ([`RecoveryModel::lint`] / [`TerminatedModel::lint`]).
 //! 3. Apply a structural transform guaranteeing the RA-Bound exists:
 //!    [`RecoveryModel::with_notification`] for systems that can detect
 //!    recovery, or [`RecoveryModel::without_notification`] which adds
@@ -58,3 +60,8 @@ pub use resilient::{EscalationLevel, ResilienceConfig, ResilientController};
 
 pub use bpr_mdp::{ActionId, StateId};
 pub use bpr_pomdp::{Belief, ObservationId};
+
+/// The `bpr-lint` static model analyzer, re-exported: structured
+/// diagnostics (lint code, severity, offending ids with labels, fix-it
+/// hints) over any recovery-model POMDP. [`conditions`] is built on it.
+pub use bpr_lint as lint;

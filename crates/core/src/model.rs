@@ -172,6 +172,25 @@ impl RecoveryModel {
             })
     }
 
+    /// The lint context describing this raw model to the
+    /// [`bpr_lint`](crate::lint) analyzer: `S_φ` as the null set,
+    /// raw stage, no termination machinery.
+    pub fn lint_context(&self) -> bpr_lint::LintContext {
+        bpr_lint::LintContext::raw(self.null_states.clone()).named("recovery-model (raw)")
+    }
+
+    /// Runs the full static analyzer over the base POMDP.
+    ///
+    /// Construction already guarantees the error-severity structural
+    /// lints are clean (Conditions 1 and 2 are enforced by
+    /// [`RecoveryModel::new`]); the report surfaces the warnings and
+    /// informational findings those fast checks skip — free actions,
+    /// monitor aliasing classes, orphan fault states, random-chain
+    /// divergence (expected on a raw model).
+    pub fn lint(&self) -> bpr_lint::LintReport {
+        bpr_lint::lint_pomdp(&self.base, &self.lint_context().full())
+    }
+
     /// The transform for systems *with* recovery notification
     /// (Fig. 2(a)): every action out of a null-fault state is replaced
     /// by a zero-reward self-loop, making `S_φ` absorbing and free —
@@ -353,6 +372,34 @@ impl TerminatedModel {
     /// The operator response time `t_op` the transform was built with.
     pub fn operator_response_time(&self) -> f64 {
         self.operator_response_time
+    }
+
+    /// The lint context describing this transformed model to the
+    /// [`bpr_lint`](crate::lint) analyzer: transformed stage, with the
+    /// `s_T`/`a_T`/`t_op` termination machinery declared so the
+    /// analyzer can check its structure (and exempt it where the
+    /// transform's conventions demand).
+    pub fn lint_context(&self) -> bpr_lint::LintContext {
+        bpr_lint::LintContext::transformed(
+            self.null_states.clone(),
+            Some(bpr_lint::Termination {
+                state: self.terminate_state,
+                action: self.terminate_action,
+                operator_response_time: self.operator_response_time,
+            }),
+        )
+        .named("recovery-model (no-notification transform)")
+    }
+
+    /// Runs the full static analyzer over the transformed POMDP.
+    ///
+    /// A [`TerminatedModel`] produced by
+    /// [`RecoveryModel::without_notification`] must be clean at error
+    /// severity: the transform exists precisely to repair the
+    /// structural hazards (divergent random chain, missing
+    /// termination) the analyzer hunts for.
+    pub fn lint(&self) -> bpr_lint::LintReport {
+        bpr_lint::lint_pomdp(&self.pomdp, &self.lint_context().full())
     }
 
     /// Lifts a belief over the base state space into the transformed
@@ -570,6 +617,30 @@ pub(crate) mod tests {
         // transforms).
         let model = two_server_model();
         assert!(ra_values(model.base(), &Default::default()).is_err());
+    }
+
+    #[test]
+    fn lint_reports_are_clean_at_error_severity() {
+        use bpr_lint::{LintCode, Severity};
+        let model = two_server_model();
+        let raw = model.lint();
+        assert!(!raw.has_errors(), "{}", raw.render());
+        // The raw model's uniform-random chain diverges (that is why
+        // the transforms exist) — reported as info, not error.
+        assert!(raw
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::DivergentRandomChain && d.severity == Severity::Info));
+
+        let t = model.without_notification(4.0).unwrap();
+        let transformed = t.lint();
+        assert!(!transformed.has_errors(), "{}", transformed.render());
+        // The transform repaired the divergence entirely.
+        assert!(!transformed
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::DivergentRandomChain));
+        assert_eq!(t.lint_context().model_name, transformed.model());
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! The lint catalog: every code, its default severity, what it means,
+//! and how to fix it.
+//!
+//! This table is the single source of truth shared by the analyzer,
+//! the JSON report (`modelcheck` emits it verbatim so downstream
+//! tooling can resolve codes offline), and DESIGN.md §5f.
+
+use crate::{LintCode, Severity};
+
+/// One catalog row: code → meaning → fix-it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// The stable code.
+    pub code: LintCode,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Default severity (individual diagnostics may downgrade by
+    /// context, e.g. divergence lints on raw models awaiting a
+    /// transform).
+    pub severity: Severity,
+    /// What the finding means.
+    pub meaning: &'static str,
+    /// How to repair the model.
+    pub fixit: &'static str,
+}
+
+/// The full catalog, in code order.
+pub const CATALOG: &[CatalogEntry] = &[
+    CatalogEntry {
+        code: LintCode::EmptyModel,
+        name: "empty-model",
+        severity: Severity::Error,
+        meaning: "the model has zero states or zero actions; nothing can be solved or simulated",
+        fixit: "declare at least one state and one action before building the model",
+    },
+    CatalogEntry {
+        code: LintCode::TransitionRowSum,
+        name: "transition-row-sum",
+        severity: Severity::Error,
+        meaning: "a row of a transition matrix P_a drifted off 1.0 beyond tolerance; the model \
+                  leaks or creates probability mass",
+        fixit: "renormalise the row or fix the transition that lost mass (check perturbation \
+                code that edits P_a in place)",
+    },
+    CatalogEntry {
+        code: LintCode::TransitionEntryInvalid,
+        name: "transition-entry-invalid",
+        severity: Severity::Error,
+        meaning: "a transition probability is NaN, infinite, negative, or above 1",
+        fixit: "clamp or recompute the entry; NaNs usually come from 0/0 in derived rates",
+    },
+    CatalogEntry {
+        code: LintCode::ObservationRowSum,
+        name: "observation-row-sum",
+        severity: Severity::Error,
+        meaning: "an observation row q(.|s', a) drifted off 1.0 beyond tolerance",
+        fixit: "renormalise the monitor distribution for the offending (state, action) pair",
+    },
+    CatalogEntry {
+        code: LintCode::ObservationEntryInvalid,
+        name: "observation-entry-invalid",
+        severity: Severity::Error,
+        meaning: "an observation probability is NaN, infinite, negative, or above 1",
+        fixit: "fix the monitor model; probabilities must lie in [0, 1]",
+    },
+    CatalogEntry {
+        code: LintCode::DeadObservationColumn,
+        name: "dead-observation-column",
+        severity: Severity::Warn,
+        meaning: "an observation can never be produced under some action: if the controller is \
+                  ever handed it (stale queue, corrupted monitor), the Bayes belief update \
+                  divides by zero total mass",
+        fixit: "give the observation a tiny floor probability, or guarantee upstream that the \
+                observation channel cannot deliver it for that action",
+    },
+    CatalogEntry {
+        code: LintCode::RewardNotFinite,
+        name: "reward-not-finite",
+        severity: Severity::Error,
+        meaning: "a single-step reward is NaN or infinite; every value bound becomes meaningless",
+        fixit: "replace the reward with a finite cost; check derived reward formulas for \
+                division by zero",
+    },
+    CatalogEntry {
+        code: LintCode::PositiveReward,
+        name: "positive-reward",
+        severity: Severity::Error,
+        meaning: "a single-step reward is positive, violating Condition 2; values are no longer \
+                  bounded above by 0 and the termination argument collapses",
+        fixit: "negate the reward (rewards are costs) or zero it if the action is genuinely free",
+    },
+    CatalogEntry {
+        code: LintCode::NullSetEmpty,
+        name: "null-set-empty",
+        severity: Severity::Error,
+        meaning: "the null-fault set S_phi is empty: Condition 1 cannot hold and no state counts \
+                  as recovered",
+        fixit: "declare at least one null-fault state when constructing the recovery model",
+    },
+    CatalogEntry {
+        code: LintCode::NullStateOutOfBounds,
+        name: "null-state-out-of-bounds",
+        severity: Severity::Error,
+        meaning: "a declared null-fault state index exceeds the state space",
+        fixit: "fix the null-state indices passed to the recovery model",
+    },
+    CatalogEntry {
+        code: LintCode::UnrecoverableState,
+        name: "unrecoverable-state",
+        severity: Severity::Error,
+        meaning: "a state cannot reach any null-fault state under any action sequence, violating \
+                  Condition 1; the RA-Bound for it does not exist",
+        fixit: "add a recovery action (or action chain) leading the state into S_phi, or model \
+                it as requiring operator escalation via the termination transform",
+    },
+    CatalogEntry {
+        code: LintCode::FreeAction,
+        name: "free-action",
+        severity: Severity::Warn,
+        meaning: "an action accrues zero reward outside the exempt states, weakening Property \
+                  1(a): the bounded controller's termination proof assumes every non-exempt \
+                  step strictly costs",
+        fixit: "charge the action a small cost, or add the state to the exempt set if zero cost \
+                is intended (e.g. observing in S_phi)",
+    },
+    CatalogEntry {
+        code: LintCode::OrphanState,
+        name: "orphan-state",
+        severity: Severity::Info,
+        meaning: "no transition from another state enters this non-null state: it occurs only as \
+                  an initial (exogenously injected) fault",
+        fixit: "expected for exogenous fault models; if the state should be reachable, add the \
+                missing transition",
+    },
+    CatalogEntry {
+        code: LintCode::AbsorbingFault,
+        name: "absorbing-fault",
+        severity: Severity::Warn,
+        meaning: "a fault state is absorbing under every recovery action: recovery cannot fix \
+                  it, and Gauss-Seidel/SOR sweeps stall on the self-loop",
+        fixit: "add a recovery action that leaves the state, or rely on the termination \
+                transform to hand it to the operator",
+    },
+    CatalogEntry {
+        code: LintCode::TerminationStructure,
+        name: "termination-structure",
+        severity: Severity::Error,
+        meaning: "the no-notification variant's termination machinery is missing or malformed: \
+                  a_T must route every state to an absorbing, reward-free s_T",
+        fixit: "apply RecoveryModel::without_notification instead of hand-building the \
+                terminate machinery",
+    },
+    CatalogEntry {
+        code: LintCode::OperatorResponseTime,
+        name: "operator-response-time",
+        severity: Severity::Warn,
+        meaning: "t_op is suspicious: non-positive/non-finite, or smaller than an action \
+                  duration so immediate termination dominates every recovery plan",
+        fixit: "pick a t_op reflecting real operator latency, comfortably above the longest \
+                recovery action",
+    },
+    CatalogEntry {
+        code: LintCode::MonitorAliasing,
+        name: "monitor-aliasing",
+        severity: Severity::Info,
+        meaning: "states produce identical observation distributions under every action: no \
+                  monitor can separate them, so diagnosis inside the class is impossible",
+        fixit: "add a monitor that distinguishes the aliased states, or accept that the \
+                controller must hedge across the whole class",
+    },
+    CatalogEntry {
+        code: LintCode::RecurrentOutsideNull,
+        name: "recurrent-outside-null",
+        severity: Severity::Warn,
+        meaning: "the uniform-random chain has a recurrent class outside S_phi and s_T: random \
+                  exploration can get trapped without recovering or terminating",
+        fixit: "check for action subsets that trap; ensure some action escapes every such class",
+    },
+    CatalogEntry {
+        code: LintCode::DivergentRandomChain,
+        name: "divergent-random-chain",
+        severity: Severity::Error,
+        meaning: "a recurrent state of the uniform-random chain accrues non-zero average \
+                  reward, so the RA-Bound's expected total reward diverges (the SOR solve \
+                  cannot converge); on a raw model this is expected and reported as info — \
+                  apply a paragraph-3.1 transform first",
+        fixit: "apply with_notification / without_notification before computing bounds; on a \
+                transformed model, zero the rewards of recurrent states or break the recurrence",
+    },
+];
+
+/// Serializes the full catalog as a JSON array of
+/// `{code, name, severity, meaning, fixit}` rows, so downstream tooling
+/// (e.g. the `modelcheck` report consumers) can resolve codes offline.
+pub fn catalog_json() -> String {
+    crate::json::catalog_json()
+}
+
+/// Looks up the catalog row of a code.
+pub fn entry(code: LintCode) -> &'static CatalogEntry {
+    CATALOG
+        .iter()
+        .find(|e| e.code == code)
+        .expect("every LintCode has a catalog entry")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_code_with_unique_strings() {
+        let codes = [
+            LintCode::EmptyModel,
+            LintCode::TransitionRowSum,
+            LintCode::TransitionEntryInvalid,
+            LintCode::ObservationRowSum,
+            LintCode::ObservationEntryInvalid,
+            LintCode::DeadObservationColumn,
+            LintCode::RewardNotFinite,
+            LintCode::PositiveReward,
+            LintCode::NullSetEmpty,
+            LintCode::NullStateOutOfBounds,
+            LintCode::UnrecoverableState,
+            LintCode::FreeAction,
+            LintCode::OrphanState,
+            LintCode::AbsorbingFault,
+            LintCode::TerminationStructure,
+            LintCode::OperatorResponseTime,
+            LintCode::MonitorAliasing,
+            LintCode::RecurrentOutsideNull,
+            LintCode::DivergentRandomChain,
+        ];
+        assert_eq!(CATALOG.len(), codes.len());
+        for code in codes {
+            let e = entry(code);
+            assert_eq!(e.code, code);
+            assert!(!e.meaning.is_empty());
+            assert!(!e.fixit.is_empty());
+        }
+        let mut strs: Vec<&str> = codes.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), codes.len(), "codes must be unique");
+        let mut names: Vec<&str> = CATALOG.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CATALOG.len(), "names must be unique");
+    }
+}

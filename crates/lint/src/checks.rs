@@ -1,0 +1,769 @@
+//! The individual lint checks.
+//!
+//! Each `check_*` function appends zero or more [`Diagnostic`]s;
+//! [`crate::lint_pomdp`] sequences them. The lower-level primitives
+//! ([`union_can_reach`], [`positive_rewards`], [`free_action_pairs`],
+//! [`stochastic_row_violations`], [`invalid_row_entries`]) are exported
+//! so `bpr_core::conditions` and tests can consume structured results
+//! without re-deriving them from diagnostics.
+
+use crate::{Diagnostic, LintCode, LintContext, Severity, Stage};
+use bpr_linalg::CsrMatrix;
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::{ObservationId, Pomdp};
+
+/// Caps how many ids a diagnostic message enumerates before switching
+/// to "and N more" (the structured fields always carry the full list).
+const MSG_IDS: usize = 8;
+
+fn fmt_ids<T: std::fmt::Display>(ids: &[T]) -> String {
+    let shown: Vec<String> = ids.iter().take(MSG_IDS).map(|i| i.to_string()).collect();
+    if ids.len() > MSG_IDS {
+        format!("{} and {} more", shown.join(", "), ids.len() - MSG_IDS)
+    } else {
+        shown.join(", ")
+    }
+}
+
+/// BPR001: zero states or zero actions.
+pub fn check_shape(pomdp: &Pomdp, diags: &mut Vec<Diagnostic>) {
+    if pomdp.n_states() == 0 || pomdp.n_actions() == 0 {
+        diags.push(Diagnostic::new(
+            LintCode::EmptyModel,
+            Severity::Error,
+            format!(
+                "model has {} states and {} actions",
+                pomdp.n_states(),
+                pomdp.n_actions()
+            ),
+        ));
+    }
+}
+
+/// Rows of `m` whose sum drifts off 1.0 by more than `tol`, as
+/// `(row, sum)` pairs.
+pub fn stochastic_row_violations(m: &CsrMatrix, tol: f64) -> Vec<(usize, f64)> {
+    m.row_sums()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, sum)| (sum - 1.0).abs() > tol || !sum.is_finite())
+        .collect()
+}
+
+/// Entries of `m` that are NaN, infinite, below `-tol`, or above
+/// `1 + tol`, as `(row, col, value)` triples.
+pub fn invalid_row_entries(m: &CsrMatrix, tol: f64) -> Vec<(usize, usize, f64)> {
+    let mut out = Vec::new();
+    for r in 0..m.nrows() {
+        for (c, v) in m.row(r) {
+            if !v.is_finite() || !(-tol..=1.0 + tol).contains(&v) {
+                out.push((r, c, v));
+            }
+        }
+    }
+    out
+}
+
+/// BPR002/BPR003: row-stochasticity drift and invalid entries in every
+/// `P_a`.
+pub fn check_transition_matrices(pomdp: &Pomdp, tol: f64, diags: &mut Vec<Diagnostic>) {
+    for a in 0..pomdp.n_actions() {
+        let action = ActionId::new(a);
+        let m = pomdp.mdp().transition_matrix(action);
+        let drifted = stochastic_row_violations(m, tol);
+        if !drifted.is_empty() {
+            let states: Vec<StateId> = drifted.iter().map(|&(s, _)| StateId::new(s)).collect();
+            diags.push(
+                Diagnostic::new(
+                    LintCode::TransitionRowSum,
+                    Severity::Error,
+                    format!(
+                        "P_{a} rows of states {} sum to {} instead of 1",
+                        fmt_ids(&drifted.iter().map(|&(s, _)| s).collect::<Vec<_>>()),
+                        fmt_ids(&drifted.iter().map(|&(_, sum)| sum).collect::<Vec<_>>()),
+                    ),
+                )
+                .with_states(pomdp, &states)
+                .with_actions(pomdp, &[action]),
+            );
+        }
+        let invalid = invalid_row_entries(m, tol);
+        if !invalid.is_empty() {
+            let states: Vec<StateId> = invalid.iter().map(|&(s, _, _)| StateId::new(s)).collect();
+            diags.push(
+                Diagnostic::new(
+                    LintCode::TransitionEntryInvalid,
+                    Severity::Error,
+                    format!(
+                        "P_{a} holds invalid probabilities: {}",
+                        fmt_ids(
+                            &invalid
+                                .iter()
+                                .map(|(s, s2, v)| format!("p({s2}|{s}) = {v}"))
+                                .collect::<Vec<_>>()
+                        ),
+                    ),
+                )
+                .with_states(pomdp, &states)
+                .with_actions(pomdp, &[action]),
+            );
+        }
+    }
+}
+
+/// BPR004/BPR005/BPR006: observation row stochasticity, invalid
+/// entries, and dead observation columns (the `observe_in_place` /
+/// Bayes-update division hazard).
+pub fn check_observation_matrices(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    for a in 0..pomdp.n_actions() {
+        let action = ActionId::new(a);
+        let m = pomdp.observation_matrix(action);
+        let drifted = stochastic_row_violations(m, ctx.tolerance);
+        if !drifted.is_empty() {
+            let states: Vec<StateId> = drifted.iter().map(|&(s, _)| StateId::new(s)).collect();
+            diags.push(
+                Diagnostic::new(
+                    LintCode::ObservationRowSum,
+                    Severity::Error,
+                    format!(
+                        "q(.|s', a{a}) rows of entered states {} sum to {} instead of 1",
+                        fmt_ids(&drifted.iter().map(|&(s, _)| s).collect::<Vec<_>>()),
+                        fmt_ids(&drifted.iter().map(|&(_, sum)| sum).collect::<Vec<_>>()),
+                    ),
+                )
+                .with_states(pomdp, &states)
+                .with_actions(pomdp, &[action]),
+            );
+        }
+        let invalid = invalid_row_entries(m, ctx.tolerance);
+        if !invalid.is_empty() {
+            let states: Vec<StateId> = invalid.iter().map(|&(s, _, _)| StateId::new(s)).collect();
+            let observations: Vec<ObservationId> = invalid
+                .iter()
+                .map(|&(_, o, _)| ObservationId::new(o))
+                .collect();
+            diags.push(
+                Diagnostic::new(
+                    LintCode::ObservationEntryInvalid,
+                    Severity::Error,
+                    format!(
+                        "q(.|s', a{a}) holds invalid probabilities: {}",
+                        fmt_ids(
+                            &invalid
+                                .iter()
+                                .map(|(s, o, v)| format!("q(o{o}|s{s}) = {v}"))
+                                .collect::<Vec<_>>()
+                        ),
+                    ),
+                )
+                .with_states(pomdp, &states)
+                .with_actions(pomdp, &[action])
+                .with_observations(pomdp, &observations),
+            );
+        }
+        // Dead columns. The terminate action is exempt by construction:
+        // it funnels every state into s_T's dedicated observation, so
+        // every base observation is trivially dead under a_T and the
+        // controller never updates a belief after terminating.
+        if ctx.is_terminate_action(action) {
+            continue;
+        }
+        let mut has_mass = vec![false; pomdp.n_observations()];
+        for s in 0..pomdp.n_states() {
+            for (o, q) in m.row(s) {
+                if q > 0.0 {
+                    has_mass[o] = true;
+                }
+            }
+        }
+        let dead: Vec<ObservationId> = has_mass
+            .iter()
+            .enumerate()
+            .filter(|&(_, &seen)| !seen)
+            .map(|(o, _)| ObservationId::new(o))
+            .collect();
+        if !dead.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::DeadObservationColumn,
+                    Severity::Warn,
+                    format!(
+                        "{} observation(s) can never be produced under action {a}: {} — a \
+                         belief update conditioned on one divides by zero mass",
+                        dead.len(),
+                        fmt_ids(&dead.iter().map(|o| o.index()).collect::<Vec<_>>()),
+                    ),
+                )
+                .with_actions(pomdp, &[action])
+                .with_observations(pomdp, &dead),
+            );
+        }
+    }
+}
+
+/// All `(state, action, reward)` triples with a positive reward.
+pub fn positive_rewards(pomdp: &Pomdp) -> Vec<(usize, usize, f64)> {
+    let mut out = Vec::new();
+    for a in 0..pomdp.n_actions() {
+        for s in 0..pomdp.n_states() {
+            let r = pomdp.mdp().reward(s, a);
+            if r > 0.0 {
+                out.push((s, a, r));
+            }
+        }
+    }
+    out
+}
+
+/// BPR007/BPR008: non-finite rewards and Condition 2 (positive
+/// rewards).
+pub fn check_rewards(pomdp: &Pomdp, diags: &mut Vec<Diagnostic>) {
+    for a in 0..pomdp.n_actions() {
+        let action = ActionId::new(a);
+        let bad: Vec<StateId> = (0..pomdp.n_states())
+            .filter(|&s| !pomdp.mdp().reward(s, a).is_finite())
+            .map(StateId::new)
+            .collect();
+        if !bad.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::RewardNotFinite,
+                    Severity::Error,
+                    format!(
+                        "r(s, a{a}) is not finite for states {}",
+                        fmt_ids(&bad.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                    ),
+                )
+                .with_states(pomdp, &bad)
+                .with_actions(pomdp, &[action]),
+            );
+        }
+    }
+    for (s, a, r) in positive_rewards(pomdp) {
+        diags.push(
+            Diagnostic::new(
+                LintCode::PositiveReward,
+                Severity::Error,
+                format!("r(s{s}, a{a}) = {r} > 0 violates Condition 2"),
+            )
+            .with_states(pomdp, &[StateId::new(s)])
+            .with_actions(pomdp, &[ActionId::new(a)]),
+        );
+    }
+}
+
+/// For every state, whether some state in `targets` is reachable from
+/// it on the **union graph** of all actions (an edge `s → s'` exists if
+/// *any* non-skipped action moves `s` to `s'` with positive
+/// probability) — "there is at least one way to recover".
+///
+/// Implemented as a reverse BFS over per-action edges, deliberately
+/// *not* via `uniform_random_chain`: the two must agree (averaging
+/// non-negative rows preserves positive-probability edges), and a
+/// regression proptest holds them to it.
+pub fn union_can_reach(
+    pomdp: &Pomdp,
+    targets: &[StateId],
+    skip_action: Option<ActionId>,
+) -> Vec<bool> {
+    let n = pomdp.n_states();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in 0..pomdp.n_actions() {
+        if skip_action.map(ActionId::index) == Some(a) {
+            continue;
+        }
+        for s in 0..n {
+            for (s2, p) in pomdp.mdp().successors(StateId::new(s), ActionId::new(a)) {
+                if p > 0.0 {
+                    rev[s2.index()].push(s);
+                }
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = targets
+        .iter()
+        .map(|s| s.index())
+        .filter(|&s| s < n)
+        .collect();
+    for &s in &stack {
+        seen[s] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &from in &rev[s] {
+            if !seen[from] {
+                seen[from] = true;
+                stack.push(from);
+            }
+        }
+    }
+    seen
+}
+
+/// The states that cannot reach any of `targets` (terminate state and
+/// terminate action excluded from the search per `ctx`).
+pub fn unrecoverable_states(pomdp: &Pomdp, ctx: &LintContext) -> Vec<StateId> {
+    let in_bounds: Vec<StateId> = ctx
+        .null_states
+        .iter()
+        .copied()
+        .filter(|s| s.index() < pomdp.n_states())
+        .collect();
+    if in_bounds.is_empty() {
+        return Vec::new();
+    }
+    let reach = union_can_reach(pomdp, &in_bounds, ctx.termination.map(|t| t.action));
+    reach
+        .iter()
+        .enumerate()
+        .filter(|&(s, &ok)| !ok && !ctx.is_terminate_state(StateId::new(s)))
+        .map(|(s, _)| StateId::new(s))
+        .collect()
+}
+
+/// BPR009/BPR010/BPR011: Condition 1 — non-empty, in-bounds `S_φ`
+/// reachable from every state. Reachability deliberately ignores the
+/// terminate action (termination is escalation, not recovery) and
+/// exempts `s_T` itself.
+pub fn check_condition1(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    if ctx.null_states.is_empty() {
+        diags.push(Diagnostic::new(
+            LintCode::NullSetEmpty,
+            Severity::Error,
+            "the set of null-fault states is empty",
+        ));
+        return;
+    }
+    let oob: Vec<StateId> = ctx
+        .null_states
+        .iter()
+        .copied()
+        .filter(|s| s.index() >= pomdp.n_states())
+        .collect();
+    if !oob.is_empty() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::NullStateOutOfBounds,
+                Severity::Error,
+                format!(
+                    "null-fault states {} are out of bounds for a {}-state model",
+                    fmt_ids(&oob.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                    pomdp.n_states()
+                ),
+            )
+            .with_states(pomdp, &oob),
+        );
+        if oob.len() == ctx.null_states.len() {
+            return;
+        }
+    }
+    let stranded = unrecoverable_states(pomdp, ctx);
+    if !stranded.is_empty() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::UnrecoverableState,
+                Severity::Error,
+                format!(
+                    "states {} cannot reach any null-fault state under any action sequence",
+                    fmt_ids(&stranded.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                ),
+            )
+            .with_states(pomdp, &stranded),
+        );
+    }
+}
+
+/// All `(state, action)` pairs with a zero reward outside
+/// `exempt ∪ S_φ ∪ {s_T}` (with `a_T` itself never counted free —
+/// `r(s, a_T) = 0` on a null state is the transform's convention).
+pub fn free_action_pairs(pomdp: &Pomdp, ctx: &LintContext) -> Vec<(usize, usize)> {
+    let mut exempt = vec![false; pomdp.n_states()];
+    for s in ctx.null_states.iter().chain(ctx.exempt_states.iter()) {
+        if s.index() < pomdp.n_states() {
+            exempt[s.index()] = true;
+        }
+    }
+    if let Some(t) = ctx.termination {
+        if t.state.index() < pomdp.n_states() {
+            exempt[t.state.index()] = true;
+        }
+    }
+    let mut out = Vec::new();
+    for (s, &is_exempt) in exempt.iter().enumerate() {
+        if is_exempt {
+            continue;
+        }
+        for a in 0..pomdp.n_actions() {
+            if ctx.is_terminate_action(ActionId::new(a)) {
+                continue;
+            }
+            if pomdp.mdp().reward(s, a) == 0.0 {
+                out.push((s, a));
+            }
+        }
+    }
+    out
+}
+
+/// BPR012: Property 1(a) "no free actions" — one diagnostic per
+/// offending state, listing that state's free actions.
+pub fn check_free_actions(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    let pairs = free_action_pairs(pomdp, ctx);
+    let mut by_state: Vec<(usize, Vec<ActionId>)> = Vec::new();
+    for (s, a) in pairs {
+        match by_state.last_mut() {
+            Some((last, actions)) if *last == s => actions.push(ActionId::new(a)),
+            _ => by_state.push((s, vec![ActionId::new(a)])),
+        }
+    }
+    for (s, actions) in by_state {
+        diags.push(
+            Diagnostic::new(
+                LintCode::FreeAction,
+                Severity::Warn,
+                format!(
+                    "state {s} has free (zero-reward) actions {} outside the exempt set; \
+                     Property 1(a)'s termination argument assumes strictly negative step costs",
+                    fmt_ids(&actions.iter().map(|a| a.index()).collect::<Vec<_>>()),
+                ),
+            )
+            .with_states(pomdp, &[StateId::new(s)])
+            .with_actions(pomdp, &actions),
+        );
+    }
+}
+
+/// BPR013: non-null states no transition from another state enters.
+pub fn check_orphan_states(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    let n = pomdp.n_states();
+    let mut entered = vec![false; n];
+    for a in 0..pomdp.n_actions() {
+        for s in 0..n {
+            for (s2, p) in pomdp.mdp().successors(StateId::new(s), ActionId::new(a)) {
+                if p > 0.0 && s2.index() != s {
+                    entered[s2.index()] = true;
+                }
+            }
+        }
+    }
+    let orphans: Vec<StateId> = (0..n)
+        .map(StateId::new)
+        .filter(|&s| !entered[s.index()] && !ctx.is_null(s) && !ctx.is_terminate_state(s))
+        .collect();
+    if !orphans.is_empty() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::OrphanState,
+                Severity::Info,
+                format!(
+                    "{} state(s) are only enterable as initial faults (no in-edges): {}",
+                    orphans.len(),
+                    fmt_ids(&orphans.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                ),
+            )
+            .with_states(pomdp, &orphans),
+        );
+    }
+}
+
+/// BPR014: fault states absorbing under every non-terminate action.
+pub fn check_absorbing_faults(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    let n = pomdp.n_states();
+    let dead: Vec<StateId> = (0..n)
+        .map(StateId::new)
+        .filter(|&s| !ctx.is_null(s) && !ctx.is_terminate_state(s))
+        .filter(|&s| {
+            (0..pomdp.n_actions())
+                .map(ActionId::new)
+                .filter(|&a| !ctx.is_terminate_action(a))
+                .all(|a| {
+                    pomdp
+                        .mdp()
+                        .successors(s, a)
+                        .all(|(s2, p)| s2 == s || p == 0.0)
+                })
+        })
+        .collect();
+    if !dead.is_empty() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::AbsorbingFault,
+                Severity::Warn,
+                format!(
+                    "fault states {} are absorbing under every recovery action: no action \
+                     escapes them, and SOR sweeps stall on the self-loop",
+                    fmt_ids(&dead.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                ),
+            )
+            .with_states(pomdp, &dead),
+        );
+    }
+}
+
+/// BPR015/BPR016: termination machinery and `t_op` sanity for the
+/// no-notification variant.
+pub fn check_termination(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    let Some(t) = ctx.termination else {
+        if ctx.expects_termination && ctx.stage == Stage::Transformed {
+            diags.push(Diagnostic::new(
+                LintCode::TerminationStructure,
+                Severity::Error,
+                "model is declared notification-free but carries no terminate action; the \
+                 RA-Bound is not guaranteed to exist without one",
+            ));
+        }
+        return;
+    };
+    let n = pomdp.n_states();
+    if t.state.index() >= n || t.action.index() >= pomdp.n_actions() {
+        diags.push(Diagnostic::new(
+            LintCode::TerminationStructure,
+            Severity::Error,
+            format!(
+                "terminate state {} / action {} out of bounds ({} states, {} actions)",
+                t.state.index(),
+                t.action.index(),
+                n,
+                pomdp.n_actions()
+            ),
+        ));
+        return;
+    }
+    // s_T must absorb, reward-free, under every action.
+    let mut leaky: Vec<ActionId> = Vec::new();
+    for a in (0..pomdp.n_actions()).map(ActionId::new) {
+        let absorbs = pomdp
+            .mdp()
+            .successors(t.state, a)
+            .all(|(s2, p)| s2 == t.state || p == 0.0);
+        if !absorbs || pomdp.mdp().reward(t.state, a) != 0.0 {
+            leaky.push(a);
+        }
+    }
+    if !leaky.is_empty() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::TerminationStructure,
+                Severity::Error,
+                format!(
+                    "terminate state s{} must be absorbing and reward-free, but actions {} \
+                     leave it or charge it",
+                    t.state.index(),
+                    fmt_ids(&leaky.iter().map(|a| a.index()).collect::<Vec<_>>()),
+                ),
+            )
+            .with_states(pomdp, &[t.state])
+            .with_actions(pomdp, &leaky),
+        );
+    }
+    // a_T must route every state to s_T with probability one.
+    let misrouted: Vec<StateId> = (0..n)
+        .map(StateId::new)
+        .filter(|&s| {
+            (pomdp.mdp().transition_prob(s, t.action, t.state) - 1.0).abs() > ctx.tolerance
+        })
+        .collect();
+    if !misrouted.is_empty() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::TerminationStructure,
+                Severity::Error,
+                format!(
+                    "terminate action a{} must move every state to s{} with probability 1, \
+                     but misroutes states {}",
+                    t.action.index(),
+                    t.state.index(),
+                    fmt_ids(&misrouted.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                ),
+            )
+            .with_states(pomdp, &misrouted)
+            .with_actions(pomdp, &[t.action]),
+        );
+    }
+    // t_op sanity.
+    let top = t.operator_response_time;
+    if !top.is_finite() || top <= 0.0 {
+        diags.push(
+            Diagnostic::new(
+                LintCode::OperatorResponseTime,
+                Severity::Warn,
+                format!("operator response time t_op = {top} is not a positive finite duration"),
+            )
+            .with_actions(pomdp, &[t.action]),
+        );
+    } else {
+        let slow: Vec<ActionId> = (0..pomdp.n_actions())
+            .map(ActionId::new)
+            .filter(|&a| a != t.action && pomdp.mdp().duration(a) > top)
+            .collect();
+        if !slow.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::OperatorResponseTime,
+                    Severity::Warn,
+                    format!(
+                        "t_op = {top} is shorter than the duration of actions {}: handing \
+                         off to the operator outpaces recovery, so the bound will favour \
+                         immediate termination",
+                        fmt_ids(&slow.iter().map(|a| a.index()).collect::<Vec<_>>()),
+                    ),
+                )
+                .with_actions(pomdp, &slow),
+            );
+        }
+    }
+}
+
+/// BPR018/BPR019: the SOR convergence pre-check on the uniform-random
+/// chain — recurrent classes must stay inside `S_φ ∪ {s_T}` and accrue
+/// zero reward, otherwise the RA-Bound's expected total reward
+/// diverges. On raw models the divergence finding is informational
+/// (the §3.1 transforms exist to fix it); on transformed models it is
+/// an error.
+pub fn check_random_chain(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    let chain = pomdp.mdp().uniform_random_chain();
+    for class in chain.recurrent_classes() {
+        let escapees: Vec<StateId> = class
+            .iter()
+            .map(|&s| StateId::new(s))
+            .filter(|&s| !ctx.is_null(s) && !ctx.is_terminate_state(s))
+            .collect();
+        if !escapees.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::RecurrentOutsideNull,
+                    Severity::Warn,
+                    format!(
+                        "the uniform-random chain has a recurrent class containing non-null \
+                         states {}: random exploration can trap without recovering or \
+                         terminating",
+                        fmt_ids(&escapees.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                    ),
+                )
+                .with_states(pomdp, &escapees),
+            );
+        }
+        let costly: Vec<StateId> = class
+            .iter()
+            .copied()
+            .filter(|&s| chain.reward(s).abs() > 1e-12)
+            .map(StateId::new)
+            .collect();
+        if !costly.is_empty() {
+            let (severity, hint) = match ctx.stage {
+                Stage::Transformed => (Severity::Error, "the RA-Bound cannot exist"),
+                Stage::Raw => (
+                    Severity::Info,
+                    "expected on a raw model — apply with_notification or \
+                     without_notification before computing bounds",
+                ),
+            };
+            diags.push(
+                Diagnostic::new(
+                    LintCode::DivergentRandomChain,
+                    severity,
+                    format!(
+                        "recurrent states {} of the uniform-random chain accrue non-zero \
+                         average reward; the expected total reward diverges and SOR cannot \
+                         converge ({hint})",
+                        fmt_ids(&costly.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                    ),
+                )
+                .with_states(pomdp, &costly),
+            );
+        }
+    }
+}
+
+/// True if states `s1` and `s2` have identical observation rows under
+/// `action` within `tol`.
+fn obs_rows_equal(pomdp: &Pomdp, s1: StateId, s2: StateId, action: ActionId, tol: f64) -> bool {
+    let m = pomdp.observation_matrix(action);
+    let mut r1: Vec<(usize, f64)> = m.row(s1.index()).filter(|&(_, q)| q != 0.0).collect();
+    let mut r2: Vec<(usize, f64)> = m.row(s2.index()).filter(|&(_, q)| q != 0.0).collect();
+    r1.sort_unstable_by_key(|&(o, _)| o);
+    r2.sort_unstable_by_key(|&(o, _)| o);
+    if r1.len() != r2.len() {
+        return false;
+    }
+    r1.iter()
+        .zip(&r2)
+        .all(|(&(o1, q1), &(o2, q2))| o1 == o2 && (q1 - q2).abs() <= tol)
+}
+
+/// The observational equivalence classes (size ≥ 2) of the model:
+/// groups of states whose observation distributions agree under every
+/// action, making them indistinguishable to every monitor.
+pub fn aliased_classes(pomdp: &Pomdp, tol: f64) -> Vec<Vec<StateId>> {
+    let n = pomdp.n_states();
+    // Union-find over states.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], s: usize) -> usize {
+        let mut root = s;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = s;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for s1 in 0..n {
+        for s2 in (s1 + 1)..n {
+            if find(&mut parent, s1) == find(&mut parent, s2) {
+                continue;
+            }
+            let aliased = (0..pomdp.n_actions()).all(|a| {
+                obs_rows_equal(
+                    pomdp,
+                    StateId::new(s1),
+                    StateId::new(s2),
+                    ActionId::new(a),
+                    tol,
+                )
+            });
+            if aliased {
+                let r1 = find(&mut parent, s1);
+                let r2 = find(&mut parent, s2);
+                parent[r2] = r1;
+            }
+        }
+    }
+    let mut classes: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for s in 0..n {
+        let root = find(&mut parent, s);
+        classes[root].push(StateId::new(s));
+    }
+    classes.retain(|c| c.len() >= 2);
+    classes
+}
+
+/// BPR017: monitor-coverage holes — observationally aliased
+/// equivalence classes, one diagnostic per class.
+pub fn check_monitor_aliasing(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {
+    for class in aliased_classes(pomdp, ctx.tolerance) {
+        // A class entirely inside S_φ ∪ {s_T} needs no diagnosis.
+        if class
+            .iter()
+            .all(|&s| ctx.is_null(s) || ctx.is_terminate_state(s))
+        {
+            continue;
+        }
+        diags.push(
+            Diagnostic::new(
+                LintCode::MonitorAliasing,
+                Severity::Info,
+                format!(
+                    "states {} are observationally aliased under every monitor: no \
+                     observation sequence can separate them, so diagnosis inside this class \
+                     is impossible",
+                    fmt_ids(&class.iter().map(|s| s.index()).collect::<Vec<_>>()),
+                ),
+            )
+            .with_states(pomdp, &class),
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Hand-rolled JSON serialization of lint reports (no serde in the
+//! dependency tree, by design).
+
+use crate::{catalog, Diagnostic, LintReport, Severity};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn id_labels(items: &[(usize, &str)]) -> String {
+    let parts: Vec<String> = items
+        .iter()
+        .map(|(i, l)| format!("{{\"id\": {i}, \"label\": \"{}\"}}", escape(l)))
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn diagnostic_json(d: &Diagnostic) -> String {
+    let entry = catalog::entry(d.code);
+    format!(
+        "{{\"code\": \"{}\", \"name\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\", \
+         \"states\": {}, \"actions\": {}, \"observations\": {}, \"fixit\": \"{}\"}}",
+        d.code,
+        entry.name,
+        d.severity,
+        escape(&d.message),
+        id_labels(
+            &d.states
+                .iter()
+                .map(|(s, l)| (s.index(), l.as_str()))
+                .collect::<Vec<_>>()
+        ),
+        id_labels(
+            &d.actions
+                .iter()
+                .map(|(a, l)| (a.index(), l.as_str()))
+                .collect::<Vec<_>>()
+        ),
+        id_labels(
+            &d.observations
+                .iter()
+                .map(|(o, l)| (o.index(), l.as_str()))
+                .collect::<Vec<_>>()
+        ),
+        escape(&d.fixit),
+    )
+}
+
+/// Serializes a [`LintReport`] as one JSON object.
+pub(crate) fn report_json(report: &LintReport) -> String {
+    let diags: Vec<String> = report.diagnostics().iter().map(diagnostic_json).collect();
+    format!(
+        "{{\"model\": \"{}\", \"errors\": {}, \"warnings\": {}, \"infos\": {}, \
+         \"clean\": {}, \"diagnostics\": [{}]}}",
+        escape(report.model()),
+        report.count(Severity::Error),
+        report.count(Severity::Warn),
+        report.count(Severity::Info),
+        report.is_clean(),
+        diags.join(", "),
+    )
+}
+
+/// Serializes the full lint catalog as a JSON array (used by
+/// `modelcheck` so downstream tooling can resolve codes offline).
+pub(crate) fn catalog_json() -> String {
+    let rows: Vec<String> = catalog::CATALOG
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"code\": \"{}\", \"name\": \"{}\", \"severity\": \"{}\", \
+                 \"meaning\": \"{}\", \"fixit\": \"{}\"}}",
+                e.code,
+                e.name,
+                e.severity,
+                escape(e.meaning),
+                escape(e.fixit),
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn catalog_json_lists_every_code() {
+        let j = catalog_json();
+        for e in catalog::CATALOG {
+            assert!(j.contains(e.code.as_str()), "missing {}", e.code);
+            assert!(j.contains(e.name), "missing name {}", e.name);
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! `bpr-lint` — static analysis of recovery-model POMDPs.
+//!
+//! The paper's convergence and termination guarantees hinge on
+//! *structural* properties of the model: Condition 1 (null-fault states
+//! `S_φ` reachable from everywhere), Condition 2 (non-positive
+//! rewards), Property 1(a) ("no free actions"), and the
+//! absorbing/termination structure the §3.1 transforms install. A model
+//! that silently violates one of them does not fail loudly — it makes
+//! the RA-Bound diverge, the belief update divide by zero, or the
+//! bounded controller lose its termination argument. Related work on
+//! undiscounted/reachability POMDPs draws the same line: verifying the
+//! reachability and reward-sign preconditions *before* solving is what
+//! separates a sound bound from silent divergence.
+//!
+//! This crate is that verifier. [`lint_pomdp`] runs every applicable
+//! check over a [`Pomdp`] and returns a **complete** [`LintReport`] —
+//! every violation, not just the first — where each [`Diagnostic`]
+//! carries a stable [`LintCode`], a [`Severity`], the offending
+//! state/action/observation ids *with their labels*, and a fix-it
+//! hint. Reports render both for humans ([`LintReport::render`]) and
+//! machines ([`LintReport::to_json`]).
+//!
+//! The full catalog of lints lives in [`catalog`]; the individual
+//! check functions (usable à la carte, e.g. by
+//! `bpr_core::conditions`, which is built on top of this crate) live
+//! in [`checks`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bpr_lint::{lint_pomdp, LintContext};
+//! use bpr_mdp::{MdpBuilder, StateId};
+//! use bpr_pomdp::PomdpBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // State 0 loops forever: recovery (state 1) is unreachable.
+//! let mut mb = MdpBuilder::new(2, 1);
+//! mb.transition(0, 0, 0, 1.0).reward(0, 0, -1.0);
+//! mb.transition(1, 0, 1, 1.0);
+//! let mut pb = PomdpBuilder::new(mb.build()?, 1);
+//! pb.observation_all_actions(0, 0, 1.0);
+//! pb.observation_all_actions(1, 0, 1.0);
+//! let pomdp = pb.build()?;
+//!
+//! let report = lint_pomdp(&pomdp, &LintContext::raw(vec![StateId::new(1)]));
+//! assert!(report.has_errors());
+//! assert!(report.to_json().contains("BPR011")); // unrecoverable state
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod checks;
+mod json;
+
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::{ObservationId, Pomdp};
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordered: `Info < Warn < Error`, so `report.worst()` comparisons read
+/// naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Expected or informational structure worth knowing about.
+    Info,
+    /// Suspicious structure that degrades (but does not break) the
+    /// guarantees.
+    Warn,
+    /// A violated precondition: solving/simulating this model is
+    /// unsound.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in JSON and rendered output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifier of one lint in the catalog.
+///
+/// Codes are never reused or renumbered; see [`catalog`] for the
+/// code → meaning → fix-it table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// BPR001 — model has zero states or zero actions.
+    EmptyModel,
+    /// BPR002 — a transition row of some `P_a` does not sum to 1.
+    TransitionRowSum,
+    /// BPR003 — a transition entry is NaN, infinite, negative, or > 1.
+    TransitionEntryInvalid,
+    /// BPR004 — an observation row `q(·|s', a)` does not sum to 1.
+    ObservationRowSum,
+    /// BPR005 — an observation entry is NaN, infinite, negative, or > 1.
+    ObservationEntryInvalid,
+    /// BPR006 — an observation has zero probability under an action
+    /// from every entered state (belief-update division hazard).
+    DeadObservationColumn,
+    /// BPR007 — a reward is NaN or infinite.
+    RewardNotFinite,
+    /// BPR008 — a reward is positive (Condition 2 violation).
+    PositiveReward,
+    /// BPR009 — the null-fault set `S_φ` is empty (Condition 1).
+    NullSetEmpty,
+    /// BPR010 — a declared null-fault state is out of bounds.
+    NullStateOutOfBounds,
+    /// BPR011 — a state cannot reach `S_φ` under any action sequence
+    /// (Condition 1 violation).
+    UnrecoverableState,
+    /// BPR012 — a zero-reward action outside the exempt states
+    /// (Property 1(a) "no free actions" at risk).
+    FreeAction,
+    /// BPR013 — a non-null state no transition enters: it exists only
+    /// as an initial condition.
+    OrphanState,
+    /// BPR014 — a fault state absorbing under every recovery action
+    /// (only termination, if present, escapes it).
+    AbsorbingFault,
+    /// BPR015 — termination machinery missing or malformed for the
+    /// no-notification variant (`a_T` / `s_T` structure).
+    TerminationStructure,
+    /// BPR016 — operator response time `t_op` is suspicious relative to
+    /// the action durations.
+    OperatorResponseTime,
+    /// BPR017 — states observationally aliased under every monitor:
+    /// diagnosis cannot separate them.
+    MonitorAliasing,
+    /// BPR018 — the uniform-random chain has a recurrent class outside
+    /// `S_φ ∪ {s_T}` (random exploration can trap).
+    RecurrentOutsideNull,
+    /// BPR019 — a recurrent state of the uniform-random chain accrues
+    /// non-zero reward: the RA-Bound's expected total reward diverges
+    /// and the Gauss–Seidel/SOR solve cannot converge.
+    DivergentRandomChain,
+}
+
+impl LintCode {
+    /// The stable `BPRnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::EmptyModel => "BPR001",
+            LintCode::TransitionRowSum => "BPR002",
+            LintCode::TransitionEntryInvalid => "BPR003",
+            LintCode::ObservationRowSum => "BPR004",
+            LintCode::ObservationEntryInvalid => "BPR005",
+            LintCode::DeadObservationColumn => "BPR006",
+            LintCode::RewardNotFinite => "BPR007",
+            LintCode::PositiveReward => "BPR008",
+            LintCode::NullSetEmpty => "BPR009",
+            LintCode::NullStateOutOfBounds => "BPR010",
+            LintCode::UnrecoverableState => "BPR011",
+            LintCode::FreeAction => "BPR012",
+            LintCode::OrphanState => "BPR013",
+            LintCode::AbsorbingFault => "BPR014",
+            LintCode::TerminationStructure => "BPR015",
+            LintCode::OperatorResponseTime => "BPR016",
+            LintCode::MonitorAliasing => "BPR017",
+            LintCode::RecurrentOutsideNull => "BPR018",
+            LintCode::DivergentRandomChain => "BPR019",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: what is wrong, where, and how to fix it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub code: LintCode,
+    /// How bad it is in this context (may differ from the catalog
+    /// default — e.g. [`LintCode::DivergentRandomChain`] is
+    /// informational on a raw model that still awaits a §3.1 transform).
+    pub severity: Severity,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// Offending states, with labels.
+    pub states: Vec<(StateId, String)>,
+    /// Offending actions, with labels.
+    pub actions: Vec<(ActionId, String)>,
+    /// Offending observations, with labels.
+    pub observations: Vec<(ObservationId, String)>,
+    /// A concrete suggestion for repairing the model.
+    pub fixit: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(
+        code: LintCode,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            states: Vec::new(),
+            actions: Vec::new(),
+            observations: Vec::new(),
+            fixit: catalog::entry(code).fixit.to_string(),
+        }
+    }
+
+    pub(crate) fn with_states(mut self, pomdp: &Pomdp, states: &[StateId]) -> Diagnostic {
+        self.states = states
+            .iter()
+            .map(|&s| (s, label_of_state(pomdp, s)))
+            .collect();
+        self
+    }
+
+    pub(crate) fn with_actions(mut self, pomdp: &Pomdp, actions: &[ActionId]) -> Diagnostic {
+        self.actions = actions
+            .iter()
+            .map(|&a| (a, label_of_action(pomdp, a)))
+            .collect();
+        self
+    }
+
+    pub(crate) fn with_observations(
+        mut self,
+        pomdp: &Pomdp,
+        observations: &[ObservationId],
+    ) -> Diagnostic {
+        self.observations = observations
+            .iter()
+            .map(|&o| (o, label_of_observation(pomdp, o)))
+            .collect();
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+fn label_of_state(pomdp: &Pomdp, s: StateId) -> String {
+    if s.index() < pomdp.n_states() {
+        pomdp.mdp().state_label(s).to_string()
+    } else {
+        format!("<out of bounds: {s}>")
+    }
+}
+
+fn label_of_action(pomdp: &Pomdp, a: ActionId) -> String {
+    if a.index() < pomdp.n_actions() {
+        pomdp.mdp().action_label(a).to_string()
+    } else {
+        format!("<out of bounds: {a}>")
+    }
+}
+
+fn label_of_observation(pomdp: &Pomdp, o: ObservationId) -> String {
+    if o.index() < pomdp.n_observations() {
+        pomdp.observation_label(o).to_string()
+    } else {
+        format!("<out of bounds: {o}>")
+    }
+}
+
+/// Whether the model under analysis is a raw recovery model or the
+/// output of one of the paper's §3.1 transforms.
+///
+/// Some lints change severity with the stage: a divergent
+/// uniform-random chain is *expected* on a raw model (the transforms
+/// exist to fix exactly that) but fatal on a transformed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stage {
+    /// An untransformed recovery model (what `RecoveryModel::new` in
+    /// `bpr-core` validates).
+    #[default]
+    Raw,
+    /// The output of `with_notification` / `without_notification`: the
+    /// model the bounds and controllers actually run on.
+    Transformed,
+}
+
+/// The terminate machinery of a no-notification transform (paper
+/// Fig. 2(b)): the absorbing state `s_T`, the action `a_T` routing to
+/// it, and the operator response time its rewards were derived from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Termination {
+    /// The absorbing terminate state `s_T`.
+    pub state: StateId,
+    /// The terminate action `a_T`.
+    pub action: ActionId,
+    /// The designer-supplied `t_op` used for `r(s, a_T) = rate · t_op`.
+    pub operator_response_time: f64,
+}
+
+/// Everything the analyzer needs to know about a model beyond the
+/// [`Pomdp`] itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintContext {
+    /// Display name used in reports ("two-server (raw)", ...).
+    pub model_name: String,
+    /// The null-fault states `S_φ`.
+    pub null_states: Vec<StateId>,
+    /// States (beyond `S_φ` and `s_T`) exempt from the no-free-action
+    /// check.
+    pub exempt_states: Vec<StateId>,
+    /// Termination machinery, if this is a no-notification transform.
+    pub termination: Option<Termination>,
+    /// True if the modelled system lacks recovery notification, i.e. a
+    /// transformed model *must* carry termination machinery.
+    pub expects_termination: bool,
+    /// Raw recovery model or §3.1-transformed model.
+    pub stage: Stage,
+    /// Tolerance for stochasticity checks (matches the builders'
+    /// `1e-9` by default, so models that built cleanly stay clean).
+    pub tolerance: f64,
+    /// Include the expensive whole-model lints (currently monitor
+    /// aliasing, which is quadratic in states). `lint_pomdp` skips them
+    /// when false so the fast profile can gate hot paths like
+    /// `World::new`.
+    pub full: bool,
+}
+
+impl LintContext {
+    /// Context for a raw (untransformed) recovery model.
+    pub fn raw(null_states: Vec<StateId>) -> LintContext {
+        LintContext {
+            model_name: "pomdp".to_string(),
+            null_states,
+            exempt_states: Vec::new(),
+            termination: None,
+            expects_termination: false,
+            stage: Stage::Raw,
+            tolerance: 1e-9,
+            full: false,
+        }
+    }
+
+    /// Context for a §3.1-transformed model.
+    pub fn transformed(null_states: Vec<StateId>, termination: Option<Termination>) -> LintContext {
+        LintContext {
+            stage: Stage::Transformed,
+            expects_termination: termination.is_some(),
+            termination,
+            ..LintContext::raw(null_states)
+        }
+    }
+
+    /// Sets the report's model name.
+    pub fn named(mut self, name: impl Into<String>) -> LintContext {
+        self.model_name = name.into();
+        self
+    }
+
+    /// Adds free-action exemptions beyond `S_φ ∪ {s_T}`.
+    pub fn with_exempt(mut self, exempt: Vec<StateId>) -> LintContext {
+        self.exempt_states = exempt;
+        self
+    }
+
+    /// Declares that the system lacks recovery notification, so a
+    /// transformed model without termination machinery is an error.
+    pub fn expecting_termination(mut self) -> LintContext {
+        self.expects_termination = true;
+        self
+    }
+
+    /// Overrides the stochasticity tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> LintContext {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Enables the expensive whole-model lints (monitor aliasing).
+    pub fn full(mut self) -> LintContext {
+        self.full = true;
+        self
+    }
+
+    /// True if `s` is a declared null-fault state.
+    pub fn is_null(&self, s: StateId) -> bool {
+        self.null_states.contains(&s)
+    }
+
+    /// True if `s` is the terminate state.
+    pub fn is_terminate_state(&self, s: StateId) -> bool {
+        self.termination.map(|t| t.state) == Some(s)
+    }
+
+    /// True if `a` is the terminate action.
+    pub fn is_terminate_action(&self, a: ActionId) -> bool {
+        self.termination.map(|t| t.action) == Some(a)
+    }
+}
+
+/// The complete result of linting one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    model: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Wraps raw diagnostics under a model name, sorting them by
+    /// severity (errors first) then code for stable output.
+    pub fn new(model: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> LintReport {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.as_str().cmp(b.code.as_str()))
+        });
+        LintReport {
+            model: model.into(),
+            diagnostics,
+        }
+    }
+
+    /// The model name this report describes.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// All findings, errors first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Findings of exactly `severity`.
+    pub fn with_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Number of findings of exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.with_severity(severity).count()
+    }
+
+    /// True if any error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// True if there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The highest severity present, if any finding exists.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// One-line summary: `model: E errors, W warnings, I infos`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} errors, {} warnings, {} infos",
+            self.model,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )
+    }
+
+    /// Renders the report for humans: one block per diagnostic with the
+    /// offending ids, labels, and the fix-it hint.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {}", self.summary());
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+            let list = |items: &[(usize, &str)], what: &str, out: &mut String| {
+                if items.is_empty() {
+                    return;
+                }
+                let joined: Vec<String> = items.iter().map(|(i, l)| format!("{i} ({l})")).collect();
+                let _ = writeln!(out, "  {what}: {}", joined.join(", "));
+            };
+            list(
+                &d.states
+                    .iter()
+                    .map(|(s, l)| (s.index(), l.as_str()))
+                    .collect::<Vec<_>>(),
+                "states",
+                &mut out,
+            );
+            list(
+                &d.actions
+                    .iter()
+                    .map(|(a, l)| (a.index(), l.as_str()))
+                    .collect::<Vec<_>>(),
+                "actions",
+                &mut out,
+            );
+            list(
+                &d.observations
+                    .iter()
+                    .map(|(o, l)| (o.index(), l.as_str()))
+                    .collect::<Vec<_>>(),
+                "observations",
+                &mut out,
+            );
+            let _ = writeln!(out, "  = fix: {}", d.fixit);
+        }
+        out
+    }
+
+    /// Serializes the report as a machine-readable JSON object.
+    pub fn to_json(&self) -> String {
+        json::report_json(self)
+    }
+}
+
+/// Runs every applicable lint over `pomdp` and returns the complete
+/// report.
+///
+/// Never fails and never short-circuits: a model with five problems
+/// yields five (or more) diagnostics. Checks that need structure a
+/// violation destroyed (e.g. reachability on an empty model) are
+/// skipped once the prerequisite diagnostic has been emitted.
+pub fn lint_pomdp(pomdp: &Pomdp, ctx: &LintContext) -> LintReport {
+    let mut diags = Vec::new();
+    checks::check_shape(pomdp, &mut diags);
+    let empty = !diags.is_empty();
+    checks::check_transition_matrices(pomdp, ctx.tolerance, &mut diags);
+    checks::check_observation_matrices(pomdp, ctx, &mut diags);
+    checks::check_rewards(pomdp, &mut diags);
+    checks::check_condition1(pomdp, ctx, &mut diags);
+    checks::check_free_actions(pomdp, ctx, &mut diags);
+    checks::check_orphan_states(pomdp, ctx, &mut diags);
+    checks::check_absorbing_faults(pomdp, ctx, &mut diags);
+    checks::check_termination(pomdp, ctx, &mut diags);
+    if !empty {
+        checks::check_random_chain(pomdp, ctx, &mut diags);
+    }
+    if ctx.full {
+        checks::check_monitor_aliasing(pomdp, ctx, &mut diags);
+    }
+    LintReport::new(ctx.model_name.clone(), diags)
+}

@@ -1,0 +1,131 @@
+//! Edge-case coverage for the static analyzer: degenerate models,
+//! out-of-bounds configuration, tolerance boundaries, and the
+//! regression property that union-graph reachability agrees with the
+//! uniform-random-chain view used by the RA-Bound machinery.
+
+use bpr_linalg::CsrMatrix;
+use bpr_lint::checks::{
+    invalid_row_entries, stochastic_row_violations, union_can_reach, unrecoverable_states,
+};
+use bpr_lint::{lint_pomdp, LintCode, LintContext, Severity};
+use bpr_mdp::{MdpBuilder, StateId};
+use bpr_pomdp::{Pomdp, PomdpBuilder};
+use proptest::prelude::*;
+
+/// A minimal valid model: `n` states, `na` actions, deterministic
+/// transitions given by `target[s * na + a]`, one constant observation.
+fn deterministic_pomdp(n: usize, na: usize, targets: &[usize]) -> Pomdp {
+    let mut mb = MdpBuilder::new(n, na);
+    for s in 0..n {
+        for a in 0..na {
+            let t = targets[s * na + a] % n;
+            mb.transition(s, a, t, 1.0);
+            mb.reward(s, a, if t == s { 0.0 } else { -1.0 });
+        }
+    }
+    let mut pb = PomdpBuilder::new(mb.build().expect("mdp builds"), 1);
+    for s in 0..n {
+        pb.observation_all_actions(s, 0, 1.0);
+    }
+    pb.build().expect("pomdp builds")
+}
+
+// The empty model (BPR001's subject) cannot even be constructed: the
+// builder is the earliest guard, and the lint is defense in depth for
+// models arriving from other front ends. Pin both layers down.
+#[test]
+#[should_panic(expected = "at least one state")]
+fn empty_mdp_is_rejected_at_construction() {
+    let _ = MdpBuilder::new(0, 0);
+}
+
+#[test]
+#[should_panic(expected = "at least one observation")]
+fn zero_observation_model_is_rejected_at_construction() {
+    let mdp = MdpBuilder::new(1, 1)
+        .transition(0, 0, 0, 1.0)
+        .build()
+        .unwrap();
+    let _ = PomdpBuilder::new(mdp, 0);
+}
+
+#[test]
+fn out_of_bounds_null_state_is_reported_not_panicked() {
+    let pomdp = deterministic_pomdp(2, 1, &[0, 0]);
+    let ctx = LintContext::raw(vec![StateId::new(5)]).named("oob-null");
+    let report = lint_pomdp(&pomdp, &ctx);
+    let oob = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == LintCode::NullStateOutOfBounds)
+        .expect("BPR010 fires on the out-of-bounds null state");
+    assert_eq!(oob.severity, Severity::Error);
+    assert_eq!(oob.states.len(), 1);
+    assert_eq!(oob.states[0].0, StateId::new(5));
+    assert!(oob.states[0].1.contains("out of bounds"));
+}
+
+#[test]
+fn all_states_null_produces_no_condition_errors() {
+    // Every state in S_φ: nothing is stranded, nothing is a free
+    // action (all states are exempt), the null set is non-empty.
+    let pomdp = deterministic_pomdp(3, 2, &[0, 1, 1, 2, 2, 0]);
+    let nulls: Vec<StateId> = (0..3).map(StateId::new).collect();
+    let ctx = LintContext::raw(nulls).named("all-null");
+    let report = lint_pomdp(&pomdp, &ctx);
+    assert!(!report.has_errors(), "{}", report.render());
+    assert!(unrecoverable_states(&pomdp, &ctx).is_empty());
+}
+
+#[test]
+fn row_sum_boundary_sits_exactly_at_the_tolerance() {
+    let tol = 1e-9;
+    // Drift strictly inside the tolerance: accepted.
+    let inside = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0 + 5e-10)]).unwrap();
+    assert!(stochastic_row_violations(&inside, tol).is_empty());
+    // Drift well outside: the row and its sum are reported.
+    let outside = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0 + 1e-6)]).unwrap();
+    let v = stochastic_row_violations(&outside, tol);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].0, 0);
+    assert!((v[0].1 - (1.0 + 1e-6)).abs() < 1e-12);
+}
+
+#[test]
+fn entry_tolerance_admits_tiny_negatives_and_flags_real_ones() {
+    let tol = 1e-9;
+    let tiny = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, -5e-10)]).unwrap();
+    assert!(invalid_row_entries(&tiny, tol).is_empty());
+    let bad = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, -1e-6)]).unwrap();
+    let v = invalid_row_entries(&bad, tol);
+    assert_eq!(v.len(), 1);
+    assert_eq!((v[0].0, v[0].1), (0, 1));
+    // NaN never reaches a CsrMatrix (from_triplets rejects it), so the
+    // analyzer's non-finite arm guards matrices above 1 + tol instead.
+    assert!(CsrMatrix::from_triplets(1, 1, &[(0, 0, f64::NAN)]).is_err());
+    let above = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.5)]).unwrap();
+    assert_eq!(invalid_row_entries(&above, tol).len(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Regression (satellite): reachability computed on the union
+    /// graph of per-action positive edges must agree with reachability
+    /// on the uniform random chain `P = (1/|A|) Σ_a P_a` — averaging
+    /// the actions never adds or removes a positive edge.
+    #[test]
+    fn union_reachability_agrees_with_the_uniform_random_chain(
+        n in 2usize..7,
+        na in 1usize..4,
+        raw_targets in proptest::collection::vec(0usize..64, 6 * 3),
+        target_state in 0usize..7,
+    ) {
+        let targets: Vec<usize> = raw_targets.iter().map(|&t| t % n).collect();
+        let pomdp = deterministic_pomdp(n, na, &targets);
+        let goal = target_state % n;
+        let via_union = union_can_reach(&pomdp, &[StateId::new(goal)], None);
+        let via_chain = pomdp.mdp().uniform_random_chain().can_reach(&[goal]);
+        prop_assert_eq!(via_union, via_chain);
+    }
+}

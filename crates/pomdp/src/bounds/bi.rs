@@ -57,6 +57,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k-sweep iteration is too slow under miri")]
     fn exists_and_is_below_ra_bound_when_discounted() {
         let p = two_server_notified();
         let beta = 0.9;

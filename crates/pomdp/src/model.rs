@@ -454,6 +454,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "20k sampling draws are too slow under miri")]
     fn sampling_respects_distributions() {
         let p = tiny_pomdp();
         let mut rng = StdRng::seed_from_u64(7);

@@ -230,6 +230,8 @@ macro_rules! float_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
+            // The cast is trivial for the widest instantiation (f64).
+            #[allow(trivial_numeric_casts)]
             fn generate(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + (rng.unit_f64() as $t) * (self.end - self.start)

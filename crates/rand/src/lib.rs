@@ -70,6 +70,8 @@ impl Distribution<bool> for Standard {
 macro_rules! standard_int {
     ($($t:ty),*) => {$(
         impl Distribution<$t> for Standard {
+            // The cast is trivial for the widest instantiation (u64).
+            #[allow(trivial_numeric_casts)]
             fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
                 rng.next_u64() as $t
             }
@@ -137,6 +139,8 @@ signed_range!(i8, i16, i32, i64, isize);
 macro_rules! float_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            // The cast is trivial for the widest instantiation (f64).
+            #[allow(trivial_numeric_casts)]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample from empty range");
                 let u: f64 = Standard.sample(rng);

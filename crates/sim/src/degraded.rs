@@ -225,10 +225,21 @@ pub struct DegradedWorld<'a> {
 impl<'a> DegradedWorld<'a> {
     /// Creates a degraded world with the given true state.
     ///
+    /// The model passes through the inner [`World::new`] lint gate: a
+    /// model with an error-severity lint finding is rejected before
+    /// any degraded episode can run on it. Because a
+    /// [`PerturbationPlan`] degrades the *world contract* (dropped
+    /// observations, failed actions, injected faults) and never edits
+    /// the model's matrices, a model accepted here stays lint-clean at
+    /// error level for the entire episode, whatever the plan does —
+    /// property-tested in `tests/robustness_properties.rs`.
+    ///
     /// # Errors
     ///
-    /// [`Error::InvalidInput`] for an out-of-bounds state or an invalid
-    /// plan (see [`PerturbationPlan::validate`]).
+    /// * [`Error::InvalidInput`] for an out-of-bounds state or an
+    ///   invalid plan (see [`PerturbationPlan::validate`]).
+    /// * [`Error::Lint`] if the model has an error-severity lint
+    ///   finding.
     pub fn new(
         model: &'a RecoveryModel,
         state: StateId,
@@ -248,6 +259,12 @@ impl<'a> DegradedWorld<'a> {
     /// The plan driving the degradation.
     pub fn plan(&self) -> &PerturbationPlan {
         &self.plan
+    }
+
+    /// The non-fatal lint findings of the underlying model, collected
+    /// by the inner [`World`]'s construction-time gate.
+    pub fn lint_warnings(&self) -> &[bpr_core::lint::Diagnostic] {
+        self.world.lint_warnings()
     }
 
     /// Replaces `obs` with a different observation id, drawn from the

@@ -1,0 +1,97 @@
+//! Integration tests for the `modelcheck` static-analysis gate: the
+//! paper's models must lint clean at error severity, the deliberately
+//! broken fixture must not, and the shipped binary must exit zero /
+//! non-zero accordingly while emitting the JSON bundle with the full
+//! lint catalog.
+
+use bpr_bench::modelcheck::{broken_fixture, bundle_json, lint_paper_models};
+use bpr_core::lint::Severity;
+use std::process::Command;
+
+#[test]
+fn paper_models_pass_the_gate() {
+    let reports = lint_paper_models().unwrap();
+    assert_eq!(reports.len(), 6, "raw + two transforms, two models");
+    for r in &reports {
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+    // The raw stages must still report the divergence the transforms
+    // exist to repair — as info, not error.
+    let raw_reports: Vec<_> = reports
+        .iter()
+        .filter(|r| r.model().ends_with("(raw)"))
+        .collect();
+    assert_eq!(raw_reports.len(), 2);
+    for r in raw_reports {
+        assert!(
+            r.diagnostics()
+                .iter()
+                .any(|d| d.code.as_str() == "BPR019" && d.severity == Severity::Info),
+            "raw model missing the divergent-chain info: {}",
+            r.render()
+        );
+    }
+}
+
+#[test]
+fn broken_fixture_fails_the_gate_with_structured_findings() {
+    let report = broken_fixture();
+    assert!(report.has_errors());
+    // Structured fields carry ids with labels, not just prose.
+    let unrecoverable = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code.as_str() == "BPR011")
+        .expect("fixture has an unrecoverable state");
+    assert_eq!(unrecoverable.states.len(), 1);
+    assert_eq!(unrecoverable.states[0].1, "Wedged");
+    assert!(!unrecoverable.fixit.is_empty());
+}
+
+#[test]
+fn json_bundle_lists_at_least_eight_catalog_codes() {
+    let json = bundle_json(&lint_paper_models().unwrap());
+    let distinct = (1..=19)
+        .filter(|i| json.contains(&format!("BPR{i:03}")))
+        .count();
+    assert!(distinct >= 8, "only {distinct} distinct codes in the JSON");
+    assert!(json.contains("\"catalog\": ["));
+    assert!(json.contains("\"models\": ["));
+    assert!(json.contains("\"fixit\": "));
+}
+
+fn run_modelcheck(dir: &std::path::Path, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_modelcheck"));
+    cmd.current_dir(dir).arg("--quiet");
+    for a in extra {
+        cmd.arg(a);
+    }
+    cmd.output().expect("modelcheck binary runs")
+}
+
+#[test]
+fn binary_exits_zero_on_clean_models_and_writes_json() {
+    let dir = std::env::temp_dir().join("bpr_modelcheck_clean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = run_modelcheck(&dir, &[]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("MODELCHECK.json")).unwrap();
+    // The bundle-level error total is the last field of the document.
+    assert!(json.trim_end().ends_with("\"errors\": 0}"));
+}
+
+#[test]
+fn binary_exits_nonzero_on_the_broken_fixture() {
+    let dir = std::env::temp_dir().join("bpr_modelcheck_broken");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = run_modelcheck(&dir, &["--broken"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = std::fs::read_to_string(dir.join("MODELCHECK.json")).unwrap();
+    assert!(!json.trim_end().ends_with("\"errors\": 0}"));
+    assert!(json.contains("broken-fixture"));
+}

@@ -309,3 +309,53 @@ fn sweep_zero_cell_recovers_everything() {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `DegradedWorld` perturbations never produce an error-severity
+    /// lint: the plan degrades the world *contract*, not the model, so
+    /// the construction-time lint gate passes before the episode and
+    /// the model re-lints clean after any number of degraded steps.
+    #[test]
+    fn degraded_episodes_never_dirty_the_model_lints(
+        spec in arb_spec(),
+        seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        action_failure in 0.0f64..1.0,
+        dropout in 0.0f64..1.0,
+        corruption in 0.0f64..1.0,
+        secondary in 0.0f64..1.0,
+        fault_pick in 0usize..4,
+    ) {
+        use bpr_core::lint::{lint_pomdp, Severity};
+        use bpr_sim::{DegradedWorld, SimWorld};
+
+        let model = build(&spec);
+        let plan = PerturbationPlan {
+            seed: plan_seed,
+            action_failure_prob: action_failure,
+            monitor_dropout_prob: dropout,
+            obs_corruption_prob: corruption,
+            secondary_fault_prob: secondary,
+            max_secondary_faults: 3,
+            secondary_faults: Vec::new(),
+        };
+        let fault = StateId::new(1 + fault_pick % spec.n_faults);
+        // The lint gate must accept the model (no Error::Lint) for any
+        // valid plan...
+        let mut world = DegradedWorld::new(&model, fault, plan).expect("lint gate passes");
+        prop_assert!(world
+            .lint_warnings()
+            .iter()
+            .all(|d| d.severity < Severity::Error));
+        // ...and stay clean across a fully degraded episode.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for step in 0..40 {
+            let action = ActionId::new(step % (spec.n_faults + 1));
+            let _ = world.step_world(&mut rng, action);
+        }
+        let report = lint_pomdp(model.base(), &model.lint_context().full());
+        prop_assert!(!report.has_errors(), "{}", report.render());
+    }
+}
