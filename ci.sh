@@ -34,6 +34,10 @@ cargo run -p bpr-bench --bin planning --release -- \
 echo "==> modelcheck (static lint gate over the paper models; fails on error-severity findings)"
 cargo run -p bpr-bench --bin modelcheck --release -- --quiet --out MODELCHECK.json
 
+echo "==> serve chaos-soak smoke (bursty load + fault injection + forced kill/resume; fails on incident loss or divergence)"
+cargo run -p bpr-bench --bin serve --release -- \
+  --ticks 120 --kill-round 25 --out BENCH_serve.json --snapshot serve.snapshot
+
 # Note: `command -v cargo-miri` is a false positive under rustup (the
 # proxy shim exists even when the component is absent) — ask rustup.
 if rustup component list --installed 2>/dev/null | grep -q "^miri"; then

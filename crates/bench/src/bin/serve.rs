@@ -1,0 +1,534 @@
+//! Chaos soak harness for the `bpr-serve` recovery daemon: drives
+//! bursty synthetic monitor-event load through EMN and two-server
+//! worlds with `DegradedWorld` fault injection, a poisoned-incident
+//! chaos drill, and a mid-soak kill-and-resume — then gates hard on
+//! the daemon's contracts:
+//!
+//! 1. **Zero incident loss** — every admitted incident ends in a typed
+//!    terminal status (recovered / terminated-faulty / step-limit /
+//!    controller-error / quarantined); shed events carry typed,
+//!    counted rejections.
+//! 2. **Shard-width determinism** — canonical results are bit-identical
+//!    at every requested shard width.
+//! 3. **Kill/resume determinism** — a run killed mid-soak and resumed
+//!    from its snapshot reproduces the uninterrupted run's per-incident
+//!    decision sequences exactly.
+//! 4. **Throughput** — the EMN soak sustains at least
+//!    `--min-events-per-sec` ingested events per second (default 10⁴).
+//!
+//! Emits `BENCH_serve.json` with p50/p99 decision latency, sustained
+//! incident throughput, shed/quarantine/resume counts, and the model
+//! lint warnings that were surfaced at daemon startup.
+//!
+//! Usage:
+//! `cargo run -p bpr-bench --bin serve --release -- \
+//!     [--ticks 240] [--schedule bursty] [--rate 250] [--burst 750] \
+//!     [--period 10] [--seed 7] [--shards 1,4] [--max-live 8] \
+//!     [--queue 256] [--steps-per-round 2] [--max-steps 60] \
+//!     [--deadline-ms 50] [--failures 0.05] [--dropouts 0.05] \
+//!     [--corruption 0.02] [--kill-round 40] [--chaos-incident 2] \
+//!     [--min-events-per-sec 10000] [--snapshot serve.snapshot] \
+//!     [--out BENCH_serve.json]`
+
+use bpr_bench::experiments::emn_model;
+use bpr_bench::flag;
+use bpr_core::snapshot::CheckpointPolicy;
+use bpr_core::RecoveryModel;
+use bpr_emn::faults::EmnState;
+use bpr_emn::two_server;
+use bpr_mdp::StateId;
+use bpr_serve::{Daemon, IncidentStatus, Schedule, ServeConfig, ServeReport, SyntheticEvents};
+use bpr_sim::PerturbationPlan;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn shards_flag(args: &[String], default: &[usize]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| {
+            v.split(',')
+                .map(|p| p.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .ok()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn string_flag(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+struct WorldSpec {
+    name: &'static str,
+    model: RecoveryModel,
+    faults: Vec<StateId>,
+    /// Seconds the human operator needs when the controller gives up;
+    /// EMN's default (6 h) dwarfs two-server's synthetic 50 s.
+    operator_response_time: f64,
+}
+
+struct SoakOutcome {
+    report: ServeReport,
+    shard_widths: Vec<usize>,
+    shard_identical: bool,
+    resume_identical: bool,
+    resumed_from: Option<u64>,
+    killed_rounds: u64,
+    checkpoints_written: u64,
+    snapshot_retries: u64,
+}
+
+/// Everything one world's soak shares across its five runs.
+struct SoakParams {
+    seed: u64,
+    schedule: Schedule,
+    ticks: u64,
+    shards: Vec<usize>,
+    kill_round: u64,
+    snapshot: String,
+}
+
+#[allow(clippy::too_many_lines)]
+fn soak_world(spec: &WorldSpec, base: &ServeConfig, p: &SoakParams) -> Result<SoakOutcome, String> {
+    let SoakParams {
+        seed,
+        schedule,
+        ticks,
+        shards,
+        kill_round,
+        snapshot,
+    } = p;
+    let (seed, ticks, kill_round) = (*seed, *ticks, *kill_round);
+    let source = || {
+        SyntheticEvents::new(seed, schedule.clone(), spec.faults.clone(), ticks)
+            .map_err(|e| format!("{}: event source: {e}", spec.name))
+    };
+    let base = &ServeConfig {
+        operator_response_time: spec.operator_response_time,
+        ..base.clone()
+    };
+
+    // Reference run: first shard width, no checkpointing.
+    let reference_config = ServeConfig {
+        shards: shards[0],
+        ..base.clone()
+    };
+    let mut daemon =
+        Daemon::new(&spec.model, reference_config).map_err(|e| format!("{}: {e}", spec.name))?;
+    let reference = daemon
+        .run(&mut source()?)
+        .map_err(|e| format!("{}: reference run: {e}", spec.name))?;
+    let reference_canonical = reference.canonical();
+
+    // Shard-width determinism: every width must reproduce the
+    // reference bit-for-bit. The widest run is the measured one.
+    let mut measured = reference.clone();
+    let mut shard_identical = true;
+    for &width in &shards[1..] {
+        let config = ServeConfig {
+            shards: width,
+            ..base.clone()
+        };
+        let mut daemon =
+            Daemon::new(&spec.model, config).map_err(|e| format!("{}: {e}", spec.name))?;
+        let report = daemon
+            .run(&mut source()?)
+            .map_err(|e| format!("{}: width-{width} run: {e}", spec.name))?;
+        if report.canonical() != reference_canonical {
+            eprintln!(
+                "[serve] GATE FAILURE {}: width {width} diverged from width {}",
+                spec.name, shards[0]
+            );
+            shard_identical = false;
+        }
+        measured = report;
+    }
+
+    // Kill/resume drill: checkpoint every few rounds (count trigger)
+    // plus a wall-clock trigger, kill mid-soak, resume, compare.
+    let snapshot_path = format!("{snapshot}.{}", spec.name);
+    let _ = std::fs::remove_file(&snapshot_path);
+    let killed_config = ServeConfig {
+        shards: *shards.last().expect("non-empty shards"),
+        checkpoint: Some(
+            CheckpointPolicy::new(&snapshot_path, 5)
+                .with_every_duration(Duration::from_millis(250)),
+        ),
+        kill_after_rounds: Some(kill_round),
+        ..base.clone()
+    };
+    let mut daemon =
+        Daemon::new(&spec.model, killed_config).map_err(|e| format!("{}: {e}", spec.name))?;
+    let killed = daemon
+        .run(&mut source()?)
+        .map_err(|e| format!("{}: killed run: {e}", spec.name))?;
+    let resumed_config = ServeConfig {
+        shards: shards[0],
+        checkpoint: Some(CheckpointPolicy::new(&snapshot_path, 5)),
+        ..base.clone()
+    };
+    let mut daemon =
+        Daemon::new(&spec.model, resumed_config).map_err(|e| format!("{}: {e}", spec.name))?;
+    let resumed = daemon
+        .run(&mut source()?)
+        .map_err(|e| format!("{}: resumed run: {e}", spec.name))?;
+    let resume_identical = resumed.canonical() == reference_canonical;
+    if !resume_identical {
+        eprintln!(
+            "[serve] GATE FAILURE {}: kill/resume diverged from the uninterrupted run",
+            spec.name
+        );
+        // Leave the snapshot behind for post-mortem.
+    } else {
+        let _ = std::fs::remove_file(&snapshot_path);
+    }
+
+    for (label, report) in [
+        ("reference", &reference),
+        ("measured", &measured),
+        ("killed", &killed),
+        ("resumed", &resumed),
+    ] {
+        if report.lost_incidents() != 0 {
+            return Err(format!(
+                "{}: {label} run lost {} incidents",
+                spec.name,
+                report.lost_incidents()
+            ));
+        }
+        // Killed runs may leave events in the (persisted) queue; every
+        // other event must be admitted or carry a typed shed count.
+        if report.admitted + report.shed.total() + report.queued_at_exit != report.events_seen {
+            return Err(format!(
+                "{}: {label} run dropped events without a typed shed reason",
+                spec.name
+            ));
+        }
+    }
+
+    Ok(SoakOutcome {
+        shard_widths: shards.to_vec(),
+        shard_identical,
+        resume_identical,
+        resumed_from: resumed.resumed_from,
+        killed_rounds: killed.rounds,
+        checkpoints_written: killed.checkpoints_written + resumed.checkpoints_written,
+        snapshot_retries: killed.snapshot_retries + resumed.snapshot_retries,
+        report: measured,
+    })
+}
+
+fn world_json(spec: &WorldSpec, outcome: &SoakOutcome) -> String {
+    let r = &outcome.report;
+    let lint: Vec<String> = r
+        .lint_warnings
+        .iter()
+        .map(|d| format!("\"{}\"", json_escape(&d.to_string())))
+        .collect();
+    let widths: Vec<String> = outcome.shard_widths.iter().map(usize::to_string).collect();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        concat!(
+            "    \"{name}\": {{\n",
+            "      \"events_seen\": {events},\n",
+            "      \"events_per_sec\": {eps:.1},\n",
+            "      \"incidents_per_sec\": {ips:.1},\n",
+            "      \"wall_seconds\": {wall:.3},\n",
+            "      \"ticks\": {ticks},\n",
+            "      \"rounds\": {rounds},\n",
+            "      \"admitted\": {admitted},\n",
+            "      \"shed\": {{ \"queue_full\": {shed_queue} }},\n",
+            "      \"degraded_admissions\": {degraded},\n",
+            "      \"recovered\": {recovered},\n",
+            "      \"terminated_faulty\": {term_faulty},\n",
+            "      \"step_limit\": {step_limit},\n",
+            "      \"controller_error\": {ctrl_err},\n",
+            "      \"quarantined\": {quarantined},\n",
+            "      \"escalated_resilient\": {esc_res},\n",
+            "      \"escalated_anytime\": {esc_any},\n",
+            "      \"decisions\": {decisions},\n",
+            "      \"decision_latency_p50_ms\": {p50:.4},\n",
+            "      \"decision_latency_p99_ms\": {p99:.4},\n",
+            "      \"deadline_ms\": {deadline:.1},\n",
+            "      \"deadline_misses\": {misses},\n",
+            "      \"checkpoints_written\": {cps},\n",
+            "      \"snapshot_retries\": {retries},\n",
+            "      \"killed_after_rounds\": {killed_rounds},\n",
+            "      \"resumed_from_tick\": {resumed_from},\n",
+            "      \"shard_widths\": [{widths}],\n",
+            "      \"shard_identical\": {shard_ok},\n",
+            "      \"resume_identical\": {resume_ok},\n",
+            "      \"lost_incidents\": {lost},\n",
+            "      \"lint_warnings\": [{lint}]\n",
+            "    }}"
+        ),
+        name = spec.name,
+        events = r.events_seen,
+        eps = r.events_per_sec(),
+        ips = r.incidents_per_sec(),
+        wall = r.wall_seconds,
+        ticks = r.ticks,
+        rounds = r.rounds,
+        admitted = r.admitted,
+        shed_queue = r.shed.queue_full,
+        degraded = r.degraded_admissions,
+        recovered = r.count(IncidentStatus::Recovered),
+        term_faulty = r.count(IncidentStatus::TerminatedFaulty),
+        step_limit = r.count(IncidentStatus::StepLimit),
+        ctrl_err = r.count(IncidentStatus::ControllerError),
+        quarantined = r.count(IncidentStatus::Quarantined),
+        esc_res = r.escalated_resilient,
+        esc_any = r.escalated_anytime,
+        decisions = r.decisions,
+        p50 = r.latency.p50() as f64 / 1e6,
+        p99 = r.latency.p99() as f64 / 1e6,
+        deadline = r.deadline.as_secs_f64() * 1e3,
+        misses = r.deadline_misses,
+        cps = outcome.checkpoints_written,
+        retries = outcome.snapshot_retries,
+        killed_rounds = outcome.killed_rounds,
+        resumed_from = outcome
+            .resumed_from
+            .map_or("null".to_string(), |t| t.to_string()),
+        widths = widths.join(", "),
+        shard_ok = outcome.shard_identical,
+        resume_ok = outcome.resume_identical,
+        lost = r.lost_incidents(),
+        lint = lint.join(", "),
+    );
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ticks = flag(&args, "--ticks", 240u64);
+    let schedule_name = string_flag(&args, "--schedule", "bursty");
+    let rate = flag(&args, "--rate", 250usize);
+    let burst = flag(&args, "--burst", 750usize);
+    let period = flag(&args, "--period", 10u64);
+    let seed = flag(&args, "--seed", 7u64);
+    let shards = shards_flag(&args, &[1, 4]);
+    let max_live = flag(&args, "--max-live", 8usize);
+    let queue = flag(&args, "--queue", 256usize);
+    let steps_per_round = flag(&args, "--steps-per-round", 2usize);
+    let max_steps = flag(&args, "--max-steps", 60usize);
+    let deadline_ms = flag(&args, "--deadline-ms", 50u64);
+    let failures = flag(&args, "--failures", 0.05f64);
+    let dropouts = flag(&args, "--dropouts", 0.05f64);
+    let corruption = flag(&args, "--corruption", 0.02f64);
+    let kill_round = flag(&args, "--kill-round", 40u64);
+    let chaos_incident = flag(&args, "--chaos-incident", 2u64);
+    let min_events_per_sec = flag(&args, "--min-events-per-sec", 10_000.0f64);
+    let snapshot = string_flag(&args, "--snapshot", "serve.snapshot");
+    let out_path = string_flag(&args, "--out", "BENCH_serve.json");
+
+    let schedule = match Schedule::parse(&schedule_name, rate, burst, period) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[serve] {e}");
+            std::process::exit(1);
+        }
+    };
+    if shards.is_empty() || shards.contains(&0) {
+        eprintln!("[serve] --shards needs a comma list of positive widths");
+        std::process::exit(1);
+    }
+
+    let plan = PerturbationPlan {
+        seed: seed ^ 0x5EED_FA17,
+        action_failure_prob: failures,
+        monitor_dropout_prob: dropouts,
+        obs_corruption_prob: corruption,
+        ..PerturbationPlan::none()
+    };
+    let base = ServeConfig {
+        max_live,
+        queue_capacity: queue,
+        steps_per_round,
+        max_steps,
+        deadline: Duration::from_millis(deadline_ms),
+        plan,
+        master_seed: seed,
+        // The chaos drill poisons one early incident in *every* run
+        // (reference, width sweep, kill/resume), so quarantine
+        // isolation is part of the determinism comparison too.
+        chaos_panic_incidents: vec![chaos_incident],
+        verbose: true,
+        ..ServeConfig::default()
+    };
+
+    let emn = match emn_model() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("[serve] emn model: {e}");
+            std::process::exit(1);
+        }
+    };
+    let two = match two_server::default_model() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("[serve] two-server model: {e}");
+            std::process::exit(1);
+        }
+    };
+    let worlds = [
+        WorldSpec {
+            name: "emn",
+            faults: EmnState::zombies().iter().map(|s| s.state_id()).collect(),
+            model: emn,
+            operator_response_time: bpr_emn::EmnConfig::default().operator_response_time,
+        },
+        WorldSpec {
+            name: "two_server",
+            faults: vec![
+                StateId::new(two_server::FAULT_A),
+                StateId::new(two_server::FAULT_B),
+            ],
+            model: two,
+            operator_response_time: 50.0,
+        },
+    ];
+
+    let mut failures_seen = Vec::new();
+    let mut blocks = Vec::new();
+    let mut emn_eps = 0.0f64;
+    for spec in &worlds {
+        eprintln!(
+            "[serve] soaking {} ({} ticks, {} schedule, shards {:?}, kill at round {kill_round})",
+            spec.name,
+            ticks,
+            schedule.name(),
+            shards
+        );
+        let params = SoakParams {
+            seed,
+            schedule: schedule.clone(),
+            ticks,
+            shards: shards.clone(),
+            kill_round,
+            snapshot: snapshot.clone(),
+        };
+        match soak_world(spec, &base, &params) {
+            Ok(outcome) => {
+                let r = &outcome.report;
+                eprintln!(
+                    "[serve] {}: {} events ({:.0}/s), {} admitted, {} shed, {} quarantined, \
+                     p50 {:.3} ms, p99 {:.3} ms, {} deadline misses",
+                    spec.name,
+                    r.events_seen,
+                    r.events_per_sec(),
+                    r.admitted,
+                    r.shed.total(),
+                    r.count(IncidentStatus::Quarantined),
+                    r.latency.p50() as f64 / 1e6,
+                    r.latency.p99() as f64 / 1e6,
+                    r.deadline_misses,
+                );
+                if !outcome.shard_identical {
+                    failures_seen.push(format!("{}: shard-width divergence", spec.name));
+                }
+                if !outcome.resume_identical {
+                    failures_seen.push(format!("{}: kill/resume divergence", spec.name));
+                }
+                if outcome.resumed_from.is_none() {
+                    failures_seen.push(format!("{}: resume never engaged", spec.name));
+                }
+                if r.count(IncidentStatus::Quarantined) == 0 {
+                    failures_seen.push(format!(
+                        "{}: chaos drill produced no quarantine record",
+                        spec.name
+                    ));
+                }
+                if spec.name == "emn" {
+                    emn_eps = r.events_per_sec();
+                    if emn_eps < min_events_per_sec {
+                        failures_seen.push(format!(
+                            "emn: sustained {emn_eps:.0} events/s < required {min_events_per_sec:.0}"
+                        ));
+                    }
+                }
+                blocks.push(world_json(spec, &outcome));
+            }
+            Err(e) => {
+                eprintln!("[serve] GATE FAILURE: {e}");
+                failures_seen.push(e);
+            }
+        }
+    }
+
+    let passed = failures_seen.is_empty();
+    let gate_list: Vec<String> = failures_seen
+        .iter()
+        .map(|f| format!("\"{}\"", json_escape(f)))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"config\": {{\n",
+            "    \"ticks\": {ticks},\n",
+            "    \"schedule\": \"{schedule}\",\n",
+            "    \"rate\": {rate},\n",
+            "    \"burst\": {burst},\n",
+            "    \"period\": {period},\n",
+            "    \"seed\": {seed},\n",
+            "    \"max_live\": {max_live},\n",
+            "    \"queue_capacity\": {queue},\n",
+            "    \"steps_per_round\": {spr},\n",
+            "    \"max_steps\": {max_steps},\n",
+            "    \"kill_round\": {kill_round},\n",
+            "    \"chaos_incident\": {chaos},\n",
+            "    \"min_events_per_sec\": {min_eps:.0}\n",
+            "  }},\n",
+            "  \"worlds\": {{\n{worlds}\n  }},\n",
+            "  \"emn_events_per_sec\": {emn_eps:.1},\n",
+            "  \"gate_failures\": [{gates}],\n",
+            "  \"passed\": {passed}\n",
+            "}}\n"
+        ),
+        ticks = ticks,
+        schedule = schedule.name(),
+        rate = rate,
+        burst = burst,
+        period = period,
+        seed = seed,
+        max_live = max_live,
+        queue = queue,
+        spr = steps_per_round,
+        max_steps = max_steps,
+        kill_round = kill_round,
+        chaos = chaos_incident,
+        min_eps = min_events_per_sec,
+        worlds = blocks.join(",\n"),
+        emn_eps = emn_eps,
+        gates = gate_list.join(", "),
+        passed = passed,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("[serve] could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[serve] wrote {out_path}");
+    if !passed {
+        eprintln!("[serve] FAILED: {}", failures_seen.join("; "));
+        std::process::exit(1);
+    }
+    eprintln!("[serve] all gates passed");
+}

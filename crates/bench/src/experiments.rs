@@ -14,7 +14,7 @@ use bpr_mdp::chain::SolveOpts;
 use bpr_mdp::value_iteration::Discount;
 use bpr_pomdp::bounds::{bi_pomdp_bound, blind_bound, fib_bound, qmdp_bound, ra_bound, ValueBound};
 use bpr_pomdp::Belief;
-use bpr_sim::{Campaign, CampaignSummary, PerturbationPlan};
+use bpr_sim::{Campaign, CampaignSummary, PerturbationCounts, PerturbationPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -352,6 +352,13 @@ pub struct RobustnessRow {
     /// belief update refusing an impossible observation) instead of
     /// terminating.
     pub aborted: usize,
+    /// Episodes whose controller panicked and was quarantined by the
+    /// isolation layer (a subset of `aborted`).
+    pub quarantined: usize,
+    /// Perturbations the degraded world actually inflicted, summed
+    /// over the campaign and broken down by fault mode — the sweep's
+    /// analogue of the serve daemon's typed shed counters.
+    pub perturbations: PerturbationCounts,
 }
 
 /// All controllers' results at one grid point.
@@ -455,9 +462,20 @@ pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>
             let mut push = |report: bpr_sim::CampaignReport, name: &str| {
                 let mut summary = report.summary;
                 summary.controller = name.to_string();
+                let mut perturbations = PerturbationCounts::default();
+                for outcome in &report.outcomes {
+                    perturbations.failed_actions += outcome.perturbations.failed_actions;
+                    perturbations.dropped_observations +=
+                        outcome.perturbations.dropped_observations;
+                    perturbations.corrupted_observations +=
+                        outcome.perturbations.corrupted_observations;
+                    perturbations.injected_faults += outcome.perturbations.injected_faults;
+                }
                 rows.push(RobustnessRow {
                     summary,
                     aborted: report.aborted,
+                    quarantined: report.quarantined.len(),
+                    perturbations,
                 });
             };
 

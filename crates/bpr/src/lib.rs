@@ -35,6 +35,7 @@ pub use bpr_lint as lint;
 pub use bpr_mdp as mdp;
 pub use bpr_par as par;
 pub use bpr_pomdp as pomdp;
+pub use bpr_serve as serve;
 pub use bpr_sim as sim;
 pub use rand;
 
@@ -61,6 +62,9 @@ pub mod prelude {
     pub use bpr_par::{split_seed, Quarantined, WorkPool};
     pub use bpr_pomdp::bounds::{qmdp_bound, ra_bound, ValueBound, VectorSetBound};
     pub use bpr_pomdp::{Belief, PomdpBuilder};
+    pub use bpr_serve::{
+        Daemon, IncidentStatus, Schedule, ServeConfig, ServeReport, SyntheticEvents,
+    };
     pub use bpr_sim::{
         Campaign, CampaignReport, CampaignSummary, DegradedWorld, EpisodeOutcome, EpisodeRunner,
         HarnessConfig, PerturbationPlan, QuarantinedEpisode, World,
@@ -89,5 +93,21 @@ mod tests {
         assert!(WorkPool::new(2).unwrap().threads() == 2);
         let report: LintReport = lint_pomdp(model.base(), &model.lint_context());
         assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn serve_names_resolve() {
+        let model = two_server::default_model().unwrap();
+        let mut daemon = Daemon::new(&model, ServeConfig::default()).unwrap();
+        let mut source = SyntheticEvents::new(
+            1,
+            Schedule::Steady { per_tick: 1 },
+            vec![StateId::new(two_server::FAULT_A)],
+            3,
+        )
+        .unwrap();
+        let report: ServeReport = daemon.run(&mut source).unwrap();
+        assert_eq!(report.lost_incidents(), 0);
+        assert_eq!(report.count(IncidentStatus::Recovered), report.admitted);
     }
 }

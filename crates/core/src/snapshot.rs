@@ -30,6 +30,7 @@ use crate::Error;
 use bpr_pomdp::bounds::VectorSetBound;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Magic tag of the container header.
 const MAGIC: &str = "bpr-snapshot";
@@ -86,6 +87,14 @@ pub enum SnapshotError {
         /// What failed to parse.
         detail: String,
     },
+    /// Every attempt of a retried write failed with a transient IO
+    /// error (see [`write_snapshot_retrying`]).
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// Stringified OS error of the final attempt.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -110,6 +119,10 @@ impl fmt::Display for SnapshotError {
                 write!(f, "snapshot belongs to a different session: {detail}")
             }
             SnapshotError::Malformed { detail } => write!(f, "snapshot malformed: {detail}"),
+            SnapshotError::RetriesExhausted { attempts, detail } => write!(
+                f,
+                "snapshot write failed after {attempts} attempts; last error: {detail}"
+            ),
         }
     }
 }
@@ -245,6 +258,15 @@ fn tmp_sibling(path: &Path) -> PathBuf {
 }
 
 /// Where and how often a durable runner writes its snapshot.
+///
+/// Two triggers compose (whichever fires first wins):
+///
+/// * a **count** trigger — every [`CheckpointPolicy::every`] work
+///   units (bootstrap rounds, campaign episodes, serve ticks), and
+/// * an optional **wall-clock** trigger —
+///   [`CheckpointPolicy::every_duration`] since the last snapshot,
+///   for runners whose work units have wildly uneven durations (a
+///   quiet serve daemon still checkpoints its counters on time).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointPolicy {
     /// Snapshot file location (a `.tmp` sibling is used during writes).
@@ -252,30 +274,175 @@ pub struct CheckpointPolicy {
     /// Work units (bootstrap rounds, campaign episodes) between
     /// snapshots. Must be at least 1.
     pub every: usize,
+    /// Optional wall-clock interval between snapshots; `None` leaves
+    /// the count trigger alone. Must be non-zero when present.
+    pub every_duration: Option<Duration>,
 }
 
 impl CheckpointPolicy {
-    /// A policy snapshotting every `every` work units to `path`.
+    /// A policy snapshotting every `every` work units to `path`, with
+    /// no wall-clock trigger.
     pub fn new(path: impl Into<PathBuf>, every: usize) -> CheckpointPolicy {
         CheckpointPolicy {
             path: path.into(),
             every,
+            every_duration: None,
         }
     }
 
-    /// Rejects the degenerate zero interval.
+    /// Adds a wall-clock trigger: a snapshot is also due whenever
+    /// `interval` has elapsed since the last one.
+    pub fn with_every_duration(mut self, interval: Duration) -> CheckpointPolicy {
+        self.every_duration = Some(interval);
+        self
+    }
+
+    /// Rejects degenerate intervals.
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidInput`] when `every` is zero.
+    /// [`Error::InvalidInput`] when `every` is zero or a present
+    /// `every_duration` is zero.
     pub fn validate(&self) -> Result<(), Error> {
         if self.every == 0 {
             return Err(Error::InvalidInput {
                 detail: "checkpoint interval must be at least 1".into(),
             });
         }
+        if self.every_duration == Some(Duration::ZERO) {
+            return Err(Error::InvalidInput {
+                detail: "checkpoint wall-clock interval must be non-zero".into(),
+            });
+        }
         Ok(())
     }
+
+    /// Whether a snapshot is due, given the work units completed and
+    /// the wall-clock time elapsed since the last snapshot.
+    ///
+    /// The wall-clock trigger only ever *adds* snapshots; callers that
+    /// feed `Duration::ZERO` (or built the policy without a duration)
+    /// get the pure count behaviour, which is what determinism checks
+    /// compare.
+    pub fn due(&self, units_since_last: usize, elapsed_since_last: Duration) -> bool {
+        if units_since_last >= self.every {
+            return true;
+        }
+        match self.every_duration {
+            Some(interval) => units_since_last > 0 && elapsed_since_last >= interval,
+            None => false,
+        }
+    }
+}
+
+/// Backoff schedule of [`write_snapshot_retrying`]: transient IO
+/// errors are retried with capped exponential backoff; all other
+/// snapshot errors surface immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Must be at least 1.
+    pub max_attempts: usize,
+    /// Sleep before the second attempt; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on any single sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep preceding `attempt` (1-based: attempt 1 is the first
+    /// retry): `initial_backoff << (attempt - 1)`, capped at
+    /// `max_backoff`.
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        let doublings = u32::try_from(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
+        let grown = self
+            .initial_backoff
+            .checked_mul(2u32.checked_pow(doublings).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_backoff);
+        grown.min(self.max_backoff)
+    }
+
+    /// Rejects a policy that could never attempt anything.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when `max_attempts` is zero.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.max_attempts == 0 {
+            return Err(Error::InvalidInput {
+                detail: "retry policy must allow at least one attempt".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs `op` under `retry`, sleeping via `sleep` between attempts.
+///
+/// Only [`SnapshotError::Io`] is treated as transient; any other error
+/// returns immediately (a checksum mismatch or malformed file will not
+/// heal by waiting). `op` receives the 0-based attempt index — test
+/// fakes use it to fail the first *k* attempts.
+///
+/// The `sleep` parameter is injected rather than hard-wired so unit
+/// tests can assert the backoff schedule without actually sleeping;
+/// production callers use [`write_snapshot_retrying`].
+///
+/// # Errors
+///
+/// The non-IO error `op` returned, or
+/// [`SnapshotError::RetriesExhausted`] after `max_attempts` IO
+/// failures.
+pub fn retry_with_backoff<T>(
+    retry: &RetryPolicy,
+    mut op: impl FnMut(usize) -> Result<T, SnapshotError>,
+    mut sleep: impl FnMut(Duration),
+) -> Result<T, SnapshotError> {
+    let attempts = retry.max_attempts.max(1);
+    let mut last_io = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            sleep(retry.backoff(attempt));
+        }
+        match op(attempt) {
+            Ok(value) => return Ok(value),
+            Err(SnapshotError::Io { detail }) => last_io = detail,
+            Err(other) => return Err(other),
+        }
+    }
+    Err(SnapshotError::RetriesExhausted {
+        attempts,
+        detail: last_io,
+    })
+}
+
+/// [`write_snapshot`] with capped exponential-backoff retry on
+/// transient IO errors (per `retry`), sleeping on the calling thread.
+///
+/// # Errors
+///
+/// [`SnapshotError::RetriesExhausted`] when every attempt failed with
+/// an IO error.
+pub fn write_snapshot_retrying(
+    path: &Path,
+    kind: &str,
+    payload: &str,
+    retry: &RetryPolicy,
+) -> Result<(), SnapshotError> {
+    retry_with_backoff(
+        retry,
+        |_| write_snapshot(path, kind, payload),
+        std::thread::sleep,
+    )
 }
 
 /// The persisted state of a [`crate::bootstrap::bootstrap_par_durable`]
@@ -599,6 +766,144 @@ mod tests {
     fn checkpoint_policy_validates() {
         assert!(CheckpointPolicy::new("x", 0).validate().is_err());
         assert!(CheckpointPolicy::new("x", 3).validate().is_ok());
+        assert!(CheckpointPolicy::new("x", 3)
+            .with_every_duration(Duration::ZERO)
+            .validate()
+            .is_err());
+        assert!(CheckpointPolicy::new("x", 3)
+            .with_every_duration(Duration::from_secs(1))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn count_trigger_fires_on_every() {
+        let p = CheckpointPolicy::new("x", 3);
+        assert!(!p.due(2, Duration::from_secs(3600)));
+        assert!(p.due(3, Duration::ZERO));
+        assert!(p.due(4, Duration::ZERO));
+    }
+
+    #[test]
+    fn duration_trigger_fires_between_counts() {
+        let p = CheckpointPolicy::new("x", 1000).with_every_duration(Duration::from_secs(5));
+        // Not due: below both thresholds.
+        assert!(!p.due(10, Duration::from_secs(4)));
+        // Due: the wall clock crossed the interval.
+        assert!(p.due(10, Duration::from_secs(5)));
+        // Never due with zero new work — there is nothing to persist.
+        assert!(!p.due(0, Duration::from_secs(3600)));
+        // The count trigger still works.
+        assert!(p.due(1000, Duration::ZERO));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let r = RetryPolicy {
+            max_attempts: 6,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(70),
+        };
+        assert_eq!(r.backoff(1), Duration::from_millis(10));
+        assert_eq!(r.backoff(2), Duration::from_millis(20));
+        assert_eq!(r.backoff(3), Duration::from_millis(40));
+        assert_eq!(r.backoff(4), Duration::from_millis(70));
+        assert_eq!(r.backoff(60), Duration::from_millis(70));
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy::default().validate().is_ok());
+    }
+
+    /// A flaky writer: fails the first `flaky_for` attempts with a
+    /// transient IO error, then succeeds.
+    fn flaky_op(flaky_for: usize) -> impl FnMut(usize) -> Result<usize, SnapshotError> {
+        move |attempt| {
+            if attempt < flaky_for {
+                Err(SnapshotError::Io {
+                    detail: format!("transient failure #{attempt}"),
+                })
+            } else {
+                Ok(attempt)
+            }
+        }
+    }
+
+    #[test]
+    fn transient_io_errors_are_retried_with_backoff() {
+        let retry = RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(25),
+        };
+        let mut slept = Vec::new();
+        let got = retry_with_backoff(&retry, flaky_op(3), |d| slept.push(d)).unwrap();
+        assert_eq!(got, 3, "succeeded on the fourth attempt");
+        assert_eq!(
+            slept,
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(25), // capped
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_io_error() {
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut sleeps = 0usize;
+        let err = retry_with_backoff(&retry, flaky_op(99), |_| sleeps += 1).unwrap_err();
+        assert_eq!(sleeps, 2, "two sleeps between three attempts");
+        match err {
+            SnapshotError::RetriesExhausted { attempts, detail } => {
+                assert_eq!(attempts, 3);
+                assert_eq!(detail, "transient failure #2");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let retry = RetryPolicy::default();
+        let mut calls = 0usize;
+        let err = retry_with_backoff::<()>(
+            &retry,
+            |_| {
+                calls += 1;
+                Err(SnapshotError::ChecksumMismatch {
+                    expected: 1,
+                    actual: 2,
+                })
+            },
+            |_| panic!("must not sleep on a permanent error"),
+        )
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(matches!(err, SnapshotError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn write_snapshot_retrying_writes_through() {
+        let path = scratch("retrying");
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        };
+        write_snapshot_retrying(&path, "demo", "payload", &retry).unwrap();
+        assert_eq!(
+            read_snapshot(&path, "demo").unwrap().as_deref(),
+            Some("payload")
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -620,6 +925,10 @@ mod tests {
             },
             SnapshotError::Incompatible { detail: "d".into() },
             SnapshotError::Malformed { detail: "d".into() },
+            SnapshotError::RetriesExhausted {
+                attempts: 3,
+                detail: "d".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -1,0 +1,399 @@
+//! Streaming monitor-event sources for the recovery daemon.
+//!
+//! The daemon consumes events through the [`EventSource`] trait, one
+//! `poll` per logical tick. Two sources ship:
+//!
+//! * [`SyntheticEvents`] — a seeded generator with steady, bursty, and
+//!   adversarial [`Schedule`]s. It is a pure function of
+//!   `(seed, schedule, fault population, ticks)`, which is what makes
+//!   serve soaks reproducible and resumable: the daemon can skip the
+//!   generator forward past ticks a checkpoint already consumed.
+//! * [`ChannelSource`] — an in-process `mpsc` adapter for callers that
+//!   push real monitor notifications into the daemon.
+
+use bpr_core::Error;
+use bpr_mdp::StateId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::mpsc::{Receiver, TryRecvError};
+
+/// One monitor notification: "something looks wrong, the injected
+/// fault is `fault`". The daemon opens an incident for every admitted
+/// event; the fault itself stays hidden from the controller, exactly
+/// as in the episode harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncidentEvent {
+    /// The true fault state behind the notification.
+    pub fault: StateId,
+}
+
+/// Event arrival pattern of a [`SyntheticEvents`] generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Schedule {
+    /// `per_tick` events every tick.
+    Steady {
+        /// Events per tick.
+        per_tick: usize,
+    },
+    /// `background` events per tick, plus a burst of `burst` extra
+    /// events every `period` ticks — the load pattern that exercises
+    /// admission control and queue backpressure.
+    Bursty {
+        /// Baseline events per tick.
+        background: usize,
+        /// Extra events on burst ticks.
+        burst: usize,
+        /// Ticks between bursts (≥ 1).
+        period: u64,
+    },
+    /// Quiet except for a storm of `storm` events every `period`
+    /// ticks, all naming the *same* fault (rotating through the
+    /// population per storm) — correlated failures, the worst case for
+    /// shedding policies that assume independent arrivals.
+    Adversarial {
+        /// Events per storm.
+        storm: usize,
+        /// Ticks between storms (≥ 1).
+        period: u64,
+    },
+}
+
+impl Schedule {
+    /// Parses the `--schedule` spelling used by the soak harness:
+    /// `steady`, `bursty`, or `adversarial`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] for an unknown name.
+    pub fn parse(name: &str, rate: usize, burst: usize, period: u64) -> Result<Schedule, Error> {
+        match name {
+            "steady" => Ok(Schedule::Steady { per_tick: rate }),
+            "bursty" => Ok(Schedule::Bursty {
+                background: rate,
+                burst,
+                period,
+            }),
+            "adversarial" => Ok(Schedule::Adversarial {
+                storm: rate + burst,
+                period,
+            }),
+            other => Err(Error::InvalidInput {
+                detail: format!("unknown schedule {other:?} (steady|bursty|adversarial)"),
+            }),
+        }
+    }
+
+    /// Rejects degenerate schedules.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] for a zero burst/storm period.
+    pub fn validate(&self) -> Result<(), Error> {
+        let period = match self {
+            Schedule::Steady { .. } => 1,
+            Schedule::Bursty { period, .. } | Schedule::Adversarial { period, .. } => *period,
+        };
+        if period == 0 {
+            return Err(Error::InvalidInput {
+                detail: "schedule period must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Stable tag used in fingerprints and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Steady { .. } => "steady",
+            Schedule::Bursty { .. } => "bursty",
+            Schedule::Adversarial { .. } => "adversarial",
+        }
+    }
+}
+
+/// A source of monitor events, polled once per daemon tick.
+///
+/// `poll` returns the events that arrived during this tick (possibly
+/// empty), or `None` once the source is exhausted — the daemon then
+/// drains its queue and live incidents and shuts down gracefully.
+pub trait EventSource {
+    /// The events of the next tick, or `None` when the stream has
+    /// ended.
+    fn poll(&mut self) -> Option<Vec<IncidentEvent>>;
+
+    /// Advances past `n` already-consumed ticks (checkpoint resume).
+    /// The default implementation polls and discards.
+    fn skip_ticks(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.poll().is_none() {
+                return;
+            }
+        }
+    }
+
+    /// Hash of everything that determines the event stream; folded
+    /// into the daemon's checkpoint fingerprint so a snapshot cannot
+    /// resume against a different stream. Push-style sources, whose
+    /// streams are not replayable, return 0 and forgo resume safety.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+}
+
+/// Seeded synthetic event generator (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SyntheticEvents {
+    seed: u64,
+    schedule: Schedule,
+    faults: Vec<StateId>,
+    ticks: u64,
+    tick: u64,
+}
+
+impl SyntheticEvents {
+    /// A generator emitting `ticks` ticks of `schedule` over the given
+    /// fault population.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] for an empty fault population or an
+    /// invalid schedule.
+    pub fn new(
+        seed: u64,
+        schedule: Schedule,
+        faults: Vec<StateId>,
+        ticks: u64,
+    ) -> Result<SyntheticEvents, Error> {
+        schedule.validate()?;
+        if faults.is_empty() {
+            return Err(Error::InvalidInput {
+                detail: "synthetic event source needs a non-empty fault population".into(),
+            });
+        }
+        Ok(SyntheticEvents {
+            seed,
+            schedule,
+            faults,
+            ticks,
+            tick: 0,
+        })
+    }
+
+    /// Events the generator will emit at tick `tick` — a pure function
+    /// of the constructor arguments, usable for offline analysis.
+    pub fn events_at(&self, tick: u64) -> Vec<IncidentEvent> {
+        // Per-tick RNG stream: skipping ticks is O(1) and the stream
+        // is identical whether or not earlier ticks were polled.
+        let mut rng = StdRng::seed_from_stream(self.seed, tick);
+        match &self.schedule {
+            Schedule::Steady { per_tick } => (0..*per_tick)
+                .map(|_| IncidentEvent {
+                    fault: self.faults[rng.gen_range(0..self.faults.len())],
+                })
+                .collect(),
+            Schedule::Bursty {
+                background,
+                burst,
+                period,
+            } => {
+                let n = background
+                    + if tick.is_multiple_of(*period) {
+                        *burst
+                    } else {
+                        0
+                    };
+                (0..n)
+                    .map(|_| IncidentEvent {
+                        fault: self.faults[rng.gen_range(0..self.faults.len())],
+                    })
+                    .collect()
+            }
+            Schedule::Adversarial { storm, period } => {
+                if tick.is_multiple_of(*period) {
+                    let which = (tick / period) as usize % self.faults.len();
+                    vec![
+                        IncidentEvent {
+                            fault: self.faults[which],
+                        };
+                        *storm
+                    ]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Total ticks the generator covers.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+impl EventSource for SyntheticEvents {
+    fn poll(&mut self) -> Option<Vec<IncidentEvent>> {
+        if self.tick >= self.ticks {
+            return None;
+        }
+        let events = self.events_at(self.tick);
+        self.tick += 1;
+        Some(events)
+    }
+
+    fn skip_ticks(&mut self, n: u64) {
+        self.tick = self.tick.saturating_add(n).min(self.ticks);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let desc = format!(
+            "synthetic seed={} schedule={:?} faults={:?} ticks={}",
+            self.seed,
+            self.schedule,
+            self.faults.iter().map(|s| s.index()).collect::<Vec<_>>(),
+            self.ticks
+        );
+        bpr_core::snapshot::fnv1a64(desc.as_bytes())
+    }
+}
+
+/// Push-style source: an `mpsc` receiver whose sender side lives with
+/// the caller's monitoring stack. One `poll` drains everything
+/// currently buffered; the source ends when every sender has hung up.
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: Receiver<IncidentEvent>,
+}
+
+impl ChannelSource {
+    /// Wraps a receiver.
+    pub fn new(rx: Receiver<IncidentEvent>) -> ChannelSource {
+        ChannelSource { rx }
+    }
+}
+
+impl EventSource for ChannelSource {
+    fn poll(&mut self) -> Option<Vec<IncidentEvent>> {
+        let mut events = Vec::new();
+        loop {
+            match self.rx.try_recv() {
+                Ok(e) => events.push(e),
+                Err(TryRecvError::Empty) => return Some(events),
+                Err(TryRecvError::Disconnected) => {
+                    return if events.is_empty() {
+                        None
+                    } else {
+                        Some(events)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faults() -> Vec<StateId> {
+        vec![StateId::new(0), StateId::new(1)]
+    }
+
+    #[test]
+    fn steady_schedule_emits_fixed_rate() {
+        let mut s = SyntheticEvents::new(1, Schedule::Steady { per_tick: 3 }, faults(), 4).unwrap();
+        let mut total = 0;
+        while let Some(batch) = s.poll() {
+            assert_eq!(batch.len(), 3);
+            total += batch.len();
+        }
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn bursty_schedule_spikes_on_period() {
+        let schedule = Schedule::Bursty {
+            background: 1,
+            burst: 5,
+            period: 3,
+        };
+        let s = SyntheticEvents::new(2, schedule, faults(), 10).unwrap();
+        assert_eq!(s.events_at(0).len(), 6);
+        assert_eq!(s.events_at(1).len(), 1);
+        assert_eq!(s.events_at(3).len(), 6);
+    }
+
+    #[test]
+    fn adversarial_storms_focus_one_fault() {
+        let schedule = Schedule::Adversarial {
+            storm: 4,
+            period: 2,
+        };
+        let s = SyntheticEvents::new(3, schedule, faults(), 10).unwrap();
+        let storm = s.events_at(0);
+        assert_eq!(storm.len(), 4);
+        assert!(storm.iter().all(|e| e.fault == storm[0].fault));
+        assert!(s.events_at(1).is_empty());
+        // The next storm rotates to the other fault.
+        assert_ne!(s.events_at(2)[0].fault, storm[0].fault);
+    }
+
+    #[test]
+    fn skipping_ticks_matches_polling_through() {
+        let schedule = Schedule::Bursty {
+            background: 2,
+            burst: 3,
+            period: 4,
+        };
+        let mut a = SyntheticEvents::new(7, schedule.clone(), faults(), 20).unwrap();
+        let mut b = SyntheticEvents::new(7, schedule, faults(), 20).unwrap();
+        for _ in 0..13 {
+            a.poll().unwrap();
+        }
+        b.skip_ticks(13);
+        assert_eq!(a.poll(), b.poll());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn degenerate_schedules_are_rejected() {
+        assert!(SyntheticEvents::new(
+            0,
+            Schedule::Bursty {
+                background: 1,
+                burst: 1,
+                period: 0
+            },
+            faults(),
+            1
+        )
+        .is_err());
+        assert!(SyntheticEvents::new(0, Schedule::Steady { per_tick: 1 }, vec![], 1).is_err());
+        assert!(Schedule::parse("nope", 1, 1, 1).is_err());
+        assert_eq!(
+            Schedule::parse("adversarial", 2, 3, 4).unwrap(),
+            Schedule::Adversarial {
+                storm: 5,
+                period: 4
+            }
+        );
+    }
+
+    #[test]
+    fn channel_source_drains_and_ends() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut src = ChannelSource::new(rx);
+        tx.send(IncidentEvent {
+            fault: StateId::new(1),
+        })
+        .unwrap();
+        tx.send(IncidentEvent {
+            fault: StateId::new(0),
+        })
+        .unwrap();
+        assert_eq!(src.poll().unwrap().len(), 2);
+        assert_eq!(src.poll().unwrap().len(), 0, "connected but idle");
+        drop(tx);
+        assert!(src.poll().is_none(), "all senders gone");
+        assert_eq!(src.fingerprint(), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! `bpr-serve`: a crash-tolerant, long-running recovery daemon on top
+//! of the bounded-POMDP planning stack — the paper's controller run
+//! *live* against a stream of monitor events instead of batch
+//! episodes.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  events ──► bounded queue ──► admission ──► live incidents ──► records
+//!  (source)    (shed: typed,     (cap, rung    (sharded over      (typed
+//!              counted)          by load)      bpr-par, panic     terminal
+//!                                              quarantine)        status)
+//! ```
+//!
+//! * **Ingestion** — an [`EventSource`] is polled once per logical
+//!   tick: the seeded [`SyntheticEvents`] generator (steady / bursty /
+//!   adversarial schedules) or an in-process [`ChannelSource`].
+//! * **Backpressure** — arrivals land in a *bounded* queue; overflow
+//!   is load-shed with a typed, counted rejection ([`ShedCounts`]),
+//!   never buffered without bound.
+//! * **Admission control** — at most `max_live` incidents run
+//!   concurrently; under heavy backlog new incidents are admitted
+//!   directly on the budgeted anytime rung (degraded service beats a
+//!   missed deadline).
+//! * **Escalation ladder** — per incident, fused-kernel `Bounded` →
+//!   hardened `Resilient` → budgeted `Anytime`, driven purely by
+//!   decision counts so runs are bit-identical at any shard width.
+//! * **Deadlines** — every decision is measured against a
+//!   per-incident deadline; misses are counted and the p50/p99
+//!   latency histogram lands in the report. Wall-clock never feeds
+//!   back into control.
+//! * **Durability** — live state checkpoints through
+//!   [`bpr_core::snapshot`] on a count- *and* wall-clock-based
+//!   [`bpr_core::snapshot::CheckpointPolicy`], with capped
+//!   exponential-backoff retry on transient IO errors; a kill mid-soak
+//!   resumes bit-identically by replaying surviving incidents from
+//!   their seeds.
+//! * **Isolation** — a panicking incident is quarantined through
+//!   [`bpr_par::WorkPool::map_indices_isolated`] with a typed record;
+//!   the daemon keeps serving.
+//!
+//! Every admitted incident ends in exactly one typed
+//! [`IncidentStatus`] — recovered, terminated-faulty, step-limit,
+//! controller-error, or quarantined. The soak harness
+//! (`bench --bin serve`) gates on that zero-loss invariant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod daemon;
+pub mod event;
+mod incident;
+pub mod report;
+
+pub use checkpoint::{LiveIncident, ServeCheckpoint, SERVE_KIND};
+pub use daemon::{Daemon, ServeConfig};
+pub use event::{ChannelSource, EventSource, IncidentEvent, Schedule, SyntheticEvents};
+pub use incident::{IncidentRecord, IncidentStatus, RungKind};
+pub use report::{CanonicalIncident, CanonicalServe, LatencyHistogram, ServeReport, ShedCounts};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_emn::two_server;
+    use bpr_mdp::StateId;
+
+    fn faults() -> Vec<StateId> {
+        vec![
+            StateId::new(two_server::FAULT_A),
+            StateId::new(two_server::FAULT_B),
+        ]
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            max_live: 4,
+            queue_capacity: 8,
+            max_steps: 30,
+            escalate_resilient_after: 6,
+            escalate_anytime_after: 10,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn daemon_drains_a_steady_stream_with_zero_loss() {
+        let model = two_server::default_model().unwrap();
+        let mut daemon = Daemon::new(&model, quick_config()).unwrap();
+        let mut source =
+            SyntheticEvents::new(1, Schedule::Steady { per_tick: 2 }, faults(), 10).unwrap();
+        let report = daemon.run(&mut source).unwrap();
+        assert_eq!(report.events_seen, 20);
+        assert_eq!(report.lost_incidents(), 0);
+        assert_eq!(report.live_at_exit, 0, "graceful drain leaves nothing");
+        assert_eq!(
+            report.admitted + report.shed.total(),
+            report.events_seen,
+            "every event was admitted or shed"
+        );
+        assert!(report.count(IncidentStatus::Recovered) > 0);
+        assert!(!report.killed);
+        // The raw two-server model carries lint warnings (random chain
+        // divergence) — they must surface in the report.
+        assert!(!report.lint_warnings.is_empty());
+        assert!(report.latency.total() > 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_counts_and_degrades_admissions() {
+        let model = two_server::default_model().unwrap();
+        let config = ServeConfig {
+            max_live: 1,
+            queue_capacity: 4,
+            degrade_queue_depth: 2,
+            max_steps: 10,
+            ..ServeConfig::default()
+        };
+        let mut daemon = Daemon::new(&model, config).unwrap();
+        let mut source =
+            SyntheticEvents::new(2, Schedule::Steady { per_tick: 10 }, faults(), 10).unwrap();
+        let report = daemon.run(&mut source).unwrap();
+        assert_eq!(report.events_seen, 100);
+        assert!(report.shed.queue_full > 0, "bounded queue must shed");
+        assert!(report.degraded_admissions > 0, "backlog admits on anytime");
+        assert_eq!(report.lost_incidents(), 0);
+        assert_eq!(report.admitted + report.shed.total(), report.events_seen);
+    }
+
+    #[test]
+    fn chaos_panic_is_quarantined_not_fatal() {
+        let model = two_server::default_model().unwrap();
+        let config = ServeConfig {
+            chaos_panic_incidents: vec![1],
+            ..quick_config()
+        };
+        let mut daemon = Daemon::new(&model, config).unwrap();
+        let mut source =
+            SyntheticEvents::new(3, Schedule::Steady { per_tick: 1 }, faults(), 6).unwrap();
+        let report = daemon.run(&mut source).unwrap();
+        assert_eq!(report.count(IncidentStatus::Quarantined), 1);
+        let q = report
+            .records
+            .iter()
+            .find(|r| r.status == IncidentStatus::Quarantined)
+            .unwrap();
+        assert_eq!(q.id, 1);
+        assert!(q.detail.contains("chaos drill"));
+        assert_eq!(report.lost_incidents(), 0);
+    }
+
+    #[test]
+    fn shard_width_does_not_change_canonical_results() {
+        let model = two_server::default_model().unwrap();
+        let mut canonicals = Vec::new();
+        for shards in [1, 2, 4] {
+            let config = ServeConfig {
+                shards,
+                record_actions: true,
+                ..quick_config()
+            };
+            let mut daemon = Daemon::new(&model, config).unwrap();
+            let mut source = SyntheticEvents::new(
+                7,
+                Schedule::Bursty {
+                    background: 1,
+                    burst: 4,
+                    period: 3,
+                },
+                faults(),
+                12,
+            )
+            .unwrap();
+            canonicals.push(daemon.run(&mut source).unwrap().canonical());
+        }
+        assert_eq!(canonicals[0], canonicals[1]);
+        assert_eq!(canonicals[0], canonicals[2]);
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_reference_run() {
+        use bpr_core::snapshot::CheckpointPolicy;
+        let model = two_server::default_model().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("bpr_serve_lib_kill_resume_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let source = || {
+            SyntheticEvents::new(
+                11,
+                Schedule::Bursty {
+                    background: 1,
+                    burst: 3,
+                    period: 4,
+                },
+                faults(),
+                15,
+            )
+            .unwrap()
+        };
+        let base = ServeConfig {
+            record_actions: true,
+            ..quick_config()
+        };
+
+        // Reference: uninterrupted, no checkpointing at all.
+        let mut reference_daemon = Daemon::new(&model, base.clone()).unwrap();
+        let reference = reference_daemon.run(&mut source()).unwrap();
+
+        // Killed: checkpoint every round, die after 7 rounds.
+        let killed_config = ServeConfig {
+            checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+            kill_after_rounds: Some(7),
+            ..base.clone()
+        };
+        let mut killed_daemon = Daemon::new(&model, killed_config).unwrap();
+        let killed = killed_daemon.run(&mut source()).unwrap();
+        assert!(killed.killed);
+        assert!(killed.live_at_exit > 0 || !killed.records.is_empty());
+        assert!(killed.checkpoints_written > 0);
+        assert_eq!(killed.lost_incidents(), 0);
+
+        // Resumed: same session parameters, picks up the snapshot.
+        let resumed_config = ServeConfig {
+            checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+            ..base
+        };
+        let mut resumed_daemon = Daemon::new(&model, resumed_config).unwrap();
+        let resumed = resumed_daemon.run(&mut source()).unwrap();
+        assert!(resumed.resumed_from.is_some());
+        assert_eq!(resumed.canonical(), reference.canonical());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_fresh_run() {
+        use bpr_core::snapshot::CheckpointPolicy;
+        let model = two_server::default_model().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("bpr_serve_lib_corrupt_{}", std::process::id()));
+        std::fs::write(&path, "garbage, not a snapshot\n").unwrap();
+        let config = ServeConfig {
+            checkpoint: Some(CheckpointPolicy::new(&path, 2)),
+            ..quick_config()
+        };
+        let mut daemon = Daemon::new(&model, config).unwrap();
+        let mut source =
+            SyntheticEvents::new(5, Schedule::Steady { per_tick: 1 }, faults(), 5).unwrap();
+        let report = daemon.run(&mut source).unwrap();
+        assert!(report.resumed_from.is_none());
+        assert!(report.snapshot_error.is_some(), "corruption is reported");
+        assert_eq!(report.lost_incidents(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let model = two_server::default_model().unwrap();
+        for broken in [
+            ServeConfig {
+                max_live: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                escalate_resilient_after: 9,
+                escalate_anytime_after: 3,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(Daemon::new(&model, broken).is_err());
+        }
+    }
+}

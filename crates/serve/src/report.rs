@@ -1,0 +1,338 @@
+//! The daemon's end-of-run report, split into **canonical** facts
+//! (pure functions of seeds + config, compared bit-for-bit by the
+//! determinism gates) and **observed** facts (wall-clock latency,
+//! throughput — measured, reported, never fed back into control).
+
+use crate::incident::{IncidentRecord, IncidentStatus, RungKind};
+use bpr_core::lint::Diagnostic;
+use bpr_core::snapshot::SnapshotError;
+use bpr_mdp::StateId;
+use std::time::Duration;
+
+/// Typed, counted load-shed reasons. The daemon never drops an event
+/// without incrementing exactly one of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedCounts {
+    /// Arrivals rejected because the bounded admission queue was full.
+    pub queue_full: u64,
+}
+
+impl ShedCounts {
+    /// Total shed events across all reasons.
+    pub fn total(&self) -> u64 {
+        self.queue_full
+    }
+}
+
+/// Log-scale latency histogram: power-of-two major buckets with 16
+/// linear minor buckets each (≤ ~6% quantile error), merged across
+/// shards without allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+const MINOR: usize = 16;
+const MAJORS: usize = 64;
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; MAJORS * MINOR],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket(ns: u64) -> usize {
+        if ns < MINOR as u64 {
+            return ns as usize;
+        }
+        let major = 63 - ns.leading_zeros() as usize;
+        let minor = ((ns >> (major - 4)) & 0xF) as usize;
+        major * MINOR + minor
+    }
+
+    /// Upper bound (ns) of the bucket with the given index.
+    fn bucket_upper(index: usize) -> u64 {
+        if index < MINOR {
+            return index as u64;
+        }
+        let major = index / MINOR;
+        let minor = (index % MINOR) as u64;
+        (16 + minor + 1) << (major - 4)
+    }
+
+    /// Records one decision latency.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile in nanoseconds (bucket upper bound); 0 when
+    /// empty. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(MAJORS * MINOR - 1)
+    }
+
+    /// Median decision latency in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile decision latency in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Everything a serve run produced. See the module docs for the
+/// canonical/observed split.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Events the source delivered.
+    pub events_seen: u64,
+    /// Typed shed counters.
+    pub shed: ShedCounts,
+    /// Incidents admitted (assigned an id and a controller).
+    pub admitted: u64,
+    /// Admissions that started on the anytime rung because the daemon
+    /// was overloaded at admission time.
+    pub degraded_admissions: u64,
+    /// Escalations into the resilient rung.
+    pub escalated_resilient: u64,
+    /// Escalations into the anytime rung.
+    pub escalated_anytime: u64,
+    /// Total controller decisions across all incidents.
+    pub decisions: u64,
+    /// Closed incident records, in id order.
+    pub records: Vec<IncidentRecord>,
+    /// Incidents still live when the run stopped (nonzero only for
+    /// killed runs — a graceful drain finishes everything).
+    pub live_at_exit: u64,
+    /// Events still waiting in the bounded queue when the run stopped
+    /// (nonzero only for killed runs; persisted in the checkpoint).
+    pub queued_at_exit: u64,
+    /// Logical ticks consumed from the source.
+    pub ticks: u64,
+    /// Daemon rounds executed (ticks plus drain rounds).
+    pub rounds: u64,
+    /// Whether the run was cut short by the kill drill.
+    pub killed: bool,
+    /// Tick the run resumed from, when it started from a checkpoint.
+    pub resumed_from: Option<u64>,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: u64,
+    /// Transient snapshot IO retries that eventually succeeded.
+    pub snapshot_retries: u64,
+    /// The last checkpoint failure the daemon absorbed (service
+    /// continues; durability degrades), if any.
+    pub snapshot_error: Option<SnapshotError>,
+    /// Warn/info lint findings of the model in service (surfaced at
+    /// startup and in `BENCH_serve.json` — satellite requirement).
+    pub lint_warnings: Vec<Diagnostic>,
+    /// Observed: per-decision wall-clock latency histogram.
+    pub latency: LatencyHistogram,
+    /// Observed: decisions that overran the configured deadline.
+    pub deadline_misses: u64,
+    /// Observed: the per-decision deadline decisions are measured
+    /// against.
+    pub deadline: Duration,
+    /// Observed: wall-clock seconds of the whole run.
+    pub wall_seconds: f64,
+}
+
+impl ServeReport {
+    /// Observed ingest throughput (events per wall-clock second).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events_seen as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Observed completion throughput (incidents closed per second).
+    pub fn incidents_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.records.len() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Count of records with the given status.
+    pub fn count(&self, status: IncidentStatus) -> u64 {
+        self.records.iter().filter(|r| r.status == status).count() as u64
+    }
+
+    /// Admitted incidents not accounted for by a typed terminal record
+    /// or by still being live at a kill. The zero-loss gate requires
+    /// this to be 0.
+    pub fn lost_incidents(&self) -> u64 {
+        self.admitted
+            .saturating_sub(self.records.len() as u64 + self.live_at_exit)
+    }
+
+    /// The canonical view: everything that must be bit-identical
+    /// across shard widths and kill/resume. Wall-clock facts are
+    /// excluded by construction.
+    pub fn canonical(&self) -> CanonicalServe {
+        let mut records: Vec<CanonicalIncident> = self
+            .records
+            .iter()
+            .map(|r| CanonicalIncident {
+                id: r.id,
+                fault: r.fault,
+                status: r.status,
+                steps: r.steps,
+                cost_bits: r.cost.to_bits(),
+                decision_hash: r.decision_hash,
+                admitted_rung: r.admitted_rung,
+                final_rung: r.final_rung,
+                escalations: r.escalations,
+                actions: r.actions.clone(),
+            })
+            .collect();
+        records.sort_by_key(|r| r.id);
+        CanonicalServe {
+            events_seen: self.events_seen,
+            shed: self.shed,
+            admitted: self.admitted,
+            degraded_admissions: self.degraded_admissions,
+            escalated_resilient: self.escalated_resilient,
+            escalated_anytime: self.escalated_anytime,
+            decisions: self.decisions,
+            ticks: self.ticks,
+            records,
+        }
+    }
+}
+
+/// One incident in the canonical view (`cost` as raw bits so the
+/// comparison is exact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalIncident {
+    /// Incident id.
+    pub id: u64,
+    /// Injected fault.
+    pub fault: StateId,
+    /// Terminal status.
+    pub status: IncidentStatus,
+    /// Decisions made.
+    pub steps: usize,
+    /// `f64::to_bits` of the accumulated cost.
+    pub cost_bits: u64,
+    /// Decision-sequence hash.
+    pub decision_hash: u64,
+    /// Admission rung.
+    pub admitted_rung: RungKind,
+    /// Final rung.
+    pub final_rung: RungKind,
+    /// Escalations taken.
+    pub escalations: usize,
+    /// Full decision sequence when recorded.
+    pub actions: Option<Vec<i64>>,
+}
+
+/// The deterministic slice of a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalServe {
+    /// Events the source delivered.
+    pub events_seen: u64,
+    /// Typed shed counters.
+    pub shed: ShedCounts,
+    /// Incidents admitted.
+    pub admitted: u64,
+    /// Anytime-rung admissions under overload.
+    pub degraded_admissions: u64,
+    /// Escalations into the resilient rung.
+    pub escalated_resilient: u64,
+    /// Escalations into the anytime rung.
+    pub escalated_anytime: u64,
+    /// Total decisions.
+    pub decisions: u64,
+    /// Ticks consumed.
+    pub ticks: u64,
+    /// Closed incidents, sorted by id.
+    pub records: Vec<CanonicalIncident>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::default();
+        for ns in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.total(), 10);
+        let p50 = h.p50();
+        assert!((400..=600).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!(p99 >= 100_000, "p99 = {p99}");
+        assert!(p99 <= 110_000, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_stream() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut c = LatencyHistogram::default();
+        for i in 0..1000u64 {
+            let ns = i * 37 + 5;
+            if i % 2 == 0 {
+                a.record(ns);
+            } else {
+                b.record(ns);
+            }
+            c.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn small_latencies_use_exact_buckets() {
+        let mut h = LatencyHistogram::default();
+        h.record(3);
+        assert_eq!(h.quantile(1.0), 3);
+    }
+}

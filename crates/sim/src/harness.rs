@@ -324,6 +324,42 @@ pub struct TraceEvent {
     pub injected_fault: Option<StateId>,
 }
 
+/// The belief a controller starts recovery from: "all faults equally
+/// likely" (paper Eq. 4) conditioned on the detection observation that
+/// triggered recovery.
+///
+/// Shared by the episode harness and the `bpr-serve` incident
+/// lifecycle so both enter recovery through the identical protocol.
+/// Models without a tagged observe action have no monitoring kernel to
+/// sample, and controllers that ignore monitors get no conditioning;
+/// both start from the unconditioned prior. A dropped detection
+/// observation (degraded worlds) also falls back to the prior, as does
+/// a conditioning failure (zero-likelihood observation).
+///
+/// # Errors
+///
+/// Propagates detection sampling failures from the world.
+pub fn detection_belief<W: SimWorld, R: Rng + ?Sized>(
+    model: &RecoveryModel,
+    uses_monitors: bool,
+    world: &mut W,
+    rng: &mut R,
+) -> Result<Belief, Error> {
+    let faults = model.fault_states();
+    let prior = Belief::uniform_over(model.base().n_states(), &faults);
+    Ok(match model.observe_actions().first().copied() {
+        Some(observe) if uses_monitors => match world.detect(rng)? {
+            Some(o) => match prior.update(model.base(), observe, o) {
+                Ok((b, _)) => b,
+                Err(_) => prior,
+            },
+            // Detection observation lost to monitor dropout.
+            None => prior,
+        },
+        _ => prior,
+    })
+}
+
 fn run_episode_impl<W: SimWorld, R: Rng + ?Sized>(
     model: &RecoveryModel,
     controller: &mut dyn RecoveryController,
@@ -333,24 +369,10 @@ fn run_episode_impl<W: SimWorld, R: Rng + ?Sized>(
     mut trace: Option<&mut Vec<TraceEvent>>,
 ) -> Result<EpisodeOutcome, Error> {
     let fault = world.true_state();
-    let faults = model.fault_states();
-    let prior = Belief::uniform_over(model.base().n_states(), &faults);
     // Condition the prior on the detection observation (not charged to
     // the monitor-call metric: it is the detection that *triggered*
-    // recovery). Models without a tagged observe action have no
-    // monitoring kernel to sample, so their controllers start from the
-    // unconditioned prior.
-    let initial = match model.observe_actions().first().copied() {
-        Some(observe) if controller.uses_monitors() => match world.detect(rng)? {
-            Some(o) => match prior.update(model.base(), observe, o) {
-                Ok((b, _)) => b,
-                Err(_) => prior,
-            },
-            // Detection observation lost to monitor dropout.
-            None => prior,
-        },
-        _ => prior,
-    };
+    // recovery).
+    let initial = detection_belief(model, controller.uses_monitors(), &mut world, rng)?;
     controller.begin(initial, Some(fault))?;
 
     let mut outcome = EpisodeOutcome {
