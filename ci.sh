@@ -31,8 +31,14 @@ echo "==> planning-throughput smoke (fails on fused/parallel divergence or stead
 cargo run -p bpr-bench --bin planning --release -- \
   --decisions 8 --depth 2 --threads 1,2,4
 
-echo "==> modelcheck (static lint gate over the paper models; fails on error-severity findings)"
-cargo run -p bpr-bench --bin modelcheck --release -- --quiet --out MODELCHECK.json
+echo "==> planning smoke on a generated 10^3-state scenario (Scenario API end-to-end)"
+cargo run -p bpr-bench --bin planning --release -- \
+  --scenario cellfleet-mid --decisions 5 --depth 1 --threads 1,2 \
+  --out BENCH_planning_cellfleet.json
+
+echo "==> modelcheck (full-corpus lint gate: paper models + generated 10^2-10^4 corpus; fails on errors or unexpected warnings)"
+cargo run -p bpr-bench --bin modelcheck --release -- \
+  --quiet --out MODELCHECK.json --manifest MODELCHECK_manifest.json
 
 echo "==> serve chaos-soak smoke (bursty load + fault injection + forced kill/resume; fails on incident loss or divergence)"
 cargo run -p bpr-bench --bin serve --release -- \

@@ -14,7 +14,7 @@
 //!     [--max-steps 400] [--bootstrap-iters 24] [--batch 8] \
 //!     [--snapshot kill_resume.snapshot] [--out BENCH_kill_resume.json]`
 
-use bpr_bench::experiments::{bootstrapped_bounded_d1, emn_model};
+use bpr_bench::experiments::{bootstrapped_bounded_d1_for, emn_model};
 use bpr_bench::flag;
 use bpr_core::bootstrap::{
     bootstrap_par, bootstrap_par_durable, BootstrapConfig, BootstrapVariant,
@@ -88,8 +88,13 @@ fn main() {
 
     let model = emn_model().expect("EMN model builds");
     let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
-    let prototype =
-        bootstrapped_bounded_d1(&model, seed, 1e-3).expect("bounded-d1 prototype builds");
+    let prototype = bootstrapped_bounded_d1_for(
+        &model,
+        EmnConfig::default().operator_response_time,
+        seed,
+        1e-3,
+    )
+    .expect("bounded-d1 prototype builds");
     let session = |episodes: usize, threads: usize, checkpoint: bool| {
         let mut c = Campaign::new(&model)
             .population(&zombies)

@@ -1,45 +1,75 @@
-//! Static-analysis gate over the paper's models: lints the EMN and
-//! two-server recovery models (raw and after both §3.1 transforms)
-//! with `bpr-lint`, prints the human-readable reports, writes the
-//! machine-readable JSON bundle (reports + full lint catalog), and
-//! exits non-zero if any error-severity finding exists — the CI
-//! soundness gate.
+//! Static-analysis gate over the scenario registry: lints every
+//! registered model (raw and after both §3.1 transforms) with
+//! `bpr-lint`, prints the human-readable reports, writes the
+//! machine-readable JSON bundle (reports + full lint catalog) and the
+//! corpus manifest, and exits non-zero if any error-severity finding
+//! — or any warning outside a scenario's allowlist — exists. This is
+//! the CI soundness gate.
 //!
 //! Usage:
 //! `cargo run -p bpr-bench --bin modelcheck --release -- \
-//!     [--out MODELCHECK.json] [--broken] [--quiet]`
+//!     [--scenario name[,name...]] [--out MODELCHECK.json] \
+//!     [--manifest MODELCHECK_manifest.json] [--broken] [--quiet] \
+//!     [--list-scenarios]`
 //!
-//! `--broken` additionally lints the deliberately corrupted fixture,
-//! demonstrating (and letting tests assert) the non-zero exit path.
+//! By default every scenario in `bpr::scenario::builtin()` is linted
+//! (the paper's EMN and two-server models plus the generated
+//! `bpr-topo` corpus); `--scenario` restricts the gate to a
+//! comma-separated subset. `--broken` additionally lints the
+//! deliberately corrupted fixture, demonstrating (and letting tests
+//! assert) the non-zero exit path.
 
-use bpr_bench::modelcheck::{broken_fixture, bundle_json, lint_paper_models};
+use bpr_bench::modelcheck::{broken_report, bundle_json, lint_one, manifest_json, ScenarioReport};
+use bpr_bench::string_flag;
 use bpr_core::lint::Severity;
+use bpr_core::scenario::Scenario;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let broken = args.iter().any(|a| a == "--broken");
     let quiet = args.iter().any(|a| a == "--quiet");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "MODELCHECK.json".to_string());
+    let out_path = string_flag(&args, "--out", "MODELCHECK.json");
+    let manifest_path = string_flag(&args, "--manifest", "MODELCHECK_manifest.json");
 
-    let mut reports = match lint_paper_models() {
-        Ok(reports) => reports,
-        Err(e) => {
-            eprintln!("modelcheck: building the paper models failed: {e}");
-            std::process::exit(2);
+    let registry = bpr::scenario::builtin();
+    if args.iter().any(|a| a == "--list-scenarios") {
+        for scenario in registry.iter() {
+            println!("{:<16} {}", scenario.name(), scenario.description());
         }
-    };
+        return;
+    }
+    let selection = string_flag(&args, "--scenario", &registry.names().join(","));
+    let mut scenarios: Vec<&dyn Scenario> = Vec::new();
+    for name in selection.split(',').map(str::trim) {
+        match registry.require(name) {
+            Ok(scenario) => scenarios.push(scenario),
+            Err(e) => {
+                eprintln!("modelcheck: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+    for scenario in &scenarios {
+        match lint_one(*scenario) {
+            Ok(rows) => reports.extend(rows),
+            Err(e) => {
+                eprintln!(
+                    "modelcheck: building scenario '{}' failed: {e}",
+                    scenario.name()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     if broken {
-        reports.push(broken_fixture());
+        reports.push(broken_report());
     }
 
     if !quiet {
         for r in &reports {
-            print!("{}", r.render());
+            print!("{}", r.report.render());
             println!();
         }
     }
@@ -49,14 +79,32 @@ fn main() {
         eprintln!("modelcheck: could not write {out_path}: {e}");
         std::process::exit(2);
     }
+    match manifest_json(&scenarios) {
+        Ok(manifest) => {
+            if let Err(e) = std::fs::write(&manifest_path, &manifest) {
+                eprintln!("modelcheck: could not write {manifest_path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("modelcheck: building the manifest failed: {e}");
+            std::process::exit(2);
+        }
+    }
 
-    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
-    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warn)).sum();
+    let errors: usize = reports
+        .iter()
+        .map(|r| r.report.count(Severity::Error))
+        .sum();
+    let warnings: usize = reports.iter().map(|r| r.report.count(Severity::Warn)).sum();
+    let unexpected: usize = reports.iter().map(|r| r.unexpected_warnings).sum();
     println!(
-        "modelcheck: {} model stage(s), {errors} error(s), {warnings} warning(s) -> {out_path}",
+        "modelcheck: {} scenario(s), {} model stage(s), {errors} error(s), \
+         {warnings} warning(s) ({unexpected} outside allowlists) -> {out_path}, {manifest_path}",
+        scenarios.len(),
         reports.len()
     );
-    if errors > 0 {
+    if errors > 0 || unexpected > 0 {
         std::process::exit(1);
     }
 }

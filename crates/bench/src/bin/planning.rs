@@ -1,8 +1,9 @@
 //! Planning-throughput benchmark for the fused tree-expansion kernel:
-//! measures decisions/sec and nodes/sec on the EMN model for the
-//! retained legacy path, the fused workspace path, and root-parallel
-//! expansion at several widths — all in the same run, so the reported
-//! speedups compare like with like.
+//! measures decisions/sec and nodes/sec on any registry scenario
+//! (default: the paper's EMN model) for the retained legacy path, the
+//! fused workspace path, and root-parallel expansion at several
+//! widths — all in the same run, so the reported speedups compare
+//! like with like.
 //!
 //! Three properties gate the run (exit nonzero on violation):
 //!
@@ -16,8 +17,8 @@
 //!
 //! Usage:
 //! `cargo run -p bpr-bench --bin planning --release -- \
-//!     [--decisions 40] [--depth 2] [--cutoff 1e-3] [--threads 1,2,4] \
-//!     [--min-speedup 0.0] [--out BENCH_planning.json]`
+//!     [--scenario emn] [--decisions 40] [--depth 2] [--cutoff 1e-3] \
+//!     [--threads 1,2,4] [--min-speedup 0.0] [--out BENCH_planning.json]`
 
 // The one sanctioned `unsafe` user in the workspace: implementing
 // `GlobalAlloc` is inherently unsafe, and the zero-allocation gate
@@ -25,8 +26,7 @@
 // `unsafe_code = "deny"` from the workspace lint table.
 #![allow(unsafe_code)]
 
-use bpr_bench::experiments::emn_model;
-use bpr_bench::flag;
+use bpr_bench::{flag, scenario_flag};
 use bpr_mdp::chain::SolveOpts;
 use bpr_par::WorkPool;
 use bpr_pomdp::bounds::ra_bound;
@@ -114,16 +114,20 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_planning.json".to_string());
 
-    let model = emn_model()
-        .expect("EMN model builds")
-        .without_notification(21_600.0)
+    let registry = bpr::scenario::builtin();
+    let scenario = scenario_flag(&registry, &args, "emn");
+    let model = scenario
+        .build()
+        .expect("scenario model builds")
+        .without_notification(scenario.operator_response_time())
         .expect("transform succeeds");
     let pomdp = model.pomdp();
     let bound = ra_bound(pomdp, &SolveOpts::default()).expect("RA-Bound exists");
     let belief = Belief::uniform(pomdp.n_states());
     println!(
-        "planning benchmark: EMN ({} states, {} actions, {} observations), \
+        "planning benchmark: {} ({} states, {} actions, {} observations), \
          depth {depth}, cutoff {cutoff:e}, {decisions} decisions per path",
+        scenario.name(),
         pomdp.n_states(),
         pomdp.n_actions(),
         pomdp.n_observations()
@@ -239,8 +243,9 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"model\": \"emn\", \"depth\": {depth}, \"gamma_cutoff\": {cutoff:e}, \
-         \"decisions\": {decisions},\n  "
+        "  \"model\": \"{}\", \"depth\": {depth}, \"gamma_cutoff\": {cutoff:e}, \
+         \"decisions\": {decisions},\n  ",
+        scenario.name()
     );
     write_path(&mut json, "legacy", &legacy);
     json.push_str(",\n  ");

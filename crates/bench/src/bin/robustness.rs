@@ -1,12 +1,19 @@
 //! Degraded-world robustness sweep: action-failure probability ×
-//! monitor-dropout rate on the EMN model (zombie faults), comparing
-//! the paper's controllers against the hardened resilient decorator.
+//! monitor-dropout rate on a registry scenario's model and fault
+//! population (default: the paper's EMN model, zombie faults),
+//! comparing the paper's controllers against the hardened resilient
+//! decorator.
 //!
 //! Usage:
 //! `cargo run -p bpr-bench --bin robustness --release -- \
-//!     [--episodes 60] [--seed 7] [--failures 0.0,0.2] [--dropouts 0.0,0.1] \
-//!     [--corruption 0.0] [--secondary 0.0] [--max-secondary 0] [--threads N] \
-//!     [--out BENCH_robustness.json]`
+//!     [--scenario emn] [--episodes 60] [--seed 7] [--failures 0.0,0.2] \
+//!     [--dropouts 0.0,0.1] [--corruption 0.0] [--secondary 0.0] \
+//!     [--max-secondary 0] [--bootstrap-iters 10] [--bootstrap-depth 2] \
+//!     [--threads N] [--out BENCH_robustness.json]`
+//!
+//! On the 10³+-state generated scenarios pass `--bootstrap-depth 1`:
+//! the paper's depth-2 bootstrap schedule is sized for the 14-state
+//! EMN model.
 //!
 //! Campaigns fan across `--threads` workers (default: all hardware
 //! threads); results are bit-identical whatever the width.
@@ -18,8 +25,8 @@
 //! its shed counters, so the two robustness surfaces are directly
 //! comparable.
 
-use bpr_bench::experiments::{robustness_sweep, RobustnessCell, RobustnessConfig};
-use bpr_bench::flag;
+use bpr_bench::experiments::{robustness_sweep_for, RobustnessCell, RobustnessConfig};
+use bpr_bench::{flag, scenario_flag, string_flag};
 use bpr_par::WorkPool;
 use std::fmt::Write as _;
 
@@ -37,17 +44,9 @@ fn list_flag(args: &[String], name: &str, default: &[f64]) -> Vec<f64> {
         .unwrap_or_else(|| default.to_vec())
 }
 
-fn string_flag(args: &[String], name: &str, default: &str) -> String {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| default.to_string())
-}
-
 /// Renders the sweep as hand-formatted JSON (same idiom as the other
 /// BENCH emitters — no serde in the workspace).
-fn sweep_json(config: &RobustnessConfig, cells: &[RobustnessCell]) -> String {
+fn sweep_json(scenario: &str, config: &RobustnessConfig, cells: &[RobustnessCell]) -> String {
     let mut cell_blocks = Vec::new();
     for cell in cells {
         let mut rows = Vec::new();
@@ -116,6 +115,7 @@ fn sweep_json(config: &RobustnessConfig, cells: &[RobustnessCell]) -> String {
         concat!(
             "{{\n",
             "  \"bench\": \"robustness\",\n",
+            "  \"scenario\": \"{scenario}\",\n",
             "  \"config\": {{\n",
             "    \"episodes\": {episodes},\n",
             "    \"seed\": {seed},\n",
@@ -126,6 +126,7 @@ fn sweep_json(config: &RobustnessConfig, cells: &[RobustnessCell]) -> String {
             "  \"cells\": [\n{cells}\n  ]\n",
             "}}\n"
         ),
+        scenario = scenario,
         episodes = config.episodes,
         seed = config.seed,
         corruption = config.obs_corruption_prob,
@@ -146,22 +147,30 @@ fn main() {
         obs_corruption_prob: flag(&args, "--corruption", 0.0f64),
         secondary_fault_prob: flag(&args, "--secondary", 0.0f64),
         max_secondary_faults: flag(&args, "--max-secondary", 0usize),
+        bootstrap_iters: flag(&args, "--bootstrap-iters", 10usize),
+        bootstrap_depth: flag(&args, "--bootstrap-depth", 2usize),
         threads: flag(&args, "--threads", WorkPool::default().threads()),
         ..RobustnessConfig::default()
     };
+    let registry = bpr::scenario::builtin();
+    let scenario = scenario_flag(&registry, &args, "emn");
     eprintln!(
-        "robustness sweep: {} episodes per controller per cell, {} cells...",
+        "robustness sweep [{}]: {} episodes per controller per cell, {} cells...",
+        scenario.name(),
         config.episodes,
         config.failure_probs.len() * config.dropout_probs.len()
     );
-    let cells = match robustness_sweep(&config) {
+    let cells = match robustness_sweep_for(scenario, &config) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("robustness sweep failed: {e}");
             std::process::exit(1);
         }
     };
-    println!("# Robustness sweep (EMN zombies): recovery under a degraded world");
+    println!(
+        "# Robustness sweep ({}): recovery under a degraded world",
+        scenario.name()
+    );
     for cell in &cells {
         println!(
             "\n## action-failure {:.2}, monitor-dropout {:.2}",
@@ -198,7 +207,7 @@ fn main() {
         }
     }
     println!("\n# note: aborted episodes (controller errors) count as unrecovered");
-    let json = sweep_json(&config, &cells);
+    let json = sweep_json(scenario.name(), &config, &cells);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("robustness: could not write {out_path}: {e}");
         std::process::exit(1);

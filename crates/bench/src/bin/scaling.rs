@@ -1,21 +1,20 @@
-//! Scaling benchmark for the deterministic parallel engines: runs the
-//! EMN fault-injection campaign (bootstrapped bounded-d1 controller)
-//! and the batch bootstrap at several thread counts, records
-//! episodes/sec and backups/sec into `BENCH_scaling.json`, and — the
-//! part that gates CI — verifies that every width produces bit-identical
-//! results. Exits nonzero on any determinism mismatch.
+//! Scaling benchmark for the deterministic parallel engines: runs a
+//! registry scenario's fault-injection campaign (bootstrapped
+//! bounded-d1 controller, default: the paper's EMN model) and the
+//! batch bootstrap at several thread counts, records episodes/sec and
+//! backups/sec into `BENCH_scaling.json`, and — the part that gates
+//! CI — verifies that every width produces bit-identical results.
+//! Exits nonzero on any determinism mismatch.
 //!
 //! Usage:
 //! `cargo run -p bpr-bench --bin scaling --release -- \
-//!     [--episodes 120] [--bootstrap-iters 24] [--batch 8] [--seed 7] \
-//!     [--threads 1,2,4,8] [--max-steps 400] [--out BENCH_scaling.json]`
+//!     [--scenario emn] [--episodes 120] [--bootstrap-iters 24] \
+//!     [--batch 8] [--seed 7] [--threads 1,2,4,8] [--max-steps 400] \
+//!     [--out BENCH_scaling.json]`
 
-use bpr_bench::experiments::{bootstrapped_bounded_d1, emn_model};
-use bpr_bench::flag;
+use bpr_bench::experiments::bootstrapped_bounded_d1_for;
+use bpr_bench::{flag, scenario_flag};
 use bpr_core::bootstrap::{bootstrap_par, BootstrapConfig, BootstrapVariant};
-use bpr_emn::actions::EmnAction;
-use bpr_emn::faults::EmnState;
-use bpr_emn::EmnConfig;
 use bpr_mdp::chain::SolveOpts;
 use bpr_par::WorkPool;
 use bpr_pomdp::bounds::ra_bound;
@@ -79,15 +78,19 @@ fn main() {
         .unwrap_or_else(|| "BENCH_scaling.json".to_string());
     let widths = threads_flag(&args, &[1, 2, 4, 8]);
     let hardware = WorkPool::default().threads();
+    let registry = bpr::scenario::builtin();
+    let scenario = scenario_flag(&registry, &args, "emn");
     eprintln!(
-        "scaling: {episodes} campaign episodes + {bootstrap_iters} bootstrap episodes \
-         at widths {widths:?} ({hardware} hardware threads)"
+        "scaling [{}]: {episodes} campaign episodes + {bootstrap_iters} bootstrap episodes \
+         at widths {widths:?} ({hardware} hardware threads)",
+        scenario.name()
     );
 
-    let model = emn_model().expect("EMN model builds");
-    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let model = scenario.build().expect("scenario model builds");
+    let population = scenario.fault_population(&model);
     let prototype =
-        bootstrapped_bounded_d1(&model, seed, 1e-3).expect("bounded-d1 prototype builds");
+        bootstrapped_bounded_d1_for(&model, scenario.operator_response_time(), seed, 1e-3)
+            .expect("bounded-d1 prototype builds");
 
     // --- Campaign scaling: episodes/sec, identical outcomes required.
     let mut campaign_rows = Vec::new();
@@ -107,7 +110,7 @@ fn main() {
             continue;
         }
         let report = Campaign::new(&model)
-            .population(&zombies)
+            .population(&population)
             .episodes(episodes)
             .max_steps(max_steps)
             .seed(seed)
@@ -138,16 +141,20 @@ fn main() {
     }
 
     // --- Bootstrap scaling: backups/sec, identical reports and bound.
-    let emn_config = EmnConfig::default();
     let transformed = model
-        .without_notification(emn_config.operator_response_time)
+        .without_notification(scenario.operator_response_time())
         .expect("transform");
+    let conditioning = model
+        .observe_actions()
+        .first()
+        .copied()
+        .expect("scenario model has an observe action");
     let config = BootstrapConfig {
         variant: BootstrapVariant::Random,
         iterations: bootstrap_iters,
         depth: 1,
         max_steps: 40,
-        conditioning_action: EmnAction::Observe.action_id(),
+        conditioning_action: conditioning,
         ..BootstrapConfig::default()
     };
     let mut bootstrap_rows = Vec::new();
@@ -198,12 +205,14 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"scaling\",\n  \"seed\": {seed},\n  \"hardware_threads\": {hardware},\n  \
+        "{{\n  \"bench\": \"scaling\",\n  \"scenario\": \"{}\",\n  \"seed\": {seed},\n  \
+         \"hardware_threads\": {hardware},\n  \
          \"deterministic\": {deterministic},\n  \
          \"campaign\": {{\"controller\": \"bounded-d1\", \"episodes\": {episodes}, \
          \"max_steps\": {max_steps}, \"results\": {}}},\n  \
          \"bootstrap\": {{\"iterations\": {bootstrap_iters}, \"batch\": {batch}, \
          \"results\": {}}}\n}}\n",
+        scenario.name(),
         json_results(&campaign_rows, "episodes_per_sec"),
         json_results(&bootstrap_rows, "backups_per_sec"),
     );

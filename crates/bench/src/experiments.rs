@@ -4,6 +4,7 @@ use bpr_core::baselines::{HeuristicController, MostLikelyController, OracleContr
 use bpr_core::bootstrap::{
     bootstrap, bootstrap_updates, BootstrapConfig, BootstrapVariant, IterationRecord,
 };
+use bpr_core::scenario::Scenario;
 use bpr_core::{
     BoundedConfig, BoundedController, Error, RecoveryModel, ResilienceConfig, ResilientController,
 };
@@ -319,6 +320,13 @@ pub struct RobustnessConfig {
     pub secondary_fault_prob: f64,
     /// Cap on secondary faults per episode.
     pub max_secondary_faults: usize,
+    /// Bootstrap episodes for the bounded controller (the paper's
+    /// Table 1 schedule: 10).
+    pub bootstrap_iters: usize,
+    /// Bootstrap tree depth (paper: 2 — the right setting for the
+    /// 14-state EMN model; drop to 1 for the 10³+-state generated
+    /// scenarios, where depth-2 backups are prohibitively wide).
+    pub bootstrap_depth: usize,
     /// Worker threads for the campaigns (results are thread-count
     /// independent; this only changes wall-clock time).
     pub threads: usize,
@@ -337,6 +345,8 @@ impl Default for RobustnessConfig {
             obs_corruption_prob: 0.0,
             secondary_fault_prob: 0.0,
             max_secondary_faults: 0,
+            bootstrap_iters: 10,
+            bootstrap_depth: 2,
             threads: 1,
         }
     }
@@ -374,18 +384,52 @@ pub struct RobustnessCell {
 
 /// The bootstrapped depth-1 bounded controller of the Table 1
 /// experiment, reconstructed for robustness sweeps and the scaling
-/// benchmark.
+/// benchmark — for any recovery model. The bootstrap conditions on
+/// the model's first observe action; `operator_response_time` feeds
+/// the §3.1 no-notification transform (registry scenarios carry it as
+/// [`Scenario::operator_response_time`]).
 ///
 /// # Errors
 ///
-/// Propagates transform, bound, and bootstrap failures.
-pub fn bootstrapped_bounded_d1(
+/// Propagates transform, bound, and bootstrap failures; rejects
+/// models without an observe action.
+pub fn bootstrapped_bounded_d1_for(
     model: &RecoveryModel,
+    operator_response_time: f64,
     seed: u64,
     gamma_cutoff: f64,
 ) -> Result<BoundedController, Error> {
-    let emn_config = EmnConfig::default();
-    let transformed = model.without_notification(emn_config.operator_response_time)?;
+    bootstrapped_bounded(model, operator_response_time, seed, gamma_cutoff, 10, 2)
+}
+
+/// [`bootstrapped_bounded_d1_for`] with an explicit bootstrap schedule
+/// — `iterations` episodes at tree depth `depth`. The paper's Table 1
+/// schedule (10 × depth 2) fits the 14-state EMN model; depth-2
+/// backups grow with `|A| · |O|` per level, so the 10³+-state
+/// generated scenarios want depth 1.
+///
+/// # Errors
+///
+/// Propagates transform, bound, and bootstrap failures; rejects
+/// models without an observe action.
+pub fn bootstrapped_bounded(
+    model: &RecoveryModel,
+    operator_response_time: f64,
+    seed: u64,
+    gamma_cutoff: f64,
+    iterations: usize,
+    depth: usize,
+) -> Result<BoundedController, Error> {
+    let conditioning =
+        model
+            .observe_actions()
+            .first()
+            .copied()
+            .ok_or_else(|| Error::InvalidInput {
+                detail: "bootstrapped bounded controller needs an observe action to condition on"
+                    .to_string(),
+            })?;
+    let transformed = model.without_notification(operator_response_time)?;
     let mut bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
     let mut rng = StdRng::seed_from_u64(seed);
     bootstrap(
@@ -393,14 +437,25 @@ pub fn bootstrapped_bounded_d1(
         &mut bound,
         &BootstrapConfig {
             variant: BootstrapVariant::Average,
-            iterations: 10,
-            depth: 2,
+            iterations,
+            depth,
             max_steps: 40,
-            conditioning_action: EmnAction::Observe.action_id(),
+            conditioning_action: conditioning,
             ..BootstrapConfig::default()
         },
         &mut rng,
     )?;
+    // The default startup vertex sweeps repair the raw RA-Bound for an
+    // *un-bootstrapped* controller; here the bound is already
+    // bootstrap-refined, and at 10³+ states two full sweeps of
+    // point-belief backups dominate construction (minutes of
+    // single-threaded work for the cellfleet/region scenarios). Keep
+    // them only where they are cheap: paper-scale models.
+    let startup_vertex_sweeps = if transformed.pomdp().n_states() > STARTUP_SWEEP_STATE_CAP {
+        0
+    } else {
+        BoundedConfig::default().startup_vertex_sweeps
+    };
     BoundedController::with_bound(
         transformed,
         bound,
@@ -408,16 +463,43 @@ pub fn bootstrapped_bounded_d1(
             depth: 1,
             gamma_cutoff,
             vector_cap: Some(64),
+            startup_vertex_sweeps,
             ..BoundedConfig::default()
         },
     )
 }
 
-/// Sweeps action-failure probability × monitor-dropout rate on the EMN
-/// model (zombie faults), comparing the most-likely, heuristic (depth
-/// 1), and bounded (depth 1, bootstrapped) controllers against the
-/// hardened `resilient-bounded` decorator. Reports recovery rate,
-/// cost, and escalation counters per cell.
+/// Largest transformed state count that still gets the default startup
+/// vertex sweeps in [`bootstrapped_bounded`]. Covers every paper-scale
+/// model (EMN is well under 100 states after the §3.1 transform) while
+/// skipping the quadratic sweep cost on the generated corpus.
+const STARTUP_SWEEP_STATE_CAP: usize = 256;
+
+/// The EMN-specialised ancestor of [`bootstrapped_bounded_d1_for`].
+///
+/// # Errors
+///
+/// Propagates transform, bound, and bootstrap failures.
+#[deprecated(note = "use bootstrapped_bounded_d1_for with the scenario's operator response time")]
+pub fn bootstrapped_bounded_d1(
+    model: &RecoveryModel,
+    seed: u64,
+    gamma_cutoff: f64,
+) -> Result<BoundedController, Error> {
+    bootstrapped_bounded_d1_for(
+        model,
+        EmnConfig::default().operator_response_time,
+        seed,
+        gamma_cutoff,
+    )
+}
+
+/// Sweeps action-failure probability × monitor-dropout rate on a
+/// registry scenario's model (its declared fault population),
+/// comparing the most-likely, heuristic (depth 1), and bounded (depth
+/// 1, bootstrapped) controllers against the hardened
+/// `resilient-bounded` decorator. Reports recovery rate, cost, and
+/// escalation counters per cell.
 ///
 /// Each cell is an abort-tolerant [`Campaign`]: an episode whose
 /// controller errors out (instead of terminating) enters the summary
@@ -429,11 +511,14 @@ pub fn bootstrapped_bounded_d1(
 ///
 /// Propagates model and controller *construction* failures; in-episode
 /// controller aborts are recorded in the rows instead.
-pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>, Error> {
-    let model = emn_model()?;
-    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+pub fn robustness_sweep_for(
+    scenario: &dyn Scenario,
+    config: &RobustnessConfig,
+) -> Result<Vec<RobustnessCell>, Error> {
+    let model = scenario.build()?;
+    let population = scenario.fault_population(&model);
     let base = Campaign::new(&model)
-        .population(&zombies)
+        .population(&population)
         .episodes(config.episodes)
         .max_steps(config.max_steps)
         .seed(config.seed)
@@ -488,11 +573,18 @@ pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>
             let h1 = HeuristicController::new(model.clone(), 1, config.p_term)?
                 .with_gamma_cutoff(config.gamma_cutoff);
             push(campaign.clone().run(|_| Ok(h1.clone()))?, "heuristic-d1");
-            let bounded = bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?;
+            let bounded = bootstrapped_bounded(
+                &model,
+                scenario.operator_response_time(),
+                config.seed,
+                config.gamma_cutoff,
+                config.bootstrap_iters,
+                config.bootstrap_depth,
+            )?;
             push(campaign.clone().run(|_| Ok(bounded.clone()))?, "bounded-d1");
             let hardened = ResilientController::new(
                 model.clone(),
-                bootstrapped_bounded_d1(&model, config.seed, config.gamma_cutoff)?,
+                bounded.clone(),
                 ResilienceConfig {
                     max_steps: config.max_steps,
                     ..ResilienceConfig::default()
@@ -511,6 +603,17 @@ pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>
         }
     }
     Ok(cells)
+}
+
+/// The EMN-specialised ancestor of [`robustness_sweep_for`] (zombie
+/// faults on the paper's model).
+///
+/// # Errors
+///
+/// Propagates model and controller construction failures.
+#[deprecated(note = "use robustness_sweep_for with a registry scenario, e.g. EmnScenario")]
+pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>, Error> {
+    robustness_sweep_for(&bpr_emn::EmnScenario::default(), config)
 }
 
 #[cfg(test)]

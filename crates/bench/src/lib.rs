@@ -21,6 +21,34 @@ pub fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T 
         .unwrap_or(default)
 }
 
+/// String-valued `--name value` flag with a default (used for
+/// `--scenario` and `--out` across the bench binaries).
+pub fn string_flag(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Resolves `--scenario <name>` (defaulting to `default`) against the
+/// built-in registry, exiting with status 2 and the available names on
+/// an unknown scenario — the shared lookup path of the bench binaries.
+pub fn scenario_flag<'r>(
+    registry: &'r bpr_core::scenario::ScenarioRegistry,
+    args: &[String],
+    default: &str,
+) -> &'r dyn bpr_core::scenario::Scenario {
+    let name = string_flag(args, "--scenario", default);
+    match registry.require(&name) {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,15 +1,19 @@
-//! The `modelcheck` static-analysis gate: lints the paper's models
-//! (EMN and two-server, raw and transformed) with `bpr-lint` and
-//! bundles the reports — plus the full lint catalog — into one JSON
-//! document for CI artifact upload.
+//! The `modelcheck` static-analysis gate: lints every registered
+//! scenario's model (raw and after both §3.1 transforms) with
+//! `bpr-lint` and bundles the reports — plus the full lint catalog —
+//! into one JSON document for CI artifact upload.
 //!
 //! The library half lives here so the integration tests can exercise
-//! the exact logic the `modelcheck` binary ships: [`lint_paper_models`]
-//! must come back clean at error severity, and [`broken_fixture`] — a
-//! deliberately corrupted model — must not.
+//! the exact logic the `modelcheck` binary ships: [`lint_scenarios`]
+//! over the built-in registry must come back clean at error severity
+//! (with no warnings outside each scenario's allowlist), and
+//! [`broken_fixture`] — a deliberately corrupted model — must not.
 
 use bpr_core::lint::{lint_pomdp, LintContext, LintReport, Termination};
-use bpr_core::{Error, RecoveryModel};
+use bpr_core::scenario::{
+    lint_model_stages, lint_scenario, unexpected_warnings, ModelStage, Scenario, ScenarioRegistry,
+};
+use bpr_core::Error;
 use bpr_mdp::MdpBuilder;
 use bpr_pomdp::PomdpBuilder;
 use std::fmt::Write as _;
@@ -18,45 +22,114 @@ use std::fmt::Write as _;
 /// transform (the EMN transform takes its `t_op` from `EmnConfig`).
 const TWO_SERVER_TOP: f64 = 10.0;
 
-/// Lints one paper model at every stage the pipeline runs it in: the
-/// raw recovery model, the with-notification transform, and the
-/// no-notification transform.
-fn lint_stages(name: &str, model: &RecoveryModel, top: f64) -> Result<Vec<LintReport>, Error> {
-    let mut reports = Vec::new();
-    reports.push(lint_pomdp(
-        model.base(),
-        &model.lint_context().named(format!("{name} (raw)")).full(),
-    ));
-    let notified = model.with_notification()?;
-    reports.push(lint_pomdp(
-        &notified,
-        &LintContext::transformed(model.null_states().to_vec(), None)
-            .named(format!("{name} (with-notification)"))
-            .full(),
-    ));
-    let terminated = model.without_notification(top)?;
-    reports.push(lint_pomdp(
-        terminated.pomdp(),
-        &terminated
-            .lint_context()
-            .named(format!("{name} (no-notification)"))
-            .full(),
-    ));
-    Ok(reports)
+/// One scenario × pipeline-stage lint result: the row shape of the
+/// `MODELCHECK.json` bundle, with the scenario name carried as data
+/// instead of being mangled into the report title.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Registry name of the scenario (`"broken-fixture"` for the
+    /// demonstration fixture).
+    pub scenario: String,
+    /// Pipeline stage label (`"raw"`, `"with-notification"`,
+    /// `"no-notification"`).
+    pub stage: String,
+    /// Warnings not covered by the scenario's
+    /// [`Scenario::expected_warnings`] allowlist — gate-relevant
+    /// regressions even though they are not errors.
+    pub unexpected_warnings: usize,
+    /// The underlying lint report.
+    pub report: LintReport,
 }
 
-/// Lints the EMN and two-server models (raw + both §3.1 transforms).
+/// Lints one scenario at every [`ModelStage`].
+///
+/// # Errors
+///
+/// Propagates model construction and transform failures.
+pub fn lint_one(scenario: &dyn Scenario) -> Result<Vec<ScenarioReport>, Error> {
+    let allow = scenario.expected_warnings();
+    let reports = lint_scenario(scenario)?;
+    Ok(ModelStage::ALL
+        .iter()
+        .zip(reports)
+        .map(|(stage, report)| ScenarioReport {
+            scenario: scenario.name().to_string(),
+            stage: stage.label().to_string(),
+            unexpected_warnings: unexpected_warnings(&report, &allow).len(),
+            report,
+        })
+        .collect())
+}
+
+/// Lints every scenario in the registry, in registration order.
+///
+/// # Errors
+///
+/// Propagates model construction and transform failures.
+pub fn lint_scenarios(registry: &ScenarioRegistry) -> Result<Vec<ScenarioReport>, Error> {
+    let mut out = Vec::new();
+    for scenario in registry.iter() {
+        out.extend(lint_one(scenario)?);
+    }
+    Ok(out)
+}
+
+/// The corpus manifest: one JSON row per scenario with its dimensions
+/// and build time — the CI artifact recording what the registered
+/// model family spans.
 ///
 /// # Errors
 ///
 /// Propagates model construction failures.
+pub fn manifest_json(scenarios: &[&dyn Scenario]) -> Result<String, Error> {
+    let mut out = String::from("{\"scenarios\": [");
+    for (i, scenario) in scenarios.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let start = std::time::Instant::now();
+        let model = scenario.build()?;
+        let build_seconds = start.elapsed().as_secs_f64();
+        let pomdp = model.base();
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"description\": \"{}\", \"states\": {}, \"actions\": {}, \
+             \"observations\": {}, \"fault_states\": {}, \"operator_response_time\": {}, \
+             \"build_seconds\": {build_seconds:.6}}}",
+            scenario.name(),
+            scenario.description().replace('"', "'"),
+            pomdp.n_states(),
+            pomdp.n_actions(),
+            pomdp.n_observations(),
+            scenario.fault_population(&model).len(),
+            scenario.operator_response_time(),
+        );
+    }
+    out.push_str("]}\n");
+    Ok(out)
+}
+
+/// The EMN + two-server lint pass of the pre-registry gate.
+///
+/// # Errors
+///
+/// Propagates model construction failures.
+#[deprecated(note = "use lint_scenarios over bpr::scenario::builtin()")]
 pub fn lint_paper_models() -> Result<Vec<LintReport>, Error> {
     let mut reports = Vec::new();
     let two_server = bpr_emn::two_server::default_model()?;
-    reports.extend(lint_stages("two-server", &two_server, TWO_SERVER_TOP)?);
+    reports.extend(lint_model_stages(
+        "two-server",
+        &two_server,
+        TWO_SERVER_TOP,
+    )?);
     let emn_config = bpr_emn::EmnConfig::default();
     let emn = bpr_emn::build_model(&emn_config)?;
-    reports.extend(lint_stages("emn", &emn, emn_config.operator_response_time)?);
+    reports.extend(lint_model_stages(
+        "emn",
+        &emn,
+        emn_config.operator_response_time,
+    )?);
     Ok(reports)
 }
 
@@ -126,9 +199,24 @@ pub fn broken_fixture() -> LintReport {
     lint_pomdp(&pomdp, &ctx)
 }
 
-/// Bundles lint reports and the full catalog into the `modelcheck`
-/// JSON document: `{"catalog": [...], "models": [...], "errors": N}`.
-pub fn bundle_json(reports: &[LintReport]) -> String {
+/// [`broken_fixture`] wrapped as a gate row (the fixture is linted in
+/// its claimed-transformed form, so it reports as the
+/// no-notification stage).
+pub fn broken_report() -> ScenarioReport {
+    let report = broken_fixture();
+    ScenarioReport {
+        scenario: "broken-fixture".to_string(),
+        stage: ModelStage::WithoutNotification.label().to_string(),
+        unexpected_warnings: unexpected_warnings(&report, &[]).len(),
+        report,
+    }
+}
+
+/// Bundles gate rows and the full catalog into the `modelcheck` JSON
+/// document: `{"catalog": [...], "models": [{"scenario": ...,
+/// "stage": ..., "unexpected_warnings": N, "report": {...}}, ...],
+/// "errors": N}`.
+pub fn bundle_json(reports: &[ScenarioReport]) -> String {
     let mut out = String::from("{\"catalog\": ");
     out.push_str(&bpr_core::lint::catalog::catalog_json());
     out.push_str(", \"models\": [");
@@ -136,11 +224,17 @@ pub fn bundle_json(reports: &[LintReport]) -> String {
         if i > 0 {
             out.push_str(", ");
         }
-        out.push_str(&r.to_json());
+        let _ = write!(
+            out,
+            "{{\"scenario\": \"{}\", \"stage\": \"{}\", \"unexpected_warnings\": {}, \"report\": ",
+            r.scenario, r.stage, r.unexpected_warnings
+        );
+        out.push_str(&r.report.to_json());
+        out.push('}');
     }
     let errors: usize = reports
         .iter()
-        .map(|r| r.count(bpr_core::lint::Severity::Error))
+        .map(|r| r.report.count(bpr_core::lint::Severity::Error))
         .sum();
     let _ = write!(out, "], \"errors\": {errors}}}");
     out
@@ -151,13 +245,61 @@ mod tests {
     use super::*;
     use bpr_core::lint::{LintCode, Severity};
 
+    /// The paper models plus the smallest corpus scenario: everything
+    /// the debug-profile tests can lint quickly (the full registry —
+    /// including the 10⁴-state `region-large` — is the release
+    /// binary's job).
+    fn fast_registry() -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register(Box::new(bpr_emn::EmnScenario::default()))
+            .unwrap();
+        registry
+            .register(Box::new(bpr_emn::TwoServerScenario::default()))
+            .unwrap();
+        registry
+            .register(Box::new(bpr_topo::web3tier_small()))
+            .unwrap();
+        registry
+    }
+
     #[test]
-    fn paper_models_are_clean_at_error_severity() {
+    fn registered_scenarios_are_clean_at_error_severity() {
+        let registry = fast_registry();
+        let reports = lint_scenarios(&registry).unwrap();
+        assert_eq!(reports.len(), registry.len() * ModelStage::ALL.len());
+        for r in &reports {
+            assert!(!r.report.has_errors(), "{}", r.report.render());
+            assert_eq!(
+                r.unexpected_warnings,
+                0,
+                "{} ({}) carries unexpected warnings:\n{}",
+                r.scenario,
+                r.stage,
+                r.report.render()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_paper_model_shim_still_lints_clean() {
         let reports = lint_paper_models().unwrap();
         assert_eq!(reports.len(), 6);
         for r in &reports {
             assert!(!r.has_errors(), "{}", r.render());
         }
+    }
+
+    #[test]
+    fn manifest_lists_every_scenario_with_dimensions() {
+        let registry = fast_registry();
+        let scenarios: Vec<&dyn Scenario> = registry.iter().collect();
+        let json = manifest_json(&scenarios).unwrap();
+        assert!(json.contains("\"name\": \"emn\""));
+        assert!(json.contains("\"name\": \"web3tier-small\""));
+        assert!(json.contains("\"states\": 14")); // EMN
+        assert!(json.contains("\"build_seconds\": "));
     }
 
     #[test]
@@ -187,10 +329,13 @@ mod tests {
 
     #[test]
     fn bundle_json_counts_errors_and_ships_the_catalog() {
-        let clean = bundle_json(&lint_paper_models().unwrap());
+        let clean = bundle_json(&lint_scenarios(&fast_registry()).unwrap());
         assert!(clean.contains("\"errors\": 0"));
-        let broken = bundle_json(&[broken_fixture()]);
+        assert!(clean.contains("\"scenario\": \"web3tier-small\""));
+        assert!(clean.contains("\"stage\": \"no-notification\""));
+        let broken = bundle_json(&[broken_report()]);
         assert!(!broken.contains("\"errors\": 0"));
+        assert!(broken.contains("\"scenario\": \"broken-fixture\""));
         // The catalog rides along with >= 8 distinct codes either way.
         let distinct = (1..=19)
             .filter(|i| clean.contains(&format!("BPR{i:03}")))

@@ -37,7 +37,37 @@ pub use bpr_par as par;
 pub use bpr_pomdp as pomdp;
 pub use bpr_serve as serve;
 pub use bpr_sim as sim;
+pub use bpr_topo as topo;
 pub use rand;
+
+/// The scenario registry: every named model the workspace ships — the
+/// paper's EMN and two-server models plus the generated `bpr-topo`
+/// corpus — behind one `--scenario <name>`-style lookup surface.
+pub mod scenario {
+    pub use bpr_core::scenario::{
+        lint_model_stages, lint_scenario, unexpected_warnings, ModelStage, Scenario,
+        ScenarioRegistry,
+    };
+
+    /// The built-in registry: `emn`, `two-server`, then the generated
+    /// corpus (`web3tier-small`, `cellfleet-mid`, `region-large`).
+    ///
+    /// # Panics
+    ///
+    /// Never — the built-in names are statically distinct (covered by
+    /// tests).
+    pub fn builtin() -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register(Box::new(bpr_emn::EmnScenario::default()))
+            .expect("fresh registry accepts emn");
+        registry
+            .register(Box::new(bpr_emn::TwoServerScenario::default()))
+            .expect("fresh registry accepts two-server");
+        bpr_topo::register_corpus(&mut registry).expect("built-in corpus names are distinct");
+        registry
+    }
+}
 
 /// The curated working set: `use bpr::prelude::*;` covers what a
 /// typical recovery program touches.
@@ -45,17 +75,19 @@ pub mod prelude {
     pub use bpr_core::baselines::{
         DiagnoseThenFixController, HeuristicController, MostLikelyController, OracleController,
     };
+    pub use bpr_core::blueprint::{assemble, ModelBlueprint};
     pub use bpr_core::bootstrap::{
         bootstrap, bootstrap_par, bootstrap_par_durable, bootstrap_updates, BootstrapConfig,
         BootstrapReport, BootstrapVariant, DurableBootstrapReport,
     };
+    pub use bpr_core::scenario::{ModelStage, Scenario, ScenarioRegistry};
     pub use bpr_core::snapshot::{CheckpointPolicy, SnapshotError};
     pub use bpr_core::{
         ActionId, AnytimeConfig, AnytimeController, BoundedConfig, BoundedController, Error,
         NotifiedBoundedController, NotifiedConfig, RecoveryController, RecoveryModel,
         ResilienceConfig, ResilientController, StateId, Step, TerminatedModel,
     };
-    pub use bpr_emn::{two_server, EmnConfig, PathRouting};
+    pub use bpr_emn::{two_server, EmnConfig, EmnScenario, PathRouting, TwoServerScenario};
     pub use bpr_lint::{lint_pomdp, Diagnostic, LintCode, LintContext, LintReport, Severity};
     pub use bpr_mdp::chain::SolveOpts;
     pub use bpr_mdp::MdpBuilder;
@@ -69,6 +101,7 @@ pub mod prelude {
         Campaign, CampaignReport, CampaignSummary, DegradedWorld, EpisodeOutcome, EpisodeRunner,
         HarnessConfig, PerturbationPlan, QuarantinedEpisode, World,
     };
+    pub use bpr_topo::{TopoError, TopoScenario, TopologySpec, TopologySpecBuilder};
     pub use rand::rngs::StdRng;
     pub use rand::{Rng, SeedableRng};
 }
@@ -93,6 +126,34 @@ mod tests {
         assert!(WorkPool::new(2).unwrap().threads() == 2);
         let report: LintReport = lint_pomdp(model.base(), &model.lint_context());
         assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn builtin_registry_serves_paper_models_and_the_corpus() {
+        let registry = crate::scenario::builtin();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "emn",
+                "two-server",
+                "web3tier-small",
+                "cellfleet-mid",
+                "region-large"
+            ]
+        );
+        let scenario = registry.require("web3tier-small").unwrap();
+        let model = scenario.build().unwrap();
+        assert!(model.base().n_states() >= 100);
+        assert!(!scenario.fault_population(&model).is_empty());
+        // A spec built through the prelude surface feeds the same API.
+        let spec = TopologySpec::builder()
+            .tier("web", 2, 2, 60.0)
+            .hosts(2)
+            .racks(1)
+            .build()
+            .unwrap();
+        let small = crate::topo::compile(&spec).unwrap();
+        assert!(small.base().n_states() > 1);
     }
 
     #[test]

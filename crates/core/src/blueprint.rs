@@ -1,0 +1,277 @@
+//! Reusable model-compilation primitives.
+//!
+//! Every concrete recovery model in this workspace — the paper's EMN
+//! testbed, the two-server example, and the generated `bpr-topo`
+//! scenario corpus — is assembled the same way: enumerate states,
+//! actions, and observations; fill the transition/reward/duration
+//! tables; attach a state-conditioned observation model; and hand the
+//! result to [`RecoveryModel::new`] for Condition 1/2 validation. A
+//! [`ModelBlueprint`] captures exactly that recipe as a trait, and
+//! [`assemble`] drives the `Mdp`/`Pomdp` builders in one canonical
+//! order so every producer compiles identically (and deterministically:
+//! the same blueprint always yields a bit-identical model).
+//!
+//! The blueprint deliberately covers the *state-conditioned* observation
+//! case — `q(o | entered-state)` independent of the action taken — which
+//! is the paper's monitor semantics (§5) and what every model in this
+//! repository uses. Models needing action-dependent observations can
+//! still drive [`bpr_pomdp::PomdpBuilder`] directly.
+
+use crate::{Error, RecoveryModel};
+use bpr_mdp::MdpBuilder;
+use bpr_pomdp::PomdpBuilder;
+
+/// A declarative description of a recovery model, compiled by
+/// [`assemble`].
+///
+/// Indices are plain `usize` row/column numbers; `assemble` converts
+/// them to the typed ids. Implementations must be pure functions of
+/// `self` — `assemble` may call any method any number of times.
+pub trait ModelBlueprint {
+    /// Number of states, including the null-fault states.
+    fn n_states(&self) -> usize;
+    /// Number of actions, including observe-only actions.
+    fn n_actions(&self) -> usize;
+    /// Number of observation symbols.
+    fn n_observations(&self) -> usize;
+
+    /// Human-readable label for state `s`.
+    fn state_label(&self, s: usize) -> String;
+    /// Human-readable label for action `a`.
+    fn action_label(&self, a: usize) -> String;
+    /// Human-readable label for observation `o`.
+    fn observation_label(&self, o: usize) -> String;
+
+    /// Wall-clock duration of action `a` (must be positive and finite).
+    fn action_duration(&self, a: usize) -> f64;
+
+    /// Pushes the successor distribution of `(s, a)` as `(state, prob)`
+    /// pairs into `out` (cleared by the caller). Probabilities must sum
+    /// to 1.
+    fn transitions(&self, s: usize, a: usize, out: &mut Vec<(usize, f64)>);
+
+    /// Reward of taking `a` in `s` (a cost: must be `<= 0`).
+    fn reward(&self, s: usize, a: usize) -> f64;
+
+    /// Pushes the observation distribution on *entering* state
+    /// `entered` as `(observation, prob)` pairs into `out` (cleared by
+    /// the caller). Probabilities must sum to 1; zero entries may be
+    /// omitted.
+    fn observation_row(&self, entered: usize, out: &mut Vec<(usize, f64)>);
+
+    /// The null-fault states `S_φ` (non-empty).
+    fn null_states(&self) -> Vec<usize>;
+
+    /// Idle cost rate of state `s` (`<= 0`, and `0` on null states).
+    fn idle_rate(&self, s: usize) -> f64;
+
+    /// Actions that only gather information (used by the §3.1
+    /// transforms and the termination analysis).
+    fn observe_actions(&self) -> Vec<usize>;
+}
+
+/// Compiles a [`ModelBlueprint`] into a validated [`RecoveryModel`].
+///
+/// The build order is fixed — labels and durations, then the
+/// transition/reward tables in row-major `(state, action)` order, then
+/// the observation rows in state order — so two blueprints describing
+/// the same model produce bit-identical [`RecoveryModel`]s.
+///
+/// # Errors
+///
+/// * [`Error::Mdp`] / [`Error::Pomdp`] if the described matrices are
+///   not stochastic.
+/// * Condition 1/2 and rate validation failures from
+///   [`RecoveryModel::new`].
+pub fn assemble<B: ModelBlueprint + ?Sized>(blueprint: &B) -> Result<RecoveryModel, Error> {
+    let (n_states, n_actions) = (blueprint.n_states(), blueprint.n_actions());
+
+    let mut mb = MdpBuilder::new(n_states, n_actions);
+    for s in 0..n_states {
+        mb.state_label(s, blueprint.state_label(s));
+    }
+    for a in 0..n_actions {
+        mb.action_label(a, blueprint.action_label(a));
+        mb.duration(a, blueprint.action_duration(a));
+    }
+    let mut row = Vec::new();
+    for s in 0..n_states {
+        for a in 0..n_actions {
+            row.clear();
+            blueprint.transitions(s, a, &mut row);
+            for &(next, p) in &row {
+                mb.transition(s, a, next, p);
+            }
+            mb.reward(s, a, blueprint.reward(s, a));
+        }
+    }
+
+    let n_observations = blueprint.n_observations();
+    let mut pb = PomdpBuilder::new(mb.build().map_err(Error::Mdp)?, n_observations);
+    for o in 0..n_observations {
+        pb.observation_label(o, blueprint.observation_label(o));
+    }
+    let mut obs = Vec::new();
+    for s in 0..n_states {
+        obs.clear();
+        blueprint.observation_row(s, &mut obs);
+        for &(o, q) in &obs {
+            pb.observation_all_actions(s, o, q);
+        }
+    }
+    let pomdp = pb.build().map_err(Error::Pomdp)?;
+
+    let rates = (0..n_states).map(|s| blueprint.idle_rate(s)).collect();
+    RecoveryModel::new(
+        pomdp,
+        blueprint
+            .null_states()
+            .into_iter()
+            .map(Into::into)
+            .collect(),
+        rates,
+        blueprint
+            .observe_actions()
+            .into_iter()
+            .map(Into::into)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's two-server shape, described as a blueprint: Null
+    /// plus one fault per server, per-server restarts, one noisy alarm
+    /// monitor.
+    struct TwoServerish;
+
+    impl ModelBlueprint for TwoServerish {
+        fn n_states(&self) -> usize {
+            3
+        }
+        fn n_actions(&self) -> usize {
+            3
+        }
+        fn n_observations(&self) -> usize {
+            2
+        }
+        fn state_label(&self, s: usize) -> String {
+            ["Null", "FaultA", "FaultB"][s].to_string()
+        }
+        fn action_label(&self, a: usize) -> String {
+            ["RestartA", "RestartB", "Observe"][a].to_string()
+        }
+        fn observation_label(&self, o: usize) -> String {
+            ["clear", "alarm"][o].to_string()
+        }
+        fn action_duration(&self, a: usize) -> f64 {
+            [30.0, 30.0, 1.0][a]
+        }
+        fn transitions(&self, s: usize, a: usize, out: &mut Vec<(usize, f64)>) {
+            let next = match (s, a) {
+                (1, 0) | (2, 1) => 0,
+                _ => s,
+            };
+            out.push((next, 1.0));
+        }
+        fn reward(&self, s: usize, a: usize) -> f64 {
+            let drop = if s == 0 { 0.0 } else { 0.5 };
+            let offline = if a == 2 { 0.0 } else { 0.5 };
+            -(drop + offline - drop * offline) * self.action_duration(a)
+        }
+        fn observation_row(&self, entered: usize, out: &mut Vec<(usize, f64)>) {
+            let alarm = if entered == 0 { 0.05 } else { 0.9 };
+            out.push((0, 1.0 - alarm));
+            out.push((1, alarm));
+        }
+        fn null_states(&self) -> Vec<usize> {
+            vec![0]
+        }
+        fn idle_rate(&self, s: usize) -> f64 {
+            if s == 0 {
+                0.0
+            } else {
+                -0.5
+            }
+        }
+        fn observe_actions(&self) -> Vec<usize> {
+            vec![2]
+        }
+    }
+
+    #[test]
+    fn assemble_produces_a_validated_model() {
+        let m = assemble(&TwoServerish).unwrap();
+        assert_eq!(m.base().n_states(), 3);
+        assert_eq!(m.base().n_actions(), 3);
+        assert_eq!(m.base().n_observations(), 2);
+        assert_eq!(m.base().mdp().state_label(1), "FaultA");
+        assert_eq!(m.base().mdp().duration(0), 30.0);
+        assert_eq!(m.fault_states().len(), 2);
+        assert!((m.base().mdp().reward(1, 2) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assemble_is_deterministic() {
+        let a = assemble(&TwoServerish).unwrap();
+        let b = assemble(&TwoServerish).unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// A blueprint whose reward violates Condition 2 must be rejected
+    /// by the validated constructor, not silently compiled.
+    struct PositiveReward;
+
+    impl ModelBlueprint for PositiveReward {
+        fn n_states(&self) -> usize {
+            2
+        }
+        fn n_actions(&self) -> usize {
+            1
+        }
+        fn n_observations(&self) -> usize {
+            1
+        }
+        fn state_label(&self, s: usize) -> String {
+            format!("s{s}")
+        }
+        fn action_label(&self, _: usize) -> String {
+            "fix".to_string()
+        }
+        fn observation_label(&self, _: usize) -> String {
+            "o".to_string()
+        }
+        fn action_duration(&self, _: usize) -> f64 {
+            1.0
+        }
+        fn transitions(&self, _: usize, _: usize, out: &mut Vec<(usize, f64)>) {
+            out.push((0, 1.0));
+        }
+        fn reward(&self, s: usize, _: usize) -> f64 {
+            if s == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn observation_row(&self, _: usize, out: &mut Vec<(usize, f64)>) {
+            out.push((0, 1.0));
+        }
+        fn null_states(&self) -> Vec<usize> {
+            vec![0]
+        }
+        fn idle_rate(&self, _: usize) -> f64 {
+            0.0
+        }
+        fn observe_actions(&self) -> Vec<usize> {
+            vec![]
+        }
+    }
+
+    #[test]
+    fn condition_violations_surface_as_errors() {
+        assert!(assemble(&PositiveReward).is_err());
+    }
+}

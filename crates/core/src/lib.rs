@@ -36,6 +36,7 @@
 
 mod anytime;
 pub mod baselines;
+pub mod blueprint;
 pub mod bootstrap;
 mod bounded;
 pub mod conditions;
@@ -45,6 +46,7 @@ mod model;
 mod notified;
 pub mod preview;
 mod resilient;
+pub mod scenario;
 pub mod snapshot;
 
 pub use anytime::{

@@ -1,0 +1,356 @@
+//! The `Scenario` registry: one construction surface for every model
+//! the benches, examples, and tests run against.
+//!
+//! A [`Scenario`] names a recovery model, knows how to build it, and
+//! carries the metadata the harnesses need around the model itself —
+//! the operator response time for the §3.1 no-notification transform,
+//! the fault population episode campaigns inject, and the lint warnings
+//! the model is *expected* to carry (everything else is a regression).
+//! A [`ScenarioRegistry`] collects scenarios under unique names so a
+//! bench bin can offer `--scenario <name>` instead of hardcoding one
+//! model.
+//!
+//! The registry itself lives here in `bpr-core`; the concrete paper
+//! scenarios are registered by `bpr-emn`, the generated datacenter
+//! corpus by `bpr-topo`, and the `bpr` facade assembles the built-in
+//! set in `bpr::scenario::builtin()`.
+
+use crate::lint::{lint_pomdp, Diagnostic, LintCode, LintContext, LintReport, Severity};
+use crate::{Error, RecoveryModel, StateId};
+
+/// A named, buildable recovery model plus the harness metadata that
+/// travels with it.
+pub trait Scenario {
+    /// Unique registry key (kebab-case, e.g. `"cellfleet-mid"`).
+    fn name(&self) -> &str;
+
+    /// One-line human description (shown by `--list-scenarios`).
+    fn description(&self) -> &str;
+
+    /// Builds the validated recovery model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction/validation failures.
+    fn build(&self) -> Result<RecoveryModel, Error>;
+
+    /// The operator response time `t_op` used for the no-notification
+    /// transform (§3.1) and the RA-Bound's termination rewards.
+    fn operator_response_time(&self) -> f64;
+
+    /// The fault states episode campaigns draw initial states from.
+    ///
+    /// Defaults to every non-null state; scenarios whose interesting
+    /// regime is narrower (e.g. EMN's silent zombie faults) override
+    /// this.
+    fn fault_population(&self, model: &RecoveryModel) -> Vec<StateId> {
+        model.fault_states()
+    }
+
+    /// Lint warnings this model is expected to carry at every stage.
+    ///
+    /// The modelcheck gate treats warnings *outside* this allowlist as
+    /// regressions; errors are never allowed.
+    fn expected_warnings(&self) -> Vec<LintCode> {
+        Vec::new()
+    }
+}
+
+/// The pipeline stages a model is linted at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelStage {
+    /// The validated recovery model as built.
+    Raw,
+    /// After [`RecoveryModel::with_notification`].
+    WithNotification,
+    /// After [`RecoveryModel::without_notification`].
+    WithoutNotification,
+}
+
+impl ModelStage {
+    /// All stages, in pipeline order.
+    pub const ALL: [ModelStage; 3] = [
+        ModelStage::Raw,
+        ModelStage::WithNotification,
+        ModelStage::WithoutNotification,
+    ];
+
+    /// The suffix used in lint report names, e.g. `"emn (raw)"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelStage::Raw => "raw",
+            ModelStage::WithNotification => "with-notification",
+            ModelStage::WithoutNotification => "no-notification",
+        }
+    }
+}
+
+/// Lints `model` at every [`ModelStage`], naming each report
+/// `"{name} ({stage})"`.
+///
+/// # Errors
+///
+/// Propagates §3.1 transform failures.
+pub fn lint_model_stages(
+    name: &str,
+    model: &RecoveryModel,
+    operator_response_time: f64,
+) -> Result<Vec<LintReport>, Error> {
+    let mut reports = Vec::new();
+    reports.push(lint_pomdp(
+        model.base(),
+        &model
+            .lint_context()
+            .named(format!("{name} ({})", ModelStage::Raw.label()))
+            .full(),
+    ));
+    let notified = model.with_notification()?;
+    reports.push(lint_pomdp(
+        &notified,
+        &LintContext::transformed(model.null_states().to_vec(), None)
+            .named(format!("{name} ({})", ModelStage::WithNotification.label()))
+            .full(),
+    ));
+    let terminated = model.without_notification(operator_response_time)?;
+    reports.push(lint_pomdp(
+        terminated.pomdp(),
+        &terminated
+            .lint_context()
+            .named(format!(
+                "{name} ({})",
+                ModelStage::WithoutNotification.label()
+            ))
+            .full(),
+    ));
+    Ok(reports)
+}
+
+/// Builds a scenario's model and lints it at every stage — the
+/// modelcheck gate's unit of work.
+///
+/// # Errors
+///
+/// Propagates build and transform failures.
+pub fn lint_scenario(scenario: &dyn Scenario) -> Result<Vec<LintReport>, Error> {
+    let model = scenario.build()?;
+    lint_model_stages(scenario.name(), &model, scenario.operator_response_time())
+}
+
+/// The warnings in `report` that are not covered by a scenario's
+/// [`Scenario::expected_warnings`] allowlist.
+pub fn unexpected_warnings<'r>(report: &'r LintReport, allow: &[LintCode]) -> Vec<&'r Diagnostic> {
+    report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity == Severity::Warn && !allow.contains(&d.code))
+        .collect()
+}
+
+/// An ordered collection of [`Scenario`]s under unique names.
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<Box<dyn Scenario>>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> ScenarioRegistry {
+        ScenarioRegistry::default()
+    }
+
+    /// Registers a scenario, preserving insertion order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] if the name is already taken.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) -> Result<(), Error> {
+        if self.get(scenario.name()).is_some() {
+            return Err(Error::InvalidInput {
+                detail: format!("scenario '{}' is already registered", scenario.name()),
+            });
+        }
+        self.entries.push(scenario);
+        Ok(())
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
+        self.entries
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|s| s.as_ref())
+    }
+
+    /// Looks a scenario up by name, or fails listing what is available.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] naming the known scenarios when `name`
+    /// is not one of them.
+    pub fn require(&self, name: &str) -> Result<&dyn Scenario, Error> {
+        self.get(name).ok_or_else(|| Error::InvalidInput {
+            detail: format!(
+                "unknown scenario '{name}' (available: {})",
+                self.names().join(", ")
+            ),
+        })
+    }
+
+    /// Registered names, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates the scenarios in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Scenario> {
+        self.entries.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ScenarioRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::{assemble, ModelBlueprint};
+
+    /// Minimal one-fault blueprint used to give the tests a real model.
+    struct Tiny;
+
+    impl ModelBlueprint for Tiny {
+        fn n_states(&self) -> usize {
+            2
+        }
+        fn n_actions(&self) -> usize {
+            2
+        }
+        fn n_observations(&self) -> usize {
+            2
+        }
+        fn state_label(&self, s: usize) -> String {
+            ["Null", "Fault"][s].to_string()
+        }
+        fn action_label(&self, a: usize) -> String {
+            ["Fix", "Observe"][a].to_string()
+        }
+        fn observation_label(&self, o: usize) -> String {
+            ["clear", "alarm"][o].to_string()
+        }
+        fn action_duration(&self, a: usize) -> f64 {
+            [10.0, 1.0][a]
+        }
+        fn transitions(&self, s: usize, a: usize, out: &mut Vec<(usize, f64)>) {
+            out.push((if a == 0 { 0 } else { s }, 1.0));
+        }
+        fn reward(&self, s: usize, a: usize) -> f64 {
+            let drop = if s == 1 { 1.0 } else { 0.0 };
+            let offline = if a == 0 { 1.0 } else { 0.0 };
+            -f64::max(drop, offline) * self.action_duration(a)
+        }
+        fn observation_row(&self, entered: usize, out: &mut Vec<(usize, f64)>) {
+            let alarm = if entered == 1 { 0.95 } else { 0.02 };
+            out.push((0, 1.0 - alarm));
+            out.push((1, alarm));
+        }
+        fn null_states(&self) -> Vec<usize> {
+            vec![0]
+        }
+        fn idle_rate(&self, s: usize) -> f64 {
+            if s == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        }
+        fn observe_actions(&self) -> Vec<usize> {
+            vec![1]
+        }
+    }
+
+    struct TinyScenario;
+
+    impl Scenario for TinyScenario {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn description(&self) -> &str {
+            "one fault, one fix"
+        }
+        fn build(&self) -> Result<RecoveryModel, Error> {
+            assemble(&Tiny)
+        }
+        fn operator_response_time(&self) -> f64 {
+            100.0
+        }
+    }
+
+    #[test]
+    fn registry_registers_looks_up_and_rejects_duplicates() {
+        let mut reg = ScenarioRegistry::new();
+        reg.register(Box::new(TinyScenario)).unwrap();
+        assert_eq!(reg.names(), vec!["tiny"]);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("tiny").is_some());
+        assert!(reg.get("missing").is_none());
+        assert!(matches!(
+            reg.register(Box::new(TinyScenario)),
+            Err(Error::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn require_names_the_available_scenarios() {
+        let mut reg = ScenarioRegistry::new();
+        reg.register(Box::new(TinyScenario)).unwrap();
+        let msg = match reg.require("nope") {
+            Ok(_) => panic!("unknown scenario resolved"),
+            Err(e) => e.to_string(),
+        };
+        assert!(msg.contains("nope") && msg.contains("tiny"), "{msg}");
+    }
+
+    #[test]
+    fn lint_scenario_covers_all_three_stages() {
+        let reports = lint_scenario(&TinyScenario).unwrap();
+        assert_eq!(reports.len(), ModelStage::ALL.len());
+        assert_eq!(reports[0].model(), "tiny (raw)");
+        assert_eq!(reports[1].model(), "tiny (with-notification)");
+        assert_eq!(reports[2].model(), "tiny (no-notification)");
+        for r in &reports {
+            assert!(!r.has_errors(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn fault_population_defaults_to_all_faults() {
+        let model = TinyScenario.build().unwrap();
+        assert_eq!(TinyScenario.fault_population(&model), vec![StateId::new(1)]);
+        assert!(TinyScenario.expected_warnings().is_empty());
+    }
+
+    #[test]
+    fn unexpected_warnings_respects_the_allowlist() {
+        let reports = lint_scenario(&TinyScenario).unwrap();
+        for r in &reports {
+            let all = unexpected_warnings(r, &[]);
+            let allowed = unexpected_warnings(r, &[LintCode::FreeAction, LintCode::AbsorbingFault]);
+            assert!(allowed.len() <= all.len());
+        }
+    }
+}

@@ -46,8 +46,10 @@ pub mod faults;
 mod model;
 pub mod monitors;
 pub mod requests;
+pub mod scenario;
 pub mod topology;
 pub mod two_server;
 
 pub use config::{EmnConfig, PathRouting};
 pub use model::build_model;
+pub use scenario::{EmnScenario, TwoServerScenario};

@@ -5,9 +5,9 @@ use crate::config::EmnConfig;
 use crate::faults::{EmnState, N_STATES};
 use crate::monitors::{self, N_OBSERVATIONS};
 use crate::topology::drop_fraction;
+use bpr_core::blueprint::{assemble, ModelBlueprint};
 use bpr_core::{Error, RecoveryModel};
-use bpr_mdp::MdpBuilder;
-use bpr_pomdp::{ObservationId, PomdpBuilder};
+use bpr_pomdp::ObservationId;
 
 /// The fraction of requests dropped while `action` executes in `state`:
 /// the union of the fault's effect and the components the action takes
@@ -57,48 +57,65 @@ pub fn build_model(config: &EmnConfig) -> Result<RecoveryModel, Error> {
     config
         .validate()
         .map_err(|detail| Error::InvalidInput { detail })?;
+    assemble(&EmnBlueprint { config })
+}
 
-    let mut mb = MdpBuilder::new(N_STATES, N_ACTIONS);
-    for s in EmnState::all() {
-        mb.state_label(s.index(), s.to_string());
-    }
-    for a in EmnAction::all() {
-        mb.action_label(a.index(), a.to_string());
-        mb.duration(a.index(), duration(a, config));
-    }
-    for s in EmnState::all() {
-        for a in EmnAction::all() {
-            let next = a.apply(s);
-            mb.transition(s.index(), a.index(), next.index(), 1.0);
-            let cost = drop_during(s, a, config) * duration(a, config);
-            mb.reward(s.index(), a.index(), -cost);
-        }
-    }
+/// The EMN model expressed as a [`ModelBlueprint`]: the declarative
+/// recipe [`assemble`] compiles through the shared builder pipeline.
+/// Holds an already-validated config.
+struct EmnBlueprint<'c> {
+    config: &'c EmnConfig,
+}
 
-    let mut pb = PomdpBuilder::new(mb.build().map_err(Error::Mdp)?, N_OBSERVATIONS);
-    for mask in 0..N_OBSERVATIONS {
-        pb.observation_label(mask, monitors::label(ObservationId::new(mask)));
+impl ModelBlueprint for EmnBlueprint<'_> {
+    fn n_states(&self) -> usize {
+        N_STATES
     }
-    for s in EmnState::all() {
+    fn n_actions(&self) -> usize {
+        N_ACTIONS
+    }
+    fn n_observations(&self) -> usize {
+        N_OBSERVATIONS
+    }
+    fn state_label(&self, s: usize) -> String {
+        EmnState::from_index(s).to_string()
+    }
+    fn action_label(&self, a: usize) -> String {
+        EmnAction::from_index(a).to_string()
+    }
+    fn observation_label(&self, o: usize) -> String {
+        monitors::label(ObservationId::new(o))
+    }
+    fn action_duration(&self, a: usize) -> f64 {
+        duration(EmnAction::from_index(a), self.config)
+    }
+    fn transitions(&self, s: usize, a: usize, out: &mut Vec<(usize, f64)>) {
+        let (s, a) = (EmnState::from_index(s), EmnAction::from_index(a));
+        out.push((a.apply(s).index(), 1.0));
+    }
+    fn reward(&self, s: usize, a: usize) -> f64 {
+        let (s, a) = (EmnState::from_index(s), EmnAction::from_index(a));
+        -drop_during(s, a, self.config) * duration(a, self.config)
+    }
+    fn observation_row(&self, entered: usize, out: &mut Vec<(usize, f64)>) {
+        let s = EmnState::from_index(entered);
         for mask in 0..N_OBSERVATIONS {
-            let q = monitors::observation_prob(ObservationId::new(mask), s, config);
+            let q = monitors::observation_prob(ObservationId::new(mask), s, self.config);
             if q > 0.0 {
-                pb.observation_all_actions(s.index(), mask, q);
+                out.push((mask, q));
             }
         }
     }
-    let pomdp = pb.build().map_err(Error::Pomdp)?;
-
-    let rates: Vec<f64> = EmnState::all()
-        .into_iter()
-        .map(|s| -drop_fraction(config.http_share, |c| s.is_down(c)))
-        .collect();
-    RecoveryModel::new(
-        pomdp,
-        vec![EmnState::Null.state_id()],
-        rates,
-        vec![EmnAction::Observe.action_id()],
-    )
+    fn null_states(&self) -> Vec<usize> {
+        vec![EmnState::Null.index()]
+    }
+    fn idle_rate(&self, s: usize) -> f64 {
+        let s = EmnState::from_index(s);
+        -drop_fraction(self.config.http_share, |c| s.is_down(c))
+    }
+    fn observe_actions(&self) -> Vec<usize> {
+        vec![EmnAction::Observe.index()]
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! [`Scenario`] implementations for the paper's models, so the benches
+//! and examples can select them through the shared registry alongside
+//! the generated `bpr-topo` corpus.
+
+use crate::config::EmnConfig;
+use crate::faults::EmnState;
+use crate::two_server::{self, TwoServerConfig};
+use bpr_core::scenario::Scenario;
+use bpr_core::{Error, RecoveryModel, StateId};
+
+/// The paper's Section 5 EMN case study (14 states, 9 actions, 2⁷
+/// observations) as a registry scenario.
+#[derive(Debug, Clone, Default)]
+pub struct EmnScenario {
+    /// Model parameters; [`EmnConfig::default`] is the paper's setup.
+    pub config: EmnConfig,
+}
+
+impl Scenario for EmnScenario {
+    fn name(&self) -> &str {
+        "emn"
+    }
+
+    fn description(&self) -> &str {
+        "paper §5 EMN testbed: 3-tier e-commerce stack, 14 states, 7 monitors"
+    }
+
+    fn build(&self) -> Result<RecoveryModel, Error> {
+        crate::build_model(&self.config)
+    }
+
+    fn operator_response_time(&self) -> f64 {
+        self.config.operator_response_time
+    }
+
+    /// The paper's evaluation regime: silent zombie faults, which the
+    /// ping monitors cannot see — crashes are trivially diagnosable.
+    fn fault_population(&self, _model: &RecoveryModel) -> Vec<StateId> {
+        EmnState::zombies()
+            .into_iter()
+            .map(|s| s.state_id())
+            .collect()
+    }
+}
+
+/// The operator response time the modelcheck gate and benches use for
+/// the two-server no-notification transform (the model's costs are in
+/// abstract steps, not seconds).
+pub const TWO_SERVER_OPERATOR_RESPONSE_TIME: f64 = 10.0;
+
+/// The didactic Figure 1(a) two-server model as a registry scenario.
+#[derive(Debug, Clone, Default)]
+pub struct TwoServerScenario {
+    /// Monitor accuracy parameters.
+    pub config: TwoServerConfig,
+}
+
+impl Scenario for TwoServerScenario {
+    fn name(&self) -> &str {
+        "two-server"
+    }
+
+    fn description(&self) -> &str {
+        "figure 1(a) warm-up: two redundant servers, one noisy monitor"
+    }
+
+    fn build(&self) -> Result<RecoveryModel, Error> {
+        two_server::model(&self.config)
+    }
+
+    fn operator_response_time(&self) -> f64 {
+        TWO_SERVER_OPERATOR_RESPONSE_TIME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpr_core::scenario::lint_scenario;
+
+    #[test]
+    fn emn_scenario_builds_the_paper_model() {
+        let s = EmnScenario::default();
+        let m = s.build().unwrap();
+        assert_eq!(m.base().n_states(), 14);
+        assert_eq!(s.operator_response_time(), 21_600.0);
+        let zombies = s.fault_population(&m);
+        assert_eq!(zombies.len(), 5);
+        for z in zombies {
+            assert!(!m.is_null(z));
+        }
+    }
+
+    #[test]
+    fn paper_scenarios_lint_clean_with_empty_allowlists() {
+        for s in [
+            Box::new(EmnScenario::default()) as Box<dyn Scenario>,
+            Box::new(TwoServerScenario::default()),
+        ] {
+            assert!(s.expected_warnings().is_empty());
+            for r in lint_scenario(s.as_ref()).unwrap() {
+                assert!(!r.has_errors(), "{}", r.render());
+            }
+        }
+    }
+}

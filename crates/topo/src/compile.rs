@@ -1,0 +1,578 @@
+//! Compilation of a validated [`TopologySpec`] into a
+//! [`RecoveryModel`], via the workspace's shared
+//! [`ModelBlueprint`]/[`assemble`] pipeline.
+//!
+//! ## Semantics
+//!
+//! * **States** — `Null`, a crash and a zombie per component, a crash
+//!   per host, optionally a partition per rack and a bad deploy per
+//!   tier ([`crate::layout::TopoState`]).
+//! * **Transitions** — deterministic fixes (§5 of the paper): the
+//!   matching group restart / rack reboot / restore / rollback repairs
+//!   the fault, everything else leaves the state unchanged. With
+//!   `cascade_prob > 0`, a *successful* group restart instead lands a
+//!   zombie one tier downstream with that probability — the
+//!   cascading-failure edge. Cascades bottom out at the last tier, so
+//!   recovery (Condition 1) is always preserved.
+//! * **Rewards** — `-(request drop fraction while the action runs) ·
+//!   duration`, where a request needs one healthy replica of one
+//!   service at every tier; the drop unions the fault's damage with the
+//!   components the action takes offline (restores drain their rack,
+//!   rollbacks bounce the replicas they rewrite). Idle cost rates are
+//!   the same drop with no action in flight.
+//! * **Observations** — *first-alarm encoding*: symbol `0` is
+//!   all-clear, symbol `1 + m` means monitor `m` is the
+//!   highest-priority firing alarm. This keeps `|O| = monitors + 1`
+//!   (linear, vs. the EMN model's `2^monitors` joint encoding) while
+//!   preserving a sound observation distribution: the row telescopes to
+//!   exactly 1.
+//!
+//! Determinism: everything is a pure function of the spec; the only
+//! randomness is the seed-derived duration jitter, so the same spec
+//! (including seed) always compiles to a bit-identical model.
+
+use crate::layout::{Layout, TopoAction, TopoState};
+use crate::spec::{TopoError, TopologySpec};
+use bpr_core::blueprint::{assemble, ModelBlueprint};
+use bpr_core::RecoveryModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Compiles a topology spec into a validated recovery model.
+///
+/// # Errors
+///
+/// * Spec validation failures ([`TopoError::NoTiers`],
+///   [`TopoError::Tier`], [`TopoError::Field`]).
+/// * [`TopoError::Model`] if the compiled matrices fail model
+///   validation (a compiler bug — the generation contract says valid
+///   specs always compile clean).
+pub fn compile(spec: &TopologySpec) -> Result<RecoveryModel, TopoError> {
+    spec.validate()?;
+    let blueprint = TopoBlueprint::new(spec);
+    assemble(&blueprint).map_err(TopoError::Model)
+}
+
+/// The blueprint driving [`assemble`] for one validated spec.
+pub(crate) struct TopoBlueprint {
+    layout: Layout,
+    monitors: crate::spec::MonitorSpec,
+    cascade_prob: f64,
+    /// Jittered per-action durations, fixed at construction from the
+    /// spec's seed.
+    durations: Vec<f64>,
+    /// Precomputed `(service, down-mask)` lists — rebuilding the
+    /// per-rack lists inside every `reward(s, a)` call is what would
+    /// otherwise dominate compilation at 10⁴ states.
+    host_masks: Vec<Vec<(usize, u64)>>,
+    rack_masks: Vec<Vec<(usize, u64)>>,
+    /// Per-tier masks of the replicas a bad deploy (and its rollback)
+    /// touches.
+    deploy_masks: Vec<Vec<(usize, u64)>>,
+    /// Per-group full-service masks for restarts.
+    group_masks: Vec<Vec<(usize, u64)>>,
+}
+
+impl TopoBlueprint {
+    pub(crate) fn new(spec: &TopologySpec) -> TopoBlueprint {
+        let layout = Layout::new(spec);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let durations = (0..layout.n_actions())
+            .map(|a| {
+                let base = match layout.action(a) {
+                    TopoAction::RestartGroup(g) => {
+                        layout.tiers[layout.groups[g].tier].restart_duration
+                    }
+                    TopoAction::Reboot(_) => spec.durations.reboot,
+                    TopoAction::Restore(_) => spec.durations.restore,
+                    TopoAction::Rollback(_) => spec.durations.rollback,
+                    TopoAction::Observe => spec.durations.observe,
+                };
+                let u: f64 = rng.gen();
+                base * (1.0 + spec.duration_jitter * (2.0 * u - 1.0))
+            })
+            .collect();
+        let host_masks = layout
+            .host_components
+            .iter()
+            .map(|comps| component_masks(&layout, comps))
+            .collect();
+        let rack_masks = layout
+            .rack_components
+            .iter()
+            .map(|comps| component_masks(&layout, comps))
+            .collect();
+        let deploy_masks = layout
+            .tiers
+            .iter()
+            .map(|tier| {
+                let mask = (1u64 << tier.deploy_down) - 1;
+                (0..tier.services)
+                    .map(|s| (tier.first_service + s, mask))
+                    .collect()
+            })
+            .collect();
+        let group_masks = layout
+            .groups
+            .iter()
+            .map(|group| {
+                let full = full_mask(layout.tiers[group.tier].replicas);
+                (0..group.services)
+                    .map(|s| (group.first_service + s, full))
+                    .collect()
+            })
+            .collect();
+        TopoBlueprint {
+            layout,
+            monitors: spec.monitors,
+            cascade_prob: spec.hazards.cascade_prob,
+            durations,
+            host_masks,
+            rack_masks,
+            deploy_masks,
+            group_masks,
+        }
+    }
+
+    /// Pushes `(service, down-replica bitmask)` pairs for the
+    /// components a state takes down, sorted by service id. `ping_dead`
+    /// selects whether the affected replicas stop answering pings
+    /// (crash-class faults) — zombies and bad deploys keep pinging.
+    fn state_masks(&self, s: TopoState, out: &mut Vec<(usize, u64)>) -> bool {
+        let l = &self.layout;
+        match s {
+            TopoState::Null => false,
+            TopoState::Crash(c) | TopoState::Zombie(c) => {
+                out.push((l.comp_service[c], 1u64 << l.comp_replica[c]));
+                matches!(s, TopoState::Crash(_))
+            }
+            TopoState::HostCrash(h) => {
+                out.extend_from_slice(&self.host_masks[h]);
+                true
+            }
+            TopoState::Partition(r) => {
+                out.extend_from_slice(&self.rack_masks[r]);
+                true
+            }
+            TopoState::BadDeploy(t) => {
+                out.extend_from_slice(&self.deploy_masks[t]);
+                false
+            }
+        }
+    }
+
+    /// Pushes the masks of the components an action takes offline while
+    /// it executes, sorted by service id.
+    fn action_masks(&self, a: TopoAction, out: &mut Vec<(usize, u64)>) {
+        match a {
+            TopoAction::RestartGroup(g) => out.extend_from_slice(&self.group_masks[g]),
+            TopoAction::Reboot(r) | TopoAction::Restore(r) => {
+                out.extend_from_slice(&self.rack_masks[r]);
+            }
+            TopoAction::Rollback(t) => out.extend_from_slice(&self.deploy_masks[t]),
+            TopoAction::Observe => {}
+        }
+    }
+
+    /// The request drop fraction for a set of per-service down masks:
+    /// `1 − Π_tier (available tier capacity / full tier capacity)`.
+    fn drop_from_masks(&self, masks: &[(usize, u64)]) -> f64 {
+        let l = &self.layout;
+        let mut deficit = vec![0.0f64; l.tiers.len()];
+        for &(svc, mask) in masks {
+            let tier = l.svc_tier[svc];
+            deficit[tier] += mask.count_ones() as f64 / l.tiers[tier].replicas as f64;
+        }
+        let mut avail = 1.0;
+        for (t, tier) in l.tiers.iter().enumerate() {
+            avail *= (tier.services as f64 - deficit[t]) / tier.services as f64;
+        }
+        1.0 - avail
+    }
+
+    /// Drop fraction while `action` executes in `state`: the union of
+    /// the fault's damage and the action's own downtime.
+    fn drop_during(&self, state: TopoState, action: TopoAction) -> f64 {
+        let mut state_down = Vec::new();
+        self.state_masks(state, &mut state_down);
+        let mut action_down = Vec::new();
+        self.action_masks(action, &mut action_down);
+        let merged = merge_masks(&state_down, &action_down);
+        self.drop_from_masks(&merged)
+    }
+
+    /// Per-state monitor inputs, derived once per observation row.
+    fn facts(&self, state: TopoState) -> Facts {
+        let l = &self.layout;
+        let mut masks = Vec::new();
+        let ping_dead = self.state_masks(state, &mut masks);
+        let mut svc_down = vec![0u64; l.n_services];
+        let mut svc_ping_dead = vec![false; l.n_services];
+        for &(svc, mask) in &masks {
+            svc_down[svc] |= mask;
+            if ping_dead {
+                svc_ping_dead[svc] = true;
+            }
+        }
+        let mut rack_alarm = vec![false; l.n_racks];
+        match state {
+            TopoState::HostCrash(h) => rack_alarm[l.host_rack[h]] = true,
+            TopoState::Partition(r) => rack_alarm[r] = true,
+            _ => {}
+        }
+        let mut tier_drop = vec![0.0f64; l.tiers.len()];
+        for &(svc, mask) in &masks {
+            let t = l.svc_tier[svc];
+            tier_drop[t] += mask.count_ones() as f64
+                / (l.tiers[t].replicas as f64 * l.tiers[t].services as f64);
+        }
+        Facts {
+            svc_down,
+            svc_ping_dead,
+            rack_alarm,
+            tier_drop,
+        }
+    }
+
+    /// The firing probability of monitor `m` given the state facts.
+    fn monitor_prob(&self, m: usize, facts: &Facts) -> f64 {
+        let (l, spec) = (&self.layout, &self.monitors);
+        let mut i = m;
+        if i < l.n_racks {
+            return if facts.rack_alarm[i] {
+                spec.rack_detection
+            } else {
+                spec.rack_fp
+            };
+        }
+        i -= l.n_racks;
+        if i < l.n_services {
+            return if facts.svc_ping_dead[i] {
+                spec.shallow_detection
+            } else {
+                spec.shallow_fp
+            };
+        }
+        i -= l.n_services;
+        if i < l.n_services {
+            let tier = &l.tiers[l.svc_tier[i]];
+            let frac = facts.svc_down[i].count_ones() as f64 / tier.replicas as f64;
+            return spec.deep_detection * frac + spec.deep_fp * (1.0 - frac);
+        }
+        i -= l.n_services;
+        let drop = facts.tier_drop[i];
+        spec.path_detection * drop + spec.path_fp * (1.0 - drop)
+    }
+}
+
+/// Monitor inputs for one state.
+struct Facts {
+    svc_down: Vec<u64>,
+    svc_ping_dead: Vec<bool>,
+    rack_alarm: Vec<bool>,
+    tier_drop: Vec<f64>,
+}
+
+/// Groups a component list into service-sorted `(service, mask)` pairs.
+fn component_masks(l: &Layout, comps: &[usize]) -> Vec<(usize, u64)> {
+    let mut out: Vec<(usize, u64)> = Vec::new();
+    for &c in comps {
+        let svc = l.comp_service[c];
+        let bit = 1u64 << l.comp_replica[c];
+        match out.iter_mut().find(|(s, _)| *s == svc) {
+            Some((_, mask)) => *mask |= bit,
+            None => out.push((svc, bit)),
+        }
+    }
+    out.sort_unstable_by_key(|&(s, _)| s);
+    out
+}
+
+fn full_mask(replicas: usize) -> u64 {
+    if replicas == 64 {
+        u64::MAX
+    } else {
+        (1u64 << replicas) - 1
+    }
+}
+
+/// Merges two service-sorted mask lists, OR-ing masks of shared
+/// services.
+fn merge_masks(a: &[(usize, u64)], b: &[(usize, u64)]) -> Vec<(usize, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 | b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl ModelBlueprint for TopoBlueprint {
+    fn n_states(&self) -> usize {
+        self.layout.n_states()
+    }
+    fn n_actions(&self) -> usize {
+        self.layout.n_actions()
+    }
+    fn n_observations(&self) -> usize {
+        self.layout.n_monitors() + 1
+    }
+    fn state_label(&self, s: usize) -> String {
+        self.layout.state_label(s)
+    }
+    fn action_label(&self, a: usize) -> String {
+        self.layout.action_label(a)
+    }
+    fn observation_label(&self, o: usize) -> String {
+        if o == 0 {
+            "all-clear".into()
+        } else {
+            self.layout.monitor_label(o - 1)
+        }
+    }
+    fn action_duration(&self, a: usize) -> f64 {
+        self.durations[a]
+    }
+
+    fn transitions(&self, s: usize, a: usize, out: &mut Vec<(usize, f64)>) {
+        let l = &self.layout;
+        let state = l.state(s);
+        let action = l.action(a);
+        let fixed = match (action, state) {
+            (TopoAction::RestartGroup(g), TopoState::Crash(c) | TopoState::Zombie(c))
+                if l.group_contains(g, l.comp_service[c]) =>
+            {
+                // A successful restart may cascade a zombie one tier
+                // downstream.
+                if self.cascade_prob > 0.0 {
+                    if let Some(target) = l.cascade_target(g) {
+                        out.push((0, 1.0 - self.cascade_prob));
+                        out.push((l.state_index(TopoState::Zombie(target)), self.cascade_prob));
+                        return;
+                    }
+                }
+                true
+            }
+            (TopoAction::Reboot(r), TopoState::HostCrash(h)) => l.host_rack[h] == r,
+            (TopoAction::Reboot(r), TopoState::Crash(c) | TopoState::Zombie(c)) => {
+                l.host_rack[l.comp_host[c]] == r
+            }
+            (TopoAction::Restore(r), TopoState::Partition(p)) => p == r,
+            (TopoAction::Rollback(t), TopoState::BadDeploy(d)) => d == t,
+            _ => false,
+        };
+        out.push((if fixed { 0 } else { s }, 1.0));
+    }
+
+    fn reward(&self, s: usize, a: usize) -> f64 {
+        let state = self.layout.state(s);
+        let action = self.layout.action(a);
+        -self.drop_during(state, action) * self.durations[a]
+    }
+
+    fn observation_row(&self, entered: usize, out: &mut Vec<(usize, f64)>) {
+        let facts = self.facts(self.layout.state(entered));
+        let mut survival = 1.0f64;
+        for m in 0..self.layout.n_monitors() {
+            let p = self.monitor_prob(m, &facts);
+            let term = survival * p;
+            if term > 0.0 {
+                out.push((1 + m, term));
+            }
+            survival *= 1.0 - p;
+        }
+        // Detections are validated < 1, so "no alarm fires" keeps
+        // positive mass and the row telescopes to exactly 1.
+        out.push((0, survival));
+    }
+
+    fn null_states(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn idle_rate(&self, s: usize) -> f64 {
+        let mut masks = Vec::new();
+        self.state_masks(self.layout.state(s), &mut masks);
+        -self.drop_from_masks(&masks)
+    }
+
+    fn observe_actions(&self) -> Vec<usize> {
+        vec![self.layout.observe_index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::HazardSpec;
+    use bpr_core::StateId;
+
+    fn model() -> RecoveryModel {
+        compile(&TopologySpec::default()).unwrap()
+    }
+
+    #[test]
+    fn default_spec_compiles_with_matching_dimensions() {
+        let spec = TopologySpec::default();
+        let layout = Layout::new(&spec);
+        let m = model();
+        assert_eq!(m.base().n_states(), layout.n_states());
+        assert_eq!(m.base().n_actions(), layout.n_actions());
+        assert_eq!(m.base().n_observations(), layout.n_monitors() + 1);
+        assert_eq!(m.null_states(), &[StateId::new(0)]);
+    }
+
+    #[test]
+    fn same_spec_and_seed_compile_bit_identically() {
+        let spec = TopologySpec {
+            duration_jitter: 0.2,
+            seed: 99,
+            ..TopologySpec::default()
+        };
+        let a = compile(&spec).unwrap();
+        let b = compile(&spec).unwrap();
+        assert_eq!(a, b);
+        let other_seed = compile(&TopologySpec { seed: 100, ..spec }).unwrap();
+        assert_ne!(a, other_seed, "jitter must respond to the seed");
+    }
+
+    #[test]
+    fn every_fault_has_a_recovery_action() {
+        let m = model();
+        for s in m.fault_states() {
+            assert!(
+                !m.recovery_actions_for(s).is_empty(),
+                "no recovery action for {}",
+                m.base().mdp().state_label(s)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_knob_adds_states_and_actions() {
+        let base = TopologySpec {
+            hazards: HazardSpec {
+                partitions: false,
+                rolling_deploys: false,
+                deploy_fraction: 0.5,
+                cascade_prob: 0.0,
+            },
+            ..TopologySpec::default()
+        };
+        let with = TopologySpec {
+            hazards: HazardSpec {
+                partitions: true,
+                ..base.hazards
+            },
+            ..base.clone()
+        };
+        let (m0, m1) = (compile(&base).unwrap(), compile(&with).unwrap());
+        let racks = base.racks;
+        assert_eq!(m1.base().n_states(), m0.base().n_states() + racks);
+        assert_eq!(m1.base().n_actions(), m0.base().n_actions() + racks);
+        // The restore action fixes the partition deterministically.
+        let layout = Layout::new(&with);
+        let s = layout.state_index(TopoState::Partition(0));
+        let a = layout.groups.len().checked_add(layout.n_racks).unwrap(); // first Restore action
+        assert_eq!(layout.action(a), TopoAction::Restore(0));
+        assert_eq!(m1.base().mdp().transition_prob(s, a, 0), 1.0);
+        // Restoring drains the rack: the action costs even in Null.
+        assert!(m1.base().mdp().reward(0, a) < 0.0);
+    }
+
+    #[test]
+    fn rolling_deploy_knob_adds_per_tier_faults() {
+        let spec = TopologySpec::default();
+        let layout = Layout::new(&spec);
+        let m = model();
+        for t in 0..spec.tiers.len() {
+            let s = layout.state_index(TopoState::BadDeploy(t));
+            // Bad deploys keep pinging: every shallow monitor stays at
+            // its false-positive rate, so the deep monitors carry the
+            // diagnosis.
+            let facts_rate = m.rates()[s];
+            assert!(facts_rate < 0.0, "bad deploy must cost while idle");
+            // Rollback fixes it.
+            let a = (0..layout.n_actions())
+                .find(|&a| layout.action(a) == TopoAction::Rollback(t))
+                .unwrap();
+            assert_eq!(m.base().mdp().transition_prob(s, a, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn cascade_routes_mass_one_tier_downstream() {
+        let spec = TopologySpec {
+            hazards: HazardSpec {
+                cascade_prob: 0.3,
+                ..HazardSpec::default()
+            },
+            ..TopologySpec::default()
+        };
+        let layout = Layout::new(&spec);
+        let m = compile(&spec).unwrap();
+        // Crash of component 0 (web tier, group 0): restart fixes with
+        // prob 0.7, cascades a zombie into the app tier with 0.3.
+        let s = layout.state_index(TopoState::Crash(0));
+        let target = layout.cascade_target(0).unwrap();
+        let z = layout.state_index(TopoState::Zombie(target));
+        assert!((m.base().mdp().transition_prob(s, 0, 0) - 0.7).abs() < 1e-12);
+        assert!((m.base().mdp().transition_prob(s, 0, z) - 0.3).abs() < 1e-12);
+        // Last tier restarts never cascade.
+        let last_group = layout.n_groups - 1;
+        assert_eq!(layout.cascade_target(last_group), None);
+        // Condition 1 still holds (validated by construction), and the
+        // cascade target is itself recoverable.
+        assert!(!m.recovery_actions_for(StateId::new(z)).is_empty());
+    }
+
+    #[test]
+    fn observation_rows_are_sparse_when_fp_is_zero() {
+        let mut spec = TopologySpec::default();
+        spec.monitors.shallow_fp = 0.0;
+        spec.monitors.deep_fp = 0.0;
+        spec.monitors.rack_fp = 0.0;
+        spec.monitors.path_fp = 0.0;
+        let blueprint = TopoBlueprint::new(&spec);
+        let mut row = Vec::new();
+        blueprint.observation_row(0, &mut row);
+        // Null fires nothing: all-clear with probability 1.
+        assert_eq!(row, vec![(0, 1.0)]);
+        row.clear();
+        let layout = Layout::new(&spec);
+        let s = layout.state_index(TopoState::Zombie(0));
+        blueprint.observation_row(s, &mut row);
+        // A zombie is visible to its deep probe and the tier path
+        // probe, invisible to pings — a handful of entries, not |O|.
+        assert!(row.len() >= 3 && row.len() <= 6, "{row:?}");
+        let total: f64 = row.iter().map(|&(_, q)| q).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_is_free_only_in_null() {
+        let m = model();
+        let layout = Layout::new(&TopologySpec::default());
+        let observe = layout.observe_index();
+        assert_eq!(m.base().mdp().reward(0, observe), 0.0);
+        let s = layout.state_index(TopoState::Crash(0));
+        assert!(m.base().mdp().reward(s, observe) < 0.0);
+        assert!(m.is_observe(bpr_core::ActionId::new(observe)));
+    }
+}

@@ -1,0 +1,247 @@
+//! The named scenario corpus: generated datacenter topologies spanning
+//! 10²–10⁴ states, registered behind the shared
+//! [`Scenario`] API so benches sweep a model *family* instead of a
+//! single hand-built instance.
+//!
+//! | scenario        | shape                                   | ~states |
+//! |-----------------|-----------------------------------------|---------|
+//! | `web3tier-small`| 15 services × 3 replicas, 9 hosts       | 10²     |
+//! | `cellfleet-mid` | 125 services × 4 replicas, 50 hosts     | 10³     |
+//! | `region-large`  | 400 services × 12 replicas, 240 hosts   | 10⁴     |
+//!
+//! All three compile lint-clean at error severity — the BPR001–BPR019
+//! catalog is the generation contract (see the proptests in
+//! `tests/lint_contract.rs`).
+
+use crate::compile::compile;
+use crate::spec::{HazardSpec, MonitorSpec, TopoError, TopologySpec};
+use bpr_core::scenario::{Scenario, ScenarioRegistry};
+use bpr_core::{Error, RecoveryModel};
+
+/// A [`TopologySpec`] wrapped as a registry [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct TopoScenario {
+    name: String,
+    description: String,
+    spec: TopologySpec,
+}
+
+impl TopoScenario {
+    /// Wraps a spec under a registry name, validating it eagerly so a
+    /// registered scenario can always build.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TopologySpec::validate`] rejects.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        spec: TopologySpec,
+    ) -> Result<TopoScenario, TopoError> {
+        spec.validate()?;
+        Ok(TopoScenario {
+            name: name.into(),
+            description: description.into(),
+            spec,
+        })
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+}
+
+impl Scenario for TopoScenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn description(&self) -> &str {
+        &self.description
+    }
+    fn build(&self) -> Result<RecoveryModel, Error> {
+        compile(&self.spec).map_err(Into::into)
+    }
+    fn operator_response_time(&self) -> f64 {
+        self.spec.operator_response_time
+    }
+}
+
+/// Noise-free monitors (zero false positives): what keeps observation
+/// rows sparse — and model memory linear — at fleet scale.
+fn quiet_monitors() -> MonitorSpec {
+    MonitorSpec {
+        shallow_fp: 0.0,
+        deep_fp: 0.0,
+        rack_fp: 0.0,
+        path_fp: 0.0,
+        ..MonitorSpec::default()
+    }
+}
+
+/// `web3tier-small`: a classic web/app/db stack, ~10² states, with the
+/// full noisy-monitor treatment (every monitor has false positives).
+///
+/// # Panics
+///
+/// Never — the spec is statically valid (covered by tests).
+pub fn web3tier_small() -> TopoScenario {
+    let spec = TopologySpec::builder()
+        .tier("web", 5, 3, 60.0)
+        .tier("app", 6, 3, 90.0)
+        .tier("db", 4, 3, 240.0)
+        .hosts(9)
+        .racks(3)
+        .restart_group_size(2)
+        .hazards(HazardSpec {
+            partitions: true,
+            rolling_deploys: true,
+            deploy_fraction: 0.34,
+            cascade_prob: 0.0,
+        })
+        .operator_response_time(3600.0)
+        .duration_jitter(0.1)
+        .seed(7)
+        .build()
+        .expect("web3tier-small spec is statically valid");
+    TopoScenario::new(
+        "web3tier-small",
+        "web/app/db stack: 15 services x 3 replicas on 9 hosts, noisy monitors (~1e2 states)",
+        spec,
+    )
+    .expect("web3tier-small spec is statically valid")
+}
+
+/// `cellfleet-mid`: a cellular edge/cell/store fleet, ~10³ states, with
+/// cascading restarts and quiet (zero-false-positive) component
+/// monitors plus noisy path probes.
+///
+/// # Panics
+///
+/// Never — the spec is statically valid (covered by tests).
+pub fn cellfleet_mid() -> TopoScenario {
+    let spec = TopologySpec::builder()
+        .tier("edge", 40, 4, 45.0)
+        .tier("cell", 60, 4, 75.0)
+        .tier("store", 25, 4, 200.0)
+        .hosts(50)
+        .racks(5)
+        .restart_group_size(8)
+        .monitors(MonitorSpec {
+            path_fp: 0.01,
+            ..quiet_monitors()
+        })
+        .hazards(HazardSpec {
+            partitions: true,
+            rolling_deploys: true,
+            deploy_fraction: 0.5,
+            cascade_prob: 0.1,
+        })
+        .operator_response_time(2.0 * 3600.0)
+        .duration_jitter(0.15)
+        .seed(11)
+        .build()
+        .expect("cellfleet-mid spec is statically valid");
+    TopoScenario::new(
+        "cellfleet-mid",
+        "edge/cell/store fleet: 125 services x 4 replicas on 50 hosts, cascades (~1e3 states)",
+        spec,
+    )
+    .expect("cellfleet-mid spec is statically valid")
+}
+
+/// `region-large`: a regional deployment, ~10⁴ states, fully quiet
+/// monitors so observation rows stay a handful of entries wide.
+///
+/// # Panics
+///
+/// Never — the spec is statically valid (covered by tests).
+pub fn region_large() -> TopoScenario {
+    let spec = TopologySpec::builder()
+        .tier("edge", 100, 12, 45.0)
+        .tier("mid", 200, 12, 90.0)
+        .tier("store", 100, 12, 240.0)
+        .hosts(240)
+        .racks(12)
+        .restart_group_size(25)
+        .monitors(quiet_monitors())
+        .hazards(HazardSpec {
+            partitions: true,
+            rolling_deploys: true,
+            deploy_fraction: 0.25,
+            cascade_prob: 0.05,
+        })
+        .operator_response_time(6.0 * 3600.0)
+        .duration_jitter(0.2)
+        .seed(13)
+        .build()
+        .expect("region-large spec is statically valid");
+    TopoScenario::new(
+        "region-large",
+        "regional fleet: 400 services x 12 replicas on 240 hosts, quiet monitors (~1e4 states)",
+        spec,
+    )
+    .expect("region-large spec is statically valid")
+}
+
+/// The full named corpus, smallest first.
+pub fn corpus() -> Vec<TopoScenario> {
+    vec![web3tier_small(), cellfleet_mid(), region_large()]
+}
+
+/// Registers the corpus into a [`ScenarioRegistry`].
+///
+/// # Errors
+///
+/// [`Error::InvalidInput`] on name collisions with already-registered
+/// scenarios.
+pub fn register_corpus(registry: &mut ScenarioRegistry) -> Result<(), Error> {
+    for scenario in corpus() {
+        registry.register(Box::new(scenario))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    #[test]
+    fn corpus_names_are_unique_and_registered() {
+        let mut registry = ScenarioRegistry::new();
+        register_corpus(&mut registry).unwrap();
+        assert_eq!(
+            registry.names(),
+            vec!["web3tier-small", "cellfleet-mid", "region-large"]
+        );
+    }
+
+    #[test]
+    fn corpus_spans_two_to_four_orders_of_magnitude() {
+        let sizes: Vec<usize> = corpus()
+            .iter()
+            .map(|s| Layout::new(s.spec()).n_states())
+            .collect();
+        assert!(
+            (100..1000).contains(&sizes[0]),
+            "web3tier-small: {} states",
+            sizes[0]
+        );
+        assert!(
+            (1000..10_000).contains(&sizes[1]),
+            "cellfleet-mid: {} states",
+            sizes[1]
+        );
+        assert!(sizes[2] >= 9000, "region-large: {} states", sizes[2]);
+    }
+
+    #[test]
+    fn small_scenario_builds_and_is_recoverable() {
+        let scenario = web3tier_small();
+        let model = scenario.build().unwrap();
+        assert!(model.base().n_states() > 100);
+        let population = scenario.fault_population(&model);
+        assert_eq!(population.len(), model.base().n_states() - 1);
+    }
+}

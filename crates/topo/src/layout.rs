@@ -1,0 +1,464 @@
+//! The compiled index space of a validated [`TopologySpec`]: global
+//! component/service/group numbering, host and rack placement, the
+//! fault-state and action layouts, and the monitor fleet. Everything
+//! here is a pure function of the spec, so the same spec always yields
+//! the same layout.
+
+use crate::spec::TopologySpec;
+
+/// Per-tier bookkeeping after global numbering.
+#[derive(Debug, Clone)]
+pub struct TierInfo {
+    /// Tier name (from the spec).
+    pub name: String,
+    /// Services in this tier.
+    pub services: usize,
+    /// Replicas per service.
+    pub replicas: usize,
+    /// Global id of the tier's first service.
+    pub first_service: usize,
+    /// Global id of the tier's first component.
+    pub first_component: usize,
+    /// Global id of the tier's first restart group.
+    pub first_group: usize,
+    /// Number of restart groups in the tier.
+    pub groups: usize,
+    /// Restart duration for the tier's groups.
+    pub restart_duration: f64,
+    /// Replicas a bad deploy degrades per service
+    /// (`⌈deploy_fraction · replicas⌉`, 0 when deploys are disabled).
+    pub deploy_down: usize,
+}
+
+/// A restart group: a run of consecutive services within one tier.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupInfo {
+    /// The tier the group belongs to.
+    pub tier: usize,
+    /// First global service id in the group.
+    pub first_service: usize,
+    /// Number of services in the group.
+    pub services: usize,
+}
+
+/// The fault space of a compiled topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoState {
+    /// The single null-fault state.
+    Null,
+    /// Component `c` crashed (stops answering pings).
+    Crash(usize),
+    /// Component `c` is a zombie (answers pings, serves nothing).
+    Zombie(usize),
+    /// Host `h` crashed (all its components ping-dead).
+    HostCrash(usize),
+    /// Rack `r` is partitioned off (all its components ping-dead).
+    Partition(usize),
+    /// A bad rolling deploy degrades tier `t` (affected replicas still
+    /// answer pings).
+    BadDeploy(usize),
+}
+
+/// The action space of a compiled topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoAction {
+    /// Restart every replica of every service in group `g`; fixes
+    /// crash/zombie faults inside the group (and may cascade
+    /// downstream).
+    RestartGroup(usize),
+    /// Power-cycle every host in rack `r`; fixes host crashes and
+    /// component faults hosted there.
+    Reboot(usize),
+    /// Repair rack `r`'s network partition (the rack drains during the
+    /// restore).
+    Restore(usize),
+    /// Roll tier `t` back to the previous release; fixes its bad
+    /// deploy.
+    Rollback(usize),
+    /// The monitor sweep (the model's observe action).
+    Observe,
+}
+
+/// Global numbering for a validated spec.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Per-tier info, in spec order.
+    pub tiers: Vec<TierInfo>,
+    /// Global service count.
+    pub n_services: usize,
+    /// Global component count.
+    pub n_components: usize,
+    /// Host count.
+    pub n_hosts: usize,
+    /// Rack count.
+    pub n_racks: usize,
+    /// Restart-group count.
+    pub n_groups: usize,
+    /// service id → tier id.
+    pub svc_tier: Vec<usize>,
+    /// component id → global service id.
+    pub comp_service: Vec<usize>,
+    /// component id → replica index within its service.
+    pub comp_replica: Vec<usize>,
+    /// component id → host (round-robin placement).
+    pub comp_host: Vec<usize>,
+    /// host → rack (round-robin striping).
+    pub host_rack: Vec<usize>,
+    /// host → components placed on it.
+    pub host_components: Vec<Vec<usize>>,
+    /// rack → components placed on its hosts.
+    pub rack_components: Vec<Vec<usize>>,
+    /// Restart groups, in global order.
+    pub groups: Vec<GroupInfo>,
+    /// Whether partition states/actions exist.
+    pub partitions: bool,
+    /// Whether bad-deploy states/rollback actions exist.
+    pub deploys: bool,
+}
+
+impl Layout {
+    /// Numbers a validated spec. Callers must have run
+    /// [`TopologySpec::validate`] first.
+    pub fn new(spec: &TopologySpec) -> Layout {
+        let mut tiers = Vec::with_capacity(spec.tiers.len());
+        let (mut svc_base, mut comp_base, mut group_base) = (0usize, 0usize, 0usize);
+        for t in &spec.tiers {
+            let groups = t.services.div_ceil(spec.restart_group_size);
+            tiers.push(TierInfo {
+                name: t.name.clone(),
+                services: t.services,
+                replicas: t.replicas,
+                first_service: svc_base,
+                first_component: comp_base,
+                first_group: group_base,
+                groups,
+                restart_duration: t.restart_duration,
+                deploy_down: if spec.hazards.rolling_deploys {
+                    // ceil(fraction * replicas), clamped into 1..=replicas.
+                    (((spec.hazards.deploy_fraction * t.replicas as f64).ceil() as usize).max(1))
+                        .min(t.replicas)
+                } else {
+                    0
+                },
+            });
+            svc_base += t.services;
+            comp_base += t.services * t.replicas;
+            group_base += groups;
+        }
+        let (n_services, n_components, n_groups) = (svc_base, comp_base, group_base);
+
+        let mut svc_tier = Vec::with_capacity(n_services);
+        let mut comp_service = Vec::with_capacity(n_components);
+        let mut comp_replica = Vec::with_capacity(n_components);
+        let mut groups = Vec::with_capacity(n_groups);
+        for (ti, tier) in tiers.iter().enumerate() {
+            for s in 0..tier.services {
+                svc_tier.push(ti);
+                for r in 0..tier.replicas {
+                    comp_service.push(tier.first_service + s);
+                    comp_replica.push(r);
+                }
+            }
+            for g in 0..tier.groups {
+                let first = g * spec.restart_group_size;
+                groups.push(GroupInfo {
+                    tier: ti,
+                    first_service: tier.first_service + first,
+                    services: spec.restart_group_size.min(tier.services - first),
+                });
+            }
+        }
+
+        let comp_host: Vec<usize> = (0..n_components).map(|c| c % spec.hosts).collect();
+        let host_rack: Vec<usize> = (0..spec.hosts).map(|h| h % spec.racks).collect();
+        let mut host_components = vec![Vec::new(); spec.hosts];
+        let mut rack_components = vec![Vec::new(); spec.racks];
+        for (c, &h) in comp_host.iter().enumerate() {
+            host_components[h].push(c);
+            rack_components[host_rack[h]].push(c);
+        }
+
+        Layout {
+            tiers,
+            n_services,
+            n_components,
+            n_hosts: spec.hosts,
+            n_racks: spec.racks,
+            n_groups,
+            svc_tier,
+            comp_service,
+            comp_replica,
+            comp_host,
+            host_rack,
+            host_components,
+            rack_components,
+            groups,
+            partitions: spec.hazards.partitions,
+            deploys: spec.hazards.rolling_deploys,
+        }
+    }
+
+    /// Total state count: null + crashes + zombies + host crashes
+    /// (+ partitions) (+ bad deploys).
+    pub fn n_states(&self) -> usize {
+        1 + 2 * self.n_components
+            + self.n_hosts
+            + if self.partitions { self.n_racks } else { 0 }
+            + if self.deploys { self.tiers.len() } else { 0 }
+    }
+
+    /// Total action count: group restarts + rack reboots (+ restores)
+    /// (+ rollbacks) + observe.
+    pub fn n_actions(&self) -> usize {
+        self.n_groups
+            + self.n_racks
+            + if self.partitions { self.n_racks } else { 0 }
+            + if self.deploys { self.tiers.len() } else { 0 }
+            + 1
+    }
+
+    /// Monitor count: rack heartbeats + shallow + deep + path probes.
+    pub fn n_monitors(&self) -> usize {
+        self.n_racks + 2 * self.n_services + self.tiers.len()
+    }
+
+    /// Decodes a state index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn state(&self, index: usize) -> TopoState {
+        let c = self.n_components;
+        if index == 0 {
+            return TopoState::Null;
+        }
+        let mut i = index - 1;
+        if i < c {
+            return TopoState::Crash(i);
+        }
+        i -= c;
+        if i < c {
+            return TopoState::Zombie(i);
+        }
+        i -= c;
+        if i < self.n_hosts {
+            return TopoState::HostCrash(i);
+        }
+        i -= self.n_hosts;
+        if self.partitions {
+            if i < self.n_racks {
+                return TopoState::Partition(i);
+            }
+            i -= self.n_racks;
+        }
+        if self.deploys && i < self.tiers.len() {
+            return TopoState::BadDeploy(i);
+        }
+        panic!("state index {index} out of bounds");
+    }
+
+    /// Encodes a state to its index (inverse of [`Layout::state`]).
+    pub fn state_index(&self, s: TopoState) -> usize {
+        let c = self.n_components;
+        match s {
+            TopoState::Null => 0,
+            TopoState::Crash(i) => 1 + i,
+            TopoState::Zombie(i) => 1 + c + i,
+            TopoState::HostCrash(h) => 1 + 2 * c + h,
+            TopoState::Partition(r) => 1 + 2 * c + self.n_hosts + r,
+            TopoState::BadDeploy(t) => {
+                1 + 2 * c + self.n_hosts + if self.partitions { self.n_racks } else { 0 } + t
+            }
+        }
+    }
+
+    /// Decodes an action index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn action(&self, index: usize) -> TopoAction {
+        let mut i = index;
+        if i < self.n_groups {
+            return TopoAction::RestartGroup(i);
+        }
+        i -= self.n_groups;
+        if i < self.n_racks {
+            return TopoAction::Reboot(i);
+        }
+        i -= self.n_racks;
+        if self.partitions {
+            if i < self.n_racks {
+                return TopoAction::Restore(i);
+            }
+            i -= self.n_racks;
+        }
+        if self.deploys {
+            if i < self.tiers.len() {
+                return TopoAction::Rollback(i);
+            }
+            i -= self.tiers.len();
+        }
+        if i == 0 {
+            return TopoAction::Observe;
+        }
+        panic!("action index {index} out of bounds");
+    }
+
+    /// The observe action's index (always the last action).
+    pub fn observe_index(&self) -> usize {
+        self.n_actions() - 1
+    }
+
+    /// Whether group `g` contains global service `svc`.
+    pub fn group_contains(&self, g: usize, svc: usize) -> bool {
+        let group = &self.groups[g];
+        (group.first_service..group.first_service + group.services).contains(&svc)
+    }
+
+    /// The cascade target of group `g`: the first component of the
+    /// aligned group one tier downstream, or `None` for the last tier.
+    pub fn cascade_target(&self, g: usize) -> Option<usize> {
+        let group = &self.groups[g];
+        let next = self.tiers.get(group.tier + 1)?;
+        let gi = g - self.tiers[group.tier].first_group;
+        let svc_in_tier = gi % next.services;
+        Some(next.first_component + svc_in_tier * next.replicas)
+    }
+
+    /// Human-readable state label.
+    pub fn state_label(&self, index: usize) -> String {
+        let comp = |c: usize| {
+            let svc = self.comp_service[c];
+            let tier = &self.tiers[self.svc_tier[svc]];
+            format!(
+                "{}/s{}/r{}",
+                tier.name,
+                svc - tier.first_service,
+                self.comp_replica[c]
+            )
+        };
+        match self.state(index) {
+            TopoState::Null => "Null".into(),
+            TopoState::Crash(c) => format!("Crash({})", comp(c)),
+            TopoState::Zombie(c) => format!("Zombie({})", comp(c)),
+            TopoState::HostCrash(h) => format!("HostCrash(h{h})"),
+            TopoState::Partition(r) => format!("Partition(rack{r})"),
+            TopoState::BadDeploy(t) => format!("BadDeploy({})", self.tiers[t].name),
+        }
+    }
+
+    /// Human-readable action label.
+    pub fn action_label(&self, index: usize) -> String {
+        match self.action(index) {
+            TopoAction::RestartGroup(g) => {
+                let group = &self.groups[g];
+                let tier = &self.tiers[group.tier];
+                format!("RestartGroup({}/g{})", tier.name, g - tier.first_group)
+            }
+            TopoAction::Reboot(r) => format!("Reboot(rack{r})"),
+            TopoAction::Restore(r) => format!("Restore(rack{r})"),
+            TopoAction::Rollback(t) => format!("Rollback({})", self.tiers[t].name),
+            TopoAction::Observe => "Observe".into(),
+        }
+    }
+
+    /// Human-readable monitor label (monitor `m` maps to observation
+    /// `1 + m`; observation 0 is "all-clear").
+    pub fn monitor_label(&self, m: usize) -> String {
+        let mut i = m;
+        if i < self.n_racks {
+            return format!("rack(rack{i})");
+        }
+        i -= self.n_racks;
+        let svc = |s: usize| {
+            let tier = &self.tiers[self.svc_tier[s]];
+            format!("{}/s{}", tier.name, s - tier.first_service)
+        };
+        if i < self.n_services {
+            return format!("shallow({})", svc(i));
+        }
+        i -= self.n_services;
+        if i < self.n_services {
+            return format!("deep({})", svc(i));
+        }
+        i -= self.n_services;
+        format!("path({})", self.tiers[i].name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        Layout::new(&TopologySpec::default())
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let l = layout();
+        // Default spec: 3+3+2 services × 2 replicas = 16 components.
+        assert_eq!(l.n_components, 16);
+        assert_eq!(l.n_services, 8);
+        // groups of 2: 2 (web) + 2 (app) + 1 (db).
+        assert_eq!(l.n_groups, 5);
+        // 1 + 32 + 4 hosts + 2 partitions + 3 deploys.
+        assert_eq!(l.n_states(), 42);
+        // 5 restarts + 2 reboots + 2 restores + 3 rollbacks + observe.
+        assert_eq!(l.n_actions(), 13);
+        // 2 rack + 8 shallow + 8 deep + 3 path.
+        assert_eq!(l.n_monitors(), 21);
+    }
+
+    #[test]
+    fn state_roundtrip_covers_every_index() {
+        let l = layout();
+        for i in 0..l.n_states() {
+            assert_eq!(l.state_index(l.state(i)), i, "state {i}");
+        }
+    }
+
+    #[test]
+    fn action_decoding_covers_every_index() {
+        let l = layout();
+        assert_eq!(l.action(l.observe_index()), TopoAction::Observe);
+        let mut seen_restore = false;
+        for i in 0..l.n_actions() {
+            if matches!(l.action(i), TopoAction::Restore(_)) {
+                seen_restore = true;
+            }
+        }
+        assert!(seen_restore);
+    }
+
+    #[test]
+    fn every_host_and_rack_carries_components() {
+        let l = layout();
+        assert!(l.host_components.iter().all(|h| !h.is_empty()));
+        assert!(l.rack_components.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn cascade_targets_point_one_tier_downstream() {
+        let l = layout();
+        for (g, group) in l.groups.iter().enumerate() {
+            match l.cascade_target(g) {
+                Some(c) => {
+                    let target_tier = l.svc_tier[l.comp_service[c]];
+                    assert_eq!(target_tier, group.tier + 1);
+                }
+                None => assert_eq!(group.tier, l.tiers.len() - 1),
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let l = layout();
+        let mut labels: Vec<String> = (0..l.n_states()).map(|s| l.state_label(s)).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), l.n_states());
+    }
+}

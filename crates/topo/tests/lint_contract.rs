@@ -1,0 +1,133 @@
+//! The generation contract, enforced over random specifications:
+//! **every valid [`TopologySpec`] compiles to a recovery model that
+//! passes `bpr-lint` clean at error severity** — at the raw stage and
+//! after both §3.1 transforms — with no warnings at all, and the
+//! compilation is deterministic (same spec + seed ⇒ bit-identical
+//! model).
+//!
+//! Conditions 1 (null reachability) and 2 (non-positive rewards) are
+//! enforced twice over: `RecoveryModel::new` rejects violations at
+//! construction, and the lint pass re-checks them structurally
+//! (BPR008/BPR011 are error-severity codes), so a compile that
+//! returns `Ok` with a clean report carries both guarantees.
+
+use bpr_core::scenario::lint_model_stages;
+use bpr_topo::{compile, DurationSpec, HazardSpec, MonitorSpec, TierSpec, TopologySpec};
+use proptest::prelude::*;
+
+/// A coin-flip strategy (the vendored minimal proptest has no
+/// `any::<bool>()`).
+fn arb_bool() -> impl Strategy<Value = bool> {
+    prop_oneof![Just(false), Just(true)]
+}
+
+/// Random valid specs, kept small (≤ 27 components) so a proptest run
+/// stays fast: 1–3 tiers of 1–3 services × 1–3 replicas, hosts and
+/// racks clamped into their validity envelopes, the full hazard and
+/// monitor-noise surface exercised.
+fn arb_spec() -> impl Strategy<Value = TopologySpec> {
+    let tier = (1usize..=3, 1usize..=3, 30.0f64..300.0);
+    (
+        proptest::collection::vec(tier, 1..=3),
+        (
+            1usize..=6, // raw hosts, clamped to n_components
+            1usize..=6, // raw racks, clamped to hosts
+            1usize..=4, // restart group size
+        ),
+        (
+            (0.5f64..0.99, 0.0f64..0.3), // shallow detection / fp
+            (0.5f64..0.99, 0.0f64..0.3), // deep detection / fp
+            (0.5f64..0.99, 0.0f64..0.3), // rack detection / fp
+            (0.5f64..0.99, 0.0f64..0.3), // path detection / fp
+        ),
+        (arb_bool(), arb_bool(), 0.05f64..1.0, 0.0f64..0.9),
+        // t_op floor of 600s clears the longest possible jittered
+        // action (300s base × 1.9), keeping BPR016 out of play: an
+        // operator slower than every recovery action is the regime
+        // the paper's bound is meant for.
+        (0.0f64..0.9, 0u64..u64::MAX, 600.0f64..100_000.0),
+    )
+        .prop_map(
+            |(
+                tiers,
+                (raw_hosts, raw_racks, group),
+                (shallow, deep, rack, path),
+                (partitions, rolling_deploys, deploy_fraction, cascade_prob),
+                (duration_jitter, seed, operator_response_time),
+            )| {
+                let tiers: Vec<TierSpec> = tiers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (services, replicas, restart_duration))| TierSpec {
+                        name: format!("tier{i}"),
+                        services,
+                        replicas,
+                        restart_duration,
+                    })
+                    .collect();
+                let n_components: usize = tiers.iter().map(|t| t.services * t.replicas).sum();
+                let hosts = raw_hosts.min(n_components);
+                let racks = raw_racks.min(hosts);
+                TopologySpec {
+                    tiers,
+                    hosts,
+                    racks,
+                    restart_group_size: group,
+                    monitors: MonitorSpec {
+                        shallow_detection: shallow.0,
+                        shallow_fp: shallow.1,
+                        deep_detection: deep.0,
+                        deep_fp: deep.1,
+                        rack_detection: rack.0,
+                        rack_fp: rack.1,
+                        path_detection: path.0,
+                        path_fp: path.1,
+                    },
+                    hazards: HazardSpec {
+                        partitions,
+                        rolling_deploys,
+                        deploy_fraction,
+                        cascade_prob,
+                    },
+                    durations: DurationSpec::default(),
+                    operator_response_time,
+                    duration_jitter,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The contract itself: random valid spec ⇒ the model builds
+    /// (Conditions 1 and 2 hold at construction) and every pipeline
+    /// stage lints with zero errors *and* zero warnings.
+    #[test]
+    fn random_valid_specs_compile_lint_clean(spec in arb_spec()) {
+        prop_assert!(spec.validate().is_ok(), "generator produced an invalid spec");
+        let model = compile(&spec).expect("valid spec compiles");
+        let reports =
+            lint_model_stages("random", &model, spec.operator_response_time).unwrap();
+        prop_assert_eq!(reports.len(), 3);
+        for report in &reports {
+            prop_assert!(!report.has_errors(), "{}", report.render());
+            prop_assert_eq!(
+                report.count(bpr_topo::Severity::Warn),
+                0,
+                "unexpected warning:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    /// Determinism: compiling the same spec twice yields bit-identical
+    /// models (labels, matrices, jittered durations, everything).
+    #[test]
+    fn compilation_is_deterministic(spec in arb_spec()) {
+        let a = compile(&spec).expect("valid spec compiles");
+        let b = compile(&spec).expect("valid spec compiles");
+        prop_assert!(a == b, "same spec + seed produced different models");
+    }
+}

@@ -1,34 +1,70 @@
-//! Integration tests for the `modelcheck` static-analysis gate: the
-//! paper's models must lint clean at error severity, the deliberately
-//! broken fixture must not, and the shipped binary must exit zero /
-//! non-zero accordingly while emitting the JSON bundle with the full
-//! lint catalog.
+//! Integration tests for the `modelcheck` static-analysis gate: every
+//! registered scenario must lint clean at error severity (with no
+//! warnings outside its allowlist), the deliberately broken fixture
+//! must not, and the shipped binary must exit zero / non-zero
+//! accordingly while emitting the JSON bundle (with the full lint
+//! catalog and per-row scenario names) plus the corpus manifest.
+//!
+//! The tests run a fast subset of the registry — the paper models and
+//! the smallest corpus scenario — because they execute in the debug
+//! profile; the release binary in CI lints the full registry,
+//! including the 10³/10⁴-state corpus.
 
-use bpr_bench::modelcheck::{broken_fixture, bundle_json, lint_paper_models};
+use bpr_bench::modelcheck::{
+    broken_fixture, broken_report, bundle_json, lint_scenarios, manifest_json,
+};
 use bpr_core::lint::Severity;
+use bpr_core::scenario::{Scenario, ScenarioRegistry};
 use std::process::Command;
 
+/// The scenario names the debug-profile tests lint and run the binary
+/// against.
+const FAST_SCENARIOS: &str = "emn,two-server,web3tier-small";
+
+fn fast_registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry
+        .register(Box::new(bpr_emn::EmnScenario::default()))
+        .unwrap();
+    registry
+        .register(Box::new(bpr_emn::TwoServerScenario::default()))
+        .unwrap();
+    registry
+        .register(Box::new(bpr_topo::web3tier_small()))
+        .unwrap();
+    registry
+}
+
 #[test]
-fn paper_models_pass_the_gate() {
-    let reports = lint_paper_models().unwrap();
-    assert_eq!(reports.len(), 6, "raw + two transforms, two models");
+fn registered_scenarios_pass_the_gate() {
+    let registry = fast_registry();
+    let reports = lint_scenarios(&registry).unwrap();
+    assert_eq!(reports.len(), 9, "three stages per scenario");
     for r in &reports {
-        assert!(!r.has_errors(), "{}", r.render());
+        assert!(!r.report.has_errors(), "{}", r.report.render());
+        assert_eq!(
+            r.unexpected_warnings,
+            0,
+            "{} ({}) has warnings outside its allowlist:\n{}",
+            r.scenario,
+            r.stage,
+            r.report.render()
+        );
     }
     // The raw stages must still report the divergence the transforms
-    // exist to repair — as info, not error.
-    let raw_reports: Vec<_> = reports
-        .iter()
-        .filter(|r| r.model().ends_with("(raw)"))
-        .collect();
-    assert_eq!(raw_reports.len(), 2);
+    // exist to repair — as info, not error — for the hand-built paper
+    // models and the generated corpus alike.
+    let raw_reports: Vec<_> = reports.iter().filter(|r| r.stage == "raw").collect();
+    assert_eq!(raw_reports.len(), 3);
     for r in raw_reports {
         assert!(
-            r.diagnostics()
+            r.report
+                .diagnostics()
                 .iter()
                 .any(|d| d.code.as_str() == "BPR019" && d.severity == Severity::Info),
-            "raw model missing the divergent-chain info: {}",
-            r.render()
+            "raw model {} missing the divergent-chain info: {}",
+            r.scenario,
+            r.report.render()
         );
     }
 }
@@ -46,11 +82,24 @@ fn broken_fixture_fails_the_gate_with_structured_findings() {
     assert_eq!(unrecoverable.states.len(), 1);
     assert_eq!(unrecoverable.states[0].1, "Wedged");
     assert!(!unrecoverable.fixit.is_empty());
+    // The gate-row wrapper carries the fixture under its own scenario
+    // name.
+    let row = broken_report();
+    assert_eq!(row.scenario, "broken-fixture");
+    assert!(row.report.has_errors());
 }
 
 #[test]
-fn json_bundle_lists_at_least_eight_catalog_codes() {
-    let json = bundle_json(&lint_paper_models().unwrap());
+fn json_bundle_embeds_scenario_names_and_the_catalog() {
+    let json = bundle_json(&lint_scenarios(&fast_registry()).unwrap());
+    for name in FAST_SCENARIOS.split(',') {
+        assert!(
+            json.contains(&format!("\"scenario\": \"{name}\"")),
+            "bundle missing scenario {name}"
+        );
+    }
+    assert!(json.contains("\"stage\": \"raw\""));
+    assert!(json.contains("\"stage\": \"no-notification\""));
     let distinct = (1..=19)
         .filter(|i| json.contains(&format!("BPR{i:03}")))
         .count();
@@ -60,9 +109,22 @@ fn json_bundle_lists_at_least_eight_catalog_codes() {
     assert!(json.contains("\"fixit\": "));
 }
 
+#[test]
+fn manifest_records_the_corpus_dimensions() {
+    let registry = fast_registry();
+    let scenarios: Vec<&dyn Scenario> = registry.iter().collect();
+    let json = manifest_json(&scenarios).unwrap();
+    assert!(json.contains("\"name\": \"web3tier-small\""));
+    assert!(json.contains("\"states\": 14"), "EMN dimensions missing");
+    assert!(json.contains("\"build_seconds\": "));
+}
+
 fn run_modelcheck(dir: &std::path::Path, extra: &[&str]) -> std::process::Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_modelcheck"));
-    cmd.current_dir(dir).arg("--quiet");
+    cmd.current_dir(dir)
+        .arg("--quiet")
+        .arg("--scenario")
+        .arg(FAST_SCENARIOS);
     for a in extra {
         cmd.arg(a);
     }
@@ -83,6 +145,9 @@ fn binary_exits_zero_on_clean_models_and_writes_json() {
     let json = std::fs::read_to_string(dir.join("MODELCHECK.json")).unwrap();
     // The bundle-level error total is the last field of the document.
     assert!(json.trim_end().ends_with("\"errors\": 0}"));
+    assert!(json.contains("\"scenario\": \"web3tier-small\""));
+    let manifest = std::fs::read_to_string(dir.join("MODELCHECK_manifest.json")).unwrap();
+    assert!(manifest.contains("\"name\": \"web3tier-small\""));
 }
 
 #[test]
@@ -94,4 +159,19 @@ fn binary_exits_nonzero_on_the_broken_fixture() {
     let json = std::fs::read_to_string(dir.join("MODELCHECK.json")).unwrap();
     assert!(!json.trim_end().ends_with("\"errors\": 0}"));
     assert!(json.contains("broken-fixture"));
+}
+
+#[test]
+fn binary_rejects_unknown_scenarios() {
+    let dir = std::env::temp_dir().join("bpr_modelcheck_unknown");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_modelcheck"));
+    let out = cmd
+        .current_dir(&dir)
+        .args(["--quiet", "--scenario", "no-such-scenario"])
+        .output()
+        .expect("modelcheck binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-scenario") && stderr.contains("web3tier-small"));
 }

@@ -10,11 +10,12 @@
 //!   hardened controller recovers ≥99% of zombie faults while the
 //!   unhardened bounded controller demonstrably degrades.
 
-use bpr_bench::experiments::{robustness_sweep, RobustnessConfig};
+use bpr_bench::experiments::{robustness_sweep_for, RobustnessConfig};
 use bpr_core::{
     BoundedConfig, BoundedController, RecoveryModel, ResilienceConfig, ResilientController,
 };
 use bpr_emn::two_server;
+use bpr_emn::EmnScenario;
 use bpr_mdp::{ActionId, MdpBuilder, StateId};
 use bpr_pomdp::PomdpBuilder;
 use bpr_sim::{EpisodeOutcome, EpisodeRunner, HarnessConfig, PerturbationPlan};
@@ -246,13 +247,16 @@ fn zero_plan_is_trace_equivalent_on_two_server() {
 /// terminations, aborts, or step-cap cut-offs).
 #[test]
 fn resilient_controller_clears_the_emn_acceptance_bar() {
-    let cells = robustness_sweep(&RobustnessConfig {
-        episodes: 60,
-        seed: 7,
-        failure_probs: vec![0.2],
-        dropout_probs: vec![0.1],
-        ..RobustnessConfig::default()
-    })
+    let cells = robustness_sweep_for(
+        &EmnScenario::default(),
+        &RobustnessConfig {
+            episodes: 60,
+            seed: 7,
+            failure_probs: vec![0.2],
+            dropout_probs: vec![0.1],
+            ..RobustnessConfig::default()
+        },
+    )
     .unwrap();
     assert_eq!(cells.len(), 1);
     let cell = &cells[0];
@@ -290,13 +294,16 @@ fn resilient_controller_clears_the_emn_acceptance_bar() {
 /// everything and no perturbations are counted.
 #[test]
 fn sweep_zero_cell_recovers_everything() {
-    let cells = robustness_sweep(&RobustnessConfig {
-        episodes: 10,
-        seed: 7,
-        failure_probs: vec![0.0],
-        dropout_probs: vec![0.0],
-        ..RobustnessConfig::default()
-    })
+    let cells = robustness_sweep_for(
+        &EmnScenario::default(),
+        &RobustnessConfig {
+            episodes: 10,
+            seed: 7,
+            failure_probs: vec![0.0],
+            dropout_probs: vec![0.0],
+            ..RobustnessConfig::default()
+        },
+    )
     .unwrap();
     for row in &cells[0].rows {
         assert_eq!(row.summary.unrecovered, 0, "{}", row.summary.controller);
