@@ -40,9 +40,10 @@ echo "==> modelcheck (full-corpus lint gate: paper models + generated 10^2-10^4 
 cargo run -p bpr-bench --bin modelcheck --release -- \
   --quiet --out MODELCHECK.json --manifest MODELCHECK_manifest.json
 
-echo "==> serve chaos-soak smoke (bursty load + fault injection + forced kill/resume; fails on incident loss or divergence)"
+echo "==> serve chaos-soak smoke (bursty load + fault injection + forced kill/resume, plus a loopback-socket network-chaos soak on web3tier-small; fails on incident loss, divergence, or transport-accounting violations)"
 cargo run -p bpr-bench --bin serve --release -- \
-  --ticks 120 --kill-round 25 --out BENCH_serve.json --snapshot serve.snapshot
+  --ticks 120 --kill-round 25 --net-scenarios web3tier-small --net-ticks 48 \
+  --out BENCH_serve.json --snapshot serve.snapshot
 
 # Note: `command -v cargo-miri` is a false positive under rustup (the
 # proxy shim exists even when the component is absent) — ask rustup.

@@ -1,28 +1,28 @@
-//! Kill-and-resume drill for the durable runtime: runs the EMN campaign
-//! once uninterrupted, then "kills" a checkpointed run at a seeded
-//! random checkpoint boundary and resumes it — asserting the resumed
-//! run reproduces the uninterrupted run's canonical outcomes
-//! bit-for-bit at every requested thread count. Also drills snapshot
-//! corruption (must degrade cleanly, not panic), the durable bootstrap,
-//! and measures checkpoint overhead. Exits nonzero on any mismatch and
+//! Kill-and-resume drill for the durable runtime: runs a campaign on
+//! a registry scenario (`--scenario`, default `emn`) once
+//! uninterrupted, then "kills" a checkpointed run at a seeded random
+//! checkpoint boundary and resumes it — asserting the resumed run
+//! reproduces the uninterrupted run's canonical outcomes bit-for-bit
+//! at every requested thread count. Also drills snapshot corruption
+//! (must degrade cleanly, not panic), the durable bootstrap, and
+//! measures checkpoint overhead. Exits nonzero on any mismatch and
 //! leaves the snapshot behind for post-mortem; on success the snapshot
 //! files are cleaned up.
 //!
 //! Usage:
 //! `cargo run -p bpr-bench --bin kill_resume --release -- \
-//!     [--episodes 60] [--every 5] [--seed 7] [--threads 1,2,4] \
-//!     [--max-steps 400] [--bootstrap-iters 24] [--batch 8] \
-//!     [--snapshot kill_resume.snapshot] [--out BENCH_kill_resume.json]`
+//!     [--scenario emn] [--episodes 60] [--every 5] [--seed 7] \
+//!     [--threads 1,2,4] [--max-steps 400] [--bootstrap-iters 24] \
+//!     [--batch 8] [--snapshot kill_resume.snapshot] \
+//!     [--out BENCH_kill_resume.json]`
 
-use bpr_bench::experiments::{bootstrapped_bounded_d1_for, emn_model};
-use bpr_bench::flag;
+use bpr_bench::experiments::bootstrapped_bounded_d1_for;
+use bpr_bench::{flag, scenario_flag, string_flag};
 use bpr_core::bootstrap::{
     bootstrap_par, bootstrap_par_durable, BootstrapConfig, BootstrapVariant,
 };
 use bpr_core::snapshot::CheckpointPolicy;
-use bpr_emn::actions::EmnAction;
-use bpr_emn::faults::EmnState;
-use bpr_emn::EmnConfig;
+use bpr_core::ActionId;
 use bpr_mdp::chain::SolveOpts;
 use bpr_par::WorkPool;
 use bpr_pomdp::bounds::ra_bound;
@@ -45,14 +45,6 @@ fn threads_flag(args: &[String], default: &[usize]) -> Vec<usize> {
         .unwrap_or_else(|| default.to_vec())
 }
 
-fn string_flag(args: &[String], name: &str, default: &str) -> String {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| default.to_string())
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let episodes = flag(&args, "--episodes", 60usize);
@@ -72,6 +64,10 @@ fn main() {
         .collect();
     let widths = if widths.is_empty() { vec![1] } else { widths };
 
+    let registry = bpr::scenario::builtin();
+    let scenario = scenario_flag(&registry, &args, "emn");
+    let scenario_name = scenario.name().to_string();
+
     // The kill point: a seeded-random checkpoint boundary strictly
     // inside the run, so resume always has work left to do.
     let rounds = episodes.div_ceil(every);
@@ -82,19 +78,16 @@ fn main() {
     };
     let kill_point = (kill_round * every).min(episodes);
     eprintln!(
-        "kill_resume: {episodes} episodes, checkpoint every {every}, \
+        "kill_resume[{scenario_name}]: {episodes} episodes, checkpoint every {every}, \
          kill at episode {kill_point}, widths {widths:?}"
     );
 
-    let model = emn_model().expect("EMN model builds");
-    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
-    let prototype = bootstrapped_bounded_d1_for(
-        &model,
-        EmnConfig::default().operator_response_time,
-        seed,
-        1e-3,
-    )
-    .expect("bounded-d1 prototype builds");
+    let model = scenario.build().expect("scenario model builds");
+    let zombies = scenario.fault_population(&model);
+    assert!(!zombies.is_empty(), "scenario has no fault population");
+    let operator_response_time = scenario.operator_response_time();
+    let prototype = bootstrapped_bounded_d1_for(&model, operator_response_time, seed, 1e-3)
+        .expect("bounded-d1 prototype builds");
     let session = |episodes: usize, threads: usize, checkpoint: bool| {
         let mut c = Campaign::new(&model)
             .population(&zombies)
@@ -192,16 +185,23 @@ fn main() {
     // against the straight-through parallel bootstrap.
     let boot_snapshot = format!("{snapshot_path}.bootstrap");
     let _ = std::fs::remove_file(&boot_snapshot);
-    let emn_config = EmnConfig::default();
     let transformed = model
-        .without_notification(emn_config.operator_response_time)
+        .without_notification(operator_response_time)
         .expect("transform");
+    // Condition the bootstrap on the scenario's first observe action
+    // (every registry model tags at least one monitor sweep; action 0
+    // is the documented fallback).
+    let conditioning_action = model
+        .observe_actions()
+        .first()
+        .copied()
+        .unwrap_or_else(|| ActionId::new(0));
     let config = BootstrapConfig {
         variant: BootstrapVariant::Random,
         iterations: bootstrap_iters,
         depth: 1,
         max_steps: 40,
-        conditioning_action: EmnAction::Observe.action_id(),
+        conditioning_action,
         ..BootstrapConfig::default()
     };
     let pool = WorkPool::new(widths[widths.len() - 1]).expect("nonzero width");
@@ -263,7 +263,8 @@ fn main() {
     }
     resume_json.push(']');
     let json = format!(
-        "{{\n  \"bench\": \"kill_resume\",\n  \"seed\": {seed},\n  \"episodes\": {episodes},\n  \
+        "{{\n  \"bench\": \"kill_resume\",\n  \"scenario\": \"{scenario_name}\",\n  \
+         \"seed\": {seed},\n  \"episodes\": {episodes},\n  \
          \"checkpoint_every\": {every},\n  \"kill_point\": {kill_point},\n  \
          \"plain_wall_seconds\": {plain_wall:.6},\n  \
          \"checkpointed_wall_seconds\": {durable_wall:.6},\n  \

@@ -95,7 +95,8 @@ pub mod prelude {
     pub use bpr_pomdp::bounds::{qmdp_bound, ra_bound, ValueBound, VectorSetBound};
     pub use bpr_pomdp::{Belief, PomdpBuilder};
     pub use bpr_serve::{
-        Daemon, IncidentStatus, Schedule, ServeConfig, ServeReport, SyntheticEvents,
+        Daemon, Frame, FrameDecoder, FrameError, IncidentStatus, Schedule, ServeConfig,
+        ServeReport, SocketConfig, SocketSource, SyntheticEvents, TransportCounts,
     };
     pub use bpr_sim::{
         Campaign, CampaignReport, CampaignSummary, DegradedWorld, EpisodeOutcome, EpisodeRunner,

@@ -248,6 +248,82 @@ pub fn read_snapshot(path: &Path, kind: &str) -> Result<Option<String>, Snapshot
     Ok(Some(payload))
 }
 
+/// The file a named partition of a multi-file snapshot lives in: the
+/// base snapshot path with `.{label}` appended (`serve.snap` →
+/// `serve.snap.p3`). Partitions are siblings of the manifest so a
+/// single directory holds the whole checkpoint.
+pub fn partition_path(base: &Path, label: &str) -> PathBuf {
+    let mut name = base.file_name().map_or_else(
+        || std::ffi::OsString::from("snapshot"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".");
+    name.push(label);
+    base.with_file_name(name)
+}
+
+/// Chain-line prefix tying a partition file to its manifest.
+const CHAIN_KEY: &str = "chain";
+
+/// Atomically writes one partition of a multi-file snapshot.
+///
+/// The payload is prefixed with a **chain line**
+/// `chain <fingerprint> <generation> <label>` before going through
+/// [`write_snapshot`], so a partition can only be read back by the
+/// session and checkpoint generation that wrote it — a stale partition
+/// left over from an earlier run (or copied from a different session)
+/// is rejected as [`SnapshotError::Incompatible`] instead of being
+/// silently mixed into a resume.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] from the underlying write.
+pub fn write_partition(
+    base: &Path,
+    label: &str,
+    kind: &str,
+    fingerprint: u64,
+    generation: u64,
+    payload: &str,
+) -> Result<(), SnapshotError> {
+    let chained = format!("{CHAIN_KEY} {fingerprint:016x} {generation} {label}\n{payload}");
+    write_snapshot(&partition_path(base, label), kind, &chained)
+}
+
+/// Reads and verifies one partition of a multi-file snapshot.
+///
+/// Beyond the container checks of [`read_snapshot`], the chain line
+/// must match the `(fingerprint, generation, label)` the caller's
+/// manifest recorded. Returns the payload with the chain line
+/// stripped, or `Ok(None)` when the partition file does not exist.
+///
+/// # Errors
+///
+/// * [`SnapshotError::Incompatible`] for a chain mismatch (wrong
+///   session, wrong generation, or a file renamed across labels).
+/// * Any other [`SnapshotError`] from the container layer.
+pub fn read_partition(
+    base: &Path,
+    label: &str,
+    kind: &str,
+    fingerprint: u64,
+    generation: u64,
+) -> Result<Option<String>, SnapshotError> {
+    let Some(chained) = read_snapshot(&partition_path(base, label), kind)? else {
+        return Ok(None);
+    };
+    let (chain, payload) = chained.split_once('\n').ok_or(SnapshotError::Malformed {
+        detail: "partition has no chain line".into(),
+    })?;
+    let expected = format!("{CHAIN_KEY} {fingerprint:016x} {generation} {label}");
+    if chain != expected {
+        return Err(SnapshotError::Incompatible {
+            detail: format!("partition chain {chain:?} where {expected:?} was expected"),
+        });
+    }
+    Ok(Some(payload.to_string()))
+}
+
 fn tmp_sibling(path: &Path) -> PathBuf {
     let mut name = path.file_name().map_or_else(
         || std::ffi::OsString::from("snapshot"),
@@ -739,6 +815,85 @@ mod tests {
         assert!(matches!(
             read_snapshot(&path, "demo"),
             Err(SnapshotError::Malformed { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn partition_path_appends_the_label() {
+        let base = PathBuf::from("/tmp/serve.snap");
+        assert_eq!(
+            partition_path(&base, "p3"),
+            PathBuf::from("/tmp/serve.snap.p3")
+        );
+    }
+
+    #[test]
+    fn partition_roundtrips_under_its_chain() {
+        let base = scratch("part_roundtrip");
+        write_partition(&base, "p0", "demo-part", 0xABCD, 7, "line a\nline b\n").unwrap();
+        assert_eq!(
+            read_partition(&base, "p0", "demo-part", 0xABCD, 7)
+                .unwrap()
+                .as_deref(),
+            Some("line a\nline b\n")
+        );
+        // An empty payload still carries its chain line.
+        write_partition(&base, "p0", "demo-part", 0xABCD, 8, "").unwrap();
+        assert_eq!(
+            read_partition(&base, "p0", "demo-part", 0xABCD, 8)
+                .unwrap()
+                .as_deref(),
+            Some("")
+        );
+        let _ = std::fs::remove_file(partition_path(&base, "p0"));
+    }
+
+    #[test]
+    fn missing_partition_is_none_not_an_error() {
+        let base = scratch("part_missing");
+        assert_eq!(
+            read_partition(&base, "p5", "demo-part", 1, 1).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn partition_chain_mismatches_are_incompatible() {
+        let base = scratch("part_chain");
+        write_partition(&base, "p1", "demo-part", 0x1111, 3, "x\n").unwrap();
+        // Wrong session fingerprint.
+        assert!(matches!(
+            read_partition(&base, "p1", "demo-part", 0x2222, 3),
+            Err(SnapshotError::Incompatible { .. })
+        ));
+        // Stale generation (partition not rewritten by the checkpoint
+        // the manifest describes).
+        assert!(matches!(
+            read_partition(&base, "p1", "demo-part", 0x1111, 4),
+            Err(SnapshotError::Incompatible { .. })
+        ));
+        // A partition file renamed across labels is caught too.
+        std::fs::rename(partition_path(&base, "p1"), partition_path(&base, "p2")).unwrap();
+        assert!(matches!(
+            read_partition(&base, "p2", "demo-part", 0x1111, 3),
+            Err(SnapshotError::Incompatible { .. })
+        ));
+        let _ = std::fs::remove_file(partition_path(&base, "p2"));
+    }
+
+    #[test]
+    fn corrupt_partition_surfaces_container_errors() {
+        let base = scratch("part_corrupt");
+        write_partition(&base, "p0", "demo-part", 9, 1, "payload\n").unwrap();
+        let path = partition_path(&base, "p0");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_partition(&base, "p0", "demo-part", 9, 1),
+            Err(SnapshotError::ChecksumMismatch { .. })
         ));
         let _ = std::fs::remove_file(&path);
     }

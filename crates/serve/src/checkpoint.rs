@@ -1,5 +1,6 @@
-//! Durable daemon state: everything needed to resume a serve run
-//! bit-identically after a crash.
+//! Durable daemon state: a **manifest plus per-shard incident
+//! partitions**, so resume cost scales with live incidents rather
+//! than history.
 //!
 //! Live incidents are *not* serialised controller-by-controller —
 //! each one is a pure function of `(master_seed, incident id,
@@ -10,13 +11,45 @@
 //! is what makes the "identical decision sequence across
 //! kill/resume" gate hold by construction instead of by serialisation
 //! discipline.
+//!
+//! # On-disk layout
+//!
+//! * **Manifest** (`<base>`, kind `serve-manifest`) — the commit
+//!   point, written *last*: counters, the admission queue, every live
+//!   incident's identity triple, and a partition table recording each
+//!   partition's generation, payload checksum, and contents.
+//! * **Partitions** (`<base>.p<k>`, kind `serve-part`) — incident
+//!   `id` belongs to partition `id % partitions`. A partition holds
+//!   the *growing* state of its incidents: the replay positions of
+//!   its live ones and the closed records of its finished ones. Each
+//!   is written by atomic rename and chained to the manifest through
+//!   `(session fingerprint, generation)` via
+//!   [`bpr_core::snapshot::write_partition`]; partitions whose
+//!   payload is unchanged since the last checkpoint are *skipped*, so
+//!   a steady-state checkpoint rewrites only the partitions with live
+//!   incidents — O(live), not O(history).
+//!
+//! # Failure containment
+//!
+//! A corrupt, missing, or stale partition degrades **only its own
+//! incidents**: its closed records are dropped (counted, typed) and
+//! its live incidents are re-admitted fresh from step 0, while every
+//! other partition replays exactly. A corrupt manifest degrades the
+//! whole checkpoint to a fresh run — exactly the monolithic
+//! behaviour, now scoped to the one file that is small and rewritten
+//! every checkpoint.
 
 use crate::incident::{IncidentRecord, IncidentStatus, RungKind};
-use bpr_core::snapshot::{read_snapshot, SnapshotError};
+use bpr_core::snapshot::{
+    fnv1a64, read_partition, read_snapshot, write_partition, write_snapshot, SnapshotError,
+};
 use bpr_mdp::StateId;
+use std::path::Path;
 
-/// Container kind tag of serve checkpoints.
-pub const SERVE_KIND: &str = "serve";
+/// Container kind tag of the checkpoint manifest.
+pub const SERVE_MANIFEST_KIND: &str = "serve-manifest";
+/// Container kind tag of incident partition files.
+pub const SERVE_PARTITION_KIND: &str = "serve-part";
 
 /// A live incident's resume descriptor (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +64,8 @@ pub struct LiveIncident {
     pub steps: usize,
 }
 
-/// The persisted state of a serve run.
+/// The logical state of a serve run — what the partitioned files
+/// reassemble into on load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeCheckpoint {
     /// Hash of the session parameters (seed, config, model shape,
@@ -64,6 +98,44 @@ pub struct ServeCheckpoint {
     pub live: Vec<LiveIncident>,
     /// Closed incident records.
     pub records: Vec<IncidentRecord>,
+}
+
+/// How one partition fared during a load. Only partitions that could
+/// **not** be restored produce an outcome; the daemon surfaces them in
+/// the report and the accounting (`records_dropped`) keeps the
+/// zero-loss invariant checkable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// Partition index.
+    pub partition: u32,
+    /// Why the partition could not be trusted.
+    pub error: SnapshotError,
+    /// Live incidents degraded to fresh admission (replay from 0).
+    pub live_degraded: u64,
+    /// Closed records lost with the partition.
+    pub records_dropped: u64,
+}
+
+/// Per-partition `(generation, checksum, live, records)` bookkeeping
+/// the writer carries across checkpoints so unchanged partitions are
+/// skipped instead of rewritten.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionCache {
+    entries: Vec<Option<PartEntry>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PartEntry {
+    generation: u64,
+    fnv: u64,
+    live: u64,
+    records: u64,
+}
+
+impl PartitionCache {
+    fn resize(&mut self, partitions: u32) {
+        self.entries.resize(partitions as usize, None);
+    }
 }
 
 /// Replaces control characters with spaces so panic payloads and error
@@ -103,11 +175,90 @@ fn decode_actions(s: &str) -> Result<Option<Vec<i64>>, SnapshotError> {
     })
 }
 
+fn encode_record(r: &IncidentRecord) -> String {
+    format!(
+        "record {}\t{}\t{}\t{}\t{:?}\t{:016x}\t{}\t{}\t{}\t{}\t{}\n",
+        r.id,
+        r.fault.index(),
+        r.status.as_str(),
+        r.steps,
+        r.cost,
+        r.decision_hash,
+        r.admitted_rung.as_str(),
+        r.final_rung.as_str(),
+        r.escalations,
+        encode_actions(&r.actions),
+        sanitize(&r.detail)
+    )
+}
+
+fn decode_record(rest: &str) -> Result<IncidentRecord, SnapshotError> {
+    let malformed = |detail: String| SnapshotError::Malformed { detail };
+    let fields: Vec<&str> = rest.split('\t').collect();
+    if fields.len() != 11 {
+        return Err(malformed(format!("record {rest:?}")));
+    }
+    Ok(IncidentRecord {
+        id: fields[0]
+            .parse()
+            .map_err(|_| malformed(format!("record id {rest:?}")))?,
+        fault: StateId::new(
+            fields[1]
+                .parse()
+                .map_err(|_| malformed(format!("record fault {rest:?}")))?,
+        ),
+        status: IncidentStatus::parse(fields[2])?,
+        steps: fields[3]
+            .parse()
+            .map_err(|_| malformed(format!("record steps {rest:?}")))?,
+        cost: fields[4]
+            .parse()
+            .map_err(|_| malformed(format!("record cost {rest:?}")))?,
+        decision_hash: u64::from_str_radix(fields[5], 16)
+            .map_err(|_| malformed(format!("record hash {rest:?}")))?,
+        admitted_rung: RungKind::parse(fields[6])?,
+        final_rung: RungKind::parse(fields[7])?,
+        escalations: fields[8]
+            .parse()
+            .map_err(|_| malformed(format!("record escalations {rest:?}")))?,
+        actions: decode_actions(fields[9])?,
+        detail: fields[10].to_string(),
+    })
+}
+
 impl ServeCheckpoint {
-    /// Serialises the checkpoint payload (container header excluded).
-    pub fn encode(&self) -> String {
+    /// The partition an incident id belongs to.
+    fn partition_of(id: u64, partitions: u32) -> u32 {
+        (id % u64::from(partitions.max(1))) as u32
+    }
+
+    /// Serialises partition `k`: replay positions of its live
+    /// incidents plus its closed records. Returns the payload and its
+    /// `(live, records)` counts.
+    fn partition_payload(&self, k: u32, partitions: u32) -> (String, u64, u64) {
+        let mut out = String::new();
+        let mut live = 0u64;
+        let mut records = 0u64;
+        for l in &self.live {
+            if Self::partition_of(l.id, partitions) == k {
+                out.push_str(&format!("steps {} {}\n", l.id, l.steps));
+                live += 1;
+            }
+        }
+        for r in &self.records {
+            if Self::partition_of(r.id, partitions) == k {
+                out.push_str(&encode_record(r));
+                records += 1;
+            }
+        }
+        (out, live, records)
+    }
+
+    /// Serialises the manifest payload (container header excluded).
+    fn encode_manifest(&self, generation: u64, partitions: u32, cache: &PartitionCache) -> String {
         let mut out = String::new();
         out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!("generation {generation}\n"));
         out.push_str(&format!("tick {}\n", self.tick));
         out.push_str(&format!("rounds {}\n", self.rounds));
         out.push_str(&format!("next {}\n", self.next_id));
@@ -123,49 +274,118 @@ impl ServeCheckpoint {
         ));
         let queue: Vec<String> = self.queue.iter().map(|s| s.index().to_string()).collect();
         out.push_str(&format!("queue {}\n", queue.join(" ")));
+        out.push_str(&format!("partitions {partitions}\n"));
         for l in &self.live {
             out.push_str(&format!(
-                "live {}\t{}\t{}\t{}\n",
+                "live {}\t{}\t{}\n",
                 l.id,
                 l.fault.index(),
                 l.admitted_rung.as_str(),
-                l.steps
             ));
         }
-        for r in &self.records {
+        for (k, entry) in cache.entries.iter().enumerate() {
+            let e = entry
+                .as_ref()
+                .expect("every partition is paid out before the manifest");
             out.push_str(&format!(
-                "record {}\t{}\t{}\t{}\t{:?}\t{:016x}\t{}\t{}\t{}\t{}\t{}\n",
-                r.id,
-                r.fault.index(),
-                r.status.as_str(),
-                r.steps,
-                r.cost,
-                r.decision_hash,
-                r.admitted_rung.as_str(),
-                r.final_rung.as_str(),
-                r.escalations,
-                encode_actions(&r.actions),
-                sanitize(&r.detail)
+                "part {k} {} {:016x} {} {}\n",
+                e.generation, e.fnv, e.live, e.records
             ));
         }
         out
     }
 
-    /// Parses a payload produced by [`ServeCheckpoint::encode`].
+    /// Writes the checkpoint: changed partitions first (each by
+    /// atomic rename, chained to `(fingerprint, generation)`), the
+    /// manifest last as the commit point. `cache` carries partition
+    /// checksums across calls so unchanged partitions are skipped.
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Malformed`] for any structural deviation.
-    pub fn decode(payload: &str) -> Result<ServeCheckpoint, SnapshotError> {
+    /// [`SnapshotError::Io`] from any underlying write. Partitions
+    /// already written before the failure are consistent on disk and
+    /// will be skipped by a retry.
+    pub fn save_partitioned(
+        &self,
+        base: &Path,
+        partitions: u32,
+        generation: u64,
+        cache: &mut PartitionCache,
+    ) -> Result<(), SnapshotError> {
+        let partitions = partitions.max(1);
+        cache.resize(partitions);
+        for k in 0..partitions {
+            let (payload, live, records) = self.partition_payload(k, partitions);
+            let fnv = fnv1a64(payload.as_bytes());
+            let entry = &mut cache.entries[k as usize];
+            let unchanged = entry.as_ref().is_some_and(|e| e.fnv == fnv);
+            if unchanged {
+                // Content identical to what is already on disk — keep
+                // the old generation, skip the write.
+                let e = entry.as_mut().expect("unchanged implies present");
+                e.live = live;
+                e.records = records;
+                continue;
+            }
+            if !payload.is_empty() || entry.is_some() {
+                write_partition(
+                    base,
+                    &format!("p{k}"),
+                    SERVE_PARTITION_KIND,
+                    self.fingerprint,
+                    generation,
+                    &payload,
+                )?;
+            }
+            // An empty, never-written partition gets a table entry but
+            // no file; the loader skips empty entries.
+            *entry = Some(PartEntry {
+                generation,
+                fnv,
+                live,
+                records,
+            });
+        }
+        write_snapshot(
+            base,
+            SERVE_MANIFEST_KIND,
+            &self.encode_manifest(generation, partitions, cache),
+        )
+    }
+
+    /// Loads a partitioned checkpoint: the manifest plus every
+    /// partition it references. Returns `Ok(None)` when no manifest
+    /// exists yet.
+    ///
+    /// A partition that is missing, corrupt, checksum-divergent, or
+    /// chained to the wrong generation is **degraded, not fatal**: its
+    /// closed records are dropped and its live incidents come back
+    /// with `steps = 0` (fresh admission), each failure reported as a
+    /// typed [`PartitionOutcome`]. The returned generation seeds the
+    /// resumed writer's generation counter.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] for an unreadable *manifest* — the
+    /// commit point itself cannot be trusted, so the whole checkpoint
+    /// degrades to a fresh run.
+    pub fn load_partitioned(
+        base: &Path,
+    ) -> Result<Option<(ServeCheckpoint, u64, Vec<PartitionOutcome>)>, SnapshotError> {
         let malformed = |detail: String| SnapshotError::Malformed { detail };
+        let Some(payload) = read_snapshot(base, SERVE_MANIFEST_KIND)? else {
+            return Ok(None);
+        };
         let mut fingerprint = None;
+        let mut generation = None;
         let mut tick = None;
         let mut rounds = None;
         let mut next_id = None;
         let mut counts: Option<Vec<u64>> = None;
         let mut queue = None;
-        let mut live = Vec::new();
-        let mut records = Vec::new();
+        let mut partitions: Option<u32> = None;
+        let mut live: Vec<LiveIncident> = Vec::new();
+        let mut parts: Vec<(u32, PartEntry)> = Vec::new();
         for line in payload.lines() {
             let (key, rest) = line
                 .split_once(' ')
@@ -175,6 +395,12 @@ impl ServeCheckpoint {
                     fingerprint = Some(
                         u64::from_str_radix(rest, 16)
                             .map_err(|_| malformed(format!("fingerprint {rest:?}")))?,
+                    );
+                }
+                "generation" => {
+                    generation = Some(
+                        rest.parse()
+                            .map_err(|_| malformed(format!("generation {rest:?}")))?,
                     );
                 }
                 "tick" => {
@@ -217,9 +443,15 @@ impl ServeCheckpoint {
                             .collect::<Vec<_>>(),
                     );
                 }
+                "partitions" => {
+                    partitions = Some(
+                        rest.parse()
+                            .map_err(|_| malformed(format!("partitions {rest:?}")))?,
+                    );
+                }
                 "live" => {
                     let fields: Vec<&str> = rest.split('\t').collect();
-                    if fields.len() != 4 {
+                    if fields.len() != 3 {
                         return Err(malformed(format!("live {rest:?}")));
                     }
                     live.push(LiveIncident {
@@ -232,83 +464,169 @@ impl ServeCheckpoint {
                                 .map_err(|_| malformed(format!("live fault {rest:?}")))?,
                         ),
                         admitted_rung: RungKind::parse(fields[2])?,
-                        steps: fields[3]
-                            .parse()
-                            .map_err(|_| malformed(format!("live steps {rest:?}")))?,
+                        steps: 0,
                     });
                 }
-                "record" => {
-                    let fields: Vec<&str> = rest.split('\t').collect();
-                    if fields.len() != 11 {
-                        return Err(malformed(format!("record {rest:?}")));
+                "part" => {
+                    let fields: Vec<&str> = rest.split(' ').collect();
+                    if fields.len() != 5 {
+                        return Err(malformed(format!("part {rest:?}")));
                     }
-                    records.push(IncidentRecord {
-                        id: fields[0]
+                    parts.push((
+                        fields[0]
                             .parse()
-                            .map_err(|_| malformed(format!("record id {rest:?}")))?,
-                        fault: StateId::new(
-                            fields[1]
+                            .map_err(|_| malformed(format!("part index {rest:?}")))?,
+                        PartEntry {
+                            generation: fields[1]
                                 .parse()
-                                .map_err(|_| malformed(format!("record fault {rest:?}")))?,
-                        ),
-                        status: IncidentStatus::parse(fields[2])?,
-                        steps: fields[3]
-                            .parse()
-                            .map_err(|_| malformed(format!("record steps {rest:?}")))?,
-                        cost: fields[4]
-                            .parse()
-                            .map_err(|_| malformed(format!("record cost {rest:?}")))?,
-                        decision_hash: u64::from_str_radix(fields[5], 16)
-                            .map_err(|_| malformed(format!("record hash {rest:?}")))?,
-                        admitted_rung: RungKind::parse(fields[6])?,
-                        final_rung: RungKind::parse(fields[7])?,
-                        escalations: fields[8]
-                            .parse()
-                            .map_err(|_| malformed(format!("record escalations {rest:?}")))?,
-                        actions: decode_actions(fields[9])?,
-                        detail: fields[10].to_string(),
-                    });
+                                .map_err(|_| malformed(format!("part generation {rest:?}")))?,
+                            fnv: u64::from_str_radix(fields[2], 16)
+                                .map_err(|_| malformed(format!("part fnv {rest:?}")))?,
+                            live: fields[3]
+                                .parse()
+                                .map_err(|_| malformed(format!("part live {rest:?}")))?,
+                            records: fields[4]
+                                .parse()
+                                .map_err(|_| malformed(format!("part records {rest:?}")))?,
+                        },
+                    ));
                 }
                 _ => return Err(malformed(format!("unknown key {key:?}"))),
             }
         }
         let counts = counts.ok_or_else(|| malformed("missing counts".into()))?;
-        Ok(ServeCheckpoint {
-            fingerprint: fingerprint.ok_or_else(|| malformed("missing fingerprint".into()))?,
-            tick: tick.ok_or_else(|| malformed("missing tick".into()))?,
-            rounds: rounds.ok_or_else(|| malformed("missing rounds".into()))?,
-            next_id: next_id.ok_or_else(|| malformed("missing next".into()))?,
-            events_seen: counts[0],
-            shed_queue_full: counts[1],
-            admitted: counts[2],
-            degraded_admissions: counts[3],
-            escalated_resilient: counts[4],
-            escalated_anytime: counts[5],
-            decisions: counts[6],
-            queue: queue.ok_or_else(|| malformed("missing queue".into()))?,
-            live,
-            records,
-        })
-    }
+        let fingerprint = fingerprint.ok_or_else(|| malformed("missing fingerprint".into()))?;
+        let generation = generation.ok_or_else(|| malformed("missing generation".into()))?;
+        let n_partitions = partitions.ok_or_else(|| malformed("missing partitions".into()))?;
 
-    /// Loads and verifies a checkpoint; `Ok(None)` when no snapshot
-    /// exists yet.
-    ///
-    /// # Errors
-    ///
-    /// Any [`SnapshotError`] describing why the file cannot be
-    /// trusted.
-    pub fn load(path: &std::path::Path) -> Result<Option<ServeCheckpoint>, SnapshotError> {
-        match read_snapshot(path, SERVE_KIND)? {
-            None => Ok(None),
-            Some(payload) => Ok(Some(ServeCheckpoint::decode(&payload)?)),
+        let mut records = Vec::new();
+        let mut outcomes = Vec::new();
+        for (k, entry) in parts {
+            if entry.live == 0 && entry.records == 0 {
+                continue;
+            }
+            let loaded = read_partition(
+                base,
+                &format!("p{k}"),
+                SERVE_PARTITION_KIND,
+                fingerprint,
+                entry.generation,
+            )
+            .and_then(|p| {
+                p.ok_or_else(|| SnapshotError::Io {
+                    detail: format!("partition p{k} is missing"),
+                })
+            })
+            .and_then(|p| {
+                let actual = fnv1a64(p.as_bytes());
+                if actual == entry.fnv {
+                    Ok(p)
+                } else {
+                    Err(SnapshotError::ChecksumMismatch {
+                        expected: entry.fnv,
+                        actual,
+                    })
+                }
+            })
+            .and_then(|p| parse_partition(&p));
+            match loaded {
+                Ok((steps, mut recs)) => {
+                    for (id, s) in steps {
+                        if let Some(l) = live.iter_mut().find(|l| l.id == id) {
+                            l.steps = s;
+                        }
+                    }
+                    records.append(&mut recs);
+                }
+                Err(error) => {
+                    // Degrade only this partition: its records are
+                    // gone (counted below) and its live incidents keep
+                    // steps = 0 — fresh admission.
+                    let live_degraded = live
+                        .iter()
+                        .filter(|l| Self::partition_of(l.id, n_partitions) == k)
+                        .count() as u64;
+                    outcomes.push(PartitionOutcome {
+                        partition: k,
+                        error,
+                        live_degraded,
+                        records_dropped: entry.records,
+                    });
+                }
+            }
+        }
+        records.sort_by_key(|r: &IncidentRecord| r.id);
+        Ok(Some((
+            ServeCheckpoint {
+                fingerprint,
+                tick: tick.ok_or_else(|| malformed("missing tick".into()))?,
+                rounds: rounds.ok_or_else(|| malformed("missing rounds".into()))?,
+                next_id: next_id.ok_or_else(|| malformed("missing next".into()))?,
+                events_seen: counts[0],
+                shed_queue_full: counts[1],
+                admitted: counts[2],
+                degraded_admissions: counts[3],
+                escalated_resilient: counts[4],
+                escalated_anytime: counts[5],
+                decisions: counts[6],
+                queue: queue.ok_or_else(|| malformed("missing queue".into()))?,
+                live,
+                records,
+            },
+            generation,
+            outcomes,
+        )))
+    }
+}
+
+/// Live replay positions (`(incident id, steps)`) plus closed records
+/// — the contents of one partition file.
+type PartitionContents = (Vec<(u64, usize)>, Vec<IncidentRecord>);
+
+/// Parses a partition payload into `(live replay positions, records)`.
+fn parse_partition(payload: &str) -> Result<PartitionContents, SnapshotError> {
+    let malformed = |detail: String| SnapshotError::Malformed { detail };
+    let mut steps = Vec::new();
+    let mut records = Vec::new();
+    for line in payload.lines() {
+        let (key, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| malformed(format!("keyless partition line {line:?}")))?;
+        match key {
+            "steps" => {
+                let (id, s) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| malformed(format!("steps {rest:?}")))?;
+                steps.push((
+                    id.parse()
+                        .map_err(|_| malformed(format!("steps id {rest:?}")))?,
+                    s.parse()
+                        .map_err(|_| malformed(format!("steps count {rest:?}")))?,
+                ));
+            }
+            "record" => records.push(decode_record(rest)?),
+            _ => return Err(malformed(format!("unknown partition key {key:?}"))),
         }
     }
+    Ok((steps, records))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bpr_core::snapshot::partition_path;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bpr_serve_cp_{}_{name}", std::process::id()))
+    }
+
+    fn cleanup(base: &Path, partitions: u32) {
+        let _ = std::fs::remove_file(base);
+        for k in 0..partitions {
+            let _ = std::fs::remove_file(partition_path(base, &format!("p{k}")));
+        }
+    }
 
     fn sample() -> ServeCheckpoint {
         ServeCheckpoint {
@@ -324,12 +642,20 @@ mod tests {
             escalated_anytime: 1,
             decisions: 55,
             queue: vec![StateId::new(1), StateId::new(0)],
-            live: vec![LiveIncident {
-                id: 5,
-                fault: StateId::new(1),
-                admitted_rung: RungKind::Anytime,
-                steps: 9,
-            }],
+            live: vec![
+                LiveIncident {
+                    id: 5,
+                    fault: StateId::new(1),
+                    admitted_rung: RungKind::Anytime,
+                    steps: 9,
+                },
+                LiveIncident {
+                    id: 6,
+                    fault: StateId::new(0),
+                    admitted_rung: RungKind::Bounded,
+                    steps: 2,
+                },
+            ],
             records: vec![
                 IncidentRecord {
                     id: 0,
@@ -354,7 +680,7 @@ mod tests {
                     admitted_rung: RungKind::Bounded,
                     final_rung: RungKind::Resilient,
                     escalations: 1,
-                    detail: "panic:\tboom\n".into(),
+                    detail: "panic: boom ".into(),
                     actions: None,
                 },
             ],
@@ -362,44 +688,166 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_roundtrips() {
-        let cp = sample();
-        let decoded = ServeCheckpoint::decode(&cp.encode()).unwrap();
-        // The panic payload is sanitised on encode, so compare against
-        // the sanitised original.
-        let mut expected = cp;
-        expected.records[1].detail = "panic: boom ".into();
-        assert_eq!(decoded, expected);
+    fn partitioned_checkpoint_roundtrips() {
+        for partitions in [1u32, 3, 8] {
+            let base = scratch(&format!("roundtrip{partitions}"));
+            cleanup(&base, partitions);
+            let cp = sample();
+            let mut cache = PartitionCache::default();
+            cp.save_partitioned(&base, partitions, 1, &mut cache)
+                .unwrap();
+            let (loaded, generation, outcomes) =
+                ServeCheckpoint::load_partitioned(&base).unwrap().unwrap();
+            assert_eq!(generation, 1);
+            assert!(outcomes.is_empty(), "{outcomes:?}");
+            assert_eq!(loaded, cp, "partitions = {partitions}");
+            cleanup(&base, partitions);
+        }
     }
 
     #[test]
-    fn empty_queue_roundtrips() {
+    fn control_characters_in_details_are_sanitized_on_write() {
+        let base = scratch("sanitize");
+        cleanup(&base, 2);
         let mut cp = sample();
-        cp.queue.clear();
-        cp.live.clear();
-        cp.records.clear();
-        let decoded = ServeCheckpoint::decode(&cp.encode()).unwrap();
-        assert_eq!(decoded, cp);
+        cp.records[1].detail = "panic:\tboom\n".into();
+        let mut cache = PartitionCache::default();
+        cp.save_partitioned(&base, 2, 1, &mut cache).unwrap();
+        let (loaded, _, _) = ServeCheckpoint::load_partitioned(&base).unwrap().unwrap();
+        assert_eq!(loaded.records[1].detail, "panic: boom ");
+        cleanup(&base, 2);
     }
 
     #[test]
-    fn malformed_payloads_are_typed() {
-        assert!(matches!(
-            ServeCheckpoint::decode("fingerprint xyz\n"),
-            Err(SnapshotError::Malformed { .. })
-        ));
-        assert!(matches!(
-            ServeCheckpoint::decode("nonsense\n"),
-            Err(SnapshotError::Malformed { .. })
-        ));
+    fn unchanged_partitions_are_skipped_on_rewrite() {
+        let base = scratch("skip");
+        cleanup(&base, 4);
+        let mut cp = sample();
+        let mut cache = PartitionCache::default();
+        cp.save_partitioned(&base, 4, 1, &mut cache).unwrap();
+        // Only incident 5 (partition 1) advances; partitions 0, 2, 3
+        // are untouched and must not be rewritten.
+        let before: Vec<Option<std::time::SystemTime>> = (0..4)
+            .map(|k| {
+                std::fs::metadata(partition_path(&base, &format!("p{k}")))
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cp.live[0].steps = 10;
+        cp.save_partitioned(&base, 4, 2, &mut cache).unwrap();
+        let after: Vec<Option<std::time::SystemTime>> = (0..4)
+            .map(|k| {
+                std::fs::metadata(partition_path(&base, &format!("p{k}")))
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+            })
+            .collect();
+        assert_ne!(before[1], after[1], "dirty partition rewritten");
+        for k in [0usize, 2, 3] {
+            assert_eq!(before[k], after[k], "clean partition p{k} rewritten");
+        }
+        // The mixed-generation checkpoint still loads exactly.
+        let (loaded, generation, outcomes) =
+            ServeCheckpoint::load_partitioned(&base).unwrap().unwrap();
+        assert_eq!(generation, 2);
+        assert!(outcomes.is_empty());
+        assert_eq!(loaded, cp);
+        cleanup(&base, 4);
+    }
+
+    #[test]
+    fn corrupt_partition_degrades_only_its_incidents() {
+        let base = scratch("degrade");
+        cleanup(&base, 2);
         let cp = sample();
-        let broken = cp.encode().replace("counts", "mounts");
-        assert!(ServeCheckpoint::decode(&broken).is_err());
+        let mut cache = PartitionCache::default();
+        cp.save_partitioned(&base, 2, 1, &mut cache).unwrap();
+        // Flip a byte in partition 1 (incidents 1 and 5).
+        let p1 = partition_path(&base, "p1");
+        let mut bytes = std::fs::read(&p1).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        std::fs::write(&p1, &bytes).unwrap();
+
+        let (loaded, _, outcomes) = ServeCheckpoint::load_partitioned(&base).unwrap().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].partition, 1);
+        assert_eq!(outcomes[0].live_degraded, 1, "incident 5 degraded");
+        assert_eq!(outcomes[0].records_dropped, 1, "record 1 dropped");
+        assert!(matches!(
+            outcomes[0].error,
+            SnapshotError::ChecksumMismatch { .. }
+        ));
+        // Partition 0 replays exactly; partition 1's survivor is fresh.
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.records[0].id, 0);
+        let i5 = loaded.live.iter().find(|l| l.id == 5).unwrap();
+        assert_eq!(i5.steps, 0, "degraded to fresh admission");
+        assert_eq!(i5.fault, StateId::new(1), "identity survives in manifest");
+        let i6 = loaded.live.iter().find(|l| l.id == 6).unwrap();
+        assert_eq!(i6.steps, 2, "healthy partition replays exactly");
+        cleanup(&base, 2);
     }
 
     #[test]
-    fn sanitize_strips_control_characters() {
-        assert_eq!(sanitize("a\tb\nc"), "a b c");
-        assert_eq!(sanitize("plain"), "plain");
+    fn missing_partition_is_degraded_not_fatal() {
+        let base = scratch("missing_part");
+        cleanup(&base, 2);
+        let cp = sample();
+        let mut cache = PartitionCache::default();
+        cp.save_partitioned(&base, 2, 1, &mut cache).unwrap();
+        std::fs::remove_file(partition_path(&base, "p0")).unwrap();
+        let (loaded, _, outcomes) = ServeCheckpoint::load_partitioned(&base).unwrap().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].partition, 0);
+        assert_eq!(outcomes[0].records_dropped, 1);
+        assert_eq!(loaded.live.iter().find(|l| l.id == 6).unwrap().steps, 0);
+        assert_eq!(loaded.live.iter().find(|l| l.id == 5).unwrap().steps, 9);
+        cleanup(&base, 2);
+    }
+
+    #[test]
+    fn stale_partition_from_an_earlier_generation_is_rejected() {
+        let base = scratch("stale_gen");
+        cleanup(&base, 2);
+        let mut cp = sample();
+        let mut cache = PartitionCache::default();
+        cp.save_partitioned(&base, 2, 1, &mut cache).unwrap();
+        let p1 = partition_path(&base, "p1");
+        let old = std::fs::read(&p1).unwrap();
+        // Advance the dirty partition, then put the stale file back —
+        // simulating a torn multi-file update.
+        cp.live[0].steps = 30;
+        cp.save_partitioned(&base, 2, 2, &mut cache).unwrap();
+        std::fs::write(&p1, &old).unwrap();
+        let (_, _, outcomes) = ServeCheckpoint::load_partitioned(&base).unwrap().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(
+            matches!(outcomes[0].error, SnapshotError::Incompatible { .. }),
+            "{:?}",
+            outcomes[0].error
+        );
+        cleanup(&base, 2);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_fatal_for_the_whole_checkpoint() {
+        let base = scratch("bad_manifest");
+        cleanup(&base, 2);
+        let cp = sample();
+        let mut cache = PartitionCache::default();
+        cp.save_partitioned(&base, 2, 1, &mut cache).unwrap();
+        std::fs::write(&base, "garbage, not a snapshot\n").unwrap();
+        assert!(ServeCheckpoint::load_partitioned(&base).is_err());
+        cleanup(&base, 2);
+    }
+
+    #[test]
+    fn missing_manifest_is_none_not_an_error() {
+        let base = scratch("no_manifest");
+        cleanup(&base, 1);
+        assert!(ServeCheckpoint::load_partitioned(&base).unwrap().is_none());
     }
 }

@@ -18,13 +18,15 @@
 //! checkpoint trigger only adds snapshots; snapshot content is itself
 //! a pure function of logical state.
 
-use crate::checkpoint::{sanitize, LiveIncident, ServeCheckpoint, SERVE_KIND};
+use crate::checkpoint::{
+    sanitize, LiveIncident, PartitionCache, PartitionOutcome, ServeCheckpoint,
+};
 use crate::event::EventSource;
 use crate::incident::{Incident, IncidentRecord, IncidentStatus, Prototypes, RungKind};
 use crate::report::{LatencyHistogram, ServeReport, ShedCounts};
-use bpr_core::lint::{lint_pomdp, Diagnostic};
+use bpr_core::lint::{lint_pomdp, Diagnostic, LintCode};
 use bpr_core::snapshot::{
-    fnv1a64, retry_with_backoff, write_snapshot, CheckpointPolicy, RetryPolicy, SnapshotError,
+    fnv1a64, retry_with_backoff, CheckpointPolicy, RetryPolicy, SnapshotError,
 };
 use bpr_core::{
     AnytimeConfig, AnytimeController, BoundedConfig, BoundedController, Error, RecoveryModel,
@@ -39,8 +41,10 @@ use std::time::{Duration, Instant};
 
 /// Daemon configuration. All control-relevant fields are folded into
 /// the checkpoint fingerprint; purely observed fields (`deadline`,
-/// `shards`, `checkpoint`, `kill_after_rounds`, `verbose`) are not —
-/// a snapshot may be resumed at a different shard width.
+/// `shards`, `checkpoint`, `checkpoint_partitions`,
+/// `expected_warnings`, `kill_after_rounds`, `verbose`) are not — a
+/// snapshot may be resumed at a different shard width or partition
+/// count.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Maximum concurrently live incidents (admission cap).
@@ -85,8 +89,18 @@ pub struct ServeConfig {
     /// Durability: where and how often to checkpoint, `None` to run
     /// without snapshots.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Incident partitions the checkpoint is sharded over (`id %
+    /// partitions`). More partitions mean smaller steady-state
+    /// rewrites; resume reads whatever count the manifest records, so
+    /// the value may change between runs.
+    pub checkpoint_partitions: usize,
     /// Backoff schedule for transient checkpoint IO errors.
     pub retry: RetryPolicy,
+    /// Lint codes this deployment has reviewed and accepted: matching
+    /// warn/info findings are suppressed from the report's
+    /// `lint_warnings` (and startup logs) and surface only as a
+    /// suppressed count. Error findings still reject the model.
+    pub expected_warnings: Vec<LintCode>,
     /// Record full per-incident decision sequences in the records
     /// (memory-proportional to decisions; meant for tests and drills).
     pub record_actions: bool,
@@ -121,7 +135,9 @@ impl Default for ServeConfig {
             plan: PerturbationPlan::none(),
             master_seed: 0,
             checkpoint: None,
+            checkpoint_partitions: 4,
             retry: RetryPolicy::default(),
+            expected_warnings: Vec::new(),
             record_actions: false,
             chaos_panic_incidents: Vec::new(),
             kill_after_rounds: None,
@@ -145,6 +161,7 @@ impl ServeConfig {
             ("shards", self.shards),
             ("steps_per_round", self.steps_per_round),
             ("max_steps", self.max_steps),
+            ("checkpoint_partitions", self.checkpoint_partitions),
         ];
         for (name, value) in positive {
             if value == 0 {
@@ -227,6 +244,7 @@ pub struct Daemon<'m> {
     protos: Prototypes,
     pool: WorkPool,
     lint_warnings: Vec<Diagnostic>,
+    suppressed_lint_warnings: u64,
 
     queue: VecDeque<StateId>,
     live: Vec<Incident<'m>>,
@@ -247,9 +265,66 @@ pub struct Daemon<'m> {
     deadline_misses: u64,
 
     resumed_from: Option<u64>,
+    events_seen_at_start: u64,
     checkpoints_written: u64,
     snapshot_retries: u64,
     snapshot_error: Option<SnapshotError>,
+    generation: u64,
+    part_cache: PartitionCache,
+    partition_errors: Vec<PartitionOutcome>,
+    records_dropped: u64,
+}
+
+/// Transformed-state count above which `Prototypes::build` skips the
+/// bounded controller's startup vertex sweeps (see the comment at the
+/// use site). Matches the robustness bootstrap's cap.
+const STARTUP_SWEEP_STATE_CAP: usize = 256;
+
+impl Prototypes {
+    /// Builds the three ladder controllers for `model` under
+    /// `config`'s planning parameters (`operator_response_time`,
+    /// `depth`, `gamma_cutoff`, `anytime_node_budget`). This is the
+    /// expensive part of daemon startup — build once per model and
+    /// share across daemons via [`Daemon::with_prototypes`].
+    ///
+    /// # Errors
+    ///
+    /// Transform or controller construction failures.
+    pub fn build(model: &RecoveryModel, config: &ServeConfig) -> Result<Prototypes, Error> {
+        let terminated = model.without_notification(config.operator_response_time)?;
+        // The default startup vertex sweeps repair the raw RA-Bound on
+        // paper-scale models, but above a few hundred transformed
+        // states two full sweeps of point-belief backups dominate
+        // construction (tens of single-threaded CPU-minutes for the
+        // 10³-state corpus scenarios). Same policy as the robustness
+        // bootstrap: keep the sweeps only where they are cheap.
+        let startup_vertex_sweeps = if terminated.pomdp().n_states() > STARTUP_SWEEP_STATE_CAP {
+            0
+        } else {
+            BoundedConfig::default().startup_vertex_sweeps
+        };
+        let bounded_cfg = BoundedConfig {
+            depth: config.depth,
+            gamma_cutoff: config.gamma_cutoff,
+            startup_vertex_sweeps,
+            ..BoundedConfig::default()
+        };
+        let anytime_cfg = AnytimeConfig {
+            node_budget: config.anytime_node_budget,
+            gamma_cutoff: config.gamma_cutoff,
+            ..AnytimeConfig::default()
+        };
+        let bounded = BoundedController::new(terminated.clone(), bounded_cfg)?;
+        let anytime = AnytimeController::new(terminated, anytime_cfg)?;
+        let resilient =
+            ResilientController::new(model.clone(), bounded.clone(), ResilienceConfig::default())?
+                .with_anytime(anytime.clone())?;
+        Ok(Prototypes {
+            bounded,
+            resilient,
+            anytime,
+        })
+    }
 }
 
 impl<'m> Daemon<'m> {
@@ -264,48 +339,58 @@ impl<'m> Daemon<'m> {
     /// * [`Error::Lint`] if the model has an error-severity finding.
     /// * Controller construction failures.
     pub fn new(model: &'m RecoveryModel, config: ServeConfig) -> Result<Daemon<'m>, Error> {
+        let protos = Prototypes::build(model, &config)?;
+        Daemon::with_prototypes(model, config, protos)
+    }
+
+    /// Like [`Daemon::new`], but reuses pre-built ladder prototypes
+    /// (see [`Prototypes::build`]) instead of constructing them —
+    /// controller construction dominates startup on large models, so
+    /// a harness spinning up several daemons over the same model
+    /// (reference runs, shard sweeps, kill/resume legs) should build
+    /// once and clone.
+    ///
+    /// The prototypes must have been built for this `model` with the
+    /// same planning parameters (`operator_response_time`, `depth`,
+    /// `gamma_cutoff`, `anytime_node_budget`); other config fields
+    /// (sharding, checkpointing, kill drills) are free to differ.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidInput`] for invalid configuration.
+    /// * [`Error::Lint`] if the model has an error-severity finding.
+    pub fn with_prototypes(
+        model: &'m RecoveryModel,
+        config: ServeConfig,
+        protos: Prototypes,
+    ) -> Result<Daemon<'m>, Error> {
         config.validate()?;
         config.plan.validate(model)?;
         let report = lint_pomdp(model.base(), &model.lint_context());
         if report.has_errors() {
             return Err(Error::Lint { report });
         }
-        let lint_warnings = report.diagnostics().to_vec();
+        let (expected, lint_warnings): (Vec<Diagnostic>, Vec<Diagnostic>) = report
+            .diagnostics()
+            .iter()
+            .cloned()
+            .partition(|d| config.expected_warnings.contains(&d.code));
+        let suppressed_lint_warnings = expected.len() as u64;
         if config.verbose {
             for d in &lint_warnings {
                 eprintln!("[bpr-serve] model lint: {d}");
             }
         }
-
-        let terminated = model.without_notification(config.operator_response_time)?;
-        let bounded_cfg = BoundedConfig {
-            depth: config.depth,
-            gamma_cutoff: config.gamma_cutoff,
-            ..BoundedConfig::default()
-        };
-        let anytime_cfg = AnytimeConfig {
-            node_budget: config.anytime_node_budget,
-            gamma_cutoff: config.gamma_cutoff,
-            ..AnytimeConfig::default()
-        };
-        let bounded = BoundedController::new(terminated.clone(), bounded_cfg)?;
-        let anytime = AnytimeController::new(terminated, anytime_cfg)?;
-        let resilient =
-            ResilientController::new(model.clone(), bounded.clone(), ResilienceConfig::default())?
-                .with_anytime(anytime.clone())?;
         let pool = WorkPool::new(config.shards).map_err(|e| Error::InvalidInput {
             detail: format!("serve worker pool: {e}"),
         })?;
         Ok(Daemon {
             model,
             config,
-            protos: Prototypes {
-                bounded,
-                resilient,
-                anytime,
-            },
+            protos,
             pool,
             lint_warnings,
+            suppressed_lint_warnings,
             queue: VecDeque::new(),
             live: Vec::new(),
             records: Vec::new(),
@@ -322,9 +407,14 @@ impl<'m> Daemon<'m> {
             latency: LatencyHistogram::default(),
             deadline_misses: 0,
             resumed_from: None,
+            events_seen_at_start: 0,
             checkpoints_written: 0,
             snapshot_retries: 0,
             snapshot_error: None,
+            generation: 0,
+            part_cache: PartitionCache::default(),
+            partition_errors: Vec::new(),
+            records_dropped: 0,
         })
     }
 
@@ -434,10 +524,15 @@ impl<'m> Daemon<'m> {
             rounds: self.rounds,
             killed,
             resumed_from: self.resumed_from,
+            events_seen_at_start: self.events_seen_at_start,
             checkpoints_written: self.checkpoints_written,
             snapshot_retries: self.snapshot_retries,
             snapshot_error: self.snapshot_error.clone(),
+            partition_errors: self.partition_errors.clone(),
+            records_dropped: self.records_dropped,
             lint_warnings: self.lint_warnings.clone(),
+            suppressed_lint_warnings: self.suppressed_lint_warnings,
+            transport: source.transport_counts(),
             latency: self.latency.clone(),
             deadline_misses: self.deadline_misses,
             deadline: self.config.deadline,
@@ -594,9 +689,9 @@ impl<'m> Daemon<'m> {
         let Some(policy) = self.config.checkpoint.clone() else {
             return Ok(());
         };
-        let cp = match ServeCheckpoint::load(&policy.path) {
+        let (cp, generation, outcomes) = match ServeCheckpoint::load_partitioned(&policy.path) {
             Ok(None) => return Ok(()),
-            Ok(Some(cp)) => cp,
+            Ok(Some(loaded)) => loaded,
             Err(e) => {
                 self.snapshot_error = Some(e);
                 return Ok(());
@@ -614,12 +709,17 @@ impl<'m> Daemon<'m> {
         }
         if self.config.verbose {
             eprintln!(
-                "[bpr-serve] resuming from tick {} ({} closed, {} live)",
+                "[bpr-serve] resuming from tick {} ({} closed, {} live, {} degraded partitions)",
                 cp.tick,
                 cp.records.len(),
-                cp.live.len()
+                cp.live.len(),
+                outcomes.len(),
             );
         }
+        self.generation = generation;
+        self.events_seen_at_start = cp.events_seen;
+        self.records_dropped = outcomes.iter().map(|o| o.records_dropped).sum();
+        self.partition_errors = outcomes;
         self.tick = cp.tick;
         self.rounds = cp.rounds;
         self.next_id = cp.next_id;
@@ -669,13 +769,17 @@ impl<'m> Daemon<'m> {
         Ok(())
     }
 
-    /// Writes the current state through the snapshot container with
-    /// capped exponential-backoff retry. Failures are absorbed (see
+    /// Writes the current state as a partitioned checkpoint (dirty
+    /// partitions first, manifest last) with capped
+    /// exponential-backoff retry. Failures are absorbed (see
     /// [`Daemon::run`]).
     fn write_checkpoint(&mut self, source: &dyn EventSource) {
         let Some(policy) = self.config.checkpoint.clone() else {
             return;
         };
+        self.generation += 1;
+        let generation = self.generation;
+        let partitions = u32::try_from(self.config.checkpoint_partitions).unwrap_or(u32::MAX);
         let cp = ServeCheckpoint {
             fingerprint: self.fingerprint(source),
             tick: self.tick,
@@ -701,11 +805,12 @@ impl<'m> Daemon<'m> {
                 .collect(),
             records: self.records.clone(),
         };
-        let payload = cp.encode();
+        let retry = self.config.retry.clone();
+        let cache = &mut self.part_cache;
         let mut retries: u64 = 0;
         let written = retry_with_backoff(
-            &self.config.retry,
-            |_| write_snapshot(&policy.path, SERVE_KIND, &payload),
+            &retry,
+            |_| cp.save_partitioned(&policy.path, partitions, generation, cache),
             |backoff| {
                 retries += 1;
                 std::thread::sleep(backoff);

@@ -138,6 +138,15 @@ pub trait EventSource {
     fn fingerprint(&self) -> u64 {
         0
     }
+
+    /// Wire-level telemetry for sources that ingest from a real
+    /// transport ([`crate::transport::SocketSource`]); in-process
+    /// sources have no wire and return `None`. The daemon copies the
+    /// final snapshot into the report for the soak harness's
+    /// frame-accounting gate.
+    fn transport_counts(&self) -> Option<crate::transport::TransportCounts> {
+        None
+    }
 }
 
 /// Seeded synthetic event generator (see the module docs).

@@ -145,14 +145,20 @@ pub struct IncidentRecord {
     pub actions: Option<Vec<i64>>,
 }
 
-/// The escalation-ladder prototypes, built once per daemon and cloned
-/// at admission — incident startup must not pay planner construction
+/// The escalation-ladder prototypes, built once and cloned at
+/// admission — incident startup must not pay planner construction
 /// (bound bootstrap sweeps) per event.
+///
+/// Construction is the dominant daemon-startup cost on large models
+/// (minutes at 10³ states), so a harness that runs *several* daemons
+/// over the same model — reference run, shard sweep, kill/resume
+/// legs — should call `Prototypes::build` once and hand each daemon
+/// a clone via `Daemon::with_prototypes`.
 #[derive(Debug, Clone)]
-pub(crate) struct Prototypes {
-    pub bounded: BoundedController,
-    pub resilient: ResilientController<BoundedController>,
-    pub anytime: AnytimeController,
+pub struct Prototypes {
+    pub(crate) bounded: BoundedController,
+    pub(crate) resilient: ResilientController<BoundedController>,
+    pub(crate) anytime: AnytimeController,
 }
 
 /// A live controller on some rung of the ladder. The resilient

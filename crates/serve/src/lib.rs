@@ -52,12 +52,16 @@ pub mod daemon;
 pub mod event;
 mod incident;
 pub mod report;
+pub mod transport;
 
-pub use checkpoint::{LiveIncident, ServeCheckpoint, SERVE_KIND};
+pub use checkpoint::{
+    LiveIncident, PartitionOutcome, ServeCheckpoint, SERVE_MANIFEST_KIND, SERVE_PARTITION_KIND,
+};
 pub use daemon::{Daemon, ServeConfig};
 pub use event::{ChannelSource, EventSource, IncidentEvent, Schedule, SyntheticEvents};
-pub use incident::{IncidentRecord, IncidentStatus, RungKind};
+pub use incident::{IncidentRecord, IncidentStatus, Prototypes, RungKind};
 pub use report::{CanonicalIncident, CanonicalServe, LatencyHistogram, ServeReport, ShedCounts};
+pub use transport::{Frame, FrameDecoder, FrameError, SocketConfig, SocketSource, TransportCounts};
 
 #[cfg(test)]
 mod tests {
@@ -70,6 +74,14 @@ mod tests {
             StateId::new(two_server::FAULT_A),
             StateId::new(two_server::FAULT_B),
         ]
+    }
+
+    fn cleanup_checkpoint(base: &std::path::Path) {
+        let _ = std::fs::remove_file(base);
+        for k in 0..16 {
+            let _ =
+                std::fs::remove_file(bpr_core::snapshot::partition_path(base, &format!("p{k}")));
+        }
     }
 
     fn quick_config() -> ServeConfig {
@@ -227,8 +239,10 @@ mod tests {
         let mut resumed_daemon = Daemon::new(&model, resumed_config).unwrap();
         let resumed = resumed_daemon.run(&mut source()).unwrap();
         assert!(resumed.resumed_from.is_some());
+        assert_eq!(resumed.events_seen_at_start, killed.events_seen);
+        assert!(resumed.partition_errors.is_empty());
         assert_eq!(resumed.canonical(), reference.canonical());
-        let _ = std::fs::remove_file(&path);
+        cleanup_checkpoint(&path);
     }
 
     #[test]
@@ -249,7 +263,120 @@ mod tests {
         assert!(report.resumed_from.is_none());
         assert!(report.snapshot_error.is_some(), "corruption is reported");
         assert_eq!(report.lost_incidents(), 0);
-        let _ = std::fs::remove_file(&path);
+        cleanup_checkpoint(&path);
+    }
+
+    #[test]
+    fn corrupt_partition_degrades_only_its_incidents_on_resume() {
+        use bpr_core::snapshot::{partition_path, CheckpointPolicy};
+        let model = two_server::default_model().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("bpr_serve_lib_degrade_{}", std::process::id()));
+        cleanup_checkpoint(&path);
+        let source =
+            || SyntheticEvents::new(13, Schedule::Steady { per_tick: 2 }, faults(), 12).unwrap();
+        let config = ServeConfig {
+            checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+            checkpoint_partitions: 3,
+            kill_after_rounds: Some(6),
+            ..quick_config()
+        };
+        let mut killed_daemon = Daemon::new(&model, config.clone()).unwrap();
+        let killed = killed_daemon.run(&mut source()).unwrap();
+        assert!(killed.killed);
+        assert!(
+            !killed.records.is_empty(),
+            "need closed records to corrupt away"
+        );
+
+        // Corrupt one partition that holds at least one closed record.
+        let victim = partition_path(&path, &format!("p{}", killed.records[0].id % 3));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let resumed_config = ServeConfig {
+            kill_after_rounds: None,
+            ..config
+        };
+        let mut resumed_daemon = Daemon::new(&model, resumed_config).unwrap();
+        let resumed = resumed_daemon.run(&mut source()).unwrap();
+        assert!(resumed.resumed_from.is_some(), "manifest still resumes");
+        assert_eq!(resumed.partition_errors.len(), 1, "one partition degraded");
+        assert!(resumed.records_dropped > 0);
+        assert_eq!(
+            resumed.lost_incidents(),
+            0,
+            "dropped records are counted, not lost"
+        );
+        cleanup_checkpoint(&path);
+    }
+
+    #[test]
+    fn socket_fed_daemon_matches_the_in_process_canonical_report() {
+        use std::io::Write;
+        use std::net::TcpStream;
+
+        let model = two_server::default_model().unwrap();
+        let config = ServeConfig {
+            record_actions: true,
+            ..quick_config()
+        };
+        let schedule = Schedule::Bursty {
+            background: 1,
+            burst: 3,
+            period: 4,
+        };
+        let ticks = 10;
+
+        // Reference: the seeded in-process generator.
+        let mut reference_daemon = Daemon::new(&model, config.clone()).unwrap();
+        let mut reference_source =
+            SyntheticEvents::new(17, schedule.clone(), faults(), ticks).unwrap();
+        let reference = reference_daemon.run(&mut reference_source).unwrap();
+
+        // Same logical event sequence pushed over a loopback socket.
+        let plan = SyntheticEvents::new(17, schedule, faults(), ticks).unwrap();
+        let mut socket = SocketSource::bind(
+            "127.0.0.1:0",
+            transport::SocketConfig {
+                idle_timeout: std::time::Duration::from_millis(500),
+                ..transport::SocketConfig::default()
+            },
+        )
+        .unwrap()
+        .with_stream_fingerprint(plan.fingerprint());
+        let addr = socket.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for tick in 0..ticks {
+                for (seq, event) in plan.events_at(tick).into_iter().enumerate() {
+                    let frame = Frame::Event {
+                        tick,
+                        seq: seq as u32,
+                        fault: event.fault,
+                    };
+                    s.write_all(&frame.encode()).unwrap();
+                }
+            }
+            s.write_all(&Frame::End { ticks }.encode()).unwrap();
+        });
+        let mut socket_daemon = Daemon::new(&model, config).unwrap();
+        let socket_report = socket_daemon.run(&mut socket).unwrap();
+        writer.join().unwrap();
+
+        assert_eq!(
+            socket_report.canonical(),
+            reference.canonical(),
+            "canonical report must not depend on the transport"
+        );
+        let t = socket_report
+            .transport
+            .expect("socket source reports counts");
+        assert_eq!(t.frames_seen, t.events_delivered + t.rejected_frames());
+        assert_eq!(t.rejected_frames(), 0);
+        assert!(reference.transport.is_none());
     }
 
     #[test]

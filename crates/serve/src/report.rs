@@ -3,7 +3,9 @@
 //! determinism gates) and **observed** facts (wall-clock latency,
 //! throughput — measured, reported, never fed back into control).
 
+use crate::checkpoint::PartitionOutcome;
 use crate::incident::{IncidentRecord, IncidentStatus, RungKind};
+use crate::transport::TransportCounts;
 use bpr_core::lint::Diagnostic;
 use bpr_core::snapshot::SnapshotError;
 use bpr_mdp::StateId;
@@ -148,6 +150,10 @@ pub struct ServeReport {
     pub killed: bool,
     /// Tick the run resumed from, when it started from a checkpoint.
     pub resumed_from: Option<u64>,
+    /// Events the resumed-from checkpoint had already consumed (0 for
+    /// a fresh run). A resumed run's `events_seen` includes these, so
+    /// transport accounting must offset by this value.
+    pub events_seen_at_start: u64,
     /// Checkpoints successfully written.
     pub checkpoints_written: u64,
     /// Transient snapshot IO retries that eventually succeeded.
@@ -155,9 +161,22 @@ pub struct ServeReport {
     /// The last checkpoint failure the daemon absorbed (service
     /// continues; durability degrades), if any.
     pub snapshot_error: Option<SnapshotError>,
+    /// Checkpoint partitions that could not be restored on resume —
+    /// each degraded only its own incidents (typed, counted).
+    pub partition_errors: Vec<PartitionOutcome>,
+    /// Closed records lost to degraded partitions; credited in
+    /// [`ServeReport::lost_incidents`] so the zero-loss gate stays
+    /// checkable under deliberate corruption.
+    pub records_dropped: u64,
     /// Warn/info lint findings of the model in service (surfaced at
-    /// startup and in `BENCH_serve.json` — satellite requirement).
+    /// startup and in `BENCH_serve.json` — satellite requirement),
+    /// with allowlisted codes removed.
     pub lint_warnings: Vec<Diagnostic>,
+    /// Findings suppressed by the `expected_warnings` allowlist.
+    pub suppressed_lint_warnings: u64,
+    /// Transport-layer counters when the source was a network socket
+    /// (`None` for in-process sources). Observed, never canonical.
+    pub transport: Option<TransportCounts>,
     /// Observed: per-decision wall-clock latency histogram.
     pub latency: LatencyHistogram,
     /// Observed: decisions that overran the configured deadline.
@@ -193,12 +212,13 @@ impl ServeReport {
         self.records.iter().filter(|r| r.status == status).count() as u64
     }
 
-    /// Admitted incidents not accounted for by a typed terminal record
-    /// or by still being live at a kill. The zero-loss gate requires
-    /// this to be 0.
+    /// Admitted incidents not accounted for by a typed terminal
+    /// record, by still being live at a kill, or by a counted
+    /// partition degradation. The zero-loss gate requires this to
+    /// be 0.
     pub fn lost_incidents(&self) -> u64 {
         self.admitted
-            .saturating_sub(self.records.len() as u64 + self.live_at_exit)
+            .saturating_sub(self.records.len() as u64 + self.live_at_exit + self.records_dropped)
     }
 
     /// The canonical view: everything that must be bit-identical

@@ -1,0 +1,967 @@
+//! Real transport ingestion: a dependency-free wire codec and a TCP
+//! [`SocketSource`] behind the [`EventSource`] trait.
+//!
+//! # Wire format
+//!
+//! Every frame is length-prefixed, versioned, and checksummed:
+//!
+//! ```text
+//!  offset  size  field
+//!  0       4     magic  "BPRF"
+//!  4       1     version (currently 1)
+//!  5       1     kind    (0 = event, 1 = end-of-stream)
+//!  6       2     payload length, little-endian
+//!  8       8     FNV-1a 64 checksum of the payload, little-endian
+//!  16      len   payload
+//! ```
+//!
+//! An **event** payload is `tick:u64 seq:u32 fault:u32` (all
+//! little-endian): the logical tick the event belongs to, its sequence
+//! number within that tick, and the fault state id. An **end** payload
+//! is `ticks:u64`, the total tick count of the stream.
+//!
+//! Carrying `(tick, seq)` on the wire is what keeps canonical serve
+//! reports a pure function of the *logical* event sequence: the
+//! [`SocketSource`] buffers frames per tick, releases a tick only once
+//! a later tick (or the end marker) proves it complete, and orders
+//! events within a tick by `seq` — so network timing, partial writes,
+//! and reconnects perturb wall-clock behaviour but never the decision
+//! sequence.
+//!
+//! # Failure containment
+//!
+//! Malformed bytes never panic and never take a valid event with
+//! them: the [`FrameDecoder`] rejects garbage, wrong-version,
+//! wrong-kind, oversized, mis-sized, and checksum-failing frames with
+//! a typed [`FrameError`], then resynchronises by scanning for the
+//! next magic. Every rejection increments exactly one counter in
+//! [`TransportCounts`], which the soak harness folds into its
+//! zero-loss accounting
+//! (`admitted + shed + queued + rejected == frames_seen`).
+
+use crate::event::{EventSource, IncidentEvent};
+use bpr_core::snapshot::fnv1a64;
+use bpr_core::Error;
+use bpr_mdp::StateId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Frame magic; anything else on the wire is scanned past as garbage.
+pub const FRAME_MAGIC: [u8; 4] = *b"BPRF";
+/// Wire format version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Hard cap on payload length; larger declarations are rejected
+/// without waiting for (or allocating) the declared bytes.
+pub const MAX_PAYLOAD: usize = 64;
+
+const KIND_EVENT: u8 = 0;
+const KIND_END: u8 = 1;
+const EVENT_PAYLOAD_LEN: usize = 16;
+const END_PAYLOAD_LEN: usize = 8;
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// A monitor event: `fault` arrived at logical `tick`, in
+    /// within-tick position `seq`.
+    Event {
+        /// Logical tick the event belongs to.
+        tick: u64,
+        /// Sequence number within the tick (delivery order).
+        seq: u32,
+        /// Fault state id behind the notification.
+        fault: StateId,
+    },
+    /// End-of-stream marker: the stream covers `ticks` ticks total.
+    End {
+        /// Total ticks of the stream.
+        ticks: u64,
+    },
+}
+
+impl Frame {
+    /// Serialises the frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, payload) = match self {
+            Frame::Event { tick, seq, fault } => {
+                let mut p = Vec::with_capacity(EVENT_PAYLOAD_LEN);
+                p.extend_from_slice(&tick.to_le_bytes());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(
+                    &u32::try_from(fault.index())
+                        .unwrap_or(u32::MAX)
+                        .to_le_bytes(),
+                );
+                (KIND_EVENT, p)
+            }
+            Frame::End { ticks } => (KIND_END, ticks.to_le_bytes().to_vec()),
+        };
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(kind);
+        out.extend_from_slice(
+            &u16::try_from(payload.len())
+                .unwrap_or(u16::MAX)
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Why a stretch of wire bytes was rejected. Every variant is counted
+/// in [`TransportCounts`]; none of them ever aborts the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Bytes between frames that never formed a magic; `skipped` bytes
+    /// were discarded resynchronising.
+    Garbage {
+        /// Bytes discarded.
+        skipped: usize,
+    },
+    /// A frame declared a wire version this build cannot read.
+    Version {
+        /// Version byte found.
+        found: u8,
+    },
+    /// A frame declared an unknown kind.
+    Kind {
+        /// Kind byte found.
+        found: u8,
+    },
+    /// A frame declared a payload longer than [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// A frame's payload length does not match its kind.
+    Length {
+        /// Kind byte of the frame.
+        kind: u8,
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The payload checksum does not match the header (bit flip or
+    /// truncation spliced into a following frame).
+    Checksum {
+        /// Checksum the header declared.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Garbage { skipped } => write!(f, "skipped {skipped} garbage bytes"),
+            FrameError::Version { found } => write!(f, "unreadable wire version {found}"),
+            FrameError::Kind { found } => write!(f, "unknown frame kind {found}"),
+            FrameError::Oversized { len } => {
+                write!(f, "declared payload of {len} bytes exceeds {MAX_PAYLOAD}")
+            }
+            FrameError::Length { kind, len } => {
+                write!(f, "kind {kind} frame with mis-sized {len}-byte payload")
+            }
+            FrameError::Checksum { expected, actual } => write!(
+                f,
+                "payload checksum {actual:#018x} where header says {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame decoder: feed bytes as they arrive, pull frames
+/// and typed rejections out. After any rejection the decoder
+/// resynchronises by scanning for the next magic, so one corrupt
+/// frame never swallows the valid frames behind it.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a frame or rejection.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The next frame or typed rejection, or `None` when the buffer
+    /// holds no complete item (feed more bytes).
+    ///
+    /// Deliberately named like `Iterator::next` — but unlike an
+    /// iterator, `None` is not fused: `feed` can make more items
+    /// available, so the decoder cannot honestly implement the trait.
+    #[allow(clippy::should_implement_trait)]
+    #[allow(clippy::missing_panics_doc)] // slice bounds are checked above every indexing
+    pub fn next(&mut self) -> Option<Result<Frame, FrameError>> {
+        // Not aligned on a magic: scan forward. Garbage runs surface
+        // as one typed rejection each, not one per byte.
+        if !self.buf.is_empty() && !self.buf.starts_with(&FRAME_MAGIC) {
+            if let Some(at) = find_magic(&self.buf) {
+                self.buf.drain(..at);
+                return Some(Err(FrameError::Garbage { skipped: at }));
+            }
+            // No magic anywhere; keep a possible magic prefix at the
+            // tail, drop the rest.
+            let keep = magic_prefix_len(&self.buf);
+            let skipped = self.buf.len() - keep;
+            if skipped == 0 {
+                return None;
+            }
+            self.buf.drain(..skipped);
+            return Some(Err(FrameError::Garbage { skipped }));
+        }
+        if self.buf.len() < HEADER_LEN {
+            return None;
+        }
+        let version = self.buf[4];
+        let kind = self.buf[5];
+        let len = usize::from(u16::from_le_bytes([self.buf[6], self.buf[7]]));
+        let declared_sum = u64::from_le_bytes(self.buf[8..16].try_into().expect("8 bytes"));
+        // Header-level rejections drop a single byte and rescan for
+        // magic: a corrupted length field must not be trusted to skip
+        // a whole (possibly valid) frame's worth of bytes.
+        if version != WIRE_VERSION {
+            self.buf.drain(..1);
+            return Some(Err(FrameError::Version { found: version }));
+        }
+        if kind != KIND_EVENT && kind != KIND_END {
+            self.buf.drain(..1);
+            return Some(Err(FrameError::Kind { found: kind }));
+        }
+        if len > MAX_PAYLOAD {
+            self.buf.drain(..1);
+            return Some(Err(FrameError::Oversized { len }));
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return None;
+        }
+        let payload = &self.buf[HEADER_LEN..HEADER_LEN + len];
+        let actual_sum = fnv1a64(payload);
+        if actual_sum != declared_sum {
+            self.buf.drain(..1);
+            return Some(Err(FrameError::Checksum {
+                expected: declared_sum,
+                actual: actual_sum,
+            }));
+        }
+        let frame = match (kind, len) {
+            (KIND_EVENT, EVENT_PAYLOAD_LEN) => Frame::Event {
+                tick: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+                seq: u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")),
+                fault: StateId::new(
+                    u32::from_le_bytes(payload[12..16].try_into().expect("4 bytes")) as usize,
+                ),
+            },
+            (KIND_END, END_PAYLOAD_LEN) => Frame::End {
+                ticks: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+            },
+            _ => {
+                self.buf.drain(..1);
+                return Some(Err(FrameError::Length { kind, len }));
+            }
+        };
+        self.buf.drain(..HEADER_LEN + len);
+        Some(Ok(frame))
+    }
+}
+
+fn find_magic(buf: &[u8]) -> Option<usize> {
+    buf.windows(FRAME_MAGIC.len())
+        .position(|w| w == FRAME_MAGIC)
+}
+
+/// Length of the longest proper magic prefix the buffer ends with
+/// (bytes that might become a magic once more data arrives).
+fn magic_prefix_len(buf: &[u8]) -> usize {
+    for keep in (1..FRAME_MAGIC.len()).rev() {
+        if buf.len() >= keep && buf[buf.len() - keep..] == FRAME_MAGIC[..keep] {
+            return keep;
+        }
+    }
+    0
+}
+
+/// Typed, counted transport telemetry. `frames_seen` counts every
+/// wire item the decoder resolved — valid event frames (stale ones
+/// included) plus one per typed rejection — so the soak's accounting
+/// identity `frames_seen == events_delivered + rejected_frames()`
+/// holds exactly once the stream has drained. End markers are tallied
+/// separately. All of this is **observed** telemetry: it never feeds
+/// back into control, so it is excluded from canonical reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportCounts {
+    /// Event frames decoded plus rejections emitted (see above).
+    pub frames_seen: u64,
+    /// Events released to the daemon through `poll`.
+    pub events_delivered: u64,
+    /// End-of-stream markers decoded.
+    pub end_frames: u64,
+    /// Garbage runs scanned past between frames.
+    pub rejected_garbage: u64,
+    /// Frames with an unreadable wire version.
+    pub rejected_version: u64,
+    /// Frames with an unknown kind byte.
+    pub rejected_kind: u64,
+    /// Frames declaring a payload beyond [`MAX_PAYLOAD`].
+    pub rejected_oversized: u64,
+    /// Frames whose payload length does not fit their kind.
+    pub rejected_length: u64,
+    /// Frames failing their payload checksum.
+    pub rejected_checksum: u64,
+    /// Valid event frames for ticks already consumed (replay after a
+    /// resume, or a client re-sending after reconnect).
+    pub rejected_stale: u64,
+    /// Duplicate `(tick, seq)` events dropped at release.
+    pub rejected_duplicate: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections that closed (gracefully or by error).
+    pub disconnects: u64,
+    /// Connections shed for exceeding the per-connection read
+    /// deadline (slow-loris defence).
+    pub slow_client_drops: u64,
+    /// Raw bytes read off all sockets.
+    pub bytes_read: u64,
+}
+
+impl TransportCounts {
+    /// Total typed frame rejections across every reason.
+    pub fn rejected_frames(&self) -> u64 {
+        self.rejected_garbage
+            + self.rejected_version
+            + self.rejected_kind
+            + self.rejected_oversized
+            + self.rejected_length
+            + self.rejected_checksum
+            + self.rejected_stale
+            + self.rejected_duplicate
+    }
+
+    fn count_reject(&mut self, e: FrameError) {
+        self.frames_seen += 1;
+        match e {
+            FrameError::Garbage { .. } => self.rejected_garbage += 1,
+            FrameError::Version { .. } => self.rejected_version += 1,
+            FrameError::Kind { .. } => self.rejected_kind += 1,
+            FrameError::Oversized { .. } => self.rejected_oversized += 1,
+            FrameError::Length { .. } => self.rejected_length += 1,
+            FrameError::Checksum { .. } => self.rejected_checksum += 1,
+        }
+    }
+}
+
+/// Tuning knobs of a [`SocketSource`]. Everything here shapes
+/// *observed* behaviour only (when clients are shed, how long the
+/// source waits); the logical event sequence — and with it every
+/// canonical report — is determined entirely by the frames clients
+/// send.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Silence on a connection beyond this sheds it as a slow client.
+    pub read_deadline: Duration,
+    /// No bytes and no connections for this long ends the stream (or
+    /// flushes buffered ticks when a client vanished without an end
+    /// marker).
+    pub idle_timeout: Duration,
+    /// Initial sleep between pump attempts while waiting for data.
+    pub poll_backoff: Duration,
+    /// Cap on the doubling pump backoff.
+    pub max_backoff: Duration,
+    /// Stop reading sockets (TCP backpressure) while this many events
+    /// are already buffered — the receive path is bounded just like
+    /// the daemon's admission queue.
+    pub max_buffered_events: usize,
+}
+
+impl Default for SocketConfig {
+    fn default() -> SocketConfig {
+        SocketConfig {
+            read_deadline: Duration::from_millis(500),
+            idle_timeout: Duration::from_secs(5),
+            poll_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(5),
+            max_buffered_events: 1 << 17,
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    last_data: Instant,
+}
+
+/// A TCP listener serving the daemon through [`EventSource`].
+///
+/// Frames from any number of client connections are decoded
+/// incrementally, buffered per logical tick, and released in tick
+/// order with within-tick `seq` ordering. Tick `t` is released once a
+/// frame for a tick beyond `t` (or the end marker) has been seen —
+/// clients stream in tick order, so that proves `t` complete. The
+/// result: disconnects, reconnects, partial writes, and garbage
+/// bursts change *when* events arrive, never *which* events the
+/// daemon processes in which order.
+///
+/// Resume: [`EventSource::skip_ticks`] raises the stale threshold, so
+/// a client replaying its stream from tick 0 has the already-consumed
+/// prefix rejected as typed stale frames while the tail is delivered
+/// exactly once.
+pub struct SocketSource {
+    listener: TcpListener,
+    config: SocketConfig,
+    conns: Vec<Conn>,
+    pending: BTreeMap<u64, Vec<(u32, StateId)>>,
+    buffered_events: usize,
+    next_tick: u64,
+    max_tick_seen: Option<u64>,
+    end_ticks: Option<u64>,
+    counts: TransportCounts,
+    stream_fingerprint: u64,
+    had_connection: bool,
+    last_progress: Instant,
+    flushing: bool,
+}
+
+impl SocketSource {
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port,
+    /// then [`SocketSource::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs, config: SocketConfig) -> Result<SocketSource, Error> {
+        let listener = TcpListener::bind(addr).map_err(|e| Error::InvalidInput {
+            detail: format!("socket source bind: {e}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::InvalidInput {
+                detail: format!("socket source nonblocking: {e}"),
+            })?;
+        Ok(SocketSource {
+            listener,
+            config,
+            conns: Vec::new(),
+            pending: BTreeMap::new(),
+            buffered_events: 0,
+            next_tick: 0,
+            max_tick_seen: None,
+            end_ticks: None,
+            counts: TransportCounts::default(),
+            stream_fingerprint: 0,
+            had_connection: false,
+            last_progress: Instant::now(),
+            flushing: false,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when the OS cannot report it.
+    pub fn local_addr(&self) -> Result<SocketAddr, Error> {
+        self.listener.local_addr().map_err(|e| Error::InvalidInput {
+            detail: format!("socket source local addr: {e}"),
+        })
+    }
+
+    /// Binds the checkpoint fingerprint to the logical stream the
+    /// caller will serve over this socket. Without it the source
+    /// fingerprints as 0 (like [`crate::ChannelSource`]) and forgoes
+    /// resume safety.
+    #[must_use]
+    pub fn with_stream_fingerprint(mut self, fingerprint: u64) -> SocketSource {
+        self.stream_fingerprint = fingerprint;
+        self
+    }
+
+    /// A snapshot of the transport telemetry so far.
+    pub fn counts(&self) -> TransportCounts {
+        self.counts
+    }
+
+    fn process_frame(&mut self, frame: Frame) {
+        match frame {
+            Frame::Event { tick, seq, fault } => {
+                self.counts.frames_seen += 1;
+                if tick < self.next_tick {
+                    self.counts.rejected_stale += 1;
+                    return;
+                }
+                self.max_tick_seen = Some(self.max_tick_seen.map_or(tick, |m| m.max(tick)));
+                self.pending.entry(tick).or_default().push((seq, fault));
+                self.buffered_events += 1;
+            }
+            Frame::End { ticks } => {
+                self.counts.end_frames += 1;
+                self.end_ticks = Some(self.end_ticks.map_or(ticks, |e| e.max(ticks)));
+            }
+        }
+    }
+
+    /// Accepts pending connections and drains readable bytes through
+    /// each connection's decoder. Never blocks.
+    fn pump(&mut self) {
+        while let Ok((stream, _)) = self.listener.accept() {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            self.counts.connections += 1;
+            self.had_connection = true;
+            self.last_progress = Instant::now();
+            self.conns.push(Conn {
+                stream,
+                decoder: FrameDecoder::new(),
+                last_data: Instant::now(),
+            });
+        }
+        let throttled = self.buffered_events >= self.config.max_buffered_events;
+        let mut scratch = [0u8; 8192];
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut keep = Vec::with_capacity(self.conns.len());
+        for mut conn in self.conns.drain(..) {
+            let mut alive = true;
+            if !throttled {
+                loop {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            self.counts.disconnects += 1;
+                            if conn.decoder.buffered() > 0 {
+                                // A half-sent frame died with the
+                                // connection; account for it.
+                                self.counts.count_reject(FrameError::Garbage {
+                                    skipped: conn.decoder.buffered(),
+                                });
+                            }
+                            alive = false;
+                            break;
+                        }
+                        Ok(n) => {
+                            self.counts.bytes_read += n as u64;
+                            conn.last_data = Instant::now();
+                            self.last_progress = Instant::now();
+                            conn.decoder.feed(&scratch[..n]);
+                            loop {
+                                match conn.decoder.next() {
+                                    Some(Ok(frame)) => frames.push(frame),
+                                    Some(Err(e)) => self.counts.count_reject(e),
+                                    None => break,
+                                }
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(_) => {
+                            self.counts.disconnects += 1;
+                            alive = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if alive
+                && conn.decoder.buffered() > 0
+                && conn.last_data.elapsed() > self.config.read_deadline
+            {
+                // Per-connection read deadline: a client that stalls
+                // *mid-frame* ties up reassembly state and is shed. A
+                // client that is merely idle between complete frames
+                // holds nothing hostage and is left alone.
+                self.counts.slow_client_drops += 1;
+                alive = false;
+            }
+            if alive {
+                keep.push(conn);
+            }
+        }
+        self.conns = keep;
+        for frame in frames {
+            self.process_frame(frame);
+        }
+    }
+
+    /// Whether `next_tick` is provably complete and may be released.
+    fn releasable(&self) -> bool {
+        if let Some(end) = self.end_ticks {
+            if self.next_tick < end {
+                return true;
+            }
+        }
+        if let Some(max) = self.max_tick_seen {
+            if max > self.next_tick {
+                return true;
+            }
+            // A vanished client without an end marker: after the idle
+            // grace the buffered tail is flushed best-effort.
+            if self.flushing && self.next_tick <= max {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn release(&mut self) -> Vec<IncidentEvent> {
+        let mut batch = self.pending.remove(&self.next_tick).unwrap_or_default();
+        self.next_tick += 1;
+        self.buffered_events -= batch.len();
+        batch.sort_by_key(|&(seq, _)| seq);
+        let before = batch.len();
+        batch.dedup_by_key(|&mut (seq, _)| seq);
+        let dupes = (before - batch.len()) as u64;
+        self.counts.rejected_duplicate += dupes;
+        // Deduped frames were counted into frames_seen at decode time
+        // and are rejected here, not delivered.
+        self.counts.events_delivered += batch.len() as u64;
+        batch
+            .into_iter()
+            .map(|(_, fault)| IncidentEvent { fault })
+            .collect()
+    }
+}
+
+impl EventSource for SocketSource {
+    /// Blocks (with capped backoff) until the next tick is complete,
+    /// the stream has ended, or the idle timeout expires.
+    fn poll(&mut self) -> Option<Vec<IncidentEvent>> {
+        let mut backoff = self.config.poll_backoff;
+        loop {
+            self.pump();
+            if self.releasable() {
+                return Some(self.release());
+            }
+            if let Some(end) = self.end_ticks {
+                if self.next_tick >= end && self.pending.is_empty() {
+                    return None;
+                }
+            }
+            if self.last_progress.elapsed() > self.config.idle_timeout && self.conns.is_empty() {
+                if self.pending.is_empty() {
+                    return None;
+                }
+                self.flushing = true;
+                continue;
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.config.max_backoff);
+        }
+    }
+
+    /// Raises the stale threshold: replayed frames for ticks below the
+    /// new position are rejected (typed, counted) instead of
+    /// re-delivered.
+    fn skip_ticks(&mut self, n: u64) {
+        self.next_tick = self.next_tick.saturating_add(n);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.stream_fingerprint
+    }
+
+    fn transport_counts(&self) -> Option<TransportCounts> {
+        Some(self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn event(tick: u64, seq: u32, fault: usize) -> Frame {
+        Frame::Event {
+            tick,
+            seq,
+            fault: StateId::new(fault),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_decoder() {
+        let frames = [
+            event(0, 0, 3),
+            event(0, 1, 1),
+            event(7, 0, 2),
+            Frame::End { ticks: 8 },
+        ];
+        let mut decoder = FrameDecoder::new();
+        for f in &frames {
+            decoder.feed(&f.encode());
+        }
+        for f in &frames {
+            assert_eq!(decoder.next(), Some(Ok(*f)));
+        }
+        assert_eq!(decoder.next(), None);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn split_feeds_reassemble() {
+        let bytes = event(3, 9, 1).encode();
+        let mut decoder = FrameDecoder::new();
+        for b in &bytes {
+            assert_eq!(decoder.next(), None, "no frame before all bytes arrive");
+            decoder.feed(std::slice::from_ref(b));
+        }
+        assert_eq!(decoder.next(), Some(Ok(event(3, 9, 1))));
+    }
+
+    #[test]
+    fn garbage_between_frames_is_skipped_once() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&event(1, 0, 0).encode());
+        decoder.feed(b"totally not a frame");
+        decoder.feed(&event(2, 0, 1).encode());
+        assert_eq!(decoder.next(), Some(Ok(event(1, 0, 0))));
+        assert_eq!(
+            decoder.next(),
+            Some(Err(FrameError::Garbage { skipped: 19 }))
+        );
+        assert_eq!(decoder.next(), Some(Ok(event(2, 0, 1))));
+    }
+
+    #[test]
+    fn corruption_matrix_rejects_typed_without_losing_neighbours() {
+        // Each case: a corrupted frame sandwiched between two valid
+        // ones; both neighbours must survive, the middle must reject
+        // with the expected typed error.
+        let corrupt = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut middle = event(5, 1, 2).encode();
+            mutate(&mut middle);
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&event(5, 0, 0).encode());
+            decoder.feed(&middle);
+            decoder.feed(&event(5, 2, 1).encode());
+            assert_eq!(decoder.next(), Some(Ok(event(5, 0, 0))));
+            let mut errors = Vec::new();
+            loop {
+                match decoder.next() {
+                    Some(Ok(f)) => {
+                        assert_eq!(f, event(5, 2, 1), "trailing frame must survive");
+                        return errors;
+                    }
+                    Some(Err(e)) => errors.push(e),
+                    None => panic!("trailing frame lost: {errors:?}"),
+                }
+            }
+        };
+
+        // Wrong version.
+        let errs = corrupt(&|b: &mut Vec<u8>| b[4] = 9);
+        assert!(errs.contains(&FrameError::Version { found: 9 }), "{errs:?}");
+        // Unknown kind.
+        let errs = corrupt(&|b: &mut Vec<u8>| b[5] = 7);
+        assert!(errs.contains(&FrameError::Kind { found: 7 }), "{errs:?}");
+        // Oversized declaration.
+        let errs = corrupt(&|b: &mut Vec<u8>| {
+            b[6] = 0xFF;
+            b[7] = 0xFF;
+        });
+        assert!(
+            errs.contains(&FrameError::Oversized { len: 0xFFFF }),
+            "{errs:?}"
+        );
+        // Payload bit flip.
+        let errs = corrupt(&|b: &mut Vec<u8>| *b.last_mut().unwrap() ^= 0x40);
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, FrameError::Checksum { .. })),
+            "{errs:?}"
+        );
+        // Truncated frame (decoder waits, then the next magic arrives
+        // mid-payload; the checksum catches the splice).
+        let errs = corrupt(&|b: &mut Vec<u8>| b.truncate(HEADER_LEN + 4));
+        assert!(!errs.is_empty(), "truncation must surface typed errors");
+    }
+
+    #[test]
+    fn mis_sized_payload_is_rejected() {
+        // A kind-0 frame whose (checksummed) payload is 8 bytes, not 16.
+        let payload = 42u64.to_le_bytes();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FRAME_MAGIC);
+        bytes.push(WIRE_VERSION);
+        bytes.push(0);
+        bytes.extend_from_slice(&8u16.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        assert_eq!(
+            decoder.next(),
+            Some(Err(FrameError::Length { kind: 0, len: 8 }))
+        );
+    }
+
+    #[test]
+    fn frame_error_display_covers_all_variants() {
+        let errs = [
+            FrameError::Garbage { skipped: 3 },
+            FrameError::Version { found: 2 },
+            FrameError::Kind { found: 9 },
+            FrameError::Oversized { len: 70000 },
+            FrameError::Length { kind: 1, len: 3 },
+            FrameError::Checksum {
+                expected: 1,
+                actual: 2,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    fn quick_socket() -> SocketSource {
+        SocketSource::bind(
+            "127.0.0.1:0",
+            SocketConfig {
+                idle_timeout: Duration::from_millis(300),
+                read_deadline: Duration::from_millis(200),
+                ..SocketConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn socket_source_delivers_in_tick_and_seq_order() {
+        let mut source = quick_socket();
+        let addr = source.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Tick 0 sent out of seq order; tick 1 proves tick 0
+            // complete; end marker closes the stream after tick 2.
+            for f in [
+                event(0, 1, 5),
+                event(0, 0, 4),
+                event(1, 0, 6),
+                Frame::End { ticks: 3 },
+            ] {
+                s.write_all(&f.encode()).unwrap();
+            }
+        });
+        assert_eq!(
+            source.poll().unwrap(),
+            vec![
+                IncidentEvent {
+                    fault: StateId::new(4)
+                },
+                IncidentEvent {
+                    fault: StateId::new(5)
+                }
+            ],
+            "within-tick order is by seq, not arrival"
+        );
+        assert_eq!(source.poll().unwrap().len(), 1);
+        assert_eq!(source.poll().unwrap(), vec![], "tick 2 is empty");
+        assert!(source.poll().is_none(), "end marker drains the stream");
+        writer.join().unwrap();
+        let counts = source.transport_counts().unwrap();
+        assert_eq!(counts.events_delivered, 3);
+        assert_eq!(counts.frames_seen, 3);
+        assert_eq!(counts.end_frames, 1);
+        assert_eq!(counts.rejected_frames(), 0);
+    }
+
+    #[test]
+    fn stale_frames_after_skip_are_rejected_not_redelivered() {
+        let mut source = quick_socket();
+        let addr = source.local_addr().unwrap();
+        source.skip_ticks(2);
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for f in [
+                event(0, 0, 1),
+                event(1, 0, 1),
+                event(2, 0, 7),
+                Frame::End { ticks: 3 },
+            ] {
+                s.write_all(&f.encode()).unwrap();
+            }
+        });
+        let batch = source.poll().unwrap();
+        assert_eq!(
+            batch,
+            vec![IncidentEvent {
+                fault: StateId::new(7)
+            }]
+        );
+        assert!(source.poll().is_none());
+        writer.join().unwrap();
+        let counts = source.transport_counts().unwrap();
+        assert_eq!(counts.rejected_stale, 2);
+        assert_eq!(counts.events_delivered, 1);
+    }
+
+    #[test]
+    fn disconnect_without_end_flushes_then_ends() {
+        let mut source = quick_socket();
+        let addr = source.local_addr().unwrap();
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&event(0, 0, 2).encode()).unwrap();
+            s.write_all(&event(1, 0, 3).encode()).unwrap();
+            // Dropped without an end marker.
+        }
+        assert_eq!(source.poll().unwrap().len(), 1, "tick 0 proven complete");
+        // Tick 1 is only flushed after the idle grace.
+        assert_eq!(source.poll().unwrap().len(), 1);
+        assert!(source.poll().is_none());
+        assert!(source.transport_counts().unwrap().disconnects >= 1);
+    }
+
+    #[test]
+    fn slow_loris_is_shed_by_the_read_deadline() {
+        let mut source = quick_socket();
+        let addr = source.local_addr().unwrap();
+        let half_frame = event(0, 0, 1).encode()[..10].to_vec();
+        let loris = TcpStream::connect(addr).unwrap();
+        {
+            let mut l = &loris;
+            l.write_all(&half_frame).unwrap();
+        }
+        // A healthy client streams the actual events.
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&event(0, 0, 9).encode()).unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+            s.write_all(&event(1, 0, 9).encode()).unwrap();
+            s.write_all(&Frame::End { ticks: 2 }.encode()).unwrap();
+        });
+        assert_eq!(source.poll().unwrap().len(), 1);
+        assert_eq!(source.poll().unwrap().len(), 1);
+        assert!(source.poll().is_none());
+        writer.join().unwrap();
+        let counts = source.transport_counts().unwrap();
+        assert!(counts.slow_client_drops >= 1, "{counts:?}");
+        assert_eq!(counts.events_delivered, 2, "valid events all survive");
+        drop(loris);
+    }
+
+    #[test]
+    fn fingerprint_binds_the_declared_stream() {
+        let source = quick_socket().with_stream_fingerprint(0xFEED);
+        assert_eq!(source.fingerprint(), 0xFEED);
+        assert_eq!(quick_socket().fingerprint(), 0);
+    }
+}

@@ -137,10 +137,24 @@ proptest! {
             "bpr_serve_prop_{}_{master_seed:x}_{schedule_pick}_{kill_after}",
             std::process::id()
         ));
-        let _ = std::fs::remove_file(&path);
+        let cleanup = || {
+            let _ = std::fs::remove_file(&path);
+            for k in 0..8 {
+                let _ = std::fs::remove_file(bpr_core::snapshot::partition_path(
+                    &path,
+                    &format!("p{k}"),
+                ));
+            }
+        };
+        cleanup();
+        // The checkpoint partition count is a durability knob, not a
+        // behaviour knob: killing under one count and resuming under
+        // another must still be bit-identical (the manifest records
+        // the count its partitions were written with).
         let killed_config = ServeConfig {
             shards: 2,
             checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+            checkpoint_partitions: 1 + (master_seed % 4) as usize,
             kill_after_rounds: Some(kill_after),
             ..base.clone()
         };
@@ -157,12 +171,13 @@ proptest! {
         let resumed_config = ServeConfig {
             shards: 3,
             checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+            checkpoint_partitions: 1 + ((master_seed >> 8) % 4) as usize,
             ..base
         };
         let mut resumed_daemon =
             Daemon::new(&model, resumed_config).expect("daemon builds");
         let resumed = resumed_daemon.run(&mut source()).expect("resumed run completes");
-        let _ = std::fs::remove_file(&path);
+        cleanup();
 
         // A kill after the final flush leaves a complete snapshot; the
         // resumed run must still report it and change nothing.

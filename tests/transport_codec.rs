@@ -1,0 +1,173 @@
+//! Property tests for the `bpr-serve` wire codec (the transport
+//! tentpole's safety contract):
+//!
+//! * **Round-trip identity** — any frame sequence, encoded and fed
+//!   back in arbitrary chunk sizes, decodes to exactly the same
+//!   sequence with zero rejections.
+//! * **Corruption containment** — a corrupted frame (truncated,
+//!   bit-flipped, wrong version, unknown kind, oversized declaration)
+//!   in the middle of a stream is rejected with a typed error, never a
+//!   panic, and never takes the valid frames around it with it.
+
+use bpr_mdp::StateId;
+use bpr_serve::{Frame, FrameDecoder, FrameError};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    // ~10% of frames are End markers; the rest are events. The
+    // vendored proptest has no weighted `prop_oneof!`, so the pick is
+    // drawn explicitly.
+    (0u8..10, 0u64..u64::MAX, 0u32..u32::MAX, 0u32..u32::MAX).prop_map(
+        |(pick, tick, seq, fault)| {
+            if pick < 9 {
+                Frame::Event {
+                    tick,
+                    seq,
+                    fault: StateId::new(fault as usize),
+                }
+            } else {
+                Frame::End { ticks: tick }
+            }
+        },
+    )
+}
+
+/// Feeds `bytes` to a decoder in chunks shaped by `chunk_seed` and
+/// drains everything, separating valid frames from typed rejections.
+fn decode_chunked(bytes: &[u8], chunk_seed: u64) -> (Vec<Frame>, Vec<FrameError>) {
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut errors = Vec::new();
+    let mut offset = 0usize;
+    let mut step = chunk_seed;
+    while offset < bytes.len() {
+        // Chunk sizes 1..=17, derived from the seed: exercises
+        // byte-at-a-time, mid-header, and mid-payload splits.
+        step = step.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let chunk = 1 + (step >> 33) as usize % 17;
+        let end = (offset + chunk).min(bytes.len());
+        decoder.feed(&bytes[offset..end]);
+        offset = end;
+        while let Some(item) = decoder.next() {
+            match item {
+                Ok(f) => frames.push(f),
+                Err(e) => errors.push(e),
+            }
+        }
+    }
+    while let Some(item) = decoder.next() {
+        match item {
+            Ok(f) => frames.push(f),
+            Err(e) => errors.push(e),
+        }
+    }
+    (frames, errors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → chunked decode is the identity on any frame sequence.
+    #[test]
+    fn round_trip_is_identity_at_any_chunking(
+        frames in proptest::collection::vec(arb_frame(), 0..40),
+        chunk_seed in 0u64..u64::MAX,
+    ) {
+        let bytes: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let (decoded, errors) = decode_chunked(&bytes, chunk_seed);
+        prop_assert_eq!(decoded, frames);
+        prop_assert!(errors.is_empty(), "clean stream produced {errors:?}");
+    }
+
+    /// Corrupting the middle frame of a three-frame stream — by
+    /// truncation, a bit flip, a foreign version byte, an unknown
+    /// kind, or an oversized length declaration — yields at least one
+    /// typed rejection, never a panic, and both neighbours decode
+    /// intact and in order.
+    #[test]
+    fn corruption_is_typed_and_contained(
+        a in arb_frame(),
+        b in arb_frame(),
+        c in arb_frame(),
+        mode in 0u8..5,
+        at in 0usize..1 << 32,
+        chunk_seed in 0u64..u64::MAX,
+    ) {
+        let mut middle = b.encode();
+        match mode {
+            0 => {
+                // Truncation: keep 1..len-1 leading bytes.
+                let keep = 1 + at % (middle.len() - 1);
+                middle.truncate(keep);
+            }
+            1 => {
+                // Single bit flip anywhere in the frame.
+                let i = at % middle.len();
+                let bit = (at / middle.len()) % 8;
+                middle[i] ^= 1 << bit;
+            }
+            2 => middle[4] = middle[4].wrapping_add(1 + (at % 254) as u8), // version
+            3 => middle[5] = 2 + (at % 253) as u8,                         // kind
+            _ => {
+                // Oversized declaration, checksum kept honest so the
+                // length cap itself is what rejects it.
+                let len = (65 + at % (u16::MAX as usize - 65)) as u16;
+                middle[6..8].copy_from_slice(&len.to_le_bytes());
+            }
+        }
+        let mut bytes = a.encode();
+        bytes.extend_from_slice(&middle);
+        bytes.extend_from_slice(&c.encode());
+
+        let (decoded, errors) = decode_chunked(&bytes, chunk_seed);
+        prop_assert!(!errors.is_empty(), "corruption mode {mode} went unnoticed");
+        prop_assert!(
+            decoded.len() >= 2,
+            "neighbours lost: {decoded:?} / {errors:?}"
+        );
+        prop_assert_eq!(decoded[0], a, "leading frame corrupted");
+        prop_assert_eq!(
+            *decoded.last().unwrap(), c,
+            "trailing frame lost to resync"
+        );
+        // The corrupted bytes may resynchronise into at most spurious
+        // *rejections*, never into a third valid frame beyond a/c
+        // unless the corruption left b itself intact (impossible for
+        // modes 0/2/3/4; mode 1 flips exactly one bit, which the
+        // magic, version, kind, length, or checksum check catches).
+        prop_assert_eq!(decoded.len(), 2, "corrupt frame decoded as valid");
+    }
+
+    /// A stale-looking but *well-formed* replay of the same frame is
+    /// decoded, not rejected: staleness is the socket layer's call,
+    /// the codec only vouches for integrity.
+    #[test]
+    fn duplicate_frames_are_decoded_verbatim(
+        f in arb_frame(),
+        chunk_seed in 0u64..u64::MAX,
+    ) {
+        let mut bytes = f.encode();
+        bytes.extend_from_slice(&f.encode());
+        let (decoded, errors) = decode_chunked(&bytes, chunk_seed);
+        prop_assert_eq!(decoded, vec![f, f]);
+        prop_assert!(errors.is_empty());
+    }
+
+    /// Random garbage between valid frames is skipped with counted
+    /// `Garbage` rejections and never desynchronises the stream.
+    #[test]
+    fn garbage_between_frames_never_desynchronises(
+        a in arb_frame(),
+        c in arb_frame(),
+        junk in proptest::collection::vec(0u8..=255u8, 1..64),
+        chunk_seed in 0u64..u64::MAX,
+    ) {
+        let mut bytes = a.encode();
+        bytes.extend_from_slice(&junk);
+        bytes.extend_from_slice(&c.encode());
+        let (decoded, _errors) = decode_chunked(&bytes, chunk_seed);
+        prop_assert!(decoded.len() >= 2, "a frame was lost to the junk");
+        prop_assert_eq!(decoded[0], a);
+        prop_assert_eq!(*decoded.last().unwrap(), c);
+    }
+}
