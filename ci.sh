@@ -31,10 +31,10 @@ echo "==> planning-throughput smoke (fails on fused/parallel divergence or stead
 cargo run -p bpr-bench --bin planning --release -- \
   --decisions 8 --depth 2 --threads 1,2,4
 
-echo "==> planning smoke on a generated 10^3-state scenario (Scenario API end-to-end)"
+echo "==> planning perf-gate smoke on a generated 10^3-state scenario (fails under 1.5x lumped+cached speedup, on divergence, or on steady-state allocations)"
 cargo run -p bpr-bench --bin planning --release -- \
   --scenario cellfleet-mid --decisions 5 --depth 1 --threads 1,2 \
-  --out BENCH_planning_cellfleet.json
+  --min-speedup 1.5
 
 echo "==> modelcheck (full-corpus lint gate: paper models + generated 10^2-10^4 corpus; fails on errors or unexpected warnings)"
 cargo run -p bpr-bench --bin modelcheck --release -- \

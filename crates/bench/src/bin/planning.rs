@@ -1,24 +1,29 @@
-//! Planning-throughput benchmark for the fused tree-expansion kernel:
-//! measures decisions/sec and nodes/sec on any registry scenario
-//! (default: the paper's EMN model) for the retained legacy path, the
-//! fused workspace path, and root-parallel expansion at several
-//! widths — all in the same run, so the reported speedups compare
-//! like with like.
+//! Planning-throughput benchmark for the lumped + fused tree-expansion
+//! kernel: measures decisions/sec and nodes/sec on any registry
+//! scenario (default: the paper's EMN model) for the retained legacy
+//! path, the fused workspace path on the lumped quotient (cold: cache
+//! cleared per decision; warm: epoch-keyed cross-decision reuse), and
+//! root-parallel expansion at several widths — all in the same run, so
+//! the reported speedups compare like with like.
 //!
-//! Three properties gate the run (exit nonzero on violation):
+//! Four properties gate the run (exit nonzero on violation):
 //!
-//! 1. the fused decision is **bit-identical** to the legacy decision;
-//! 2. root-parallel decisions are bit-identical to sequential at every
+//! 1. the fused decision on the lumped quotient is **value-identical**
+//!    to the legacy decision on the full model — bit-identical when the
+//!    lumping is the identity, within 1e-9 otherwise (same action, same
+//!    node count, matching root and per-action values);
+//! 2. warm (cross-decision cached) decisions are bit-identical to cold;
+//! 3. root-parallel decisions are bit-identical to sequential at every
 //!    requested width;
-//! 3. steady-state fused decisions perform **zero heap allocations**
+//! 4. steady-state fused decisions perform **zero heap allocations**
 //!    (counted by a tallying global allocator in this binary only).
 //!
-//! Results land in `BENCH_planning.json`.
+//! Results land in `BENCH_planning_<scenario>.json`.
 //!
 //! Usage:
 //! `cargo run -p bpr-bench --bin planning --release -- \
 //!     [--scenario emn] [--decisions 40] [--depth 2] [--cutoff 1e-3] \
-//!     [--threads 1,2,4] [--min-speedup 0.0] [--out BENCH_planning.json]`
+//!     [--threads 1,2,4] [--min-speedup 0.0] [--out PATH.json]`
 
 // The one sanctioned `unsafe` user in the workspace: implementing
 // `GlobalAlloc` is inherently unsafe, and the zero-allocation gate
@@ -30,7 +35,8 @@ use bpr_bench::{flag, scenario_flag};
 use bpr_mdp::chain::SolveOpts;
 use bpr_par::WorkPool;
 use bpr_pomdp::bounds::ra_bound;
-use bpr_pomdp::{tree, Belief, PlanWorkspace};
+use bpr_pomdp::tree::Decision;
+use bpr_pomdp::{tree, Belief, CacheEpoch, PlanWorkspace};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +106,52 @@ fn write_path(out: &mut String, name: &str, r: &PathResult) {
     );
 }
 
+fn write_u64s(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// The value-identity gate between the legacy decision on the full
+/// model and the fused decision on the lumped quotient: bit-identical
+/// when the lump is the identity, 1e-9-close otherwise (actions and
+/// node counts must always match exactly — lumping preserves both).
+fn check_value_identity(legacy: &Decision, fused: &Decision, identity: bool) {
+    if identity {
+        if fused != legacy {
+            eprintln!(
+                "DIVERGENCE: fused decision differs from legacy under identity lump\n  \
+                 legacy: {legacy:?}\n  fused:  {fused:?}"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+    let tol = 1e-9;
+    let values_match = (fused.value - legacy.value).abs() <= tol
+        && fused.q_values.len() == legacy.q_values.len()
+        && fused
+            .q_values
+            .iter()
+            .zip(&legacy.q_values)
+            .all(|(a, b)| (a - b).abs() <= tol);
+    if fused.action != legacy.action
+        || fused.nodes_expanded != legacy.nodes_expanded
+        || !values_match
+    {
+        eprintln!(
+            "DIVERGENCE: lumped fused decision is not value-identical to legacy\n  \
+             legacy: {legacy:?}\n  fused:  {fused:?}"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let decisions = flag(&args, "--decisions", 40usize).max(1);
@@ -107,15 +159,15 @@ fn main() {
     let cutoff = flag(&args, "--cutoff", 1e-3f64);
     let min_speedup = flag(&args, "--min-speedup", 0.0f64);
     let widths = threads_flag(&args, &[1, 2, 4]);
+
+    let registry = bpr::scenario::builtin();
+    let scenario = scenario_flag(&registry, &args, "emn");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_planning.json".to_string());
-
-    let registry = bpr::scenario::builtin();
-    let scenario = scenario_flag(&registry, &args, "emn");
+        .unwrap_or_else(|| format!("BENCH_planning_{}.json", scenario.name()));
     let model = scenario
         .build()
         .expect("scenario model builds")
@@ -133,7 +185,26 @@ fn main() {
         pomdp.n_observations()
     );
 
-    // --- Legacy path (per-node successor rebuild, fresh allocations).
+    // --- Lump the transformed model; the fused paths plan on the
+    // quotient and the certificate projects the benchmark belief.
+    let lump_start = Instant::now();
+    let (qmodel, certificate) = model.lump().expect("lumping succeeds");
+    let lump_seconds = lump_start.elapsed().as_secs_f64();
+    let qpomdp = qmodel.pomdp();
+    let qbound = ra_bound(qpomdp, &SolveOpts::default()).expect("quotient RA-Bound exists");
+    let qbelief = certificate.project(&belief);
+    let identity = certificate.is_identity();
+    println!(
+        "  lump:   {} -> {} states ({} merged classes) in {:.3}ms{}",
+        certificate.n_full(),
+        certificate.n_quotient(),
+        certificate.n_full() - certificate.n_quotient(),
+        lump_seconds * 1e3,
+        if identity { " [identity]" } else { "" }
+    );
+
+    // --- Legacy path (per-node successor rebuild, fresh allocations)
+    // on the full model: the before side of every speedup.
     let legacy_ref = tree::legacy::expand_with_cutoff(pomdp, &belief, depth, &bound, 1.0, cutoff)
         .expect("legacy expansion succeeds");
     let start = Instant::now();
@@ -149,53 +220,93 @@ fn main() {
         legacy.decisions_per_sec, legacy.nodes_per_sec
     );
 
-    // --- Fused workspace path, with the allocation gate.
+    // --- Fused workspace path on the quotient, cache cleared per
+    // decision (cold): isolates the lump + SIMD kernel speedup.
     let mut ws = PlanWorkspace::new();
     for _ in 0..2 {
         // Warm-up: populate the scratch arena, frames, and cache tables.
-        tree::expand_with_workspace(pomdp, &belief, depth, &bound, 1.0, cutoff, &mut ws)
+        tree::expand_with_workspace(qpomdp, &qbelief, depth, &qbound, 1.0, cutoff, &mut ws)
             .expect("fused expansion succeeds");
     }
-    if ws.decision() != &legacy_ref {
+    check_value_identity(&legacy_ref, ws.decision(), identity);
+    let cold_ref = ws.decision().clone();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut cold_nodes = 0usize;
+    for _ in 0..decisions {
+        tree::expand_with_workspace(qpomdp, &qbelief, depth, &qbound, 1.0, cutoff, &mut ws)
+            .expect("fused expansion succeeds");
+        cold_nodes += ws.decision().nodes_expanded;
+    }
+    let cold_wall = start.elapsed().as_secs_f64();
+    let cold_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let fused_cold = rates(decisions, cold_nodes, cold_wall);
+    println!(
+        "  fused (cold):  {:.1} decisions/sec, {:.0} nodes/sec, {} allocations over {} decisions",
+        fused_cold.decisions_per_sec, fused_cold.nodes_per_sec, cold_allocs, decisions
+    );
+
+    // --- Fused workspace path, epoch-keyed (warm): the cache persists
+    // across decisions under one (model fingerprint, bound generation,
+    // β, γ) epoch, so repeated decisions reuse each other's τ-vectors.
+    let epoch = CacheEpoch {
+        model_fingerprint: qpomdp.fingerprint(),
+        bound_generation: qbound.generation(),
+        beta_bits: 1.0f64.to_bits(),
+        cutoff_bits: cutoff.to_bits(),
+    };
+    for _ in 0..2 {
+        tree::expand_with_workspace_epoch(
+            qpomdp, &qbelief, depth, &qbound, 1.0, cutoff, epoch, &mut ws,
+        )
+        .expect("epoch expansion succeeds");
+    }
+    if ws.decision() != &cold_ref {
         eprintln!(
-            "DIVERGENCE: fused decision differs from legacy\n  legacy: {legacy_ref:?}\n  fused:  {:?}",
+            "DIVERGENCE: warm (cross-decision cached) decision differs from cold\n  \
+             cold: {cold_ref:?}\n  warm: {:?}",
             ws.decision()
         );
         std::process::exit(1);
     }
+    ws.reset_stats();
     let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let start = Instant::now();
-    let mut fused_nodes = 0usize;
+    let mut warm_nodes = 0usize;
     for _ in 0..decisions {
-        tree::expand_with_workspace(pomdp, &belief, depth, &bound, 1.0, cutoff, &mut ws)
-            .expect("fused expansion succeeds");
-        fused_nodes += ws.decision().nodes_expanded;
+        tree::expand_with_workspace_epoch(
+            qpomdp, &qbelief, depth, &qbound, 1.0, cutoff, epoch, &mut ws,
+        )
+        .expect("epoch expansion succeeds");
+        warm_nodes += ws.decision().nodes_expanded;
     }
-    let fused_wall = start.elapsed().as_secs_f64();
+    let warm_wall = start.elapsed().as_secs_f64();
     let steady_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
-    let fused = rates(decisions, fused_nodes, fused_wall);
+    let fused = rates(decisions, warm_nodes, warm_wall);
     let allocs_per_decision = steady_allocs as f64 / decisions as f64;
     let stats = ws.stats().clone();
     println!(
-        "  fused:  {:.1} decisions/sec, {:.0} nodes/sec, {} allocations over {} decisions, \
-         cache {}/{} hits/misses",
+        "  fused (warm):  {:.1} decisions/sec, {:.0} nodes/sec, {} allocations over {} decisions, \
+         cache {}/{} hits/misses ({} cross-decision)",
         fused.decisions_per_sec,
         fused.nodes_per_sec,
         steady_allocs,
         decisions,
         stats.cache_hits,
-        stats.cache_misses
+        stats.cache_misses,
+        stats.cross_decision_hits
     );
-    if steady_allocs != 0 {
+    if cold_allocs != 0 || steady_allocs != 0 {
         eprintln!(
-            "ALLOCATION GATE: {steady_allocs} heap allocations in {decisions} steady-state fused \
-             decisions (expected 0)"
+            "ALLOCATION GATE: {cold_allocs} cold + {steady_allocs} warm heap allocations in \
+             {decisions} steady-state fused decisions each (expected 0)"
         );
         std::process::exit(1);
     }
 
     let speedup = fused.decisions_per_sec / legacy.decisions_per_sec;
-    println!("  speedup (fused over legacy): {speedup:.2}x");
+    let cold_speedup = fused_cold.decisions_per_sec / legacy.decisions_per_sec;
+    println!("  speedup (fused over legacy): {speedup:.2}x warm, {cold_speedup:.2}x cold");
     if speedup < min_speedup {
         eprintln!("SPEEDUP GATE: {speedup:.2}x < required {min_speedup:.2}x");
         std::process::exit(1);
@@ -244,18 +355,33 @@ fn main() {
     let _ = write!(
         json,
         "  \"model\": \"{}\", \"depth\": {depth}, \"gamma_cutoff\": {cutoff:e}, \
-         \"decisions\": {decisions},\n  ",
-        scenario.name()
+         \"decisions\": {decisions},\n  \
+         \"lump\": {{\"full_states\": {}, \"quotient_states\": {}, \"merged_classes\": {}, \
+         \"identity\": {identity}, \"lump_seconds\": {lump_seconds:.6}}},\n  ",
+        scenario.name(),
+        certificate.n_full(),
+        certificate.n_quotient(),
+        certificate.n_full() - certificate.n_quotient(),
     );
     write_path(&mut json, "legacy", &legacy);
+    json.push_str(",\n  ");
+    write_path(&mut json, "fused_cold", &fused_cold);
     json.push_str(",\n  ");
     write_path(&mut json, "fused", &fused);
     let _ = write!(
         json,
         ",\n  \"allocations_per_decision\": {allocs_per_decision:.3},\n  \
-         \"cache_hits\": {}, \"cache_misses\": {},\n  \
-         \"speedup_fused_over_legacy\": {speedup:.3},\n  \"parallel\": {parallel_rows}\n}}\n",
-        stats.cache_hits, stats.cache_misses
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"cross_decision_hits\": {},\n    \
+         \"hits_by_depth\": ",
+        stats.cache_hits, stats.cache_misses, stats.cross_decision_hits
+    );
+    write_u64s(&mut json, &stats.cache_hits_by_depth);
+    json.push_str(", \"misses_by_depth\": ");
+    write_u64s(&mut json, &stats.cache_misses_by_depth);
+    let _ = write!(
+        json,
+        "}},\n  \"speedup_fused_over_legacy\": {speedup:.3}, \
+         \"speedup_cold_over_legacy\": {cold_speedup:.3},\n  \"parallel\": {parallel_rows}\n}}\n",
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");

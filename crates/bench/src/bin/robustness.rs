@@ -9,7 +9,11 @@
 //!     [--scenario emn] [--episodes 60] [--seed 7] [--failures 0.0,0.2] \
 //!     [--dropouts 0.0,0.1] [--corruption 0.0] [--secondary 0.0] \
 //!     [--max-secondary 0] [--bootstrap-iters 10] [--bootstrap-depth 2] \
-//!     [--threads N] [--out BENCH_robustness.json]`
+//!     [--threads N] [--lump] [--out BENCH_robustness.json]`
+//!
+//! `--lump` plans the bounded rows on the lumped (state-aggregated)
+//! quotient — sound by the lumping certificate; the rows are renamed
+//! with a `+lump` suffix.
 //!
 //! On the 10³+-state generated scenarios pass `--bootstrap-depth 1`:
 //! the paper's depth-2 bootstrap schedule is sized for the 14-state
@@ -121,7 +125,8 @@ fn sweep_json(scenario: &str, config: &RobustnessConfig, cells: &[RobustnessCell
             "    \"seed\": {seed},\n",
             "    \"obs_corruption_prob\": {corruption},\n",
             "    \"secondary_fault_prob\": {secondary},\n",
-            "    \"max_secondary_faults\": {max_secondary}\n",
+            "    \"max_secondary_faults\": {max_secondary},\n",
+            "    \"lump\": {lump}\n",
             "  }},\n",
             "  \"cells\": [\n{cells}\n  ]\n",
             "}}\n"
@@ -132,6 +137,7 @@ fn sweep_json(scenario: &str, config: &RobustnessConfig, cells: &[RobustnessCell
         corruption = config.obs_corruption_prob,
         secondary = config.secondary_fault_prob,
         max_secondary = config.max_secondary_faults,
+        lump = config.lump,
         cells = cell_blocks.join(",\n"),
     )
 }
@@ -150,6 +156,7 @@ fn main() {
         bootstrap_iters: flag(&args, "--bootstrap-iters", 10usize),
         bootstrap_depth: flag(&args, "--bootstrap-depth", 2usize),
         threads: flag(&args, "--threads", WorkPool::default().threads()),
+        lump: args.iter().any(|a| a == "--lump"),
         ..RobustnessConfig::default()
     };
     let registry = bpr::scenario::builtin();

@@ -6,7 +6,8 @@ use bpr_core::bootstrap::{
 };
 use bpr_core::scenario::Scenario;
 use bpr_core::{
-    BoundedConfig, BoundedController, Error, RecoveryModel, ResilienceConfig, ResilientController,
+    BoundedConfig, BoundedController, Error, LumpedController, RecoveryModel, ResilienceConfig,
+    ResilientController,
 };
 use bpr_emn::actions::EmnAction;
 use bpr_emn::faults::EmnState;
@@ -330,6 +331,10 @@ pub struct RobustnessConfig {
     /// Worker threads for the campaigns (results are thread-count
     /// independent; this only changes wall-clock time).
     pub threads: usize,
+    /// Plan the bounded rows on the lumped quotient (see
+    /// [`bootstrapped_bounded_lumped`]); rows are renamed with a
+    /// `+lump` suffix so results never silently mix regimes.
+    pub lump: bool,
 }
 
 impl Default for RobustnessConfig {
@@ -348,6 +353,7 @@ impl Default for RobustnessConfig {
             bootstrap_iters: 10,
             bootstrap_depth: 2,
             threads: 1,
+            lump: false,
         }
     }
 }
@@ -475,6 +481,75 @@ pub fn bootstrapped_bounded(
 /// skipping the quadratic sweep cost on the generated corpus.
 const STARTUP_SWEEP_STATE_CAP: usize = 256;
 
+/// [`bootstrapped_bounded`] planning on the lumped quotient: the
+/// transformed model is aggregated through
+/// [`bpr_core::TerminatedModel::lump`], the RA-Bound and bootstrap run
+/// on the (smaller) quotient, and the result is wrapped in a
+/// [`LumpedController`] so it speaks the full model's belief
+/// vocabulary in campaigns. When the model has no aliased monitors the
+/// lump is the identity and this is behaviourally
+/// [`bootstrapped_bounded`] under another name.
+///
+/// The startup-sweep cap is checked on the *quotient* state count —
+/// aggregation can pull a corpus-scale model back under it.
+///
+/// # Errors
+///
+/// Propagates transform, lump, bound, and bootstrap failures; rejects
+/// models without an observe action.
+pub fn bootstrapped_bounded_lumped(
+    model: &RecoveryModel,
+    operator_response_time: f64,
+    seed: u64,
+    gamma_cutoff: f64,
+    iterations: usize,
+    depth: usize,
+) -> Result<LumpedController<BoundedController>, Error> {
+    let conditioning =
+        model
+            .observe_actions()
+            .first()
+            .copied()
+            .ok_or_else(|| Error::InvalidInput {
+                detail: "bootstrapped bounded controller needs an observe action to condition on"
+                    .to_string(),
+            })?;
+    let transformed = model.without_notification(operator_response_time)?;
+    let (quotient, certificate) = transformed.lump()?;
+    let mut bound = ra_bound(quotient.pomdp(), &SolveOpts::default()).map_err(Error::Pomdp)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    bootstrap(
+        &quotient,
+        &mut bound,
+        &BootstrapConfig {
+            variant: BootstrapVariant::Average,
+            iterations,
+            depth,
+            max_steps: 40,
+            conditioning_action: conditioning,
+            ..BootstrapConfig::default()
+        },
+        &mut rng,
+    )?;
+    let startup_vertex_sweeps = if quotient.pomdp().n_states() > STARTUP_SWEEP_STATE_CAP {
+        0
+    } else {
+        BoundedConfig::default().startup_vertex_sweeps
+    };
+    let inner = BoundedController::with_bound(
+        quotient,
+        bound,
+        BoundedConfig {
+            depth: 1,
+            gamma_cutoff,
+            vector_cap: Some(64),
+            startup_vertex_sweeps,
+            ..BoundedConfig::default()
+        },
+    )?;
+    Ok(LumpedController::new(inner, certificate))
+}
+
 /// The EMN-specialised ancestor of [`bootstrapped_bounded_d1_for`].
 ///
 /// # Errors
@@ -573,27 +648,54 @@ pub fn robustness_sweep_for(
             let h1 = HeuristicController::new(model.clone(), 1, config.p_term)?
                 .with_gamma_cutoff(config.gamma_cutoff);
             push(campaign.clone().run(|_| Ok(h1.clone()))?, "heuristic-d1");
-            let bounded = bootstrapped_bounded(
-                &model,
-                scenario.operator_response_time(),
-                config.seed,
-                config.gamma_cutoff,
-                config.bootstrap_iters,
-                config.bootstrap_depth,
-            )?;
-            push(campaign.clone().run(|_| Ok(bounded.clone()))?, "bounded-d1");
-            let hardened = ResilientController::new(
-                model.clone(),
-                bounded.clone(),
-                ResilienceConfig {
-                    max_steps: config.max_steps,
-                    ..ResilienceConfig::default()
-                },
-            )?;
-            push(
-                campaign.clone().run(|_| Ok(hardened.clone()))?,
-                "resilient-bounded-d1",
-            );
+            if config.lump {
+                let bounded = bootstrapped_bounded_lumped(
+                    &model,
+                    scenario.operator_response_time(),
+                    config.seed,
+                    config.gamma_cutoff,
+                    config.bootstrap_iters,
+                    config.bootstrap_depth,
+                )?;
+                push(
+                    campaign.clone().run(|_| Ok(bounded.clone()))?,
+                    "bounded-d1+lump",
+                );
+                let hardened = ResilientController::new(
+                    model.clone(),
+                    bounded.clone(),
+                    ResilienceConfig {
+                        max_steps: config.max_steps,
+                        ..ResilienceConfig::default()
+                    },
+                )?;
+                push(
+                    campaign.clone().run(|_| Ok(hardened.clone()))?,
+                    "resilient-bounded-d1+lump",
+                );
+            } else {
+                let bounded = bootstrapped_bounded(
+                    &model,
+                    scenario.operator_response_time(),
+                    config.seed,
+                    config.gamma_cutoff,
+                    config.bootstrap_iters,
+                    config.bootstrap_depth,
+                )?;
+                push(campaign.clone().run(|_| Ok(bounded.clone()))?, "bounded-d1");
+                let hardened = ResilientController::new(
+                    model.clone(),
+                    bounded.clone(),
+                    ResilienceConfig {
+                        max_steps: config.max_steps,
+                        ..ResilienceConfig::default()
+                    },
+                )?;
+                push(
+                    campaign.clone().run(|_| Ok(hardened.clone()))?,
+                    "resilient-bounded-d1",
+                );
+            }
 
             cells.push(RobustnessCell {
                 action_failure_prob: failure,

@@ -42,6 +42,7 @@ mod bounded;
 pub mod conditions;
 mod controller;
 mod error;
+mod lumped;
 mod model;
 mod notified;
 pub mod preview;
@@ -56,6 +57,7 @@ pub use anytime::{
 pub use bounded::{BoundedConfig, BoundedController};
 pub use controller::{RecoveryController, ResilienceStats, Step};
 pub use error::Error;
+pub use lumped::LumpedController;
 pub use model::{Notification, RecoveryModel, TerminatedModel};
 pub use notified::{NotifiedBoundedController, NotifiedConfig};
 pub use resilient::{EscalationLevel, ResilienceConfig, ResilientController};

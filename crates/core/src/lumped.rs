@@ -1,0 +1,199 @@
+//! Adapter running any controller on a lumped (state-aggregated)
+//! model while speaking the full model's belief vocabulary.
+//!
+//! Harnesses and daemons hand controllers base-space beliefs and read
+//! base-space beliefs back; a controller built on a quotient from
+//! [`TerminatedModel::lump`](crate::TerminatedModel::lump) speaks the
+//! quotient vocabulary instead. [`LumpedController`] sits between the
+//! two: initial beliefs and ground-truth fault states are projected
+//! through the [`LumpCertificate`] on the way in, reported beliefs are
+//! lifted on the way out, and actions/observations pass through
+//! untouched (lumping never merges actions or observations). The
+//! lumping soundness argument (`bpr_pomdp::lump`) is exactly the
+//! statement that this wrapper's decision sequence matches the same
+//! controller running unlumped on the full model — the equivalence
+//! proptests drive both against identical campaigns.
+
+use crate::{Error, RecoveryController, ResilienceStats, Step};
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::{Belief, LumpCertificate, ObservationId};
+
+/// Runs `inner` (built on the lumped model) behind the full model's
+/// belief interface. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LumpedController<C> {
+    inner: C,
+    certificate: LumpCertificate,
+    name: String,
+}
+
+impl<C: RecoveryController> LumpedController<C> {
+    /// Wraps a quotient-model controller with the certificate that
+    /// produced its model (the second half of
+    /// [`TerminatedModel::lump`](crate::TerminatedModel::lump)'s
+    /// return value).
+    pub fn new(inner: C, certificate: LumpCertificate) -> LumpedController<C> {
+        let name = format!("{}+lump", inner.name());
+        LumpedController {
+            inner,
+            certificate,
+            name,
+        }
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped controller (e.g. to read stats).
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
+
+    /// The certificate beliefs are projected/lifted through.
+    pub fn certificate(&self) -> &LumpCertificate {
+        &self.certificate
+    }
+
+    /// Full transformed-space states (the certificate's domain).
+    fn n_full(&self) -> usize {
+        self.certificate.n_full()
+    }
+}
+
+impl<C: RecoveryController> RecoveryController for LumpedController<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin(&mut self, initial: Belief, true_fault: Option<StateId>) -> Result<(), Error> {
+        // The harness speaks the *base* space (no s_T); the certificate
+        // covers the transformed space. Extend with zero terminate
+        // mass, project per class, and hand the inner controller a
+        // transformed-space quotient belief.
+        if initial.n_states() != self.n_full() - 1 {
+            return Err(Error::InvalidInput {
+                detail: format!(
+                    "initial belief covers {} states, lumped full model has {} base states",
+                    initial.n_states(),
+                    self.n_full() - 1
+                ),
+            });
+        }
+        let mut extended = initial.probs().to_vec();
+        extended.push(0.0);
+        let projected = self.certificate.project_weights(&extended);
+        let quotient = Belief::from_probs(projected).map_err(Error::Pomdp)?;
+        let fault = true_fault.map(|s| self.certificate.class_of(s));
+        self.inner.begin(quotient, fault)
+    }
+
+    fn decide(&mut self) -> Result<Step, Error> {
+        self.inner.decide()
+    }
+
+    fn observe(&mut self, action: ActionId, o: ObservationId) -> Result<(), Error> {
+        self.inner.observe(action, o)
+    }
+
+    fn belief(&self) -> Option<Belief> {
+        // The inner controller reports its *base-of-quotient* belief
+        // (terminate class stripped, which is the last class). Restore
+        // the terminate slot, lift class mass onto representatives,
+        // and strip s_T (the last full state) again.
+        let inner = self.inner.belief()?;
+        let nq = self.certificate.n_quotient();
+        if inner.n_states() != nq - 1 {
+            return None;
+        }
+        let mut quotient = inner.probs().to_vec();
+        quotient.push(0.0);
+        let lifted = self.certificate.lift(&Belief::from_probs(quotient).ok()?);
+        let base: Vec<f64> = lifted.probs()[..self.n_full() - 1].to_vec();
+        Belief::from_probs(base).ok()
+    }
+
+    fn on_unobserved(&mut self, action: ActionId) -> Result<(), Error> {
+        self.inner.on_unobserved(action)
+    }
+
+    fn resilience_stats(&self) -> Option<ResilienceStats> {
+        self.inner.resilience_stats()
+    }
+
+    fn uses_monitors(&self) -> bool {
+        self.inner.uses_monitors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::two_server_model;
+    use crate::{BoundedConfig, BoundedController};
+
+    fn plain_config() -> BoundedConfig {
+        BoundedConfig {
+            backup_online: false,
+            startup_vertex_sweeps: 0,
+            ..BoundedConfig::default()
+        }
+    }
+
+    #[test]
+    fn lumped_bounded_controller_matches_full_on_two_server() {
+        let model = two_server_model().without_notification(10.0).unwrap();
+        let (qmodel, cert) = model.lump().unwrap();
+        // Null purity: the quotient's null set projects the original's.
+        assert_eq!(qmodel.null_states().len(), 1);
+        let mut full = BoundedController::new(model, plain_config()).unwrap();
+        let inner = BoundedController::new(qmodel, plain_config()).unwrap();
+        let mut lumped = LumpedController::new(inner, cert);
+        assert_eq!(lumped.name(), "bounded+lump");
+        for start in [
+            Belief::uniform(3),
+            Belief::point(3, StateId::new(0)),
+            Belief::point(3, StateId::new(2)),
+        ] {
+            full.begin(start.clone(), None).unwrap();
+            lumped.begin(start.clone(), None).unwrap();
+            // Drive both through the same episode skeleton.
+            for _ in 0..4 {
+                let sf = full.decide().unwrap();
+                let sl = lumped.decide().unwrap();
+                assert_eq!(sf, sl, "decision drift from {:?}", start.probs());
+                let bf = full.belief().unwrap();
+                let bl = lumped.belief().unwrap();
+                let masses_match = bf
+                    .probs()
+                    .iter()
+                    .zip(bl.probs())
+                    .all(|(x, y)| (x - y).abs() < 1e-12);
+                assert!(masses_match, "belief drift: {bf:?} vs {bl:?}");
+                match sf {
+                    Step::Terminate => break,
+                    Step::Execute(a) => {
+                        // Feed the most likely observation for the action.
+                        let o = ObservationId::new(0);
+                        let rf = full.observe(a, o);
+                        let rl = lumped.observe(a, o);
+                        assert_eq!(rf.is_ok(), rl.is_ok());
+                        if rf.is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_dimension_belief_is_rejected() {
+        let model = two_server_model().without_notification(10.0).unwrap();
+        let (qmodel, cert) = model.lump().unwrap();
+        let inner = BoundedController::new(qmodel, plain_config()).unwrap();
+        let mut lumped = LumpedController::new(inner, cert);
+        assert!(lumped.begin(Belief::uniform(7), None).is_err());
+    }
+}

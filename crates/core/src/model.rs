@@ -436,6 +436,67 @@ impl TerminatedModel {
             .filter(|s| !self.null_states.contains(s))
             .collect()
     }
+
+    /// Lumps the transformed model by its monitor-aliasing partition:
+    /// the lint analyzer's exact-bit equivalence classes
+    /// ([`bpr_lint::checks::monitor_partition`]) seed
+    /// [`bpr_pomdp::lump`], which refines them to a sound
+    /// state-aggregation quotient (see its module docs). The quotient
+    /// is returned as a [`TerminatedModel`] whose `s_T`, `a_T`, and
+    /// null-state bookkeeping are mapped through the certificate, so
+    /// controllers built on it are drop-in.
+    ///
+    /// Seed classes are pre-split so no quotient state ever mixes null
+    /// with fault states or with `s_T` — the merge semantics of the
+    /// recovery bookkeeping (`null_states`, termination) stay exact
+    /// even where the raw dynamics alone would allow a coarser merge.
+    /// When nothing is mergeable the result is the identity quotient
+    /// and planning on it is bit-identical to the original.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quotient-construction failures from
+    /// [`bpr_pomdp::lump`] (they indicate a malformed model).
+    pub fn lump(&self) -> Result<(TerminatedModel, bpr_pomdp::LumpCertificate), Error> {
+        let mut seed: Vec<Vec<StateId>> = Vec::new();
+        for class in bpr_lint::checks::monitor_partition(&self.pomdp) {
+            let mut nulls = Vec::new();
+            let mut faults = Vec::new();
+            for s in class {
+                if s == self.terminate_state {
+                    seed.push(vec![s]);
+                } else if self.null_states.contains(&s) {
+                    nulls.push(s);
+                } else {
+                    faults.push(s);
+                }
+            }
+            if !nulls.is_empty() {
+                seed.push(nulls);
+            }
+            if !faults.is_empty() {
+                seed.push(faults);
+            }
+        }
+        let lumping = bpr_pomdp::lump(&self.pomdp, &seed).map_err(Error::Pomdp)?;
+        let cert = lumping.certificate;
+        let null_states: Vec<StateId> = (0..cert.n_quotient())
+            .map(StateId::new)
+            .filter(|&c| {
+                let rep = cert.representative(c);
+                self.null_states.contains(&StateId::new(rep.index()))
+            })
+            .collect();
+        let quotient = TerminatedModel {
+            pomdp: lumping.pomdp,
+            terminate_state: cert.class_of(self.terminate_state),
+            terminate_action: self.terminate_action,
+            terminated_observation: self.terminated_observation,
+            null_states,
+            operator_response_time: self.operator_response_time,
+        };
+        Ok((quotient, cert))
+    }
 }
 
 #[cfg(test)]

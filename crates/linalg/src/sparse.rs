@@ -1,4 +1,30 @@
 //! Compressed sparse row (CSR) matrices.
+//!
+//! # SIMD layout notes
+//!
+//! The planning hot path (`bpr-pomdp`'s fused τ-operator) runs two
+//! kernels per tree node: a transposed SpMV (belief prediction) and a
+//! fused row gather-and-scale (observation posterior). Both have
+//! `*_unchecked` variants that skip the `Result`-returning dimension
+//! validation (`debug_assert!`ed instead — the workspace forbids
+//! `unsafe`, so "unchecked" here means "no `Result` plumbing", all
+//! slice accesses stay bounds-checked by the compiler and the inner
+//! loops are written as slice zips so those checks vectorize away).
+//!
+//! High-fill rows additionally carry a *dense mirror*: rows whose fill
+//! ratio reaches [`CsrMatrix::DENSE_ROW_MIN_FILL`] (on matrices of at
+//! least [`CsrMatrix::DENSE_ROW_MIN_COLS`] columns, opted in via
+//! [`CsrMatrix::enable_dense_rows`]) are stored a second time as
+//! contiguous value lanes padded to a multiple of 8 so consecutive
+//! rows start on 64-byte boundaries. On those rows the indirect
+//! `y[col[k]] += v·x` scatter becomes a contiguous `y[j] += d[j]·x`
+//! axpy and the gather-scale becomes an elementwise product — both
+//! autovectorize. Reductions (`row_scaled` sums) stay a single scalar
+//! accumulator in ascending column order: the dense mirror only adds
+//! `+0.0` terms at padded positions, which is bitwise inert because
+//! every stored value is `> 0` (enforced at mirror build time) and the
+//! inputs are non-negative (debug-asserted) — so results are
+//! bit-identical to the sparse path.
 
 use crate::Error;
 
@@ -23,7 +49,7 @@ use crate::Error;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
@@ -31,7 +57,37 @@ pub struct CsrMatrix {
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     values: Vec<f64>,
+    /// Padded dense mirrors of high-fill rows (see module docs); an
+    /// acceleration structure, never part of the matrix's identity.
+    dense: Option<DenseRows>,
 }
+
+/// Equality is over the logical matrix only — whether a dense-row
+/// mirror has been enabled does not affect it.
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &CsrMatrix) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
+}
+
+/// Contiguous padded storage for the dense mirrors of high-fill rows.
+#[derive(Debug, Clone)]
+struct DenseRows {
+    /// Row stride: `ncols` rounded up to a multiple of
+    /// [`CsrMatrix::DENSE_ROW_LANE`], so every mirrored row starts
+    /// lane-aligned.
+    stride: usize,
+    /// Per-row offset into `values`, or [`NO_DENSE_ROW`].
+    offsets: Vec<u32>,
+    values: Vec<f64>,
+}
+
+/// Sentinel in [`DenseRows::offsets`] for rows without a mirror.
+const NO_DENSE_ROW: u32 = u32::MAX;
 
 impl CsrMatrix {
     /// Creates a matrix from `(row, col, value)` triplets.
@@ -102,6 +158,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+            dense: None,
         };
         m.prune_zeros();
         Ok(m)
@@ -148,10 +205,13 @@ impl CsrMatrix {
             row_ptr: vec![0; nrows + 1],
             col_idx: Vec::new(),
             values: Vec::new(),
+            dense: None,
         }
     }
 
     fn prune_zeros(&mut self) {
+        // Structure is about to change; any dense mirror is stale.
+        self.dense = None;
         if !self.values.contains(&0.0) {
             return;
         }
@@ -251,9 +311,12 @@ impl CsrMatrix {
             });
         }
         for (r, out) in y.iter_mut().enumerate() {
+            let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            // Single accumulator in ascending column order — the
+            // summation order is part of the bit-identity contract.
             let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                acc += v * x[c];
             }
             *out = acc;
         }
@@ -304,11 +367,47 @@ impl CsrMatrix {
             if xr == 0.0 {
                 continue;
             }
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                y[self.col_idx[k]] += self.values[k] * xr;
+            let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                y[c] += v * xr;
             }
         }
         Ok(())
+    }
+
+    /// [`CsrMatrix::matvec_transpose_into`] without the `Result`
+    /// plumbing, for validated hot loops: dimensions are
+    /// `debug_assert!`ed, and rows with a dense mirror (see
+    /// [`CsrMatrix::enable_dense_rows`]) use a contiguous axpy instead
+    /// of the indirect scatter.
+    ///
+    /// Bit-identical to the checked variant **provided `x` is
+    /// non-negative with no `-0.0` entries** (debug-asserted): the
+    /// mirror's padded positions contribute `+0.0`, which cannot flip
+    /// the sign bit of a non-negative accumulation.
+    pub fn matvec_transpose_into_unchecked(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.nrows, "transpose matvec input length");
+        debug_assert_eq!(y.len(), self.ncols, "transpose matvec output length");
+        debug_assert!(
+            x.iter().all(|&v| v > 0.0 || v.to_bits() == 0),
+            "unchecked transpose matvec requires non-negative input without -0.0"
+        );
+        y.fill(0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            if let Some(d) = self.dense_row(r) {
+                for (yj, &vj) in y.iter_mut().zip(d) {
+                    *yj += vj * xr;
+                }
+            } else {
+                let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                    y[c] += v * xr;
+                }
+            }
+        }
     }
 
     /// Fused row gather-and-scale: writes `out[c] = self[row, c] * x[c]`
@@ -350,14 +449,118 @@ impl CsrMatrix {
             });
         }
         out.fill(0.0);
+        let (s, e) = (self.row_ptr[row], self.row_ptr[row + 1]);
         let mut acc = 0.0;
-        for k in self.row_ptr[row]..self.row_ptr[row + 1] {
-            let c = self.col_idx[k];
-            let t = self.values[k] * x[c];
+        for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+            let t = v * x[c];
             out[c] = t;
             acc += t;
         }
         Ok(acc)
+    }
+
+    /// [`CsrMatrix::row_scaled_into`] without the `Result` plumbing,
+    /// for validated hot loops: bounds are `debug_assert!`ed, and rows
+    /// with a dense mirror split into a vectorizable elementwise
+    /// product followed by a scalar left-to-right sum (the short-row
+    /// sparse tail keeps the original fused scalar loop).
+    ///
+    /// Bit-identical to the checked variant **provided `x` is
+    /// non-negative with no `-0.0` entries** (debug-asserted): the sum
+    /// then only ever adds `+0.0` at positions the sparse path skips.
+    pub fn row_scaled_into_unchecked(&self, row: usize, x: &[f64], out: &mut [f64]) -> f64 {
+        debug_assert!(row < self.nrows, "row_scaled row out of bounds");
+        debug_assert_eq!(x.len(), self.ncols, "row_scaled input length");
+        debug_assert_eq!(out.len(), self.ncols, "row_scaled output length");
+        debug_assert!(
+            x.iter().all(|&v| v > 0.0 || v.to_bits() == 0),
+            "unchecked row_scaled requires non-negative input without -0.0"
+        );
+        if let Some(d) = self.dense_row(row) {
+            for ((o, &vj), &xj) in out.iter_mut().zip(d).zip(x) {
+                *o = vj * xj;
+            }
+            let mut acc = 0.0;
+            for &t in out.iter() {
+                acc += t;
+            }
+            acc
+        } else {
+            out.fill(0.0);
+            let (s, e) = (self.row_ptr[row], self.row_ptr[row + 1]);
+            let mut acc = 0.0;
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                let t = v * x[c];
+                out[c] = t;
+                acc += t;
+            }
+            acc
+        }
+    }
+
+    /// Minimum fill ratio (`nnz / ncols`) for a row to get a dense
+    /// mirror under [`CsrMatrix::enable_dense_rows`].
+    pub const DENSE_ROW_MIN_FILL: f64 = 0.5;
+
+    /// Minimum column count for dense mirrors to be considered at all —
+    /// below this the scalar sparse loop wins regardless of fill.
+    pub const DENSE_ROW_MIN_COLS: usize = 16;
+
+    /// Lane width the dense mirrors pad to (f64 elements).
+    pub const DENSE_ROW_LANE: usize = 8;
+
+    /// Builds padded dense mirrors for high-fill rows, used by the
+    /// `*_unchecked` kernels (see module docs for the layout and the
+    /// bit-identity argument). A no-op unless every stored value is
+    /// strictly positive — the `+0.0`-padding argument needs a
+    /// non-negative accumulation domain — and at least one row clears
+    /// the fill threshold. Any mutation drops the mirror.
+    pub fn enable_dense_rows(&mut self) {
+        self.dense = None;
+        if self.ncols < CsrMatrix::DENSE_ROW_MIN_COLS || self.values.iter().any(|&v| v <= 0.0) {
+            return;
+        }
+        let lane = CsrMatrix::DENSE_ROW_LANE;
+        let stride = self.ncols.div_ceil(lane) * lane;
+        let min_nnz = (CsrMatrix::DENSE_ROW_MIN_FILL * self.ncols as f64).ceil() as usize;
+        let mut offsets = vec![NO_DENSE_ROW; self.nrows];
+        let mut values = Vec::new();
+        for (r, offset) in offsets.iter_mut().enumerate() {
+            let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if e - s < min_nnz || values.len() + stride > NO_DENSE_ROW as usize {
+                continue;
+            }
+            let start = values.len();
+            *offset = start as u32;
+            values.resize(start + stride, 0.0);
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
+                values[start + c] = v;
+            }
+        }
+        if !values.is_empty() {
+            self.dense = Some(DenseRows {
+                stride,
+                offsets,
+                values,
+            });
+        }
+    }
+
+    /// Whether [`CsrMatrix::enable_dense_rows`] produced any mirrors.
+    pub fn has_dense_rows(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// The dense mirror of `row` (length `ncols`), if it has one.
+    fn dense_row(&self, row: usize) -> Option<&[f64]> {
+        let d = self.dense.as_ref()?;
+        let off = d.offsets[row];
+        if off == NO_DENSE_ROW {
+            return None;
+        }
+        let off = off as usize;
+        debug_assert!(d.stride >= self.ncols);
+        Some(&d.values[off..off + self.ncols])
     }
 
     /// Returns the explicit transpose as a new CSR matrix.
@@ -528,6 +731,124 @@ mod tests {
         let m = CsrMatrix::identity(2).scaled(2.5);
         assert_eq!(m.get(0, 0), 2.5);
         assert_eq!(m.get(1, 1), 2.5);
+    }
+
+    /// A 20-column stochastic-ish matrix with one dense row (every
+    /// column) and several sparse rows, all values strictly positive.
+    fn mixed_fill_matrix() -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for c in 0..20 {
+            triplets.push((0, c, 0.01 + c as f64 * 0.003));
+        }
+        triplets.extend([
+            (1, 3, 0.9),
+            (1, 17, 0.1),
+            (2, 0, 1.0),
+            (3, 5, 0.4),
+            (3, 6, 0.6),
+        ]);
+        CsrMatrix::from_triplets(4, 20, &triplets).unwrap()
+    }
+
+    #[test]
+    fn dense_mirrors_only_cover_high_fill_positive_rows() {
+        let mut m = mixed_fill_matrix();
+        assert!(!m.has_dense_rows());
+        m.enable_dense_rows();
+        assert!(m.has_dense_rows());
+        assert!(m.dense_row(0).is_some());
+        assert!(m.dense_row(1).is_none(), "2/20 fill must stay sparse");
+
+        // Matrices with any non-positive value refuse mirrors.
+        let mut neg = CsrMatrix::from_triplets(
+            1,
+            20,
+            &(0..20)
+                .map(|c| (0usize, c, if c == 7 { -1.0 } else { 1.0 }))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        neg.enable_dense_rows();
+        assert!(!neg.has_dense_rows());
+
+        // Narrow matrices refuse mirrors regardless of fill.
+        let mut narrow = CsrMatrix::from_dense(1, 2, &[0.5, 0.5]).unwrap();
+        narrow.enable_dense_rows();
+        assert!(!narrow.has_dense_rows());
+    }
+
+    #[test]
+    fn equality_ignores_dense_mirrors() {
+        let plain = mixed_fill_matrix();
+        let mut mirrored = mixed_fill_matrix();
+        mirrored.enable_dense_rows();
+        assert_eq!(plain, mirrored);
+    }
+
+    #[test]
+    fn unchecked_transpose_matvec_is_bit_identical() {
+        let mut m = mixed_fill_matrix();
+        let x: Vec<f64> = (0..4).map(|i| 0.1 + 0.2 * i as f64).collect();
+        let mut reference = vec![0.0; 20];
+        m.matvec_transpose_into(&x, &mut reference).unwrap();
+        let mut fast = vec![1.0; 20];
+        m.matvec_transpose_into_unchecked(&x, &mut fast);
+        assert!(reference
+            .iter()
+            .zip(&fast)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        m.enable_dense_rows();
+        m.matvec_transpose_into_unchecked(&x, &mut fast);
+        assert!(reference
+            .iter()
+            .zip(&fast)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Zero entries in x (exactly +0.0) are skipped identically.
+        let x0 = [0.0, 0.3, 0.0, 0.7];
+        m.matvec_transpose_into(&x0, &mut reference).unwrap();
+        m.matvec_transpose_into_unchecked(&x0, &mut fast);
+        assert!(reference
+            .iter()
+            .zip(&fast)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn unchecked_row_scaled_is_bit_identical() {
+        let mut m = mixed_fill_matrix();
+        let x: Vec<f64> = (0..20)
+            .map(|c| if c % 3 == 0 { 0.0 } else { 0.05 * c as f64 })
+            .collect();
+        let mut reference = vec![0.0; 20];
+        let mut fast = vec![2.0; 20];
+        for row in 0..4 {
+            let acc_ref = m.row_scaled_into(row, &x, &mut reference).unwrap();
+            let acc = m.row_scaled_into_unchecked(row, &x, &mut fast);
+            assert_eq!(acc_ref.to_bits(), acc.to_bits(), "row {row}");
+            assert!(reference
+                .iter()
+                .zip(&fast)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        m.enable_dense_rows();
+        for row in 0..4 {
+            let acc_ref = m.row_scaled_into(row, &x, &mut reference).unwrap();
+            let acc = m.row_scaled_into_unchecked(row, &x, &mut fast);
+            assert_eq!(acc_ref.to_bits(), acc.to_bits(), "row {row} (dense mirror)");
+            assert!(reference
+                .iter()
+                .zip(&fast)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn mutation_drops_dense_mirrors() {
+        let mut m = mixed_fill_matrix();
+        m.enable_dense_rows();
+        assert!(m.has_dense_rows());
+        let scaled = m.scaled(2.0);
+        assert!(!scaled.has_dense_rows());
     }
 
     #[test]

@@ -741,6 +741,44 @@ pub fn aliased_classes(pomdp: &Pomdp, tol: f64) -> Vec<Vec<StateId>> {
     classes
 }
 
+/// The full monitor-aliasing partition as a reusable artifact: every
+/// state appears in exactly one class (singletons included), classes
+/// grouped by **exact-bit** observation-row agreement under every
+/// action and ordered by minimal member.
+///
+/// This is the seed the lumping pass (`bpr_pomdp::lump`) consumes.
+/// Unlike [`aliased_classes`] — the tolerance-based diagnostic used by
+/// BPR017 — this variant hashes exact row keys, so it is linear in the
+/// stored observation entries and safe to run on the 10⁴-state corpus
+/// models where the pairwise diagnostic is quadratic. Exact-bit
+/// grouping can only under-merge relative to a tolerance, which is the
+/// sound direction for a lumping seed.
+pub fn monitor_partition(pomdp: &Pomdp) -> Vec<Vec<StateId>> {
+    let n = pomdp.n_states();
+    let mut key_of: std::collections::HashMap<Vec<u64>, usize> = std::collections::HashMap::new();
+    let mut classes: Vec<Vec<StateId>> = Vec::new();
+    for s in 0..n {
+        let mut key = Vec::new();
+        for a in 0..pomdp.n_actions() {
+            for (o, q) in pomdp.observation_matrix(ActionId::new(a)).row(s) {
+                if q != 0.0 {
+                    key.push(o as u64);
+                    key.push(q.to_bits());
+                }
+            }
+            key.push(u64::MAX); // action separator
+        }
+        let next = classes.len();
+        let idx = *key_of.entry(key).or_insert(next);
+        if idx == next {
+            classes.push(Vec::new());
+        }
+        classes[idx].push(StateId::new(s));
+    }
+    // First-visit insertion order is minimal-member order already.
+    classes
+}
+
 /// BPR017: monitor-coverage holes — observationally aliased
 /// equivalence classes, one diagnostic per class.
 pub fn check_monitor_aliasing(pomdp: &Pomdp, ctx: &LintContext, diags: &mut Vec<Diagnostic>) {

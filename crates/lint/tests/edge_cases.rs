@@ -5,7 +5,8 @@
 
 use bpr_linalg::CsrMatrix;
 use bpr_lint::checks::{
-    invalid_row_entries, stochastic_row_violations, union_can_reach, unrecoverable_states,
+    aliased_classes, invalid_row_entries, monitor_partition, stochastic_row_violations,
+    union_can_reach, unrecoverable_states,
 };
 use bpr_lint::{lint_pomdp, LintCode, LintContext, Severity};
 use bpr_mdp::{MdpBuilder, StateId};
@@ -109,6 +110,31 @@ fn entry_tolerance_admits_tiny_negatives_and_flags_real_ones() {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The exact-bit partition artifact must agree with the pairwise
+    /// tolerance diagnostic when rows are built from identical
+    /// constants: same non-singleton classes, and every state in
+    /// exactly one class.
+    #[test]
+    fn monitor_partition_agrees_with_aliased_classes(
+        n in 2usize..7,
+        na in 1usize..4,
+        raw_targets in proptest::collection::vec(0usize..64, 6 * 3),
+    ) {
+        let targets: Vec<usize> = raw_targets.iter().map(|&t| t % n).collect();
+        let pomdp = deterministic_pomdp(n, na, &targets);
+        let partition = monitor_partition(&pomdp);
+        let covered: usize = partition.iter().map(Vec::len).sum();
+        prop_assert_eq!(covered, pomdp.n_states(), "partition must cover S");
+        let mut nontrivial: Vec<Vec<StateId>> = partition
+            .into_iter()
+            .filter(|c| c.len() >= 2)
+            .collect();
+        let mut pairwise = aliased_classes(&pomdp, 0.0);
+        nontrivial.sort();
+        pairwise.sort();
+        prop_assert_eq!(nontrivial, pairwise);
+    }
 
     /// Regression (satellite): reachability computed on the union
     /// graph of per-action positive edges must agree with reachability

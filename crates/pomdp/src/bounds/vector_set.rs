@@ -3,6 +3,19 @@
 use crate::bounds::ValueBound;
 use crate::{Belief, Error};
 use bpr_linalg::dense;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide generation source: every hyperplane-set mutation draws
+/// a fresh value, so no two distinct bound states — even across clones
+/// mutating independently — ever share a generation. The counter's
+/// allocation order is scheduling-dependent, but generations only gate
+/// cross-decision cache reuse (exact-hit lookups return bit-identical
+/// values either way), so decisions never depend on it.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A piecewise-linear convex bound `V_B(π) = max_{b ∈ B} b · π`
 /// (paper Eq. 6).
@@ -26,13 +39,29 @@ use bpr_linalg::dense;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct VectorSetBound {
     n_states: usize,
     vectors: Vec<Vec<f64>>,
     /// How many times each vector was the argmax in `best_vector`.
     /// Used by finite-storage eviction (paper §4.3).
     usage: Vec<u64>,
+    /// Epoch token for cross-decision caches: changes exactly when the
+    /// hyperplane set changes (adds or evictions; usage-counter updates
+    /// leave values untouched and keep the generation).
+    generation: u64,
+}
+
+/// Equality compares the bound's mathematical content (dimension,
+/// hyperplanes, usage); the cache-epoch generation is an identity
+/// token, not content, so content-equal bounds compare equal even
+/// when built through different mutation histories.
+impl PartialEq for VectorSetBound {
+    fn eq(&self, other: &VectorSetBound) -> bool {
+        self.n_states == other.n_states
+            && self.vectors == other.vectors
+            && self.usage == other.usage
+    }
 }
 
 impl VectorSetBound {
@@ -50,7 +79,17 @@ impl VectorSetBound {
             n_states,
             vectors: Vec::new(),
             usage: Vec::new(),
+            generation: next_generation(),
         }
+    }
+
+    /// The cache-epoch generation: a process-unique token that changes
+    /// exactly when the hyperplane set changes. Two bounds (or two
+    /// snapshots of one bound) with equal generations are guaranteed to
+    /// hold bit-identical hyperplanes, so cross-decision caches keyed
+    /// on `(model fingerprint, generation)` reuse entries soundly.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// A set seeded with one hyperplane.
@@ -137,6 +176,7 @@ impl VectorSetBound {
         });
         self.vectors.push(vector);
         self.usage.push(0);
+        self.generation = next_generation();
         Ok(true)
     }
 
@@ -241,6 +281,7 @@ impl VectorSetBound {
             idx += 1;
             k
         });
+        self.generation = next_generation();
         evicted
     }
 }
@@ -452,6 +493,41 @@ mod tests {
             VectorSetBound::new(2).value_weights(&[0.5, 0.5]),
             f64::NEG_INFINITY
         );
+    }
+
+    #[test]
+    fn generation_changes_only_when_hyperplanes_change() {
+        let mut set = VectorSetBound::new(2);
+        let g0 = set.generation();
+        set.add_vector(vec![-1.0, -5.0]).unwrap();
+        let g1 = set.generation();
+        assert_ne!(g0, g1);
+        // A dominated vector is not added: no epoch change.
+        assert!(!set.add_vector(vec![-2.0, -6.0]).unwrap());
+        assert_eq!(set.generation(), g1);
+        // Usage bookkeeping does not change values: no epoch change.
+        set.best_vector(&Belief::point(2, 0.into())).unwrap();
+        set.set_usage_counts(&[7]).unwrap();
+        assert_eq!(set.generation(), g1);
+        // A no-op eviction keeps the epoch; a real one bumps it.
+        assert_eq!(set.evict_to(5), 0);
+        assert_eq!(set.generation(), g1);
+        set.add_vector(vec![-5.0, -1.0]).unwrap();
+        set.add_vector(vec![-2.5, -2.5]).unwrap();
+        let g2 = set.generation();
+        assert_eq!(set.evict_to(2), 1);
+        assert_ne!(set.generation(), g2);
+        // Clones share content and generation until one mutates.
+        let mut clone = set.clone();
+        assert_eq!(clone.generation(), set.generation());
+        assert_eq!(clone, set);
+        clone.add_vector(vec![0.0, 0.0]).unwrap();
+        assert_ne!(clone.generation(), set.generation());
+        // Equality ignores the generation token.
+        let a = VectorSetBound::from_vector(vec![-1.0, -2.0]).unwrap();
+        let b = VectorSetBound::from_vector(vec![-1.0, -2.0]).unwrap();
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod belief;
 pub mod bounds;
 pub mod diagnosis;
 mod error;
+pub mod lump;
 mod model;
 mod plan;
 pub mod tree;
@@ -63,5 +64,6 @@ pub mod tree;
 pub use belief::{Belief, RobustUpdate};
 pub use bpr_mdp::{ActionId, StateId};
 pub use error::Error;
+pub use lump::{lump, LumpCertificate, LumpStats, Lumping};
 pub use model::{ObservationId, Pomdp, PomdpBuilder};
-pub use plan::{PlanStats, PlanWorkspace};
+pub use plan::{CacheEpoch, PlanStats, PlanWorkspace};

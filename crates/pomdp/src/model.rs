@@ -63,12 +63,25 @@ pub struct Pomdp {
     /// [`Pomdp::observation_transpose`]).
     observations_t: Vec<CsrMatrix>,
     observation_labels: Vec<String>,
+    /// Content hash over dynamics, rewards, and observations, computed
+    /// once at build time (see [`Pomdp::fingerprint`]).
+    fingerprint: u64,
 }
 
 impl Pomdp {
     /// The underlying MDP `(S, A, p, r)`.
     pub fn mdp(&self) -> &Mdp {
         &self.mdp
+    }
+
+    /// A content fingerprint (FNV-1a over dimensions, transition and
+    /// observation probabilities, rewards, and durations), computed
+    /// once at build time. Two models with the same fingerprint have
+    /// bit-identical planning-relevant numerics, so the planner's
+    /// cross-decision cache uses it as half of its epoch key; labels
+    /// are not part of it.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of states `|S|`.
@@ -367,15 +380,68 @@ impl PomdpBuilder {
             }
             observations.push(m);
         }
-        let observations_t = observations.iter().map(CsrMatrix::transpose).collect();
+        let observations_t: Vec<CsrMatrix> = observations
+            .iter()
+            .map(|m| {
+                // Row `o` of the transpose is the τ-operator diagonal
+                // `q(o|·,a)`; "all quiet" rows are near-dense at fleet
+                // scale, so mirror them for the vectorized kernels.
+                let mut t = m.transpose();
+                t.enable_dense_rows();
+                t
+            })
+            .collect();
+        let fingerprint = fingerprint_pomdp(&self.mdp, self.n_observations, &observations);
         Ok(Pomdp {
             mdp: self.mdp.clone(),
             n_observations: self.n_observations,
             observations,
             observations_t,
             observation_labels: self.observation_labels.clone(),
+            fingerprint,
         })
     }
+}
+
+/// Folds one `u64` into an FNV-1a hash.
+fn fnv_fold(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a content hash over everything that affects planning values:
+/// dimensions, transition rows, rewards, durations, observation rows.
+fn fingerprint_pomdp(mdp: &Mdp, n_observations: usize, observations: &[CsrMatrix]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv_fold(h, mdp.n_states() as u64);
+    h = fnv_fold(h, mdp.n_actions() as u64);
+    h = fnv_fold(h, n_observations as u64);
+    for (a, q) in observations.iter().enumerate().take(mdp.n_actions()) {
+        let p = mdp.transition_matrix(a);
+        for s in 0..mdp.n_states() {
+            for (s2, v) in p.row(s) {
+                h = fnv_fold(h, s as u64);
+                h = fnv_fold(h, s2 as u64);
+                h = fnv_fold(h, v.to_bits());
+            }
+        }
+        for &r in mdp.reward_vector(a) {
+            h = fnv_fold(h, r.to_bits());
+        }
+        h = fnv_fold(h, mdp.duration(a).to_bits());
+        for s in 0..q.nrows() {
+            for (o, v) in q.row(s) {
+                h = fnv_fold(h, s as u64);
+                h = fnv_fold(h, o as u64);
+                h = fnv_fold(h, v.to_bits());
+            }
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -488,6 +554,21 @@ mod tests {
                 p.sample_transition(&mut b, StateId::new(0), ActionId::new(0))
             );
         }
+    }
+
+    #[test]
+    fn fingerprint_is_content_stable_and_sensitive() {
+        assert_eq!(tiny_pomdp().fingerprint(), tiny_pomdp().fingerprint());
+        let mut mb = MdpBuilder::new(2, 1);
+        mb.transition(0, 0, 1, 0.5);
+        mb.transition(0, 0, 0, 0.5);
+        mb.transition(1, 0, 1, 1.0);
+        let mut pb = PomdpBuilder::new(mb.build().unwrap(), 2);
+        pb.observation(0, 0, 0, 0.8);
+        pb.observation(0, 0, 1, 0.2);
+        pb.observation(1, 0, 1, 1.0);
+        let variant = pb.build().unwrap();
+        assert_ne!(tiny_pomdp().fingerprint(), variant.fingerprint());
     }
 
     #[test]

@@ -21,10 +21,25 @@
 //! Each entry also stores the number of nodes the subtree expanded, and
 //! a hit re-adds that count, so `Decision::nodes_expanded` is invariant
 //! to both the cache and the distribution of work across parallel root
-//! workers. The cache is cleared between decisions (bounds mutate
-//! across decisions, e.g. by online backup) and is **disabled** on
-//! budgeted anytime passes, whose abort points must depend only on the
-//! literal expansion order.
+//! workers. The cache is **disabled** on budgeted anytime passes,
+//! whose abort points must depend only on the literal expansion order.
+//!
+//! # Cache epochs (cross-decision reuse)
+//!
+//! Subtree values depend on exactly four inputs beyond the belief and
+//! depth: the model's transition/observation/reward content, the leaf
+//! bound's hyperplanes, the discount base `beta`, and the gamma-cutoff.
+//! A [`CacheEpoch`] packages those as `(model fingerprint, bound
+//! generation, beta bits, cutoff bits)`; entry points that open a
+//! decision with [`PlanWorkspace::begin_epoch`] keep the cache
+//! **across decisions** for as long as the epoch is unchanged, and
+//! clear it the moment any component differs. Because keys are exact
+//! belief bits and the kernel is deterministic, a retained entry is
+//! bit-identical to what recomputation would produce — cross-decision
+//! reuse can change timings, never values. Entry points that cannot
+//! name their epoch (or mutate bounds mid-decision) use
+//! [`PlanWorkspace::begin`], which keeps the original
+//! clear-every-decision semantics.
 
 use crate::tree::Decision;
 use bpr_linalg::CsrMatrix;
@@ -37,10 +52,46 @@ pub struct PlanStats {
     pub cache_hits: u64,
     /// Transposition-cache misses (subtrees expanded and stored).
     pub cache_misses: u64,
+    /// The subset of `cache_hits` whose entry was stored by an
+    /// *earlier* decision — i.e. reuse enabled by the epoch cache.
+    /// Always zero under [`PlanWorkspace::begin`] semantics.
+    pub cross_decision_hits: u64,
+    /// Cache hits bucketed by remaining depth (index = depth). The
+    /// vectors grow to the deepest depth seen and then stay fixed, so
+    /// steady-state decisions do not allocate here.
+    pub cache_hits_by_depth: Vec<u64>,
+    /// Cache misses bucketed by remaining depth, parallel to
+    /// [`PlanStats::cache_hits_by_depth`].
+    pub cache_misses_by_depth: Vec<u64>,
     /// Belief buffers allocated because the arena was empty. Steady
     /// state is a constant value: every decision after the first warm
     /// one reuses arena buffers.
     pub buffers_allocated: u64,
+}
+
+impl PlanStats {
+    fn bump_depth(buckets: &mut Vec<u64>, depth: usize) {
+        if buckets.len() <= depth {
+            buckets.resize(depth + 1, 0);
+        }
+        buckets[depth] += 1;
+    }
+}
+
+/// The invariants a transposition-cache entry depends on (beyond its
+/// own `(depth, belief)` key). Two decisions opened under equal epochs
+/// may soundly share entries; see the module docs for the argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEpoch {
+    /// [`crate::Pomdp::fingerprint`] of the planned model.
+    pub model_fingerprint: u64,
+    /// [`crate::bounds::VectorSetBound::generation`] of the leaf bound
+    /// (or any equivalent token that changes whenever the bound does).
+    pub bound_generation: u64,
+    /// `f64::to_bits` of the discount base `beta`.
+    pub beta_bits: u64,
+    /// `f64::to_bits` of the gamma-cutoff.
+    pub cutoff_bits: u64,
 }
 
 /// Reusable scratch for [`crate::tree`] expansions.
@@ -57,6 +108,12 @@ pub struct PlanWorkspace {
     q_scratch: Vec<f64>,
     decision: Decision,
     stats: PlanStats,
+    /// Epoch the cache entries were computed under; `None` until an
+    /// epoch-aware decision opens, and after any `begin()` decision.
+    epoch: Option<CacheEpoch>,
+    /// Monotone decision counter; slots remember the serial they were
+    /// stored under so hits from earlier decisions are distinguishable.
+    decision_serial: u64,
 }
 
 impl PlanWorkspace {
@@ -69,6 +126,27 @@ impl PlanWorkspace {
     /// Counters accumulated over the workspace's lifetime.
     pub fn stats(&self) -> &PlanStats {
         &self.stats
+    }
+
+    /// Zeroes the cumulative counters (e.g. between a warm-up phase and
+    /// a measured phase). Cache entries, arena buffers, and the current
+    /// epoch are untouched.
+    pub fn reset_stats(&mut self) {
+        // Zero in place: replacing the struct would drop the per-depth
+        // buckets' capacity and force a reallocation on the next bump,
+        // breaking the steady-state zero-allocation property.
+        self.stats.cache_hits = 0;
+        self.stats.cache_misses = 0;
+        self.stats.cross_decision_hits = 0;
+        self.stats
+            .cache_hits_by_depth
+            .iter_mut()
+            .for_each(|v| *v = 0);
+        self.stats
+            .cache_misses_by_depth
+            .iter_mut()
+            .for_each(|v| *v = 0);
+        self.stats.buffers_allocated = 0;
     }
 
     /// The decision produced by the most recent `*_with_workspace`
@@ -101,7 +179,22 @@ impl PlanWorkspace {
     /// may have changed since the previous decision) while keeping its
     /// capacity.
     pub(crate) fn begin(&mut self) {
+        self.decision_serial += 1;
+        self.epoch = None;
         self.cache.clear();
+    }
+
+    /// Starts a new decision under an explicit [`CacheEpoch`]: the
+    /// transposition cache is cleared only when the epoch differs from
+    /// the one the retained entries were computed under, so repeated
+    /// decisions against an unchanged model/bound reuse subtree values
+    /// across decisions.
+    pub(crate) fn begin_epoch(&mut self, epoch: CacheEpoch) {
+        self.decision_serial += 1;
+        if self.epoch != Some(epoch) {
+            self.cache.clear();
+            self.epoch = Some(epoch);
+        }
     }
 
     /// Borrows a zeroed length-`n` scratch buffer from the arena,
@@ -139,18 +232,71 @@ impl PlanWorkspace {
         self.frames[depth] = frame;
     }
 
+    /// Whether the current decision was opened with an epoch (i.e. the
+    /// cache may carry entries across decisions). Root-level q-entries
+    /// are only worth storing in that regime.
+    pub(crate) fn has_epoch(&self) -> bool {
+        self.epoch.is_some()
+    }
+
     pub(crate) fn cache_get(&mut self, depth: usize, weights: &[f64]) -> Option<(f64, usize)> {
-        let hit = self.cache.get(depth, weights);
-        if hit.is_some() {
-            self.stats.cache_hits += 1;
-        } else {
-            self.stats.cache_misses += 1;
-        }
-        hit
+        self.cache_get_keyed(depth, depth, weights)
     }
 
     pub(crate) fn cache_put(&mut self, depth: usize, weights: &[f64], value: f64, nodes: usize) {
-        self.cache.put(depth, weights, value, nodes);
+        self.cache
+            .put(depth, weights, value, nodes, self.decision_serial);
+    }
+
+    /// Root per-action lookup: `(depth, action, belief)` keyed through
+    /// the same table under a tagged key (see [`pack_root_key`]).
+    pub(crate) fn root_cache_get(
+        &mut self,
+        depth: usize,
+        action: usize,
+        weights: &[f64],
+    ) -> Option<(f64, usize)> {
+        self.cache_get_keyed(pack_root_key(depth, action), depth, weights)
+    }
+
+    pub(crate) fn root_cache_put(
+        &mut self,
+        depth: usize,
+        action: usize,
+        weights: &[f64],
+        q: f64,
+        nodes: usize,
+    ) {
+        self.cache.put(
+            pack_root_key(depth, action),
+            weights,
+            q,
+            nodes,
+            self.decision_serial,
+        );
+    }
+
+    fn cache_get_keyed(
+        &mut self,
+        key_depth: usize,
+        stat_depth: usize,
+        weights: &[f64],
+    ) -> Option<(f64, usize)> {
+        match self.cache.get(key_depth, weights) {
+            Some((value, nodes, serial)) => {
+                self.stats.cache_hits += 1;
+                PlanStats::bump_depth(&mut self.stats.cache_hits_by_depth, stat_depth);
+                if serial != self.decision_serial {
+                    self.stats.cross_decision_hits += 1;
+                }
+                Some((value, nodes))
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                PlanStats::bump_depth(&mut self.stats.cache_misses_by_depth, stat_depth);
+                None
+            }
+        }
     }
 
     pub(crate) fn q_clear(&mut self) {
@@ -234,13 +380,9 @@ impl BbFrame {
     /// Applies observation row `o` of `obs_t` to the predictive vector,
     /// writing the unnormalised posterior into the next free slot and
     /// returning `γ`. The slot is only consumed if the caller follows
-    /// up with [`BbFrame::keep_branch`].
-    pub(crate) fn scale_branch(
-        &mut self,
-        obs_t: &CsrMatrix,
-        o: usize,
-        n_states: usize,
-    ) -> Result<f64, bpr_linalg::Error> {
+    /// up with [`BbFrame::keep_branch`]. Dimensions are the kernel's
+    /// own invariants, so this runs the debug-asserted unchecked scale.
+    pub(crate) fn scale_branch(&mut self, obs_t: &CsrMatrix, o: usize, n_states: usize) -> f64 {
         if self.posts.len() == self.posts_used {
             self.posts.push(vec![0.0; n_states]);
         }
@@ -249,7 +391,7 @@ impl BbFrame {
             slot.clear();
             slot.resize(n_states, 0.0);
         }
-        obs_t.row_scaled_into(o, &self.pred, slot)
+        obs_t.row_scaled_into_unchecked(o, &self.pred, slot)
     }
 
     /// Normalises the pending slot by `gamma` (replicating
@@ -291,6 +433,9 @@ struct Slot {
     start: usize,
     value: f64,
     nodes: u64,
+    /// Decision serial the entry was stored under (cross-decision
+    /// reuse accounting only; never part of the lookup key).
+    serial: u64,
 }
 
 const EMPTY_SLOT: Slot = Slot {
@@ -300,7 +445,18 @@ const EMPTY_SLOT: Slot = Slot {
     start: 0,
     value: 0.0,
     nodes: 0,
+    serial: 0,
 };
+
+/// Tags a root per-action entry's key so it can share the node-value
+/// table: bit 31 marks "root q-entry", bits 16..31 carry the action,
+/// bits 0..16 the depth. Interior node entries use the bare depth,
+/// which never reaches bit 31, so the two families cannot collide.
+fn pack_root_key(depth: usize, action: usize) -> usize {
+    debug_assert!(depth < (1 << 16), "tree depth exceeds root-key packing");
+    debug_assert!(action < (1 << 15), "action count exceeds root-key packing");
+    (1 << 31) | (action << 16) | depth
+}
 
 /// FNV-1a over the depth and the belief's exact bit patterns.
 fn hash_key(depth: usize, weights: &[f64]) -> u64 {
@@ -332,7 +488,7 @@ impl BeliefCache {
             .all(|(&k, &w)| k == w.to_bits())
     }
 
-    fn get(&self, depth: usize, weights: &[f64]) -> Option<(f64, usize)> {
+    fn get(&self, depth: usize, weights: &[f64]) -> Option<(f64, usize, u64)> {
         if self.len == 0 {
             return None;
         }
@@ -348,13 +504,13 @@ impl BeliefCache {
                 && slot.depth == depth as u32
                 && self.key_matches(slot.start, weights)
             {
-                return Some((slot.value, slot.nodes as usize));
+                return Some((slot.value, slot.nodes as usize, slot.serial));
             }
             i = (i + 1) & mask;
         }
     }
 
-    fn put(&mut self, depth: usize, weights: &[f64], value: f64, nodes: usize) {
+    fn put(&mut self, depth: usize, weights: &[f64], value: f64, nodes: usize, serial: u64) {
         if self.slots.is_empty() {
             self.slots = vec![EMPTY_SLOT; 64];
         } else if (self.len + 1) * 4 > self.slots.len() * 3 {
@@ -369,6 +525,7 @@ impl BeliefCache {
             start,
             value,
             nodes: nodes as u64,
+            serial,
         };
         self.insert_slot(slot);
         self.len += 1;
@@ -404,8 +561,8 @@ mod tests {
         let a = [0.25, 0.75];
         let b = [0.25, 0.75 + 1e-16];
         assert_eq!(cache.get(2, &a), None);
-        cache.put(2, &a, -1.5, 7);
-        assert_eq!(cache.get(2, &a), Some((-1.5, 7)));
+        cache.put(2, &a, -1.5, 7, 1);
+        assert_eq!(cache.get(2, &a), Some((-1.5, 7, 1)));
         assert_eq!(cache.get(1, &a), None, "depth is part of the key");
         if b[1] != a[1] {
             assert_eq!(cache.get(2, &b), None, "near-equal bits miss");
@@ -419,15 +576,72 @@ mod tests {
     fn cache_survives_growth() {
         let mut cache = BeliefCache::default();
         for i in 0..500usize {
-            cache.put(1, &[i as f64, 1.0 - i as f64], -(i as f64), i);
+            cache.put(1, &[i as f64, 1.0 - i as f64], -(i as f64), i, 3);
         }
         for i in 0..500usize {
             assert_eq!(
                 cache.get(1, &[i as f64, 1.0 - i as f64]),
-                Some((-(i as f64), i)),
+                Some((-(i as f64), i, 3)),
                 "entry {i} lost in growth"
             );
         }
+    }
+
+    #[test]
+    fn epoch_begin_retains_entries_and_counts_cross_decision_hits() {
+        let epoch = CacheEpoch {
+            model_fingerprint: 11,
+            bound_generation: 22,
+            beta_bits: 0.5f64.to_bits(),
+            cutoff_bits: 0.0f64.to_bits(),
+        };
+        let weights = [0.125, 0.875];
+        let mut ws = PlanWorkspace::new();
+        ws.begin_epoch(epoch);
+        assert_eq!(ws.cache_get(1, &weights), None);
+        ws.cache_put(1, &weights, -2.0, 5);
+        assert_eq!(ws.cache_get(1, &weights), Some((-2.0, 5)));
+        assert_eq!(ws.stats().cross_decision_hits, 0, "same-decision hit");
+        // Same epoch, next decision: the entry survives and the hit is
+        // attributed to cross-decision reuse.
+        ws.begin_epoch(epoch);
+        assert_eq!(ws.cache_get(1, &weights), Some((-2.0, 5)));
+        assert_eq!(ws.stats().cross_decision_hits, 1);
+        assert_eq!(ws.stats().cache_hits, 2);
+        assert_eq!(ws.stats().cache_hits_by_depth, vec![0, 2]);
+        assert_eq!(ws.stats().cache_misses_by_depth, vec![0, 1]);
+        // A changed bound generation invalidates everything.
+        ws.begin_epoch(CacheEpoch {
+            bound_generation: 23,
+            ..epoch
+        });
+        assert_eq!(ws.cache_get(1, &weights), None);
+        // Plain begin() always clears and never counts cross-decision.
+        ws.cache_put(1, &weights, -2.0, 5);
+        ws.begin();
+        assert_eq!(ws.cache_get(1, &weights), None);
+        ws.reset_stats();
+        // Counters are zeroed in place; the per-depth buckets keep
+        // their length (and capacity) so steady state stays alloc-free.
+        let zeroed = PlanStats {
+            cache_hits_by_depth: vec![0, 0],
+            cache_misses_by_depth: vec![0, 0],
+            ..PlanStats::default()
+        };
+        assert_eq!(ws.stats(), &zeroed);
+        // Root per-action entries share the table under a tagged key:
+        // no collision with node entries at the same depth, and the
+        // same epoch/serial discipline applies.
+        ws.begin_epoch(epoch);
+        ws.cache_put(1, &weights, -2.0, 5);
+        assert_eq!(ws.root_cache_get(1, 0, &weights), None);
+        ws.root_cache_put(1, 0, &weights, -7.5, 3);
+        assert_eq!(ws.root_cache_get(1, 0, &weights), Some((-7.5, 3)));
+        assert_eq!(ws.root_cache_get(1, 1, &weights), None, "per-action keys");
+        assert_eq!(ws.cache_get(1, &weights), Some((-2.0, 5)));
+        ws.begin_epoch(epoch);
+        assert_eq!(ws.root_cache_get(1, 0, &weights), Some((-7.5, 3)));
+        assert!(ws.stats().cross_decision_hits >= 1);
     }
 
     #[test]

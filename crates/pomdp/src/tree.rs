@@ -23,7 +23,7 @@
 //! verbatim in [`legacy`] as the equivalence/baseline reference.
 
 use crate::bounds::ValueBound;
-use crate::plan::{BbEntry, PlanWorkspace};
+use crate::plan::{BbEntry, CacheEpoch, PlanWorkspace};
 use crate::{Belief, Error, ObservationId, Pomdp};
 use bpr_linalg::dense;
 use bpr_mdp::ActionId;
@@ -132,6 +132,59 @@ pub fn expand_with_workspace(
         return Err(depth_zero_error());
     }
     ws.begin();
+    expand_root(pomdp, belief, depth, leaf, beta, gamma_cutoff, ws);
+    Ok(())
+}
+
+/// [`expand_with_workspace`] under an explicit
+/// [`CacheEpoch`](crate::plan::CacheEpoch): the workspace's
+/// transposition cache survives **across decisions** for as long as
+/// the epoch — `(model fingerprint, bound generation, β bits, cutoff
+/// bits)` — is unchanged, so consecutive decisions on the same
+/// incident replay shared subtrees instead of re-expanding them.
+///
+/// The caller is responsible for the epoch naming every input the
+/// cached values depend on: build it from
+/// [`Pomdp::fingerprint`](crate::Pomdp::fingerprint), the leaf bound's
+/// [`generation`](crate::bounds::VectorSetBound::generation), and the
+/// exact `beta`/`gamma_cutoff` bits passed here. Under that contract
+/// the produced [`Decision`] is bit-identical to
+/// [`expand_with_workspace`] — cache entries are keyed on exact belief
+/// bits and replay deterministic values (see `crate::plan` docs).
+///
+/// # Errors
+///
+/// Same as [`expand`].
+#[allow(clippy::too_many_arguments)]
+pub fn expand_with_workspace_epoch(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    epoch: CacheEpoch,
+    ws: &mut PlanWorkspace,
+) -> Result<(), Error> {
+    if depth == 0 {
+        return Err(depth_zero_error());
+    }
+    ws.begin_epoch(epoch);
+    expand_root(pomdp, belief, depth, leaf, beta, gamma_cutoff, ws);
+    Ok(())
+}
+
+/// Shared root loop of the plain workspace expansions (the caller has
+/// already validated `depth` and opened the decision on `ws`).
+fn expand_root(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    depth: usize,
+    leaf: &dyn ValueBound,
+    beta: f64,
+    gamma_cutoff: f64,
+    ws: &mut PlanWorkspace,
+) {
     ws.decision_clear();
     let kernel = Kernel {
         pomdp,
@@ -142,15 +195,33 @@ pub fn expand_with_workspace(
         budget: usize::MAX,
     };
     let mut nodes = 0usize;
+    // Under epoch semantics the root's per-action values are cached
+    // too, keyed `(depth, action, belief)`: repeated decisions on the
+    // same belief then skip even the root-level τ computations, which
+    // dominate at depth 1 on large models. A hit replays the exact q
+    // and node count the subtree would have produced, so the Decision
+    // stays bit-identical. Without an epoch the cache is cleared per
+    // decision and root entries could never hit, so skip the traffic.
+    let cache_root = ws.has_epoch();
     for a in 0..pomdp.n_actions() {
+        if cache_root {
+            if let Some((q, sub)) = ws.root_cache_get(depth, a, belief.probs()) {
+                nodes += sub;
+                ws.push_q(q);
+                continue;
+            }
+        }
+        let before = nodes;
         let q = kernel
             .action_q(ws, belief.probs(), a, depth, &mut nodes)
             .expect("unbudgeted expansion never aborts");
+        if cache_root {
+            ws.root_cache_put(depth, a, belief.probs(), q, nodes - before);
+        }
         ws.push_q(q);
     }
     let (best_a, best_q) = argmax_last(ws.q_values());
     ws.finish_decision(ActionId::new(best_a), best_q, nodes);
-    Ok(())
 }
 
 /// Root-parallel [`expand_with_cutoff`]: the root actions are expanded
@@ -451,18 +522,19 @@ impl Kernel<'_> {
         let mut q = dense::dot(belief, self.pomdp.mdp().reward_vector(action));
         let n = self.pomdp.n_states();
         let mut pred = ws.checkout(n);
+        // Beliefs and their unnormalised posteriors are non-negative
+        // with no -0.0, which is exactly the `*_unchecked` contract
+        // (debug-asserted there); the dense-row fast path stays
+        // bit-identical to the sparse loop (see bpr_linalg docs).
         self.pomdp
             .mdp()
             .transition_matrix(action)
-            .matvec_transpose_into(belief, &mut pred)
-            .expect("belief length matches model");
+            .matvec_transpose_into_unchecked(belief, &mut pred);
         let obs_t = self.pomdp.observation_transpose(action);
         let mut post = ws.checkout(n);
         let mut aborted = false;
         for o in 0..self.pomdp.n_observations() {
-            let gamma = obs_t
-                .row_scaled_into(o, &pred, &mut post)
-                .expect("prediction length matches model");
+            let gamma = obs_t.row_scaled_into_unchecked(o, &pred, &mut post);
             if gamma > self.cutoff && gamma > 0.0 {
                 if gamma.is_finite() {
                     // normalize_l1's guard: division only for a finite,
@@ -550,14 +622,11 @@ impl BbKernel<'_> {
             self.pomdp
                 .mdp()
                 .transition_matrix(action)
-                .matvec_transpose_into(belief, &mut frame.pred)
-                .expect("belief length matches model");
+                .matvec_transpose_into_unchecked(belief, &mut frame.pred);
             let obs_t = self.pomdp.observation_transpose(action);
             let start = frame.branches();
             for o in 0..self.pomdp.n_observations() {
-                let gamma = frame
-                    .scale_branch(obs_t, o, n)
-                    .expect("prediction length matches model");
+                let gamma = frame.scale_branch(obs_t, o, n);
                 if gamma > self.cutoff && gamma > 0.0 {
                     frame.keep_branch(gamma);
                 }
@@ -1112,6 +1181,51 @@ mod tests {
             warm,
             "steady-state decisions allocated fresh buffers"
         );
+    }
+
+    #[test]
+    fn epoch_expansion_is_bit_identical_and_reuses_across_decisions() {
+        let p = two_server_notified();
+        let ra = ra_bound(&p, &SolveOpts::default()).unwrap();
+        let epoch = CacheEpoch {
+            model_fingerprint: p.fingerprint(),
+            bound_generation: ra.generation(),
+            beta_bits: 1.0f64.to_bits(),
+            cutoff_bits: 0.0f64.to_bits(),
+        };
+        let mut plain_ws = PlanWorkspace::new();
+        let mut epoch_ws = PlanWorkspace::new();
+        for b in probe_beliefs() {
+            expand_with_workspace(&p, &b, 3, &ra, 1.0, 0.0, &mut plain_ws).unwrap();
+            expand_with_workspace_epoch(&p, &b, 3, &ra, 1.0, 0.0, epoch, &mut epoch_ws).unwrap();
+            assert_eq!(plain_ws.decision(), epoch_ws.decision());
+        }
+        assert_eq!(
+            plain_ws.stats().cross_decision_hits,
+            0,
+            "plain begin() must never reuse across decisions"
+        );
+        // Replaying the same belief under the same epoch is answered
+        // from retained entries.
+        let b = Belief::uniform(3);
+        expand_with_workspace_epoch(&p, &b, 3, &ra, 1.0, 0.0, epoch, &mut epoch_ws).unwrap();
+        let before = epoch_ws.stats().clone();
+        expand_with_workspace_epoch(&p, &b, 3, &ra, 1.0, 0.0, epoch, &mut epoch_ws).unwrap();
+        let after = epoch_ws.stats();
+        assert!(
+            after.cross_decision_hits > before.cross_decision_hits,
+            "identical decision under an unchanged epoch found no reuse: {after:?}"
+        );
+        // A changed epoch component invalidates the retained entries.
+        let bumped = CacheEpoch {
+            bound_generation: epoch.bound_generation + 1,
+            ..epoch
+        };
+        let reuse_before = after.cross_decision_hits;
+        expand_with_workspace_epoch(&p, &b, 3, &ra, 1.0, 0.0, bumped, &mut epoch_ws).unwrap();
+        assert_eq!(epoch_ws.stats().cross_decision_hits, reuse_before);
+        expand_with_workspace(&p, &b, 3, &ra, 1.0, 0.0, &mut plain_ws).unwrap();
+        assert_eq!(epoch_ws.decision(), plain_ws.decision());
     }
 
     #[test]

@@ -29,11 +29,12 @@ use bpr_core::snapshot::{
     fnv1a64, retry_with_backoff, CheckpointPolicy, RetryPolicy, SnapshotError,
 };
 use bpr_core::{
-    AnytimeConfig, AnytimeController, BoundedConfig, BoundedController, Error, RecoveryModel,
-    ResilienceConfig, ResilientController,
+    AnytimeConfig, AnytimeController, BoundedConfig, BoundedController, Error, LumpedController,
+    RecoveryModel, ResilienceConfig, ResilientController,
 };
 use bpr_mdp::StateId;
 use bpr_par::WorkPool;
+use bpr_pomdp::LumpCertificate;
 use bpr_sim::PerturbationPlan;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -80,6 +81,12 @@ pub struct ServeConfig {
     pub gamma_cutoff: f64,
     /// Node budget of the anytime rung.
     pub anytime_node_budget: usize,
+    /// Plan the bounded rung on the lumped (state-aggregated) quotient
+    /// of the transformed model instead of the full model. Sound by
+    /// the `bpr_pomdp::lump` certificate — decisions match the full
+    /// model — but control-relevant (it changes the planning model),
+    /// so it is folded into the checkpoint fingerprint.
+    pub lump: bool,
     /// World degradation applied to every incident (per-incident seeds
     /// are derived from `plan.seed` and the incident id).
     pub plan: PerturbationPlan,
@@ -132,6 +139,7 @@ impl Default for ServeConfig {
             depth: 1,
             gamma_cutoff: 1e-6,
             anytime_node_budget: 400,
+            lump: true,
             plan: PerturbationPlan::none(),
             master_seed: 0,
             checkpoint: None,
@@ -190,7 +198,7 @@ impl ServeConfig {
     fn fingerprint_text(&self) -> String {
         format!(
             "seed={} max_live={} queue={} steps_per_round={} max_steps={} degrade={} \
-             esc_res={} esc_any={} t_op={:?} depth={} gamma={:?} budget={} plan={:?} \
+             esc_res={} esc_any={} t_op={:?} depth={} gamma={:?} budget={} lump={} plan={:?} \
              record={} chaos={:?}",
             self.master_seed,
             self.max_live,
@@ -204,6 +212,7 @@ impl ServeConfig {
             self.depth,
             self.gamma_cutoff,
             self.anytime_node_budget,
+            self.lump,
             self.plan,
             self.record_actions,
             self.chaos_panic_incidents,
@@ -292,13 +301,26 @@ impl Prototypes {
     /// Transform or controller construction failures.
     pub fn build(model: &RecoveryModel, config: &ServeConfig) -> Result<Prototypes, Error> {
         let terminated = model.without_notification(config.operator_response_time)?;
+        // The bounded rung plans on the lumped quotient when the
+        // config asks for it (sound by the certificate; the
+        // LumpedController adapter keeps the full-model belief
+        // vocabulary at the daemon boundary). `lump: false` keeps the
+        // same controller type behind an identity certificate.
+        let (planning_model, certificate) = if config.lump {
+            terminated.lump()?
+        } else {
+            let n = terminated.pomdp().n_states();
+            (terminated.clone(), LumpCertificate::identity(n))
+        };
         // The default startup vertex sweeps repair the raw RA-Bound on
         // paper-scale models, but above a few hundred transformed
         // states two full sweeps of point-belief backups dominate
         // construction (tens of single-threaded CPU-minutes for the
         // 10³-state corpus scenarios). Same policy as the robustness
-        // bootstrap: keep the sweeps only where they are cheap.
-        let startup_vertex_sweeps = if terminated.pomdp().n_states() > STARTUP_SWEEP_STATE_CAP {
+        // bootstrap: keep the sweeps only where they are cheap. The
+        // cap is checked on the *quotient* — lumping can pull a large
+        // model back under it, which is part of the point.
+        let startup_vertex_sweeps = if planning_model.pomdp().n_states() > STARTUP_SWEEP_STATE_CAP {
             0
         } else {
             BoundedConfig::default().startup_vertex_sweeps
@@ -314,7 +336,10 @@ impl Prototypes {
             gamma_cutoff: config.gamma_cutoff,
             ..AnytimeConfig::default()
         };
-        let bounded = BoundedController::new(terminated.clone(), bounded_cfg)?;
+        let bounded = LumpedController::new(
+            BoundedController::new(planning_model, bounded_cfg)?,
+            certificate,
+        );
         let anytime = AnytimeController::new(terminated, anytime_cfg)?;
         let resilient =
             ResilientController::new(model.clone(), bounded.clone(), ResilienceConfig::default())?

@@ -19,8 +19,8 @@
 use crate::daemon::ServeConfig;
 use bpr_core::snapshot::SnapshotError;
 use bpr_core::{
-    AnytimeController, BoundedController, RecoveryController, RecoveryModel, ResilientController,
-    Step,
+    AnytimeController, BoundedController, LumpedController, RecoveryController, RecoveryModel,
+    ResilientController, Step,
 };
 use bpr_mdp::StateId;
 use bpr_pomdp::Belief;
@@ -156,18 +156,23 @@ pub struct IncidentRecord {
 /// a clone via `Daemon::with_prototypes`.
 #[derive(Debug, Clone)]
 pub struct Prototypes {
-    pub(crate) bounded: BoundedController,
-    pub(crate) resilient: ResilientController<BoundedController>,
+    pub(crate) bounded: LumpedBounded,
+    pub(crate) resilient: ResilientController<LumpedBounded>,
     pub(crate) anytime: AnytimeController,
 }
+
+/// The bounded rung as the daemon builds it: a bounded controller
+/// planning on the (possibly identity-)lumped quotient, speaking the
+/// full model's belief vocabulary through the certificate adapter.
+pub(crate) type LumpedBounded = LumpedController<BoundedController>;
 
 /// A live controller on some rung of the ladder. The resilient
 /// decorator wraps a full bounded controller plus its anytime
 /// fallback, so it is boxed to keep the variant sizes comparable.
 #[derive(Debug, Clone)]
 enum Rung {
-    Bounded(BoundedController),
-    Resilient(Box<ResilientController<BoundedController>>),
+    Bounded(LumpedBounded),
+    Resilient(Box<ResilientController<LumpedBounded>>),
     Anytime(AnytimeController),
 }
 

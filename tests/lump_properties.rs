@@ -1,0 +1,290 @@
+//! Property tests for the lumped planning path over random `bpr-topo`
+//! topologies:
+//!
+//! * The quotient model produced by [`TerminatedModel::lump`] must
+//!   re-lint clean at error severity — aggregation must not
+//!   reintroduce the structural hazards (divergent chains, missing
+//!   termination, dead observation columns) the transform repaired.
+//! * Recovery campaigns must be *invisible* to lumping: an episode on
+//!   the full model driven by a [`LumpedController`] (which plans on
+//!   the quotient and projects/lifts beliefs through the certificate)
+//!   reproduces the plain full-model controller's episode bit-for-bit
+//!   under the same RNG seed.
+//!
+//! The second property is the soundness contract the planning-kernel
+//! speedups lean on: the simulation always runs on the FULL model so
+//! both controllers consume the identical world RNG stream, and only
+//! the planner's interior representation differs.
+
+use bpr_core::{BoundedConfig, BoundedController, LumpedController};
+use bpr_sim::{EpisodeOutcome, EpisodeRunner, HarnessConfig, TraceEvent};
+use bpr_topo::{compile, DurationSpec, HazardSpec, MonitorSpec, TierSpec, TopologySpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random small-but-structured topology specs. Every generated spec
+/// satisfies [`TopologySpec::validate`] by construction: hosts are
+/// folded into `1..=components` and racks into `1..=hosts`, so no
+/// proptest rejections are burned on invalid combinations. Replicas
+/// lean ≥ 2 and the jitter is sometimes exactly zero so a fair share
+/// of specs actually alias monitor rows (non-identity quotients);
+/// the rest exercise the identity path.
+fn arb_topo_spec() -> impl Strategy<Value = TopologySpec> {
+    (
+        proptest::collection::vec((1usize..=2, 1usize..=3, 30.0f64..300.0), 1..=2),
+        (0usize..64, 0usize..64, 1usize..=2),
+        (0.5f64..0.99, 0.0f64..0.05),
+        (0usize..2, 0usize..2, 0.3f64..0.9, 0.0f64..0.3),
+        (prop_oneof![Just(0.0f64), 0.0f64..0.2], 0u64..1000),
+    )
+        .prop_map(
+            |(
+                tiers,
+                (hosts_pick, racks_pick, group),
+                (detection, fp),
+                (partitions_pick, rolling_pick, deploy_fraction, cascade_prob),
+                (jitter, seed),
+            )| {
+                let partitions = partitions_pick == 1;
+                let rolling_deploys = rolling_pick == 1;
+                let components: usize = tiers.iter().map(|(s, r, _)| s * r).sum();
+                let hosts = 1 + hosts_pick % components;
+                let racks = 1 + racks_pick % hosts;
+                TopologySpec {
+                    tiers: tiers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (services, replicas, duration))| TierSpec {
+                            name: format!("tier{i}"),
+                            services: *services,
+                            replicas: *replicas,
+                            restart_duration: *duration,
+                        })
+                        .collect(),
+                    hosts,
+                    racks,
+                    restart_group_size: group,
+                    monitors: MonitorSpec {
+                        shallow_detection: detection,
+                        shallow_fp: fp,
+                        deep_detection: detection,
+                        deep_fp: fp,
+                        rack_detection: detection,
+                        rack_fp: fp,
+                        path_detection: detection,
+                        path_fp: fp,
+                    },
+                    hazards: HazardSpec {
+                        partitions,
+                        rolling_deploys,
+                        deploy_fraction,
+                        cascade_prob,
+                    },
+                    durations: DurationSpec::default(),
+                    operator_response_time: 6.0 * 3600.0,
+                    duration_jitter: jitter,
+                    seed,
+                }
+            },
+        )
+}
+
+/// Strips the one nondeterministic field (host compute time).
+fn comparable(o: &EpisodeOutcome) -> EpisodeOutcome {
+    let mut o = o.clone();
+    o.algorithm_time = 0.0;
+    o
+}
+
+/// Trace equality up to belief-summation order: every discrete field
+/// (actions, world states, observations) and every world-derived
+/// quantity (wall clock, cost) must match bit-for-bit; the reported
+/// belief `null_mass` is allowed a 1e-9 slack because the lumped
+/// controller accumulates the same mass in quotient-class order.
+fn assert_traces_equivalent(t1: &[TraceEvent], t2: &[TraceEvent]) -> Result<(), String> {
+    if t1.len() != t2.len() {
+        return Err(format!(
+            "trace lengths differ: {} vs {}",
+            t1.len(),
+            t2.len()
+        ));
+    }
+    for (i, (a, b)) in t1.iter().zip(t2.iter()).enumerate() {
+        let mut a_cmp = a.clone();
+        let mut b_cmp = b.clone();
+        a_cmp.null_mass = 0.0;
+        b_cmp.null_mass = 0.0;
+        if a_cmp != b_cmp {
+            return Err(format!(
+                "step {i} diverges:\n  full:   {a:?}\n  lumped: {b:?}"
+            ));
+        }
+        if (a.null_mass - b.null_mass).abs() > 1e-9 {
+            return Err(format!(
+                "step {i} null_mass diverges beyond slack: {} vs {}",
+                a.null_mass, b.null_mass
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The plain planning configuration both sides of the equivalence use:
+/// no online backups and no startup sweeps, so every decision is a pure
+/// function of `(model, bound, belief)` and the bit-for-bit comparison
+/// is not clouded by refinement-schedule differences.
+fn plain_config() -> BoundedConfig {
+    BoundedConfig {
+        backup_online: false,
+        startup_vertex_sweeps: 0,
+        ..BoundedConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Lumping a linted model yields a linted model: the quotient
+    /// passes the full static analyzer at error severity, and the
+    /// certificate's bookkeeping is consistent with the quotient.
+    #[test]
+    fn quotient_relints_clean_on_random_topologies(spec in arb_topo_spec()) {
+        let model = compile(&spec).expect("generated specs are valid");
+        let terminated = model
+            .without_notification(spec.operator_response_time)
+            .expect("transform");
+        let (quotient, certificate) = terminated.lump().expect("lumping succeeds");
+
+        prop_assert_eq!(certificate.n_full(), terminated.pomdp().n_states());
+        prop_assert_eq!(certificate.n_quotient(), quotient.pomdp().n_states());
+        prop_assert!(quotient.pomdp().n_states() <= terminated.pomdp().n_states());
+        if certificate.is_identity() {
+            prop_assert_eq!(
+                quotient.pomdp().fingerprint(),
+                terminated.pomdp().fingerprint(),
+                "identity lump must preserve the model fingerprint"
+            );
+        }
+
+        let report = quotient.lint();
+        prop_assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    /// Campaign invisibility: episodes on the FULL model are
+    /// bit-identical whether the controller plans on the full model or
+    /// (through `LumpedController`) on the quotient. Both worlds
+    /// consume the same RNG stream, so any planning divergence shows
+    /// up as a different action/observation trace.
+    #[test]
+    fn lumped_campaigns_match_full_campaigns(
+        spec in arb_topo_spec(),
+        seed in 0u64..1000,
+        fault_pick in 0usize..64,
+    ) {
+        let model = compile(&spec).expect("generated specs are valid");
+        let t_op = spec.operator_response_time;
+
+        let mut full = BoundedController::new(
+            model.without_notification(t_op).expect("transform"),
+            plain_config(),
+        )
+        .expect("full controller builds");
+
+        let (quotient, certificate) = model
+            .without_notification(t_op)
+            .expect("transform")
+            .lump()
+            .expect("lumping succeeds");
+        let mut lumped = LumpedController::new(
+            BoundedController::new(quotient, plain_config())
+                .expect("quotient controller builds"),
+            certificate,
+        );
+
+        let faults = model.fault_states();
+        let fault = faults[fault_pick % faults.len()];
+        let config = HarnessConfig { max_steps: 200 };
+
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let (o1, t1) = EpisodeRunner::new(&model)
+            .config(&config)
+            .run_traced_with_rng(&mut full, fault, &mut rng1)
+            .expect("full episode");
+
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let (o2, t2) = EpisodeRunner::new(&model)
+            .config(&config)
+            .run_traced_with_rng(&mut lumped, fault, &mut rng2)
+            .expect("lumped episode");
+
+        prop_assert_eq!(comparable(&o1), comparable(&o2));
+        if let Err(msg) = assert_traces_equivalent(&t1, &t2) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// Deterministic non-identity coverage: random specs only sometimes
+/// alias monitor rows, so pin a topology that provably does. With a
+/// single rack and zero jitter, same-service replica faults are
+/// indistinguishable to every monitor family (shallow/deep/path are
+/// per-service or per-tier, and the one rack monitor covers
+/// everything), so the quotient genuinely merges states — and must
+/// still re-lint clean and reproduce full-model campaigns.
+#[test]
+fn single_rack_topology_lumps_nontrivially_and_campaigns_match() {
+    let spec = TopologySpec::builder()
+        .tier("web", 2, 3, 60.0)
+        .hosts(3)
+        .racks(1)
+        .restart_group_size(1)
+        .seed(0)
+        .build()
+        .expect("spec is statically valid");
+    let model = compile(&spec).expect("spec compiles");
+    let t_op = spec.operator_response_time;
+
+    let (quotient, certificate) = model
+        .without_notification(t_op)
+        .expect("transform")
+        .lump()
+        .expect("lumping succeeds");
+    assert!(
+        !certificate.is_identity(),
+        "a single-rack topology is expected to alias same-service replica faults"
+    );
+    assert!(certificate.n_quotient() < certificate.n_full());
+    let report = quotient.lint();
+    assert!(!report.has_errors(), "{}", report.render());
+
+    let mut full = BoundedController::new(
+        model.without_notification(t_op).expect("transform"),
+        plain_config(),
+    )
+    .expect("full controller builds");
+    let mut lumped = LumpedController::new(
+        BoundedController::new(quotient, plain_config()).expect("quotient controller builds"),
+        certificate,
+    );
+
+    let faults = model.fault_states();
+    let config = HarnessConfig { max_steps: 200 };
+    for seed in 0..5u64 {
+        let fault = faults[(seed as usize * 37) % faults.len()];
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let (o1, t1) = EpisodeRunner::new(&model)
+            .config(&config)
+            .run_traced_with_rng(&mut full, fault, &mut rng1)
+            .expect("full episode");
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let (o2, t2) = EpisodeRunner::new(&model)
+            .config(&config)
+            .run_traced_with_rng(&mut lumped, fault, &mut rng2)
+            .expect("lumped episode");
+        assert_eq!(comparable(&o1), comparable(&o2), "seed {seed}");
+        if let Err(msg) = assert_traces_equivalent(&t1, &t2) {
+            panic!("seed {seed}: {msg}");
+        }
+    }
+}
