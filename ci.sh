@@ -40,6 +40,10 @@ echo "==> modelcheck (full-corpus lint gate: paper models + generated 10^2-10^4 
 cargo run -p bpr-bench --bin modelcheck --release -- \
   --quiet --out MODELCHECK.json --manifest MODELCHECK_manifest.json
 
+echo "==> certify (certified-bound gate: kernel bounds bracketed by the plan oracle and MDP ceiling, BPR100-series policy analysis; fails on unsound/dominated rows or error findings)"
+cargo run -p bpr-bench --bin certify --release -- \
+  --quiet --out CERTIFY.json
+
 echo "==> serve chaos-soak smoke (bursty load + fault injection + forced kill/resume, plus a loopback-socket network-chaos soak on web3tier-small; fails on incident loss, divergence, or transport-accounting violations)"
 cargo run -p bpr-bench --bin serve --release -- \
   --ticks 120 --kill-round 25 --net-scenarios web3tier-small --net-ticks 48 \

@@ -14,13 +14,15 @@
 //!    controller — the "path diversity" knob of the paper's Fig. 4.
 //!
 //! Usage: `cargo run -p bpr-bench --bin ablations --release -- \
-//!     [--faults 120] [--seed 7] [--threads N]`
+//!     [--scenario emn] [--faults 120] [--seed 7] [--threads N]`
 //!
+//! Ablations 1–4 and 6 run on any registry scenario (resolved through
+//! `bpr::scenario::builtin()`); 5 and 7 sweep `EmnConfig` knobs that
+//! only exist on the paper's model and are skipped elsewhere.
 //! Campaigns fan across `--threads` workers (default: all hardware
 //! threads); results are bit-identical whatever the width.
 
-use bpr_bench::experiments::emn_model;
-use bpr_bench::flag;
+use bpr_bench::{flag, scenario_flag};
 use bpr_core::bootstrap::{bootstrap, BootstrapConfig, BootstrapVariant};
 use bpr_core::{BoundedConfig, BoundedController};
 use bpr_emn::actions::EmnAction;
@@ -37,8 +39,19 @@ fn main() {
     let episodes = flag(&args, "--faults", 120usize);
     let seed = flag(&args, "--seed", 7u64);
     let threads = flag(&args, "--threads", WorkPool::default().threads());
-    let model = emn_model().expect("default EMN model builds");
-    let zombies: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+    let registry = bpr::scenario::builtin();
+    let scenario = scenario_flag(&registry, &args, "emn");
+    let model = scenario.build().expect("registry scenario builds");
+    let faults = scenario.fault_population(&model);
+    let t_op = scenario.operator_response_time();
+    let conditioning = *model
+        .observe_actions()
+        .first()
+        .expect("ablations need an observe action to condition the bootstrap on");
+    // Depth-2 bootstrap trees branch with |A|·|O| per level — fine on
+    // paper-scale models, minutes on the generated corpus; fall back
+    // to depth 1 past EMN scale (same rule the experiments use).
+    let boot_depth = if model.base().n_states() > 64 { 1 } else { 2 };
 
     let run_bounded = |top: f64, depth: usize, cap: Option<usize>| -> CampaignSummary {
         let transformed = model.without_notification(top).expect("transform succeeds");
@@ -51,10 +64,10 @@ fn main() {
             &BootstrapConfig {
                 variant: BootstrapVariant::Average,
                 iterations: 10,
-                depth: 2,
+                depth: boot_depth,
                 max_steps: 40,
                 vector_cap: cap,
-                conditioning_action: EmnAction::Observe.action_id(),
+                conditioning_action: conditioning,
                 ..BootstrapConfig::default()
             },
             &mut rng,
@@ -72,7 +85,7 @@ fn main() {
         )
         .expect("controller builds");
         Campaign::new(&model)
-            .population(&zombies)
+            .population(&faults)
             .episodes(episodes)
             .seed(seed)
             .threads(threads)
@@ -81,7 +94,10 @@ fn main() {
             .summary
     };
 
-    println!("# Ablation 1: operator response time t_op (bounded-d1, {episodes} faults)");
+    println!(
+        "# Ablation 1: operator response time t_op ({}, bounded-d1, {episodes} faults)",
+        scenario.name()
+    );
     println!("{:>12} {}", "t_op(s)", CampaignSummary::table_header());
     for top in [600.0, 3600.0, 21_600.0, 86_400.0] {
         let s = run_bounded(top, 1, None);
@@ -89,16 +105,16 @@ fn main() {
     }
     println!();
 
-    println!("# Ablation 2: bounded-controller tree depth (t_op = 6h)");
+    println!("# Ablation 2: bounded-controller tree depth (t_op = {t_op}s)");
     println!("{:>6} {}", "depth", CampaignSummary::table_header());
     for depth in [1usize, 2] {
-        let s = run_bounded(21_600.0, depth, None);
+        let s = run_bounded(t_op, depth, None);
         println!("{:>6} {}", depth, s.table_row());
     }
     println!();
 
     println!("# Ablation 3: SOR relaxation factor for the RA-Bound solve");
-    let transformed = model.without_notification(21_600.0).expect("transform");
+    let transformed = model.without_notification(t_op).expect("transform");
     let chain = transformed.pomdp().mdp().uniform_random_chain();
     println!("{:>8} {:>16}", "omega", "V-(uniform-ish)");
     for omega in [0.8, 1.0, 1.2, 1.5, 1.8] {
@@ -119,56 +135,66 @@ fn main() {
     println!("# Ablation 4: bound-vector storage cap (paper §4.3)");
     println!("{:>6} {}", "cap", CampaignSummary::table_header());
     for cap in [1usize, 2, 4, 8, 16] {
-        let s = run_bounded(21_600.0, 1, Some(cap));
+        let s = run_bounded(t_op, 1, Some(cap));
         println!("{:>6} {}", cap, s.table_row());
     }
     println!();
 
-    println!("# Ablation 5: path-monitor coverage (bounded-d1, zombie faults)");
-    println!("{:>10} {}", "coverage", CampaignSummary::table_header());
-    for coverage in [0.6, 0.8, 0.95, 0.999] {
-        let cfg = bpr_emn::EmnConfig {
-            path_coverage: coverage,
-            ..bpr_emn::EmnConfig::default()
-        };
-        let model_c = bpr_emn::build_model(&cfg).expect("model builds");
-        let transformed = model_c
-            .without_notification(cfg.operator_response_time)
-            .expect("transform");
-        let bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
-        let proto = BoundedController::with_bound(
-            transformed,
-            bound,
-            BoundedConfig {
-                depth: 1,
-                gamma_cutoff: 1e-3,
-                ..BoundedConfig::default()
-            },
-        )
-        .expect("controller");
-        let zombies_c: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
-        let s = Campaign::new(&model_c)
-            .population(&zombies_c)
-            .episodes(episodes)
-            .seed(seed)
-            .threads(threads)
-            .run(|_| Ok(proto.clone()))
-            .expect("campaign")
-            .summary;
-        println!("{:>10.3} {}", coverage, s.table_row());
+    if scenario.name() == "emn" {
+        println!("# Ablation 5: path-monitor coverage (bounded-d1, zombie faults)");
+        println!("{:>10} {}", "coverage", CampaignSummary::table_header());
+        for coverage in [0.6, 0.8, 0.95, 0.999] {
+            let cfg = bpr_emn::EmnConfig {
+                path_coverage: coverage,
+                ..bpr_emn::EmnConfig::default()
+            };
+            let model_c = bpr_emn::build_model(&cfg).expect("model builds");
+            let transformed = model_c
+                .without_notification(cfg.operator_response_time)
+                .expect("transform");
+            let bound = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
+            let proto = BoundedController::with_bound(
+                transformed,
+                bound,
+                BoundedConfig {
+                    depth: 1,
+                    gamma_cutoff: 1e-3,
+                    ..BoundedConfig::default()
+                },
+            )
+            .expect("controller");
+            let zombies_c: Vec<_> = EmnState::zombies().iter().map(|s| s.state_id()).collect();
+            let s = Campaign::new(&model_c)
+                .population(&zombies_c)
+                .episodes(episodes)
+                .seed(seed)
+                .threads(threads)
+                .run(|_| Ok(proto.clone()))
+                .expect("campaign")
+                .summary;
+            println!("{:>10.3} {}", coverage, s.table_row());
+        }
+        println!();
+    } else {
+        println!(
+            "# Ablation 5: path-monitor coverage — EmnConfig knob, skipped on '{}'",
+            scenario.name()
+        );
+        println!();
     }
-    println!();
 
     println!("# Ablation 6: refinement strategy for the RA-Bound (value at uniform fault belief)");
     {
         use bpr_pomdp::bounds::{pbvi_refine, PbviOpts, ValueBound};
         use bpr_pomdp::Belief;
-        let transformed = model.without_notification(21_600.0).expect("transform");
+        let transformed = model.without_notification(t_op).expect("transform");
         let n = transformed.pomdp().n_states();
         let probe = {
-            let mut p = vec![1.0 / (n - 1) as f64; n - 1];
-            p.push(0.0);
-            Belief::from_probs(p).expect("probe belief")
+            let mut weights = vec![0.0; n];
+            for &fault in &faults {
+                weights[fault.index()] = 1.0 / faults.len() as f64;
+            }
+            Belief::from_probs(weights).expect("probe belief")
         };
         let raw = ra_bound(transformed.pomdp(), &SolveOpts::default()).expect("RA-Bound");
         println!(
@@ -191,7 +217,7 @@ fn main() {
                 iterations: 20,
                 depth: 1,
                 max_steps: 40,
-                conditioning_action: EmnAction::Observe.action_id(),
+                conditioning_action: conditioning,
                 ..BootstrapConfig::default()
             },
             &mut rng,
@@ -204,8 +230,8 @@ fn main() {
             boot.len()
         );
         let mut grid = raw.clone();
-        // Resolution 1 on a 15-state simplex is just the vertices; use
-        // it as the cheap dense sweep.
+        // Resolution 1 on the simplex is just the vertices; use it as
+        // the cheap dense sweep.
         pbvi_refine(
             transformed.pomdp(),
             &mut grid,
@@ -225,6 +251,13 @@ fn main() {
     }
     println!();
 
+    if scenario.name() != "emn" {
+        println!(
+            "# Ablation 7: path-probe routing — EmnConfig knob, skipped on '{}'",
+            scenario.name()
+        );
+        return;
+    }
     println!("# Ablation 7: path-probe routing x controller (zombie faults)");
     println!(
         "{:>16} {:>14} {}",

@@ -1,0 +1,129 @@
+//! Certified-bound gate over the scenario registry: checks every
+//! planning kernel's claimed lower bound against the
+//! kernel-independent certificates from `bpr-verify` (conditional-plan
+//! under-approximation below, MDP ceiling above), runs the
+//! BPR100-series policy-graph analysis on each compiled controller,
+//! writes the per-belief gap rows to `CERTIFY.json`, and exits
+//! non-zero on any soundness violation, dominance shortfall, or
+//! error-severity finding. This is the CI certification gate.
+//!
+//! Usage:
+//! `cargo run -p bpr-bench --bin certify --release -- \
+//!     [--scenario name[,name...]] [--out CERTIFY.json] \
+//!     [--sweeps N] [--refine N] [--max-nodes N] [--broken] \
+//!     [--quiet] [--list-scenarios]`
+//!
+//! Defaults to the paper-scale scenarios (`emn`, `two-server`,
+//! `web3tier-small`); `--broken` additionally certifies the seeded
+//! corrupted-hyperplane fixture, demonstrating (and letting tests
+//! assert) the non-zero exit path.
+
+use bpr_bench::certify::{broken_certificate, certify_json, certify_scenario, CertifyConfig};
+use bpr_bench::{flag, string_flag};
+use bpr_core::scenario::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let broken = args.iter().any(|a| a == "--broken");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let out_path = string_flag(&args, "--out", "CERTIFY.json");
+
+    let registry = bpr::scenario::builtin();
+    if args.iter().any(|a| a == "--list-scenarios") {
+        for scenario in registry.iter() {
+            println!("{:<22} {}", scenario.name(), scenario.description());
+        }
+        return;
+    }
+
+    let mut cfg = CertifyConfig::default();
+    cfg.oracle.sweeps = flag(&args, "--sweeps", cfg.oracle.sweeps);
+    cfg.refine_rounds = flag(&args, "--refine", cfg.refine_rounds);
+    cfg.verify.max_nodes = flag(&args, "--max-nodes", cfg.verify.max_nodes);
+
+    let selection = string_flag(&args, "--scenario", "emn,two-server,web3tier-small");
+    let mut scenarios: Vec<&dyn Scenario> = Vec::new();
+    for name in selection.split(',').map(str::trim) {
+        match registry.require(name) {
+            Ok(scenario) => scenarios.push(scenario),
+            Err(e) => {
+                eprintln!("certify: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut certificates = Vec::new();
+    for scenario in &scenarios {
+        match certify_scenario(*scenario, &cfg) {
+            Ok(cert) => certificates.push(cert),
+            Err(e) => {
+                eprintln!("certify: scenario '{}' failed: {e}", scenario.name());
+                std::process::exit(2);
+            }
+        }
+    }
+    if broken {
+        match broken_certificate(&cfg) {
+            Ok(cert) => certificates.push(cert),
+            Err(e) => {
+                eprintln!("certify: broken fixture failed to build: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !quiet {
+        for cert in &certificates {
+            println!(
+                "== {}: {} ({} rows, {} error finding(s), oracle {} sweeps x {} points)",
+                cert.scenario,
+                if cert.passes() { "PASS" } else { "FAIL" },
+                cert.rows.len(),
+                cert.errors(),
+                cert.oracle_sweeps,
+                cert.oracle_points
+            );
+            for row in &cert.rows {
+                println!(
+                    "  {:>9} probe {:>2}: checked {:>14.6} in [{:>14.6}, {:>14.6}] \
+                     gap_floor {:>10.3e} gap_ceil {:>10.3e}{}{}",
+                    row.variant,
+                    row.probe,
+                    row.checked,
+                    row.floor,
+                    row.ceiling,
+                    row.checked - row.floor,
+                    row.ceiling - row.checked,
+                    if row.sound { "" } else { "  UNSOUND" },
+                    if row.dominated { "" } else { "  UNDOMINATED" }
+                );
+            }
+            for report in &cert.reports {
+                print!("{}", report.render());
+            }
+        }
+    }
+
+    let json = certify_json(&certificates);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("certify: could not write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    let failing: Vec<&str> = certificates
+        .iter()
+        .filter(|c| !c.passes())
+        .map(|c| c.scenario.as_str())
+        .collect();
+    println!(
+        "certify: {} scenario(s), {} gap row(s), {} failing -> {out_path}",
+        certificates.len(),
+        certificates.iter().map(|c| c.rows.len()).sum::<usize>(),
+        failing.len()
+    );
+    if !failing.is_empty() {
+        eprintln!("certify: failing: {}", failing.join(", "));
+        std::process::exit(1);
+    }
+}

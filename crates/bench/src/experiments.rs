@@ -550,25 +550,6 @@ pub fn bootstrapped_bounded_lumped(
     Ok(LumpedController::new(inner, certificate))
 }
 
-/// The EMN-specialised ancestor of [`bootstrapped_bounded_d1_for`].
-///
-/// # Errors
-///
-/// Propagates transform, bound, and bootstrap failures.
-#[deprecated(note = "use bootstrapped_bounded_d1_for with the scenario's operator response time")]
-pub fn bootstrapped_bounded_d1(
-    model: &RecoveryModel,
-    seed: u64,
-    gamma_cutoff: f64,
-) -> Result<BoundedController, Error> {
-    bootstrapped_bounded_d1_for(
-        model,
-        EmnConfig::default().operator_response_time,
-        seed,
-        gamma_cutoff,
-    )
-}
-
 /// Sweeps action-failure probability × monitor-dropout rate on a
 /// registry scenario's model (its declared fault population),
 /// comparing the most-likely, heuristic (depth 1), and bounded (depth
@@ -705,17 +686,6 @@ pub fn robustness_sweep_for(
         }
     }
     Ok(cells)
-}
-
-/// The EMN-specialised ancestor of [`robustness_sweep_for`] (zombie
-/// faults on the paper's model).
-///
-/// # Errors
-///
-/// Propagates model and controller construction failures.
-#[deprecated(note = "use robustness_sweep_for with a registry scenario, e.g. EmnScenario")]
-pub fn robustness_sweep(config: &RobustnessConfig) -> Result<Vec<RobustnessCell>, Error> {
-    robustness_sweep_for(&bpr_emn::EmnScenario::default(), config)
 }
 
 #[cfg(test)]

@@ -11,16 +11,12 @@
 
 use bpr_core::lint::{lint_pomdp, LintContext, LintReport, Termination};
 use bpr_core::scenario::{
-    lint_model_stages, lint_scenario, unexpected_warnings, ModelStage, Scenario, ScenarioRegistry,
+    lint_scenario, unexpected_warnings, ModelStage, Scenario, ScenarioRegistry,
 };
 use bpr_core::Error;
 use bpr_mdp::MdpBuilder;
 use bpr_pomdp::PomdpBuilder;
 use std::fmt::Write as _;
-
-/// The operator response time used for the two-server no-notification
-/// transform (the EMN transform takes its `t_op` from `EmnConfig`).
-const TWO_SERVER_TOP: f64 = 10.0;
 
 /// One scenario × pipeline-stage lint result: the row shape of the
 /// `MODELCHECK.json` bundle, with the scenario name carried as data
@@ -107,30 +103,6 @@ pub fn manifest_json(scenarios: &[&dyn Scenario]) -> Result<String, Error> {
     }
     out.push_str("]}\n");
     Ok(out)
-}
-
-/// The EMN + two-server lint pass of the pre-registry gate.
-///
-/// # Errors
-///
-/// Propagates model construction failures.
-#[deprecated(note = "use lint_scenarios over bpr::scenario::builtin()")]
-pub fn lint_paper_models() -> Result<Vec<LintReport>, Error> {
-    let mut reports = Vec::new();
-    let two_server = bpr_emn::two_server::default_model()?;
-    reports.extend(lint_model_stages(
-        "two-server",
-        &two_server,
-        TWO_SERVER_TOP,
-    )?);
-    let emn_config = bpr_emn::EmnConfig::default();
-    let emn = bpr_emn::build_model(&emn_config)?;
-    reports.extend(lint_model_stages(
-        "emn",
-        &emn,
-        emn_config.operator_response_time,
-    )?);
-    Ok(reports)
 }
 
 /// A deliberately broken "recovery model" that trips a spread of lint
@@ -282,12 +254,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_paper_model_shim_still_lints_clean() {
-        let reports = lint_paper_models().unwrap();
+    fn paper_models_lint_clean_through_the_registry() {
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register(Box::new(bpr_emn::EmnScenario::default()))
+            .unwrap();
+        registry
+            .register(Box::new(bpr_emn::TwoServerScenario::default()))
+            .unwrap();
+        let reports = lint_scenarios(&registry).unwrap();
         assert_eq!(reports.len(), 6);
         for r in &reports {
-            assert!(!r.has_errors(), "{}", r.render());
+            assert!(!r.report.has_errors(), "{}", r.report.render());
         }
     }
 

@@ -38,6 +38,7 @@ pub use bpr_pomdp as pomdp;
 pub use bpr_serve as serve;
 pub use bpr_sim as sim;
 pub use bpr_topo as topo;
+pub use bpr_verify as verify;
 pub use rand;
 
 /// The scenario registry: every named model the workspace ships — the
@@ -50,7 +51,8 @@ pub mod scenario {
     };
 
     /// The built-in registry: `emn`, `two-server`, then the generated
-    /// corpus (`web3tier-small`, `cellfleet-mid`, `region-large`).
+    /// corpus (`web3tier-small`, `cellfleet-shared-rack`,
+    /// `cellfleet-mid`, `region-large`).
     ///
     /// # Panics
     ///
@@ -103,6 +105,10 @@ pub mod prelude {
         HarnessConfig, PerturbationPlan, QuarantinedEpisode, World,
     };
     pub use bpr_topo::{TopoError, TopoScenario, TopologySpec, TopologySpecBuilder};
+    pub use bpr_verify::{
+        certified_lower_bound, mdp_ceiling, verify_controller, verify_lumped, verify_scenario,
+        Oracle, OracleOpts, PolicyGraph, VerifyConfig, VerifyOutcome,
+    };
     pub use rand::rngs::StdRng;
     pub use rand::{Rng, SeedableRng};
 }
@@ -138,6 +144,7 @@ mod tests {
                 "emn",
                 "two-server",
                 "web3tier-small",
+                "cellfleet-shared-rack",
                 "cellfleet-mid",
                 "region-large"
             ]

@@ -200,6 +200,13 @@ impl BoundedController {
         &self.bound
     }
 
+    /// The configuration the controller was built with (so analyzers
+    /// can reconstruct an equivalent controller, e.g. with online
+    /// backups frozen, for side-effect-free policy extraction).
+    pub fn config(&self) -> &BoundedConfig {
+        &self.config
+    }
+
     /// Mutable access to the bound set (for external bootstrapping).
     pub fn bound_mut(&mut self) -> &mut VectorSetBound {
         &mut self.bound

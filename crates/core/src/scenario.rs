@@ -16,7 +16,7 @@
 //! set in `bpr::scenario::builtin()`.
 
 use crate::lint::{lint_pomdp, Diagnostic, LintCode, LintContext, LintReport, Severity};
-use crate::{Error, RecoveryModel, StateId};
+use crate::{Belief, Error, RecoveryModel, StateId};
 
 /// A named, buildable recovery model plus the harness metadata that
 /// travels with it.
@@ -53,6 +53,26 @@ pub trait Scenario {
     /// regressions; errors are never allowed.
     fn expected_warnings(&self) -> Vec<LintCode> {
         Vec::new()
+    }
+
+    /// Representative initial base-space beliefs for verification and
+    /// certification (the `bpr-verify` policy-graph analyzer roots its
+    /// reachable-belief walk here, and `certify` evaluates bounds at
+    /// these points).
+    ///
+    /// Defaults to the uniform belief over the fault population plus a
+    /// point belief per fault (capped at eight).
+    fn probe_beliefs(&self, model: &RecoveryModel) -> Vec<Belief> {
+        let n = model.base().n_states();
+        let faults = self.fault_population(model);
+        if faults.is_empty() {
+            return vec![Belief::uniform(n)];
+        }
+        let mut probes = vec![Belief::uniform_over(n, &faults)];
+        for &fault in faults.iter().take(8) {
+            probes.push(Belief::point(n, fault));
+        }
+        probes
     }
 }
 

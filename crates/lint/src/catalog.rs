@@ -187,6 +187,66 @@ pub const CATALOG: &[CatalogEntry] = &[
         fixit: "apply with_notification / without_notification before computing bounds; on a \
                 transformed model, zero the rewards of recurrent states or break the recurrence",
     },
+    CatalogEntry {
+        code: LintCode::PolicyGraphTruncated,
+        name: "policy-graph-truncated",
+        severity: Severity::Warn,
+        meaning: "policy-graph extraction hit its node budget before the reachable belief set \
+                  closed; livelock/bound/dead-action verdicts cover only the explored prefix",
+        fixit: "raise VerifyConfig::max_nodes, lower the belief-successor cutoff, or lump the \
+                model so the reachable belief set closes within budget",
+    },
+    CatalogEntry {
+        code: LintCode::PolicyLivelock,
+        name: "policy-livelock",
+        severity: Severity::Error,
+        meaning: "a reachable policy node cannot reach termination under the compiled policy: \
+                  the controller can cycle forever without handing off to the operator, so the \
+                  bound (a finite expected total cost) is unsound there",
+        fixit: "enable prefer_terminate_on_tie, tighten the bound with more backups so \
+                terminate dominates, or check the model for free actions that let the policy \
+                loop at zero cost",
+    },
+    CatalogEntry {
+        code: LintCode::PolicyBoundViolation,
+        name: "policy-bound-violation",
+        severity: Severity::Error,
+        meaning: "the policy's expected cost-to-go at a reachable belief is below the bound \
+                  the controller advertises there: the bound is not achieved by its own \
+                  greedy policy, so uniform improvability is broken",
+        fixit: "the bound set contains a vector that is not a conditional-plan value (bug in \
+                a backup/cache/lumping optimization, or a corrupted checkpoint) — rebuild the \
+                bound from RA-Bound and re-run the bootstrap",
+    },
+    CatalogEntry {
+        code: LintCode::PolicyDeadAction,
+        name: "policy-dead-action",
+        severity: Severity::Info,
+        meaning: "a base recovery action is never selected at any reachable policy node: it is \
+                  dead weight in this policy's action space",
+        fixit: "expected when one action dominates; if the action should matter, check its \
+                cost/effect against the dominating alternatives",
+    },
+    CatalogEntry {
+        code: LintCode::PolicyUnusedVector,
+        name: "policy-unused-vector",
+        severity: Severity::Info,
+        meaning: "a bound hyperplane is never the supporting vector at any reachable belief: \
+                  evicting it cannot change any decision on the explored graph",
+        fixit: "evict via VectorSetBound::evict_to to shrink the bound, or keep it if beliefs \
+                outside the explored graph may still need it",
+    },
+    CatalogEntry {
+        code: LintCode::PolicyLumpDivergence,
+        name: "policy-lump-divergence",
+        severity: Severity::Error,
+        meaning: "the lumped controller's policy graph diverges from the full-space \
+                  controller's under the same dynamics: the strong-lumping certificate does \
+                  not hold on realized trajectories",
+        fixit: "the quotient was built from a stale certificate or the models drifted after \
+                lumping — re-run TerminatedModel::lump and rebuild both controllers from the \
+                same transform",
+    },
 ];
 
 /// Serializes the full catalog as a JSON array of
@@ -230,6 +290,12 @@ mod tests {
             LintCode::MonitorAliasing,
             LintCode::RecurrentOutsideNull,
             LintCode::DivergentRandomChain,
+            LintCode::PolicyGraphTruncated,
+            LintCode::PolicyLivelock,
+            LintCode::PolicyBoundViolation,
+            LintCode::PolicyDeadAction,
+            LintCode::PolicyUnusedVector,
+            LintCode::PolicyLumpDivergence,
         ];
         assert_eq!(CATALOG.len(), codes.len());
         for code in codes {

@@ -148,6 +148,29 @@ pub enum LintCode {
     /// non-zero reward: the RA-Bound's expected total reward diverges
     /// and the Gauss–Seidel/SOR solve cannot converge.
     DivergentRandomChain,
+    /// BPR100 — policy-graph extraction hit its node budget before the
+    /// reachable belief set closed; graph-level verdicts cover only the
+    /// explored prefix.
+    PolicyGraphTruncated,
+    /// BPR101 — a reachable policy node cannot reach termination under
+    /// the compiled policy: the controller can livelock (an absorbing
+    /// non-terminal component of the policy graph).
+    PolicyLivelock,
+    /// BPR102 — the policy's expected cost-to-go at a reachable belief
+    /// falls below the bound the controller advertises there: the
+    /// "bound is achieved" soundness claim is violated.
+    PolicyBoundViolation,
+    /// BPR103 — a base recovery action no reachable policy node ever
+    /// selects (dead weight in the action space for this policy).
+    PolicyDeadAction,
+    /// BPR104 — a bound hyperplane that is never the supporting
+    /// (maximal) vector at any reachable belief: eligible for eviction
+    /// without changing any decision on the explored graph.
+    PolicyUnusedVector,
+    /// BPR105 — the quotient (lumped) policy graph diverges from the
+    /// projection of the full-space policy graph: the lumping
+    /// certificate does not hold on realized trajectories.
+    PolicyLumpDivergence,
 }
 
 impl LintCode {
@@ -173,6 +196,12 @@ impl LintCode {
             LintCode::MonitorAliasing => "BPR017",
             LintCode::RecurrentOutsideNull => "BPR018",
             LintCode::DivergentRandomChain => "BPR019",
+            LintCode::PolicyGraphTruncated => "BPR100",
+            LintCode::PolicyLivelock => "BPR101",
+            LintCode::PolicyBoundViolation => "BPR102",
+            LintCode::PolicyDeadAction => "BPR103",
+            LintCode::PolicyUnusedVector => "BPR104",
+            LintCode::PolicyLumpDivergence => "BPR105",
         }
     }
 }
@@ -205,11 +234,12 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    pub(crate) fn new(
-        code: LintCode,
-        severity: Severity,
-        message: impl Into<String>,
-    ) -> Diagnostic {
+    /// Creates a finding with the catalog's fix-it hint attached.
+    ///
+    /// Public so downstream analyzers (e.g. the `bpr-verify`
+    /// policy-graph checks, which own the BPR100-series codes) can emit
+    /// findings through the shared report machinery.
+    pub fn new(code: LintCode, severity: Severity, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             code,
             severity,
@@ -221,7 +251,8 @@ impl Diagnostic {
         }
     }
 
-    pub(crate) fn with_states(mut self, pomdp: &Pomdp, states: &[StateId]) -> Diagnostic {
+    /// Attaches offending states (resolving labels from the model).
+    pub fn with_states(mut self, pomdp: &Pomdp, states: &[StateId]) -> Diagnostic {
         self.states = states
             .iter()
             .map(|&s| (s, label_of_state(pomdp, s)))
@@ -229,7 +260,8 @@ impl Diagnostic {
         self
     }
 
-    pub(crate) fn with_actions(mut self, pomdp: &Pomdp, actions: &[ActionId]) -> Diagnostic {
+    /// Attaches offending actions (resolving labels from the model).
+    pub fn with_actions(mut self, pomdp: &Pomdp, actions: &[ActionId]) -> Diagnostic {
         self.actions = actions
             .iter()
             .map(|&a| (a, label_of_action(pomdp, a)))
@@ -237,7 +269,8 @@ impl Diagnostic {
         self
     }
 
-    pub(crate) fn with_observations(
+    /// Attaches offending observations (resolving labels from the model).
+    pub fn with_observations(
         mut self,
         pomdp: &Pomdp,
         observations: &[ObservationId],

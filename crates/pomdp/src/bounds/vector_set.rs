@@ -123,6 +123,14 @@ impl VectorSetBound {
         self.vectors.iter().map(Vec::as_slice)
     }
 
+    /// The hyperplane at `index`, if any (indices are parallel to
+    /// [`VectorSetBound::iter`] and [`VectorSetBound::usage_counts`];
+    /// policy-graph analyzers use this to name the supporting vector a
+    /// decision rested on).
+    pub fn vector(&self, index: usize) -> Option<&[f64]> {
+        self.vectors.get(index).map(Vec::as_slice)
+    }
+
     /// Adds a hyperplane unless it is pointwise dominated by an existing
     /// one; removes existing hyperplanes the new one pointwise
     /// dominates. Returns whether the vector was actually added.

@@ -3,11 +3,16 @@
 //! [`Scenario`] API so benches sweep a model *family* instead of a
 //! single hand-built instance.
 //!
-//! | scenario        | shape                                   | ~states |
-//! |-----------------|-----------------------------------------|---------|
-//! | `web3tier-small`| 15 services × 3 replicas, 9 hosts       | 10²     |
-//! | `cellfleet-mid` | 125 services × 4 replicas, 50 hosts     | 10³     |
-//! | `region-large`  | 400 services × 12 replicas, 240 hosts   | 10⁴     |
+//! | scenario                | shape                                   | ~states |
+//! |-------------------------|-----------------------------------------|---------|
+//! | `web3tier-small`        | 15 services × 3 replicas, 9 hosts       | 10²     |
+//! | `cellfleet-shared-rack` | 12 services × 4 replicas, 1 rack        | 10²     |
+//! | `cellfleet-mid`         | 125 services × 4 replicas, 50 hosts     | 10³     |
+//! | `region-large`          | 400 services × 12 replicas, 240 hosts   | 10⁴     |
+//!
+//! `cellfleet-shared-rack` is deliberately symmetric (zero jitter, one
+//! rack, no deploys) so `pomdp::lump` merges replica states — it is the
+//! lump-consistency fixture for `bpr-verify`.
 //!
 //! All three compile lint-clean at error severity — the BPR001–BPR019
 //! catalog is the generation contract (see the proptests in
@@ -150,6 +155,43 @@ pub fn cellfleet_mid() -> TopoScenario {
     .expect("cellfleet-mid spec is statically valid")
 }
 
+/// `cellfleet-shared-rack`: a deliberately *symmetric* cell/store
+/// fleet — one rack, zero duration jitter, no rolling deploys — so
+/// replicas of the same service are exactly interchangeable and
+/// `pomdp::lump` genuinely merges states on a registry scenario. This
+/// is the lump-consistency fixture for `bpr-verify` (BPR105) and the
+/// aliasing member of the corpus: every other member's jitter and
+/// deploy masks break the symmetry the quotient needs.
+///
+/// # Panics
+///
+/// Never — the spec is statically valid (covered by tests).
+pub fn cellfleet_shared_rack() -> TopoScenario {
+    let spec = TopologySpec::builder()
+        .tier("cell", 8, 4, 75.0)
+        .tier("store", 4, 4, 200.0)
+        .hosts(4)
+        .racks(1)
+        .restart_group_size(2)
+        .hazards(HazardSpec {
+            partitions: true,
+            rolling_deploys: false,
+            deploy_fraction: 0.0,
+            cascade_prob: 0.0,
+        })
+        .operator_response_time(3600.0)
+        .duration_jitter(0.0)
+        .seed(17)
+        .build()
+        .expect("cellfleet-shared-rack spec is statically valid");
+    TopoScenario::new(
+        "cellfleet-shared-rack",
+        "symmetric cell/store fleet: 12 services x 4 replicas on 1 rack, mergeable replicas (~1e2 states)",
+        spec,
+    )
+    .expect("cellfleet-shared-rack spec is statically valid")
+}
+
 /// `region-large`: a regional deployment, ~10⁴ states, fully quiet
 /// monitors so observation rows stay a handful of entries wide.
 ///
@@ -186,7 +228,12 @@ pub fn region_large() -> TopoScenario {
 
 /// The full named corpus, smallest first.
 pub fn corpus() -> Vec<TopoScenario> {
-    vec![web3tier_small(), cellfleet_mid(), region_large()]
+    vec![
+        web3tier_small(),
+        cellfleet_shared_rack(),
+        cellfleet_mid(),
+        region_large(),
+    ]
 }
 
 /// Registers the corpus into a [`ScenarioRegistry`].
@@ -213,7 +260,12 @@ mod tests {
         register_corpus(&mut registry).unwrap();
         assert_eq!(
             registry.names(),
-            vec!["web3tier-small", "cellfleet-mid", "region-large"]
+            vec![
+                "web3tier-small",
+                "cellfleet-shared-rack",
+                "cellfleet-mid",
+                "region-large"
+            ]
         );
     }
 
@@ -229,11 +281,32 @@ mod tests {
             sizes[0]
         );
         assert!(
-            (1000..10_000).contains(&sizes[1]),
-            "cellfleet-mid: {} states",
+            (10..1000).contains(&sizes[1]),
+            "cellfleet-shared-rack: {} states",
             sizes[1]
         );
-        assert!(sizes[2] >= 9000, "region-large: {} states", sizes[2]);
+        assert!(
+            (1000..10_000).contains(&sizes[2]),
+            "cellfleet-mid: {} states",
+            sizes[2]
+        );
+        assert!(sizes[3] >= 9000, "region-large: {} states", sizes[3]);
+    }
+
+    #[test]
+    fn shared_rack_scenario_genuinely_lumps() {
+        let scenario = cellfleet_shared_rack();
+        let model = scenario.build().unwrap();
+        let transformed = model
+            .without_notification(scenario.operator_response_time())
+            .unwrap();
+        let (quotient, cert) = transformed.lump().unwrap();
+        assert!(
+            cert.n_quotient() < transformed.pomdp().n_states(),
+            "expected a genuine merge, got identity quotient ({} states)",
+            cert.n_quotient()
+        );
+        assert_eq!(quotient.pomdp().n_states(), cert.n_quotient());
     }
 
     #[test]

@@ -53,7 +53,8 @@ pub mod spec;
 
 pub use compile::compile;
 pub use corpus::{
-    cellfleet_mid, corpus, region_large, register_corpus, web3tier_small, TopoScenario,
+    cellfleet_mid, cellfleet_shared_rack, corpus, region_large, register_corpus, web3tier_small,
+    TopoScenario,
 };
 pub use layout::{Layout, TopoAction, TopoState};
 pub use spec::{

@@ -1,0 +1,368 @@
+//! BPR100-series policy-graph diagnostics.
+//!
+//! Each check here is a pure walk over an extracted [`PolicyGraph`]
+//! (plus, for lump consistency, a lockstep walk driving two frozen
+//! controllers through the same dynamics). Findings flow through the
+//! shared `bpr-lint` [`Diagnostic`]/[`LintReport`] machinery under the
+//! BPR100-series codes, so `certify` and CI consume policy findings
+//! with exactly the tooling they already use for model findings.
+//!
+//! The soundness check (BPR102) rests on the paper's uniform
+//! improvability argument: every hyperplane a healthy bound set holds
+//! is the value of a concrete conditional plan, so the max-of-planes
+//! bound `B` satisfies `T B ≥ B` and the greedy controller achieves at
+//! least `B` from every belief. The check computes the policy's actual
+//! expected cost-to-go `V_π` on the finite graph by Gauss–Seidel and
+//! flags any reachable node where `V_π < B − tol` — which is exactly
+//! what a corrupted (too-high) hyperplane produces.
+
+use std::collections::{HashSet, VecDeque};
+
+use bpr_core::{BoundedController, Error, LumpedController, RecoveryController, Step};
+use bpr_lint::{Diagnostic, LintCode, LintReport, Severity};
+use bpr_mdp::ActionId;
+use bpr_pomdp::{Belief, Pomdp};
+
+use crate::graph::{frozen_probe, key_of, PolicyGraph};
+use crate::VerifyConfig;
+
+/// Per-node flags: can the policy reach a terminate (or unexplored
+/// frontier) node from here? Computed by reverse BFS; on a finite
+/// graph whose expanded nodes carry their full positive-probability
+/// edge set, reachability of termination from every node is equivalent
+/// to absorption with probability 1 (no livelock).
+pub fn reaches_termination(graph: &PolicyGraph) -> Vec<bool> {
+    let n = graph.nodes.len();
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut ok = vec![false; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        // Unexpanded frontier nodes are unknowns, not livelocks: give
+        // them the benefit of the doubt (BPR100 already flags the
+        // truncation itself).
+        if matches!(node.step, Step::Terminate) || !node.expanded {
+            ok[i] = true;
+            queue.push_back(i);
+        }
+        for &(_, _, j) in &node.successors {
+            reverse[j].push(i);
+        }
+    }
+    while let Some(j) = queue.pop_front() {
+        for &i in &reverse[j] {
+            if !ok[i] {
+                ok[i] = true;
+                queue.push_back(i);
+            }
+        }
+    }
+    ok
+}
+
+/// The policy's expected cost-to-go `V_π` per graph node, by
+/// Gauss–Seidel value determination on the finite graph.
+///
+/// Terminate nodes are exact (`r(b, a_T)`); unexpanded frontier nodes
+/// are *assumed* to meet their advertised bound (the BPR100 warning
+/// covers the caveat); nodes that cannot reach termination are left at
+/// `-inf` (their true cost diverges — BPR101 flags them, and BPR102
+/// skips them). Edge mass lost to a successor cutoff is likewise
+/// credited the node's own advertised bound.
+pub fn policy_values(
+    graph: &PolicyGraph,
+    pomdp: &Pomdp,
+    terminate_action: ActionId,
+    absorbed: &[bool],
+    cfg: &VerifyConfig,
+) -> Vec<f64> {
+    let n = graph.nodes.len();
+    let mut values = vec![0.0; n];
+    let mut rewards = vec![0.0; n];
+    let mut solve: Vec<usize> = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        match node.step {
+            Step::Terminate => values[i] = node.belief.expected_reward(pomdp, terminate_action),
+            Step::Execute(a) => {
+                if !node.expanded {
+                    values[i] = node.bound_value;
+                } else if !absorbed[i] {
+                    values[i] = f64::NEG_INFINITY;
+                } else {
+                    rewards[i] = node.belief.expected_reward(pomdp, a);
+                    values[i] = node.bound_value;
+                    solve.push(i);
+                }
+            }
+        }
+    }
+    for _ in 0..cfg.value_sweeps {
+        let mut delta: f64 = 0.0;
+        for &i in solve.iter().rev() {
+            let node = &graph.nodes[i];
+            let mut value = rewards[i];
+            let mut mass = 0.0;
+            for &(_, gamma, j) in &node.successors {
+                value += gamma * values[j];
+                mass += gamma;
+            }
+            // Cutoff-dropped edge mass is assumed to meet the bound.
+            value += (1.0 - mass).max(0.0) * node.bound_value;
+            delta = delta.max((value - values[i]).abs());
+            values[i] = value;
+        }
+        if delta < 1e-12 {
+            break;
+        }
+    }
+    values
+}
+
+fn most_likely_states(graph: &PolicyGraph, nodes: &[usize], cap: usize) -> Vec<bpr_mdp::StateId> {
+    let mut seen = HashSet::new();
+    let mut states = Vec::new();
+    for &i in nodes.iter().take(cap * 4) {
+        let s = graph.nodes[i].belief.most_likely().0;
+        if seen.insert(s) {
+            states.push(s);
+            if states.len() >= cap {
+                break;
+            }
+        }
+    }
+    states
+}
+
+/// Runs every per-graph BPR100-series check and returns the raw
+/// diagnostics (callers wrap them in a [`LintReport`]).
+pub fn check_policy_graph(
+    graph: &PolicyGraph,
+    controller: &BoundedController,
+    cfg: &VerifyConfig,
+) -> Vec<Diagnostic> {
+    let model = controller.model();
+    let pomdp = model.pomdp();
+    let mut diagnostics = Vec::new();
+
+    // BPR100 — truncated extraction.
+    if graph.truncated {
+        diagnostics.push(Diagnostic::new(
+            LintCode::PolicyGraphTruncated,
+            Severity::Warn,
+            format!(
+                "policy-graph extraction hit the {}-node budget ({} nodes, {} unexpanded); \
+                 livelock/bound/dead-action verdicts cover only the explored prefix",
+                cfg.max_nodes,
+                graph.nodes.len(),
+                graph.unexpanded()
+            ),
+        ));
+    }
+
+    // BPR101 — reachable nodes that cannot reach termination.
+    let absorbed = reaches_termination(graph);
+    let livelocked: Vec<usize> = (0..graph.nodes.len()).filter(|&i| !absorbed[i]).collect();
+    if !livelocked.is_empty() {
+        diagnostics.push(
+            Diagnostic::new(
+                LintCode::PolicyLivelock,
+                Severity::Error,
+                format!(
+                    "{} of {} reachable policy nodes can never reach termination \
+                     (absorbing non-terminal component; first at node {})",
+                    livelocked.len(),
+                    graph.nodes.len(),
+                    livelocked[0]
+                ),
+            )
+            .with_states(
+                pomdp,
+                &most_likely_states(graph, &livelocked, cfg.max_listed),
+            ),
+        );
+    }
+
+    // BPR102 — advertised bound not achieved by the policy itself.
+    let values = policy_values(graph, pomdp, model.terminate_action(), &absorbed, cfg);
+    let mut violations: Vec<usize> = Vec::new();
+    let mut worst_gap = 0.0_f64;
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !absorbed[i] || !node.expanded {
+            continue;
+        }
+        let tolerance = cfg.tolerance * (1.0 + node.bound_value.abs());
+        let gap = node.bound_value - values[i];
+        if gap > tolerance {
+            violations.push(i);
+            worst_gap = worst_gap.max(gap);
+        }
+    }
+    if !violations.is_empty() {
+        diagnostics.push(
+            Diagnostic::new(
+                LintCode::PolicyBoundViolation,
+                Severity::Error,
+                format!(
+                    "{} reachable nodes advertise a bound above the policy's own \
+                     cost-to-go (worst overclaim {:.6}; first at node {}: bound {:.6} \
+                     vs achieved {:.6})",
+                    violations.len(),
+                    worst_gap,
+                    violations[0],
+                    graph.nodes[violations[0]].bound_value,
+                    values[violations[0]],
+                ),
+            )
+            .with_states(
+                pomdp,
+                &most_likely_states(graph, &violations, cfg.max_listed),
+            ),
+        );
+    }
+
+    // BPR103 — base actions the policy never selects.
+    let selected: HashSet<ActionId> = graph
+        .nodes
+        .iter()
+        .filter_map(|n| match n.step {
+            Step::Execute(a) => Some(a),
+            Step::Terminate => None,
+        })
+        .collect();
+    let dead: Vec<ActionId> = (0..pomdp.n_actions())
+        .map(ActionId::new)
+        .filter(|&a| model.is_base_action(a) && !selected.contains(&a))
+        .collect();
+    if !dead.is_empty() {
+        let listed: Vec<ActionId> = dead.iter().copied().take(cfg.max_listed).collect();
+        diagnostics.push(
+            Diagnostic::new(
+                LintCode::PolicyDeadAction,
+                Severity::Info,
+                format!(
+                    "{} of {} base actions are never selected at any reachable policy node",
+                    dead.len(),
+                    pomdp.n_actions() - 1
+                ),
+            )
+            .with_actions(pomdp, &listed),
+        );
+    }
+
+    // BPR104 — hyperplanes that never support a reachable node belief.
+    let supporting: HashSet<usize> = graph.nodes.iter().filter_map(|n| n.support).collect();
+    let unused: Vec<usize> = (0..controller.bound().len())
+        .filter(|i| !supporting.contains(i))
+        .collect();
+    if !unused.is_empty() {
+        let mut listed: String = unused
+            .iter()
+            .take(cfg.max_listed)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        if unused.len() > cfg.max_listed {
+            listed.push_str(", ...");
+        }
+        diagnostics.push(Diagnostic::new(
+            LintCode::PolicyUnusedVector,
+            Severity::Info,
+            format!(
+                "{} of {} bound hyperplanes never support a reachable node belief \
+                 (eviction candidates: [{listed}])",
+                unused.len(),
+                controller.bound().len()
+            ),
+        ));
+    }
+
+    diagnostics
+}
+
+/// Lockstep lump-consistency check (BPR105): drives the full-space
+/// controller and the quotient controller through the same reachable
+/// belief walk — quotient beliefs obtained by projecting the full
+/// belief through the certificate — and flags any node where the two
+/// decisions diverge. With a valid strong-lumping certificate the
+/// projected policy graph and the quotient policy graph are
+/// decision-identical, so any divergence falsifies the certificate on
+/// a realized trajectory.
+///
+/// # Errors
+///
+/// Propagates probe construction, projection, and decision failures.
+pub fn check_lump_consistency(
+    full: &BoundedController,
+    lumped: &LumpedController<BoundedController>,
+    roots: &[Belief],
+    cfg: &VerifyConfig,
+) -> Result<Vec<Diagnostic>, Error> {
+    let certificate = lumped.certificate();
+    let mut probe_full = frozen_probe(full)?;
+    let mut probe_quotient = frozen_probe(lumped.inner())?;
+    let pomdp = full.model().pomdp();
+    let mut diagnostics = Vec::new();
+    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut queue: VecDeque<Belief> = VecDeque::new();
+    for root in roots {
+        probe_full.begin(root.clone(), None)?;
+        let transformed = probe_full
+            .transformed_belief()
+            .expect("controller holds a belief after begin")
+            .clone();
+        if seen.insert(key_of(&transformed, cfg.quantization)) {
+            queue.push_back(transformed);
+        }
+    }
+    let mut visited = 0usize;
+    while let Some(belief) = queue.pop_front() {
+        if visited >= cfg.max_nodes {
+            diagnostics.push(Diagnostic::new(
+                LintCode::PolicyGraphTruncated,
+                Severity::Warn,
+                format!(
+                    "lump-consistency walk hit the {}-node budget; later nodes unchecked",
+                    cfg.max_nodes
+                ),
+            ));
+            break;
+        }
+        visited += 1;
+        probe_full.begin(belief.clone(), None)?;
+        let step_full = probe_full.decide()?;
+        let projected = Belief::from_probs(certificate.project_weights(belief.probs()))
+            .map_err(Error::Pomdp)?;
+        probe_quotient.begin(projected, None)?;
+        let step_quotient = probe_quotient.decide()?;
+        if step_full != step_quotient {
+            diagnostics.push(
+                Diagnostic::new(
+                    LintCode::PolicyLumpDivergence,
+                    Severity::Error,
+                    format!(
+                        "full-space policy decides {step_full:?} but the quotient policy \
+                         decides {step_quotient:?} at a reachable belief (walk node {visited})",
+                    ),
+                )
+                .with_states(pomdp, &[belief.most_likely().0]),
+            );
+            if diagnostics.len() >= cfg.max_listed {
+                break;
+            }
+            continue;
+        }
+        if let Step::Execute(action) = step_full {
+            for (_, _, next) in belief.successors(pomdp, action, cfg.successor_cutoff) {
+                if seen.insert(key_of(&next, cfg.quantization)) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    Ok(diagnostics)
+}
+
+/// Wraps graph diagnostics in a named [`LintReport`] (the shared
+/// severity-then-code ordering applies).
+pub fn report(name: &str, diagnostics: Vec<Diagnostic>) -> LintReport {
+    LintReport::new(format!("{name} (policy)"), diagnostics)
+}

@@ -1,0 +1,221 @@
+//! Reachable policy-graph extraction for compiled bounded controllers.
+//!
+//! A compiled [`BoundedController`] induces a deterministic mapping
+//! from beliefs to decisions; under the model's own dynamics the set
+//! of beliefs the controller can actually hold from a given start is
+//! countable, and for the recovery models here it closes into a small
+//! finite graph (beliefs converge numerically and are interned under
+//! quantization). This module materialises that graph: one node per
+//! distinct reachable belief, carrying the frozen controller's
+//! decision, the bound value it advertises there, and the
+//! observation-labelled transition edges to successor nodes. The
+//! BPR100-series checks in [`crate::checks`] are all graph walks over
+//! this structure.
+//!
+//! Extraction never mutates the controller under analysis: the probe
+//! is a reconstruction with online backups and startup sweeps
+//! disabled, so the bound set (and therefore every decision) is frozen
+//! for the duration of the walk.
+
+use std::collections::{HashMap, VecDeque};
+
+use bpr_core::{BoundedConfig, BoundedController, Error, RecoveryController, Step};
+use bpr_pomdp::{Belief, ObservationId};
+
+use crate::VerifyConfig;
+
+/// One reachable node of a compiled policy: a belief the controller
+/// can actually hold, the decision it makes there, and the advertised
+/// bound backing that decision.
+#[derive(Debug, Clone)]
+pub struct PolicyNode {
+    /// The belief over the *transformed* state space (including `s_T`).
+    pub belief: Belief,
+    /// The decision the frozen controller makes at this belief.
+    pub step: Step,
+    /// The bound value the controller advertises here (the max over
+    /// its hyperplane set).
+    pub bound_value: f64,
+    /// Index of the supporting hyperplane behind `bound_value`
+    /// (parallel to `VectorSetBound::iter`), if the set is non-empty.
+    pub support: Option<usize>,
+    /// Outgoing `(observation, probability, node)` edges. Empty for
+    /// terminate decisions and for unexpanded frontier nodes.
+    pub successors: Vec<(ObservationId, f64, usize)>,
+    /// Whether the node's successors were explored (`false` only when
+    /// the node budget truncated extraction at this frontier node).
+    pub expanded: bool,
+}
+
+/// The finite reachable belief-node graph of a compiled policy.
+#[derive(Debug, Clone)]
+pub struct PolicyGraph {
+    /// All discovered nodes; edges index into this vector.
+    pub nodes: Vec<PolicyNode>,
+    /// Node indices of the extraction roots, parallel to the root
+    /// beliefs handed to [`extract_policy_graph`].
+    pub roots: Vec<usize>,
+    /// True when the node budget was exhausted before the reachable
+    /// set closed; unexpanded frontier nodes remain in `nodes`.
+    pub truncated: bool,
+}
+
+impl PolicyGraph {
+    /// Number of frontier nodes whose successors were not explored.
+    pub fn unexpanded(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.expanded).count()
+    }
+
+    /// Number of nodes deciding [`Step::Terminate`].
+    pub fn terminating(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.step, Step::Terminate))
+            .count()
+    }
+}
+
+/// Quantized belief key: probabilities rounded to multiples of
+/// `quantization` so beliefs that converge numerically intern to the
+/// same node.
+pub(crate) fn key_of(belief: &Belief, quantization: f64) -> Vec<i64> {
+    let scale = 1.0 / quantization;
+    belief
+        .probs()
+        .iter()
+        .map(|p| (p * scale).round() as i64)
+        .collect()
+}
+
+/// Rebuilds `controller` with online backups, startup sweeps, and
+/// root parallelism disabled, so repeated `begin`/`decide` probes are
+/// side-effect-free on the bound and bit-deterministic.
+///
+/// # Errors
+///
+/// Propagates controller construction failures.
+pub(crate) fn frozen_probe(controller: &BoundedController) -> Result<BoundedController, Error> {
+    let config = BoundedConfig {
+        backup_online: false,
+        startup_vertex_sweeps: 0,
+        root_threads: 1,
+        ..controller.config().clone()
+    };
+    BoundedController::with_bound(
+        controller.model().clone(),
+        controller.bound().clone(),
+        config,
+    )
+}
+
+/// Interns `belief` (base- or transformed-space) as a graph node,
+/// probing the frozen controller for its decision and advertised
+/// bound; returns the existing index when the quantized belief was
+/// already seen.
+fn intern(
+    belief: Belief,
+    probe: &mut BoundedController,
+    nodes: &mut Vec<PolicyNode>,
+    index: &mut HashMap<Vec<i64>, usize>,
+    queue: &mut VecDeque<usize>,
+    quantization: f64,
+) -> Result<usize, Error> {
+    probe.begin(belief, None)?;
+    let transformed = probe
+        .transformed_belief()
+        .expect("controller holds a belief after begin")
+        .clone();
+    let key = key_of(&transformed, quantization);
+    if let Some(&i) = index.get(&key) {
+        return Ok(i);
+    }
+    let step = probe.decide()?;
+    let (support, bound_value) = match probe.bound().best_vector_quiet(transformed.probs()) {
+        Some((i, v)) => (Some(i), v),
+        None => (None, f64::NEG_INFINITY),
+    };
+    let i = nodes.len();
+    nodes.push(PolicyNode {
+        belief: transformed,
+        step,
+        bound_value,
+        support,
+        successors: Vec::new(),
+        expanded: false,
+    });
+    index.insert(key, i);
+    queue.push_back(i);
+    Ok(i)
+}
+
+/// Extracts the reachable policy graph of `controller` from `roots`
+/// (base- or transformed-space beliefs) under the model's dynamics.
+///
+/// Exploration is breadth-first with nodes interned under 1e-9 belief
+/// quantization; it stops expanding once `cfg.max_nodes` nodes exist
+/// (the graph is then marked [`PolicyGraph::truncated`] and the
+/// remaining frontier stays unexpanded). Successor edges below
+/// `cfg.successor_cutoff` observation probability are dropped; the
+/// default cutoff of `0.0` keeps every positive-probability edge, so
+/// each expanded node's edge probabilities sum to 1.
+///
+/// # Errors
+///
+/// Propagates probe-controller construction and decision failures.
+pub fn extract_policy_graph(
+    controller: &BoundedController,
+    roots: &[Belief],
+    cfg: &VerifyConfig,
+) -> Result<PolicyGraph, Error> {
+    let mut probe = frozen_probe(controller)?;
+    let mut nodes: Vec<PolicyNode> = Vec::new();
+    let mut index: HashMap<Vec<i64>, usize> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut root_ids = Vec::with_capacity(roots.len());
+    for root in roots {
+        root_ids.push(intern(
+            root.clone(),
+            &mut probe,
+            &mut nodes,
+            &mut index,
+            &mut queue,
+            cfg.quantization,
+        )?);
+    }
+    let mut truncated = false;
+    while let Some(i) = queue.pop_front() {
+        match nodes[i].step {
+            Step::Terminate => {
+                nodes[i].expanded = true;
+            }
+            Step::Execute(action) => {
+                if nodes.len() >= cfg.max_nodes {
+                    truncated = true;
+                    continue;
+                }
+                let belief = nodes[i].belief.clone();
+                let successors =
+                    belief.successors(controller.model().pomdp(), action, cfg.successor_cutoff);
+                let mut edges = Vec::with_capacity(successors.len());
+                for (o, gamma, next) in successors {
+                    let j = intern(
+                        next,
+                        &mut probe,
+                        &mut nodes,
+                        &mut index,
+                        &mut queue,
+                        cfg.quantization,
+                    )?;
+                    edges.push((o, gamma, j));
+                }
+                nodes[i].successors = edges;
+                nodes[i].expanded = true;
+            }
+        }
+    }
+    Ok(PolicyGraph {
+        nodes,
+        roots: root_ids,
+        truncated,
+    })
+}

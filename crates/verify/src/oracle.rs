@@ -1,0 +1,329 @@
+//! Kernel-independent certified value approximations.
+//!
+//! Two deliberately simple constructions bracket the optimal value
+//! `V*` of a transformed (`§3.1`) recovery POMDP, sharing **no** code
+//! with the planning kernel (`bpr_pomdp::backup`, the fused τ
+//! operators, the transposition cache) so that a bug there cannot
+//! also blind the check:
+//!
+//! * [`certified_lower_bound`] — a belief-discretization
+//!   under-approximation. Starting from the immediate-termination
+//!   hyperplane `α_T(s) = r(s, a_T)` (a concrete plan: hand off to the
+//!   operator now), each sweep performs one exact α-vector point-based
+//!   backup at every point of a clamped belief grid. Every vector the
+//!   oracle ever holds is, by construction, the exact value of some
+//!   conditional plan, so `max_α ⟨α, b⟩ ≤ V*(b)` at **every** belief
+//!   `b` — not just grid points. Grid clamping only controls
+//!   *tightness*, never soundness (Bork/Katoen/Quatmann-style
+//!   under-approximation of expected total rewards).
+//! * [`mdp_ceiling`] — certified upper bounds from fully-observable
+//!   value iteration started at `V₀ = 0`. Rewards are non-positive, so
+//!   `V₀ ≥ V*_MDP` and the monotone Bellman operator keeps **every**
+//!   iterate a certified upper bound on `V*_MDP(s)`; mixing under a
+//!   belief (`⟨b, V⟩ ≥ V*(b)`) bounds the POMDP value since partial
+//!   observability can only hurt. A bound hyperplane claiming more
+//!   than this ceiling is definitively corrupt.
+//!
+//! [`exact_value`] is the brute-force finite-horizon optimum used by
+//! the proptest soundness suite to sandwich the oracle on tiny models.
+
+use bpr_core::TerminatedModel;
+use bpr_mdp::{ActionId, StateId};
+use bpr_pomdp::{Belief, Pomdp};
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Options controlling the oracle's belief grid and effort.
+#[derive(Debug, Clone)]
+pub struct OracleOpts {
+    /// Point-based backup sweeps over the grid (each sweep deepens the
+    /// certified conditional plans by one action).
+    pub sweeps: usize,
+    /// Simplex-grid subdivision (compositions of this many mass units
+    /// across states); only applied when the state count is at most
+    /// [`OracleOpts::grid_max_states`].
+    pub grid_resolution: usize,
+    /// State-count ceiling for the full simplex grid; larger models
+    /// fall back to corners + uniform + caller probes.
+    pub grid_max_states: usize,
+    /// Hard cap on grid points (drops grid overflow; soundness is
+    /// unaffected, only tightness).
+    pub max_points: usize,
+}
+
+impl Default for OracleOpts {
+    fn default() -> OracleOpts {
+        OracleOpts {
+            sweeps: 3,
+            grid_resolution: 2,
+            grid_max_states: 10,
+            max_points: 512,
+        }
+    }
+}
+
+/// A certified lower bound on the achievable value: a set of
+/// hyperplanes, each the exact value of a concrete conditional plan.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    vectors: Vec<Vec<f64>>,
+    sweeps: usize,
+    points: usize,
+}
+
+impl Oracle {
+    /// The certified lower bound at a belief over the transformed
+    /// state space: `max_α ⟨α, weights⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` mismatches the transformed state count.
+    pub fn value(&self, weights: &[f64]) -> f64 {
+        self.vectors
+            .iter()
+            .map(|v| {
+                assert_eq!(v.len(), weights.len(), "oracle weight length mismatch");
+                dot(v, weights)
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Number of certified hyperplanes held.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when no hyperplane is held (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Backup sweeps that were run.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Grid points backed up per sweep.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+}
+
+/// Enumerates compositions of `resolution` mass units over `n` states
+/// into `out` (the clamped simplex grid).
+fn compositions(n: usize, resolution: usize, max_points: usize, out: &mut Vec<Vec<f64>>) {
+    let mut current = vec![0usize; n];
+    fn recurse(
+        current: &mut Vec<usize>,
+        slot: usize,
+        left: usize,
+        resolution: usize,
+        max_points: usize,
+        out: &mut Vec<Vec<f64>>,
+    ) {
+        if out.len() >= max_points {
+            return;
+        }
+        if slot + 1 == current.len() {
+            current[slot] = left;
+            out.push(
+                current
+                    .iter()
+                    .map(|&u| u as f64 / resolution as f64)
+                    .collect(),
+            );
+            return;
+        }
+        for units in 0..=left {
+            current[slot] = units;
+            recurse(current, slot + 1, left - units, resolution, max_points, out);
+        }
+        current[slot] = 0;
+    }
+    recurse(&mut current, 0, resolution, resolution, max_points, out);
+}
+
+/// The clamped belief grid: state corners, the uniform belief, the
+/// caller's probe beliefs, and (on small models) the full simplex grid
+/// at the configured resolution.
+fn belief_points(pomdp: &Pomdp, probes: &[Belief], opts: &OracleOpts) -> Vec<Vec<f64>> {
+    let n = pomdp.n_states();
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    for s in 0..n {
+        points.push(Belief::point(n, StateId::new(s)).probs().to_vec());
+    }
+    points.push(Belief::uniform(n).probs().to_vec());
+    for probe in probes {
+        assert_eq!(
+            probe.n_states(),
+            n,
+            "oracle probes must cover the transformed state space"
+        );
+        points.push(probe.probs().to_vec());
+    }
+    if n <= opts.grid_max_states && opts.grid_resolution >= 2 {
+        compositions(n, opts.grid_resolution, opts.max_points, &mut points);
+    }
+    points.truncate(opts.max_points.max(n + 1));
+    points
+}
+
+/// One exact α-vector point-based backup at belief weights `w`: for
+/// the best action, compose the per-observation argmax plans from
+/// `gamma` into a new conditional plan and return its exact value
+/// vector.
+fn backup_point(pomdp: &Pomdp, gamma: &[Vec<f64>], w: &[f64]) -> Vec<f64> {
+    let n = pomdp.n_states();
+    let n_obs = pomdp.n_observations();
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for a in (0..pomdp.n_actions()).map(ActionId::new) {
+        let transitions = pomdp.mdp().transition_matrix(a);
+        // pred(s') = Σ_s w(s) P_a(s, s').
+        let mut pred = vec![0.0; n];
+        for (s, &ws) in w.iter().enumerate() {
+            if ws == 0.0 {
+                continue;
+            }
+            for (sp, p) in transitions.row(s) {
+                pred[sp] += ws * p;
+            }
+        }
+        // Per observation, the plan from `gamma` maximising
+        // Σ_{s'} pred(s') q(o|s', a) α(s'). Any choice yields a valid
+        // plan, so observations impossible under `pred` are harmless.
+        let mut choice = vec![0usize; n_obs];
+        let mut score = vec![f64::NEG_INFINITY; n_obs];
+        for (ai, alpha) in gamma.iter().enumerate() {
+            let mut scores = vec![0.0; n_obs];
+            for (sp, &mass) in pred.iter().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                let weighted = mass * alpha[sp];
+                for (o, q) in pomdp.observation_matrix(a).row(sp) {
+                    scores[o] += weighted * q;
+                }
+            }
+            for o in 0..n_obs {
+                if scores[o] > score[o] {
+                    score[o] = scores[o];
+                    choice[o] = ai;
+                }
+            }
+        }
+        // h(s') = Σ_o q(o|s', a) α_{choice(o)}(s'); the new plan's
+        // value is α_a(s) = r(s, a) + Σ_{s'} P_a(s, s') h(s').
+        let mut h = vec![0.0; n];
+        for (sp, slot) in h.iter_mut().enumerate() {
+            for (o, q) in pomdp.observation_matrix(a).row(sp) {
+                *slot += q * gamma[choice[o]][sp];
+            }
+        }
+        let rewards = pomdp.mdp().reward_vector(a);
+        let mut alpha_a = vec![0.0; n];
+        for (s, slot) in alpha_a.iter_mut().enumerate() {
+            let mut acc = rewards[s];
+            for (sp, p) in transitions.row(s) {
+                acc += p * h[sp];
+            }
+            *slot = acc;
+        }
+        let value = dot(&alpha_a, w);
+        if best.as_ref().is_none_or(|(bv, _)| value > *bv) {
+            best = Some((value, alpha_a));
+        }
+    }
+    best.expect("models have at least one action").1
+}
+
+/// Builds the belief-discretization under-approximation oracle for a
+/// transformed model (see the module docs for the soundness argument).
+///
+/// `probes` are transformed-space beliefs the caller wants the bound
+/// tight at (they join the backup grid); pass the beliefs `certify`
+/// will evaluate.
+pub fn certified_lower_bound(
+    model: &TerminatedModel,
+    probes: &[Belief],
+    opts: &OracleOpts,
+) -> Oracle {
+    let pomdp = model.pomdp();
+    let n = pomdp.n_states();
+    let a_t = model.terminate_action();
+    let term: Vec<f64> = (0..n).map(|s| pomdp.mdp().reward(s, a_t)).collect();
+    let points = belief_points(pomdp, probes, opts);
+    let mut gamma: Vec<Vec<f64>> = vec![term.clone()];
+    for _ in 0..opts.sweeps {
+        // Fresh sweep set: each backed-up vector embeds the previous
+        // sweep's plans as subplans, so older vectors are dominated at
+        // their own points and can be dropped (keeps |Γ| = points + 1).
+        let mut next: Vec<Vec<f64>> = vec![term.clone()];
+        for w in &points {
+            next.push(backup_point(pomdp, &gamma, w));
+        }
+        gamma = next;
+    }
+    Oracle {
+        vectors: gamma,
+        sweeps: opts.sweeps,
+        points: points.len(),
+    }
+}
+
+/// Certified per-state upper bounds on `V*_MDP` (hence on any POMDP
+/// value mixed under a belief) by Gauss–Seidel value iteration from
+/// `V₀ = 0`; see the module docs for why every iterate certifies.
+///
+/// Stops after `max_sweeps` or when the sweep delta drops below
+/// `tolerance` — early stopping only loosens (raises) the ceiling.
+pub fn mdp_ceiling(model: &TerminatedModel, max_sweeps: usize, tolerance: f64) -> Vec<f64> {
+    let mdp = model.pomdp().mdp();
+    let n = mdp.n_states();
+    let mut values = vec![0.0; n];
+    for _ in 0..max_sweeps {
+        let mut delta: f64 = 0.0;
+        for s in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            for a in (0..mdp.n_actions()).map(ActionId::new) {
+                let mut acc = mdp.reward(StateId::new(s), a);
+                for (sp, p) in mdp.transition_matrix(a).row(s) {
+                    acc += p * values[sp];
+                }
+                best = best.max(acc);
+            }
+            delta = delta.max((values[s] - best).abs());
+            values[s] = best;
+        }
+        if delta < tolerance {
+            break;
+        }
+    }
+    values
+}
+
+/// The exact optimal value of the transformed model at `belief` when
+/// play must terminate within `horizon` base actions (the plan space
+/// the oracle's depth-`horizon` vectors live in), by brute-force
+/// belief enumeration. Exponential in `horizon` — test-sized models
+/// only.
+pub fn exact_value(model: &TerminatedModel, belief: &Belief, horizon: usize) -> f64 {
+    let pomdp = model.pomdp();
+    let a_t = model.terminate_action();
+    let mut best = belief.expected_reward(pomdp, a_t);
+    if horizon == 0 {
+        return best;
+    }
+    for a in (0..pomdp.n_actions()).map(ActionId::new) {
+        if a == a_t {
+            continue; // already covered: s_T is absorbing and free.
+        }
+        let mut acc = belief.expected_reward(pomdp, a);
+        for (_, gamma, next) in belief.successors(pomdp, a, 0.0) {
+            acc += gamma * exact_value(model, &next, horizon - 1);
+        }
+        best = best.max(acc);
+    }
+    best
+}

@@ -1,0 +1,131 @@
+//! Cross-crate fixtures for the analyzer and the oracle:
+//!
+//! * `cellfleet-shared-rack` — the deliberately symmetric corpus member
+//!   whose replicas genuinely merge under `pomdp::lump`; the BPR105
+//!   lump-consistency check must come back clean on it, full policy
+//!   versus quotient policy, on reachable beliefs.
+//! * Random tiny topologies — proptest sandwiches the oracle between
+//!   nothing and the brute-force exact finite-horizon optimum: a
+//!   `k`-sweep oracle holds only depth-`k` conditional-plan values, so
+//!   it may never exceed `exact_value` at horizon `k`, and never the
+//!   certified MDP ceiling either.
+
+use bpr_core::{BoundedConfig, BoundedController, LumpedController};
+use bpr_pomdp::Belief;
+use bpr_topo::{cellfleet_shared_rack, compile, HazardSpec, TopologySpec};
+use bpr_verify::{
+    certified_lower_bound, exact_value, mdp_ceiling, verify_lumped, OracleOpts, VerifyConfig,
+};
+use proptest::prelude::*;
+
+#[test]
+fn shared_rack_lump_policy_is_consistent_on_reachable_beliefs() {
+    let scenario = cellfleet_shared_rack();
+    let model = bpr_core::scenario::Scenario::build(&scenario).unwrap();
+    let t_op = bpr_core::scenario::Scenario::operator_response_time(&scenario);
+    let transformed = model.without_notification(t_op).unwrap();
+    let (quotient, certificate) = transformed.lump().unwrap();
+    assert!(
+        quotient.pomdp().n_states() < transformed.pomdp().n_states(),
+        "fixture must genuinely merge states"
+    );
+    let full = BoundedController::new(transformed, BoundedConfig::default()).unwrap();
+    let inner = BoundedController::new(quotient, BoundedConfig::default()).unwrap();
+    let lumped = LumpedController::new(inner, certificate);
+    let roots = bpr_core::scenario::Scenario::probe_beliefs(&scenario, &model);
+    // A few hundred lockstep nodes is plenty to exercise divergence;
+    // the walk warns (BPR100) rather than errors when the budget trips.
+    let cfg = VerifyConfig {
+        max_nodes: 256,
+        ..VerifyConfig::default()
+    };
+    let report = verify_lumped("cellfleet-shared-rack", &full, &lumped, &roots, &cfg).unwrap();
+    assert!(!report.has_errors(), "{}", report.render());
+}
+
+/// A coin-flip strategy (the vendored minimal proptest has no
+/// `any::<bool>()`).
+fn arb_bool() -> impl Strategy<Value = bool> {
+    prop_oneof![Just(false), Just(true)]
+}
+
+/// Tiny random valid topologies: one tier of 1–2 services × 1–2
+/// replicas on one host, so the transformed state space stays small
+/// enough for brute-force plan enumeration at horizon 2.
+fn arb_tiny_spec() -> impl Strategy<Value = TopologySpec> {
+    (
+        1usize..=2,
+        1usize..=2,
+        30.0f64..120.0,
+        arb_bool(),
+        0u64..1024,
+    )
+        .prop_map(|(services, replicas, duration, partitions, seed)| {
+            TopologySpec::builder()
+                .tier("svc", services, replicas, duration)
+                .hosts(1)
+                .racks(1)
+                .restart_group_size(1)
+                .hazards(HazardSpec {
+                    partitions,
+                    rolling_deploys: false,
+                    deploy_fraction: 0.0,
+                    cascade_prob: 0.0,
+                })
+                .operator_response_time(600.0)
+                .duration_jitter(0.0)
+                .seed(seed)
+                .build()
+                .expect("tiny specs are statically valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Oracle soundness, sandwiched: for every sweep depth `k`, the
+    /// oracle's value never exceeds the exact horizon-`k` optimum (its
+    /// vectors are depth-`k` plan values) and never the certified MDP
+    /// ceiling, at corners and at the uniform belief.
+    #[test]
+    fn oracle_never_exceeds_brute_force_on_tiny_topologies(spec in arb_tiny_spec()) {
+        let model = compile(&spec).expect("tiny specs compile");
+        let transformed = model
+            .without_notification(spec.operator_response_time)
+            .unwrap();
+        let n = transformed.pomdp().n_states();
+        // 2 services × 2 replicas + partition tops out at 12 states,
+        // keeping the horizon-2 enumeration cheap.
+        prop_assert!(n <= 12, "generator produced {n} states");
+        let ceiling = mdp_ceiling(&transformed, 100_000, 1e-12);
+        let mut beliefs = vec![Belief::uniform(n)];
+        for s in 0..n {
+            beliefs.push(Belief::point(n, bpr_mdp::StateId::new(s)));
+        }
+        for sweeps in 0..=2usize {
+            let oracle = certified_lower_bound(
+                &transformed,
+                &[],
+                &OracleOpts { sweeps, ..OracleOpts::default() },
+            );
+            for belief in &beliefs {
+                let lower = oracle.value(belief.probs());
+                let exact = exact_value(&transformed, belief, sweeps);
+                prop_assert!(
+                    lower <= exact + 1e-9,
+                    "{sweeps}-sweep oracle {lower} exceeds horizon-{sweeps} optimum {exact}"
+                );
+                let upper: f64 = belief
+                    .probs()
+                    .iter()
+                    .zip(&ceiling)
+                    .map(|(p, v)| p * v)
+                    .sum();
+                prop_assert!(
+                    lower <= upper + 1e-9,
+                    "oracle {lower} exceeds certified ceiling {upper}"
+                );
+            }
+        }
+    }
+}

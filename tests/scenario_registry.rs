@@ -9,10 +9,11 @@ use bpr::prelude::*;
 
 /// The builtin catalog, in registration order: the paper's models
 /// first, then the generated corpus small → large.
-const BUILTIN: [&str; 5] = [
+const BUILTIN: [&str; 6] = [
     "emn",
     "two-server",
     "web3tier-small",
+    "cellfleet-shared-rack",
     "cellfleet-mid",
     "region-large",
 ];
